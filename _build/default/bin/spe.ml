@@ -1,0 +1,547 @@
+(* The `spe` command-line tool: generate synthetic workloads, run the
+   secure estimation protocols over files on disk, audit the privacy
+   machinery, and print the communication-cost models.
+
+   Run `spe --help` or `spe <command> --help` for usage. *)
+
+module State = Spe_rng.State
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Graph_io = Spe_graph.Graph_io
+module Log = Spe_actionlog.Log
+module Log_io = Spe_actionlog.Log_io
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Link_strength = Spe_influence.Link_strength
+module Maximize = Spe_influence.Maximize
+module Wire = Spe_mpc.Wire
+module Protocol4 = Spe_core.Protocol4
+module Protocol6 = Spe_core.Protocol6
+module Driver = Spe_core.Driver
+module Posterior = Spe_privacy.Posterior
+module Gain = Spe_privacy.Gain
+module Leakage = Spe_privacy.Leakage
+module Model = Spe_cost.Model
+
+open Cmdliner
+
+(* --- shared argument definitions ------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "graph" ] ~docv:"FILE" ~doc:"Social graph file (see spe generate).")
+
+let logs_arg =
+  Arg.(
+    non_empty
+    & opt_all file []
+    & info [ "log" ] ~docv:"FILE" ~doc:"Provider action-log file; repeat once per provider.")
+
+let h_arg =
+  Arg.(value & opt int 3 & info [ "window"; "h" ] ~docv:"H" ~doc:"Memory-window width h.")
+
+let c_arg =
+  Arg.(
+    value & opt float 2.
+    & info [ "c-factor" ] ~docv:"C" ~doc:"Edge-set obfuscation blow-up (c >= 1).")
+
+let modulus_bits_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "modulus-bits" ] ~docv:"BITS" ~doc:"Share modulus S = 2^BITS.")
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"How many results to print.")
+
+let wire_summary (w : Wire.stats) =
+  Printf.printf "communication: %d rounds, %d messages, %.1f KiB\n" w.Wire.rounds
+    w.Wire.messages
+    (float_of_int w.Wire.bits /. 8192.)
+
+(* --- spe generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let users =
+    Arg.(value & opt int 100 & info [ "users" ] ~docv:"N" ~doc:"Number of users.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("ba", `Ba); ("er", `Er); ("ws", `Ws) ]) `Ba
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Graph family: barabasi-albert (ba), erdos-renyi (er) or watts-strogatz (ws).")
+  in
+  let density =
+    Arg.(
+      value & opt int 3
+      & info [ "density" ] ~docv:"D"
+          ~doc:"Attachment count (ba), mean out-degree (er) or ring degree (ws).")
+  in
+  let actions =
+    Arg.(value & opt int 50 & info [ "actions" ] ~docv:"A" ~doc:"Number of propagated actions.")
+  in
+  let providers =
+    Arg.(value & opt int 2 & info [ "providers" ] ~docv:"M" ~doc:"Number of service providers.")
+  in
+  let probability =
+    Arg.(
+      value & opt float 0.25
+      & info [ "probability" ] ~docv:"P" ~doc:"Planted influence probability per arc.")
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let classes =
+    Arg.(
+      value & opt int 0
+      & info [ "classes" ] ~docv:"Q"
+          ~doc:
+            "Non-exclusive mode: partition the actions into Q classes, each supported \
+             by a random provider subset, scatter records accordingly and write a \
+             spec.txt alongside the logs.  0 (default) = exclusive split.")
+  in
+  let run seed users model density actions providers probability out_dir classes =
+    let s = State.create ~seed () in
+    let g =
+      match model with
+      | `Ba -> Generate.barabasi_albert s ~n:users ~m:density
+      | `Er -> Generate.erdos_renyi_gnm s ~n:users ~m:(users * density)
+      | `Ws ->
+        let k = max 2 (density + (density mod 2)) in
+        Generate.watts_strogatz s ~n:users ~k ~beta:0.15
+    in
+    let planted = Cascade.uniform_probabilities ~p:probability g in
+    let log =
+      Cascade.generate s planted
+        { Cascade.num_actions = actions; seeds_per_action = 1; max_delay = 3 }
+    in
+    let parts, spec =
+      if classes <= 0 then (Partition.exclusive s log ~m:providers, None)
+      else begin
+        let spec =
+          Partition.random_class_spec s ~num_actions:actions ~m:providers ~num_classes:classes
+        in
+        (Partition.non_exclusive s log ~spec, Some spec)
+      end
+    in
+    (match spec with
+    | None -> ()
+    | Some spec ->
+      let path = Filename.concat out_dir "spec.txt" in
+      Spe_actionlog.Spec_io.save spec path;
+      Printf.printf "wrote %s (%d classes)\n" path classes);
+    let graph_path = Filename.concat out_dir "graph.txt" in
+    Graph_io.save g graph_path;
+    Printf.printf "wrote %s (%d users, %d arcs)\n" graph_path (Digraph.n g)
+      (Digraph.edge_count g);
+    Array.iteri
+      (fun k part ->
+        let path = Filename.concat out_dir (Printf.sprintf "provider-%d.log" (k + 1)) in
+        Log_io.save part path;
+        Printf.printf "wrote %s (%d records)\n" path (Log.size part))
+      parts;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ users $ model $ density $ actions $ providers $ probability
+       $ out_dir $ classes))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic social graph and provider action logs.")
+    term
+
+(* --- spe links ---------------------------------------------------------- *)
+
+let links_cmd =
+  let decay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decay" ] ~docv:"KIND"
+          ~doc:
+            "Temporal decay for Eq. (2): 'linear' or 'exp:ALPHA'. Default: Eq. (1), no decay.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Action-class spec file: run the non-exclusive pipeline (Protocol 5 first).")
+  in
+  let obfuscation_arg =
+    Arg.(
+      value
+      & opt (enum [ ("basic", Spe_core.Protocol5.Basic); ("enhanced", Spe_core.Protocol5.Enhanced) ])
+          Spe_core.Protocol5.Enhanced
+      & info [ "obfuscation" ] ~docv:"MODE"
+          ~doc:"Protocol 5 obfuscation for the non-exclusive case: basic or enhanced.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full message transcript.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full strength list to FILE.")
+  in
+  let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation trace out =
+    let graph = Graph_io.load graph_path in
+    let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let estimator =
+      match decay with
+      | None -> Protocol4.Eq1
+      | Some "linear" -> Protocol4.Eq2 (Link_strength.linear_decay_weights ~h)
+      | Some spec when String.length spec > 4 && String.sub spec 0 4 = "exp:" -> (
+        match float_of_string_opt (String.sub spec 4 (String.length spec - 4)) with
+        | Some alpha -> Protocol4.Eq2 (Link_strength.exponential_decay_weights ~h ~alpha)
+        | None -> failwith "bad --decay exp:ALPHA")
+      | Some other -> failwith (Printf.sprintf "unknown decay %S" other)
+    in
+    let config =
+      { Protocol4.c_factor; modulus = 1 lsl modulus_bits; h; estimator }
+    in
+    let s = State.create ~seed () in
+    let r =
+      match spec_path with
+      | None -> Driver.link_strengths_exclusive s ~graph ~logs config
+      | Some path ->
+        let spec = Spe_actionlog.Spec_io.load path in
+        Driver.link_strengths_non_exclusive s ~graph ~logs ~spec ~obfuscation config
+    in
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) r.Driver.strengths
+    in
+    Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
+    List.iteri
+      (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
+      sorted;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Spe_influence.Result_io.save_strengths r.Driver.strengths path;
+      Printf.printf "wrote %s\n" path);
+    wire_summary r.Driver.wire;
+    if trace then begin
+      Printf.printf "\ntranscript:\n";
+      List.iter
+        (fun (msg : Wire.message) ->
+          Format.printf "  r%-3d %a -> %a  %d bits@." msg.Wire.round Wire.pp_party
+            msg.Wire.src Wire.pp_party msg.Wire.dst msg.Wire.bits)
+        r.Driver.transcript
+    end;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ c_arg $ modulus_bits_arg $ decay
+       $ top_arg $ spec_arg $ obfuscation_arg $ trace_arg $ out_arg))
+  in
+  Cmd.v
+    (Cmd.info "links"
+       ~doc:
+         "Securely compute link influence strengths (Protocol 4, exclusive case) over \
+          provider log files.")
+    term
+
+(* --- spe scores ---------------------------------------------------------- *)
+
+let scores_cmd =
+  let tau =
+    Arg.(value & opt int 8 & info [ "tau" ] ~docv:"TAU" ~doc:"Propagation time threshold.")
+  in
+  let key_bits =
+    Arg.(
+      value & opt int 256
+      & info [ "key-bits" ] ~docv:"BITS"
+          ~doc:"Public-key modulus size for Protocol 6 (1024 = paper's deployment).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
+  in
+  let run seed graph_path log_paths tau key_bits modulus_bits top out =
+    let graph = Graph_io.load graph_path in
+    let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let s = State.create ~seed () in
+    let r =
+      Driver.user_scores_exclusive s ~graph ~logs ~tau ~modulus:(1 lsl modulus_bits)
+        { Protocol6.default_config with Protocol6.key_bits }
+    in
+    let idx = Array.init (Array.length r.Driver.scores) (fun i -> i) in
+    Array.sort (fun a b -> Stdlib.compare r.Driver.scores.(b) r.Driver.scores.(a)) idx;
+    Printf.printf "user influence scores (top %d):\n" top;
+    Array.iteri
+      (fun rank u ->
+        if rank < top then Printf.printf "  #%-3d user %-6d score %.3f\n" (rank + 1) u
+            r.Driver.scores.(u))
+      idx;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Spe_influence.Result_io.save_scores r.Driver.scores path;
+      Printf.printf "wrote %s\n" path);
+    wire_summary r.Driver.wire;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret (const run $ seed_arg $ graph_arg $ logs_arg $ tau $ key_bits $ modulus_bits_arg
+         $ top_arg $ out_arg))
+  in
+  Cmd.v
+    (Cmd.info "scores"
+       ~doc:"Securely compute user influence scores (Protocol 6 + Def. 3.3).")
+    term
+
+(* --- spe campaign --------------------------------------------------------- *)
+
+let campaign_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k"; "seed-count" ] ~docv:"K" ~doc:"Seed-set size.") in
+  let samples =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ] ~docv:"S" ~doc:"Monte-Carlo cascade samples per evaluation.")
+  in
+  let run seed graph_path log_paths h k samples =
+    let graph = Graph_io.load graph_path in
+    let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let s = State.create ~seed () in
+    let r = Driver.link_strengths_exclusive s ~graph ~logs (Protocol4.default_config ~h) in
+    let model = Maximize.of_strengths graph r.Driver.strengths in
+    let seeds, spread = Maximize.celf s model ~k ~samples in
+    Printf.printf "campaign seeds (CELF on securely learned strengths):\n";
+    List.iteri (fun i u -> Printf.printf "  %d. user %d\n" (i + 1) u) seeds;
+    Printf.printf "expected spread under the learned model: %.1f users\n" spread;
+    wire_summary r.Driver.wire;
+    `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ k $ samples))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Pick viral-marketing seeds from securely learned link strengths.")
+    term
+
+(* --- spe privacy ------------------------------------------------------------ *)
+
+let privacy_cmd =
+  let bound =
+    Arg.(value & opt int 10 & info [ "bound" ] ~docv:"A" ~doc:"Counter range bound A.")
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"T" ~doc:"Trials per value of x.")
+  in
+  let prior =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "prior" ] ~docv:"PRIOR" ~doc:"Prior: 'uniform', 'unimodal' or 'geometric:P'.")
+  in
+  let run seed bound trials prior_spec =
+    let prior =
+      match prior_spec with
+      | "uniform" -> Posterior.uniform_prior ~bound
+      | "unimodal" -> Posterior.unimodal_prior ~bound
+      | spec when String.length spec > 10 && String.sub spec 0 10 = "geometric:" -> (
+        match float_of_string_opt (String.sub spec 10 (String.length spec - 10)) with
+        | Some p -> Posterior.geometric_prior ~bound ~p
+        | None -> failwith "bad --prior geometric:P")
+      | other -> failwith (Printf.sprintf "unknown prior %S" other)
+    in
+    let s = State.create ~seed () in
+    let r = Gain.run s ~prior ~trials_per_x:trials in
+    Printf.printf "masking-gain experiment (Sec. 7.2): %d samples\n" (Array.length r.Gain.gains);
+    Printf.printf "average gain      = %+.4f\n" r.Gain.average;
+    Printf.printf "positive fraction = %.3f\n" r.Gain.positive_fraction;
+    Format.printf "%a" Gain.pp_histogram r.Gain.histogram;
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ seed_arg $ bound $ trials $ prior)) in
+  Cmd.v
+    (Cmd.info "privacy" ~doc:"Run the Sec. 7.2 masking-gain experiment (Figure 1).")
+    term
+
+(* --- spe costs --------------------------------------------------------------- *)
+
+let costs_cmd =
+  let n = Arg.(value & opt int 1000 & info [ "users" ] ~docv:"N" ~doc:"Number of users.") in
+  let q = Arg.(value & opt int 8000 & info [ "pairs" ] ~docv:"Q" ~doc:"Published pair count |E'|.") in
+  let m = Arg.(value & opt int 5 & info [ "providers" ] ~docv:"M" ~doc:"Number of providers.") in
+  let actions =
+    Arg.(value & opt int 50 & info [ "actions" ] ~docv:"A" ~doc:"Total actions (Table 2).")
+  in
+  let z =
+    Arg.(
+      value & opt int 1024 & info [ "ciphertext-bits" ] ~docv:"Z" ~doc:"Ciphertext size in bits (Table 2).")
+  in
+  let run n q m modulus_bits actions z =
+    let node_bits = Wire.bits_for_int_mod (max 2 n) in
+    Printf.printf "Table 1 model (Protocol 4):\n";
+    Format.printf "%a@."
+      Model.pp
+      (Model.table1 ~n ~q ~m ~modulus_bits ~node_bits ~counters:(n + q));
+    let per = actions / m in
+    let firsts = actions - (per * (m - 1)) in
+    let actions_per_provider = Array.init m (fun k -> if k = 0 then firsts else per) in
+    Printf.printf "\nTable 2 model (Protocol 6):\n";
+    Format.printf "%a@."
+      Model.pp
+      (Model.table2 ~q ~m ~node_bits ~key_bits:(2 * z) ~ciphertext_bits:z
+         ~actions_per_provider);
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ n $ q $ m $ modulus_bits_arg $ actions $ z)) in
+  Cmd.v
+    (Cmd.info "costs" ~doc:"Print the analytic communication-cost tables (Sec. 7.1).")
+    term
+
+(* --- spe leakage ---------------------------------------------------------------- *)
+
+let leakage_cmd =
+  let bound =
+    Arg.(value & opt int 100 & info [ "bound" ] ~docv:"A" ~doc:"Counter range bound A.")
+  in
+  let x = Arg.(value & opt int 50 & info [ "value" ] ~docv:"X" ~doc:"True aggregate value.") in
+  let trials =
+    Arg.(value & opt int 20000 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+  in
+  let run seed modulus_bits bound x trials =
+    let modulus = 1 lsl modulus_bits in
+    let t = Leakage.theoretical ~modulus ~input_bound:bound ~x in
+    let s = State.create ~seed () in
+    let o = Leakage.monte_carlo s ~modulus ~input_bound:bound ~x ~trials in
+    let rate hits = float_of_int hits /. float_of_int trials in
+    Printf.printf "Protocol 2 leak rates at S = 2^%d, A = %d, x = %d (%d trials):\n"
+      modulus_bits bound x trials;
+    Printf.printf "  P2 lower bound: theory %.5f, measured %.5f\n" t.Leakage.p2_lower
+      (rate o.Leakage.p2_lower_hits);
+    Printf.printf "  P2 upper bound: theory %.5f, measured %.5f\n" t.Leakage.p2_upper
+      (rate o.Leakage.p2_upper_hits);
+    Printf.printf "  P3 any bound:   bound  %.5f, measured %.5f\n"
+      (t.Leakage.p3_lower +. t.Leakage.p3_upper)
+      (rate (o.Leakage.p3_lower_hits + o.Leakage.p3_upper_hits));
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ seed_arg $ modulus_bits_arg $ bound $ x $ trials)) in
+  Cmd.v
+    (Cmd.info "leakage" ~doc:"Measure Protocol 2's Theorem 4.1 leak rates empirically.")
+    term
+
+(* --- spe em ------------------------------------------------------------------------ *)
+
+let em_cmd =
+  let iterations =
+    Arg.(value & opt int 100 & info [ "iterations" ] ~docv:"I" ~doc:"Maximum EM iterations.")
+  in
+  let run graph_path log_paths h iterations top =
+    let graph = Graph_io.load graph_path in
+    let logs = List.map Log_io.load log_paths in
+    let log = Partition.reunify (Array.of_list logs) in
+    let result = Spe_influence.Em.learn log graph ~h ~max_iterations:iterations in
+    let strengths = Spe_influence.Em.to_strengths result graph in
+    let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
+    Printf.printf "EM baseline (Saito et al.), %d iterations, final log-likelihood %.2f\n"
+      result.Spe_influence.Em.iterations
+      (match List.rev result.Spe_influence.Em.log_likelihood with ll :: _ -> ll | [] -> nan);
+    Printf.printf "top %d arcs:\n" top;
+    List.iteri
+      (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
+      sorted;
+    Printf.printf
+      "note: EM runs on the unified log in the clear - it is the non-private baseline\n\
+       the paper's counting estimator (spe links) replaces.\n";
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ graph_arg $ logs_arg $ h_arg $ iterations $ top_arg)) in
+  Cmd.v
+    (Cmd.info "em"
+       ~doc:"Learn influence probabilities with the EM baseline (non-private reference).")
+    term
+
+(* --- spe metrics ------------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run graph_path =
+    let g = Graph_io.load graph_path in
+    let module Metrics = Spe_graph.Metrics in
+    Printf.printf "nodes              %d\n" (Digraph.n g);
+    Printf.printf "arcs               %d\n" (Digraph.edge_count g);
+    Printf.printf "max out-degree     %d\n" (Metrics.max_degree g `Out);
+    Printf.printf "max in-degree      %d\n" (Metrics.max_degree g `In);
+    Printf.printf "reciprocity        %.3f\n" (Metrics.reciprocity g);
+    Printf.printf "global clustering  %.3f\n" (Metrics.global_clustering g);
+    let pr = Metrics.pagerank g in
+    Printf.printf "top PageRank users:";
+    List.iter (fun v -> Printf.printf " %d (%.4f)" v pr.(v)) (Metrics.top_k 5 pr);
+    Printf.printf "\n";
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ graph_arg)) in
+  Cmd.v (Cmd.info "metrics" ~doc:"Print structural metrics of a social graph file.") term
+
+(* --- spe verify ---------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run seed graph_path log_paths h =
+    let graph = Graph_io.load graph_path in
+    let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let s = State.create ~seed () in
+    let r = Driver.link_strengths_exclusive s ~graph ~logs (Protocol4.default_config ~h) in
+    (* The plaintext reference on the unified log the protocol never
+       materialises. *)
+    let unified = Partition.reunify logs in
+    let ct =
+      Spe_influence.Counters.compute unified ~h ~pairs:r.Driver.detail.Protocol4.pairs
+    in
+    let reference =
+      Link_strength.restrict_to_graph ct (Link_strength.all_eq1 ct) graph
+    in
+    let max_err = ref 0. and worst = ref (0, 0) in
+    List.iter2
+      (fun ((u, v), exact) (_, secure) ->
+        let err = abs_float (exact -. secure) in
+        if err > !max_err then begin
+          max_err := err;
+          worst := (u, v)
+        end)
+      reference r.Driver.strengths;
+    Printf.printf "verified %d arcs against the plaintext reference\n"
+      (List.length r.Driver.strengths);
+    Printf.printf "max |secure - exact| = %.3e (arc %d -> %d)\n" !max_err (fst !worst)
+      (snd !worst);
+    Printf.printf "%s\n"
+      (if !max_err < 1e-3 then "OK: within the float-masking noise bound (1e-3)"
+       else "WARNING: deviation exceeds the expected noise bound");
+    wire_summary r.Driver.wire;
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the secure pipeline AND the plaintext reference on the same files and \
+          report the deviation.")
+    term
+
+(* --- entry point ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "privacy-preserving estimation of social influence (EDBT 2014)" in
+  let info = Cmd.info "spe" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; privacy_cmd; costs_cmd;
+            leakage_cmd; em_cmd; metrics_cmd; verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/platforms.ml: Array List Printf Spe_actionlog Spe_core Spe_graph Spe_influence Spe_mpc Spe_rng Spe_stats

@@ -1,0 +1,1 @@
+examples/privacy_audit.ml: Array Float List Printf Spe_privacy Spe_rng

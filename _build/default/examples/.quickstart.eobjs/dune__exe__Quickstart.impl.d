@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Printf Spe_actionlog Spe_core Spe_graph Spe_influence Spe_mpc Spe_rng Stdlib

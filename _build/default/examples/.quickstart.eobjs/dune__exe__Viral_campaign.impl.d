@@ -1,0 +1,1 @@
+examples/viral_campaign.ml: Array List Printf Spe_actionlog Spe_core Spe_graph Spe_influence Spe_mpc Spe_rng Stdlib String

@@ -1,0 +1,1 @@
+examples/viral_campaign.mli:

@@ -1,0 +1,116 @@
+(* The introduction's motivating scenario: two bookstores selling the
+   same catalogue (the non-exclusive case).
+
+   User u is influenced by her friend to buy a book — but u bought it
+   from store P1 while her friend bought it from store P2.  Neither
+   store alone has any evidence of the influence episode; only the
+   conjoined (privately aggregated) logs reveal it.  This example
+   quantifies how much influence signal each store misses on its own
+   and shows Protocol 5 + Protocol 4 recovering the full picture
+   without the stores disclosing records to each other.
+
+     dune exec examples/bookstores.exe *)
+
+module State = Spe_rng.State
+module Generate = Spe_graph.Generate
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Counters = Spe_influence.Counters
+module Protocol4 = Spe_core.Protocol4
+module Protocol5 = Spe_core.Protocol5
+module Driver = Spe_core.Driver
+
+let total_episodes log g ~h =
+  let ct = Counters.compute_graph log ~h g in
+  Array.fold_left ( + ) 0 ct.Counters.b
+
+let () =
+  let rng = State.create ~seed:1813 () in
+  let h = 3 in
+
+  (* A 60-reader social network and 50 book titles propagating through
+     it by word of mouth. *)
+  let graph = Generate.watts_strogatz rng ~n:60 ~k:4 ~beta:0.2 in
+  let planted = Cascade.uniform_probabilities ~p:0.35 graph in
+  let log =
+    Cascade.generate rng planted
+      { Cascade.num_actions = 50; seeds_per_action = 1; max_delay = 3 }
+  in
+
+  (* Every book is sold by both stores; each individual purchase goes
+     to one of them uniformly.  That is one action class supported by
+     both providers. *)
+  let spec =
+    {
+      Partition.action_class = Array.make 50 0;
+      class_providers = [| [| 0; 1 |] |];
+      m = 2;
+    }
+  in
+  let stores = Partition.non_exclusive rng log ~spec in
+
+  (* How much influence evidence does each store see alone? *)
+  let full = total_episodes log graph ~h in
+  Printf.printf "Influence episodes (pairs \"friend bought, follower bought within %d steps\"):\n" h;
+  Printf.printf "  complete picture (conjoined logs) : %4d\n" full;
+  Array.iteri
+    (fun k store ->
+      let alone = total_episodes store graph ~h in
+      Printf.printf "  store %d alone                     : %4d (misses %d%%)\n" (k + 1)
+        alone
+        (if full = 0 then 0 else (full - alone) * 100 / full))
+    stores;
+
+  (* The secure fix: Protocol 5 aggregates the class counters through a
+     trusted third party (here the host, since both stores support the
+     class), with the enhanced obfuscation — renamed users and books,
+     shift-ciphered time stamps, fake-user padding.  Protocol 4 then
+     computes the link strengths as in the exclusive case. *)
+  let config = Protocol4.default_config ~h in
+  let secure =
+    Driver.link_strengths_non_exclusive rng ~graph ~logs:stores ~spec
+      ~obfuscation:Protocol5.Enhanced config
+  in
+
+  (* Reference: the plaintext strengths on the conjoined log. *)
+  let ct = Counters.compute log ~h ~pairs:secure.Driver.detail.Protocol4.pairs in
+  let reference =
+    Spe_influence.Link_strength.restrict_to_graph ct
+      (Spe_influence.Link_strength.all_eq1 ct)
+      graph
+  in
+  let max_err =
+    List.fold_left2
+      (fun acc (_, a) (_, b) -> Float.max acc (abs_float (a -. b)))
+      0. reference secure.Driver.strengths
+  in
+  Printf.printf
+    "\nSecure non-exclusive pipeline (Protocol 5 enhanced + Protocol 4):\n";
+  Printf.printf "  link strengths recovered for %d arcs, max deviation %.2e\n"
+    (List.length secure.Driver.strengths)
+    max_err;
+
+  (* What would a store estimate for its strongest link if it refused
+     to cooperate?  Compare the conjoined estimate on the same arc. *)
+  let ct1 = Counters.compute stores.(0) ~h ~pairs:secure.Driver.detail.Protocol4.pairs in
+  let alone1 =
+    Spe_influence.Link_strength.restrict_to_graph ct1
+      (Spe_influence.Link_strength.all_eq1 ct1)
+      graph
+  in
+  let (best_arc, best_joint), best_alone =
+    List.fold_left2
+      (fun ((_, bj), _ as acc) (arc, pj) (_, pa) ->
+        if pj > bj then ((arc, pj), pa) else acc)
+      (((0, 0), neg_infinity), 0.)
+      reference alone1
+  in
+  let u, v = best_arc in
+  Printf.printf "\nStrongest link %d -> %d:\n" u v;
+  Printf.printf "  conjoined estimate : %.3f\n" best_joint;
+  Printf.printf "  store 1 alone      : %.3f  <- systematically underestimated\n" best_alone;
+  Printf.printf "\nCommunication: %d rounds, %d messages, %.1f KiB\n"
+    secure.Driver.wire.Spe_mpc.Wire.rounds secure.Driver.wire.Spe_mpc.Wire.messages
+    (float_of_int secure.Driver.wire.Spe_mpc.Wire.bits /. 8192.)

@@ -1,0 +1,1 @@
+lib/actionlog/cascade.ml: Array Hashtbl List Log Set Spe_graph Spe_rng Stdlib

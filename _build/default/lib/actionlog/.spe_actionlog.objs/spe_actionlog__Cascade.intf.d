@@ -1,0 +1,1 @@
+lib/actionlog/cascade.mli: Log Spe_graph Spe_rng

@@ -1,0 +1,1 @@
+lib/actionlog/discretize.ml: List Log Spe_rng

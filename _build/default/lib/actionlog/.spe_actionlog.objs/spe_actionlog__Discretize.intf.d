@@ -1,0 +1,1 @@
+lib/actionlog/discretize.mli: Log Spe_rng

@@ -1,0 +1,1 @@
+lib/actionlog/log.ml: Array Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/actionlog/log_io.ml: Buffer Fun List Log Printf String

@@ -1,0 +1,1 @@
+lib/actionlog/log_io.mli: Log

@@ -1,0 +1,1 @@
+lib/actionlog/partition.ml: Array Hashtbl List Log Spe_rng

@@ -1,0 +1,1 @@
+lib/actionlog/partition.mli: Log Spe_rng

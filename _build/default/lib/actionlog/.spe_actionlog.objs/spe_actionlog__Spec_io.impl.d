@@ -1,0 +1,1 @@
+lib/actionlog/spec_io.ml: Array Buffer Fun Hashtbl List Partition Printf String

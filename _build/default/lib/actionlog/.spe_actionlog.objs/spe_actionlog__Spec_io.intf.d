@@ -1,0 +1,1 @@
+lib/actionlog/spec_io.mli: Partition

@@ -1,0 +1,92 @@
+module Digraph = Spe_graph.Digraph
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+type params = { num_actions : int; seeds_per_action : int; max_delay : int }
+
+let default_params = { num_actions = 50; seeds_per_action = 1; max_delay = 3 }
+
+type planted = { graph : Digraph.t; probability : int -> int -> float }
+
+let uniform_probabilities ~p graph =
+  if p < 0. || p > 1. then invalid_arg "Cascade.uniform_probabilities: p out of [0,1]";
+  { graph; probability = (fun _ _ -> p) }
+
+let degree_weighted_probabilities graph =
+  let probability _ v =
+    let d = Digraph.in_degree graph v in
+    if d = 0 then 0. else 1. /. float_of_int d
+  in
+  { graph; probability }
+
+let random_probabilities st ~lo ~hi graph =
+  if lo < 0. || hi > 1. || lo > hi then
+    invalid_arg "Cascade.random_probabilities: need 0 <= lo <= hi <= 1";
+  (* Draw once per arc and freeze in a table so the planted model is a
+     deterministic function afterwards. *)
+  let table = Hashtbl.create (Digraph.edge_count graph) in
+  Digraph.iter_edges graph (fun u v ->
+      Hashtbl.replace table (u, v) (lo +. (State.next_float st *. (hi -. lo))));
+  let probability u v =
+    match Hashtbl.find_opt table (u, v) with Some p -> p | None -> 0.
+  in
+  { graph; probability }
+
+(* One independent cascade: event-queue simulation ordered by
+   activation time.  Each arc fires at most one attempt, when its
+   source activates. *)
+let run_cascade st planted ~seeds ~max_delay ~action =
+  let g = planted.graph in
+  let n = Digraph.n g in
+  let activation = Array.make n (-1) in
+  (* Min-queue on (time, node); sizes are small, a sorted module-level
+     approach would be overkill — use a Hashtbl-free pairing via a
+     sorted list in a ref. *)
+  let module Pq = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let queue = ref Pq.empty in
+  List.iter
+    (fun s ->
+      if activation.(s) < 0 then begin
+        activation.(s) <- 0;
+        queue := Pq.add (0, s) !queue
+      end)
+    seeds;
+  while not (Pq.is_empty !queue) do
+    let ((t, u) as ev) = Pq.min_elt !queue in
+    queue := Pq.remove ev !queue;
+    Array.iter
+      (fun v ->
+        if activation.(v) < 0 && Dist.bernoulli st ~p:(planted.probability u v) then begin
+          let d = Dist.uniform_int st ~lo:1 ~hi:max_delay in
+          activation.(v) <- t + d;
+          queue := Pq.add (t + d, v) !queue
+        end)
+      (Digraph.out_neighbors g u)
+  done;
+  let recs = ref [] in
+  for v = 0 to n - 1 do
+    if activation.(v) >= 0 then recs := { Log.user = v; action; time = activation.(v) } :: !recs
+  done;
+  !recs
+
+let generate st planted params =
+  if params.num_actions <= 0 then invalid_arg "Cascade.generate: need at least one action";
+  if params.seeds_per_action <= 0 then invalid_arg "Cascade.generate: need at least one seed";
+  if params.max_delay < 1 then invalid_arg "Cascade.generate: max_delay must be >= 1";
+  let n = Digraph.n planted.graph in
+  if params.seeds_per_action > n then invalid_arg "Cascade.generate: more seeds than users";
+  let all = ref [] in
+  for action = 0 to params.num_actions - 1 do
+    (* Distinct random seeds for this action. *)
+    let seeds = Hashtbl.create params.seeds_per_action in
+    while Hashtbl.length seeds < params.seeds_per_action do
+      Hashtbl.replace seeds (State.next_int st n) ()
+    done;
+    let seeds = Hashtbl.fold (fun s () acc -> s :: acc) seeds [] in
+    all := run_cascade st planted ~seeds ~max_delay:params.max_delay ~action @ !all
+  done;
+  Log.of_records ~num_users:n ~num_actions:params.num_actions !all

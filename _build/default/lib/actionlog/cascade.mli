@@ -1,0 +1,49 @@
+(** Synthetic propagation-trace generation.
+
+    The paper assumes a log of past propagations exists (sales
+    histories); none is public, so we generate one by simulating the
+    very process the influence model posits: an independent-cascade
+    diffusion over the social graph with planted ground-truth
+    probabilities (DESIGN.md substitution table).
+
+    Each action starts at one or more seed users at time 0.  When user
+    [u] performs the action at time [t], each follower [v] of [u] that
+    has not yet performed it gets one activation attempt, succeeding
+    with probability [p_uv]; on success [v] performs the action at time
+    [t + d] with the delay [d] drawn from [[1, max_delay]].  Because
+    the counting estimator of Eq. (1) measures "v followed u within the
+    window h", running it with [h >= max_delay] on a large trace set
+    recovers the planted probabilities up to sampling noise — which is
+    exactly the validation the end-to-end tests perform. *)
+
+type params = {
+  num_actions : int;  (** How many distinct actions (traces) to generate. *)
+  seeds_per_action : int;  (** Initial adopters per action. *)
+  max_delay : int;  (** Delays are uniform on [[1, max_delay]]. *)
+}
+
+val default_params : params
+(** 50 actions, 1 seed each, delays in [[1, 3]]. *)
+
+type planted = {
+  graph : Spe_graph.Digraph.t;
+  probability : int -> int -> float;
+      (** Ground-truth influence probability per arc.  Only queried on
+          arcs of [graph]. *)
+}
+
+val uniform_probabilities : p:float -> Spe_graph.Digraph.t -> planted
+(** Every arc carries probability [p]. *)
+
+val degree_weighted_probabilities : Spe_graph.Digraph.t -> planted
+(** The "weighted cascade" convention: [p_uv = 1 / in_degree(v)]. *)
+
+val random_probabilities :
+  Spe_rng.State.t -> lo:float -> hi:float -> Spe_graph.Digraph.t -> planted
+(** Independent uniform probability on [[lo, hi]] per arc (fixed at
+    creation; deterministic thereafter). *)
+
+val generate : Spe_rng.State.t -> planted -> params -> Log.t
+(** Run one independent cascade per action and collect the activation
+    records into a log with [num_users = n] and the given action
+    universe. *)

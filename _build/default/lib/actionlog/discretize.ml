@@ -1,0 +1,27 @@
+module State = Spe_rng.State
+
+let rebin log ~step =
+  if step < 1 then invalid_arg "Discretize.rebin: step must be >= 1";
+  Log.map_records log
+    (fun r -> { r with Log.time = r.Log.time / step })
+    ~num_users:(Log.num_users log) ~num_actions:(Log.num_actions log)
+
+let jitter st log ~amount =
+  if amount < 0 then invalid_arg "Discretize.jitter: negative amount";
+  Log.map_records log
+    (fun r ->
+      let delta = State.next_int st ((2 * amount) + 1) - amount in
+      { r with Log.time = max 0 (r.Log.time + delta) })
+    ~num_users:(Log.num_users log) ~num_actions:(Log.num_actions log)
+
+let span log =
+  match Log.records log with
+  | [] -> 0
+  | first :: rest ->
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (r : Log.record) -> (min lo r.Log.time, max hi r.Log.time))
+        (first.Log.time, first.Log.time)
+        rest
+    in
+    hi - lo

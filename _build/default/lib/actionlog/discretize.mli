@@ -1,0 +1,23 @@
+(** Time discretization of action logs.
+
+    Sec. 2 notes that real activity data "needs to be heavily
+    discretized" before window-based influence models apply: raw
+    timestamps (seconds) must be binned into the integer steps the
+    counters assume.  This module provides the binning and a jitter
+    transform for robustness experiments — the bench sweeps the bin
+    width and reports how the window counters and estimates respond. *)
+
+val rebin : Log.t -> step:int -> Log.t
+(** [rebin log ~step] maps every time stamp [t] to [t / step]
+    (integer division).  [step >= 1].  Records of one user that
+    collapse into the same (user, action) pair keep the earliest bin
+    (they already did — at most one record per pair). *)
+
+val jitter : Spe_rng.State.t -> Log.t -> amount:int -> Log.t
+(** Add uniform noise from [[-amount, amount]] to every time stamp,
+    clamped at zero — models measurement slack in the recorded
+    times. *)
+
+val span : Log.t -> int
+(** [max_time - min_time] over the records ([0] for empty or singleton
+    logs) — handy to choose a bin width. *)

@@ -1,0 +1,109 @@
+type record = { user : int; action : int; time : int }
+
+type t = {
+  num_users : int;
+  num_actions : int;
+  records : record array; (* sorted by (action, time, user); unique (user, action) *)
+}
+
+let compare_record a b =
+  let c = Stdlib.compare a.action b.action in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.time b.time in
+    if c <> 0 then c else Stdlib.compare a.user b.user
+
+let of_records ~num_users ~num_actions recs =
+  if num_users < 0 || num_actions < 0 then invalid_arg "Log.of_records: negative universe size";
+  List.iter
+    (fun r ->
+      if r.user < 0 || r.user >= num_users then invalid_arg "Log.of_records: user out of range";
+      if r.action < 0 || r.action >= num_actions then
+        invalid_arg "Log.of_records: action out of range";
+      if r.time < 0 then invalid_arg "Log.of_records: negative time")
+    recs;
+  (* Keep the earliest time per (user, action). *)
+  let best = Hashtbl.create (List.length recs) in
+  List.iter
+    (fun r ->
+      let k = (r.user, r.action) in
+      match Hashtbl.find_opt best k with
+      | Some t0 when t0 <= r.time -> ()
+      | _ -> Hashtbl.replace best k r.time)
+    recs;
+  let arr =
+    Hashtbl.fold (fun (user, action) time acc -> { user; action; time } :: acc) best []
+    |> Array.of_list
+  in
+  Array.sort compare_record arr;
+  { num_users; num_actions; records = arr }
+
+let empty ~num_users ~num_actions = of_records ~num_users ~num_actions []
+
+let records t = Array.to_list t.records
+let size t = Array.length t.records
+let num_users t = t.num_users
+let num_actions t = t.num_actions
+
+let user_activity t =
+  let a = Array.make t.num_users 0 in
+  Array.iter (fun r -> a.(r.user) <- a.(r.user) + 1) t.records;
+  a
+
+let by_action t action =
+  if action < 0 || action >= t.num_actions then invalid_arg "Log.by_action: action out of range";
+  (* Records are sorted by action first: binary search the block. *)
+  let n = Array.length t.records in
+  let rec lower lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.records.(mid).action < action then lower (mid + 1) hi else lower lo mid
+  in
+  let start = lower 0 n in
+  let acc = ref [] in
+  let i = ref start in
+  while !i < n && t.records.(!i).action = action do
+    acc := (t.records.(!i).user, t.records.(!i).time) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let by_user t user =
+  if user < 0 || user >= t.num_users then invalid_arg "Log.by_user: user out of range";
+  Array.fold_right
+    (fun r acc -> if r.user = user then (r.action, r.time) :: acc else acc)
+    t.records []
+
+let time_of t ~user ~action =
+  List.assoc_opt user (by_action t action)
+
+let actions_present t =
+  let seen = Array.make t.num_actions false in
+  Array.iter (fun r -> seen.(r.action) <- true) t.records;
+  let acc = ref [] in
+  for a = t.num_actions - 1 downto 0 do
+    if seen.(a) then acc := a :: !acc
+  done;
+  !acc
+
+let max_time t = Array.fold_left (fun m r -> max m r.time) 0 t.records
+
+let union ~num_users ~num_actions logs =
+  of_records ~num_users ~num_actions (List.concat_map records logs)
+
+let filter_actions t keep =
+  let kept = Array.to_list t.records |> List.filter (fun r -> keep r.action) in
+  { t with records = Array.of_list kept }
+
+let map_records t f ~num_users ~num_actions =
+  of_records ~num_users ~num_actions (List.map f (records t))
+
+let equal a b =
+  a.num_users = b.num_users && a.num_actions = b.num_actions
+  && Array.length a.records = Array.length b.records
+  && Array.for_all2 (fun x y -> compare_record x y = 0) a.records b.records
+
+let pp fmt t =
+  Format.fprintf fmt "log(users=%d, actions=%d, records=%d)" t.num_users t.num_actions
+    (Array.length t.records)

@@ -1,0 +1,70 @@
+(** The action log relation L(User, Time, Action) of Sec. 3.
+
+    A record [(v, alpha, t)] states that user [v] performed action
+    [alpha] at time [t].  Users are integers in [[0, num_users)],
+    actions in [[0, num_actions)], times are non-negative integers.
+    Following the paper, a user performs a given action at most once:
+    construction keeps only the earliest occurrence of each
+    (user, action) pair. *)
+
+type record = { user : int; action : int; time : int }
+
+type t
+
+val of_records : num_users:int -> num_actions:int -> record list -> t
+(** Build a log, deduplicating (user, action) pairs by earliest time.
+    Raises [Invalid_argument] if any field is out of range. *)
+
+val empty : num_users:int -> num_actions:int -> t
+
+val records : t -> record list
+(** All records sorted by (action, time, user). *)
+
+val size : t -> int
+(** Number of records after deduplication. *)
+
+val num_users : t -> int
+
+val num_actions : t -> int
+(** Size of the action universe [|A|] — the paper's bound [A] on every
+    counter. *)
+
+val user_activity : t -> int array
+(** [a_i] for every user: the number of (distinct) actions user [i]
+    performed (Sec. 3.1). *)
+
+val by_action : t -> int -> (int * int) list
+(** [(user, time)] pairs of the given action, sorted by time then
+    user. *)
+
+val by_user : t -> int -> (int * int) list
+(** [(action, time)] pairs of the given user, sorted by action. *)
+
+val time_of : t -> user:int -> action:int -> int option
+(** Time at which the user performed the action, if ever. *)
+
+val actions_present : t -> int list
+(** Distinct actions with at least one record, ascending. *)
+
+val max_time : t -> int
+(** Largest time stamp, or [0] for an empty log. *)
+
+val union : num_users:int -> num_actions:int -> t list -> t
+(** Unified log [L = U L_k].  When the same (user, action) appears in
+    several logs (the non-exclusive case) the earliest time wins; the
+    generators produce consistent duplicates so this is a no-op
+    reconciliation for them. *)
+
+val filter_actions : t -> (int -> bool) -> t
+(** Keep only records whose action satisfies the predicate (used to
+    carve out an action class [A_q]). *)
+
+val map_records : t -> (record -> record) -> num_users:int -> num_actions:int -> t
+(** Transform every record (obfuscation: renaming users/actions,
+    shifting times) and rebuild under possibly different universe
+    sizes. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Summary line: sizes only. *)

@@ -1,0 +1,47 @@
+let to_string log =
+  let buf = Buffer.create (24 * Log.size log) in
+  Buffer.add_string buf
+    (Printf.sprintf "universe %d %d\n" (Log.num_users log) (Log.num_actions log));
+  List.iter
+    (fun (r : Log.record) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %d\n" r.Log.user r.Log.action r.Log.time))
+    (Log.records log);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let universe = ref None and records = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | s :: _ when String.length s > 0 && s.[0] = '#' -> ()
+      | [ "universe"; users; actions ] -> (
+        if !universe <> None then failwith "log file: duplicate header";
+        match (int_of_string_opt users, int_of_string_opt actions) with
+        | Some u, Some a when u >= 0 && a >= 0 -> universe := Some (u, a)
+        | _ -> failwith (Printf.sprintf "log file line %d: bad universe" lineno))
+      | [ u; a; t ] -> (
+        match (int_of_string_opt u, int_of_string_opt a, int_of_string_opt t) with
+        | Some user, Some action, Some time ->
+          records := { Log.user; action; time } :: !records
+        | _ -> failwith (Printf.sprintf "log file line %d: bad record" lineno))
+      | _ -> failwith (Printf.sprintf "log file line %d: unrecognised" lineno))
+    lines;
+  match !universe with
+  | None -> failwith "log file: missing 'universe <users> <actions>' header"
+  | Some (num_users, num_actions) ->
+    Log.of_records ~num_users ~num_actions (List.rev !records)
+
+let save log path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string log))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,14 @@
+(** Plain-text persistence for action logs (the CLI's interchange
+    format).
+
+    Format: a header line ["universe <users> <actions>"], then one
+    record per line ["<user> <action> <time>"], whitespace-separated,
+    ['#'] comments and blank lines ignored. *)
+
+val save : Log.t -> string -> unit
+val load : string -> Log.t
+
+val to_string : Log.t -> string
+val of_string : string -> Log.t
+(** Raises [Failure] with a line-numbered message on malformed input,
+    [Invalid_argument] on out-of-range records. *)

@@ -1,0 +1,87 @@
+module State = Spe_rng.State
+
+type class_spec = {
+  action_class : int array;
+  class_providers : int array array;
+  m : int;
+}
+
+let validate_class_spec spec ~num_actions =
+  if spec.m <= 0 then invalid_arg "Partition.class_spec: need at least one provider";
+  if Array.length spec.action_class <> num_actions then
+    invalid_arg "Partition.class_spec: action table length mismatch";
+  let num_classes = Array.length spec.class_providers in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= num_classes then invalid_arg "Partition.class_spec: class id out of range")
+    spec.action_class;
+  Array.iter
+    (fun providers ->
+      if Array.length providers = 0 then
+        invalid_arg "Partition.class_spec: class with no supporting provider";
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= spec.m then
+            invalid_arg "Partition.class_spec: provider id out of range";
+          if Hashtbl.mem seen p then invalid_arg "Partition.class_spec: duplicate provider";
+          Hashtbl.add seen p ())
+        providers)
+    spec.class_providers
+
+let random_class_spec st ~num_actions ~m ~num_classes =
+  if m <= 0 || num_classes <= 0 then
+    invalid_arg "Partition.random_class_spec: m and num_classes must be positive";
+  let action_class = Array.init num_actions (fun _ -> State.next_int st num_classes) in
+  let class_providers =
+    Array.init num_classes (fun _ ->
+        (* Uniform non-empty subset: flip a coin per provider, retry on
+           the empty outcome. *)
+        let rec draw () =
+          let chosen = List.filter (fun _ -> State.next_bool st) (List.init m (fun p -> p)) in
+          if chosen = [] then draw () else Array.of_list chosen
+        in
+        draw ())
+  in
+  let spec = { action_class; class_providers; m } in
+  validate_class_spec spec ~num_actions;
+  spec
+
+let split_by log ~m ~assign =
+  let buckets = Array.make m [] in
+  List.iter
+    (fun (r : Log.record) ->
+      let k = assign r in
+      if k < 0 || k >= m then invalid_arg "Partition: provider assignment out of range";
+      buckets.(k) <- r :: buckets.(k))
+    (Log.records log);
+  Array.map
+    (fun recs ->
+      Log.of_records ~num_users:(Log.num_users log) ~num_actions:(Log.num_actions log) recs)
+    buckets
+
+let exclusive_by_action log ~owner ~m =
+  split_by log ~m ~assign:(fun r -> owner r.Log.action)
+
+let exclusive st log ~m =
+  if m <= 0 then invalid_arg "Partition.exclusive: need at least one provider";
+  let owner = Array.init (Log.num_actions log) (fun _ -> State.next_int st m) in
+  exclusive_by_action log ~owner:(fun a -> owner.(a)) ~m
+
+let non_exclusive st log ~spec =
+  validate_class_spec spec ~num_actions:(Log.num_actions log);
+  split_by log ~m:spec.m ~assign:(fun r ->
+      let providers = spec.class_providers.(spec.action_class.(r.Log.action)) in
+      providers.(State.next_int st (Array.length providers)))
+
+let reunify logs =
+  match Array.to_list logs with
+  | [] -> invalid_arg "Partition.reunify: empty provider array"
+  | first :: _ as all ->
+    let num_users = Log.num_users first and num_actions = Log.num_actions first in
+    List.iter
+      (fun l ->
+        if Log.num_users l <> num_users || Log.num_actions l <> num_actions then
+          invalid_arg "Partition.reunify: mismatched universes")
+      all;
+    Log.union ~num_users ~num_actions all

@@ -1,0 +1,44 @@
+(** Distributing the unified log across service providers.
+
+    Sec. 1 and Sec. 5 distinguish two settings.  In the {e exclusive}
+    case every action is supported by exactly one provider, so each
+    propagation trace lives wholly inside one log.  In the
+    {e non-exclusive} case actions belong to classes [A_q] (book
+    purchases, movie tickets, ...), each class is supported by a set of
+    providers [P_q], and the records of one action may scatter across
+    all providers of its class. *)
+
+type class_spec = {
+  action_class : int array;  (** Action id -> class id. *)
+  class_providers : int array array;
+      (** Class id -> supporting providers (distinct, each in
+          [[0, m)]). *)
+  m : int;  (** Number of providers. *)
+}
+
+val validate_class_spec : class_spec -> num_actions:int -> unit
+(** Raises [Invalid_argument] if the spec is inconsistent (class ids
+    out of range, empty provider sets, duplicate providers, wrong
+    action table length). *)
+
+val random_class_spec :
+  Spe_rng.State.t -> num_actions:int -> m:int -> num_classes:int -> class_spec
+(** Random spec: each action lands in a uniform class; each class is
+    supported by a uniform non-empty subset of providers. *)
+
+val exclusive : Spe_rng.State.t -> Log.t -> m:int -> Log.t array
+(** Assign each action to one uniform provider and split the log
+    accordingly.  Every returned log retains the full universe sizes,
+    so provider-local counters line up indexwise. *)
+
+val exclusive_by_action : Log.t -> owner:(int -> int) -> m:int -> Log.t array
+(** Deterministic exclusive split with an explicit owner map. *)
+
+val non_exclusive : Spe_rng.State.t -> Log.t -> spec:class_spec -> Log.t array
+(** Scatter each record to a uniform provider among the supporters of
+    its action's class.  The union of the returned logs equals the
+    input log. *)
+
+val reunify : Log.t array -> Log.t
+(** Union of provider logs (inverse of the splits above).  Raises
+    [Invalid_argument] on an empty array or mismatched universes. *)

@@ -1,0 +1,83 @@
+let to_string (spec : Partition.class_spec) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "providers %d\n" spec.Partition.m);
+  Array.iteri
+    (fun cls providers ->
+      Buffer.add_string buf (Printf.sprintf "class %d" cls);
+      Array.iter (fun p -> Buffer.add_string buf (Printf.sprintf " %d" p)) providers;
+      Buffer.add_char buf '\n')
+    spec.Partition.class_providers;
+  Array.iteri
+    (fun action cls -> Buffer.add_string buf (Printf.sprintf "action %d %d\n" action cls))
+    spec.Partition.action_class;
+  Buffer.contents buf
+
+let of_string text =
+  let m = ref None in
+  let classes = Hashtbl.create 8 in
+  let actions = Hashtbl.create 32 in
+  let ints lineno parts =
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "spec file line %d: not a number" lineno))
+      parts
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | s :: _ when String.length s > 0 && s.[0] = '#' -> ()
+      | [ "providers"; count ] -> (
+        if !m <> None then failwith "spec file: duplicate providers line";
+        match int_of_string_opt count with
+        | Some v when v > 0 -> m := Some v
+        | _ -> failwith (Printf.sprintf "spec file line %d: bad provider count" lineno))
+      | "class" :: rest -> (
+        match ints lineno rest with
+        | cls :: providers when providers <> [] ->
+          if Hashtbl.mem classes cls then
+            failwith (Printf.sprintf "spec file line %d: duplicate class" lineno);
+          Hashtbl.replace classes cls (Array.of_list providers)
+        | _ -> failwith (Printf.sprintf "spec file line %d: bad class line" lineno))
+      | [ "action"; action; cls ] -> (
+        match (int_of_string_opt action, int_of_string_opt cls) with
+        | Some a, Some c ->
+          if Hashtbl.mem actions a then
+            failwith (Printf.sprintf "spec file line %d: duplicate action" lineno);
+          Hashtbl.replace actions a c
+        | _ -> failwith (Printf.sprintf "spec file line %d: bad action line" lineno))
+      | _ -> failwith (Printf.sprintf "spec file line %d: unrecognised" lineno))
+    (String.split_on_char '\n' text);
+  let m = match !m with Some v -> v | None -> failwith "spec file: missing providers line" in
+  let num_classes = Hashtbl.length classes in
+  let class_providers =
+    Array.init num_classes (fun cls ->
+        match Hashtbl.find_opt classes cls with
+        | Some providers -> providers
+        | None -> failwith (Printf.sprintf "spec file: class ids must be dense, missing %d" cls))
+  in
+  let num_actions = Hashtbl.length actions in
+  let action_class =
+    Array.init num_actions (fun a ->
+        match Hashtbl.find_opt actions a with
+        | Some c -> c
+        | None -> failwith (Printf.sprintf "spec file: action ids must be dense, missing %d" a))
+  in
+  let spec = { Partition.action_class; class_providers; m } in
+  Partition.validate_class_spec spec ~num_actions;
+  spec
+
+let save spec path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string spec))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,21 @@
+(** Plain-text persistence for action-class specifications (the public
+    non-exclusive-case metadata of Sec. 5.2: which class each action
+    belongs to and which providers support each class).
+
+    Format:
+    {v
+    providers <m>
+    class <id> <provider> <provider> ...
+    action <action-id> <class-id>
+    v}
+    ['#'] comments and blank lines ignored; every action of the
+    universe must be assigned exactly once. *)
+
+val save : Partition.class_spec -> string -> unit
+val load : string -> Partition.class_spec
+
+val to_string : Partition.class_spec -> string
+val of_string : string -> Partition.class_spec
+(** Raises [Failure] with a line-numbered message on malformed input;
+    the result is validated with [Partition.validate_class_spec]
+    against the action count implied by the table. *)

@@ -1,0 +1,1 @@
+lib/bignum/bigint.ml: Format Nat Stdlib String

@@ -1,0 +1,104 @@
+type t = { sign : int; mag : Nat.t }
+(* Invariant: sign ∈ {-1, 0, 1}; sign = 0 iff mag = 0. *)
+
+let make sign mag = if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+
+let of_int x =
+  if x = 0 then zero
+  else if x > 0 then { sign = 1; mag = Nat.of_int x }
+  else if x = min_int then invalid_arg "Bigint.of_int: min_int not supported"
+  else { sign = -1; mag = Nat.of_int (-x) }
+
+let to_int a =
+  match Nat.to_int a.mag with
+  | None -> None
+  | Some m -> Some (if a.sign < 0 then -m else m)
+
+let to_int_exn a =
+  match to_int a with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: value exceeds int range"
+
+let of_nat n = make 1 n
+
+let to_nat a =
+  if a.sign < 0 then invalid_arg "Bigint.to_nat: negative value";
+  a.mag
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else make 1 (Nat.of_string s)
+
+let to_string a = if a.sign < 0 then "-" ^ Nat.to_string a.mag else Nat.to_string a.mag
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let sign a = a.sign
+let neg a = { a with sign = -a.sign }
+let abs a = { a with sign = Stdlib.abs a.sign }
+let is_zero a = a.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Nat.compare a.mag b.mag
+  else Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = Nat.add a.mag b.mag }
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = Nat.sub a.mag b.mag }
+    else { sign = b.sign; mag = Nat.sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = Nat.mul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  (make (a.sign * b.sign) q, make a.sign r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let egcd a b =
+  (* Iterative extended Euclid on the magnitudes, signs fixed at the
+     end: gcd(|a|,|b|) = u0*|a| + v0*|b|. *)
+  let rec go r0 r1 u0 u1 v0 v1 =
+    if is_zero r1 then (r0, u0, v0)
+    else
+      let q, r2 = divmod r0 r1 in
+      go r1 r2 u1 (sub u0 (mul q u1)) v1 (sub v0 (mul q v1))
+  in
+  let g, u, v = go (abs a) (abs b) one zero zero one in
+  let u = if a.sign < 0 then neg u else u in
+  let v = if b.sign < 0 then neg v else v in
+  (g, u, v)
+
+let mod_inv a m =
+  if m.sign <= 0 then invalid_arg "Bigint.mod_inv: modulus must be positive";
+  let g, u, _ = egcd a m in
+  if equal g one then Some (erem u m) else None
+
+let mod_pow ~base ~exp ~modulus =
+  if modulus.sign <= 0 then invalid_arg "Bigint.mod_pow: modulus must be positive";
+  let b = erem base modulus in
+  of_nat (Nat.mod_pow ~base:(to_nat b) ~exp ~modulus:(to_nat modulus))

@@ -1,0 +1,63 @@
+(** Arbitrary-precision signed integers built on {!Nat}.
+
+    Sign-magnitude representation with a canonical zero (never a
+    "negative zero").  Division truncates toward zero ({!divmod}), and
+    {!erem} gives the Euclidean (always non-negative) remainder needed
+    by the modular protocols. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int : t -> int option
+val to_int_exn : t -> int
+
+val of_nat : Nat.t -> t
+val to_nat : t -> Nat.t
+(** Raises [Invalid_argument] on negative values. *)
+
+val of_string : string -> t
+(** Optional leading ['-'], then decimal digits. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [a = q*b + r] with [|r| < |b|] and [r] carrying
+    the sign of [a].  Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder: [erem a b] is in [[0, |b|)].  Raises
+    [Division_by_zero]. *)
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b] is [(g, u, v)] with [g = gcd(|a|, |b|) = u*a + v*b],
+    [g >= 0]. *)
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] is the inverse of [a] modulo [m] in [[0, m)], if
+    [gcd(a, m) = 1].  [m] must be positive. *)
+
+val mod_pow : base:t -> exp:Nat.t -> modulus:t -> t
+(** [base^exp mod modulus] with a non-negative result; [modulus] must
+    be positive. *)

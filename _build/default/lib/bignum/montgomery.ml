@@ -1,0 +1,118 @@
+(* Word-level Montgomery multiplication (CIOS) over Nat's base-2^30
+   limbs.  All intermediate products fit the 63-bit native int:
+   (2^30 - 1)^2 + 2 * (2^30 - 1) < 2^61. *)
+
+let limb_bits = Nat.limb_bits
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = {
+  modulus : Nat.t;
+  n : int array;  (* modulus limbs, width k *)
+  k : int;
+  n0_inv : int;  (* -modulus^-1 mod 2^limb_bits *)
+  r2 : int array;  (* R^2 mod modulus, width k *)
+  one_mont : int array;  (* R mod modulus, width k *)
+}
+
+let modulus ctx = ctx.modulus
+
+(* Inverse of an odd limb modulo 2^limb_bits by Newton iteration:
+   each step doubles the number of correct low bits. *)
+let inv_limb m0 =
+  let inv = ref m0 in
+  for _ = 1 to 6 do
+    inv := !inv * (2 - (m0 * !inv)) land limb_mask
+  done;
+  !inv land limb_mask
+
+(* One CIOS pass: result = a * b * R^-1 mod modulus, operands in
+   Montgomery form, arrays of width k. *)
+let mont_mul ctx a b =
+  let k = ctx.k in
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    (* t += a.(i) * b *)
+    let ai = a.(i) in
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(j) + (ai * b.(j)) + !c in
+      t.(j) <- s land limb_mask;
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k) <- s land limb_mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+    (* t += m * modulus with m chosen to zero the low limb, then shift. *)
+    let m = t.(0) * ctx.n0_inv land limb_mask in
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(j) + (m * ctx.n.(j)) + !c in
+      t.(j) <- s land limb_mask;
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k) <- s land limb_mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+    (* Divide by the base: t.(0) is zero by construction. *)
+    for j = 0 to k do
+      t.(j) <- t.(j + 1)
+    done;
+    t.(k + 1) <- 0
+  done;
+  (* Conditional subtraction: t < 2 * modulus at this point. *)
+  let ge_modulus =
+    if t.(k) > 0 then true
+    else begin
+      let rec cmp j = if j < 0 then true else if t.(j) <> ctx.n.(j) then t.(j) > ctx.n.(j) else cmp (j - 1) in
+      cmp (k - 1)
+    end
+  in
+  let out = Array.make ctx.k 0 in
+  if ge_modulus then begin
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = t.(j) - ctx.n.(j) - !borrow in
+      if d < 0 then begin
+        out.(j) <- d + (1 lsl limb_bits);
+        borrow := 1
+      end
+      else begin
+        out.(j) <- d;
+        borrow := 0
+      end
+    done
+  end
+  else Array.blit t 0 out 0 k;
+  out
+
+let create modulus =
+  if Nat.is_even modulus || Nat.compare modulus (Nat.of_int 3) < 0 then
+    invalid_arg "Montgomery.create: modulus must be odd and >= 3";
+  let k = Nat.num_limbs modulus in
+  let n = Nat.to_limbs modulus ~width:k in
+  let n0_inv = limb_mask land ((1 lsl limb_bits) - inv_limb n.(0)) in
+  let r = Nat.shift_left Nat.one (limb_bits * k) in
+  let r2 = Nat.to_limbs (Nat.rem (Nat.mul r r) modulus) ~width:k in
+  let one_mont = Nat.to_limbs (Nat.rem r modulus) ~width:k in
+  { modulus; n; k; n0_inv; r2; one_mont }
+
+let to_mont ctx x =
+  let x = Nat.rem x ctx.modulus in
+  mont_mul ctx (Nat.to_limbs x ~width:ctx.k) ctx.r2 |> Nat.of_limbs
+
+let of_mont ctx x =
+  let one = Array.make ctx.k 0 in
+  one.(0) <- 1;
+  mont_mul ctx (Nat.to_limbs x ~width:ctx.k) one |> Nat.of_limbs
+
+let mul ctx a b =
+  Nat.of_limbs (mont_mul ctx (Nat.to_limbs a ~width:ctx.k) (Nat.to_limbs b ~width:ctx.k))
+
+let pow ctx ~base ~exp =
+  let base_m = Nat.to_limbs (to_mont ctx base) ~width:ctx.k in
+  let acc = ref (Array.copy ctx.one_mont) in
+  for i = Nat.bit_length exp - 1 downto 0 do
+    acc := mont_mul ctx !acc !acc;
+    if Nat.test_bit exp i then acc := mont_mul ctx !acc base_m
+  done;
+  of_mont ctx (Nat.of_limbs !acc)

@@ -1,0 +1,32 @@
+(** Montgomery modular arithmetic for odd moduli.
+
+    {!Nat.mod_pow} reduces with a full Knuth-D division after every
+    multiplication; Montgomery form replaces those divisions with
+    shift-and-add reductions, which is the standard speed-up for the
+    RSA/Paillier workloads of Protocol 6 (the bench quantifies the
+    factor).  The context precomputes [R = 2^(limb_bits * k) > modulus],
+    [R^2 mod modulus] and [-modulus^-1 mod 2^limb_bits]. *)
+
+type t
+(** A reduction context for one odd modulus. *)
+
+val create : Nat.t -> t
+(** [create modulus] builds a context.  Raises [Invalid_argument] if
+    the modulus is even or < 3. *)
+
+val modulus : t -> Nat.t
+
+val to_mont : t -> Nat.t -> Nat.t
+(** Map [x] (reduced mod modulus first) into Montgomery form
+    [x * R mod modulus]. *)
+
+val of_mont : t -> Nat.t -> Nat.t
+(** Inverse mapping. *)
+
+val mul : t -> Nat.t -> Nat.t -> Nat.t
+(** Product of two Montgomery-form values, in Montgomery form. *)
+
+val pow : t -> base:Nat.t -> exp:Nat.t -> Nat.t
+(** [pow ctx ~base ~exp] is [base^exp mod modulus] for ordinary
+    (non-Montgomery) [base], returned in ordinary form — a drop-in
+    replacement for {!Nat.mod_pow} on odd moduli. *)

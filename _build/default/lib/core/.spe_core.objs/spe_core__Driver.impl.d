@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Protocol4 Protocol5 Protocol6 Spe_actionlog Spe_graph Spe_influence Spe_mpc Spe_rng

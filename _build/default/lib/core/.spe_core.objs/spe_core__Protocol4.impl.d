@@ -1,0 +1,1 @@
+lib/core/protocol4.ml: Array Spe_actionlog Spe_graph Spe_influence Spe_mpc Spe_rng

@@ -1,0 +1,1 @@
+lib/core/protocol4_multi_host.mli: Protocol4 Spe_actionlog Spe_graph Spe_mpc Spe_rng

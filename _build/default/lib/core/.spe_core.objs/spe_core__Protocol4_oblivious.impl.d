@@ -1,0 +1,1 @@
+lib/core/protocol4_oblivious.ml: Array Hashtbl Int64 List Spe_actionlog Spe_graph Spe_influence Spe_mpc Spe_rng

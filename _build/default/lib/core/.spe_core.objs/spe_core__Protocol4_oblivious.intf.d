@@ -1,0 +1,1 @@
+lib/core/protocol4_oblivious.mli: Spe_actionlog Spe_graph Spe_mpc Spe_rng

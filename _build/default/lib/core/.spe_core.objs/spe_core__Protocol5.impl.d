@@ -1,0 +1,1 @@
+lib/core/protocol5.ml: Array Hashtbl List Option Protocol4 Spe_actionlog Spe_crypto Spe_mpc Spe_rng

@@ -1,0 +1,1 @@
+lib/core/protocol5.mli: Hashtbl Protocol4 Spe_actionlog Spe_mpc Spe_rng

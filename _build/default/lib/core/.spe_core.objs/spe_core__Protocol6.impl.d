@@ -1,0 +1,1 @@
+lib/core/protocol6.ml: Array Hashtbl List Protocol4 Spe_actionlog Spe_crypto Spe_graph Spe_influence Spe_mpc Spe_rng

@@ -1,0 +1,1 @@
+lib/core/protocol6.mli: Spe_actionlog Spe_graph Spe_influence Spe_mpc Spe_rng

@@ -1,0 +1,138 @@
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+module Wire = Spe_mpc.Wire
+module Protocol2 = Spe_mpc.Protocol2
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+module Partition = Spe_actionlog.Partition
+module Propagation = Spe_influence.Propagation
+
+type link_result = {
+  strengths : ((int * int) * float) list;
+  wire : Wire.stats;
+  transcript : Wire.message list;
+  detail : Protocol4.result;
+}
+
+let link_strengths_exclusive st ~graph ~logs config =
+  let wire = Wire.create () in
+  let detail = Protocol4.run_with_logs st ~wire ~graph ~logs config in
+  { strengths = detail.Protocol4.strengths; wire = Wire.stats wire;
+    transcript = Wire.messages wire; detail }
+
+(* Pick a trusted third party for one class: a provider outside the
+   class when one exists, the host otherwise. *)
+let pick_trusted ~m ~class_members =
+  let in_class = Array.make m false in
+  Array.iter (fun k -> in_class.(k) <- true) class_members;
+  let rec scan k = if k >= m then Wire.Host else if in_class.(k) then scan (k + 1) else Wire.Provider k in
+  scan 0
+
+let link_strengths_non_exclusive st ~graph ~logs ~spec ~obfuscation config =
+  let m = Array.length logs in
+  if m < 2 then invalid_arg "Driver.link_strengths_non_exclusive: need at least two providers";
+  if spec.Partition.m <> m then
+    invalid_arg "Driver.link_strengths_non_exclusive: spec provider count mismatch";
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  Array.iter
+    (fun l -> Partition.validate_class_spec spec ~num_actions:(Log.num_actions l))
+    logs;
+  let wire = Wire.create () in
+  (* Protocol 5 per class; the representative (first provider of the
+     class) accumulates the class counter sets. *)
+  let held = Array.make m [] in
+  Array.iteri
+    (fun class_id members ->
+      let class_logs =
+        Array.map
+          (fun k -> Log.filter_actions logs.(k) (fun a -> spec.Partition.action_class.(a) = class_id))
+          members
+      in
+      let providers = Array.map (fun k -> Wire.Provider k) members in
+      let trusted = pick_trusted ~m ~class_members:members in
+      let counters =
+        Protocol5.run st ~wire ~h:config.Protocol4.h ~providers ~trusted ~logs:class_logs
+          ~obfuscation
+      in
+      let representative = members.(0) in
+      held.(representative) <- counters :: held.(representative))
+    spec.Partition.class_providers;
+  (* Now the exclusive machinery: publish pairs, build each provider's
+     input from the class counters it represents. *)
+  let pairs = Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor:config.Protocol4.c_factor in
+  let n = Digraph.n graph in
+  let q = Array.length pairs in
+  let zero_input () =
+    { Protocol4.a = Array.make n 0; c = Array.make_matrix q config.Protocol4.h 0 }
+  in
+  let inputs =
+    Array.map
+      (fun counter_sets ->
+        match counter_sets with
+        | [] -> zero_input ()
+        | sets -> Protocol5.to_provider_input sets ~pairs)
+      held
+  in
+  let detail = Protocol4.run st ~wire ~graph ~num_actions ~pairs ~inputs config in
+  { strengths = detail.Protocol4.strengths; wire = Wire.stats wire;
+    transcript = Wire.messages wire; detail }
+
+type score_result = {
+  scores : float array;
+  wire : Wire.stats;
+  transcript : Wire.message list;
+  graphs : Propagation.t array;
+}
+
+let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
+  let m = Array.length logs in
+  if m < 2 then invalid_arg "Driver.user_scores_exclusive: need at least two providers";
+  if tau < 0 then invalid_arg "Driver.user_scores_exclusive: negative tau";
+  let n = Digraph.n graph in
+  let wire = Wire.create () in
+  (* Propagation graphs via Protocol 6. *)
+  let p6 = Protocol6.run st ~wire ~graph ~logs config in
+  (* The host computes every numerator locally (Def. 3.3's sphere
+     sums over the reconstructed propagation graphs). *)
+  let numerators = Propagation.sphere_totals p6.Protocol6.graphs ~n ~tau in
+  (* Denominators: batched Protocol 2 over the a-counters, then the
+     Protocol 4-style masking toward the host. *)
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  if modulus <= num_actions then invalid_arg "Driver.user_scores_exclusive: modulus must exceed A";
+  let parties = Array.init m (fun k -> Wire.Provider k) in
+  let third_party = if m > 2 then Wire.Provider 2 else Wire.Host in
+  let a_inputs = Array.map (fun l -> Log.user_activity l) logs in
+  let { Protocol2.share1; share2; views = _ } =
+    Protocol2.run st ~wire ~parties ~third_party ~modulus ~input_bound:num_actions
+      ~inputs:a_inputs
+  in
+  (* Joint per-user masks (two exchange rounds, as in Protocol 4). *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(n * Wire.float_bits));
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(n * Wire.float_bits));
+  let masks = Array.init n (fun _ -> Dist.mask_pair st) in
+  let masked1 = Array.init n (fun i -> masks.(i) *. float_of_int share1.(i)) in
+  let masked2 = Array.init n (fun i -> masks.(i) *. float_of_int share2.(i)) in
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:Wire.Host ~bits:(n * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:Wire.Host ~bits:(n * Wire.float_bits));
+  let masked_denominators = Array.init n (fun i -> masked1.(i) +. masked2.(i)) in
+  (* Blinded unmasking round-trip (see the interface documentation):
+     host -> player 1 -> host. *)
+  let blinds = Array.init n (fun _ -> Dist.mask_pair st) in
+  let to_p1 =
+    Array.init n (fun i ->
+        if masked_denominators.(i) = 0. then 0.
+        else blinds.(i) *. float_of_int numerators.(i) /. masked_denominators.(i))
+  in
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:Wire.Host ~dst:parties.(0) ~bits:(n * Wire.float_bits));
+  let from_p1 = Array.init n (fun i -> to_p1.(i) *. masks.(i)) in
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:Wire.Host ~bits:(n * Wire.float_bits));
+  let scores = Array.init n (fun i -> from_p1.(i) /. blinds.(i)) in
+  { scores; wire = Wire.stats wire; transcript = Wire.messages wire;
+    graphs = p6.Protocol6.graphs }

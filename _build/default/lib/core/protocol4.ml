@@ -1,0 +1,179 @@
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+module Wire = Spe_mpc.Wire
+module Protocol2 = Spe_mpc.Protocol2
+module Digraph = Spe_graph.Digraph
+module Obfuscate = Spe_graph.Obfuscate
+module Log = Spe_actionlog.Log
+module Counters = Spe_influence.Counters
+
+type estimator = Eq1 | Eq2 of Spe_influence.Link_strength.weights
+
+type config = { c_factor : float; modulus : int; h : int; estimator : estimator }
+
+let default_config ~h = { c_factor = 2.; modulus = 1 lsl 40; h; estimator = Eq1 }
+
+type provider_input = { a : int array; c : int array array }
+
+let provider_input_of_log log ~h ~pairs =
+  let ct = Counters.compute log ~h ~pairs in
+  { a = ct.Counters.a; c = ct.Counters.c }
+
+type result = {
+  strengths : ((int * int) * float) list;
+  pairs : (int * int) array;
+  pair_estimates : float array;
+  p2_leaks : Protocol2.leak array;
+  p3_leaks : Protocol2.leak array;
+}
+
+let publish_pairs st ~wire ~graph ~m ~c_factor =
+  let ob = Obfuscate.make st graph ~c:c_factor in
+  let q = Obfuscate.size ob in
+  let node_bits = Wire.bits_for_int_mod (max 2 (Digraph.n graph)) in
+  Wire.round wire (fun () ->
+      for k = 0 to m - 1 do
+        Wire.send wire ~src:Wire.Host ~dst:(Wire.Provider k) ~bits:(q * 2 * node_bits)
+      done);
+  let pairs = Array.make q (0, 0) in
+  Obfuscate.iteri ob (fun i u v -> pairs.(i) <- (u, v));
+  pairs
+
+let validate_inputs ~n ~q ~h inputs =
+  let m = Array.length inputs in
+  if m < 2 then invalid_arg "Protocol4.run: need at least two providers";
+  Array.iter
+    (fun input ->
+      if Array.length input.a <> n then invalid_arg "Protocol4.run: activity vector length";
+      if Array.length input.c <> q then invalid_arg "Protocol4.run: lag counter pair count";
+      Array.iter
+        (fun row -> if Array.length row <> h then invalid_arg "Protocol4.run: lag counter width")
+        input.c)
+    inputs;
+  m
+
+(* The counters provider k contributes to the batched Protocol 2,
+   flattened as [a_0..a_(n-1); per-pair numerator counters].  For Eq. 1
+   the numerator counter of a pair is b^h (the lag row-sum); for Eq. 2
+   the h lag counters are shared individually. *)
+let flatten_input estimator input =
+  let numer =
+    match estimator with
+    | Eq1 -> Array.map (fun row -> Array.fold_left ( + ) 0 row) input.c
+    | Eq2 _ -> Array.concat (Array.to_list input.c)
+  in
+  Array.append input.a numer
+
+type masked_shares = {
+  masked_a1 : float array;
+  masked_a2 : float array;
+  masked_num1 : float array;
+  masked_num2 : float array;
+  share_p2_leaks : Protocol2.leak array;
+  share_p3_leaks : Protocol2.leak array;
+}
+
+let share_and_mask st ~wire ~n ~num_actions ~pairs ~inputs config =
+  if config.h < 1 then invalid_arg "Protocol4.run: window must be >= 1";
+  if config.modulus <= num_actions then invalid_arg "Protocol4.run: modulus must exceed A";
+  (match config.estimator with
+  | Eq1 -> ()
+  | Eq2 w ->
+    if Array.length (w :> float array) <> config.h then
+      invalid_arg "Protocol4.run: weight profile length must equal h");
+  let q = Array.length pairs in
+  let m = validate_inputs ~n ~q ~h:config.h inputs in
+  let parties = Array.init m (fun k -> Wire.Provider k) in
+  let third_party = if m > 2 then Wire.Provider 2 else Wire.Host in
+  (* Steps 3-4: batched Protocol 2 over all counters. *)
+  let flat_inputs = Array.map (flatten_input config.estimator) inputs in
+  let { Protocol2.share1; share2; views } =
+    Protocol2.run st ~wire ~parties ~third_party ~modulus:config.modulus
+      ~input_bound:num_actions ~inputs:flat_inputs
+  in
+  (* Steps 5-6: players 1 and 2 jointly draw M_i then r_i per user.
+     The joint generation is one exchange of random contributions per
+     step (semi-honest; DESIGN.md), accounted as in Table 1. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(n * Wire.float_bits));
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(n * Wire.float_bits));
+  let masks = Array.init n (fun _ -> Dist.mask_pair st) in
+  (* Local weighted combination of the numerator shares (float once the
+     Eq. 2 weights enter; exact integers under Eq. 1). *)
+  let numerator_share flat k =
+    match config.estimator with
+    | Eq1 -> float_of_int flat.(n + k)
+    | Eq2 w ->
+      let w = (w :> float array) in
+      let acc = ref 0. in
+      for l = 0 to config.h - 1 do
+        acc := !acc +. (w.(l) *. float_of_int flat.(n + (k * config.h) + l))
+      done;
+      !acc
+  in
+  let masked_of_shares shares =
+    let masked_a = Array.init n (fun i -> masks.(i) *. float_of_int shares.(i)) in
+    let masked_num =
+      Array.init q (fun k ->
+          let i, _ = pairs.(k) in
+          masks.(i) *. numerator_share shares k)
+    in
+    (masked_a, masked_num)
+  in
+  let masked_a1, masked_num1 = masked_of_shares share1 in
+  let masked_a2, masked_num2 = masked_of_shares share2 in
+  {
+    masked_a1;
+    masked_a2;
+    masked_num1;
+    masked_num2;
+    share_p2_leaks = views.Protocol2.p2_leaks;
+    share_p3_leaks = views.Protocol2.p3_leaks;
+  }
+
+let estimates_of_masked ms ~pairs =
+  Array.init (Array.length pairs) (fun k ->
+      let i, _ = pairs.(k) in
+      let den = ms.masked_a1.(i) +. ms.masked_a2.(i) in
+      if den = 0. then 0. else (ms.masked_num1.(k) +. ms.masked_num2.(k)) /. den)
+
+let run st ~wire ~graph ~num_actions ~pairs ~inputs config =
+  let n = Digraph.n graph in
+  let q = Array.length pairs in
+  let ms = share_and_mask st ~wire ~n ~num_actions ~pairs ~inputs config in
+  (* Steps 7-8: each of players 1 and 2 ships n + q masked reals. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:(Wire.Provider 0) ~dst:Wire.Host ~bits:((n + q) * Wire.float_bits);
+      Wire.send wire ~src:(Wire.Provider 1) ~dst:Wire.Host ~bits:((n + q) * Wire.float_bits));
+  (* Step 9: the host reconstructs the quotients. *)
+  let pair_estimates = estimates_of_masked ms ~pairs in
+  let strengths = ref [] in
+  for k = q - 1 downto 0 do
+    let u, v = pairs.(k) in
+    if Digraph.mem_edge graph u v then strengths := ((u, v), pair_estimates.(k)) :: !strengths
+  done;
+  {
+    strengths = !strengths;
+    pairs;
+    pair_estimates;
+    p2_leaks = ms.share_p2_leaks;
+    p3_leaks = ms.share_p3_leaks;
+  }
+
+let run_with_logs st ~wire ~graph ~logs config =
+  let m = Array.length logs in
+  if m < 2 then invalid_arg "Protocol4.run_with_logs: need at least two providers";
+  let num_actions =
+    Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs
+  in
+  Array.iter
+    (fun l ->
+      if Log.num_users l <> Digraph.n graph then
+        invalid_arg "Protocol4.run_with_logs: log/graph user universe mismatch")
+    logs;
+  let pairs = publish_pairs st ~wire ~graph ~m ~c_factor:config.c_factor in
+  let inputs = Array.map (fun l -> provider_input_of_log l ~h:config.h ~pairs) logs in
+  run st ~wire ~graph ~num_actions ~pairs ~inputs config

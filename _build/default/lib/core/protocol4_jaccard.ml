@@ -1,0 +1,64 @@
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+module Wire = Spe_mpc.Wire
+module Protocol2 = Spe_mpc.Protocol2
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+module Counters = Spe_influence.Counters
+
+type result = { strengths : ((int * int) * float) list; pairs : (int * int) array }
+
+let run_with_logs st ~wire ~graph ~logs ~h ~c_factor ~modulus =
+  let m = Array.length logs in
+  if m < 2 then invalid_arg "Protocol4_jaccard.run_with_logs: need at least two providers";
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  (* The denominator aggregates can reach 2A. *)
+  let input_bound = 2 * num_actions in
+  if modulus <= input_bound then
+    invalid_arg "Protocol4_jaccard.run_with_logs: modulus must exceed 2A";
+  let pairs = Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor in
+  let q = Array.length pairs in
+  (* Per provider: [numerator b per pair; denominator contribution
+     a_i,k + a_j,k - both_k per pair]. *)
+  let inputs =
+    Array.map
+      (fun log ->
+        let ct = Counters.compute log ~h ~pairs in
+        let numer = ct.Counters.b in
+        let denom =
+          Array.mapi
+            (fun k (i, j) -> ct.Counters.a.(i) + ct.Counters.a.(j) - ct.Counters.both.(k))
+            pairs
+        in
+        Array.append numer denom)
+      logs
+  in
+  let parties = Array.init m (fun k -> Wire.Provider k) in
+  let third_party = if m > 2 then Wire.Provider 2 else Wire.Host in
+  let { Protocol2.share1; share2; views = _ } =
+    Protocol2.run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs
+  in
+  (* Joint per-pair masks (the denominator is pair-specific). *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(q * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(q * Wire.float_bits));
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(q * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(q * Wire.float_bits));
+  let masks = Array.init q (fun _ -> Dist.mask_pair st) in
+  let masked shares k = masks.(k) *. float_of_int shares.(k) in
+  let masked_den shares k = masks.(k) *. float_of_int shares.(q + k) in
+  (* Both players ship 2q masked reals to the host. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:Wire.Host ~bits:(2 * q * Wire.float_bits);
+      Wire.send wire ~src:parties.(1) ~dst:Wire.Host ~bits:(2 * q * Wire.float_bits));
+  let strengths = ref [] in
+  for k = q - 1 downto 0 do
+    let u, v = pairs.(k) in
+    if Digraph.mem_edge graph u v then begin
+      let den = masked_den share1 k +. masked_den share2 k in
+      let p = if den = 0. then 0. else (masked share1 k +. masked share2 k) /. den in
+      strengths := ((u, v), p) :: !strengths
+    end
+  done;
+  { strengths = !strengths; pairs }

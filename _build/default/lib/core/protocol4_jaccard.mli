@@ -1,0 +1,31 @@
+(** A secure Jaccard-estimator variant of Protocol 4.
+
+    Goyal et al.'s Jaccard strength
+    [b^h_(i,j) / (a_i + a_j - both_(i,j))] is built from counters that
+    are all additive across exclusive providers (each provider can
+    compute its local numerator [b] and local denominator contribution
+    [a_(i,k) + a_(j,k) - both_k] per published pair), so the paper's
+    machinery extends verbatim: batched Protocol 2 over the [2q]
+    pair counters, a multiplicative mask per {e pair} (the denominator
+    is pair-specific, unlike Eq. 1's per-user [a_i]), masked shares to
+    the host, quotients.
+
+    Leakage profile matches Protocol 4: Theorem 4.1 for the sharing,
+    Theorems 4.2-4.4 for the masked values. *)
+
+type result = {
+  strengths : ((int * int) * float) list;  (** Jaccard strength per real arc. *)
+  pairs : (int * int) array;
+}
+
+val run_with_logs :
+  Spe_rng.State.t ->
+  wire:Spe_mpc.Wire.t ->
+  graph:Spe_graph.Digraph.t ->
+  logs:Spe_actionlog.Log.t array ->
+  h:int ->
+  c_factor:float ->
+  modulus:int ->
+  result
+(** End-to-end exclusive-case run.  Raises [Invalid_argument] under the
+    same conditions as Protocol 4 ([m >= 2], [S > 2A], valid [h]). *)

@@ -1,0 +1,38 @@
+(** Multi-host Protocol 4 — the paper's Sec. 8 future-work setting
+    "the graph data is split between several social networking
+    platforms", implemented.
+
+    [t] hosts each own a private arc set over the same user universe
+    (e.g. the follower graphs of different platforms).  Each host
+    publishes its own obfuscated pair set; the providers run {e one}
+    batched Protocol 2 over the union of all published pairs (plus the
+    activity counters), mask with a single per-user mask vector, and
+    send each host only the masked shares of the pairs {e that host}
+    published.  Each host ends with the influence strengths of its own
+    arcs; hosts learn nothing about each other's arc sets beyond what
+    the union pair set implies (their published sets are mixed into a
+    single counter batch, and the decoy mechanism applies per host
+    exactly as in the single-host protocol).
+
+    Sharing one Protocol 2 batch across hosts is the whole point:
+    the m^2 share-exchange traffic is paid once on the union instead of
+    once per host. *)
+
+type host_result = {
+  host : int;
+  strengths : ((int * int) * float) list;
+      (** Influence strengths of this host's real arcs. *)
+}
+
+val run :
+  Spe_rng.State.t ->
+  wire:Spe_mpc.Wire.t ->
+  graphs:Spe_graph.Digraph.t array ->
+  logs:Spe_actionlog.Log.t array ->
+  Protocol4.config ->
+  host_result array
+(** [run st ~wire ~graphs ~logs config] with one graph per host (all on
+    the same user universe) and exclusive provider logs.  Uses the
+    Eq. 1 / Eq. 2 estimator from [config] exactly as Protocol 4.
+    Raises [Invalid_argument] on mismatched universes or fewer than two
+    providers / one host. *)

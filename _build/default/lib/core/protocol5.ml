@@ -1,0 +1,263 @@
+module State = Spe_rng.State
+module Perm = Spe_rng.Perm
+module Wire = Spe_mpc.Wire
+module Log = Spe_actionlog.Log
+module Shift_cipher = Spe_crypto.Shift_cipher
+
+type obfuscation = Basic | Enhanced
+
+type class_counters = {
+  a : int array;
+  c_table : (int * int, int array) Hashtbl.t;
+  h : int;
+}
+
+(* An obfuscated record as it travels to the trusted party.  We do not
+   reuse Log.t because fake-user padding intentionally repeats
+   (user, action) pairs across time slots in ways Log.t's at-most-once
+   invariant would collapse. *)
+type obf_record = { user : int; action : int; time : int }
+
+(* The trusted party's computation: unify, dedup real (user, action)
+   duplicates to the earliest stamp, then count lagged co-occurrences
+   per action using the supplied window test. *)
+let trusted_count ~h ~lag_of records =
+  let best = Hashtbl.create (List.length records) in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt best (r.user, r.action) with
+      | Some t0 when t0 <= r.time -> ()
+      | _ -> Hashtbl.replace best (r.user, r.action) r.time)
+    records;
+  let by_action = Hashtbl.create 64 in
+  let a_table = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (user, action) time ->
+      Hashtbl.replace by_action action
+        ((user, time) :: (Option.value ~default:[] (Hashtbl.find_opt by_action action)));
+      Hashtbl.replace a_table user (1 + Option.value ~default:0 (Hashtbl.find_opt a_table user)))
+    best;
+  let c_table = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _action members ->
+      List.iter
+        (fun (u, t) ->
+          List.iter
+            (fun (u', t') ->
+              if u <> u' then
+                match lag_of t t' with
+                | Some lag ->
+                  let row =
+                    match Hashtbl.find_opt c_table (u, u') with
+                    | Some row -> row
+                    | None ->
+                      let row = Array.make h 0 in
+                      Hashtbl.replace c_table (u, u') row;
+                      row
+                  in
+                  row.(lag - 1) <- row.(lag - 1) + 1
+                | None -> ())
+            members)
+        members)
+    by_action;
+  (a_table, c_table)
+
+(* Message size of one obfuscated record. *)
+let record_bits ~num_users ~num_actions ~period =
+  Wire.bits_for_int_mod (max 2 num_users)
+  + Wire.bits_for_int_mod (max 2 num_actions)
+  + Wire.bits_for_int_mod (max 2 period)
+
+(* Size of the counters message from the trusted party. *)
+let counters_bits ~num_users ~bound ~h ~n_a ~n_c =
+  let user_bits = Wire.bits_for_int_mod (max 2 num_users) in
+  let count_bits = Wire.bits_for_int_mod (max 2 (bound + 1)) in
+  (n_a * (user_bits + count_bits)) + (n_c * ((2 * user_bits) + (h * count_bits)))
+
+let validate ~providers ~trusted ~logs =
+  let d = Array.length providers in
+  if d < 1 then invalid_arg "Protocol5.run: need at least one provider";
+  if Array.length logs <> d then invalid_arg "Protocol5.run: one log per provider";
+  if Array.exists (fun p -> p = trusted) providers then
+    invalid_arg "Protocol5.run: trusted party must be outside the class providers";
+  let n = Log.num_users logs.(0) and na = Log.num_actions logs.(0) in
+  Array.iter
+    (fun l ->
+      if Log.num_users l <> n || Log.num_actions l <> na then
+        invalid_arg "Protocol5.run: mismatched log universes")
+    logs;
+  (d, n, na)
+
+let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
+  if h < 1 then invalid_arg "Protocol5.run: window must be >= 1";
+  let d, n, num_actions = validate ~providers ~trusted ~logs in
+  let representative = providers.(0) in
+  (* Secrets drawn jointly by the class providers (shared generator;
+     semi-honest model, see DESIGN.md). *)
+  let sigma = Perm.random st (max 1 num_actions) in
+  let horizon = 1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs in
+  match obfuscation with
+  | Basic ->
+    let pi = Perm.random st n in
+    let obf_logs =
+      Array.map
+        (fun l ->
+          List.map
+            (fun (r : Log.record) ->
+              { user = Perm.apply pi r.Log.user; action = Perm.apply sigma r.Log.action;
+                time = r.Log.time })
+            (Log.records l))
+        logs
+    in
+    let rbits = record_bits ~num_users:n ~num_actions ~period:horizon in
+    Wire.round wire (fun () ->
+        Array.iteri
+          (fun k recs ->
+            Wire.send wire ~src:providers.(k) ~dst:trusted ~bits:(List.length recs * rbits))
+          obf_logs);
+    let lag_of t t' =
+      let diff = t' - t in
+      if diff >= 1 && diff <= h then Some diff else None
+    in
+    let a_table, c_table = trusted_count ~h ~lag_of (List.concat (Array.to_list obf_logs)) in
+    Wire.round wire (fun () ->
+        Wire.send wire ~src:trusted ~dst:representative
+          ~bits:
+            (counters_bits ~num_users:n ~bound:num_actions ~h ~n_a:(Hashtbl.length a_table)
+               ~n_c:(Hashtbl.length c_table)));
+    (* The representative inverts the user permutation. *)
+    let inv = Perm.inverse pi in
+    let a = Array.make n 0 in
+    Hashtbl.iter (fun u cnt -> a.(Perm.apply inv u) <- cnt) a_table;
+    let c_out = Hashtbl.create (Hashtbl.length c_table) in
+    Hashtbl.iter
+      (fun (u, u') row -> Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
+      c_table;
+    { a; c_table = c_out; h }
+  | Enhanced ->
+    let period = horizon + h in
+    let cipher = Shift_cipher.random st ~period in
+    (* Padding demand per provider: every slot of [0, period) is raised
+       to that provider's busiest-slot load W_k. *)
+    let slot_counts =
+      Array.map
+        (fun l ->
+          let w = Array.make period 0 in
+          List.iter (fun (r : Log.record) -> w.(r.Log.time) <- w.(r.Log.time) + 1) (Log.records l);
+          w)
+        logs
+    in
+    let demand =
+      Array.map
+        (fun w ->
+          let wk = Array.fold_left max 0 w in
+          Array.fold_left (fun acc c -> acc + (wk - c)) 0 w)
+        slot_counts
+    in
+    (* Fake users: provider k needs enough ids that no (fake user,
+       action) pair repeats. *)
+    let fake_needed =
+      Array.map
+        (fun need -> if need = 0 then 0 else (need + max 1 num_actions - 1) / max 1 num_actions)
+        demand
+    in
+    let total_fake = Array.fold_left ( + ) 0 fake_needed in
+    let n_obf = n + total_fake in
+    (* One random permutation of the obfuscated id space: the first n
+       entries rename the true users (the injection f), the rest form
+       the per-provider fake pools. *)
+    let rho = Perm.random st n_obf in
+    let fake_offset = Array.make d 0 in
+    let running = ref n in
+    Array.iteri
+      (fun k need ->
+        fake_offset.(k) <- !running;
+        running := !running + need)
+      fake_needed;
+    let obf_logs =
+      Array.mapi
+        (fun k l ->
+          let real =
+            List.map
+              (fun (r : Log.record) ->
+                { user = Perm.apply rho r.Log.user; action = Perm.apply sigma r.Log.action;
+                  time = Shift_cipher.encrypt cipher r.Log.time })
+              (Log.records l)
+          in
+          (* Pad every slot to W_k with this provider's fake pool,
+             walking the (fake user, action) grid so pairs never
+             repeat. *)
+          let w = slot_counts.(k) in
+          let wk = Array.fold_left max 0 w in
+          let next_pair = ref 0 in
+          let fakes = ref [] in
+          for t = 0 to period - 1 do
+            for _ = 1 to wk - w.(t) do
+              let fake_idx = fake_offset.(k) + (!next_pair / max 1 num_actions) in
+              let action = !next_pair mod max 1 num_actions in
+              incr next_pair;
+              fakes :=
+                { user = Perm.apply rho fake_idx; action = Perm.apply sigma action;
+                  time = Shift_cipher.encrypt cipher t }
+                :: !fakes
+            done
+          done;
+          real @ !fakes)
+        logs
+    in
+    let rbits = record_bits ~num_users:n_obf ~num_actions ~period in
+    Wire.round wire (fun () ->
+        Array.iteri
+          (fun k recs ->
+            Wire.send wire ~src:providers.(k) ~dst:trusted ~bits:(List.length recs * rbits))
+          obf_logs);
+    let lag_of e e' =
+      if Shift_cipher.follows_within cipher ~h e e' then Some (((e' - e) mod period + period) mod period)
+      else None
+    in
+    let a_table, c_table = trusted_count ~h ~lag_of (List.concat (Array.to_list obf_logs)) in
+    Wire.round wire (fun () ->
+        Wire.send wire ~src:trusted ~dst:representative
+          ~bits:
+            (counters_bits ~num_users:n_obf ~bound:num_actions ~h
+               ~n_a:(Hashtbl.length a_table) ~n_c:(Hashtbl.length c_table)));
+    (* The representative keeps only counters whose ids are images of
+       true users and inverts the renaming. *)
+    let inv = Perm.inverse rho in
+    let is_true obf_id = Perm.apply inv obf_id < n in
+    let a = Array.make n 0 in
+    Hashtbl.iter
+      (fun u cnt -> if is_true u then a.(Perm.apply inv u) <- cnt)
+      a_table;
+    let c_out = Hashtbl.create (Hashtbl.length c_table) in
+    Hashtbl.iter
+      (fun (u, u') row ->
+        if is_true u && is_true u' then
+          Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
+      c_table;
+    { a; c_table = c_out; h }
+
+let to_provider_input class_sets ~pairs =
+  match class_sets with
+  | [] -> invalid_arg "Protocol5.to_provider_input: empty class list"
+  | first :: rest ->
+    let h = first.h and n = Array.length first.a in
+    List.iter
+      (fun cs ->
+        if cs.h <> h || Array.length cs.a <> n then
+          invalid_arg "Protocol5.to_provider_input: mismatched class counter shapes")
+      rest;
+    let a = Array.make n 0 in
+    List.iter (fun cs -> Array.iteri (fun i v -> a.(i) <- a.(i) + v) cs.a) class_sets;
+    let q = Array.length pairs in
+    let c = Array.make_matrix q h 0 in
+    List.iter
+      (fun cs ->
+        Array.iteri
+          (fun k pair ->
+            match Hashtbl.find_opt cs.c_table pair with
+            | Some row -> Array.iteri (fun l v -> c.(k).(l) <- c.(k).(l) + v) row
+            | None -> ())
+          pairs)
+      class_sets;
+    { Protocol4.a; c }

@@ -1,0 +1,62 @@
+(** Protocol 5 — secure aggregation of the counters of one action class
+    (Sec. 5.2, non-exclusive case).
+
+    When the same action can be bought from several providers, a single
+    propagation trace is scattered across their logs, and no provider
+    can compute window counters alone.  For each action class [A_q] the
+    supporting providers obfuscate their class sub-logs, ship them to a
+    trusted third party (a provider outside the class, or the host),
+    who unifies them, computes every non-zero counter on the obfuscated
+    identifiers, and returns them to a representative provider; the
+    representative undoes the obfuscation.  From then on the
+    representative answers for the whole class in Protocol 4 and all
+    providers drop the class records from their logs.
+
+    Two obfuscation methods:
+    - {e Basic} — secret uniform permutations rename users and actions;
+      time stamps travel in the clear, so the third party sees the
+      anonymous temporal activity profile.
+    - {e Enhanced} — additionally, time stamps are encrypted with a
+      shift cipher of period [T + h], and every time slot is padded to
+      a common per-slot record count with fake-user records, so the
+      third party cannot locate the wrap-around gap and the temporal
+      profile is flattened.  Counters touching a fake user are simply
+      discarded by the representative.  The window test still works on
+      ciphertexts (inequality (12) — see [Spe_crypto.Shift_cipher]). *)
+
+type obfuscation =
+  | Basic
+  | Enhanced
+      (** Shift-cipher on times plus fake-user padding; the number of
+          fake users is sized automatically from the padding demand. *)
+
+type class_counters = {
+  a : int array;
+      (** Per true user: actions of this class performed anywhere. *)
+  c_table : (int * int, int array) Hashtbl.t;
+      (** Sparse lag counters: [(i, j) -> [|c^1; ..; c^h|]] on true
+          user ids; pairs with all-zero rows are absent. *)
+  h : int;
+}
+
+val run :
+  Spe_rng.State.t ->
+  wire:Spe_mpc.Wire.t ->
+  h:int ->
+  providers:Spe_mpc.Wire.party array ->
+  trusted:Spe_mpc.Wire.party ->
+  logs:Spe_actionlog.Log.t array ->
+  obfuscation:obfuscation ->
+  class_counters
+(** [run st ~wire ~h ~providers ~trusted ~logs ~obfuscation] aggregates
+    one class.  [logs.(k)] is the class-filtered log of
+    [providers.(k)]; all logs share universe sizes.  [trusted] must not
+    be one of the providers.  The representative receiving the counters
+    is [providers.(0)].  Consumes 2 wire rounds (logs in, counters
+    back). *)
+
+val to_provider_input :
+  class_counters list -> pairs:(int * int) array -> Protocol4.provider_input
+(** Restriction of (a sum of) class counter sets to a published pair
+    set — the representative's contribution to Protocol 4.  All sets
+    must share the window width and user universe. *)

@@ -1,0 +1,140 @@
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+module Cipher = Spe_crypto.Cipher
+module Propagation = Spe_influence.Propagation
+
+type scheme = Rsa | Paillier
+
+type config = { c_factor : float; key_bits : int; scheme : scheme; pack : bool }
+
+let default_config = { c_factor = 2.; key_bits = 1024; scheme = Rsa; pack = false }
+
+type result = {
+  graphs : Propagation.t array;
+  pairs : (int * int) array;
+  ciphertexts : int;
+}
+
+let check_exclusive logs num_actions =
+  let owner = Array.make num_actions (-1) in
+  Array.iteri
+    (fun k l ->
+      List.iter
+        (fun action ->
+          if owner.(action) >= 0 && owner.(action) <> k then
+            invalid_arg "Protocol6.run: logs are not exclusive (run Protocol 5 first)";
+          owner.(action) <- k)
+        (Log.actions_present l))
+    logs
+
+(* Delta vector of one action over the published pairs: t_j - t_i when
+   both users acted and j strictly followed i, else 0. *)
+let deltas_of_action log ~pairs ~action =
+  let time = Hashtbl.create 16 in
+  List.iter (fun (u, t) -> Hashtbl.replace time u t) (Log.by_action log action);
+  Array.map
+    (fun (i, j) ->
+      match (Hashtbl.find_opt time i, Hashtbl.find_opt time j) with
+      | Some ti, Some tj when tj > ti -> tj - ti
+      | _ -> 0)
+    pairs
+
+(* Pack consecutive groups of [per] deltas (each < 2^delta_bits) into
+   one plaintext integer, little-endian. *)
+let pack_deltas ~per ~delta_bits deltas =
+  let q = Array.length deltas in
+  let chunks = (q + per - 1) / per in
+  Array.init chunks (fun chunk ->
+      let acc = ref 0 in
+      for l = per - 1 downto 0 do
+        let idx = (chunk * per) + l in
+        if idx < q then acc := (!acc lsl delta_bits) lor deltas.(idx)
+      done;
+      !acc)
+
+let unpack_deltas ~per ~delta_bits ~q packed =
+  let mask = (1 lsl delta_bits) - 1 in
+  Array.init q (fun idx ->
+      let chunk = idx / per and l = idx mod per in
+      (packed.(chunk) lsr (l * delta_bits)) land mask)
+
+let run st ~wire ~graph ~logs config =
+  let m = Array.length logs in
+  if m < 2 then invalid_arg "Protocol6.run: need at least two providers";
+  if config.key_bits < 16 then invalid_arg "Protocol6.run: key too small";
+  let n = Digraph.n graph in
+  Array.iter
+    (fun l ->
+      if Log.num_users l <> n then invalid_arg "Protocol6.run: log/graph universe mismatch")
+    logs;
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  check_exclusive logs num_actions;
+  (* Steps 1-2. *)
+  let pairs = Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor:config.c_factor in
+  let q = Array.length pairs in
+  (* Step 3: keygen and broadcast. *)
+  let cipher =
+    match config.scheme with
+    | Rsa -> Cipher.rsa st ~bits:config.key_bits
+    | Paillier -> Cipher.paillier st ~bits:config.key_bits
+  in
+  let z = cipher.Cipher.public.Cipher.ciphertext_bits in
+  Wire.round wire (fun () ->
+      for k = 0 to m - 1 do
+        Wire.send wire ~src:Wire.Host ~dst:(Wire.Provider k)
+          ~bits:cipher.Cipher.public.Cipher.key_bits
+      done);
+  let period = 1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs in
+  let delta_bits = Wire.bits_for_int_mod (max 2 (period + 1)) in
+  let per =
+    if config.pack then max 1 (min ((config.key_bits - 1) / delta_bits) (61 / delta_bits))
+    else 1
+  in
+  (* Steps 4-9: per controlled action, encrypt the (packed) delta
+     vector. *)
+  let encrypt_action log action =
+    let deltas = deltas_of_action log ~pairs ~action in
+    let plain = pack_deltas ~per ~delta_bits deltas in
+    (action, Array.map cipher.Cipher.public.Cipher.encrypt_int plain)
+  in
+  let bundles =
+    Array.map
+      (fun l -> List.map (encrypt_action l) (Log.actions_present l))
+      logs
+  in
+  let bundle_ciphertexts b =
+    List.fold_left (fun acc (_, cts) -> acc + Array.length cts) 0 b
+  in
+  (* Providers 2..m ship their bundles to provider 1. *)
+  Wire.round wire (fun () ->
+      for k = 1 to m - 1 do
+        Wire.send wire ~src:(Wire.Provider k) ~dst:(Wire.Provider 0)
+          ~bits:(bundle_ciphertexts bundles.(k) * z)
+      done);
+  (* Step 10: provider 1 forwards everything to the host. *)
+  let all_bundles = List.concat (Array.to_list (Array.map (fun b -> b) bundles)) in
+  let total_ciphertexts = bundle_ciphertexts all_bundles in
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:(Wire.Provider 0) ~dst:Wire.Host ~bits:(total_ciphertexts * z));
+  (* Steps 11-12: decrypt and rebuild the labelled arc sets, keeping
+     real arcs only. *)
+  let graphs = Array.make num_actions (Propagation.of_arcs ~n ~action:0 []) in
+  for action = 0 to num_actions - 1 do
+    graphs.(action) <- Propagation.of_arcs ~n ~action []
+  done;
+  List.iter
+    (fun (action, cts) ->
+      let packed = Array.map cipher.Cipher.decrypt_int cts in
+      let deltas = unpack_deltas ~per ~delta_bits ~q packed in
+      let arcs = ref [] in
+      Array.iteri
+        (fun k d ->
+          let u, v = pairs.(k) in
+          if d > 0 && Digraph.mem_edge graph u v then
+            arcs := { Propagation.src = u; dst = v; delta = d } :: !arcs)
+        deltas;
+      graphs.(action) <- Propagation.of_arcs ~n ~action !arcs)
+    all_bundles;
+  { graphs; pairs; ciphertexts = total_ciphertexts }

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Array Format List Printf Spe_mpc

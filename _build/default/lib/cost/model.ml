@@ -1,0 +1,90 @@
+module Wire = Spe_mpc.Wire
+
+type row = { label : string; messages : int; message_bits : int }
+
+type t = { rows : row list; nr : int; nm : int; ms : int }
+
+let totals rows =
+  let nm = List.fold_left (fun acc r -> acc + r.messages) 0 rows in
+  let ms = List.fold_left (fun acc r -> acc + (r.messages * r.message_bits)) 0 rows in
+  (List.length rows, nm, ms)
+
+let table1 ~n ~q ~m ~modulus_bits ~node_bits ~counters =
+  if m < 2 then invalid_arg "Model.table1: need at least two providers";
+  let f = Wire.float_bits in
+  let rows =
+    [
+      { label = "Step 2 (publish E')"; messages = m; message_bits = 2 * q * node_bits };
+      {
+        label = "Steps 3-4; Prot. 1, Step 2";
+        messages = m * (m - 1);
+        message_bits = counters * modulus_bits;
+      };
+      {
+        label = "Steps 3-4; Prot. 1, Step 4";
+        messages = m - 2;
+        message_bits = counters * modulus_bits;
+      };
+      {
+        label = "Steps 3-4; Prot. 2, Steps 3-4";
+        messages = 2;
+        message_bits = counters * modulus_bits;
+      };
+      { label = "Steps 3-4; Prot. 2, Step 6"; messages = 1; message_bits = counters };
+      { label = "Step 5 (draw M_i)"; messages = 2; message_bits = n * f };
+      { label = "Step 6 (draw r_i)"; messages = 2; message_bits = n * f };
+      { label = "Steps 7-8 (masked shares)"; messages = 2; message_bits = (n + q) * f };
+    ]
+  in
+  let nr, nm, ms = totals rows in
+  assert (nm = (m * m) + m + 7);
+  { rows; nr; nm; ms }
+
+let table2 ~q ~m ~node_bits ~key_bits ~ciphertext_bits ~actions_per_provider =
+  if m < 2 then invalid_arg "Model.table2: need at least two providers";
+  if Array.length actions_per_provider <> m then
+    invalid_arg "Model.table2: one action count per provider";
+  let z = ciphertext_bits in
+  let total_actions = Array.fold_left ( + ) 0 actions_per_provider in
+  (* The m - 1 bundle messages have heterogeneous sizes (q z A_k); the
+     row records their total as messages * average, so we expand them
+     into explicit rows per provider for exactness. *)
+  let bundle_rows =
+    List.init (m - 1) (fun i ->
+        {
+          label = Printf.sprintf "Steps 4-9 (bundle from P%d)" (i + 2);
+          messages = 1;
+          message_bits = q * z * actions_per_provider.(i + 1);
+        })
+  in
+  let rows =
+    [
+      { label = "Step 2 (publish E')"; messages = m; message_bits = 2 * q * node_bits };
+      { label = "Step 3 (public key)"; messages = m; message_bits = key_bits };
+    ]
+    @ bundle_rows
+    @ [
+        {
+          label = "Step 10 (forward to H)";
+          messages = 1;
+          message_bits = q * z * total_actions;
+        };
+      ]
+  in
+  let _, nm, ms = totals rows in
+  assert (nm = 3 * m);
+  (* The analytic table has 4 rounds: the per-provider bundle rows all
+     belong to one round. *)
+  { rows; nr = 4; nm; ms }
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-32s %6d msg x %10d bits@." r.label r.messages r.message_bits)
+    t.rows;
+  Format.fprintf fmt "  %-32s NR=%d NM=%d MS=%d bits@." "totals" t.nr t.nm t.ms
+
+let matches_wire t (stats : Wire.stats) =
+  t.nm = stats.Wire.messages && t.ms = stats.Wire.bits
+  && stats.Wire.rounds <= t.nr
+  && stats.Wire.rounds >= t.nr - 1

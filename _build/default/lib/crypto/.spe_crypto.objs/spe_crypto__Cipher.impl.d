@@ -1,0 +1,1 @@
+lib/crypto/cipher.ml: Paillier Rsa Spe_bignum Spe_rng

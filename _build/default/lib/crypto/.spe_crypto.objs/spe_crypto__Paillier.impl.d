@@ -1,0 +1,1 @@
+lib/crypto/paillier.ml: Prime Spe_bignum

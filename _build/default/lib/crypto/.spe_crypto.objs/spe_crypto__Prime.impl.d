@@ -1,0 +1,1 @@
+lib/crypto/prime.ml: Array List Spe_bignum Spe_rng

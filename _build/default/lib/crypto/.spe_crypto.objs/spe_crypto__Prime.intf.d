@@ -1,0 +1,1 @@
+lib/crypto/prime.mli: Spe_bignum Spe_rng

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Prime Spe_bignum

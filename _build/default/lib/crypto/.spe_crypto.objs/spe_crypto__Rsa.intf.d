@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Spe_bignum Spe_rng

@@ -1,0 +1,1 @@
+lib/crypto/shift_cipher.ml: Spe_rng

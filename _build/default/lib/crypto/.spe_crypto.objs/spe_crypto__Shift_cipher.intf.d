@@ -1,0 +1,1 @@
+lib/crypto/shift_cipher.mli: Spe_rng

@@ -1,0 +1,46 @@
+module Nat = Spe_bignum.Nat
+
+type public = {
+  encrypt_int : int -> Nat.t;
+  ciphertext_bits : int;
+  key_bits : int;
+}
+
+type t = { public : public; decrypt_int : Nat.t -> int }
+
+let check_plain m = if m < 0 then invalid_arg "Cipher.encrypt_int: negative plaintext"
+
+let rsa st ~bits =
+  let kp = Rsa.generate st ~bits in
+  let encrypt_int m =
+    check_plain m;
+    Rsa.encrypt kp.Rsa.public (Nat.of_int m)
+  in
+  let decrypt_int c = Nat.to_int_exn (Rsa.decrypt kp.Rsa.secret c) in
+  {
+    public =
+      {
+        encrypt_int;
+        ciphertext_bits = Rsa.ciphertext_bits kp.Rsa.public;
+        key_bits = Rsa.public_key_bits kp.Rsa.public;
+      };
+    decrypt_int;
+  }
+
+let paillier st ~bits =
+  let kp = Paillier.generate st ~bits in
+  let enc_rng = Spe_rng.State.split st in
+  let encrypt_int m =
+    check_plain m;
+    Paillier.encrypt enc_rng kp.Paillier.public (Nat.of_int m)
+  in
+  let decrypt_int c = Nat.to_int_exn (Paillier.decrypt kp.Paillier.secret c) in
+  {
+    public =
+      {
+        encrypt_int;
+        ciphertext_bits = Paillier.ciphertext_bits kp.Paillier.public;
+        key_bits = Nat.bit_length kp.Paillier.public.Paillier.n;
+      };
+    decrypt_int;
+  }

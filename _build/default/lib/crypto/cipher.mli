@@ -1,0 +1,30 @@
+(** A uniform interface over the public-key schemes, as used by
+    Protocol 6.
+
+    The protocol encrypts small non-negative integers (time-difference
+    labels).  This module packages a scheme as a pair of closures plus
+    the two size constants that feed the Table 2 cost model: the
+    ciphertext size [z] and the public-key size [|kappa|]. *)
+
+type public = {
+  encrypt_int : int -> Spe_bignum.Nat.t;
+      (** Encrypt a small non-negative integer. *)
+  ciphertext_bits : int;  (** The paper's [z]. *)
+  key_bits : int;  (** The paper's [|kappa|]. *)
+}
+
+type t = {
+  public : public;
+  decrypt_int : Spe_bignum.Nat.t -> int;
+      (** Recover a small integer; raises [Failure] if the plaintext
+          does not fit in a native [int]. *)
+}
+
+val rsa : Spe_rng.State.t -> bits:int -> t
+(** Textbook RSA of the given modulus size (the paper's recommended
+    deployment uses 1024). *)
+
+val paillier : Spe_rng.State.t -> bits:int -> t
+(** Probabilistic Paillier; ciphertexts are twice the modulus size.
+    Fresh encryption randomness is drawn from a generator split off the
+    one supplied here. *)

@@ -1,0 +1,60 @@
+module Nat = Spe_bignum.Nat
+module Bigint = Spe_bignum.Bigint
+module Montgomery = Spe_bignum.Montgomery
+
+type public = { n : Nat.t; n_squared : Nat.t }
+type secret = { n : Nat.t; n_squared : Nat.t; lambda : Nat.t; mu : Nat.t }
+type keypair = { public : public; secret : secret }
+
+(* L(x) = (x - 1) / n, defined on x = 1 mod n. *)
+let ell ~n x = Nat.div (Nat.pred x) n
+
+let generate st ~bits =
+  if bits < 16 then invalid_arg "Paillier.generate: modulus must be at least 16 bits";
+  let half = bits / 2 in
+  let rec keys () =
+    let p = Prime.random_prime st ~bits:half in
+    let rec draw_q () =
+      let q = Prime.random_prime st ~bits:(bits - half) in
+      if Nat.equal p q then draw_q () else q
+    in
+    let q = draw_q () in
+    let n = Nat.mul p q in
+    let lambda = Nat.mul (Nat.pred p) (Nat.pred q) in
+    if not (Nat.is_one (Nat.gcd n lambda)) then keys ()
+    else begin
+      let n_squared = Nat.mul n n in
+      (* g = n + 1: mu = (L(g^lambda mod n^2))^-1 mod n = lambda^-1 mod n. *)
+      match Bigint.mod_inv (Bigint.of_nat lambda) (Bigint.of_nat n) with
+      | None -> keys ()
+      | Some mu ->
+        let mu = Bigint.to_nat mu in
+        { public = { n; n_squared }; secret = { n; n_squared; lambda; mu } }
+    end
+  in
+  keys ()
+
+let encrypt st (pk : public) m =
+  if Nat.compare m pk.n >= 0 then invalid_arg "Paillier.encrypt: plaintext exceeds modulus";
+  (* r uniform in [1, n) with gcd(r, n) = 1 (all but negligibly many). *)
+  let rec draw_r () =
+    let r = Nat.random_below st pk.n in
+    if Nat.is_zero r || not (Nat.is_one (Nat.gcd r pk.n)) then draw_r () else r
+  in
+  let r = draw_r () in
+  (* g^m = (1 + n)^m = 1 + m*n  (mod n^2). *)
+  let g_m = Nat.rem (Nat.succ (Nat.mul m pk.n)) pk.n_squared in
+  let r_n = Montgomery.pow (Montgomery.create pk.n_squared) ~base:r ~exp:pk.n in
+  Nat.rem (Nat.mul g_m r_n) pk.n_squared
+
+let decrypt (sk : secret) c =
+  (* n^2 is odd: Montgomery applies. *)
+  let x = Montgomery.pow (Montgomery.create sk.n_squared) ~base:c ~exp:sk.lambda in
+  Nat.rem (Nat.mul (ell ~n:sk.n x) sk.mu) sk.n
+
+let add (pk : public) c1 c2 = Nat.rem (Nat.mul c1 c2) pk.n_squared
+
+let mul_plain (pk : public) c k =
+  Montgomery.pow (Montgomery.create pk.n_squared) ~base:c ~exp:k
+
+let ciphertext_bits (pk : public) = Nat.bit_length pk.n_squared

@@ -1,0 +1,46 @@
+(** The Paillier cryptosystem: probabilistic, additively homomorphic
+    public-key encryption.
+
+    The paper's Protocol 6 only needs plain public-key encryption (RSA
+    suffices), but its related-work section points at homomorphic
+    schemes as the tool for field-style secure division; Paillier is
+    included both as the probabilistic alternative to textbook RSA and
+    as the substrate for the homomorphic-aggregation extension
+    exercised in the examples: providers can sum encrypted counters
+    under the host's key without decrypting.
+
+    Keys use the standard simplification [g = n + 1], so encryption is
+    [c = (1 + m*n) * r^n mod n^2] and decryption uses
+    [L(x) = (x - 1) / n] with [L(c^lambda mod n^2) * mu mod n]. *)
+
+type public = { n : Spe_bignum.Nat.t; n_squared : Spe_bignum.Nat.t }
+
+type secret = {
+  n : Spe_bignum.Nat.t;
+  n_squared : Spe_bignum.Nat.t;
+  lambda : Spe_bignum.Nat.t;
+  mu : Spe_bignum.Nat.t;
+}
+
+type keypair = { public : public; secret : secret }
+
+val generate : Spe_rng.State.t -> bits:int -> keypair
+(** [generate st ~bits] builds a keypair with a [bits]-sized modulus
+    from two primes of [bits/2] bits each, redrawn until
+    [gcd(n, (p-1)(q-1)) = 1] (guaranteed for same-size primes). *)
+
+val encrypt : Spe_rng.State.t -> public -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+(** Probabilistic encryption: fresh randomness per call.  Raises
+    [Invalid_argument] if the plaintext is [>= n]. *)
+
+val decrypt : secret -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+
+val add : public -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+(** Homomorphic addition: [decrypt (add pk c1 c2) = m1 + m2 mod n]. *)
+
+val mul_plain : public -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+(** Homomorphic plaintext multiplication:
+    [decrypt (mul_plain pk c k) = k * m mod n]. *)
+
+val ciphertext_bits : public -> int
+(** Ciphertexts live modulo [n^2]: twice the modulus size. *)

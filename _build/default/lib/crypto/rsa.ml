@@ -1,0 +1,38 @@
+module Nat = Spe_bignum.Nat
+module Bigint = Spe_bignum.Bigint
+module Montgomery = Spe_bignum.Montgomery
+
+type public = { n : Nat.t; e : Nat.t }
+type secret = { n : Nat.t; d : Nat.t }
+type keypair = { public : public; secret : secret }
+
+let generate ?(e = 65537) st ~bits =
+  if bits < 16 then invalid_arg "Rsa.generate: modulus must be at least 16 bits";
+  let e_nat = Nat.of_int e in
+  let half = bits / 2 in
+  let coprime_to_e p = Nat.is_one (Nat.gcd (Nat.pred p) e_nat) in
+  let p = Prime.random_odd_prime_with st ~bits:half coprime_to_e in
+  let rec draw_q () =
+    let q = Prime.random_odd_prime_with st ~bits:(bits - half) coprime_to_e in
+    if Nat.equal p q then draw_q () else q
+  in
+  let q = draw_q () in
+  let n = Nat.mul p q in
+  let phi = Nat.mul (Nat.pred p) (Nat.pred q) in
+  let d =
+    match Bigint.mod_inv (Bigint.of_nat e_nat) (Bigint.of_nat phi) with
+    | Some d -> Bigint.to_nat d
+    | None -> assert false (* primes were drawn coprime to e *)
+  in
+  { public = { n; e = e_nat }; secret = { n; d } }
+
+(* RSA moduli are odd, so Montgomery exponentiation applies. *)
+let encrypt (pk : public) m =
+  if Nat.compare m pk.n >= 0 then invalid_arg "Rsa.encrypt: plaintext exceeds modulus";
+  Montgomery.pow (Montgomery.create pk.n) ~base:m ~exp:pk.e
+
+let decrypt (sk : secret) c = Montgomery.pow (Montgomery.create sk.n) ~base:c ~exp:sk.d
+
+let ciphertext_bits (pk : public) = Nat.bit_length pk.n
+
+let public_key_bits (pk : public) = Nat.bit_length pk.n + Nat.bit_length pk.e

@@ -1,0 +1,42 @@
+(** Textbook RSA over {!Spe_bignum}.
+
+    Protocol 6 has the host [H] publish a public key; providers encrypt
+    their per-action time-difference vectors under it and only [H] can
+    decrypt (Steps 3-11).  The paper quotes a recommended ciphertext
+    size of z = 1024 bits for RSA, which is the constant that drives
+    Table 2's message sizes.
+
+    This is deterministic ("textbook") RSA — no OAEP padding.  In the
+    protocol each plaintext is already blinded inside a batched message
+    and the semi-honest threat model only requires that parties without
+    the private key learn nothing they could not compute; for a
+    hardened deployment, swap in {!Paillier} (probabilistic) via the
+    shared {!Cipher} interface. *)
+
+type public = { n : Spe_bignum.Nat.t; e : Spe_bignum.Nat.t }
+(** Modulus and public exponent. *)
+
+type secret = { n : Spe_bignum.Nat.t; d : Spe_bignum.Nat.t }
+(** Modulus and private exponent. *)
+
+type keypair = { public : public; secret : secret }
+
+val generate : ?e:int -> Spe_rng.State.t -> bits:int -> keypair
+(** [generate st ~bits] draws two [bits/2]-bit primes and returns a
+    keypair with a [bits]-sized modulus.  Default exponent 65537; the
+    primes are re-drawn until coprimality with [e] holds.  [bits] must
+    be at least 16. *)
+
+val encrypt : public -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+(** [encrypt pk m] is [m^e mod n].  Raises [Invalid_argument] if
+    [m >= n]. *)
+
+val decrypt : secret -> Spe_bignum.Nat.t -> Spe_bignum.Nat.t
+(** [decrypt sk c] is [c^d mod n]. *)
+
+val ciphertext_bits : public -> int
+(** Size in bits of a ciphertext under this key — the paper's [z]. *)
+
+val public_key_bits : public -> int
+(** Serialized public-key size in bits (|n| + |e|) — the paper's
+    [|kappa|]. *)

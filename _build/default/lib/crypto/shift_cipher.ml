@@ -1,0 +1,26 @@
+type t = { key : int; period : int }
+
+let create ~key ~period =
+  if period <= 0 then invalid_arg "Shift_cipher.create: period must be positive";
+  if key < 0 || key >= period then invalid_arg "Shift_cipher.create: key out of range";
+  { key; period }
+
+let random st ~period =
+  if period <= 0 then invalid_arg "Shift_cipher.random: period must be positive";
+  { key = Spe_rng.State.next_int st period; period }
+
+let key c = c.key
+let period c = c.period
+
+let encrypt c t =
+  if t < 0 || t >= c.period then invalid_arg "Shift_cipher.encrypt: time stamp out of range";
+  (t + c.key) mod c.period
+
+let decrypt c e =
+  if e < 0 || e >= c.period then invalid_arg "Shift_cipher.decrypt: ciphertext out of range";
+  (e - c.key + c.period) mod c.period
+
+let follows_within c ~h e1 e2 =
+  if h < 0 then invalid_arg "Shift_cipher.follows_within: negative window";
+  let diff = (e2 - e1 + c.period) mod c.period in
+  diff >= 1 && diff <= h

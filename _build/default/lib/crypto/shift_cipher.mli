@@ -1,0 +1,34 @@
+(** Shift cipher on time stamps (Sec. 5.2, "enhanced obfuscation").
+
+    Protocol 5's enhanced obfuscation encrypts every time stamp with
+    [t -> t + s mod period] for a secret shift [s], where the period is
+    [T + h] (the observation horizon plus the memory window).  The
+    third party can still test the window condition
+    [t < t' <= t + h] on ciphertexts by checking membership of
+    [e(t')] in [{e(t) + tau mod period : 1 <= tau <= h}], which is what
+    {!follows_within} implements. *)
+
+type t
+(** A keyed shift cipher with a fixed period. *)
+
+val create : key:int -> period:int -> t
+(** Raises [Invalid_argument] unless [0 <= key < period] and
+    [period > 0]. *)
+
+val random : Spe_rng.State.t -> period:int -> t
+(** Uniformly random key. *)
+
+val key : t -> int
+val period : t -> int
+
+val encrypt : t -> int -> int
+(** Raises [Invalid_argument] if the time stamp is outside
+    [[0, period)]. *)
+
+val decrypt : t -> int -> int
+
+val follows_within : t -> h:int -> int -> int -> bool
+(** [follows_within c ~h e1 e2] decides, on ciphertexts alone, whether
+    the plaintext of [e2] lies in the window [(t1, t1 + h]] modulo the
+    period, where [t1] is the plaintext of [e1] — the membership test
+    from Sec. 5.2, inequality (12). *)

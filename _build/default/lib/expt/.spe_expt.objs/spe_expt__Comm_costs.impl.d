@@ -1,0 +1,1 @@
+lib/expt/comm_costs.ml: Array List Spe_actionlog Spe_core Spe_cost Spe_graph Spe_mpc Workloads

@@ -1,0 +1,1 @@
+lib/expt/comm_costs.mli: Spe_cost Spe_mpc

@@ -1,0 +1,1 @@
+lib/expt/estimators.ml: Array Hashtbl List Option Spe_actionlog Spe_graph Spe_influence Spe_privacy Spe_rng Spe_stats Workloads

@@ -1,0 +1,1 @@
+lib/expt/privacy_expt.ml: Float List Spe_privacy Spe_rng

@@ -1,0 +1,1 @@
+lib/expt/privacy_expt.mli: Spe_privacy

@@ -1,0 +1,1 @@
+lib/expt/workloads.mli: Spe_actionlog Spe_graph Spe_influence Spe_rng

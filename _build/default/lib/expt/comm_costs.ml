@@ -1,0 +1,82 @@
+module Wire = Spe_mpc.Wire
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+module Protocol4 = Spe_core.Protocol4
+module Protocol6 = Spe_core.Protocol6
+module Driver = Spe_core.Driver
+module Model = Spe_cost.Model
+
+type row = {
+  n : int;
+  edges : int;
+  q : int;
+  m : int;
+  actions : int;
+  measured : Wire.stats;
+  model : Model.t;
+  ok : bool;
+}
+
+let table1_row ~seed ~n ~edges ~m =
+  let w = Workloads.erdos_renyi ~seed ~n ~edges ~actions:30 () in
+  let logs = Workloads.split_exclusive w ~m in
+  let config = Protocol4.default_config ~h:3 in
+  let r = Driver.link_strengths_exclusive w.Workloads.rng ~graph:w.Workloads.graph ~logs config in
+  let q = Array.length r.Driver.detail.Protocol4.pairs in
+  let model =
+    Model.table1 ~n ~q ~m
+      ~modulus_bits:(Wire.bits_for_int_mod config.Protocol4.modulus)
+      ~node_bits:(Wire.bits_for_int_mod (max 2 n))
+      ~counters:(n + q)
+  in
+  {
+    n;
+    edges = Digraph.edge_count w.Workloads.graph;
+    q;
+    m;
+    actions = 0;
+    measured = r.Driver.wire;
+    model;
+    ok = Model.matches_wire model r.Driver.wire;
+  }
+
+let table1_sweep () =
+  List.map
+    (fun (n, edges, m) -> table1_row ~seed:(1000 + n + m) ~n ~edges ~m)
+    [ (100, 400, 3); (100, 400, 5); (100, 400, 10); (1000, 4000, 5) ]
+
+let table2_row ~seed ~n ~edges ~m ~actions ~key_bits =
+  let w = Workloads.erdos_renyi ~seed ~n ~edges ~actions () in
+  let logs = Workloads.split_exclusive w ~m in
+  let wire = Wire.create () in
+  let config = { Protocol6.default_config with Protocol6.key_bits } in
+  let r = Protocol6.run w.Workloads.rng ~wire ~graph:w.Workloads.graph ~logs config in
+  let measured = Wire.stats wire in
+  let q = Array.length r.Protocol6.pairs in
+  let actions_per_provider = Array.map (fun l -> List.length (Log.actions_present l)) logs in
+  let total_actions = Array.fold_left ( + ) 0 actions_per_provider in
+  (* Read the drawn key and ciphertext sizes back from the wire so the
+     model is built from the measured constants. *)
+  let key_msg = List.find (fun msg -> msg.Wire.round = 2) (Wire.messages wire) in
+  let forward = List.find (fun msg -> msg.Wire.round = 4) (Wire.messages wire) in
+  let z = forward.Wire.bits / (q * total_actions) in
+  let model =
+    Model.table2 ~q ~m
+      ~node_bits:(Wire.bits_for_int_mod (max 2 n))
+      ~key_bits:key_msg.Wire.bits ~ciphertext_bits:z ~actions_per_provider
+  in
+  {
+    n;
+    edges = Digraph.edge_count w.Workloads.graph;
+    q;
+    m;
+    actions = total_actions;
+    measured;
+    model;
+    ok = Model.matches_wire model measured;
+  }
+
+let table2_sweep () =
+  List.map
+    (fun m -> table2_row ~seed:(2000 + 60 + m) ~n:60 ~edges:150 ~m ~actions:10 ~key_bits:256)
+    [ 3; 5 ]

@@ -1,0 +1,35 @@
+(** The Table 1 / Table 2 experiments as typed functions: run a
+    protocol on a workload, read the wire, rebuild the analytic model
+    from the measured parameters, and report both.
+
+    The bench prints these rows; the test suite asserts [ok] across the
+    sweeps, so the headline "analytic = measured" claim of
+    EXPERIMENTS.md is enforced by [dune runtest], not just eyeballed. *)
+
+type row = {
+  n : int;
+  edges : int;
+  q : int;  (** Published pair count. *)
+  m : int;  (** Providers. *)
+  actions : int;  (** Total actions (Table 2 only; 0 otherwise). *)
+  measured : Spe_mpc.Wire.stats;
+  model : Spe_cost.Model.t;
+  ok : bool;  (** Model totals match the wire. *)
+}
+
+val table1_row : seed:int -> n:int -> edges:int -> m:int -> row
+(** One Protocol 4 run (h = 3, S = 2^40, c = 2, Eq. 1) against its
+    Table 1 model. *)
+
+val table1_sweep : unit -> row list
+(** The EXPERIMENTS.md sweep: (100, 400) x m in {3, 5, 10} plus
+    (1000, 4000, 5). *)
+
+val table2_row : seed:int -> n:int -> edges:int -> m:int -> actions:int -> key_bits:int -> row
+(** One Protocol 6 run against its Table 2 model; [z] and the key size
+    are read back from the wire so the model uses the measured
+    constants. *)
+
+val table2_sweep : unit -> row list
+(** The EXPERIMENTS.md sweep: (60, 150, 10 actions, RSA-256) at
+    m in {3, 5}. *)

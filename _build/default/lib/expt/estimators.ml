@@ -1,0 +1,134 @@
+module State = Spe_rng.State
+module Cascade = Spe_actionlog.Cascade
+module Counters = Spe_influence.Counters
+module Link_strength = Spe_influence.Link_strength
+module Attributes = Spe_influence.Attributes
+module Em = Spe_influence.Em
+module Credit = Spe_influence.Credit
+module Correlation = Spe_stats.Correlation
+
+type quality_row = {
+  traces : int;
+  eq1_mse : float;
+  em_mse : float;
+  em_iterations : int;
+  shrunk_mse : float;
+}
+
+let quality_sweep ?(traces = [ 10; 50; 200; 800 ]) () =
+  (* The grouping and graph are shared; only the trace budget varies. *)
+  let base, grouping = Workloads.two_group ~seed:91 ~n:40 ~edges:300 ~actions:1 in
+  let g = base.Workloads.graph in
+  let truth = base.Workloads.planted.Cascade.probability in
+  List.map
+    (fun budget ->
+      let rng = State.create ~seed:(92 + budget) () in
+      let log =
+        Cascade.generate rng base.Workloads.planted
+          { Cascade.num_actions = budget; seeds_per_action = 2; max_delay = 2 }
+      in
+      let ct = Counters.compute_graph log ~h:2 g in
+      let mse est = Attributes.mse_vs_truth ~estimates:est ~pairs:ct.Counters.pairs ~truth in
+      let em = Em.learn log g ~h:2 ~max_iterations:50 in
+      let em_est = Array.map (fun (u, v) -> Em.probability em u v) ct.Counters.pairs in
+      {
+        traces = budget;
+        eq1_mse = mse (Link_strength.all_eq1 ct);
+        em_mse = mse em_est;
+        em_iterations = em.Em.iterations;
+        shrunk_mse = mse (Attributes.shrunk_strengths ct grouping ~lambda:5.);
+      })
+    traces
+
+type family_row = { name : string; spearman : float }
+
+let family_comparison () =
+  let rng = State.create ~seed:41 () in
+  let g = Spe_graph.Generate.barabasi_albert rng ~n:50 ~m:3 in
+  let planted = Cascade.random_probabilities rng ~lo:0.05 ~hi:0.5 g in
+  let log =
+    Cascade.generate rng planted { Cascade.num_actions = 400; seeds_per_action = 2; max_delay = 2 }
+  in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let truth = Array.map (fun (u, v) -> planted.Cascade.probability u v) ct.Counters.pairs in
+  let score est = Correlation.spearman est truth in
+  let pc = Credit.strengths log g ~h:2 in
+  [
+    { name = "Eq. 1"; spearman = score (Link_strength.all_eq1 ct) };
+    { name = "Jaccard"; spearman = score (Link_strength.all_jaccard ct) };
+    { name = "partial credit"; spearman = score (Array.of_list (List.map snd pc)) };
+  ]
+
+type perturbation_row = { epsilon : float; mean_abs_error : float }
+
+let perturbation_sweep ?(epsilons = [ 0.1; 0.5; 1.; 5.; 20. ]) () =
+  let w = Workloads.erdos_renyi ~seed:29 ~n:40 ~edges:240 ~actions:80 ~p:0.35 ~max_delay:2 () in
+  let ct = Counters.compute_graph w.Workloads.log ~h:2 w.Workloads.graph in
+  let exact = Link_strength.all_eq1 ct in
+  List.map
+    (fun epsilon ->
+      let total = ref 0. and trials = 30 in
+      for _ = 1 to trials do
+        let noisy = Spe_privacy.Perturbation.perturbed_strengths w.Workloads.rng ~epsilon ct in
+        Array.iteri (fun k p -> total := !total +. abs_float (p -. exact.(k))) noisy
+      done;
+      { epsilon; mean_abs_error = !total /. float_of_int (trials * Array.length exact) })
+    epsilons
+
+type generalisation_row = {
+  traces : int;
+  eq1_ll : float;
+  em_ll : float;
+  planted_ll : float;
+}
+
+let generalisation_sweep ?(traces = [ 10; 50; 200; 800 ]) () =
+  let base = Workloads.erdos_renyi ~seed:97 ~n:30 ~edges:150 ~actions:1 ~p:0.35 ~max_delay:2 () in
+  let g = base.Workloads.graph in
+  let test_log =
+    Cascade.generate (State.create ~seed:98 ()) base.Workloads.planted
+      { Cascade.num_actions = 200; seeds_per_action = 2; max_delay = 2 }
+  in
+  let heldout probability =
+    (Spe_influence.Evaluate.score ~probability test_log g ~h:2)
+      .Spe_influence.Evaluate.log_likelihood
+  in
+  let planted_ll = heldout base.Workloads.planted.Cascade.probability in
+  List.map
+    (fun budget ->
+      let rng = State.create ~seed:(99 + budget) () in
+      let train =
+        Cascade.generate rng base.Workloads.planted
+          { Cascade.num_actions = budget; seeds_per_action = 2; max_delay = 2 }
+      in
+      let ct = Counters.compute_graph train ~h:2 g in
+      let eq1 = Link_strength.all_eq1 ct in
+      let table = Hashtbl.create 64 in
+      Array.iteri (fun k pair -> Hashtbl.replace table pair eq1.(k)) ct.Counters.pairs;
+      (* Unseen arcs fall back to a weak prior rather than impossible. *)
+      let eq1_model u v = Option.value ~default:0.05 (Hashtbl.find_opt table (u, v)) in
+      let em = Em.learn train g ~h:2 ~max_iterations:50 in
+      let em_model u v =
+        let p = Em.probability em u v in
+        if p = 0. then 0.05 else p
+      in
+      { traces = budget; eq1_ll = heldout eq1_model; em_ll = heldout em_model; planted_ll })
+    traces
+
+type discretization_row = { step : int; episodes : int; mean_estimate : float }
+
+let discretization_sweep ?(steps = [ 1; 5; 20; 60; 200 ]) () =
+  let w =
+    Workloads.erdos_renyi ~seed:37 ~n:40 ~edges:240 ~actions:200 ~p:0.35 ~max_delay:60 ()
+  in
+  List.map
+    (fun step ->
+      let binned = Spe_actionlog.Discretize.rebin w.Workloads.log ~step in
+      let ct = Counters.compute_graph binned ~h:3 w.Workloads.graph in
+      let est = Link_strength.all_eq1 ct in
+      {
+        step;
+        episodes = Array.fold_left ( + ) 0 ct.Counters.b;
+        mean_estimate = Array.fold_left ( +. ) 0. est /. float_of_int (Array.length est);
+      })
+    steps

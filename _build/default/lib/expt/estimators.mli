@@ -1,0 +1,54 @@
+(** The estimator-quality experiments: every estimator in the library
+    scored against planted ground truth on shared workloads.
+
+    The bench prints these tables; the test suite asserts their
+    qualitative claims (EM overfits sparse logs, shrinkage helps,
+    perturbation error falls with epsilon), so EXPERIMENTS.md's
+    narrative is enforced mechanically. *)
+
+type quality_row = {
+  traces : int;  (** Number of propagation traces in the log. *)
+  eq1_mse : float;
+  em_mse : float;
+  em_iterations : int;
+  shrunk_mse : float;  (** Attribute shrinkage at lambda = 5. *)
+}
+
+val quality_sweep : ?traces:int list -> unit -> quality_row list
+(** The two-group workload at increasing trace budgets (default
+    [10; 50; 200; 800]). *)
+
+type family_row = {
+  name : string;
+  spearman : float;  (** Rank correlation with the planted truth. *)
+}
+
+val family_comparison : unit -> family_row list
+(** Eq. 1, Jaccard and partial credit on a heterogeneous BA workload. *)
+
+type perturbation_row = { epsilon : float; mean_abs_error : float }
+
+val perturbation_sweep : ?epsilons:float list -> unit -> perturbation_row list
+(** Laplace-perturbed Eq. 1 error against the exact estimates. *)
+
+type generalisation_row = {
+  traces : int;
+  eq1_ll : float;  (** Held-out per-exposure log-likelihood, Eq. 1 model. *)
+  em_ll : float;  (** Same for the EM-learned model. *)
+  planted_ll : float;  (** Upper reference: the planted truth itself. *)
+}
+
+val generalisation_sweep : ?traces:int list -> unit -> generalisation_row list
+(** The paper's accuracy motivation measured directly: train each
+    estimator on a budget of traces, score on a fixed held-out trace
+    set ({!Spe_influence.Evaluate}). *)
+
+type discretization_row = {
+  step : int;  (** Time-bin width. *)
+  episodes : int;  (** Total window co-occurrences counted. *)
+  mean_estimate : float;
+}
+
+val discretization_sweep : ?steps:int list -> unit -> discretization_row list
+(** Fine-grained cascades (delays up to 60) counted at several bin
+    widths — the Sec. 2 discretization remark. *)

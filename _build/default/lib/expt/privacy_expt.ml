@@ -1,0 +1,36 @@
+module State = Spe_rng.State
+module Gain = Spe_privacy.Gain
+module Posterior = Spe_privacy.Posterior
+module Leakage = Spe_privacy.Leakage
+
+type figure1_row = { prior_name : string; result : Gain.result }
+
+let figure1 ?(trials_per_x = 1000) () =
+  List.map
+    (fun (prior_name, prior) ->
+      let s = State.create ~seed:42 () in
+      { prior_name; result = Gain.run s ~prior ~trials_per_x })
+    [
+      ("uniform on {0..10}", Posterior.uniform_prior ~bound:10);
+      ("unimodal (peak at 5)", Posterior.unimodal_prior ~bound:10);
+    ]
+
+type leakage_row = { x : int; theory : Leakage.rates; observed : Leakage.observed }
+
+let theorem41 ?(trials = 20_000) () =
+  let s = State.create ~seed:7 () in
+  let modulus = 1 lsl 10 and input_bound = 100 in
+  List.map
+    (fun x ->
+      {
+        x;
+        theory = Leakage.theoretical ~modulus ~input_bound ~x;
+        observed = Leakage.monte_carlo s ~modulus ~input_bound ~x ~trials;
+      })
+    [ 0; 25; 50; 75; 100 ]
+
+let max_rate_deviation row =
+  let rate hits = float_of_int hits /. float_of_int row.observed.Leakage.trials in
+  Float.max
+    (abs_float (rate row.observed.Leakage.p2_lower_hits -. row.theory.Leakage.p2_lower))
+    (abs_float (rate row.observed.Leakage.p2_upper_hits -. row.theory.Leakage.p2_upper))

@@ -1,0 +1,25 @@
+(** Figure 1 and the Theorem 4.1 experiment as typed functions, so the
+    bench prints them and the tests pin their claims. *)
+
+type figure1_row = {
+  prior_name : string;
+  result : Spe_privacy.Gain.result;
+}
+
+val figure1 : ?trials_per_x:int -> unit -> figure1_row list
+(** The Sec. 7.2 experiment on the paper's two priors (A = 10,
+    default 1000 trials per x, seed fixed). *)
+
+type leakage_row = {
+  x : int;
+  theory : Spe_privacy.Leakage.rates;
+  observed : Spe_privacy.Leakage.observed;
+}
+
+val theorem41 : ?trials:int -> unit -> leakage_row list
+(** Monte-Carlo vs closed form at S = 2^10, A = 100,
+    x in {0, 25, 50, 75, 100} (default 20000 trials per x). *)
+
+val max_rate_deviation : leakage_row -> float
+(** Largest absolute gap between a measured P2 rate and its theory
+    value — the quantity the tests bound by Monte-Carlo noise. *)

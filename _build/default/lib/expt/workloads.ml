@@ -1,0 +1,49 @@
+module State = Spe_rng.State
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Attributes = Spe_influence.Attributes
+
+type t = {
+  graph : Digraph.t;
+  log : Spe_actionlog.Log.t;
+  planted : Cascade.planted;
+  rng : State.t;
+}
+
+let build rng graph planted ~actions ~max_delay =
+  let log =
+    Cascade.generate rng planted
+      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay }
+  in
+  { graph; log; planted; rng }
+
+let erdos_renyi ~seed ~n ~edges ~actions ?(p = 0.25) ?(max_delay = 3) () =
+  let rng = State.create ~seed () in
+  let graph = Generate.erdos_renyi_gnm rng ~n ~m:edges in
+  build rng graph (Cascade.uniform_probabilities ~p graph) ~actions ~max_delay
+
+let barabasi_albert ~seed ~n ~attach ~actions ?(p = 0.3) () =
+  let rng = State.create ~seed () in
+  let graph = Generate.barabasi_albert rng ~n ~m:attach in
+  build rng graph (Cascade.uniform_probabilities ~p graph) ~actions ~max_delay:3
+
+let two_group ~seed ~n ~edges ~actions =
+  let rng = State.create ~seed () in
+  let graph = Generate.erdos_renyi_gnm rng ~n ~m:edges in
+  let grouping = Attributes.random_grouping rng ~n ~num_groups:2 in
+  let truth u v =
+    if grouping.Attributes.group_of.(u) = grouping.Attributes.group_of.(v) then 0.4 else 0.05
+  in
+  let planted = { Cascade.graph; probability = truth } in
+  (build rng graph planted ~actions ~max_delay:2, grouping)
+
+let split_exclusive t ~m = Partition.exclusive t.rng t.log ~m
+
+let split_graph t ~hosts =
+  let buckets = Array.make hosts [] in
+  Digraph.iter_edges t.graph (fun u v ->
+      let j = State.next_int t.rng hosts in
+      buckets.(j) <- (u, v) :: buckets.(j));
+  Array.map (fun arcs -> Digraph.create ~n:(Digraph.n t.graph) arcs) buckets

@@ -1,0 +1,32 @@
+(** Shared synthetic workloads for the evaluation harness and the
+    integration tests.
+
+    Every workload is deterministic in its seed, so bench output and
+    EXPERIMENTS.md numbers are reproducible. *)
+
+type t = {
+  graph : Spe_graph.Digraph.t;
+  log : Spe_actionlog.Log.t;  (** The unified log. *)
+  planted : Spe_actionlog.Cascade.planted;  (** Ground truth. *)
+  rng : Spe_rng.State.t;  (** Generator state after construction. *)
+}
+
+val erdos_renyi :
+  seed:int -> n:int -> edges:int -> actions:int -> ?p:float -> ?max_delay:int -> unit -> t
+(** Uniform planted probability [p] (default 0.25), 2 seeds per action,
+    delays up to [max_delay] (default 3). *)
+
+val barabasi_albert :
+  seed:int -> n:int -> attach:int -> actions:int -> ?p:float -> unit -> t
+
+val two_group :
+  seed:int -> n:int -> edges:int -> actions:int ->
+  t * Spe_influence.Attributes.grouping
+(** The attribute-experiment workload: strong within-group influence
+    (0.4), weak across (0.05). *)
+
+val split_exclusive : t -> m:int -> Spe_actionlog.Log.t array
+(** Exclusive provider split using the workload's generator state. *)
+
+val split_graph : t -> hosts:int -> Spe_graph.Digraph.t array
+(** Random arc split across several hosts (multi-host experiments). *)

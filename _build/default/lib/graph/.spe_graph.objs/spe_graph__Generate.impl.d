@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Array Digraph Hashtbl List Queue Spe_rng

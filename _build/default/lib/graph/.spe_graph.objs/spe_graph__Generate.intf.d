@@ -1,0 +1,1 @@
+lib/graph/generate.mli: Digraph Spe_rng

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Digraph Fun List Printf String

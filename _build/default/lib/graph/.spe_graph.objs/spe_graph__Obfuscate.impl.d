@@ -1,0 +1,1 @@
+lib/graph/obfuscate.ml: Array Digraph Hashtbl Spe_rng Stdlib

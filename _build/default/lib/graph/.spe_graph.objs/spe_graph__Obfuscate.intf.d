@@ -1,0 +1,1 @@
+lib/graph/obfuscate.mli: Digraph Spe_rng

@@ -1,0 +1,90 @@
+type edge = int * int
+
+type t = {
+  node_count : int;
+  out_adj : int array array; (* sorted, deduplicated *)
+  in_adj : int array array;
+  edge_count : int;
+}
+
+let sort_dedup (a : int array) =
+  Array.sort Stdlib.compare a;
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
+
+let create ~n edges =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Digraph.create: endpoint out of range";
+      if u = v then invalid_arg "Digraph.create: self-loop")
+    edges;
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      out_deg.(u) <- out_deg.(u) + 1;
+      in_deg.(v) <- in_deg.(v) + 1)
+    edges;
+  let out_adj = Array.init n (fun u -> Array.make out_deg.(u) 0) in
+  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      out_adj.(u).(out_fill.(u)) <- v;
+      out_fill.(u) <- out_fill.(u) + 1;
+      in_adj.(v).(in_fill.(v)) <- u;
+      in_fill.(v) <- in_fill.(v) + 1)
+    edges;
+  let out_adj = Array.map sort_dedup out_adj in
+  let in_adj = Array.map sort_dedup in_adj in
+  let edge_count = Array.fold_left (fun acc a -> acc + Array.length a) 0 out_adj in
+  { node_count = n; out_adj; in_adj; edge_count }
+
+let of_undirected ~n edges =
+  let both = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges in
+  create ~n both
+
+let n g = g.node_count
+let edge_count g = g.edge_count
+
+let mem_sorted (a : int array) x =
+  let rec bs lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true else if a.(mid) < x then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 (Array.length a)
+
+let mem_edge g u v =
+  if u < 0 || u >= g.node_count || v < 0 || v >= g.node_count then false
+  else mem_sorted g.out_adj.(u) v
+
+let out_neighbors g u = g.out_adj.(u)
+let in_neighbors g u = g.in_adj.(u)
+let out_degree g u = Array.length g.out_adj.(u)
+let in_degree g u = Array.length g.in_adj.(u)
+
+let iter_edges g f =
+  Array.iteri (fun u nbrs -> Array.iter (fun v -> f u v) nbrs) g.out_adj
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges g = List.rev (fold_edges g ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
+
+let pp fmt g =
+  Format.fprintf fmt "digraph(n=%d, |E|=%d)" g.node_count g.edge_count

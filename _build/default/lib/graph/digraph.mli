@@ -1,0 +1,48 @@
+(** Directed social graphs.
+
+    Nodes are integers [0 .. n-1] (the paper's users [v_1 .. v_n],
+    zero-indexed).  An arc [(u, v)] means "v follows u": v sees u's
+    activity, i.e. u can influence v (Sec. 3).  Graphs are immutable
+    after construction; adjacency is stored as sorted arrays so that
+    membership tests are logarithmic and iteration allocation-free. *)
+
+type t
+
+type edge = int * int
+(** [(u, v)]: u can influence v. *)
+
+val create : n:int -> edge list -> t
+(** Build a graph on [n] nodes.  Self-loops are rejected
+    ([Invalid_argument]); duplicate edges are collapsed; endpoints must
+    lie in [[0, n)]. *)
+
+val of_undirected : n:int -> edge list -> t
+(** Footnote 4 of the paper: an undirected (friendship) graph is
+    modelled by both directed arcs per edge. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val edge_count : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests the arc [(u, v)]. *)
+
+val out_neighbors : t -> int -> int array
+(** Followers of [u] — the nodes [u] can influence.  The returned array
+    is owned by the graph; callers must not mutate it. *)
+
+val in_neighbors : t -> int -> int array
+(** The nodes that can influence [u]. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val edges : t -> edge list
+(** All arcs in lexicographic order. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Summary (node/edge counts), not the full arc list. *)

@@ -1,0 +1,191 @@
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+(* Linear index over the n*(n-1) ordered pairs without the diagonal. *)
+let pair_of_index n k =
+  let u = k / (n - 1) in
+  let r = k mod (n - 1) in
+  (u, if r < u then r else r + 1)
+
+let erdos_renyi_gnp st ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Generate.erdos_renyi_gnp: p out of [0,1]";
+  if n <= 1 || p = 0. then Digraph.create ~n []
+  else begin
+    let total = n * (n - 1) in
+    let edges = ref [] in
+    if p = 1. then
+      for k = 0 to total - 1 do
+        edges := pair_of_index n k :: !edges
+      done
+    else begin
+      (* Skip a geometric number of non-edges between successive hits. *)
+      let k = ref (Dist.geometric st ~p) in
+      while !k < total do
+        edges := pair_of_index n !k :: !edges;
+        k := !k + 1 + Dist.geometric st ~p
+      done
+    end;
+    Digraph.create ~n !edges
+  end
+
+let erdos_renyi_gnm st ~n ~m =
+  let total = if n <= 1 then 0 else n * (n - 1) in
+  if m < 0 || m > total then invalid_arg "Generate.erdos_renyi_gnm: m out of range";
+  let chosen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  while Hashtbl.length chosen < m do
+    let k = State.next_int st total in
+    if not (Hashtbl.mem chosen k) then begin
+      Hashtbl.add chosen k ();
+      edges := pair_of_index n k :: !edges
+    end
+  done;
+  Digraph.create ~n !edges
+
+let barabasi_albert st ~n ~m =
+  if m < 1 then invalid_arg "Generate.barabasi_albert: m must be at least 1";
+  if n < m + 1 then invalid_arg "Generate.barabasi_albert: need n >= m + 1";
+  (* endpoints holds one entry per edge endpoint: sampling uniformly
+     from it is degree-proportional sampling. *)
+  let endpoints = ref [] and endpoint_count = ref 0 in
+  let undirected = ref [] in
+  let add_edge u v =
+    undirected := (u, v) :: !undirected;
+    endpoints := u :: v :: !endpoints;
+    endpoint_count := !endpoint_count + 2
+  in
+  (* Seed: clique on m + 1 nodes. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  let refresh () = endpoint_array := Array.of_list !endpoints in
+  for node = m + 1 to n - 1 do
+    refresh ();
+    let targets = Hashtbl.create m in
+    while Hashtbl.length targets < m do
+      let t = (!endpoint_array).(State.next_int st !endpoint_count) in
+      if not (Hashtbl.mem targets t) then Hashtbl.add targets t ()
+    done;
+    Hashtbl.iter (fun t () -> add_edge node t) targets
+  done;
+  Digraph.of_undirected ~n !undirected
+
+let configuration_model st ~degrees =
+  let n = Array.length degrees in
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Generate.configuration_model: negative degree")
+    degrees;
+  let total = Array.fold_left ( + ) 0 degrees in
+  if total mod 2 <> 0 then invalid_arg "Generate.configuration_model: odd stub count";
+  (* One stub per half-edge; a uniform matching is a shuffle paired off
+     two by two. *)
+  let stubs = Array.make total 0 in
+  let fill = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!fill) <- v;
+        incr fill
+      done)
+    degrees;
+  for i = total - 1 downto 1 do
+    let j = State.next_int st (i + 1) in
+    let tmp = stubs.(i) in
+    stubs.(i) <- stubs.(j);
+    stubs.(j) <- tmp
+  done;
+  let edges = ref [] in
+  let seen = Hashtbl.create total in
+  let i = ref 0 in
+  while !i + 1 < total do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    (* Erased variant: drop self-loops and duplicate pairs. *)
+    if u <> v && not (Hashtbl.mem seen (min u v, max u v)) then begin
+      Hashtbl.replace seen (min u v, max u v) ();
+      edges := (u, v) :: !edges
+    end;
+    i := !i + 2
+  done;
+  Digraph.of_undirected ~n !edges
+
+let forest_fire st ~n ~forward ~backward =
+  if forward < 0. || forward >= 1. || backward < 0. || backward >= 1. then
+    invalid_arg "Generate.forest_fire: burn probabilities must be in [0, 1)";
+  if n < 1 then invalid_arg "Generate.forest_fire: need at least one node";
+  (* Mutable adjacency while the graph grows. *)
+  let out_adj = Array.make n [] and in_adj = Array.make n [] in
+  let add_arc u v =
+    out_adj.(u) <- v :: out_adj.(u);
+    in_adj.(v) <- u :: in_adj.(v)
+  in
+  let geometric p = if p = 0. then 0 else Dist.geometric st ~p:(1. -. p) in
+  for v = 1 to n - 1 do
+    let burned = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    let ambassador = State.next_int st v in
+    Hashtbl.replace burned ambassador ();
+    Queue.push ambassador queue;
+    while not (Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      (* Burn geometric numbers of unvisited out- and in-neighbours. *)
+      let burn_from nbrs count =
+        let fresh = List.filter (fun x -> not (Hashtbl.mem burned x)) nbrs in
+        List.iteri
+          (fun i x ->
+            if i < count then begin
+              Hashtbl.replace burned x ();
+              Queue.push x queue
+            end)
+          fresh
+      in
+      burn_from out_adj.(w) (geometric forward);
+      burn_from in_adj.(w) (geometric backward)
+    done;
+    Hashtbl.iter (fun w () -> add_arc v w) burned
+  done;
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    List.iter (fun v -> edges := (u, v) :: !edges) out_adj.(u)
+  done;
+  Digraph.create ~n !edges
+
+let watts_strogatz st ~n ~k ~beta =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Generate.watts_strogatz: k must be even and >= 2";
+  if n <= k then invalid_arg "Generate.watts_strogatz: need n > k";
+  if beta < 0. || beta > 1. then invalid_arg "Generate.watts_strogatz: beta out of [0,1]";
+  let key u v = (min u v * n) + max u v in
+  let present = Hashtbl.create (n * k) in
+  let add u v = Hashtbl.replace present (key u v) (u, v) in
+  let remove u v = Hashtbl.remove present (key u v) in
+  let mem u v = Hashtbl.mem present (key u v) in
+  (* Ring lattice: node u connects to u+1 .. u+k/2 (mod n). *)
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      add u ((u + j) mod n)
+    done
+  done;
+  (* Rewire pass over the original lattice edges. *)
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      let v = (u + j) mod n in
+      if mem u v && Dist.bernoulli st ~p:beta then begin
+        (* Keep u, replace v by a uniform non-neighbour. *)
+        let rec draw tries =
+          if tries = 0 then None
+          else
+            let w = State.next_int st n in
+            if w = u || mem u w then draw (tries - 1) else Some w
+        in
+        match draw (4 * n) with
+        | None -> () (* node saturated; keep the lattice edge *)
+        | Some w ->
+          remove u v;
+          add u w
+      end
+    done
+  done;
+  let edges = Hashtbl.fold (fun _ e acc -> e :: acc) present [] in
+  Digraph.of_undirected ~n edges

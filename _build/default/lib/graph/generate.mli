@@ -1,0 +1,43 @@
+(** Random social-graph generators.
+
+    The paper evaluates on analytic cost models and synthetic masking
+    experiments; we additionally need realistic graph inputs to drive
+    the end-to-end protocols (DESIGN.md substitution table).  Three
+    standard families are provided; all produce directed graphs — the
+    undirected families follow the paper's footnote 4 and emit both
+    arcs per edge. *)
+
+val erdos_renyi_gnp : Spe_rng.State.t -> n:int -> p:float -> Digraph.t
+(** Directed [G(n, p)]: each ordered pair becomes an arc independently
+    with probability [p].  Uses geometric skipping, so sparse graphs
+    cost time proportional to the number of arcs produced. *)
+
+val erdos_renyi_gnm : Spe_rng.State.t -> n:int -> m:int -> Digraph.t
+(** Directed [G(n, M)]: exactly [m] distinct arcs drawn uniformly.
+    Raises [Invalid_argument] if [m] exceeds [n * (n-1)]. *)
+
+val barabasi_albert : Spe_rng.State.t -> n:int -> m:int -> Digraph.t
+(** Preferential attachment: start from a clique of [m + 1] nodes; each
+    new node attaches to [m] distinct existing nodes chosen
+    proportionally to degree.  Undirected edges, both arcs emitted —
+    yields the heavy-tailed degree profile of follower networks. *)
+
+val watts_strogatz : Spe_rng.State.t -> n:int -> k:int -> beta:float -> Digraph.t
+(** Small-world ring: each node connects to its [k] nearest neighbours
+    ([k] even), then each edge is rewired with probability [beta].
+    Undirected edges, both arcs emitted. *)
+
+val configuration_model : Spe_rng.State.t -> degrees:int array -> Digraph.t
+(** Undirected configuration model: a uniform random matching of the
+    degree stubs, with self-loops and multi-edges discarded (so
+    realised degrees can fall slightly short — the standard "erased"
+    variant).  The stub count must be even.  Both arcs emitted per kept
+    edge. *)
+
+val forest_fire : Spe_rng.State.t -> n:int -> forward:float -> backward:float -> Digraph.t
+(** Leskovec et al.'s forest-fire model: each arriving node picks a
+    uniform ambassador, links to it, then "burns" recursively through
+    the ambassador's out- and in-links with geometric fan-outs of means
+    [forward / (1 - forward)] and [backward / (1 - backward)], linking
+    to every burned node.  Produces densifying, heavy-tailed directed
+    graphs.  [forward], [backward] in [[0, 1)]. *)

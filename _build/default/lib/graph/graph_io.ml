@@ -1,0 +1,47 @@
+let to_string g =
+  let buf = Buffer.create (16 * Digraph.edge_count g) in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Digraph.n g));
+  Digraph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let parse_line ~lineno line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [] -> `Blank
+  | s :: _ when String.length s > 0 && s.[0] = '#' -> `Blank
+  | [ "n"; count ] -> (
+    match int_of_string_opt count with
+    | Some n when n >= 0 -> `Header n
+    | _ -> failwith (Printf.sprintf "graph file line %d: bad node count" lineno))
+  | [ a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some u, Some v -> `Arc (u, v)
+    | _ -> failwith (Printf.sprintf "graph file line %d: bad arc" lineno))
+  | _ -> failwith (Printf.sprintf "graph file line %d: unrecognised" lineno)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref None and arcs = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line ~lineno:(i + 1) line with
+      | `Blank -> ()
+      | `Header count ->
+        if !n <> None then failwith "graph file: duplicate header";
+        n := Some count
+      | `Arc (u, v) -> arcs := (u, v) :: !arcs)
+    lines;
+  match !n with
+  | None -> failwith "graph file: missing 'n <count>' header"
+  | Some n -> Digraph.create ~n (List.rev !arcs)
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

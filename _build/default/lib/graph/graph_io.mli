@@ -1,0 +1,16 @@
+(** Plain-text persistence for graphs (the CLI's interchange format).
+
+    Format: a header line ["n <nodes>"], then one arc per line
+    ["<src> <dst>"], whitespace-separated, ['#'] comments and blank
+    lines ignored. *)
+
+val save : Digraph.t -> string -> unit
+(** [save g path] writes the graph.  Raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> Digraph.t
+(** [load path] parses a graph file.  Raises [Failure] with a
+    line-numbered message on malformed input. *)
+
+val to_string : Digraph.t -> string
+val of_string : string -> Digraph.t

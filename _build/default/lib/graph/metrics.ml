@@ -1,0 +1,88 @@
+let degree_histogram g side =
+  let n = Digraph.n g in
+  let deg v = match side with `In -> Digraph.in_degree g v | `Out -> Digraph.out_degree g v in
+  let maxd = ref 0 in
+  for v = 0 to n - 1 do
+    maxd := max !maxd (deg v)
+  done;
+  let h = Array.make (!maxd + 1) 0 in
+  for v = 0 to n - 1 do
+    h.(deg v) <- h.(deg v) + 1
+  done;
+  h
+
+let max_degree g side = Array.length (degree_histogram g side) - 1
+
+let reciprocity g =
+  let total = Digraph.edge_count g in
+  if total = 0 then 0.
+  else begin
+    let reciprocal =
+      Digraph.fold_edges g ~init:0 ~f:(fun acc u v ->
+          if Digraph.mem_edge g v u then acc + 1 else acc)
+    in
+    float_of_int reciprocal /. float_of_int total
+  end
+
+let global_clustering g =
+  let n = Digraph.n g in
+  (* Undirected skeleton adjacency as sorted arrays. *)
+  let neighbor_sets =
+    Array.init n (fun v ->
+        let s = Hashtbl.create 8 in
+        Array.iter (fun u -> Hashtbl.replace s u ()) (Digraph.out_neighbors g v);
+        Array.iter (fun u -> Hashtbl.replace s u ()) (Digraph.in_neighbors g v);
+        s)
+  in
+  let closed = ref 0 and triads = ref 0 in
+  for v = 0 to n - 1 do
+    let nbrs = Hashtbl.fold (fun u () acc -> u :: acc) neighbor_sets.(v) [] in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            incr triads;
+            if Hashtbl.mem neighbor_sets.(a) b then incr closed)
+          rest;
+        pairs rest
+    in
+    pairs nbrs
+  done;
+  if !triads = 0 then 0. else float_of_int !closed /. float_of_int !triads
+
+let pagerank ?(damping = 0.85) ?(iterations = 50) g =
+  if damping < 0. || damping >= 1. then invalid_arg "Metrics.pagerank: damping out of [0,1)";
+  let n = Digraph.n g in
+  if n = 0 then [||]
+  else begin
+    let rank = ref (Array.make n (1. /. float_of_int n)) in
+    for _ = 1 to iterations do
+      let next = Array.make n ((1. -. damping) /. float_of_int n) in
+      let dangling = ref 0. in
+      for v = 0 to n - 1 do
+        let out = Digraph.out_degree g v in
+        if out = 0 then dangling := !dangling +. !rank.(v)
+        else begin
+          let share = damping *. !rank.(v) /. float_of_int out in
+          Array.iter (fun u -> next.(u) <- next.(u) +. share) (Digraph.out_neighbors g v)
+        end
+      done;
+      let dangling_share = damping *. !dangling /. float_of_int n in
+      for v = 0 to n - 1 do
+        next.(v) <- next.(v) +. dangling_share
+      done;
+      rank := next
+    done;
+    !rank
+  end
+
+let top_k k score =
+  let n = Array.length score in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Stdlib.compare score.(b) score.(a) in
+      if c <> 0 then c else Stdlib.compare a b)
+    idx;
+  Array.to_list (Array.sub idx 0 (min k n))

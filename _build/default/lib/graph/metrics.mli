@@ -1,0 +1,28 @@
+(** Structural graph metrics.
+
+    Used by the examples and benches to characterise generated networks
+    (degree profiles of the generator families) and to compare
+    influence rankings against classical centralities (out-degree,
+    PageRank) — the evaluation style of the leadership papers the
+    influence-score definition builds on. *)
+
+val degree_histogram : Digraph.t -> [ `In | `Out ] -> int array
+(** [h.(d)] = number of nodes with the given degree. *)
+
+val max_degree : Digraph.t -> [ `In | `Out ] -> int
+
+val reciprocity : Digraph.t -> float
+(** Fraction of arcs whose reverse arc also exists ([0.] for an empty
+    graph; [1.] for graphs built with [of_undirected]). *)
+
+val global_clustering : Digraph.t -> float
+(** Transitivity of the undirected skeleton: 3 x triangles / open
+    triads ([0.] when there are no triads). *)
+
+val pagerank : ?damping:float -> ?iterations:int -> Digraph.t -> float array
+(** Power iteration with uniform teleport (damping 0.85, 50 iterations
+    by default).  Dangling mass is redistributed uniformly.  The result
+    sums to 1. *)
+
+val top_k : int -> float array -> int list
+(** Indices of the k largest entries, descending (ties by index). *)

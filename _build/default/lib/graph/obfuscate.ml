@@ -1,0 +1,45 @@
+module State = Spe_rng.State
+
+type t = { pairs : (int * int) array; n : int }
+
+let make st g ~c =
+  if c < 1. then invalid_arg "Obfuscate.make: c must be at least 1";
+  let n = Digraph.n g in
+  let total = if n <= 1 then 0 else n * (n - 1) in
+  let e = Digraph.edge_count g in
+  let target = min total (int_of_float (ceil (c *. float_of_int e))) in
+  let chosen = Hashtbl.create (2 * target) in
+  let key (u, v) = (u * n) + v in
+  Digraph.iter_edges g (fun u v -> Hashtbl.replace chosen (key (u, v)) (u, v));
+  (* Pad with uniform random decoy pairs until the target size. *)
+  while Hashtbl.length chosen < target do
+    let k = State.next_int st total in
+    let u = k / (n - 1) in
+    let r = k mod (n - 1) in
+    let v = if r < u then r else r + 1 in
+    if not (Hashtbl.mem chosen (key (u, v))) then Hashtbl.replace chosen (key (u, v)) (u, v)
+  done;
+  let pairs = Array.of_seq (Hashtbl.to_seq_values chosen) in
+  Array.sort Stdlib.compare pairs;
+  { pairs; n }
+
+let size t = Array.length t.pairs
+
+let find t u v =
+  let target = (u, v) in
+  let rec bs lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Stdlib.compare t.pairs.(mid) target in
+      if c = 0 then Some mid else if c < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 (Array.length t.pairs)
+
+let mem t u v = find t u v <> None
+let index_of t u v = find t u v
+
+let covers t g =
+  Digraph.fold_edges g ~init:true ~f:(fun acc u v -> acc && mem t u v)
+
+let iteri t f = Array.iteri (fun i (u, v) -> f i u v) t.pairs

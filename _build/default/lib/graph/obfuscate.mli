@@ -1,0 +1,34 @@
+(** Edge-set obfuscation (Protocol 4, Steps 1-2; Protocol 6, Step 1).
+
+    The host hides his arc set [E] inside a larger set [E'] with
+    [|E'| >= c * |E|]: the extra pairs are drawn uniformly at random
+    from the off-diagonal pairs outside [E].  The service providers
+    then compute counters for every pair in [E'] without learning which
+    pairs are real.  The factor [c] is the privacy-efficiency dial
+    discussed in Sec. 5.1.1. *)
+
+type t = private {
+  pairs : (int * int) array;  (** The published set [Omega_E'], sorted. *)
+  n : int;  (** Number of nodes. *)
+}
+
+val make : Spe_rng.State.t -> Digraph.t -> c:float -> t
+(** [make st g ~c] publishes an obfuscated arc set covering [g]'s arcs.
+    Requires [c >= 1].  If [ceil(c * |E|)] exceeds the number of
+    available pairs, all pairs are used (the perfect-hiding limit
+    discussed in the paper). *)
+
+val size : t -> int
+(** [|E'|] — the paper's [q]. *)
+
+val covers : t -> Digraph.t -> bool
+(** Check [E ⊆ E'] (used in tests and as a protocol assertion). *)
+
+val mem : t -> int -> int -> bool
+
+val index_of : t -> int -> int -> int option
+(** Position of a pair in the published ordering; the batched protocols
+    use this ordering for counter vectors. *)
+
+val iteri : t -> (int -> int -> int -> unit) -> unit
+(** [iteri t f] calls [f idx u v] for each published pair in order. *)

@@ -1,0 +1,129 @@
+(* A minimal binary min-heap of (priority, payload) pairs, local to
+   Dijkstra.  Lazy deletion: stale entries are skipped on pop. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h prio payload =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (prio, payload);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let bfs_distances g ~src =
+  let n = Digraph.n g in
+  if src < 0 || src >= n then invalid_arg "Traverse.bfs_distances: source out of range";
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      (Digraph.out_neighbors g u)
+  done;
+  dist
+
+let reachable g ~src =
+  let dist = bfs_distances g ~src in
+  Array.map (fun d -> d < max_int) dist
+
+let weighted_distances ~n ~adj ~src =
+  if src < 0 || src >= n then invalid_arg "Traverse.weighted_distances: source out of range";
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let heap = Heap.create () in
+  Heap.push heap 0 src;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        List.iter
+          (fun (v, w) ->
+            if w <= 0 then invalid_arg "Traverse.weighted_distances: non-positive weight";
+            if v < 0 || v >= n then invalid_arg "Traverse.weighted_distances: node out of range";
+            let nd = d + w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Heap.push heap nd v
+            end)
+          (adj u);
+      drain ()
+  in
+  drain ();
+  dist
+
+let bounded_reachable ~n ~adj ~src ~tau =
+  let dist = weighted_distances ~n ~adj ~src in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if v <> src && dist.(v) <= tau then acc := v :: !acc
+  done;
+  !acc
+
+let is_connected_undirected g =
+  let n = Digraph.n g in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    seen.(0) <- true;
+    let queue = Queue.create () in
+    Queue.push 0 queue;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let visit v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr visited;
+          Queue.push v queue
+        end
+      in
+      Array.iter visit (Digraph.out_neighbors g u);
+      Array.iter visit (Digraph.in_neighbors g u)
+    done;
+    !visited = n
+  end

@@ -1,0 +1,30 @@
+(** Graph traversals.
+
+    {!bounded_reachable} is the computational core of the user
+    influence score (Def. 3.2): the tau-influence sphere of a node in a
+    propagation graph is the set of nodes reachable by a path whose sum
+    of (positive) labels is at most tau.  Since all labels are
+    positive, Dijkstra computes minimal label-sums and the sphere is
+    the set of nodes whose distance is within the threshold. *)
+
+val bfs_distances : Digraph.t -> src:int -> int array
+(** Hop distances from [src]; unreachable nodes get [max_int]. *)
+
+val reachable : Digraph.t -> src:int -> bool array
+(** Reachability along directed arcs. *)
+
+val bounded_reachable :
+  n:int -> adj:(int -> (int * int) list) -> src:int -> tau:int -> int list
+(** [bounded_reachable ~n ~adj ~src ~tau] returns the nodes [v] (other
+    than [src] itself) whose minimal weighted distance from [src] is
+    [<= tau], where [adj u] lists [(v, w)] arcs with positive weights
+    [w].  Raises [Invalid_argument] on a non-positive weight.  Sorted
+    ascending. *)
+
+val weighted_distances :
+  n:int -> adj:(int -> (int * int) list) -> src:int -> int array
+(** Full Dijkstra distances; unreachable nodes get [max_int]. *)
+
+val is_connected_undirected : Digraph.t -> bool
+(** Weak connectivity (treating every arc as undirected).  Used by the
+    generator tests. *)

@@ -1,0 +1,1 @@
+lib/influence/attributes.ml: Array Counters Spe_rng

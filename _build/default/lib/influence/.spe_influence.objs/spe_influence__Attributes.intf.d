@@ -1,0 +1,1 @@
+lib/influence/attributes.mli: Counters Spe_rng

@@ -1,0 +1,1 @@
+lib/influence/counters.mli: Spe_actionlog Spe_graph

@@ -1,0 +1,1 @@
+lib/influence/credit.ml: Array Hashtbl List Option Spe_actionlog Spe_graph

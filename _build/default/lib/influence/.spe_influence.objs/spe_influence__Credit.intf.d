@@ -1,0 +1,1 @@
+lib/influence/credit.mli: Hashtbl Spe_actionlog Spe_graph

@@ -1,0 +1,1 @@
+lib/influence/em.ml: Array Float Hashtbl List Option Spe_actionlog Spe_graph

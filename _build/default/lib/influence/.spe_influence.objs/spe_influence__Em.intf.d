@@ -1,0 +1,1 @@
+lib/influence/em.mli: Hashtbl Spe_actionlog Spe_graph

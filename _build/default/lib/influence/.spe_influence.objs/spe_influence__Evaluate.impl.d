@@ -1,0 +1,1 @@
+lib/influence/evaluate.ml: Array Float Hashtbl List Spe_actionlog Spe_graph Spe_rng

@@ -1,0 +1,1 @@
+lib/influence/evaluate.mli: Spe_actionlog Spe_graph Spe_rng

@@ -1,0 +1,1 @@
+lib/influence/link_strength.ml: Array Counters Spe_graph

@@ -1,0 +1,1 @@
+lib/influence/link_strength.mli: Counters Spe_graph

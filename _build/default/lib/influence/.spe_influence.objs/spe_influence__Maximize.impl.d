@@ -1,0 +1,1 @@
+lib/influence/maximize.ml: Array Float Hashtbl List Queue Spe_graph Spe_rng Stdlib

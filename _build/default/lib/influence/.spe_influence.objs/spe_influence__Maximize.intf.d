@@ -1,0 +1,1 @@
+lib/influence/maximize.mli: Spe_graph Spe_rng

@@ -1,0 +1,1 @@
+lib/influence/propagation.ml: Array Hashtbl List Spe_actionlog Spe_graph Stdlib

@@ -1,0 +1,1 @@
+lib/influence/propagation.mli: Spe_actionlog Spe_graph

@@ -1,0 +1,1 @@
+lib/influence/result_io.ml: Array Buffer Fun List Printf String

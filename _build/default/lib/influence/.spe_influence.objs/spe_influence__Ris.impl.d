@@ -1,0 +1,1 @@
+lib/influence/ris.ml: Array List Maximize Queue Spe_graph Spe_rng

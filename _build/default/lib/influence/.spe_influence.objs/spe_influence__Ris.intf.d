@@ -1,0 +1,1 @@
+lib/influence/ris.mli: Maximize Spe_rng

@@ -1,0 +1,1 @@
+lib/influence/stream.ml: Array Counters Hashtbl List Spe_actionlog

@@ -1,0 +1,1 @@
+lib/influence/stream.mli: Counters Spe_actionlog

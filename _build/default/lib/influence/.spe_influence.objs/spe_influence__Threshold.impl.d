@@ -1,0 +1,1 @@
+lib/influence/threshold.ml: Array Float Hashtbl List Maximize Option Queue Spe_graph Spe_rng

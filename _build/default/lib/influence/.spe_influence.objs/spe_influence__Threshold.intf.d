@@ -1,0 +1,1 @@
+lib/influence/threshold.mli: Spe_graph Spe_rng

@@ -1,0 +1,58 @@
+module State = Spe_rng.State
+
+type grouping = { group_of : int array; num_groups : int }
+
+let grouping_of_array group_of =
+  let num_groups = ref 0 in
+  Array.iter
+    (fun g ->
+      if g < 0 then invalid_arg "Attributes.grouping_of_array: negative group id";
+      num_groups := max !num_groups (g + 1))
+    group_of;
+  { group_of = Array.copy group_of; num_groups = max 1 !num_groups }
+
+let random_grouping st ~n ~num_groups =
+  if num_groups < 1 then invalid_arg "Attributes.random_grouping: need at least one group";
+  { group_of = Array.init n (fun _ -> State.next_int st num_groups); num_groups }
+
+let pooled_strengths (ct : Counters.t) grouping =
+  let g = grouping.num_groups in
+  let num = Array.make_matrix g g 0 and den = Array.make_matrix g g 0 in
+  Array.iteri
+    (fun k (i, j) ->
+      let gi = grouping.group_of.(i) and gj = grouping.group_of.(j) in
+      let b = Array.fold_left ( + ) 0 ct.Counters.c.(k) in
+      num.(gi).(gj) <- num.(gi).(gj) + b;
+      den.(gi).(gj) <- den.(gi).(gj) + ct.Counters.a.(i))
+    ct.Counters.pairs;
+  Array.mapi
+    (fun gi row ->
+      Array.mapi
+        (fun gj total -> if den.(gi).(gj) = 0 then 0. else float_of_int total /. float_of_int den.(gi).(gj))
+        row)
+    num
+
+let shrunk_strengths (ct : Counters.t) grouping ~lambda =
+  if lambda < 0. then invalid_arg "Attributes.shrunk_strengths: lambda must be non-negative";
+  if Array.length grouping.group_of <> Array.length ct.Counters.a then
+    invalid_arg "Attributes.shrunk_strengths: grouping size mismatch";
+  let pooled = pooled_strengths ct grouping in
+  Array.mapi
+    (fun k (i, j) ->
+      let b = float_of_int (Array.fold_left ( + ) 0 ct.Counters.c.(k)) in
+      let a = float_of_int ct.Counters.a.(i) in
+      let prior = pooled.(grouping.group_of.(i)).(grouping.group_of.(j)) in
+      if a +. lambda = 0. then 0. else (b +. (lambda *. prior)) /. (a +. lambda))
+    ct.Counters.pairs
+
+let mse_vs_truth ~estimates ~pairs ~truth =
+  if Array.length estimates <> Array.length pairs then
+    invalid_arg "Attributes.mse_vs_truth: shape mismatch";
+  if Array.length pairs = 0 then invalid_arg "Attributes.mse_vs_truth: no pairs";
+  let acc = ref 0. in
+  Array.iteri
+    (fun k (i, j) ->
+      let d = estimates.(k) -. truth i j in
+      acc := !acc +. (d *. d))
+    pairs;
+  !acc /. float_of_int (Array.length pairs)

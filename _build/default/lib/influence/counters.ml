@@ -1,0 +1,114 @@
+module Log = Spe_actionlog.Log
+module Digraph = Spe_graph.Digraph
+
+type t = {
+  a : int array;
+  b : int array;
+  c : int array array;
+  both : int array;
+  h : int;
+  pairs : (int * int) array;
+}
+
+let compute log ~h ~pairs =
+  if h < 1 then invalid_arg "Counters.compute: window must be >= 1";
+  let n = Log.num_users log in
+  let q = Array.length pairs in
+  let a = Log.user_activity log in
+  let b = Array.make q 0 in
+  let c = Array.make_matrix q h 0 in
+  let both = Array.make q 0 in
+  (* Per action: a time table over users, then one probe per pair. *)
+  let time_of = Array.make n (-1) in
+  List.iter
+    (fun action ->
+      let recs = Log.by_action log action in
+      List.iter (fun (u, t) -> time_of.(u) <- t) recs;
+      Array.iteri
+        (fun k (i, j) ->
+          let ti = time_of.(i) and tj = time_of.(j) in
+          if ti >= 0 && tj >= 0 then begin
+            both.(k) <- both.(k) + 1;
+            let d = tj - ti in
+            if d >= 1 && d <= h then begin
+              b.(k) <- b.(k) + 1;
+              c.(k).(d - 1) <- c.(k).(d - 1) + 1
+            end
+          end)
+        pairs;
+      List.iter (fun (u, _) -> time_of.(u) <- -1) recs)
+    (Log.actions_present log);
+  { a; b; c; both; h; pairs }
+
+let compute_sparse log ~h ~pairs =
+  if h < 1 then invalid_arg "Counters.compute: window must be >= 1";
+  let q = Array.length pairs in
+  let a = Log.user_activity log in
+  let b = Array.make q 0 in
+  let c = Array.make_matrix q h 0 in
+  let both = Array.make q 0 in
+  let index = Hashtbl.create (2 * q) in
+  Array.iteri (fun k pair -> Hashtbl.replace index pair k) pairs;
+  List.iter
+    (fun action ->
+      let recs = Log.by_action log action in
+      (* Every ordered record pair of the action, looked up in the
+         published set. *)
+      List.iter
+        (fun (i, ti) ->
+          List.iter
+            (fun (j, tj) ->
+              if i <> j then
+                match Hashtbl.find_opt index (i, j) with
+                | None -> ()
+                | Some k ->
+                  both.(k) <- both.(k) + 1;
+                  let d = tj - ti in
+                  if d >= 1 && d <= h then begin
+                    b.(k) <- b.(k) + 1;
+                    c.(k).(d - 1) <- c.(k).(d - 1) + 1
+                  end)
+            recs)
+        recs)
+    (Log.actions_present log);
+  { a; b; c; both; h; pairs }
+
+let compute_auto log ~h ~pairs =
+  let q = Array.length pairs in
+  let actions = Log.actions_present log in
+  let dense_probes = q * List.length actions in
+  let sparse_probes =
+    List.fold_left
+      (fun acc action ->
+        let k = List.length (Log.by_action log action) in
+        acc + (k * k))
+      0 actions
+  in
+  if sparse_probes < dense_probes then compute_sparse log ~h ~pairs
+  else compute log ~h ~pairs
+
+let compute_graph log ~h g =
+  compute log ~h ~pairs:(Array.of_list (Digraph.edges g))
+
+let b_single log ~h ~i ~j =
+  let counters = compute log ~h ~pairs:[| (i, j) |] in
+  counters.b.(0)
+
+let c_single log ~l ~i ~j =
+  if l < 1 then invalid_arg "Counters.c_single: lag must be >= 1";
+  let counters = compute log ~h:l ~pairs:[| (i, j) |] in
+  counters.c.(0).(l - 1)
+
+let add x y =
+  if x.h <> y.h then invalid_arg "Counters.add: window mismatch";
+  if Array.length x.pairs <> Array.length y.pairs || not (x.pairs = y.pairs) then
+    invalid_arg "Counters.add: pair ordering mismatch";
+  if Array.length x.a <> Array.length y.a then invalid_arg "Counters.add: user count mismatch";
+  {
+    a = Array.map2 ( + ) x.a y.a;
+    b = Array.map2 ( + ) x.b y.b;
+    c = Array.map2 (Array.map2 ( + )) x.c y.c;
+    both = Array.map2 ( + ) x.both y.both;
+    h = x.h;
+    pairs = x.pairs;
+  }

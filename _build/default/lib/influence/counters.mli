@@ -1,0 +1,67 @@
+(** The counters of Sec. 3.1, computed in the clear.
+
+    For a unified log [L]:
+    - [a_i] — number of (distinct) actions performed by user [i];
+    - [b^h_(i,j)] — number of actions alpha with records
+      [(v_i, alpha, t)] and [(v_j, alpha, t')] such that
+      [t < t' <= t + h]: the episodes in which [j] followed [i] within
+      the memory window [h];
+    - [c^l_(i,j)] — episodes in which [j] followed [i] {e exactly} [l]
+      steps later ([t' = t + l]), so [b^h = sum_(l=1..h) c^l].
+
+    These are the private quantities the secure protocols compute
+    additive shares of; this module is both the specification oracle
+    for the protocol tests and the engine each provider runs on its
+    local log. *)
+
+type t = {
+  a : int array;  (** [a.(i)] is [a_i]. *)
+  b : int array;  (** [b.(k)] is [b^h] of the k-th published pair. *)
+  c : int array array;
+      (** [c.(k).(l-1)] is [c^l] of the k-th pair, [1 <= l <= h]. *)
+  both : int array;
+      (** [both.(k)]: actions performed by {e both} endpoints of the
+          k-th pair, in any order and at any distance — the
+          denominator ingredient of the Jaccard estimator (Goyal et
+          al.'s static models).  Additive across exclusive providers,
+          like every other counter here. *)
+  h : int;  (** Window width the [b]/[c] counters were computed for. *)
+  pairs : (int * int) array;  (** The pair ordering used by [b]/[c]. *)
+}
+
+val compute : Spe_actionlog.Log.t -> h:int -> pairs:(int * int) array -> t
+(** Compute all counters for the given ordered pair set (typically the
+    host's obfuscated [Omega_E']).  [h >= 1].
+
+    Complexity: one probe per (action, pair) — O(|A| * q) — which is
+    the right strategy when the pair set is small relative to the
+    activity.  See {!compute_sparse} for the dual regime. *)
+
+val compute_sparse : Spe_actionlog.Log.t -> h:int -> pairs:(int * int) array -> t
+(** Same result as {!compute}, computed by enumerating the record
+    pairs of each action and looking them up in the published set:
+    O(sum_alpha k_alpha^2 + q) where [k_alpha] is the action's record
+    count.  Wins when actions are small but the published pair set is
+    large (e.g. the perfect-hiding variant's n(n-1) pairs).  The test
+    suite asserts equality with {!compute} on random inputs; the bench
+    reports the crossover. *)
+
+val compute_auto : Spe_actionlog.Log.t -> h:int -> pairs:(int * int) array -> t
+(** Picks between the two strategies from the workload's probe-count
+    estimates. *)
+
+val compute_graph : Spe_actionlog.Log.t -> h:int -> Spe_graph.Digraph.t -> t
+(** Convenience: counters over exactly the arcs of a graph. *)
+
+val b_single : Spe_actionlog.Log.t -> h:int -> i:int -> j:int -> int
+(** [b^h_(i,j)] alone (quadratic per call; for tests and spot
+    checks). *)
+
+val c_single : Spe_actionlog.Log.t -> l:int -> i:int -> j:int -> int
+(** [c^l_(i,j)] alone. *)
+
+val add : t -> t -> t
+(** Pointwise sum of two counter sets over the same pair ordering and
+    window — the aggregation [a_i = sum_k a_i,k],
+    [b = sum_k b_k] used in the exclusive case (Sec. 5.1).  Raises
+    [Invalid_argument] on mismatched shapes. *)

@@ -1,0 +1,44 @@
+module Log = Spe_actionlog.Log
+module Digraph = Spe_graph.Digraph
+
+let credits log graph ~h =
+  if h < 1 then invalid_arg "Credit.credits: window must be >= 1";
+  if Log.num_users log <> Digraph.n graph then
+    invalid_arg "Credit.credits: log/graph user universe mismatch";
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun action ->
+      let recs = Log.by_action log action in
+      let time = Hashtbl.create (List.length recs) in
+      List.iter (fun (u, t) -> Hashtbl.replace time u t) recs;
+      List.iter
+        (fun (v, tv) ->
+          let parents =
+            Array.to_list (Digraph.in_neighbors graph v)
+            |> List.filter (fun u ->
+                   match Hashtbl.find_opt time u with
+                   | Some tu -> tv > tu && tv - tu <= h
+                   | None -> false)
+          in
+          match parents with
+          | [] -> ()
+          | _ ->
+            let share = 1. /. float_of_int (List.length parents) in
+            List.iter
+              (fun u ->
+                let arc = (u, v) in
+                Hashtbl.replace table arc
+                  (share +. Option.value ~default:0. (Hashtbl.find_opt table arc)))
+              parents)
+        recs)
+    (Log.actions_present log);
+  table
+
+let strengths log graph ~h =
+  let table = credits log graph ~h in
+  let a = Log.user_activity log in
+  List.map
+    (fun (u, v) ->
+      let credit = Option.value ~default:0. (Hashtbl.find_opt table (u, v)) in
+      ((u, v), if a.(u) = 0 then 0. else credit /. float_of_int a.(u)))
+    (Digraph.edges graph)

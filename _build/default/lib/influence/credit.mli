@@ -1,0 +1,27 @@
+(** Partial-credit influence attribution (Goyal, Bonchi & Lakshmanan,
+    "Learning influence probabilities in social networks", WSDM 2010).
+
+    When a user activates with several in-neighbours active inside the
+    window, Eq. (1)-style counting gives each of them a full success —
+    overcounting joint influence.  The partial-credit variant splits
+    each activation's unit of credit equally among the candidate
+    parents:
+
+    {v credit(u, v) = sum over actions alpha of
+         1 / |parents of v in alpha|  (when u is such a parent)
+       p_pc(u, v) = credit(u, v) / a_u v}
+
+    Unlike the pairwise counters, the credit numerator depends on the
+    {e joint} parent set per activation, which no single provider can
+    see in the exclusive case and which the paper's share-based
+    protocols do not cover — so this estimator is provided as a
+    plaintext reference only (the natural secure extension would run it
+    behind Protocol 5's trusted-party aggregation). *)
+
+val credits :
+  Spe_actionlog.Log.t -> Spe_graph.Digraph.t -> h:int -> (int * int, float) Hashtbl.t
+(** Raw credit per arc (absent = zero). *)
+
+val strengths :
+  Spe_actionlog.Log.t -> Spe_graph.Digraph.t -> h:int -> ((int * int) * float) list
+(** [p_pc] for every arc of the graph, in lexicographic arc order. *)

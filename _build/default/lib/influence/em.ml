@@ -1,0 +1,131 @@
+module Log = Spe_actionlog.Log
+module Digraph = Spe_graph.Digraph
+
+type t = {
+  probability : (int * int, float) Hashtbl.t;
+  iterations : int;
+  log_likelihood : float list;
+}
+
+(* Probabilities are clamped away from {0, 1} so failed attempts never
+   drive the likelihood to -inf. *)
+let clamp p = Float.max 1e-9 (Float.min (1. -. 1e-9) p)
+
+(* One success episode: an activated user and the candidate parents
+   that may have triggered it. *)
+type episode = { child : int; parents : int array }
+
+let prepare log graph ~h =
+  if h < 1 then invalid_arg "Em.learn: window must be >= 1";
+  if Log.num_users log <> Digraph.n graph then
+    invalid_arg "Em.learn: log/graph user universe mismatch";
+  let episodes = ref [] in
+  (* attempts.(arc) counts every action in which the source activated
+     and the target was exposed (successfully or not). *)
+  let attempts = Hashtbl.create 1024 in
+  let bump_attempt arc =
+    Hashtbl.replace attempts arc (1 + Option.value ~default:0 (Hashtbl.find_opt attempts arc))
+  in
+  List.iter
+    (fun action ->
+      let recs = Log.by_action log action in
+      let time = Hashtbl.create (List.length recs) in
+      List.iter (fun (u, t) -> Hashtbl.replace time u t) recs;
+      List.iter
+        (fun (u, tu) ->
+          (* Every follower of an active user is exposed once — except
+             followers that were already active when u activated (no
+             attempt is possible on them under the IC semantics). *)
+          Array.iter
+            (fun v ->
+              match Hashtbl.find_opt time v with
+              | Some tv when tv > tu && tv - tu <= h -> bump_attempt (u, v) (* success *)
+              | Some tv when tv > tu -> bump_attempt (u, v) (* too late: failure *)
+              | Some _ -> () (* v already active: no attempt *)
+              | None -> bump_attempt (u, v) (* v never acted: failure *))
+            (Digraph.out_neighbors graph u))
+        recs;
+      (* Success episodes: activated users with at least one candidate
+         parent. *)
+      List.iter
+        (fun (v, tv) ->
+          let parents =
+            Array.to_list (Digraph.in_neighbors graph v)
+            |> List.filter (fun u ->
+                   match Hashtbl.find_opt time u with
+                   | Some tu -> tv > tu && tv - tu <= h
+                   | None -> false)
+          in
+          if parents <> [] then
+            episodes := { child = v; parents = Array.of_list parents } :: !episodes)
+        recs)
+    (Log.actions_present log);
+  (* Success count per arc (the arc appeared as a candidate parent of
+     an activated child). *)
+  let successes = Hashtbl.create (Hashtbl.length attempts) in
+  List.iter
+    (fun { child; parents } ->
+      Array.iter
+        (fun u ->
+          let arc = (u, child) in
+          Hashtbl.replace successes arc
+            (1 + Option.value ~default:0 (Hashtbl.find_opt successes arc)))
+        parents)
+    !episodes;
+  (!episodes, attempts, successes)
+
+let learn ?(max_iterations = 100) ?(tolerance = 1e-6) ?(initial = 0.1) log graph ~h =
+  if max_iterations < 1 then invalid_arg "Em.learn: need at least one iteration";
+  if initial <= 0. || initial >= 1. then invalid_arg "Em.learn: initial must be in (0,1)";
+  let episodes, attempts, successes = prepare log graph ~h in
+  let probability = Hashtbl.create (Hashtbl.length attempts) in
+  Hashtbl.iter (fun arc _ -> Hashtbl.replace probability arc initial) attempts;
+  let p arc = Option.value ~default:0. (Hashtbl.find_opt probability arc) in
+  let ll_history = ref [] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    (* E-step: distribute credit for each success among its parents,
+       accumulating the M-step numerators. *)
+    let credit = Hashtbl.create (Hashtbl.length probability) in
+    let add_credit arc c =
+      Hashtbl.replace credit arc (c +. Option.value ~default:0. (Hashtbl.find_opt credit arc))
+    in
+    let ll = ref 0. in
+    List.iter
+      (fun { child; parents } ->
+        let fail_all =
+          Array.fold_left (fun acc u -> acc *. (1. -. p (u, child))) 1. parents
+        in
+        let p_any = clamp (1. -. fail_all) in
+        ll := !ll +. Float.log p_any;
+        Array.iter
+          (fun u ->
+            let arc = (u, child) in
+            add_credit arc (p arc /. p_any))
+          parents)
+      episodes;
+    (* Failure terms of the likelihood. *)
+    Hashtbl.iter
+      (fun arc total ->
+        let failures = total - Option.value ~default:0 (Hashtbl.find_opt successes arc) in
+        if failures > 0 then ll := !ll +. (float_of_int failures *. Float.log (clamp (1. -. p arc))))
+      attempts;
+    (* M-step. *)
+    Hashtbl.iter
+      (fun arc total ->
+        let num = Option.value ~default:0. (Hashtbl.find_opt credit arc) in
+        Hashtbl.replace probability arc (clamp (num /. float_of_int total)))
+      attempts;
+    (match !ll_history with
+    | prev :: _ when abs_float (!ll -. prev) < tolerance -> converged := true
+    | _ -> ());
+    ll_history := !ll :: !ll_history
+  done;
+  { probability; iterations = !iterations; log_likelihood = List.rev !ll_history }
+
+let probability t u v = Option.value ~default:0. (Hashtbl.find_opt t.probability (u, v))
+
+let to_strengths t graph =
+  List.map (fun (u, v) -> ((u, v), probability t u v)) (Digraph.edges graph)

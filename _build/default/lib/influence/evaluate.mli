@@ -1,0 +1,43 @@
+(** Held-out evaluation of learned influence models.
+
+    Sec. 1 motivates conjoining provider data with {e accuracy}: more
+    traces mean less overfitting.  This module provides the standard
+    machinery to quantify that — split the action log into training and
+    test traces, fit an estimator on the training half, and score it on
+    the held-out half — so the claim can be measured for every
+    estimator in the library (see the bench's generalisation
+    ablation).
+
+    Scoring uses the windowed activation model the estimators share:
+    for each test-trace activation with at least one candidate parent,
+    the model predicts activation probability
+    [1 - prod_(u in parents) (1 - p_(u,v))]; for each exposed
+    non-activation it predicts the complement.  We report mean
+    predictive log-likelihood per exposure (clamped away from log 0)
+    and a simple Brier score. *)
+
+type split = {
+  train : Spe_actionlog.Log.t;
+  test : Spe_actionlog.Log.t;
+}
+
+val split_by_action :
+  Spe_rng.State.t -> Spe_actionlog.Log.t -> train_fraction:float -> split
+(** Assign each action's whole trace to train or test (traces must not
+    straddle the split).  [train_fraction] in [(0, 1)]. *)
+
+type score = {
+  log_likelihood : float;  (** Mean per-exposure predictive log-likelihood (nats). *)
+  brier : float;  (** Mean squared error of the activation predictions. *)
+  exposures : int;  (** Scored events. *)
+}
+
+val score :
+  probability:(int -> int -> float) ->
+  Spe_actionlog.Log.t ->
+  Spe_graph.Digraph.t ->
+  h:int ->
+  score
+(** Score an arc-probability model on a (test) log.  Raises
+    [Invalid_argument] on universe mismatches or if the log yields no
+    exposures. *)

@@ -1,0 +1,66 @@
+module Digraph = Spe_graph.Digraph
+
+type weights = float array
+
+let rescale ~h raw =
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun w -> w *. float_of_int h /. total) raw
+
+let uniform_weights ~h =
+  if h < 1 then invalid_arg "Link_strength.uniform_weights: h must be >= 1";
+  Array.make h 1.
+
+let linear_decay_weights ~h =
+  if h < 1 then invalid_arg "Link_strength.linear_decay_weights: h must be >= 1";
+  rescale ~h (Array.init h (fun l -> float_of_int (h - l)))
+
+let exponential_decay_weights ~h ~alpha =
+  if h < 1 then invalid_arg "Link_strength.exponential_decay_weights: h must be >= 1";
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Link_strength.exponential_decay_weights: alpha must be in (0,1)";
+  rescale ~h (Array.init h (fun l -> alpha ** float_of_int l))
+
+let weights_of_array w =
+  let h = Array.length w in
+  if h = 0 then invalid_arg "Link_strength.weights_of_array: empty profile";
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Link_strength.weights_of_array: non-positive weight") w;
+  let total = Array.fold_left ( +. ) 0. w in
+  if abs_float (total -. float_of_int h) > 1e-9 *. float_of_int h then
+    invalid_arg "Link_strength.weights_of_array: weights must sum to h";
+  Array.copy w
+
+let eq1 (ct : Counters.t) ~k =
+  let i, _ = ct.Counters.pairs.(k) in
+  let a = ct.Counters.a.(i) in
+  if a = 0 then 0. else float_of_int ct.Counters.b.(k) /. float_of_int a
+
+let eq2 (ct : Counters.t) (w : weights) ~k =
+  if Array.length w <> ct.Counters.h then invalid_arg "Link_strength.eq2: weight length mismatch";
+  let i, _ = ct.Counters.pairs.(k) in
+  let a = ct.Counters.a.(i) in
+  if a = 0 then 0.
+  else begin
+    let num = ref 0. in
+    Array.iteri (fun l wl -> num := !num +. (wl *. float_of_int ct.Counters.c.(k).(l))) w;
+    !num /. float_of_int a
+  end
+
+let all_eq1 ct = Array.init (Array.length ct.Counters.pairs) (fun k -> eq1 ct ~k)
+let all_eq2 ct w = Array.init (Array.length ct.Counters.pairs) (fun k -> eq2 ct w ~k)
+
+let jaccard (ct : Counters.t) ~k =
+  let i, j = ct.Counters.pairs.(k) in
+  let den = ct.Counters.a.(i) + ct.Counters.a.(j) - ct.Counters.both.(k) in
+  if den <= 0 then 0. else float_of_int ct.Counters.b.(k) /. float_of_int den
+
+let all_jaccard ct = Array.init (Array.length ct.Counters.pairs) (fun k -> jaccard ct ~k)
+
+let restrict_to_graph (ct : Counters.t) strengths g =
+  if Array.length strengths <> Array.length ct.Counters.pairs then
+    invalid_arg "Link_strength.restrict_to_graph: strength vector shape mismatch";
+  let acc = ref [] in
+  for k = Array.length ct.Counters.pairs - 1 downto 0 do
+    let ((u, v) as pair) = ct.Counters.pairs.(k) in
+    if Digraph.mem_edge g u v then acc := (pair, strengths.(k)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,52 @@
+(** Link influence strength (Sec. 3.1) in the clear.
+
+    Eq. (1): [p_(i,j) = b^h_(i,j) / a_i] — the fraction of [i]'s
+    actions that [j] repeated within [h] steps.
+
+    Eq. (2): [p_(i,j) = (sum_l w_l c^l_(i,j)) / a_i] with positive
+    weights summing to [h]; decreasing weight profiles give temporal
+    decay — the faster [j] follows, the stronger the evidence.
+
+    Both set [p_(i,j) = 0] when [a_i = 0]. *)
+
+type weights = private float array
+(** [w_1 .. w_h], all positive, summing to [h]. *)
+
+val uniform_weights : h:int -> weights
+(** [w_l = 1] — makes Eq. (2) coincide with Eq. (1). *)
+
+val linear_decay_weights : h:int -> weights
+(** Weights proportional to [h - l + 1], rescaled to sum to [h]. *)
+
+val exponential_decay_weights : h:int -> alpha:float -> weights
+(** Weights proportional to [alpha^(l-1)] for [alpha] in [(0, 1)],
+    rescaled to sum to [h]. *)
+
+val weights_of_array : float array -> weights
+(** Validate an explicit profile: positive entries summing to the
+    length (within floating tolerance). *)
+
+val eq1 : Counters.t -> k:int -> float
+(** Eq. (1) for the k-th pair of the counter set. *)
+
+val eq2 : Counters.t -> weights -> k:int -> float
+(** Eq. (2) for the k-th pair.  The weights length must equal the
+    counter window. *)
+
+val all_eq1 : Counters.t -> float array
+(** Eq. (1) for every pair, in pair order. *)
+
+val all_eq2 : Counters.t -> weights -> float array
+
+val jaccard : Counters.t -> k:int -> float
+(** Goyal et al.'s Jaccard variant:
+    [b^h_(i,j) / (a_i + a_j - both_(i,j))] — the fraction of actions
+    either endpoint performed in which [j] followed [i].  Robust to
+    asymmetric activity volumes; [0.] when the denominator vanishes. *)
+
+val all_jaccard : Counters.t -> float array
+
+val restrict_to_graph :
+  Counters.t -> float array -> Spe_graph.Digraph.t -> ((int * int) * float) list
+(** Keep only the strengths of real arcs — the host's final step of
+    dropping the decoy pairs of [E' \ E]. *)

@@ -1,0 +1,122 @@
+module Digraph = Spe_graph.Digraph
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+type model = { graph : Digraph.t; probability : int -> int -> float }
+
+let of_strengths g strengths =
+  let table = Hashtbl.create (List.length strengths) in
+  List.iter
+    (fun ((u, v), p) -> Hashtbl.replace table (u, v) (Float.max 0. (Float.min 1. p)))
+    strengths;
+  let probability u v = match Hashtbl.find_opt table (u, v) with Some p -> p | None -> 0. in
+  { graph = g; probability }
+
+let eval_count = ref 0
+
+let evaluations () = !eval_count
+
+(* One cascade sample: BFS where each arc fires independently. *)
+let sample_spread st model seeds =
+  let n = Digraph.n model.graph in
+  let active = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if not active.(s) then begin
+        active.(s) <- true;
+        Queue.push s queue
+      end)
+    seeds;
+  let count = ref (Queue.length queue) in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if (not active.(v)) && Dist.bernoulli st ~p:(model.probability u v) then begin
+          active.(v) <- true;
+          incr count;
+          Queue.push v queue
+        end)
+      (Digraph.out_neighbors model.graph u)
+  done;
+  float_of_int !count
+
+let spread st model ~seeds ~samples =
+  if samples <= 0 then invalid_arg "Maximize.spread: need at least one sample";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Digraph.n model.graph then invalid_arg "Maximize.spread: seed out of range")
+    seeds;
+  incr eval_count;
+  let total = ref 0. in
+  for _ = 1 to samples do
+    total := !total +. sample_spread st model seeds
+  done;
+  !total /. float_of_int samples
+
+let greedy_generic ~n ~spread ~k =
+  if k < 0 || k > n then invalid_arg "Maximize: k out of range";
+  eval_count := 0;
+  let chosen = ref [] in
+  let chosen_spread = ref 0. in
+  for _ = 1 to k do
+    let best = ref (-1) and best_spread = ref neg_infinity in
+    for v = 0 to n - 1 do
+      if not (List.mem v !chosen) then begin
+        let s = spread (v :: !chosen) in
+        if s > !best_spread then begin
+          best := v;
+          best_spread := s
+        end
+      end
+    done;
+    chosen := !best :: !chosen;
+    chosen_spread := !best_spread
+  done;
+  (List.rev !chosen, !chosen_spread)
+
+let celf_generic ~n ~spread ~k =
+  if k < 0 || k > n then invalid_arg "Maximize: k out of range";
+  eval_count := 0;
+  if k = 0 then ([], 0.)
+  else begin
+    (* Priority list of (gain, node, round-of-last-evaluation), kept
+       sorted descending by gain. *)
+    let initial = List.init n (fun v -> (spread [ v ], v, 0)) in
+    let queue = ref (List.sort (fun (a, _, _) (b, _, _) -> Stdlib.compare b a) initial) in
+    let chosen = ref [] and chosen_spread = ref 0. and round = ref 0 in
+    while List.length !chosen < k do
+      match !queue with
+      | [] -> assert false (* k <= n guarantees enough candidates *)
+      | (gain, v, last) :: rest ->
+        if last = !round then begin
+          (* Gain is fresh for the current seed set: pick it. *)
+          chosen := v :: !chosen;
+          chosen_spread := !chosen_spread +. gain;
+          incr round;
+          queue := rest
+        end
+        else begin
+          (* Stale: re-evaluate the marginal gain and re-insert. *)
+          let s = spread (v :: !chosen) in
+          let fresh_gain = s -. !chosen_spread in
+          let rec insert x = function
+            | [] -> [ x ]
+            | ((g', _, _) as y) :: tl ->
+              let g, _, _ = x in
+              if g >= g' then x :: y :: tl else y :: insert x tl
+          in
+          queue := insert (fresh_gain, v, !round) rest
+        end
+    done;
+    (List.rev !chosen, !chosen_spread)
+  end
+
+(* The generic entry points reset the evaluation counter; the closures
+   below bump it on every call through [spread]. *)
+let greedy st model ~k ~samples =
+  greedy_generic ~n:(Digraph.n model.graph) ~spread:(fun seeds -> spread st model ~seeds ~samples) ~k
+
+let celf st model ~k ~samples =
+  celf_generic ~n:(Digraph.n model.graph) ~spread:(fun seeds -> spread st model ~seeds ~samples) ~k

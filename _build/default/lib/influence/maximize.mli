@@ -1,0 +1,54 @@
+(** Influence maximisation (Kempe, Kleinberg & Tardos) — the consumer
+    of the link strengths this paper computes securely.
+
+    Once the host holds [p_(i,j)] for every arc, it selects the [k]
+    seed users that maximise the expected cascade size under the
+    independent-cascade model.  The greedy algorithm with Monte-Carlo
+    spread estimation gives the classical [(1 - 1/e)]-approximation;
+    {!celf} is the lazy-evaluation variant that exploits submodularity
+    to skip most marginal-gain re-evaluations. *)
+
+type model = {
+  graph : Spe_graph.Digraph.t;
+  probability : int -> int -> float;  (** Arc activation probability. *)
+}
+
+val of_strengths :
+  Spe_graph.Digraph.t -> ((int * int) * float) list -> model
+(** Build a model from the [(arc, strength)] list produced by the
+    protocols; strengths are clamped to [[0, 1]]; missing arcs get
+    probability zero. *)
+
+val spread : Spe_rng.State.t -> model -> seeds:int list -> samples:int -> float
+(** Monte-Carlo estimate of the expected number of activated nodes
+    (including the seeds) over the given number of cascade samples. *)
+
+val greedy : Spe_rng.State.t -> model -> k:int -> samples:int -> int list * float
+(** Plain greedy: [k] rounds, re-estimating every candidate's marginal
+    gain each round.  Returns the seed set (in pick order) and its
+    estimated spread. *)
+
+val celf : Spe_rng.State.t -> model -> k:int -> samples:int -> int list * float
+(** CELF lazy greedy (Leskovec et al.): identical output distribution
+    to {!greedy} up to Monte-Carlo noise, far fewer spread
+    evaluations. *)
+
+val evaluations : unit -> int
+(** Number of spread evaluations performed by the last {!greedy} or
+    {!celf} call — exposed so the ablation bench can show the CELF
+    saving. *)
+
+(** {2 Generic seed selection}
+
+    The greedy machinery only needs a spread oracle, so it is exposed
+    generically; {!Threshold} reuses it for the linear-threshold
+    model. *)
+
+val greedy_generic :
+  n:int -> spread:(int list -> float) -> k:int -> int list * float
+(** [greedy_generic ~n ~spread ~k] runs plain greedy over candidates
+    [{0..n-1}].  Each call to [spread] is counted in {!evaluations}. *)
+
+val celf_generic :
+  n:int -> spread:(int list -> float) -> k:int -> int list * float
+(** CELF lazy greedy over an arbitrary (submodular) spread oracle. *)

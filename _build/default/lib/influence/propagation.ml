@@ -1,0 +1,97 @@
+module Log = Spe_actionlog.Log
+module Digraph = Spe_graph.Digraph
+module Traverse = Spe_graph.Traverse
+
+type labeled_arc = { src : int; dst : int; delta : int }
+
+type t = { action : int; arcs : labeled_arc array; n : int }
+
+let sort_arcs arcs =
+  let a = Array.of_list arcs in
+  Array.sort (fun x y -> Stdlib.compare (x.src, x.dst) (y.src, y.dst)) a;
+  a
+
+let of_arcs ~n ~action arcs =
+  List.iter
+    (fun { src; dst; delta } ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Propagation.of_arcs: endpoint out of range";
+      if delta <= 0 then invalid_arg "Propagation.of_arcs: label must be positive")
+    arcs;
+  { action; arcs = sort_arcs arcs; n }
+
+let of_log log g ~action =
+  let n = Log.num_users log in
+  if Digraph.n g <> n then invalid_arg "Propagation.of_log: graph/log size mismatch";
+  let recs = Log.by_action log action in
+  let time = Hashtbl.create (List.length recs) in
+  List.iter (fun (u, t) -> Hashtbl.replace time u t) recs;
+  let arcs = ref [] in
+  List.iter
+    (fun (u, tu) ->
+      Array.iter
+        (fun v ->
+          match Hashtbl.find_opt time v with
+          | Some tv when tv > tu -> arcs := { src = u; dst = v; delta = tv - tu } :: !arcs
+          | _ -> ())
+        (Digraph.out_neighbors g u))
+    recs;
+  { action; arcs = sort_arcs !arcs; n }
+
+let all_of_log log g =
+  Array.init (Log.num_actions log) (fun action -> of_log log g ~action)
+
+(* Adjacency closure over the arc array: arcs are sorted by src, so a
+   per-node slice is contiguous; build an index once per graph value. *)
+let adjacency t =
+  let index = Array.make (t.n + 1) 0 in
+  let count = Array.make t.n 0 in
+  Array.iter (fun a -> count.(a.src) <- count.(a.src) + 1) t.arcs;
+  for v = 0 to t.n - 1 do
+    index.(v + 1) <- index.(v) + count.(v)
+  done;
+  fun u ->
+    let lo = index.(u) and hi = index.(u + 1) in
+    let rec collect i acc =
+      if i < lo then acc else collect (i - 1) ((t.arcs.(i).dst, t.arcs.(i).delta) :: acc)
+    in
+    collect (hi - 1) []
+
+let sphere t ~src ~tau =
+  if src < 0 || src >= t.n then invalid_arg "Propagation.sphere: source out of range";
+  if tau < 0 then invalid_arg "Propagation.sphere: negative threshold";
+  Traverse.bounded_reachable ~n:t.n ~adj:(adjacency t) ~src ~tau
+
+let sphere_size t ~src ~tau = List.length (sphere t ~src ~tau)
+
+let sphere_totals graphs ~n ~tau =
+  let totals = Array.make n 0 in
+  Array.iter
+    (fun pg ->
+      if pg.n <> n then invalid_arg "Propagation.sphere_totals: size mismatch";
+      let adj = adjacency pg in
+      (* Only sources with outgoing arcs can have non-empty spheres. *)
+      let has_out = Array.make n false in
+      Array.iter (fun arc -> has_out.(arc.src) <- true) pg.arcs;
+      for v = 0 to n - 1 do
+        if has_out.(v) then
+          totals.(v) <-
+            totals.(v) + List.length (Traverse.bounded_reachable ~n ~adj ~src:v ~tau)
+      done)
+    graphs;
+  totals
+
+let score_from_graphs graphs ~a ~tau =
+  let n = Array.length a in
+  let totals = sphere_totals graphs ~n ~tau in
+  Array.mapi
+    (fun i total -> if a.(i) = 0 then 0. else float_of_int total /. float_of_int a.(i))
+    totals
+
+let score log g ~tau =
+  score_from_graphs (all_of_log log g) ~a:(Log.user_activity log) ~tau
+
+let equal x y =
+  x.action = y.action && x.n = y.n
+  && Array.length x.arcs = Array.length y.arcs
+  && Array.for_all2 (fun a b -> a = b) x.arcs y.arcs

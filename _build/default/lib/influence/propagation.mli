@@ -1,0 +1,55 @@
+(** Propagation graphs and user influence scores (Sec. 3.2), in the
+    clear.
+
+    Def. 3.1: the propagation graph [PG(alpha)] of action [alpha] has
+    an arc [(v_i, v_j)] labelled [dt = t_j - t_i] whenever [(v_i, v_j)]
+    is a social arc and both users performed [alpha] with [dt > 0].
+
+    Def. 3.2: the tau-influence sphere [Inf_tau(v_i, alpha)] is the set
+    of nodes reachable from [v_i] in [PG(alpha)] by a path whose label
+    sum is at most [tau].  We exclude [v_i] itself — the sphere
+    measures {e other} users influenced, matching the leadership
+    measures of Goyal et al. and Bakshy et al. that the definition is
+    modelled on.
+
+    Def. 3.3: [score(v_i) = (sum_alpha |Inf_tau(v_i, alpha)|) / a_i],
+    zero when [a_i = 0]. *)
+
+type labeled_arc = { src : int; dst : int; delta : int }
+
+type t = {
+  action : int;
+  arcs : labeled_arc array;  (** Sorted by (src, dst). *)
+  n : int;  (** Number of users in the universe. *)
+}
+
+val of_log : Spe_actionlog.Log.t -> Spe_graph.Digraph.t -> action:int -> t
+(** Build [PG(alpha)] from the unified log and the social graph. *)
+
+val of_arcs : n:int -> action:int -> labeled_arc list -> t
+(** Build from explicit arcs (the host's reconstruction in Protocol 6).
+    Labels must be positive. *)
+
+val all_of_log : Spe_actionlog.Log.t -> Spe_graph.Digraph.t -> t array
+(** One propagation graph per action of the universe (actions with no
+    records yield empty graphs). *)
+
+val sphere : t -> src:int -> tau:int -> int list
+(** [Inf_tau(src, alpha)], ascending, excluding [src]. *)
+
+val sphere_size : t -> src:int -> tau:int -> int
+
+val score : Spe_actionlog.Log.t -> Spe_graph.Digraph.t -> tau:int -> float array
+(** The tau-influence score of every user (Def. 3.3). *)
+
+val sphere_totals : t array -> n:int -> tau:int -> int array
+(** [sum_alpha |Inf_tau(v, alpha)|] for every user — the numerator of
+    Def. 3.3, which the host computes locally from the Protocol 6
+    output. *)
+
+val score_from_graphs : t array -> a:int array -> tau:int -> float array
+(** Score computation from prebuilt propagation graphs and activity
+    counts — the exact computation the host performs at the end of
+    Protocol 6. *)
+
+val equal : t -> t -> bool

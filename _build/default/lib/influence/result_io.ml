@@ -1,0 +1,85 @@
+let strengths_to_string strengths =
+  let buf = Buffer.create (32 * List.length strengths) in
+  Buffer.add_string buf (Printf.sprintf "strengths %d\n" (List.length strengths));
+  List.iter
+    (fun ((u, v), p) -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" u v p))
+    strengths;
+  Buffer.contents buf
+
+let scores_to_string scores =
+  let buf = Buffer.create (24 * Array.length scores) in
+  Buffer.add_string buf (Printf.sprintf "scores %d\n" (Array.length scores));
+  Array.iteri (fun u s -> Buffer.add_string buf (Printf.sprintf "%d %.17g\n" u s)) scores;
+  Buffer.contents buf
+
+let parse ~kind ~record text =
+  let header = ref None in
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | s :: _ when String.length s > 0 && s.[0] = '#' -> ()
+      | [ k; count ] when k = kind -> (
+        if !header <> None then failwith (kind ^ " file: duplicate header");
+        match int_of_string_opt count with
+        | Some c when c >= 0 -> header := Some c
+        | _ -> failwith (Printf.sprintf "%s file line %d: bad count" kind lineno))
+      | parts -> entries := record lineno parts :: !entries)
+    (String.split_on_char '\n' text);
+  match !header with
+  | None -> failwith (kind ^ " file: missing header")
+  | Some expected ->
+    let entries = List.rev !entries in
+    if List.length entries <> expected then
+      failwith (Printf.sprintf "%s file: header says %d entries, found %d" kind expected
+                  (List.length entries));
+    entries
+
+let strengths_of_string text =
+  parse ~kind:"strengths"
+    ~record:(fun lineno parts ->
+      match parts with
+      | [ u; v; p ] -> (
+        match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt p) with
+        | Some u, Some v, Some p -> ((u, v), p)
+        | _ -> failwith (Printf.sprintf "strengths file line %d: bad entry" lineno))
+      | _ -> failwith (Printf.sprintf "strengths file line %d: bad entry" lineno))
+    text
+
+let scores_of_string text =
+  let entries =
+    parse ~kind:"scores"
+      ~record:(fun lineno parts ->
+        match parts with
+        | [ u; s ] -> (
+          match (int_of_string_opt u, float_of_string_opt s) with
+          | Some u, Some s -> (u, s)
+          | _ -> failwith (Printf.sprintf "scores file line %d: bad entry" lineno))
+        | _ -> failwith (Printf.sprintf "scores file line %d: bad entry" lineno))
+      text
+  in
+  let n = List.length entries in
+  let out = Array.make n 0. in
+  List.iter
+    (fun (u, s) ->
+      if u < 0 || u >= n then failwith "scores file: user id out of range";
+      out.(u) <- s)
+    entries;
+  out
+
+let write path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_strengths strengths path = write path (strengths_to_string strengths)
+let load_strengths path = strengths_of_string (read path)
+let save_scores scores path = write path (scores_to_string scores)
+let load_scores path = scores_of_string (read path)

@@ -1,0 +1,21 @@
+(** Plain-text persistence for estimation outputs (the CLI's export
+    format): link strengths and user scores.
+
+    Strengths format: header ["strengths <count>"], then
+    ["<src> <dst> <value>"] per line.  Scores format: header
+    ["scores <users>"], then ["<user> <value>"] per line.  ['#']
+    comments and blank lines ignored.  Values round-trip through
+    ["%.17g"], so saved estimates reload bit-exactly. *)
+
+val save_strengths : ((int * int) * float) list -> string -> unit
+val load_strengths : string -> ((int * int) * float) list
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val strengths_to_string : ((int * int) * float) list -> string
+val strengths_of_string : string -> ((int * int) * float) list
+
+val save_scores : float array -> string -> unit
+val load_scores : string -> float array
+
+val scores_to_string : float array -> string
+val scores_of_string : string -> float array

@@ -1,0 +1,97 @@
+module Digraph = Spe_graph.Digraph
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+type rr_sets = { sets : int array array; n : int }
+
+(* One RR set: reverse BFS from a uniform target, each incoming arc
+   live independently with its model probability. *)
+let sample_one st (model : Maximize.model) =
+  let n = Digraph.n model.Maximize.graph in
+  let target = State.next_int st n in
+  let visited = Array.make n false in
+  visited.(target) <- true;
+  let queue = Queue.create () in
+  Queue.push target queue;
+  let members = ref [ target ] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun u ->
+        if (not visited.(u)) && Dist.bernoulli st ~p:(model.Maximize.probability u v) then begin
+          visited.(u) <- true;
+          members := u :: !members;
+          Queue.push u queue
+        end)
+      (Digraph.in_neighbors model.Maximize.graph v)
+  done;
+  Array.of_list !members
+
+let sample st model ~count =
+  if count < 1 then invalid_arg "Ris.sample: need at least one set";
+  let n = Digraph.n model.Maximize.graph in
+  if n = 0 then invalid_arg "Ris.sample: empty graph";
+  { sets = Array.init count (fun _ -> sample_one st model); n }
+
+let count rr = Array.length rr.sets
+
+let average_size rr =
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 rr.sets in
+  float_of_int total /. float_of_int (Array.length rr.sets)
+
+let select rr ~k =
+  if k < 0 || k > rr.n then invalid_arg "Ris.select: k out of range";
+  (* Greedy max coverage with lazy per-node counts, recomputed after
+     each pick over the still-uncovered sets (set counts are small). *)
+  let covered = Array.make (Array.length rr.sets) false in
+  let chosen = ref [] in
+  for _ = 1 to k do
+    let gain = Array.make rr.n 0 in
+    Array.iteri
+      (fun i members ->
+        if not covered.(i) then Array.iter (fun v -> gain.(v) <- gain.(v) + 1) members)
+      rr.sets;
+    (* Exclude already-chosen seeds, then take the best. *)
+    List.iter (fun v -> gain.(v) <- -1) !chosen;
+    let best = ref 0 in
+    for v = 1 to rr.n - 1 do
+      if gain.(v) > gain.(!best) then best := v
+    done;
+    chosen := !best :: !chosen;
+    Array.iteri
+      (fun i members ->
+        if (not covered.(i)) && Array.exists (fun v -> v = !best) members then
+          covered.(i) <- true)
+      rr.sets
+  done;
+  List.rev !chosen
+
+let coverage rr seeds =
+  let hit = Array.make (Array.length rr.sets) false in
+  Array.iteri
+    (fun i members ->
+      if List.exists (fun s -> Array.exists (fun v -> v = s) members) seeds then hit.(i) <- true)
+    rr.sets;
+  let covered = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 hit in
+  float_of_int covered /. float_of_int (Array.length rr.sets)
+
+let estimate_spread rr ~n seeds = float_of_int n *. coverage rr seeds
+
+let select_auto st model ~k ?(initial = 1000) ?(epsilon = 0.05) ?(max_sets = 1 lsl 20) () =
+  if initial < 1 then invalid_arg "Ris.select_auto: initial must be positive";
+  if epsilon <= 0. then invalid_arg "Ris.select_auto: epsilon must be positive";
+  let n = Digraph.n model.Maximize.graph in
+  let rec loop size previous total_drawn =
+    let rr = sample st model ~count:size in
+    let seeds = select rr ~k in
+    (* Validate on an independent batch so the stopping test is not
+       fooled by greedy overfitting to the selection sets. *)
+    let validation = sample st model ~count:size in
+    let est = estimate_spread validation ~n seeds in
+    let total = total_drawn + (2 * size) in
+    match previous with
+    | Some prev when est > 0. && abs_float (est -. prev) /. est < epsilon -> (seeds, total)
+    | _ when 2 * size > max_sets -> (seeds, total)
+    | _ -> loop (2 * size) (Some est) total
+  in
+  loop initial None 0

@@ -1,0 +1,81 @@
+module Log = Spe_actionlog.Log
+
+type t = {
+  num_actions : int;
+  h : int;
+  pairs : (int * int) array;
+  a : int array;
+  b : int array;
+  c : int array array;
+  both : int array;
+  (* For each user, the published pairs it participates in:
+     (pair index, partner, partner_is_target). *)
+  touching : (int * int * bool) list array;
+  (* time_of.(action) maps user -> time for ingested records. *)
+  time_of : (int, int) Hashtbl.t array;
+  mutable count : int;
+}
+
+let create ~num_users ~num_actions ~h ~pairs =
+  if h < 1 then invalid_arg "Stream.create: window must be >= 1";
+  if num_users < 0 || num_actions < 0 then invalid_arg "Stream.create: negative universe";
+  let touching = Array.make num_users [] in
+  Array.iteri
+    (fun k (i, j) ->
+      if i < 0 || i >= num_users || j < 0 || j >= num_users || i = j then
+        invalid_arg "Stream.create: bad pair";
+      touching.(i) <- (k, j, true) :: touching.(i);
+      touching.(j) <- (k, i, false) :: touching.(j))
+    pairs;
+  {
+    num_actions;
+    h;
+    pairs;
+    a = Array.make num_users 0;
+    b = Array.make (Array.length pairs) 0;
+    c = Array.make_matrix (Array.length pairs) h 0;
+    both = Array.make (Array.length pairs) 0;
+    touching;
+    time_of = Array.init num_actions (fun _ -> Hashtbl.create 8);
+    count = 0;
+  }
+
+let add t (r : Log.record) =
+  if r.Log.user < 0 || r.Log.user >= Array.length t.a then invalid_arg "Stream.add: user out of range";
+  if r.Log.action < 0 || r.Log.action >= t.num_actions then
+    invalid_arg "Stream.add: action out of range";
+  if r.Log.time < 0 then invalid_arg "Stream.add: negative time";
+  let table = t.time_of.(r.Log.action) in
+  if Hashtbl.mem table r.Log.user then invalid_arg "Stream.add: duplicate (user, action) record";
+  Hashtbl.replace table r.Log.user r.Log.time;
+  t.a.(r.Log.user) <- t.a.(r.Log.user) + 1;
+  t.count <- t.count + 1;
+  (* A pair's episode completes when its second endpoint arrives. *)
+  List.iter
+    (fun (k, partner, user_is_source) ->
+      match Hashtbl.find_opt table partner with
+      | None -> ()
+      | Some partner_time ->
+        t.both.(k) <- t.both.(k) + 1;
+        let d =
+          if user_is_source then partner_time - r.Log.time else r.Log.time - partner_time
+        in
+        if d >= 1 && d <= t.h then begin
+          t.b.(k) <- t.b.(k) + 1;
+          t.c.(k).(d - 1) <- t.c.(k).(d - 1) + 1
+        end)
+    t.touching.(r.Log.user)
+
+let add_log t log = List.iter (add t) (Log.records log)
+
+let records t = t.count
+
+let snapshot t =
+  {
+    Counters.a = Array.copy t.a;
+    b = Array.copy t.b;
+    c = Array.map Array.copy t.c;
+    both = Array.copy t.both;
+    h = t.h;
+    pairs = t.pairs;
+  }

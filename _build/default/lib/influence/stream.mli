@@ -1,0 +1,33 @@
+(** Incremental counter maintenance.
+
+    Providers accumulate activity continuously; rebuilding every
+    counter from scratch before each protocol run costs
+    O(|A| * q) (see {!Counters.compute}).  This accumulator ingests
+    records one at a time and keeps the full counter set current, so a
+    provider's cost per new record is proportional to the published
+    pairs touching that user — after which {!snapshot} is O(q).
+
+    Records may arrive in any time order; the at-most-once-per
+    (user, action) rule of the log model is enforced ([Invalid_argument]
+    on violations, since silently keeping the earlier record would
+    require retracting already-counted episodes). *)
+
+type t
+
+val create :
+  num_users:int -> num_actions:int -> h:int -> pairs:(int * int) array -> t
+(** An empty accumulator over the published pair set. *)
+
+val add : t -> Spe_actionlog.Log.record -> unit
+(** Ingest one record, updating every affected counter. *)
+
+val add_log : t -> Spe_actionlog.Log.t -> unit
+(** Ingest a whole log (e.g. a day's batch). *)
+
+val records : t -> int
+(** Records ingested so far. *)
+
+val snapshot : t -> Counters.t
+(** The current counters (fresh arrays; the accumulator can keep
+    ingesting).  Equal to [Counters.compute] over the same records —
+    asserted by the test suite on random streams. *)

@@ -1,0 +1,87 @@
+module Digraph = Spe_graph.Digraph
+module State = Spe_rng.State
+
+type model = { graph : Digraph.t; weight : int -> int -> float }
+
+let in_weight_sum model v =
+  Array.fold_left
+    (fun acc u -> acc +. model.weight u v)
+    0.
+    (Digraph.in_neighbors model.graph v)
+
+let validate model =
+  for v = 0 to Digraph.n model.graph - 1 do
+    if in_weight_sum model v > 1. +. 1e-9 then
+      invalid_arg "Threshold.validate: in-weights exceed 1"
+  done
+
+let of_strengths g strengths =
+  let table = Hashtbl.create (List.length strengths) in
+  List.iter (fun ((u, v), p) -> Hashtbl.replace table (u, v) (Float.max 0. p)) strengths;
+  (* Per-node rescaling when raw in-weights exceed 1. *)
+  let scale = Array.make (Digraph.n g) 1. in
+  for v = 0 to Digraph.n g - 1 do
+    let total =
+      Array.fold_left
+        (fun acc u -> acc +. Option.value ~default:0. (Hashtbl.find_opt table (u, v)))
+        0. (Digraph.in_neighbors g v)
+    in
+    if total > 1. then scale.(v) <- 1. /. total
+  done;
+  let weight u v =
+    scale.(v) *. Option.value ~default:0. (Hashtbl.find_opt table (u, v))
+  in
+  { graph = g; weight }
+
+(* One threshold draw: deterministic cascade given theta. *)
+let sample_spread st model seeds =
+  let n = Digraph.n model.graph in
+  let theta = Array.init n (fun _ -> State.next_float st) in
+  let pressure = Array.make n 0. in
+  let active = Array.make n false in
+  let queue = Queue.create () in
+  let activate v =
+    if not active.(v) then begin
+      active.(v) <- true;
+      Queue.push v queue
+    end
+  in
+  List.iter activate seeds;
+  let count = ref (Queue.length queue) in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if not active.(v) then begin
+          pressure.(v) <- pressure.(v) +. model.weight u v;
+          if pressure.(v) >= theta.(v) then begin
+            activate v;
+            incr count
+          end
+        end)
+      (Digraph.out_neighbors model.graph u)
+  done;
+  float_of_int !count
+
+let spread st model ~seeds ~samples =
+  if samples <= 0 then invalid_arg "Threshold.spread: need at least one sample";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Digraph.n model.graph then
+        invalid_arg "Threshold.spread: seed out of range")
+    seeds;
+  let total = ref 0. in
+  for _ = 1 to samples do
+    total := !total +. sample_spread st model seeds
+  done;
+  !total /. float_of_int samples
+
+let greedy st model ~k ~samples =
+  Maximize.greedy_generic ~n:(Digraph.n model.graph)
+    ~spread:(fun seeds -> spread st model ~seeds ~samples)
+    ~k
+
+let celf st model ~k ~samples =
+  Maximize.celf_generic ~n:(Digraph.n model.graph)
+    ~spread:(fun seeds -> spread st model ~seeds ~samples)
+    ~k

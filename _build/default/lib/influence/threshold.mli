@@ -1,0 +1,38 @@
+(** The Linear Threshold diffusion model (Kempe et al.) — the second
+    classical model the influence-maximisation framework targets.
+
+    Each arc [(u, v)] carries a weight [w_(u,v)] with
+    [sum_u w_(u,v) <= 1] per node [v]; each node draws a threshold
+    [theta_v ~ U[0, 1]] and activates once the weight of its active
+    in-neighbours reaches it.  Spread is estimated by Monte-Carlo over
+    threshold draws.  The securely learned link strengths feed this
+    model after per-node normalisation ({!of_strengths}), giving the
+    host a second seed-selection lens on the same protocol output. *)
+
+type model = {
+  graph : Spe_graph.Digraph.t;
+  weight : int -> int -> float;
+      (** Arc weight; in-weights must sum to at most 1 per node. *)
+}
+
+val of_strengths :
+  Spe_graph.Digraph.t -> ((int * int) * float) list -> model
+(** Build a model from Protocol 4 output: negative strengths clamp to
+    0, and whenever a node's in-weights sum above 1 they are rescaled
+    to sum to 1 (the standard normalisation). *)
+
+val validate : model -> unit
+(** Raises [Invalid_argument] if some node's in-weights exceed 1 beyond
+    float tolerance. *)
+
+val spread :
+  Spe_rng.State.t -> model -> seeds:int list -> samples:int -> float
+(** Monte-Carlo expected activation count (including seeds). *)
+
+val greedy :
+  Spe_rng.State.t -> model -> k:int -> samples:int -> int list * float
+
+val celf :
+  Spe_rng.State.t -> model -> k:int -> samples:int -> int list * float
+(** Seed selection via {!Maximize.celf_generic} over this model's
+    spread oracle. *)

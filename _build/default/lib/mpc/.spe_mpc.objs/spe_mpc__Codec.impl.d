@@ -1,0 +1,1 @@
+lib/mpc/codec.ml: Array Bytes Char Int64 Spe_bignum Wire

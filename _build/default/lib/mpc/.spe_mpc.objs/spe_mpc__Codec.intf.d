@@ -1,0 +1,1 @@
+lib/mpc/codec.mli: Spe_bignum

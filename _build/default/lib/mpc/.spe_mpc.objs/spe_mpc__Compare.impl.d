@@ -1,0 +1,1 @@
+lib/mpc/compare.ml: Array Spe_bignum Spe_crypto Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/compare.mli: Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/ot.ml: Array Seq Spe_bignum Spe_crypto Spe_rng Wire

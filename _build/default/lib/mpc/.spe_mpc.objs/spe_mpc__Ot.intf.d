@@ -1,0 +1,1 @@
+lib/mpc/ot.mli: Spe_bignum Spe_rng Wire

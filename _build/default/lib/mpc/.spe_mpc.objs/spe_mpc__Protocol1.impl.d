@@ -1,0 +1,1 @@
+lib/mpc/protocol1.ml: Array Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/protocol1.mli: Spe_rng Wire

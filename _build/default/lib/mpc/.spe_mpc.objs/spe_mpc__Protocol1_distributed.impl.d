@@ -1,0 +1,1 @@
+lib/mpc/protocol1_distributed.ml: Array List Protocol1 Runtime Spe_rng

@@ -1,0 +1,1 @@
+lib/mpc/protocol1_distributed.mli: Protocol1 Spe_rng Wire

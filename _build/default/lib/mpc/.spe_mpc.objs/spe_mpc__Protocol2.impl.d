@@ -1,0 +1,1 @@
+lib/mpc/protocol2.ml: Array Format Protocol1 Spe_rng Wire

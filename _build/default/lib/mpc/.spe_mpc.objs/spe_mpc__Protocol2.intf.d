@@ -1,0 +1,1 @@
+lib/mpc/protocol2.mli: Format Spe_rng Wire

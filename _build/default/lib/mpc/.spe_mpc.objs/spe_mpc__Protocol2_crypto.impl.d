@@ -1,0 +1,1 @@
+lib/mpc/protocol2_crypto.ml: Array Compare Protocol1 Wire

@@ -1,0 +1,1 @@
+lib/mpc/protocol2_crypto.mli: Spe_rng Wire

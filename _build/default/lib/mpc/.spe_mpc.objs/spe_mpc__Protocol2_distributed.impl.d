@@ -1,0 +1,1 @@
+lib/mpc/protocol2_distributed.ml: Array List Runtime Spe_rng

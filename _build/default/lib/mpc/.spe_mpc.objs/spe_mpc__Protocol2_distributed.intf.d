@@ -1,0 +1,1 @@
+lib/mpc/protocol2_distributed.mli: Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/protocol3.ml: Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/protocol3.mli: Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/protocol3_distributed.ml: Array List Runtime Spe_rng

@@ -1,0 +1,1 @@
+lib/mpc/protocol3_distributed.mli: Spe_rng Wire

@@ -1,0 +1,1 @@
+lib/mpc/runtime.ml: Bytes Codec Hashtbl List Option Wire

@@ -1,0 +1,1 @@
+lib/mpc/wire.ml: Format Fun List

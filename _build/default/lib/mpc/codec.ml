@@ -1,0 +1,89 @@
+module Nat = Spe_bignum.Nat
+
+let residue_bytes ~modulus = (Wire.bits_for_int_mod modulus + 7) / 8
+
+let encode_residues ~modulus values =
+  let width = residue_bytes ~modulus in
+  let buf = Bytes.create (width * Array.length values) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= modulus then invalid_arg "Codec.encode_residues: value out of range";
+      let base = i * width in
+      let rec fill j v =
+        if j >= 0 then begin
+          Bytes.set buf (base + j) (Char.chr (v land 0xFF));
+          fill (j - 1) (v lsr 8)
+        end
+        else if v <> 0 then invalid_arg "Codec.encode_residues: width overflow"
+      in
+      fill (width - 1) v)
+    values;
+  buf
+
+let decode_residues ~modulus ~count buf =
+  let width = residue_bytes ~modulus in
+  if Bytes.length buf <> width * count then invalid_arg "Codec.decode_residues: length mismatch";
+  Array.init count (fun i ->
+      let base = i * width in
+      let v = ref 0 in
+      for j = 0 to width - 1 do
+        v := (!v lsl 8) lor Char.code (Bytes.get buf (base + j))
+      done;
+      if !v >= modulus then invalid_arg "Codec.decode_residues: residue out of range";
+      !v)
+
+let encode_floats values =
+  let buf = Bytes.create (8 * Array.length values) in
+  Array.iteri (fun i v -> Bytes.set_int64_be buf (8 * i) (Int64.bits_of_float v)) values;
+  buf
+
+let decode_floats ~count buf =
+  if Bytes.length buf <> 8 * count then invalid_arg "Codec.decode_floats: length mismatch";
+  Array.init count (fun i -> Int64.float_of_bits (Bytes.get_int64_be buf (8 * i)))
+
+let encode_nats ~width_bits values =
+  if width_bits < 1 then invalid_arg "Codec.encode_nats: width must be positive";
+  let width = (width_bits + 7) / 8 in
+  let buf = Bytes.create (width * Array.length values) in
+  Array.iteri
+    (fun i v ->
+      if Nat.bit_length v > width_bits then invalid_arg "Codec.encode_nats: value exceeds width";
+      let base = i * width in
+      for j = 0 to width - 1 do
+        (* Byte j holds bits [8*(width-1-j), 8*(width-j)) of v. *)
+        let lo = 8 * (width - 1 - j) in
+        let byte = ref 0 in
+        for b = 7 downto 0 do
+          byte := (!byte lsl 1) lor (if Nat.test_bit v (lo + b) then 1 else 0)
+        done;
+        Bytes.set buf (base + j) (Char.chr !byte)
+      done)
+    values;
+  buf
+
+let decode_nats ~width_bits ~count buf =
+  let width = (width_bits + 7) / 8 in
+  if Bytes.length buf <> width * count then invalid_arg "Codec.decode_nats: length mismatch";
+  Array.init count (fun i ->
+      let base = i * width in
+      let acc = ref Nat.zero in
+      for j = 0 to width - 1 do
+        acc := Nat.add (Nat.shift_left !acc 8) (Nat.of_int (Char.code (Bytes.get buf (base + j))))
+      done;
+      !acc)
+
+let encode_bitset flags =
+  let n = Array.length flags in
+  let buf = Bytes.make ((n + 7) / 8) '\000' in
+  Array.iteri
+    (fun i flag ->
+      if flag then begin
+        let byte = i / 8 and bit = i mod 8 in
+        Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lor (1 lsl bit)))
+      end)
+    flags;
+  buf
+
+let decode_bitset ~count buf =
+  if Bytes.length buf <> (count + 7) / 8 then invalid_arg "Codec.decode_bitset: length mismatch";
+  Array.init count (fun i -> Char.code (Bytes.get buf (i / 8)) land (1 lsl (i mod 8)) <> 0)

@@ -1,0 +1,66 @@
+module Nat = Spe_bignum.Nat
+module Paillier = Spe_crypto.Paillier
+module Perm = Spe_rng.Perm
+module State = Spe_rng.State
+
+(* Integer encoding of a prefix of length len (bits taken from the
+   most-significant end): 2^len + value.  Injective across lengths and
+   disjoint from the dummy ranges below. *)
+let encode_prefix ~bits ~len v = (1 lsl len) lor (v lsr (bits - len))
+
+(* Dummies live above every valid encoding and in disjoint ranges per
+   side, so they can never produce a spurious match. *)
+let dummy_x st ~bits = (1 lsl (bits + 3)) lor State.next_bits st (bits + 2)
+let dummy_y st ~bits = (1 lsl (bits + 4)) lor State.next_bits st (bits + 2)
+
+let wire_bits ~bits ~key_bits = key_bits + (2 * bits * 2 * key_bits)
+
+let greater_than st ~wire ~holder_x ~holder_y ~bits ~x ~y =
+  if bits < 1 || bits > 40 then invalid_arg "Compare.greater_than: bits must be in [1, 40]";
+  if x < 0 || y < 0 || x >= 1 lsl bits || y >= 1 lsl bits then
+    invalid_arg "Compare.greater_than: inputs must fit the bit width";
+  (* Primes must dominate both the encodings and the blinding factors
+     so that r * (t0 - t1) can never vanish modulo N. *)
+  let key_bits = max 96 (2 * (bits + 8)) in
+  let kp = Paillier.generate st ~bits:key_bits in
+  let pk = kp.Paillier.public in
+  let z = Paillier.ciphertext_bits pk in
+  (* Round 1: Y publishes a fresh key. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:holder_y ~dst:holder_x ~bits:(Nat.bit_length pk.Paillier.n));
+  (* Round 2: Y's encrypted 0-encoding, one slot per bit position
+     (most-significant first; position index p = 1..bits covers bit
+     bits - p). *)
+  let y_slots =
+    Array.init bits (fun p ->
+        let bit = bits - p - 1 in
+        let value =
+          if (y lsr bit) land 1 = 0 then
+            (* Prefix above the bit, then a forced 1 at the bit. *)
+            encode_prefix ~bits ~len:(p + 1) (y lor (1 lsl bit))
+          else dummy_y st ~bits
+        in
+        Paillier.encrypt st pk (Nat.of_int value))
+  in
+  Wire.round wire (fun () -> Wire.send wire ~src:holder_y ~dst:holder_x ~bits:(bits * z));
+  (* X blinds the per-position differences and shuffles. *)
+  let responses =
+    Array.init bits (fun p ->
+        let bit = bits - p - 1 in
+        let t1 =
+          if (x lsr bit) land 1 = 1 then encode_prefix ~bits ~len:(p + 1) x
+          else dummy_x st ~bits
+        in
+        let diff =
+          Paillier.add pk y_slots.(p)
+            (Paillier.encrypt st pk (Nat.sub pk.Paillier.n (Nat.of_int t1)))
+        in
+        let r = Nat.of_int (1 + State.next_bits st 30) in
+        Paillier.mul_plain pk diff r)
+  in
+  let shuffled = Perm.permute_array (Perm.random st bits) responses in
+  Wire.round wire (fun () -> Wire.send wire ~src:holder_x ~dst:holder_y ~bits:(bits * z));
+  (* Y decrypts: a zero plaintext means the encodings intersect. *)
+  Array.exists
+    (fun c -> Nat.is_zero (Paillier.decrypt kp.Paillier.secret c))
+    shuffled

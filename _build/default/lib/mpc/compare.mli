@@ -1,0 +1,45 @@
+(** Secure two-party comparison — the millionaires' problem.
+
+    Sec. 4.1 observes that Protocol 2's wrap-around question
+    ([s1 + s2 >= S?]) is an instance of Yao's millionaires' problem and
+    that all known cryptographic solutions are expensive, which is why
+    the paper opts for the curious-but-honest third party.  This module
+    implements the cryptographic alternative — the Lin-Tzeng (2005)
+    0/1-encoding protocol instantiated over Paillier — so the trade-off
+    can be measured (see {!Protocol2_crypto} and the bench ablation).
+
+    Protocol (semi-honest; decides [x > y] where player X holds [x] and
+    player Y holds [y], both [l]-bit):
+    + Y generates a Paillier keypair and, for every bit position, sends
+      the encryption of the integer encoding of its {e 0-encoding}
+      element at that position (a random dummy where none exists);
+    + X homomorphically computes, per position,
+      [Enc(r * (t0 - t1))] for its own {e 1-encoding} element [t1]
+      (a dummy where none exists) with a fresh random [r], and returns
+      the ciphertexts in a random order;
+    + Y decrypts: some plaintext is zero iff the encodings intersect
+      iff [x > y].
+
+    Y learns the verdict and nothing else (the non-matching plaintexts
+    are uniformly random); X learns nothing.  Cost: [2l + 1]
+    ciphertexts and 3 rounds per comparison — versus 2 integers and 1
+    bit for the third-party trick. *)
+
+val greater_than :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  holder_x:Wire.party ->
+  holder_y:Wire.party ->
+  bits:int ->
+  x:int ->
+  y:int ->
+  bool
+(** [greater_than st ~wire ~holder_x ~holder_y ~bits ~x ~y] returns
+    [x > y], computed by the protocol above with [bits]-bit encodings
+    (both inputs must fit).  The verdict is learned by [holder_y].
+    Raises [Invalid_argument] on out-of-range inputs. *)
+
+val wire_bits : bits:int -> key_bits:int -> int
+(** Closed-form wire cost of one comparison (key + 2·bits + 1
+    ciphertexts... exactly: key broadcast + bits queries + bits
+    responses). *)

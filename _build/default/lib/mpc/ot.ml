@@ -1,0 +1,40 @@
+module Nat = Spe_bignum.Nat
+module Paillier = Spe_crypto.Paillier
+module State = Spe_rng.State
+
+type sender_view = { queries : Nat.t array; response_bits : int }
+
+let wire_bits ~n ~key_bits =
+  (* Public key (the modulus) + N query ciphertexts + 1 response, all
+     modulo n^2, i.e. 2 * key_bits each. *)
+  key_bits + ((n + 1) * 2 * key_bits)
+
+let transfer st ~wire ~sender ~receiver ~key_bits ~messages ~choice =
+  let n = Array.length messages in
+  if n = 0 then invalid_arg "Ot.transfer: no messages";
+  if choice < 0 || choice >= n then invalid_arg "Ot.transfer: choice out of range";
+  Array.iter (fun m -> if m < 0 then invalid_arg "Ot.transfer: negative message") messages;
+  let kp = Paillier.generate st ~bits:key_bits in
+  let pk = kp.Paillier.public in
+  let z = Paillier.ciphertext_bits pk in
+  (* Round 1: the receiver publishes a fresh key. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:receiver ~dst:sender ~bits:(Nat.bit_length pk.Paillier.n));
+  (* Round 2: the encrypted unit vector. *)
+  let queries =
+    Array.init n (fun i ->
+        Paillier.encrypt st pk (if i = choice then Nat.one else Nat.zero))
+  in
+  Wire.round wire (fun () -> Wire.send wire ~src:receiver ~dst:sender ~bits:(n * z));
+  (* The sender folds Enc(sum m_i e_i) homomorphically and
+     re-randomises with a fresh Enc(0). *)
+  let selected =
+    Array.to_seq queries
+    |> Seq.zip (Array.to_seq messages)
+    |> Seq.fold_left
+         (fun acc (m, q) -> Paillier.add pk acc (Paillier.mul_plain pk q (Nat.of_int m)))
+         (Paillier.encrypt st pk Nat.zero)
+  in
+  (* Round 3: a single ciphertext back. *)
+  Wire.round wire (fun () -> Wire.send wire ~src:sender ~dst:receiver ~bits:z);
+  Nat.to_int_exn (Paillier.decrypt kp.Paillier.secret selected)

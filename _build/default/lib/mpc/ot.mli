@@ -1,0 +1,48 @@
+(** 1-out-of-N oblivious transfer over Paillier.
+
+    Sec. 5.1.1 sketches the "perfectly hiding" alternative to the
+    published pair set [E']: run the counters for {e all} [n^2 - n]
+    pairs, then let the host retrieve the shares of his real arcs with
+    an [|E|]-out-of-[(n^2 - n)] oblivious transfer — and dismisses it
+    as prohibitive.  This module provides the primitive so the cost
+    claim can be demonstrated rather than asserted (see the bench
+    ablation and [Protocol4_oblivious]).
+
+    Construction (semi-honest): the receiver Paillier-encrypts the unit
+    vector of its choice index and sends all [N] ciphertexts; the
+    sender homomorphically computes
+    [Enc(sum_i m_i * e_i) = Enc(m_choice)] and returns one ciphertext
+    after re-randomisation.  The receiver decrypts.  The sender never
+    sees the index (semantic security); the receiver learns only the
+    chosen message (the response is a single ciphertext of the
+    selected value).  Cost: [N + 1] ciphertexts per transfer — the
+    quadratic blow-up the paper warns about.
+
+    Messages are non-negative integers below the Paillier modulus. *)
+
+type sender_view = {
+  queries : Spe_bignum.Nat.t array;  (** The receiver's encrypted unit vector. *)
+  response_bits : int;  (** Ciphertext size, for cost accounting. *)
+}
+
+val transfer :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  sender:Wire.party ->
+  receiver:Wire.party ->
+  key_bits:int ->
+  messages:int array ->
+  choice:int ->
+  int
+(** [transfer st ~wire ~sender ~receiver ~key_bits ~messages ~choice]
+    runs one full 1-out-of-N OT (the receiver generates a fresh
+    keypair) and returns the message the receiver obtained — which is
+    guaranteed to be [messages.(choice)].  Declares the key, the [N]
+    query ciphertexts and the response on the wire (3 rounds).  Raises
+    [Invalid_argument] on an out-of-range choice or negative
+    messages. *)
+
+val wire_bits : n:int -> key_bits:int -> int
+(** Closed-form wire cost of one transfer: key + (N+1) ciphertexts —
+    used by the Sec. 5.1.1 cost comparison without running the
+    transfers. *)

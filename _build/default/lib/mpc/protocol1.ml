@@ -1,0 +1,77 @@
+module State = Spe_rng.State
+
+type result = { share1 : int array; share2 : int array }
+
+let max_modulus = 1 lsl 61
+
+let validate ~parties ~modulus ~inputs =
+  let m = Array.length parties in
+  if m < 2 then invalid_arg "Protocol1.run: need at least two parties";
+  if Array.length inputs <> m then invalid_arg "Protocol1.run: one input vector per party";
+  if modulus <= 1 || modulus > max_modulus then
+    invalid_arg "Protocol1.run: modulus out of range";
+  let len = Array.length inputs.(0) in
+  Array.iter
+    (fun v ->
+      if Array.length v <> len then invalid_arg "Protocol1.run: input vector length mismatch";
+      Array.iter
+        (fun x -> if x < 0 || x >= modulus then invalid_arg "Protocol1.run: input out of range")
+        v)
+    inputs;
+  (m, len)
+
+let run st ~wire ~parties ~modulus ~inputs =
+  let m, len = validate ~parties ~modulus ~inputs in
+  let elem_bits = Wire.bits_for_int_mod modulus in
+  (* pieces.(k).(j) is the share vector P_k addresses to P_j: m random
+     vectors summing to P_k's input, componentwise mod S. *)
+  let pieces =
+    Array.map
+      (fun input ->
+        let shares = Array.init m (fun _ -> Array.make len 0) in
+        Array.iteri
+          (fun l x ->
+            let partial = ref 0 in
+            for j = 1 to m - 1 do
+              let r = State.next_int st modulus in
+              shares.(j).(l) <- r;
+              partial := (!partial + r) mod modulus
+            done;
+            shares.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
+          input;
+        shares)
+      inputs
+  in
+  (* Step 2: every P_k sends his j-th piece to P_j (j <> k). *)
+  Wire.round wire (fun () ->
+      for k = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          if j <> k then
+            Wire.send wire ~src:parties.(k) ~dst:parties.(j) ~bits:(len * elem_bits)
+        done
+      done);
+  (* Step 3: P_j aggregates the pieces addressed to him. *)
+  let aggregated =
+    Array.init m (fun j ->
+        let s = Array.make len 0 in
+        for k = 0 to m - 1 do
+          for l = 0 to len - 1 do
+            s.(l) <- (s.(l) + pieces.(k).(j).(l)) mod modulus
+          done
+        done;
+        s)
+  in
+  (* Steps 4-5: P_3..P_m forward their aggregates to P_2, who folds
+     them into his own. *)
+  if m > 2 then begin
+    Wire.round wire (fun () ->
+        for j = 2 to m - 1 do
+          Wire.send wire ~src:parties.(j) ~dst:parties.(1) ~bits:(len * elem_bits)
+        done);
+    for j = 2 to m - 1 do
+      for l = 0 to len - 1 do
+        aggregated.(1).(l) <- (aggregated.(1).(l) + aggregated.(j).(l)) mod modulus
+      done
+    done
+  end;
+  { share1 = aggregated.(0); share2 = aggregated.(1) }

@@ -1,0 +1,18 @@
+(** Protocol 1 on the message-passing {!Runtime} — each player is an
+    isolated state machine that sees only its own input and inbox.
+
+    Functionally identical to {!Protocol1.run}; exists as a mechanised
+    cross-check that the central implementation's data flow is honest
+    (no party touches a value it was never sent).  The tests assert
+    both implementations reconstruct the same sums and charge the same
+    wire totals up to byte rounding. *)
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  parties:Wire.party array ->
+  modulus:int ->
+  inputs:int array array ->
+  Protocol1.result
+(** Same contract as {!Protocol1.run}.  Each party draws its share
+    randomness from a generator split off the supplied one. *)

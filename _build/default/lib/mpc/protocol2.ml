@@ -1,0 +1,74 @@
+module State = Spe_rng.State
+module Perm = Spe_rng.Perm
+
+type leak = Lower_bound of int | Upper_bound of int | Nothing
+
+let pp_leak fmt = function
+  | Lower_bound v -> Format.fprintf fmt "x >= %d" v
+  | Upper_bound v -> Format.fprintf fmt "x <= %d" v
+  | Nothing -> Format.pp_print_string fmt "nothing"
+
+type views = { p2_leaks : leak array; p3_leaks : leak array; p3_y : int array }
+
+type result = { share1 : int array; share2 : int array; views : views }
+
+(* Theorem 4.1 (proof, P2 part): after learning the wrap verdict, P2
+   holds s2 in [0, S).  No wrap: x = s1 + s2 >= s2, non-trivial iff
+   s2 > 0.  Wrap: x <= s2 - 1, non-trivial iff s2 <= A. *)
+let p2_leak ~input_bound ~s2 ~wrapped =
+  if wrapped then if s2 <= input_bound then Upper_bound (s2 - 1) else Nothing
+  else if s2 > 0 then Lower_bound s2
+  else Nothing
+
+(* Theorem 4.1 (proof, P3 part): T recovers z = x + r from y.  Since
+   0 <= r <= S - A - 1: x >= z - (S - A - 1), non-trivial iff
+   z > S - A - 1; and x <= z, non-trivial iff z < A. *)
+let p3_leak ~modulus ~input_bound ~y =
+  let z = if y >= modulus then y - modulus else y in
+  if z < input_bound then Upper_bound z
+  else if z > modulus - input_bound - 1 then Lower_bound (z - (modulus - input_bound - 1))
+  else Nothing
+
+let run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs =
+  if input_bound < 0 || input_bound >= modulus then
+    invalid_arg "Protocol2.run: need 0 <= A < S";
+  if third_party = parties.(0) || third_party = parties.(1) then
+    invalid_arg "Protocol2.run: third party must differ from players 1 and 2";
+  (* The aggregate of every counter must fit in [0, A] for the
+     wrap-detection argument to hold. *)
+  let len = if Array.length inputs = 0 then 0 else Array.length inputs.(0) in
+  for l = 0 to len - 1 do
+    let total = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+    if total > input_bound then invalid_arg "Protocol2.run: aggregate exceeds input bound"
+  done;
+  let { Protocol1.share1; share2 } = Protocol1.run st ~wire ~parties ~modulus ~inputs in
+  let elem_bits = Wire.bits_for_int_mod modulus in
+  (* Step 2: P2 draws masks r_l uniform on [0, S - A - 1]. *)
+  let masks = Array.init len (fun _ -> State.next_int st (modulus - input_bound)) in
+  (* Secret permutation shared by P1 and P2 (batched variant, Sec. 5):
+     the sequences sent to T are reordered so leaked bounds cannot be
+     attributed. *)
+  let perm = Perm.random st len in
+  let s1_perm = Perm.permute_array perm share1 in
+  let masked_perm = Perm.permute_array perm (Array.init len (fun l -> share2.(l) + masks.(l))) in
+  (* Steps 3-4: both messages carry the whole vector. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:parties.(0) ~dst:third_party ~bits:(len * elem_bits);
+      Wire.send wire ~src:parties.(1) ~dst:third_party ~bits:(len * elem_bits));
+  (* Step 5: T computes y and announces the verdicts (1 bit per
+     counter). *)
+  let y = Array.init len (fun l -> s1_perm.(l) + masked_perm.(l)) in
+  let verdicts_perm = Array.map (fun yl -> yl >= modulus) y in
+  Wire.round wire (fun () -> Wire.send wire ~src:third_party ~dst:parties.(1) ~bits:len);
+  (* Steps 7-8: P2 un-permutes the verdicts and adjusts his shares.
+     The verdict of original counter l sits at permuted position
+     perm(l). *)
+  let p2_leaks = Array.make len Nothing in
+  let final2 = Array.make len 0 in
+  for l = 0 to len - 1 do
+    let wrapped = verdicts_perm.(Perm.apply perm l) in
+    p2_leaks.(l) <- p2_leak ~input_bound ~s2:share2.(l) ~wrapped;
+    final2.(l) <- (if wrapped then share2.(l) - modulus else share2.(l))
+  done;
+  let p3_leaks = Array.map (fun yl -> p3_leak ~modulus ~input_bound ~y:yl) y in
+  { share1; share2 = final2; views = { p2_leaks; p3_leaks; p3_y = y } }

@@ -1,0 +1,62 @@
+(** Protocol 2 — secure computation of {e integer} additive shares of a
+    sum of private inputs.
+
+    Protocol 1 leaves [s1 + s2 = x mod S]; viewed as integers either
+    [s1 + s2 = x] or [s1 + s2 = S + x].  Rather than run an expensive
+    millionaires'-problem protocol to decide which, the paper's trick
+    uses a curious-but-honest third party T (another provider or the
+    host): player 2 draws a mask [r] uniform on [[0, S - A - 1]],
+    player 1 sends [s1] and player 2 sends [s2 + r] to T, who announces
+    whether [y = s1 + s2 + r >= S].  If so, player 2 replaces
+    [s2 <- s2 - S], making [s1 + s2 = x] hold over the integers (with
+    [s2] possibly negative).
+
+    Theorem 4.1 bounds the leakage: player 2 sometimes learns a lower
+    or an upper bound on the aggregate [x] (never on individual
+    inputs), and so may T; both probabilities shrink as [S] grows.
+    This module returns the exact leak each of them obtained — the
+    Monte-Carlo material for the leakage experiment — and implements
+    the batched variant of Sec. 5: all counters are processed in one
+    pass, with the pair sequence sent to T permuted by a secret shared
+    permutation so that T cannot attribute a leaked bound to a specific
+    counter. *)
+
+type leak =
+  | Lower_bound of int  (** The player learned [x >= v], with [v > 0]. *)
+  | Upper_bound of int  (** The player learned [x <= v], with [v < A]. *)
+  | Nothing
+
+val pp_leak : Format.formatter -> leak -> unit
+
+type views = {
+  p2_leaks : leak array;
+      (** Per counter (original order): what player 2 inferred from the
+          wrap-around announcement. *)
+  p3_leaks : leak array;
+      (** Per counter in T's {e permuted} order: what T inferred from
+          [y].  The permutation is secret, so T cannot map these back
+          to counters — which is exactly the point. *)
+  p3_y : int array;  (** The [y] values T observed (permuted order). *)
+}
+
+type result = {
+  share1 : int array;  (** Player 1's integer share, in [[0, S)]. *)
+  share2 : int array;  (** Player 2's integer share, possibly negative. *)
+  views : views;
+}
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  parties:Wire.party array ->
+  third_party:Wire.party ->
+  modulus:int ->
+  input_bound:int ->
+  inputs:int array array ->
+  result
+(** [run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs]:
+    [input_bound] is the paper's [A] — every entry and every aggregate
+    sum must lie in [[0, A]]; [modulus] is [S > A].  [third_party] must
+    not be among [parties.(0)], [parties.(1)].  Post-condition:
+    [share1.(l) + share2.(l)] equals the l-th aggregate sum exactly.
+    Consumes the Protocol 1 rounds plus 2 more (send-to-T, verdict). *)

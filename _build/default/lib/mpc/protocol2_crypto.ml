@@ -1,0 +1,27 @@
+type result = { share1 : int array; share2 : int array }
+
+let run st ~wire ~parties ~modulus ~input_bound ~inputs =
+  if input_bound < 0 || input_bound >= modulus then
+    invalid_arg "Protocol2_crypto.run: need 0 <= A < S";
+  let bits = Wire.bits_for_int_mod modulus in
+  if bits > 40 then invalid_arg "Protocol2_crypto.run: modulus too wide for the comparison";
+  let len = if Array.length inputs = 0 then 0 else Array.length inputs.(0) in
+  for l = 0 to len - 1 do
+    let total = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+    if total > input_bound then
+      invalid_arg "Protocol2_crypto.run: aggregate exceeds input bound"
+  done;
+  let { Protocol1.share1; share2 } = Protocol1.run st ~wire ~parties ~modulus ~inputs in
+  (* One millionaires' comparison per counter: wrapped iff
+     s1 > S - s2 - 1.  Player 1 holds x = s1, player 2 holds
+     y = S - s2 - 1 and learns the verdict. *)
+  let final2 = Array.make len 0 in
+  for l = 0 to len - 1 do
+    let wrapped =
+      Compare.greater_than st ~wire ~holder_x:parties.(0) ~holder_y:parties.(1) ~bits
+        ~x:share1.(l)
+        ~y:(modulus - share2.(l) - 1)
+    in
+    final2.(l) <- (if wrapped then share2.(l) - modulus else share2.(l))
+  done;
+  { share1; share2 = final2 }

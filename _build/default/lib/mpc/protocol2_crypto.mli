@@ -1,0 +1,33 @@
+(** The cryptographic alternative to Protocol 2's third party.
+
+    Protocol 2 resolves the wrap-around question [s1 + s2 >= S?] by
+    handing masked values to a curious-but-honest third party.  Sec 4.1
+    notes the alternative — solve the millionaires' problem between
+    players 1 and 2 directly — and dismisses it as expensive.  This
+    module implements that alternative so the trade-off can be
+    measured: Protocol 1 as usual, then one {!Compare.greater_than}
+    per counter ([s1 > S - s2 - 1], verdict to player 2), no third
+    party at all.
+
+    Privacy: player 2 still learns exactly what Theorem 4.1(a) grants
+    him (the wrap-around verdict); nobody else learns anything — the
+    Theorem 4.1(b) leakage to the third party disappears.  Cost: two
+    Paillier ciphertexts per bit of [S] per counter, versus two
+    integers and one bit for the whole batch. *)
+
+type result = {
+  share1 : int array;  (** Player 1's integer share, in [[0, S)]. *)
+  share2 : int array;  (** Player 2's integer share, possibly negative. *)
+}
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  parties:Wire.party array ->
+  modulus:int ->
+  input_bound:int ->
+  inputs:int array array ->
+  result
+(** Same contract as [Protocol2.run] (integer shares of the aggregate
+    sums), with the comparison done cryptographically between players
+    1 and 2.  [modulus] must fit the comparison width (at most 2^40). *)

@@ -1,0 +1,27 @@
+(** Protocol 2 on the message-passing {!Runtime}: Protocol 1's share
+    exchange, then the masked wrap-around test through the third party,
+    with every player an isolated state machine.
+
+    Restrictions relative to {!Protocol2.run}: the third party must not
+    be one of the sharing parties (use the host), since each runtime
+    party runs a single program.  The jointly-generated secrets of
+    players 1 and 2 (the masks and the batch permutation) are
+    precomputed from a shared generator and captured by both closures —
+    the same semi-honest joint-coin-flipping model as everywhere else
+    (DESIGN.md).
+
+    The tests assert result equality (integer share reconstruction) and
+    wire-total agreement with the central {!Protocol2.run} up to byte
+    rounding. *)
+
+type result = { share1 : int array; share2 : int array }
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  parties:Wire.party array ->
+  third_party:Wire.party ->
+  modulus:int ->
+  input_bound:int ->
+  inputs:int array array ->
+  result

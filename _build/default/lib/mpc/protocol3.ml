@@ -1,0 +1,22 @@
+module Dist = Spe_rng.Dist
+
+type outcome = { quotient : float; host_view : float * float; mask : float }
+
+let run st ~wire ~p1 ~p2 ~host ~a1 ~a2 =
+  if a1 < 0 || a2 < 0 then invalid_arg "Protocol3.run: inputs must be non-negative";
+  (* Steps 1-2: joint coin flipping modelled by the shared generator
+     (semi-honest; see DESIGN.md). *)
+  let r = Dist.mask_pair st in
+  let m1 = r *. float_of_int a1 and m2 = r *. float_of_int a2 in
+  (* Steps 3-4. *)
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:p1 ~dst:host ~bits:Wire.float_bits;
+      Wire.send wire ~src:p2 ~dst:host ~bits:Wire.float_bits);
+  (* Steps 5-9. *)
+  let quotient = if m2 = 0. then 0. else m1 /. m2 in
+  { quotient; host_view = (m1, m2); mask = r }
+
+let divide_shares ~mask ~num:(s1, s2) ~den:(t1, t2) =
+  let numerator = (mask *. float_of_int s1) +. (mask *. float_of_int s2) in
+  let denominator = (mask *. float_of_int t1) +. (mask *. float_of_int t2) in
+  if denominator = 0. then 0. else numerator /. denominator

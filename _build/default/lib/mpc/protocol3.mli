@@ -1,0 +1,44 @@
+(** Protocol 3 — secure division of private integers.
+
+    Players 1 and 2 hold integers [a1, a2] in [[0, A]]; the host must
+    learn the real quotient [a1 / a2] (zero if [a2 = 0]) and as little
+    as possible beyond it.  The two players jointly draw
+    [M ~ Z] (pdf [mu^-2] on [[1, inf)]) and [r ~ U(0, M)], send the
+    host the masked reals [r * a1] and [r * a2], and the host divides —
+    the mask cancels.
+
+    Because [Z] is heavy-tailed, Theorem 4.3 shows every positive value
+    remains a possible pre-image of a masked observation; Theorem 4.4
+    gives the exact posterior (implemented in [Spe_privacy.Posterior]).
+    A zero observation does reveal a zero input — which the paper
+    argues is the insensitive direction (not having acted).
+
+    {!divide_shares} is the Protocol 4 variant: the inputs arrive as
+    integer additive shares held by players 1 and 2, each share is
+    multiplied by the {e same} mask, and the host sums before dividing:
+    [(r*s1_num + r*s2_num) / (r*s1_den + r*s2_den) = num / den]. *)
+
+type outcome = {
+  quotient : float;
+  host_view : float * float;  (** The masked values [r*a1, r*a2]. *)
+  mask : float;  (** The mask [r] (known to players 1-2 only). *)
+}
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  p1:Wire.party ->
+  p2:Wire.party ->
+  host:Wire.party ->
+  a1:int ->
+  a2:int ->
+  outcome
+(** One division; inputs must be non-negative.  Consumes one wire round
+    (the two masked sends). *)
+
+val divide_shares : mask:float -> num:int * int -> den:int * int -> float
+(** Host-side arithmetic of Protocol 4, Step 9, given the two masked
+    share pairs (already multiplied by the caller); exposed separately
+    for testing.  [divide_shares ~mask ~num:(s1, s2) ~den:(t1, t2)] is
+    [(mask*s1 + mask*s2) / (mask*t1 + mask*t2)], zero when the
+    denominator shares cancel. *)

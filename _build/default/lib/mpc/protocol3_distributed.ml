@@ -1,0 +1,33 @@
+module Dist = Spe_rng.Dist
+module State = Spe_rng.State
+
+let run st ~wire ~p1 ~p2 ~host ~a1 ~a2 =
+  if a1 < 0 || a2 < 0 then invalid_arg "Protocol3_distributed.run: inputs must be non-negative";
+  (* Steps 1-2: jointly drawn mask. *)
+  let r = Dist.mask_pair (State.split st) in
+  let quotient = ref 0. in
+  let engine = Runtime.create () in
+  let sender value party =
+    Runtime.add_party engine party (fun ~round ~inbox:_ ->
+        if round = 1 then
+          [ { Runtime.src = party; dst = host;
+              payload = Runtime.Floats [| r *. float_of_int value |] } ]
+        else [])
+  in
+  sender a1 p1;
+  sender a2 p2;
+  Runtime.add_party engine host (fun ~round:_ ~inbox ->
+      let masked_of party =
+        List.find_map
+          (fun msg ->
+            match msg.Runtime.payload with
+            | Runtime.Floats v when msg.Runtime.src = party -> Some v.(0)
+            | _ -> None)
+          inbox
+      in
+      (match (masked_of p1, masked_of p2) with
+      | Some m1, Some m2 -> quotient := (if m2 = 0. then 0. else m1 /. m2)
+      | _ -> ());
+      []);
+  let _ = Runtime.run engine ~wire ~max_rounds:4 in
+  !quotient

@@ -1,0 +1,18 @@
+(** Protocol 3 on the message-passing {!Runtime}, completing the
+    distributed-twin validation set (Protocols 1-3).
+
+    Players 1 and 2 hold the private integers; the host receives the
+    masked reals and divides.  The joint mask (Steps 1-2) is
+    precomputed from a shared generator, as everywhere else. *)
+
+val run :
+  Spe_rng.State.t ->
+  wire:Wire.t ->
+  p1:Wire.party ->
+  p2:Wire.party ->
+  host:Wire.party ->
+  a1:int ->
+  a2:int ->
+  float
+(** Returns the quotient the host computed; same contract as
+    [Protocol3.run] (zero on a zero denominator). *)

@@ -1,0 +1,56 @@
+type payload =
+  | Ints of { modulus : int; values : int array }
+  | Floats of float array
+  | Bits of bool array
+
+let payload_bits = function
+  | Ints { modulus; values } ->
+    8 * Bytes.length (Codec.encode_residues ~modulus values)
+  | Floats values -> 8 * Bytes.length (Codec.encode_floats values)
+  | Bits flags -> 8 * Bytes.length (Codec.encode_bitset flags)
+
+type message = { src : Wire.party; dst : Wire.party; payload : payload }
+
+type program = round:int -> inbox:message list -> message list
+
+type t = { mutable parties : (Wire.party * program) list (* registration order *) }
+
+let create () = { parties = [] }
+
+let add_party t party program =
+  if List.mem_assoc party t.parties then invalid_arg "Runtime.add_party: duplicate party";
+  t.parties <- t.parties @ [ (party, program) ]
+
+let run t ~wire ~max_rounds =
+  let inboxes : (Wire.party, message list) Hashtbl.t = Hashtbl.create 8 in
+  let inbox_of party = Option.value ~default:[] (Hashtbl.find_opt inboxes party) in
+  let rec loop round =
+    if round > max_rounds then failwith "Runtime.run: protocol did not terminate";
+    (* Deliver this round: every party steps on its inbox. *)
+    let outputs =
+      List.concat_map
+        (fun (party, program) ->
+          let inbox = List.rev (inbox_of party) in
+          Hashtbl.remove inboxes party;
+          let sends = program ~round ~inbox in
+          List.iter
+            (fun msg ->
+              if msg.src <> party then invalid_arg "Runtime.run: forged source";
+              if not (List.mem_assoc msg.dst t.parties) then
+                invalid_arg "Runtime.run: message to unknown party")
+            sends;
+          sends)
+        t.parties
+    in
+    match outputs with
+    | [] -> round - 1
+    | sends ->
+      Wire.round wire (fun () ->
+          List.iter
+            (fun msg ->
+              Wire.send wire ~src:msg.src ~dst:msg.dst ~bits:(payload_bits msg.payload);
+              Hashtbl.replace inboxes msg.dst (msg :: inbox_of msg.dst))
+            sends);
+      loop (round + 1)
+  in
+  loop 1

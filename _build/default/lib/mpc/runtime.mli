@@ -1,0 +1,47 @@
+(** A round-based message-passing runtime.
+
+    The protocol modules in this library are written "centrally": one
+    function computes every party's values and declares the messages on
+    the wire.  That style is concise and easy to test, but it cannot
+    catch a class of bugs — a party using a value it never received.
+    This runtime provides the stricter discipline: each party is a
+    closure over its own private state that, once per round, sees
+    {e only its inbox} and emits messages; the engine routes payloads,
+    encodes them with {!Codec} to charge byte-exact sizes on the wire,
+    and stops when a round goes silent.
+
+    [Protocol1_distributed] and [Protocol2_distributed] re-implement
+    the share protocols on this runtime; the test suite checks that
+    they compute the same results and the same wire totals (up to byte
+    rounding) as the central implementations — a mechanised argument
+    that the central versions do not cheat. *)
+
+type payload =
+  | Ints of { modulus : int; values : int array }
+      (** Residue vector, encoded fixed-width per the modulus. *)
+  | Floats of float array  (** IEEE doubles. *)
+  | Bits of bool array  (** One bit each, byte padded. *)
+
+val payload_bits : payload -> int
+(** Exact encoded size, as charged on the wire. *)
+
+type message = { src : Wire.party; dst : Wire.party; payload : payload }
+
+type program = round:int -> inbox:message list -> message list
+(** One party: called once per round with the messages addressed to it
+    (in arrival order); returns its sends.  State lives in the
+    closure. *)
+
+type t
+
+val create : unit -> t
+
+val add_party : t -> Wire.party -> program -> unit
+(** Raises [Invalid_argument] on a duplicate party. *)
+
+val run : t -> wire:Wire.t -> max_rounds:int -> int
+(** Execute rounds until one produces no messages (the quiescent round
+    is not charged) or [max_rounds] is hit (then [Failure] — a protocol
+    that fails to terminate is a bug).  Every non-quiet round is
+    declared on [wire] with each message's encoded size.  Returns the
+    number of rounds executed.  Messages to unknown parties raise. *)

@@ -1,0 +1,58 @@
+type party = Host | Provider of int
+
+let pp_party fmt = function
+  | Host -> Format.pp_print_string fmt "H"
+  | Provider k -> Format.fprintf fmt "P%d" (k + 1)
+
+type stats = { rounds : int; messages : int; bits : int }
+
+type message = { round : int; src : party; dst : party; bits : int }
+
+type t = {
+  mutable rounds : int;
+  mutable in_round : bool;
+  mutable messages : message list; (* reversed *)
+  mutable message_count : int;
+  mutable total_bits : int;
+}
+
+let create () =
+  { rounds = 0; in_round = false; messages = []; message_count = 0; total_bits = 0 }
+
+let round w f =
+  if w.in_round then failwith "Wire.round: nested round";
+  w.in_round <- true;
+  w.rounds <- w.rounds + 1;
+  Fun.protect ~finally:(fun () -> w.in_round <- false) f
+
+let send w ~src ~dst ~bits =
+  if not w.in_round then failwith "Wire.send: outside a round";
+  if bits < 0 then invalid_arg "Wire.send: negative size";
+  if src = dst then invalid_arg "Wire.send: self-send";
+  w.messages <- { round = w.rounds; src; dst; bits } :: w.messages;
+  w.message_count <- w.message_count + 1;
+  w.total_bits <- w.total_bits + bits
+
+let stats w = { rounds = w.rounds; messages = w.message_count; bits = w.total_bits }
+
+let messages w = List.rev w.messages
+
+let pp_transcript fmt w =
+  let current_round = ref 0 in
+  List.iter
+    (fun m ->
+      if m.round <> !current_round then begin
+        current_round := m.round;
+        Format.fprintf fmt "round %d:@." m.round
+      end;
+      Format.fprintf fmt "  %a -> %a  %d bits@." pp_party m.src pp_party m.dst m.bits)
+    (messages w);
+  let s = stats w in
+  Format.fprintf fmt "totals: NR=%d NM=%d MS=%d bits@." s.rounds s.messages s.bits
+
+let bits_for_int_mod modulus =
+  if modulus <= 1 then invalid_arg "Wire.bits_for_int_mod: modulus must exceed 1";
+  let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+  width (modulus - 1) 0
+
+let float_bits = 64

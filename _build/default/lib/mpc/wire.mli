@@ -1,0 +1,55 @@
+(** The simulated wire: message accounting for the communication-cost
+    evaluation (Sec. 7.1).
+
+    The protocols run in-process, but every message a real deployment
+    would send is declared on a wire value, tagged with its byte-exact
+    size in bits.  The evaluation metrics of the paper fall out
+    directly:
+    - NR — number of communication rounds (a round is a stage in which
+      some players send messages and the protocol can only proceed once
+      all are delivered);
+    - NM — total number of messages;
+    - MS — total size in bits of all messages.
+
+    Rounds are declared with {!round}; sends outside a round, or nested
+    rounds, are programming errors and raise. *)
+
+type party = Host | Provider of int
+(** [Provider k] is the paper's P_(k+1) (zero-indexed). *)
+
+val pp_party : Format.formatter -> party -> unit
+
+type stats = { rounds : int; messages : int; bits : int }
+(** The paper's (NR, NM, MS). *)
+
+type message = { round : int; src : party; dst : party; bits : int }
+
+type t
+
+val create : unit -> t
+
+val round : t -> (unit -> 'a) -> 'a
+(** [round w f] opens a communication round, runs [f] (whose sends are
+    attributed to this round), and closes it.  Raises [Failure] when
+    nested. *)
+
+val send : t -> src:party -> dst:party -> bits:int -> unit
+(** Declare one message.  Raises [Failure] outside a round and
+    [Invalid_argument] on a negative size or a self-send. *)
+
+val stats : t -> stats
+
+val messages : t -> message list
+(** Full transcript in send order. *)
+
+val pp_transcript : Format.formatter -> t -> unit
+(** Human-readable per-round table of the transcript: one line per
+    message with round, endpoints and size. *)
+
+val bits_for_int_mod : int -> int
+(** Size in bits of one residue modulo the given modulus:
+    [ceil(log2 S)]. *)
+
+val float_bits : int
+(** Size of one real number on the wire — the paper's [f] (we use 64,
+    IEEE double). *)

@@ -1,0 +1,1 @@
+lib/privacy/gain.ml: Array Float Format Posterior Spe_rng String

@@ -1,0 +1,1 @@
+lib/privacy/gain.mli: Format Posterior Spe_rng

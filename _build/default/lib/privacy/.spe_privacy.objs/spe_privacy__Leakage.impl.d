@@ -1,0 +1,1 @@
+lib/privacy/leakage.ml: Array Spe_mpc Spe_rng

@@ -1,0 +1,1 @@
+lib/privacy/leakage.mli: Spe_rng

@@ -1,0 +1,1 @@
+lib/privacy/perturbation.ml: Array Float List Spe_actionlog Spe_influence Spe_rng

@@ -1,0 +1,1 @@
+lib/privacy/perturbation.mli: Spe_actionlog Spe_influence Spe_rng

@@ -1,0 +1,1 @@
+lib/privacy/posterior.ml: Array Float Spe_rng

@@ -1,0 +1,1 @@
+lib/privacy/posterior.mli: Spe_rng

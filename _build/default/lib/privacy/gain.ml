@@ -1,0 +1,60 @@
+module Dist = Spe_rng.Dist
+
+type histogram = { lo : float; width : float; counts : int array }
+
+let histogram_of ?(buckets = 16) samples =
+  if Array.length samples = 0 then invalid_arg "Gain.histogram_of: empty sample";
+  if buckets < 1 then invalid_arg "Gain.histogram_of: need at least one bucket";
+  let lo = Array.fold_left Float.min samples.(0) samples in
+  let hi = Array.fold_left Float.max samples.(0) samples in
+  let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1. in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun v ->
+      let idx = min (buckets - 1) (int_of_float ((v -. lo) /. width)) in
+      counts.(idx) <- counts.(idx) + 1)
+    samples;
+  { lo; width; counts }
+
+type result = {
+  gains : float array;
+  average : float;
+  positive_fraction : float;
+  histogram : histogram;
+}
+
+let run st ~prior ~trials_per_x =
+  if trials_per_x < 1 then invalid_arg "Gain.run: need at least one trial";
+  let a = Posterior.bound prior in
+  if a < 1 then invalid_arg "Gain.run: prior support must include positive values";
+  let prior_mean = Posterior.mean (prior :> float array) in
+  let gains = Array.make (a * trials_per_x) 0. in
+  let idx = ref 0 in
+  for x = 1 to a do
+    let e_pre = abs_float (float_of_int x -. prior_mean) in
+    for _ = 1 to trials_per_x do
+      let r = Dist.mask_pair st in
+      let y = r *. float_of_int x in
+      let post = Posterior.posterior prior ~y in
+      let e_post = abs_float (float_of_int x -. Posterior.mean post) in
+      gains.(!idx) <- e_pre -. e_post;
+      incr idx
+    done
+  done;
+  let total = Array.fold_left ( +. ) 0. gains in
+  let positive = Array.fold_left (fun acc g -> if g > 0. then acc + 1 else acc) 0 gains in
+  {
+    gains;
+    average = total /. float_of_int (Array.length gains);
+    positive_fraction = float_of_int positive /. float_of_int (Array.length gains);
+    histogram = histogram_of gains;
+  }
+
+let pp_histogram fmt h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let left = h.lo +. (float_of_int i *. h.width) in
+      let bar = String.make (c * 50 / max_count) '#' in
+      Format.fprintf fmt "[%7.3f, %7.3f) %6d %s@." left (left +. h.width) c bar)
+    h.counts

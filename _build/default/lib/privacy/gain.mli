@@ -1,0 +1,38 @@
+(** The Sec. 7.2 experiment: does seeing the masked value help a
+    curious party guess the private counter?
+
+    For each true value [x in {1..A}] and each of [trials] rounds, draw
+    a mask [r] (Protocol 3's distribution), observe [y = r * x], and
+    compare the guessing errors before and after:
+    [E_pre = |x - mean(prior)|], [E_post = |x - mean(posterior(y))|].
+    The {e gain} is [G = E_pre - E_post]; positive gains mean the
+    observation helped.  The paper's Figure 1 histograms these
+    [A * trials] gains and reports a tiny positive average — "from an
+    information-theoretical point of view, y does reveal some
+    information on x; but from a practical point of view the gain is
+    insignificant". *)
+
+type histogram = {
+  lo : float;  (** Left edge of the first bucket. *)
+  width : float;  (** Bucket width. *)
+  counts : int array;
+}
+
+val histogram_of : ?buckets:int -> float array -> histogram
+(** Equal-width histogram over the sample range (default 16 buckets).
+    Raises [Invalid_argument] on an empty sample. *)
+
+type result = {
+  gains : float array;  (** All [A * trials] gain samples. *)
+  average : float;
+  positive_fraction : float;  (** Share of strictly positive gains. *)
+  histogram : histogram;
+}
+
+val run :
+  Spe_rng.State.t -> prior:Posterior.prior -> trials_per_x:int -> result
+(** The experiment exactly as specified in Sec. 7.2 (the paper uses
+    [A = 10] and 1000 trials per [x]). *)
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** ASCII rendering, one bucket per line. *)

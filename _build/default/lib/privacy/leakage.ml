@@ -1,0 +1,66 @@
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Protocol2 = Spe_mpc.Protocol2
+
+type rates = { p2_lower : float; p2_upper : float; p3_lower : float; p3_upper : float }
+
+let theoretical ~modulus ~input_bound ~x =
+  if x < 0 || x > input_bound then invalid_arg "Leakage.theoretical: x out of [0, A]";
+  if modulus <= input_bound then invalid_arg "Leakage.theoretical: need S > A";
+  let s = float_of_int modulus and a = float_of_int input_bound in
+  let p3_rate = a /. (s -. a) in
+  {
+    p2_lower = float_of_int x /. s;
+    p2_upper = (a -. float_of_int x) /. s;
+    p3_lower = p3_rate;
+    p3_upper = p3_rate;
+  }
+
+type observed = {
+  trials : int;
+  p2_lower_hits : int;
+  p2_upper_hits : int;
+  p3_lower_hits : int;
+  p3_upper_hits : int;
+}
+
+let monte_carlo st ~modulus ~input_bound ~x ~trials =
+  if trials < 1 then invalid_arg "Leakage.monte_carlo: need at least one trial";
+  if x < 0 || x > input_bound then invalid_arg "Leakage.monte_carlo: x out of [0, A]";
+  let p2_lower = ref 0 and p2_upper = ref 0 and p3_lower = ref 0 and p3_upper = ref 0 in
+  for _ = 1 to trials do
+    (* Two-party split of x. *)
+    let x1 = State.next_int st (x + 1) in
+    let wire = Wire.create () in
+    let r =
+      Protocol2.run st ~wire
+        ~parties:[| Wire.Provider 0; Wire.Provider 1 |]
+        ~third_party:Wire.Host ~modulus ~input_bound
+        ~inputs:[| [| x1 |]; [| x - x1 |] |]
+    in
+    (match r.Protocol2.views.Protocol2.p2_leaks.(0) with
+    | Protocol2.Lower_bound _ -> incr p2_lower
+    | Protocol2.Upper_bound _ -> incr p2_upper
+    | Protocol2.Nothing -> ());
+    match r.Protocol2.views.Protocol2.p3_leaks.(0) with
+    | Protocol2.Lower_bound _ -> incr p3_lower
+    | Protocol2.Upper_bound _ -> incr p3_upper
+    | Protocol2.Nothing -> ()
+  done;
+  {
+    trials;
+    p2_lower_hits = !p2_lower;
+    p2_upper_hits = !p2_upper;
+    p3_lower_hits = !p3_lower;
+    p3_upper_hits = !p3_upper;
+  }
+
+let required_modulus ~input_bound ~counters ~epsilon =
+  if input_bound < 1 then invalid_arg "Leakage.required_modulus: need A >= 1";
+  if counters < 1 then invalid_arg "Leakage.required_modulus: need at least one counter";
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Leakage.required_modulus: epsilon must be in (0,1)";
+  let s =
+    float_of_int input_bound *. (1. +. (2. *. float_of_int counters /. epsilon))
+  in
+  int_of_float (ceil s)

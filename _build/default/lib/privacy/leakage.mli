@@ -1,0 +1,42 @@
+(** Theorem 4.1 — leak probabilities of Protocol 2, closed form and
+    Monte-Carlo.
+
+    For an aggregate [x in [0, A]] shared modulo [S]:
+    - player 2 learns a (non-trivial) lower bound with probability
+      [x / S], an upper bound with probability [(A - x) / S], nothing
+      with probability [(S - A) / S];
+    - the third party learns a lower or an upper bound each with
+      probability at most [A / (S - A)], nothing with probability at
+      least [(S - 3A) / (S - A)];
+    - every other player learns nothing.
+
+    {!required_modulus} inverts the bound used in Sec. 5.1.1: to push
+    the probability that {e any} of [count] shared counters leaks
+    anything to either observer below [epsilon], it suffices to take
+    [S >= A * (1 + 2 * count / epsilon)]. *)
+
+type rates = {
+  p2_lower : float;
+  p2_upper : float;
+  p3_lower : float;  (** Upper bound for the third party's rate. *)
+  p3_upper : float;  (** Upper bound for the third party's rate. *)
+}
+
+val theoretical : modulus:int -> input_bound:int -> x:int -> rates
+(** The Theorem 4.1 probabilities for a fixed aggregate [x]. *)
+
+type observed = {
+  trials : int;
+  p2_lower_hits : int;
+  p2_upper_hits : int;
+  p3_lower_hits : int;
+  p3_upper_hits : int;
+}
+
+val monte_carlo :
+  Spe_rng.State.t -> modulus:int -> input_bound:int -> x:int -> trials:int -> observed
+(** Run Protocol 2 [trials] times on a two-party split of [x] and count
+    the leaks each observer actually obtained. *)
+
+val required_modulus : input_bound:int -> counters:int -> epsilon:float -> int
+(** The Sec. 5.1.1 sizing rule [S >= A * (1 + 2 * counters / epsilon)]. *)

@@ -1,0 +1,45 @@
+module State = Spe_rng.State
+module Log = Spe_actionlog.Log
+module Counters = Spe_influence.Counters
+
+let laplace_noise st ~scale =
+  if scale <= 0. then invalid_arg "Perturbation.laplace_noise: scale must be positive";
+  (* Inverse CDF on a symmetric uniform draw. *)
+  let u = State.next_float st -. 0.5 in
+  let sign = if u < 0. then -1. else 1. in
+  -.scale *. sign *. log1p (-.2. *. abs_float u)
+
+let laplace_counters st ~epsilon (ct : Counters.t) =
+  if epsilon <= 0. then invalid_arg "Perturbation.laplace_counters: epsilon must be positive";
+  let scale = 1. /. epsilon in
+  let noisy_a = Array.map (fun a -> float_of_int a +. laplace_noise st ~scale) ct.Counters.a in
+  let noisy_b =
+    Array.map
+      (fun row -> float_of_int (Array.fold_left ( + ) 0 row) +. laplace_noise st ~scale)
+      ct.Counters.c
+  in
+  (noisy_a, noisy_b)
+
+let perturbed_strengths st ~epsilon (ct : Counters.t) =
+  let noisy_a, noisy_b = laplace_counters st ~epsilon ct in
+  Array.mapi
+    (fun k (i, _) ->
+      if noisy_a.(i) < 1. then 0.
+      else Float.max 0. (Float.min 1. (noisy_b.(k) /. noisy_a.(i))))
+    ct.Counters.pairs
+
+let randomized_response st ~p_truth log =
+  if p_truth < 0. || p_truth > 1. then
+    invalid_arg "Perturbation.randomized_response: p_truth out of [0,1]";
+  let num_users = Log.num_users log and num_actions = Log.num_actions log in
+  let horizon = 1 + Log.max_time log in
+  let flip (r : Log.record) =
+    if State.next_float st < p_truth then r
+    else
+      {
+        Log.user = State.next_int st (max 1 num_users);
+        action = State.next_int st (max 1 num_actions);
+        time = State.next_int st horizon;
+      }
+  in
+  Log.of_records ~num_users ~num_actions (List.map flip (Log.records log))

@@ -1,0 +1,43 @@
+(** Data perturbation — the {e other} privacy-preserving data mining
+    paradigm (Sec. 2's first setting), implemented as a contrast
+    baseline.
+
+    The paper's protocols compute influence {e exactly} while hiding
+    inputs; perturbation approaches instead add noise to the published
+    data and accept estimation error.  Two standard mechanisms over the
+    counter interface:
+
+    - {!laplace_counters} — each provider publishes its counters with
+      Laplace noise of scale [sensitivity / epsilon].  Since a single
+      log record changes [a_i] by one and each [b^h] by at most one,
+      per-counter sensitivity is 1 and the mechanism is
+      [epsilon]-differentially private per counter.
+    - {!randomized_response} — each log record is reported truthfully
+      with probability [p] and replaced by a uniformly random record
+      otherwise (Warner's classic design), with the unbiased
+      frequency correction left to the analyst.
+
+    The bench compares the estimation error of Laplace-perturbed
+    Eq. (1) strengths against the exact secure protocol across
+    [epsilon] — quantifying the utility price of the perturbation
+    paradigm that the paper's MPC approach avoids. *)
+
+val laplace_noise : Spe_rng.State.t -> scale:float -> float
+(** One sample of centred Laplace noise. *)
+
+val laplace_counters :
+  Spe_rng.State.t -> epsilon:float -> Spe_influence.Counters.t -> float array * float array
+(** [(noisy_a, noisy_b)] — the activity and window counters with
+    i.i.d. Laplace([1/epsilon]) noise (per-counter sensitivity 1).
+    Raises [Invalid_argument] on non-positive [epsilon]. *)
+
+val perturbed_strengths :
+  Spe_rng.State.t -> epsilon:float -> Spe_influence.Counters.t -> float array
+(** Eq. (1) computed from Laplace-noisy counters, clamped to [[0, 1]];
+    pairs whose noisy denominator is below 1 report 0. *)
+
+val randomized_response :
+  Spe_rng.State.t -> p_truth:float -> Spe_actionlog.Log.t -> Spe_actionlog.Log.t
+(** Each record kept with probability [p_truth], otherwise replaced by
+    a uniform (user, action, time) triple over the same universes
+    (times up to the log's max time).  [p_truth] in [[0, 1]]. *)

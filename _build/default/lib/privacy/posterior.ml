@@ -1,0 +1,94 @@
+type prior = float array
+
+let prior_of_array f =
+  if Array.length f < 1 then invalid_arg "Posterior.prior_of_array: empty prior";
+  Array.iter (fun p -> if p < 0. then invalid_arg "Posterior.prior_of_array: negative mass") f;
+  let total = Array.fold_left ( +. ) 0. f in
+  if abs_float (total -. 1.) > 1e-9 then
+    invalid_arg "Posterior.prior_of_array: masses must sum to 1";
+  Array.copy f
+
+let uniform_prior ~bound =
+  if bound < 0 then invalid_arg "Posterior.uniform_prior: negative bound";
+  Array.make (bound + 1) (1. /. float_of_int (bound + 1))
+
+let unimodal_prior ~bound =
+  if bound <= 0 || bound mod 2 <> 0 then
+    invalid_arg "Posterior.unimodal_prior: bound must be positive and even";
+  let half = bound / 2 in
+  let denom = float_of_int ((1 + half) * (1 + half)) in
+  Array.init (bound + 1) (fun i ->
+      if i <= half then float_of_int (i + 1) /. denom
+      else float_of_int (bound + 1 - i) /. denom)
+
+let geometric_prior ~bound ~p =
+  if bound < 0 then invalid_arg "Posterior.geometric_prior: negative bound";
+  if p <= 0. || p >= 1. then invalid_arg "Posterior.geometric_prior: p must be in (0,1)";
+  let raw = Array.init (bound + 1) (fun i -> p *. ((1. -. p) ** float_of_int i)) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun v -> v /. total) raw
+
+let bound (f : prior) = Array.length f - 1
+
+let mean dist =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (float_of_int i *. p)) dist;
+  !acc
+
+let posterior (f : prior) ~y =
+  if y < 0. then invalid_arg "Posterior.posterior: negative observation";
+  let a = bound f in
+  if y = 0. then begin
+    (* Y = 0 happens exactly when X = 0 (the mask is positive). *)
+    let out = Array.make (a + 1) 0. in
+    out.(0) <- 1.;
+    out
+  end
+  else begin
+    let weights =
+      Array.init (a + 1) (fun x ->
+          if x = 0 then 0.
+          else
+            let xf = float_of_int x in
+            let clip = Float.min 1. (xf /. y) in
+            f.(x) /. xf *. clip *. clip)
+    in
+    let total = Array.fold_left ( +. ) 0. weights in
+    if total <= 0. then
+      invalid_arg "Posterior.posterior: observation impossible under the prior";
+    Array.map (fun w -> w /. total) weights
+  end
+
+let posterior_ratio f ~y ~x =
+  let a = bound f in
+  if x < 0 || x > a then invalid_arg "Posterior.posterior_ratio: x out of support";
+  if f.(x) = 0. then Float.nan else (posterior f ~y).(x) /. f.(x)
+
+let log2 x = log x /. log 2.
+
+let entropy dist =
+  Array.fold_left (fun acc p -> if p > 0. then acc -. (p *. log2 p) else acc) 0. dist
+
+let kl_divergence ~from_ ~to_ =
+  if Array.length from_ <> Array.length to_ then
+    invalid_arg "Posterior.kl_divergence: length mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      if p > 0. then
+        if to_.(i) > 0. then acc := !acc +. (p *. log2 (p /. to_.(i)))
+        else acc := Float.infinity)
+    from_;
+  !acc
+
+let expected_posterior_entropy st f ~samples =
+  if samples < 1 then invalid_arg "Posterior.expected_posterior_entropy: need samples";
+  (* Draw x ~ prior, mask it, measure the induced posterior's
+     entropy. *)
+  let total = ref 0. in
+  for _ = 1 to samples do
+    let x = Spe_rng.Dist.categorical st (f : prior :> float array) in
+    let y = if x = 0 then 0. else Spe_rng.Dist.mask_pair st *. float_of_int x in
+    total := !total +. entropy (posterior f ~y)
+  done;
+  !total /. float_of_int samples

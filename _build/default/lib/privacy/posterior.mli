@@ -1,0 +1,71 @@
+(** The a-posteriori belief induced by Protocol 3's masking
+    (Theorems 4.2-4.4).
+
+    A curious party holds a prior [f] over the private counter
+    [X in {0..A}] and observes [Y = R * X], where [M ~ Z] (pdf
+    [mu^-2] on [[1, inf)]) and [R | M ~ U(0, M)].
+
+    Marginalising the mask gives the likelihood
+    [f(y | x) = (1/(2x)) * min(1, x/y)^2] for [x >= 1], hence the
+    closed-form posterior
+
+    {v f(x | y)  ∝  f(x)/x * min(1, x/y)^2 v}
+
+    (zero at [x = 0] for [y > 0]; a point mass at [0] for [y = 0]).
+    This is the same distribution as the paper's Theorem 4.4
+    decomposition through the per-[mu] conditional [G_mu] and the
+    updated mask posterior — the test suite verifies the equivalence by
+    numerical integration.  The paper's qualitative claims fall out
+    directly: every [x] with positive prior stays possible
+    (Theorem 4.3), and every [y > A] induces the {e same} posterior
+    [f(x) * x / sum_k f(k) * k]. *)
+
+type prior = private float array
+(** A distribution over [{0, .., A}]: non-negative, summing to 1. *)
+
+val prior_of_array : float array -> prior
+(** Validate an explicit prior.  Raises [Invalid_argument] on negative
+    mass or a sum differing from 1 by more than 1e-9. *)
+
+val uniform_prior : bound:int -> prior
+(** Uniform on [{0..A}] — Sec. 7.2, prior (a). *)
+
+val unimodal_prior : bound:int -> prior
+(** The paper's triangular prior peaked at [A/2] — Sec. 7.2, prior (b):
+    [f(i) = (i+1)/(1+A/2)^2] for [i <= A/2], symmetric above.
+    Requires an even [bound]. *)
+
+val geometric_prior : bound:int -> p:float -> prior
+(** Truncated geometric, an extra shape for the extended experiments. *)
+
+val bound : prior -> int
+(** The [A] of the prior's support. *)
+
+val mean : float array -> float
+(** Mean of a distribution over [{0..A}] (prior or posterior). *)
+
+val posterior : prior -> y:float -> float array
+(** [posterior f ~y] is the belief over [{0..A}] after observing the
+    masked value [y >= 0].  Raises [Invalid_argument] on negative [y],
+    and on [y > 0] when the prior puts all mass on [0] (such an
+    observation would be impossible). *)
+
+val posterior_ratio : prior -> y:float -> x:int -> float
+(** [f(x|y) / f(x)] — the quantity tabulated by Theorem 4.4; [nan] when
+    [f(x) = 0]. *)
+
+val entropy : float array -> float
+(** Shannon entropy in bits of a distribution over [{0..A}] (zero-mass
+    points contribute nothing). *)
+
+val kl_divergence : from_:float array -> to_:float array -> float
+(** [KL(from_ || to_)] in bits — how much the posterior sharpened the
+    prior.  [infinity] when [from_] puts mass where [to_] has none;
+    raises [Invalid_argument] on mismatched lengths. *)
+
+val expected_posterior_entropy :
+  Spe_rng.State.t -> prior -> samples:int -> float
+(** Monte-Carlo estimate of [E_y H(f(. | y))] under the masking
+    process: how uncertain the observer remains on average.  A
+    quantitative summary of Theorem 4.3's "all values stay suspicious"
+    (compare against [entropy prior]). *)

@@ -1,0 +1,1 @@
+lib/rng/perm.ml: Array State

@@ -1,0 +1,1 @@
+lib/rng/state.ml: Int64

@@ -1,0 +1,49 @@
+let heavy_tail st =
+  let u = State.next_float st in
+  1. /. (1. -. u)
+
+let uniform_open st m =
+  if m <= 0. then invalid_arg "Spe_rng.Dist.uniform_open: bound must be positive";
+  let rec loop () =
+    let u = State.next_float st in
+    if u = 0. then loop () else u *. m
+  in
+  loop ()
+
+let mask_pair st =
+  let m = heavy_tail st in
+  uniform_open st m
+
+let uniform_int st ~lo ~hi =
+  if hi < lo then invalid_arg "Spe_rng.Dist.uniform_int: empty range";
+  lo + State.next_int st (hi - lo + 1)
+
+let exponential st ~rate =
+  if rate <= 0. then invalid_arg "Spe_rng.Dist.exponential: rate must be positive";
+  -.log1p (-.State.next_float st) /. rate
+
+let geometric st ~p =
+  if p <= 0. || p > 1. then invalid_arg "Spe_rng.Dist.geometric: p must be in (0, 1]";
+  if p = 1. then 0
+  else
+    let u = State.next_float st in
+    (* Inverse CDF of the geometric distribution on {0, 1, ...}. *)
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+
+let bernoulli st ~p =
+  if p < 0. || p > 1. then invalid_arg "Spe_rng.Dist.bernoulli: p must be in [0, 1]";
+  State.next_float st < p
+
+let categorical st w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if total <= 0. then invalid_arg "Spe_rng.Dist.categorical: weights must have positive sum";
+  Array.iter (fun x -> if x < 0. then invalid_arg "Spe_rng.Dist.categorical: negative weight") w;
+  let target = State.next_float st *. total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

@@ -1,0 +1,41 @@
+(** Probability distributions used by the protocols.
+
+    The key object is the paper's heavy-tailed distribution [Z] on
+    [[1, infinity)] with pdf [f(mu) = mu^-2] (Protocol 3, Step 1): a
+    masking bound [M] is drawn from [Z], then the actual multiplicative
+    mask [r] is drawn uniformly from [(0, M)].  [Z] has no finite mean,
+    which is what makes every positive pre-image plausible a posteriori
+    (Theorem 4.3). *)
+
+val heavy_tail : State.t -> float
+(** Sample [M ~ Z] by inverse CDF: the CDF is [F(mu) = 1 - 1/mu], so
+    [M = 1 / (1 - u)] for [u ~ U[0,1)].  Always [>= 1]. *)
+
+val uniform_open : State.t -> float -> float
+(** [uniform_open t m] samples uniformly from the open interval
+    [(0, m)]; never returns [0.] exactly (a zero mask would destroy the
+    masked values). [m] must be positive. *)
+
+val mask_pair : State.t -> float
+(** [mask_pair t] performs Steps 1-2 of Protocol 3: draws [M ~ Z] and
+    returns [r ~ U(0, M)].  This is the multiplicative mask applied to
+    both numerator and denominator shares. *)
+
+val uniform_int : State.t -> lo:int -> hi:int -> int
+(** Uniform integer on the inclusive range [[lo, hi]]. *)
+
+val exponential : State.t -> rate:float -> float
+(** Exponential with the given rate, for temporal jitter in cascade
+    generation. *)
+
+val geometric : State.t -> p:float -> int
+(** Geometric number of failures before the first success,
+    [p ∈ (0, 1]]. Used for inter-event delays on the integer time
+    axis. *)
+
+val bernoulli : State.t -> p:float -> bool
+(** A coin with probability [p] of [true]. *)
+
+val categorical : State.t -> float array -> int
+(** [categorical t w] samples index [i] with probability proportional
+    to [w.(i)].  Weights must be non-negative with a positive sum. *)

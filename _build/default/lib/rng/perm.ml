@@ -1,0 +1,54 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let random st n =
+  let a = identity n in
+  for i = n - 1 downto 1 do
+    let j = State.next_int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let apply (p : t) i = p.(i)
+
+let size (p : t) = Array.length p
+
+let inverse (p : t) =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  for i = 0 to n - 1 do
+    inv.(p.(i)) <- i
+  done;
+  inv
+
+let permute_array (p : t) a =
+  let n = Array.length p in
+  if Array.length a <> n then invalid_arg "Spe_rng.Perm.permute_array: size mismatch";
+  if n = 0 then [||]
+  else begin
+    let b = Array.make n a.(0) in
+    for i = 0 to n - 1 do
+      b.(p.(i)) <- a.(i)
+    done;
+    b
+  end
+
+let random_injection st ~domain ~codomain =
+  if domain > codomain then
+    invalid_arg "Spe_rng.Perm.random_injection: domain larger than codomain";
+  let p = random st codomain in
+  Array.sub p 0 domain
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Spe_rng.Perm.of_array: not a permutation";
+      seen.(x) <- true)
+    a;
+  Array.copy a

@@ -1,0 +1,39 @@
+(** Random permutations and injections.
+
+    Protocols 4 and 5 rely on secret uniformly-random permutations: the
+    batched Protocol 2 permutes the counter sequence sent to the third
+    party, and Protocol 5's log obfuscation renames users and actions
+    through secret permutations, plus a random injection when fake
+    users are added (Sec. 5.2). *)
+
+type t = private int array
+(** A permutation of [{0, ..., n-1}]: entry [i] holds the image of
+    [i]. *)
+
+val identity : int -> t
+(** The identity permutation on [n] elements. *)
+
+val random : State.t -> int -> t
+(** Uniform permutation by Fisher-Yates. *)
+
+val apply : t -> int -> int
+(** [apply p i] is the image of [i]. *)
+
+val inverse : t -> t
+(** The inverse permutation. *)
+
+val size : t -> int
+(** Number of elements. *)
+
+val permute_array : t -> 'a array -> 'a array
+(** [permute_array p a] returns [b] with [b.(apply p i) = a.(i)]. *)
+
+val random_injection : State.t -> domain:int -> codomain:int -> int array
+(** [random_injection st ~domain ~codomain] is a uniformly random
+    injective map [{0..domain-1} -> {0..codomain-1}]; requires
+    [domain <= codomain].  Used to hide [n] true users among [n + n']
+    identifiers (Sec. 5.2 fake-user padding). *)
+
+val of_array : int array -> t
+(** Validate an explicit permutation (raises [Invalid_argument] if the
+    array is not a bijection on its indices). *)

@@ -1,0 +1,68 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.  The
+   state must never be all-zero; splitmix64 seeding guarantees that
+   with overwhelming probability and we additionally force a non-zero
+   word. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let z = state +% 0x9E3779B97F4A7C15L in
+  let z' = Int64.logxor z (Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z'' = Int64.logxor z' (Int64.shift_right_logical z' 27) *% 0x94D049BB133111EBL in
+  (z, Int64.logxor z'' (Int64.shift_right_logical z'' 31))
+
+let of_int64_seed seed =
+  let k0, a = splitmix64 seed in
+  let k1, b = splitmix64 k0 in
+  let k2, c = splitmix64 k1 in
+  let _, d = splitmix64 k2 in
+  let d = if Int64.equal d 0L && Int64.equal a 0L && Int64.equal b 0L && Int64.equal c 0L
+          then 1L else d in
+  { s0 = a; s1 = b; s2 = c; s3 = d }
+
+let default_seed = 0x5345435245544956 (* "SECRETIV" *)
+
+let create ?(seed = default_seed) () = of_int64_seed (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_int64_seed (next_int64 t)
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Spe_rng.State.next_int: bound must be positive";
+  (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+  let limit = (max_int / 2 / bound) * bound * 2 in
+  let rec loop () =
+    let v = next_nonneg t in
+    if v < limit || limit = 0 then v mod bound else loop ()
+  in
+  loop ()
+
+let next_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits53 *. 0x1p-53
+
+let next_bool t = Int64.compare (next_int64 t) 0L < 0
+
+let next_bits t k =
+  if k < 0 || k > 62 then invalid_arg "Spe_rng.State.next_bits: k must be in [0, 62]";
+  if k = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - k))

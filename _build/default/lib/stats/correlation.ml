@@ -1,0 +1,60 @@
+let check2 name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Spe_stats." ^ name ^ ": length mismatch");
+  if Array.length a < 2 then invalid_arg ("Spe_stats." ^ name ^ ": need at least two points")
+
+let pearson a b =
+  check2 "pearson" a b;
+  let ma = Descriptive.mean a and mb = Descriptive.mean b in
+  let num = ref 0. and da = ref 0. and db = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let xa = x -. ma and xb = b.(i) -. mb in
+      num := !num +. (xa *. xb);
+      da := !da +. (xa *. xa);
+      db := !db +. (xb *. xb))
+    a;
+  !num /. sqrt (!da *. !db)
+
+let ranks a =
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Stdlib.compare a.(i) a.(j)) idx;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* Tie block [i, j). *)
+    let j = ref (!i + 1) in
+    while !j < n && a.(idx.(!j)) = a.(idx.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 1) /. 2. in
+    for k = !i to !j - 1 do
+      out.(idx.(k)) <- avg_rank
+    done;
+    i := !j
+  done;
+  out
+
+let spearman a b =
+  check2 "spearman" a b;
+  pearson (ranks a) (ranks b)
+
+let kendall a b =
+  check2 "kendall" a b;
+  let n = Array.length a in
+  let concordant = ref 0 and discordant = ref 0 in
+  let ties_a = ref 0 and ties_b = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let da = Stdlib.compare a.(i) a.(j) and db = Stdlib.compare b.(i) b.(j) in
+      if da = 0 && db = 0 then ()
+      else if da = 0 then incr ties_a
+      else if db = 0 then incr ties_b
+      else if da * db > 0 then incr concordant
+      else incr discordant
+    done
+  done;
+  let c = float_of_int !concordant and d = float_of_int !discordant in
+  let ta = float_of_int !ties_a and tb = float_of_int !ties_b in
+  (c -. d) /. sqrt ((c +. d +. ta) *. (c +. d +. tb))

@@ -1,0 +1,20 @@
+(** Correlation coefficients.
+
+    Used to score how well the (securely or locally) learned influence
+    estimates track the planted ground truth, and how influence
+    rankings relate to structural centralities.  All functions raise
+    [Invalid_argument] on mismatched lengths or samples shorter than
+    2. *)
+
+val pearson : float array -> float array -> float
+(** Linear correlation; [nan] when either sample is constant. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation: Pearson over mid-ranks (ties averaged). *)
+
+val kendall : float array -> float array -> float
+(** Kendall's tau-b (tie-corrected), computed in O(n^2) — fine for the
+    arc counts used here. *)
+
+val ranks : float array -> float array
+(** Mid-ranks (1-based, ties averaged) — exposed for tests. *)

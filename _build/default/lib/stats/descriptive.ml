@@ -1,0 +1,64 @@
+let check name a = if Array.length a = 0 then invalid_arg ("Spe_stats." ^ name ^ ": empty sample")
+
+let mean a =
+  check "mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  check "variance" a;
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a
+  /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let quantile a ~q =
+  check "quantile" a;
+  if q < 0. || q > 1. then invalid_arg "Spe_stats.quantile: q out of [0,1]";
+  let sorted = Array.copy a in
+  Array.sort Stdlib.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median a = quantile a ~q:0.5
+
+let min_max a =
+  check "min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize a =
+  check "summarize" a;
+  let lo, hi = min_max a in
+  {
+    count = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = lo;
+    p25 = quantile a ~q:0.25;
+    median = median a;
+    p75 = quantile a ~q:0.75;
+    max = hi;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.4f sd=%.4f min=%.4f p25=%.4f med=%.4f p75=%.4f max=%.4f" s.count s.mean
+    s.stddev s.min s.p25 s.median s.p75 s.max

@@ -1,0 +1,34 @@
+(** Descriptive statistics over float samples.
+
+    Shared by the evaluation harness and the examples (estimate-quality
+    reporting, histogram summaries).  All functions raise
+    [Invalid_argument] on empty samples. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+
+val quantile : float array -> q:float -> float
+(** Linear-interpolation quantile, [q] in [[0, 1]]. *)
+
+val min_max : float array -> float * float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

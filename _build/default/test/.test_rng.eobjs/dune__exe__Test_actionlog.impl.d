@@ -1,0 +1,1 @@
+test/test_actionlog.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Random Spe_actionlog Spe_graph Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List Printf QCheck QCheck_alcotest Random Spe_bignum Spe_rng Test

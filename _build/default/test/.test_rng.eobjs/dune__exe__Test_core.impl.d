@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Random Spe_actionlog Spe_core Spe_graph Spe_influence Spe_mpc Spe_rng Test

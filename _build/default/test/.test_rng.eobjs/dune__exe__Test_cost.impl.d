@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array List Printf Spe_actionlog Spe_core Spe_cost Spe_graph Spe_influence Spe_mpc Spe_rng

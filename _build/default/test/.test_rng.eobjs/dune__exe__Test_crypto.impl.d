@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array List QCheck QCheck_alcotest Random Spe_bignum Spe_crypto Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_em_threshold.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Random Spe_actionlog Spe_graph Spe_influence Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_em_threshold.mli:

@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Array List Printf Spe_actionlog Spe_expt Spe_graph Spe_mpc Spe_privacy

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List QCheck QCheck_alcotest Random Spe_graph Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_influence.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Random Spe_actionlog Spe_graph Spe_influence Spe_rng Test

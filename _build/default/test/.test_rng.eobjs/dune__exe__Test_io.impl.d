@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Fun List Printf Spe_actionlog Spe_core Spe_graph Spe_influence Spe_rng Sys

@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Array Bytes Float Gen Int64 List Printf QCheck QCheck_alcotest Random Spe_bignum Spe_mpc Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_privacy.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Random Spe_actionlog Spe_graph Spe_influence Spe_privacy Spe_rng Test

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Hashtbl Int64 List QCheck QCheck_alcotest Random Spe_rng Test

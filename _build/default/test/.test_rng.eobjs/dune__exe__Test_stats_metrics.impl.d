@@ -1,0 +1,1 @@
+test/test_stats_metrics.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Random Spe_graph Spe_rng Spe_stats Test

@@ -1,0 +1,307 @@
+(* Tests for the action-log substrate: relation semantics (at-most-once
+   per user/action), cascade generation consistency, and the
+   exclusive / non-exclusive partitioners. *)
+
+module Log = Spe_actionlog.Log
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module State = Spe_rng.State
+
+let st () = State.create ~seed:31 ()
+
+let mk_log recs = Log.of_records ~num_users:5 ~num_actions:4 recs
+
+let r u a t = { Log.user = u; action = a; time = t }
+
+(* --- Log ---------------------------------------------------------------- *)
+
+let test_dedup_keeps_earliest () =
+  let log = mk_log [ r 0 1 10; r 0 1 5; r 0 1 20 ] in
+  Alcotest.(check int) "one record" 1 (Log.size log);
+  Alcotest.(check (option int)) "earliest wins" (Some 5) (Log.time_of log ~user:0 ~action:1)
+
+let test_validation () =
+  let bad name records msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (mk_log records))
+  in
+  bad "user range" [ r 9 0 0 ] "Log.of_records: user out of range";
+  bad "action range" [ r 0 9 0 ] "Log.of_records: action out of range";
+  bad "negative time" [ r 0 0 (-1) ] "Log.of_records: negative time"
+
+let test_user_activity () =
+  let log = mk_log [ r 0 0 1; r 0 1 2; r 1 0 3; r 0 0 9 (* dup *) ] in
+  Alcotest.(check (array int)) "a_i" [| 2; 1; 0; 0; 0 |] (Log.user_activity log)
+
+let test_by_action_sorted_by_time () =
+  let log = mk_log [ r 2 1 30; r 0 1 10; r 1 1 20 ] in
+  Alcotest.(check (list (pair int int))) "sorted by time"
+    [ (0, 10); (1, 20); (2, 30) ]
+    (Log.by_action log 1);
+  Alcotest.(check (list (pair int int))) "empty action" [] (Log.by_action log 3)
+
+let test_by_user () =
+  let log = mk_log [ r 0 2 5; r 0 0 1 ] in
+  Alcotest.(check (list (pair int int))) "actions of user 0" [ (0, 1); (2, 5) ] (Log.by_user log 0)
+
+let test_actions_present () =
+  let log = mk_log [ r 0 3 1; r 1 0 2 ] in
+  Alcotest.(check (list int)) "present" [ 0; 3 ] (Log.actions_present log)
+
+let test_max_time () =
+  Alcotest.(check int) "empty log" 0 (Log.max_time (mk_log []));
+  Alcotest.(check int) "max" 30 (Log.max_time (mk_log [ r 0 0 30; r 1 1 2 ]))
+
+let test_union_reconciles () =
+  let l1 = mk_log [ r 0 0 10 ] and l2 = mk_log [ r 0 0 4; r 1 1 6 ] in
+  let u = Log.union ~num_users:5 ~num_actions:4 [ l1; l2 ] in
+  Alcotest.(check int) "two records" 2 (Log.size u);
+  Alcotest.(check (option int)) "earliest duplicate" (Some 4) (Log.time_of u ~user:0 ~action:0)
+
+let test_filter_map () =
+  let log = mk_log [ r 0 0 1; r 1 1 2; r 2 2 3 ] in
+  let filtered = Log.filter_actions log (fun a -> a <= 1) in
+  Alcotest.(check int) "filtered size" 2 (Log.size filtered);
+  let shifted =
+    Log.map_records log (fun rc -> { rc with Log.time = rc.Log.time + 100 }) ~num_users:5
+      ~num_actions:4
+  in
+  Alcotest.(check (option int)) "shifted" (Some 101) (Log.time_of shifted ~user:0 ~action:0)
+
+(* --- Cascade ------------------------------------------------------------ *)
+
+let test_cascade_shapes () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:40 ~m:200 in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let params = { Cascade.num_actions = 20; seeds_per_action = 2; max_delay = 3 } in
+  let log = Cascade.generate s planted params in
+  Alcotest.(check int) "user universe" 40 (Log.num_users log);
+  Alcotest.(check int) "action universe" 20 (Log.num_actions log);
+  (* Every action has at least its seeds. *)
+  List.iter
+    (fun a ->
+      if List.length (Log.by_action log a) < 1 then Alcotest.fail "action with no record")
+    (List.init 20 (fun a -> a));
+  Alcotest.(check bool) "some propagation happened" true (Log.size log > 40)
+
+let test_cascade_seeds_at_time_zero () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:20 ~m:60 in
+  let planted = Cascade.uniform_probabilities ~p:0.5 g in
+  let log = Cascade.generate s planted { Cascade.default_params with num_actions = 10 } in
+  List.iter
+    (fun a ->
+      match Log.by_action log a with
+      | [] -> Alcotest.fail "empty action"
+      | (_, t) :: _ -> Alcotest.(check int) "first activation at time 0" 0 t)
+    (List.init 10 (fun a -> a))
+
+let test_cascade_respects_edges () =
+  (* With p = 1 and a path graph, activation times equal hop distances
+     when max_delay = 1. *)
+  let s = st () in
+  let g = Digraph.create ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let planted = Cascade.uniform_probabilities ~p:1. g in
+  (* Seed selection is random; use many actions and find one seeded at
+     node 0 (activating all 5 nodes). *)
+  let log =
+    Cascade.generate s planted { Cascade.num_actions = 40; seeds_per_action = 1; max_delay = 1 }
+  in
+  let found_full_chain = ref false in
+  List.iter
+    (fun a ->
+      let recs = Log.by_action log a in
+      if List.length recs = 5 then begin
+        found_full_chain := true;
+        List.iteri
+          (fun expect_t (u, t) ->
+            Alcotest.(check int) "chain order" expect_t t;
+            Alcotest.(check int) "chain user" expect_t u)
+          recs
+      end)
+    (List.init 40 (fun a -> a));
+  Alcotest.(check bool) "a full chain cascade occurred" true !found_full_chain
+
+let test_cascade_zero_probability () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:10 ~m:30 in
+  let planted = Cascade.uniform_probabilities ~p:0. g in
+  let log = Cascade.generate s planted { Cascade.num_actions = 5; seeds_per_action = 1; max_delay = 2 } in
+  Alcotest.(check int) "only seeds activate" 5 (Log.size log)
+
+let test_degree_weighted () =
+  let s = st () in
+  let g = Digraph.create ~n:3 [ (0, 2); (1, 2) ] in
+  let planted = Cascade.degree_weighted_probabilities g in
+  Alcotest.(check (float 1e-9)) "1/in_degree" 0.5 (planted.Cascade.probability 0 2);
+  ignore s
+
+let test_random_probabilities_deterministic () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:10 ~m:20 in
+  let planted = Cascade.random_probabilities s ~lo:0.1 ~hi:0.4 g in
+  Digraph.iter_edges g (fun u v ->
+      let p1 = planted.Cascade.probability u v in
+      let p2 = planted.Cascade.probability u v in
+      if p1 <> p2 then Alcotest.fail "probability not frozen";
+      if p1 < 0.1 || p1 > 0.4 then Alcotest.fail "probability out of range")
+
+(* --- Partition ----------------------------------------------------------- *)
+
+let cascade_log s =
+  let g = Generate.erdos_renyi_gnm s ~n:30 ~m:120 in
+  let planted = Cascade.uniform_probabilities ~p:0.4 g in
+  Cascade.generate s planted { Cascade.num_actions = 15; seeds_per_action = 1; max_delay = 2 }
+
+let test_exclusive_partition () =
+  let s = st () in
+  let log = cascade_log s in
+  let parts = Partition.exclusive s log ~m:4 in
+  Alcotest.(check int) "four providers" 4 (Array.length parts);
+  (* Each action appears in exactly one provider's log. *)
+  List.iter
+    (fun a ->
+      let owners =
+        Array.to_list parts
+        |> List.filteri (fun _ l -> Log.by_action l a <> [])
+        |> List.length
+      in
+      if Log.by_action log a <> [] then
+        Alcotest.(check int) (Printf.sprintf "action %d exclusive" a) 1 owners)
+    (List.init 15 (fun a -> a));
+  (* Reunification is lossless. *)
+  Alcotest.(check bool) "reunify" true (Log.equal log (Partition.reunify parts))
+
+let test_non_exclusive_partition () =
+  let s = st () in
+  let log = cascade_log s in
+  let spec = Partition.random_class_spec s ~num_actions:15 ~m:4 ~num_classes:3 in
+  let parts = Partition.non_exclusive s log ~spec in
+  Alcotest.(check bool) "reunify lossless" true (Log.equal log (Partition.reunify parts));
+  (* Records of an action only live at providers supporting its class. *)
+  Array.iteri
+    (fun p l ->
+      List.iter
+        (fun (rc : Log.record) ->
+          let cls = spec.Partition.action_class.(rc.Log.action) in
+          let supporters = spec.Partition.class_providers.(cls) in
+          if not (Array.exists (fun q -> q = p) supporters) then
+            Alcotest.fail "record at non-supporting provider")
+        (Log.records l))
+    parts
+
+let test_non_exclusive_can_split_trace () =
+  (* Force a 2-provider class and check that some action's records are
+     genuinely split across providers (the motivating scenario of the
+     introduction: u buys at P1, v at P2). *)
+  let s = st () in
+  let log = cascade_log s in
+  let spec =
+    {
+      Partition.action_class = Array.make 15 0;
+      class_providers = [| [| 0; 1 |] |];
+      m = 2;
+    }
+  in
+  let parts = Partition.non_exclusive s log ~spec in
+  let split_exists =
+    List.exists
+      (fun a -> Log.by_action parts.(0) a <> [] && Log.by_action parts.(1) a <> [])
+      (List.init 15 (fun a -> a))
+  in
+  Alcotest.(check bool) "some trace is split across providers" true split_exists
+
+let test_class_spec_validation () =
+  let bad name spec msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        Partition.validate_class_spec spec ~num_actions:2)
+  in
+  bad "empty providers"
+    { Partition.action_class = [| 0; 0 |]; class_providers = [| [||] |]; m = 2 }
+    "Partition.class_spec: class with no supporting provider";
+  bad "class out of range"
+    { Partition.action_class = [| 0; 5 |]; class_providers = [| [| 0 |] |]; m = 2 }
+    "Partition.class_spec: class id out of range";
+  bad "duplicate provider"
+    { Partition.action_class = [| 0; 0 |]; class_providers = [| [| 1; 1 |] |]; m = 2 }
+    "Partition.class_spec: duplicate provider"
+
+let test_reunify_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Partition.reunify: empty provider array")
+    (fun () -> ignore (Partition.reunify [||]));
+  let a = Log.empty ~num_users:3 ~num_actions:3 and b = Log.empty ~num_users:4 ~num_actions:3 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Partition.reunify: mismatched universes")
+    (fun () -> ignore (Partition.reunify [| a; b |]))
+
+(* --- QCheck ---------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"log dedup: at most one record per (user, action)" ~count:200
+      (list (triple (int_range 0 4) (int_range 0 3) (int_range 0 50)))
+      (fun triples ->
+        let log = mk_log (List.map (fun (u, a, t) -> r u a t) triples) in
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun (rc : Log.record) ->
+            let k = (rc.Log.user, rc.Log.action) in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (Log.records log));
+    Test.make ~name:"exclusive split partitions record count" ~count:50
+      (pair small_nat (int_range 1 6))
+      (fun (seed, m) ->
+        let s = State.create ~seed () in
+        let log = cascade_log s in
+        let parts = Partition.exclusive s log ~m in
+        Array.fold_left (fun acc l -> acc + Log.size l) 0 parts = Log.size log);
+    Test.make ~name:"non-exclusive split partitions record count" ~count:50
+      (pair small_nat (int_range 1 5))
+      (fun (seed, num_classes) ->
+        let s = State.create ~seed () in
+        let log = cascade_log s in
+        let spec = Partition.random_class_spec s ~num_actions:15 ~m:4 ~num_classes in
+        let parts = Partition.non_exclusive s log ~spec in
+        Array.fold_left (fun acc l -> acc + Log.size l) 0 parts = Log.size log);
+  ]
+
+let () =
+  Alcotest.run "spe_actionlog"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "dedup earliest" `Quick test_dedup_keeps_earliest;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "user activity" `Quick test_user_activity;
+          Alcotest.test_case "by_action order" `Quick test_by_action_sorted_by_time;
+          Alcotest.test_case "by_user" `Quick test_by_user;
+          Alcotest.test_case "actions present" `Quick test_actions_present;
+          Alcotest.test_case "max_time" `Quick test_max_time;
+          Alcotest.test_case "union reconciles" `Quick test_union_reconciles;
+          Alcotest.test_case "filter and map" `Quick test_filter_map;
+        ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "shapes" `Quick test_cascade_shapes;
+          Alcotest.test_case "seeds at t=0" `Quick test_cascade_seeds_at_time_zero;
+          Alcotest.test_case "chain cascade" `Quick test_cascade_respects_edges;
+          Alcotest.test_case "p=0" `Quick test_cascade_zero_probability;
+          Alcotest.test_case "degree weighted" `Quick test_degree_weighted;
+          Alcotest.test_case "frozen probabilities" `Quick test_random_probabilities_deterministic;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "exclusive" `Quick test_exclusive_partition;
+          Alcotest.test_case "non-exclusive" `Quick test_non_exclusive_partition;
+          Alcotest.test_case "split traces" `Quick test_non_exclusive_can_split_trace;
+          Alcotest.test_case "spec validation" `Quick test_class_spec_validation;
+          Alcotest.test_case "reunify validation" `Quick test_reunify_validation;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]

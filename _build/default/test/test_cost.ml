@@ -1,0 +1,170 @@
+(* Tests for the analytic cost models: Table 1 and Table 2 totals must
+   match the simulated wire exactly, across parameter sweeps. *)
+
+module Model = Spe_cost.Model
+module Wire = Spe_mpc.Wire
+module Log = Spe_actionlog.Log
+module Partition = Spe_actionlog.Partition
+module Cascade = Spe_actionlog.Cascade
+module Generate = Spe_graph.Generate
+module Digraph = Spe_graph.Digraph
+module Protocol4 = Spe_core.Protocol4
+module Protocol6 = Spe_core.Protocol6
+module Driver = Spe_core.Driver
+module State = Spe_rng.State
+
+let st () = State.create ~seed:103 ()
+
+let workload ?(n = 30) s =
+  let g = Generate.barabasi_albert s ~n ~m:3 in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let log = Cascade.generate s planted { Cascade.num_actions = 20; seeds_per_action = 1; max_delay = 3 } in
+  (g, log)
+
+(* --- Table 1 -------------------------------------------------------------------- *)
+
+let table1_for_run ~g ~r ~m ~config ~counters =
+  let q = Array.length r.Driver.detail.Protocol4.pairs in
+  Model.table1 ~n:(Digraph.n g) ~q ~m
+    ~modulus_bits:(Wire.bits_for_int_mod config.Protocol4.modulus)
+    ~node_bits:(Wire.bits_for_int_mod (max 2 (Digraph.n g)))
+    ~counters:(counters ~n:(Digraph.n g) ~q)
+
+let test_table1_matches_measured_eq1 () =
+  let s = st () in
+  List.iter
+    (fun m ->
+      let g, log = workload s in
+      let logs = Partition.exclusive s log ~m in
+      let config = Protocol4.default_config ~h:3 in
+      let r = Driver.link_strengths_exclusive s ~graph:g ~logs config in
+      let model = table1_for_run ~g ~r ~m ~config ~counters:(fun ~n ~q -> n + q) in
+      if not (Model.matches_wire model r.Driver.wire) then
+        Alcotest.failf "m=%d: model NM=%d MS=%d, wire NM=%d MS=%d" m model.Model.nm
+          model.Model.ms r.Driver.wire.Wire.messages r.Driver.wire.Wire.bits)
+    [ 2; 3; 5; 8 ]
+
+let test_table1_matches_measured_eq2 () =
+  let s = st () in
+  let m = 3 and h = 4 in
+  let g, log = workload s in
+  let logs = Partition.exclusive s log ~m in
+  let w = Spe_influence.Link_strength.uniform_weights ~h in
+  let config = { (Protocol4.default_config ~h) with Protocol4.estimator = Protocol4.Eq2 w } in
+  let r = Driver.link_strengths_exclusive s ~graph:g ~logs config in
+  let model = table1_for_run ~g ~r ~m ~config ~counters:(fun ~n ~q -> n + (q * h)) in
+  Alcotest.(check bool) "Eq2 model matches wire" true (Model.matches_wire model r.Driver.wire)
+
+let test_table1_totals_formulae () =
+  (* NM = m^2 + m + 7 for every m; MS grows ~ m^2. *)
+  List.iter
+    (fun m ->
+      let t = Model.table1 ~n:100 ~q:400 ~m ~modulus_bits:40 ~node_bits:7 ~counters:500 in
+      Alcotest.(check int) (Printf.sprintf "NM at m=%d" m) ((m * m) + m + 7) t.Model.nm;
+      Alcotest.(check int) "NR" 8 t.Model.nr)
+    [ 2; 3; 4; 10; 20 ];
+  let t5 = Model.table1 ~n:100 ~q:400 ~m:5 ~modulus_bits:40 ~node_bits:7 ~counters:500 in
+  let t10 = Model.table1 ~n:100 ~q:400 ~m:10 ~modulus_bits:40 ~node_bits:7 ~counters:500 in
+  Alcotest.(check bool) "MS superlinear in m" true
+    (float_of_int t10.Model.ms /. float_of_int t5.Model.ms > 2.5)
+
+let test_table1_share_term_dominates () =
+  (* With S large the m^2 share-exchange round dominates MS, matching
+     the paper's MS = O(m^2 (n+q) log S) headline. *)
+  let t = Model.table1 ~n:1000 ~q:4000 ~m:10 ~modulus_bits:61 ~node_bits:10 ~counters:5000 in
+  let share_bits = 10 * 9 * 5000 * 61 in
+  Alcotest.(check bool) "share exchange > half of MS" true
+    (float_of_int share_bits > 0.5 *. float_of_int t.Model.ms)
+
+(* --- Table 2 -------------------------------------------------------------------- *)
+
+let test_table2_matches_measured () =
+  let s = st () in
+  List.iter
+    (fun m ->
+      let g, log = workload s in
+      let logs = Partition.exclusive s log ~m in
+      let wire = Wire.create () in
+      let config = { Protocol6.default_config with Protocol6.key_bits = 128 } in
+      let r = Protocol6.run s ~wire ~graph:g ~logs config in
+      let stats = Wire.stats wire in
+      let q = Array.length r.Protocol6.pairs in
+      let actions_per_provider =
+        Array.map (fun l -> List.length (Log.actions_present l)) logs
+      in
+      (* The measured key/ciphertext sizes depend on the drawn modulus;
+         read them back from a probe encryption. *)
+      let z = stats.Wire.bits in
+      ignore z;
+      (* Instead reconstruct from the model with the actual sizes used:
+         recover z from the bundle bytes. *)
+      let key_bits =
+        (* key broadcast round = round 2; all m messages equal *)
+        match List.filter (fun msg -> msg.Wire.round = 2) (Wire.messages wire) with
+        | msg :: _ -> msg.Wire.bits
+        | [] -> 0
+      in
+      let total_actions = Array.fold_left ( + ) 0 actions_per_provider in
+      let forward =
+        List.find (fun msg -> msg.Wire.round = 4) (Wire.messages wire)
+      in
+      let zbits = forward.Wire.bits / (q * total_actions) in
+      let model =
+        Model.table2 ~q ~m ~node_bits:(Wire.bits_for_int_mod (max 2 (Digraph.n g)))
+          ~key_bits ~ciphertext_bits:zbits ~actions_per_provider
+      in
+      if not (Model.matches_wire model stats) then
+        Alcotest.failf "m=%d: model NM=%d MS=%d, wire NM=%d MS=%d" m model.Model.nm
+          model.Model.ms stats.Wire.messages stats.Wire.bits)
+    [ 2; 3; 5 ]
+
+let test_table2_totals_formulae () =
+  List.iter
+    (fun m ->
+      let actions = Array.make m 5 in
+      let t =
+        Model.table2 ~q:200 ~m ~node_bits:7 ~key_bits:2048 ~ciphertext_bits:1024
+          ~actions_per_provider:actions
+      in
+      Alcotest.(check int) (Printf.sprintf "NM = 3m at m=%d" m) (3 * m) t.Model.nm;
+      Alcotest.(check int) "NR = 4" 4 t.Model.nr)
+    [ 2; 4; 8 ]
+
+let test_table2_ms_bound () =
+  (* MS is dominated by <= 2qzA as the paper states. *)
+  let q = 300 and z = 1024 in
+  let actions = [| 10; 10; 10; 10 |] in
+  let a = 40 in
+  let t =
+    Model.table2 ~q ~m:4 ~node_bits:7 ~key_bits:2048 ~ciphertext_bits:z
+      ~actions_per_provider:actions
+  in
+  let bound = 2 * q * z * a in
+  let overhead = (4 * 2 * q * 7) + (4 * 2048) in
+  Alcotest.(check bool) "MS <= 2qzA + broadcast overhead" true (t.Model.ms <= bound + overhead)
+
+let test_table2_validation () =
+  Alcotest.check_raises "provider count mismatch"
+    (Invalid_argument "Model.table2: one action count per provider") (fun () ->
+      ignore
+        (Model.table2 ~q:10 ~m:3 ~node_bits:5 ~key_bits:64 ~ciphertext_bits:64
+           ~actions_per_provider:[| 1; 2 |]))
+
+let () =
+  Alcotest.run "spe_cost"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "matches measured wire (Eq1)" `Quick test_table1_matches_measured_eq1;
+          Alcotest.test_case "matches measured wire (Eq2)" `Quick test_table1_matches_measured_eq2;
+          Alcotest.test_case "totals formulae" `Quick test_table1_totals_formulae;
+          Alcotest.test_case "share term dominates" `Quick test_table1_share_term_dominates;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "matches measured wire" `Quick test_table2_matches_measured;
+          Alcotest.test_case "totals formulae" `Quick test_table2_totals_formulae;
+          Alcotest.test_case "MS bound" `Quick test_table2_ms_bound;
+          Alcotest.test_case "validation" `Quick test_table2_validation;
+        ] );
+    ]

@@ -1,0 +1,285 @@
+(* Tests for the crypto substrate: Miller-Rabin against a known prime
+   table, RSA and Paillier round-trips and homomorphic laws, and the
+   shift cipher's window-membership property that Protocol 5's enhanced
+   obfuscation relies on. *)
+
+module Nat = Spe_bignum.Nat
+module State = Spe_rng.State
+module Prime = Spe_crypto.Prime
+module Rsa = Spe_crypto.Rsa
+module Paillier = Spe_crypto.Paillier
+module Shift_cipher = Spe_crypto.Shift_cipher
+module Cipher = Spe_crypto.Cipher
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let st () = State.create ~seed:11 ()
+
+(* --- primality --------------------------------------------------------- *)
+
+let test_small_primes_table () =
+  Alcotest.(check int) "pi(1000) = 168" 168 (Array.length Prime.small_primes);
+  Alcotest.(check int) "first prime" 2 Prime.small_primes.(0);
+  Alcotest.(check int) "last prime below 1000" 997 Prime.small_primes.(167)
+
+let test_is_prime_small_oracle () =
+  let s = st () in
+  (* Sieve oracle below 10_000 exercises both the trial-division fast
+     path and Miller-Rabin (values above 997^2 skip the table; values
+     in (1000, 10000) are composite-detected by trial division or MR). *)
+  let limit = 10_000 in
+  let composite = Array.make (limit + 1) false in
+  for i = 2 to limit do
+    if not composite.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        composite.(!j) <- true;
+        j := !j + i
+      done
+    end
+  done;
+  for v = 0 to limit do
+    let expected = v >= 2 && not composite.(v) in
+    if Prime.is_prime s (Nat.of_int v) <> expected then
+      Alcotest.failf "is_prime wrong on %d" v
+  done
+
+let test_is_prime_known_large () =
+  let s = st () in
+  (* 2^89 - 1 is a Mersenne prime; 2^67 - 1 is famously composite. *)
+  let mersenne k = Nat.pred (Nat.shift_left Nat.one k) in
+  Alcotest.(check bool) "M89 prime" true (Prime.is_prime s (mersenne 89));
+  Alcotest.(check bool) "M107 prime" true (Prime.is_prime s (mersenne 107));
+  Alcotest.(check bool) "M67 composite" false (Prime.is_prime s (mersenne 67));
+  Alcotest.(check bool) "M97 composite" false (Prime.is_prime s (mersenne 97))
+
+let test_is_prime_carmichael () =
+  let s = st () in
+  (* Carmichael numbers fool Fermat but not Miller-Rabin. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (string_of_int v) false (Prime.is_prime s (Nat.of_int v)))
+    [ 561; 1105; 1729; 2465; 2821; 6601; 8911; 41041; 62745; 162401 ]
+
+let test_random_prime_size_and_primality () =
+  let s = st () in
+  List.iter
+    (fun bits ->
+      let p = Prime.random_prime s ~bits in
+      Alcotest.(check int) "bit length" bits (Nat.bit_length p);
+      Alcotest.(check bool) "is prime" true (Prime.is_prime s p))
+    [ 2; 3; 8; 16; 64; 128; 256 ]
+
+(* --- RSA ---------------------------------------------------------------- *)
+
+let test_rsa_roundtrip () =
+  let s = st () in
+  let kp = Rsa.generate s ~bits:256 in
+  for _ = 1 to 50 do
+    let m = Nat.random_below s kp.Rsa.public.Rsa.n in
+    Alcotest.check nat "dec(enc(m)) = m" m
+      (Rsa.decrypt kp.Rsa.secret (Rsa.encrypt kp.Rsa.public m))
+  done
+
+let test_rsa_full_size () =
+  let s = st () in
+  let kp = Rsa.generate s ~bits:1024 in
+  Alcotest.(check bool) "modulus ~1024 bits" true
+    (Nat.bit_length kp.Rsa.public.Rsa.n >= 1023);
+  let m = Nat.of_string "123456789123456789123456789" in
+  Alcotest.check nat "1024-bit roundtrip" m
+    (Rsa.decrypt kp.Rsa.secret (Rsa.encrypt kp.Rsa.public m));
+  Alcotest.(check bool) "ciphertext_bits matches modulus" true
+    (Rsa.ciphertext_bits kp.Rsa.public >= 1023)
+
+let test_rsa_plaintext_too_large () =
+  let s = st () in
+  let kp = Rsa.generate s ~bits:64 in
+  Alcotest.check_raises "m >= n rejected"
+    (Invalid_argument "Rsa.encrypt: plaintext exceeds modulus")
+    (fun () -> ignore (Rsa.encrypt kp.Rsa.public kp.Rsa.public.Rsa.n))
+
+let test_rsa_multiplicative () =
+  (* Textbook RSA is multiplicatively homomorphic: E(a)E(b) = E(ab). *)
+  let s = st () in
+  let kp = Rsa.generate s ~bits:128 in
+  let pk = kp.Rsa.public in
+  let a = Nat.of_int 1234 and b = Nat.of_int 5678 in
+  let prod = Nat.rem (Nat.mul (Rsa.encrypt pk a) (Rsa.encrypt pk b)) pk.Rsa.n in
+  Alcotest.check nat "multiplicative" (Nat.of_int (1234 * 5678))
+    (Rsa.decrypt kp.Rsa.secret prod)
+
+(* --- Paillier ----------------------------------------------------------- *)
+
+let test_paillier_roundtrip () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:128 in
+  for _ = 1 to 30 do
+    let m = Nat.random_below s kp.Paillier.public.Paillier.n in
+    Alcotest.check nat "dec(enc(m)) = m" m
+      (Paillier.decrypt kp.Paillier.secret (Paillier.encrypt s kp.Paillier.public m))
+  done
+
+let test_paillier_probabilistic () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:128 in
+  let m = Nat.of_int 9 in
+  let c1 = Paillier.encrypt s kp.Paillier.public m in
+  let c2 = Paillier.encrypt s kp.Paillier.public m in
+  Alcotest.(check bool) "two encryptions of the same value differ" false (Nat.equal c1 c2)
+
+let test_paillier_homomorphic_add () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:128 in
+  let pk = kp.Paillier.public in
+  for _ = 1 to 20 do
+    let a = State.next_int s 100_000 and b = State.next_int s 100_000 in
+    let c = Paillier.add pk (Paillier.encrypt s pk (Nat.of_int a)) (Paillier.encrypt s pk (Nat.of_int b)) in
+    Alcotest.check nat "E(a) + E(b) decrypts to a+b" (Nat.of_int (a + b))
+      (Paillier.decrypt kp.Paillier.secret c)
+  done
+
+let test_paillier_mul_plain () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:128 in
+  let pk = kp.Paillier.public in
+  let c = Paillier.encrypt s pk (Nat.of_int 21) in
+  Alcotest.check nat "2 * E(21) decrypts to 42" (Nat.of_int 42)
+    (Paillier.decrypt kp.Paillier.secret (Paillier.mul_plain pk c Nat.two))
+
+(* --- shift cipher ------------------------------------------------------- *)
+
+let test_shift_roundtrip () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let period = 2 + State.next_int s 1000 in
+    let c = Shift_cipher.random s ~period in
+    for _ = 1 to 20 do
+      let t = State.next_int s period in
+      Alcotest.(check int) "dec(enc(t)) = t" t (Shift_cipher.decrypt c (Shift_cipher.encrypt c t))
+    done
+  done
+
+let test_shift_follows_within () =
+  (* The window test on ciphertexts must agree with the plaintext
+     condition t < t' <= t + h whenever no true record lives in the
+     last h slots (the paper's premise for inequality (12)). *)
+  let s = st () in
+  let horizon = 50 and h = 5 in
+  let period = horizon + h in
+  for _ = 1 to 20 do
+    let c = Shift_cipher.random s ~period in
+    for t = 0 to horizon - 1 do
+      for t' = 0 to horizon - 1 do
+        let plain = t' > t && t' <= t + h in
+        let ciph =
+          Shift_cipher.follows_within c ~h (Shift_cipher.encrypt c t) (Shift_cipher.encrypt c t')
+        in
+        if plain <> ciph then Alcotest.failf "window mismatch at t=%d t'=%d" t t'
+      done
+    done
+  done
+
+let test_shift_invalid () =
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Shift_cipher.create: period must be positive")
+    (fun () -> ignore (Shift_cipher.create ~key:0 ~period:0));
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Shift_cipher.create: key out of range")
+    (fun () -> ignore (Shift_cipher.create ~key:5 ~period:5))
+
+(* --- cipher facade ------------------------------------------------------ *)
+
+let test_cipher_rsa () =
+  let s = st () in
+  let c = Cipher.rsa s ~bits:128 in
+  List.iter
+    (fun m -> Alcotest.(check int) "roundtrip" m (c.Cipher.decrypt_int (c.Cipher.public.Cipher.encrypt_int m)))
+    [ 0; 1; 42; 1000; 999_983 ];
+  Alcotest.(check bool) "z near modulus size" true (c.Cipher.public.Cipher.ciphertext_bits >= 127)
+
+let test_cipher_paillier () =
+  let s = st () in
+  let c = Cipher.paillier s ~bits:128 in
+  List.iter
+    (fun m -> Alcotest.(check int) "roundtrip" m (c.Cipher.decrypt_int (c.Cipher.public.Cipher.encrypt_int m)))
+    [ 0; 1; 42; 1000 ];
+  Alcotest.(check bool) "z near 2x modulus size" true
+    (c.Cipher.public.Cipher.ciphertext_bits >= 255)
+
+let test_cipher_rejects_negative () =
+  let s = st () in
+  let c = Cipher.rsa s ~bits:64 in
+  Alcotest.check_raises "negative plaintext"
+    (Invalid_argument "Cipher.encrypt_int: negative plaintext")
+    (fun () -> ignore (c.Cipher.public.Cipher.encrypt_int (-1)))
+
+(* --- QCheck properties -------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let s_global = st () in
+  let kp = Rsa.generate s_global ~bits:128 in
+  let pkp = Paillier.generate s_global ~bits:128 in
+  [
+    Test.make ~name:"rsa roundtrip on random ints" ~count:100 (int_range 0 1_000_000_000)
+      (fun m ->
+        let m = Nat.of_int m in
+        Nat.equal m (Rsa.decrypt kp.Rsa.secret (Rsa.encrypt kp.Rsa.public m)));
+    Test.make ~name:"paillier additive law" ~count:50
+      (pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+      (fun (a, b) ->
+        let pk = pkp.Paillier.public in
+        let c =
+          Paillier.add pk
+            (Paillier.encrypt s_global pk (Nat.of_int a))
+            (Paillier.encrypt s_global pk (Nat.of_int b))
+        in
+        Nat.equal (Nat.of_int (a + b)) (Paillier.decrypt pkp.Paillier.secret c));
+    Test.make ~name:"shift cipher preserves gaps" ~count:200
+      (triple (int_range 1 500) (int_range 0 10_000) (int_range 0 10_000))
+      (fun (key_seed, t1, t2) ->
+        let period = 20_000 in
+        let c = Shift_cipher.create ~key:(key_seed mod period) ~period in
+        let e1 = Shift_cipher.encrypt c t1 and e2 = Shift_cipher.encrypt c t2 in
+        (e2 - e1 + period) mod period = (t2 - t1 + period) mod period);
+  ]
+
+let () =
+  Alcotest.run "spe_crypto"
+    [
+      ( "prime",
+        [
+          Alcotest.test_case "small prime table" `Quick test_small_primes_table;
+          Alcotest.test_case "sieve oracle" `Quick test_is_prime_small_oracle;
+          Alcotest.test_case "known large primes" `Quick test_is_prime_known_large;
+          Alcotest.test_case "carmichael numbers" `Quick test_is_prime_carmichael;
+          Alcotest.test_case "random prime sizes" `Quick test_random_prime_size_and_primality;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip;
+          Alcotest.test_case "1024-bit keys" `Slow test_rsa_full_size;
+          Alcotest.test_case "oversized plaintext" `Quick test_rsa_plaintext_too_large;
+          Alcotest.test_case "multiplicative property" `Quick test_rsa_multiplicative;
+        ] );
+      ( "paillier",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_paillier_roundtrip;
+          Alcotest.test_case "probabilistic" `Quick test_paillier_probabilistic;
+          Alcotest.test_case "homomorphic add" `Quick test_paillier_homomorphic_add;
+          Alcotest.test_case "plaintext multiply" `Quick test_paillier_mul_plain;
+        ] );
+      ( "shift-cipher",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_shift_roundtrip;
+          Alcotest.test_case "window membership" `Quick test_shift_follows_within;
+          Alcotest.test_case "invalid params" `Quick test_shift_invalid;
+        ] );
+      ( "cipher",
+        [
+          Alcotest.test_case "rsa facade" `Quick test_cipher_rsa;
+          Alcotest.test_case "paillier facade" `Quick test_cipher_paillier;
+          Alcotest.test_case "negative plaintext" `Quick test_cipher_rejects_negative;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]

@@ -1,0 +1,250 @@
+(* Tests for the EM baseline (Saito et al.) and the Linear Threshold
+   model: EM's monotone likelihood, ground-truth recovery on
+   single-parent structures, agreement with the counting estimator
+   where they must coincide, and LT spread semantics. *)
+
+module Log = Spe_actionlog.Log
+module Cascade = Spe_actionlog.Cascade
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Counters = Spe_influence.Counters
+module Link_strength = Spe_influence.Link_strength
+module Em = Spe_influence.Em
+module Threshold = Spe_influence.Threshold
+module Maximize = Spe_influence.Maximize
+module State = Spe_rng.State
+
+let st () = State.create ~seed:139 ()
+
+let r u a t = { Log.user = u; action = a; time = t }
+
+(* --- EM ------------------------------------------------------------------ *)
+
+let test_em_likelihood_monotone () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:25 ~m:120 in
+  let planted = Cascade.uniform_probabilities ~p:0.35 g in
+  let log = Cascade.generate s planted { Cascade.num_actions = 40; seeds_per_action = 1; max_delay = 3 } in
+  let result = Em.learn log g ~h:3 ~max_iterations:30 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if b < a -. 1e-6 then Alcotest.failf "likelihood decreased: %f -> %f" a b;
+      check rest
+    | _ -> ()
+  in
+  check result.Em.log_likelihood;
+  Alcotest.(check bool) "some iterations ran" true (result.Em.iterations >= 1)
+
+let test_em_star_recovery () =
+  (* Star rooted at 0: every leaf has one candidate parent, so EM's
+     fixed point is successes / attempts — and must recover the planted
+     probability. *)
+  let s = st () in
+  let n = 10 in
+  let g = Digraph.create ~n (List.init (n - 1) (fun j -> (0, j + 1))) in
+  let p_true = 0.4 in
+  let planted = Cascade.uniform_probabilities ~p:p_true g in
+  let log =
+    Cascade.generate s planted { Cascade.num_actions = 3000; seeds_per_action = 1; max_delay = 2 }
+  in
+  let result = Em.learn log g ~h:2 in
+  let sum = ref 0. and cnt = ref 0 in
+  Digraph.iter_edges g (fun u v ->
+      sum := !sum +. Em.probability result u v;
+      incr cnt);
+  let mean = !sum /. float_of_int !cnt in
+  Alcotest.(check bool)
+    (Printf.sprintf "EM mean %.3f near planted %.3f" mean p_true)
+    true
+    (abs_float (mean -. p_true) < 0.05)
+
+let test_em_matches_counting_on_single_parent () =
+  (* On a path graph every node has in-degree 1: EM (single candidate
+     parent per success) equals b/attempts, which can differ from
+     Eq. (1)'s b/a_i only through the exposure correction.  On
+     cascades seeded at the head, both coincide. *)
+  let s = st () in
+  let n = 6 in
+  let g = Digraph.create ~n (List.init (n - 1) (fun j -> (j, j + 1))) in
+  let planted = Cascade.uniform_probabilities ~p:0.5 g in
+  let log =
+    Cascade.generate s planted { Cascade.num_actions = 500; seeds_per_action = 1; max_delay = 2 }
+  in
+  let result = Em.learn log g ~h:2 in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let eq1 = Link_strength.all_eq1 ct in
+  Array.iteri
+    (fun k ((u, v)) ->
+      let em_p = Em.probability result u v in
+      (* Both estimate the same conditional frequency; allow sampling
+         slack between the two denominators (a_i vs attempts). *)
+      if ct.Counters.a.(u) > 30 && abs_float (em_p -. eq1.(k)) > 0.12 then
+        Alcotest.failf "EM %.3f vs counting %.3f on (%d,%d)" em_p eq1.(k) u v)
+    ct.Counters.pairs
+
+let test_em_shared_credit () =
+  (* Two parents always acting together at t=0, child follows at t=1 in
+     every action: EM must split the credit, not double-count. *)
+  let g = Digraph.create ~n:3 [ (0, 2); (1, 2) ] in
+  let recs =
+    List.concat_map (fun a -> [ r 0 a 0; r 1 a 0; r 2 a 1 ]) (List.init 50 (fun a -> a))
+  in
+  let log = Log.of_records ~num_users:3 ~num_actions:50 recs in
+  let result = Em.learn log g ~h:2 in
+  let p0 = Em.probability result 0 2 and p1 = Em.probability result 1 2 in
+  Alcotest.(check bool) "symmetric credit" true (abs_float (p0 -. p1) < 1e-6);
+  (* The pair must jointly explain certain activation: 1-(1-p)^2 -> 1,
+     but each individually stays well below 1 only if EM had negative
+     evidence; with none, both drift toward the boundary.  At minimum,
+     the combination must explain the data: *)
+  Alcotest.(check bool) "joint explanation" true (1. -. ((1. -. p0) *. (1. -. p1)) > 0.9)
+
+let test_em_no_evidence_keeps_initial () =
+  (* An arc never exposed keeps its initial probability and is reported
+     as 0 by [probability] only if absent. *)
+  let g = Digraph.create ~n:2 [ (0, 1) ] in
+  let log = Log.empty ~num_users:2 ~num_actions:3 in
+  let result = Em.learn log g ~h:2 in
+  Alcotest.(check (float 0.)) "unexposed arc reports 0" 0. (Em.probability result 0 1);
+  Alcotest.(check bool) "iterations bounded" true (result.Em.iterations <= 100)
+
+let test_em_validation () =
+  let g = Digraph.create ~n:3 [] in
+  let log = Log.empty ~num_users:5 ~num_actions:1 in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Em.learn: log/graph user universe mismatch") (fun () ->
+      ignore (Em.learn log g ~h:2));
+  let log3 = Log.empty ~num_users:3 ~num_actions:1 in
+  Alcotest.check_raises "bad h" (Invalid_argument "Em.learn: window must be >= 1") (fun () ->
+      ignore (Em.learn log3 g ~h:0))
+
+let test_em_overfitting_demo () =
+  (* The paper's criticism: with very few traces EM drives exposed-once
+     arcs to extreme probabilities.  Quantify: tiny log -> larger
+     average |p - planted| than with many traces. *)
+  let run actions =
+    let s = State.create ~seed:140 () in
+    let g = Generate.erdos_renyi_gnm s ~n:20 ~m:80 in
+    let planted = Cascade.uniform_probabilities ~p:0.3 g in
+    let log = Cascade.generate s planted { Cascade.num_actions = actions; seeds_per_action = 1; max_delay = 2 } in
+    let result = Em.learn log g ~h:2 in
+    let err = ref 0. and cnt = ref 0 in
+    Digraph.iter_edges g (fun u v ->
+        if Hashtbl.mem result.Em.probability (u, v) then begin
+          err := !err +. abs_float (Em.probability result u v -. 0.3);
+          incr cnt
+        end);
+    if !cnt = 0 then 0. else !err /. float_of_int !cnt
+  in
+  let small = run 5 and large = run 400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "error shrinks with data: %.3f (5 traces) vs %.3f (400)" small large)
+    true (large < small)
+
+(* --- Linear Threshold ------------------------------------------------------ *)
+
+let test_lt_deterministic_chain () =
+  (* Weight 1 on each chain arc: every threshold draw activates the
+     whole downstream chain. *)
+  let g = Digraph.create ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let model = { Threshold.graph = g; weight = (fun _ _ -> 1.) } in
+  Threshold.validate model;
+  let s = st () in
+  Alcotest.(check (float 1e-9)) "full chain" 4. (Threshold.spread s model ~seeds:[ 0 ] ~samples:20);
+  Alcotest.(check (float 1e-9)) "tail only" 1. (Threshold.spread s model ~seeds:[ 3 ] ~samples:20)
+
+let test_lt_zero_weights () =
+  let g = Digraph.create ~n:3 [ (0, 1); (0, 2) ] in
+  let model = { Threshold.graph = g; weight = (fun _ _ -> 0.) } in
+  let s = st () in
+  Alcotest.(check (float 1e-9)) "no diffusion" 1. (Threshold.spread s model ~seeds:[ 0 ] ~samples:50)
+
+let test_lt_expected_single_arc () =
+  (* One arc of weight w: P(activate) = P(theta <= w) = w. *)
+  let g = Digraph.create ~n:2 [ (0, 1) ] in
+  let w = 0.3 in
+  let model = { Threshold.graph = g; weight = (fun _ _ -> w) } in
+  let s = st () in
+  let spread = Threshold.spread s model ~seeds:[ 0 ] ~samples:100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.3f ~ 1 + w" spread)
+    true
+    (abs_float (spread -. (1. +. w)) < 0.01)
+
+let test_lt_of_strengths_normalises () =
+  let g = Digraph.create ~n:3 [ (0, 2); (1, 2) ] in
+  let model = Threshold.of_strengths g [ ((0, 2), 0.9); ((1, 2), 0.9) ] in
+  Threshold.validate model;
+  Alcotest.(check (float 1e-9)) "rescaled to sum 1" 0.5 (model.Threshold.weight 0 2);
+  (* below-1 sums stay untouched *)
+  let model2 = Threshold.of_strengths g [ ((0, 2), 0.2); ((1, 2), 0.3) ] in
+  Alcotest.(check (float 1e-9)) "unscaled" 0.2 (model2.Threshold.weight 0 2)
+
+let test_lt_validate_rejects () =
+  let g = Digraph.create ~n:3 [ (0, 2); (1, 2) ] in
+  let model = { Threshold.graph = g; weight = (fun _ _ -> 0.8) } in
+  Alcotest.check_raises "overweight"
+    (Invalid_argument "Threshold.validate: in-weights exceed 1") (fun () ->
+      Threshold.validate model)
+
+let test_lt_celf_runs () =
+  let s = st () in
+  let g = Generate.erdos_renyi_gnm s ~n:20 ~m:80 in
+  let model = Threshold.of_strengths g (List.map (fun e -> (e, 0.2)) (Digraph.edges g)) in
+  let seeds, spread = Threshold.celf s model ~k:3 ~samples:100 in
+  Alcotest.(check int) "three seeds" 3 (List.length seeds);
+  Alcotest.(check bool) "spread at least seeds" true (spread >= 3.);
+  let evals_celf = Maximize.evaluations () in
+  let _ = Threshold.greedy s model ~k:3 ~samples:100 in
+  let evals_greedy = Maximize.evaluations () in
+  (* With a noisy Monte-Carlo oracle CELF can degenerate to full
+     re-evaluation, but never does more work than plain greedy. *)
+  Alcotest.(check bool) "celf never more expensive" true (evals_celf <= evals_greedy)
+
+(* --- QCheck ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"EM probabilities stay in (0,1)" ~count:20 small_nat
+      (fun seed ->
+        let s = State.create ~seed () in
+        let g = Generate.erdos_renyi_gnm s ~n:15 ~m:60 in
+        let planted = Cascade.uniform_probabilities ~p:0.4 g in
+        let log = Cascade.generate s planted Cascade.default_params in
+        let result = Em.learn log g ~h:3 ~max_iterations:10 in
+        Hashtbl.fold (fun _ p acc -> acc && p > 0. && p < 1.) result.Em.probability true);
+    Test.make ~name:"LT spread monotone in seeds" ~count:20 small_nat
+      (fun seed ->
+        let s = State.create ~seed () in
+        let g = Generate.erdos_renyi_gnm s ~n:15 ~m:60 in
+        let model = Threshold.of_strengths g (List.map (fun e -> (e, 0.3)) (Digraph.edges g)) in
+        let s1 = State.create ~seed:1 () and s2 = State.create ~seed:1 () in
+        Threshold.spread s1 model ~seeds:[ 0 ] ~samples:300
+        <= Threshold.spread s2 model ~seeds:[ 0; 1; 2 ] ~samples:300 +. 0.5);
+  ]
+
+let () =
+  Alcotest.run "spe_em_threshold"
+    [
+      ( "em",
+        [
+          Alcotest.test_case "likelihood monotone" `Quick test_em_likelihood_monotone;
+          Alcotest.test_case "star recovery" `Slow test_em_star_recovery;
+          Alcotest.test_case "single-parent vs counting" `Quick test_em_matches_counting_on_single_parent;
+          Alcotest.test_case "shared credit" `Quick test_em_shared_credit;
+          Alcotest.test_case "no evidence" `Quick test_em_no_evidence_keeps_initial;
+          Alcotest.test_case "validation" `Quick test_em_validation;
+          Alcotest.test_case "overfitting demo" `Quick test_em_overfitting_demo;
+        ] );
+      ( "linear-threshold",
+        [
+          Alcotest.test_case "deterministic chain" `Quick test_lt_deterministic_chain;
+          Alcotest.test_case "zero weights" `Quick test_lt_zero_weights;
+          Alcotest.test_case "single arc expectation" `Quick test_lt_expected_single_arc;
+          Alcotest.test_case "normalisation" `Quick test_lt_of_strengths_normalises;
+          Alcotest.test_case "validation" `Quick test_lt_validate_rejects;
+          Alcotest.test_case "celf runs" `Quick test_lt_celf_runs;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]

@@ -1,0 +1,191 @@
+(* Tests over the experiment library: the quantitative claims recorded
+   in EXPERIMENTS.md are asserted here, so `dune runtest` enforces the
+   reproduction, not just the bench printout. *)
+
+module Comm_costs = Spe_expt.Comm_costs
+module Estimators = Spe_expt.Estimators
+module Workloads = Spe_expt.Workloads
+module Wire = Spe_mpc.Wire
+module Digraph = Spe_graph.Digraph
+module Log = Spe_actionlog.Log
+
+(* --- workloads -------------------------------------------------------------- *)
+
+let test_workloads_deterministic () =
+  let a = Workloads.erdos_renyi ~seed:5 ~n:20 ~edges:60 ~actions:10 () in
+  let b = Workloads.erdos_renyi ~seed:5 ~n:20 ~edges:60 ~actions:10 () in
+  Alcotest.(check bool) "same log" true (Log.equal a.Workloads.log b.Workloads.log);
+  Alcotest.(check (list (pair int int))) "same graph" (Digraph.edges a.Workloads.graph)
+    (Digraph.edges b.Workloads.graph)
+
+let test_workloads_split_covers () =
+  let w = Workloads.erdos_renyi ~seed:6 ~n:20 ~edges:60 ~actions:10 () in
+  let logs = Workloads.split_exclusive w ~m:3 in
+  Alcotest.(check int) "record count preserved"
+    (Log.size w.Workloads.log)
+    (Array.fold_left (fun acc l -> acc + Log.size l) 0 logs);
+  let graphs = Workloads.split_graph w ~hosts:3 in
+  Alcotest.(check int) "arcs preserved"
+    (Digraph.edge_count w.Workloads.graph)
+    (Array.fold_left (fun acc g -> acc + Digraph.edge_count g) 0 graphs)
+
+(* --- table sweeps ------------------------------------------------------------ *)
+
+let test_table1_sweep_all_match () =
+  let rows = Comm_costs.table1_sweep () in
+  Alcotest.(check int) "four settings" 4 (List.length rows);
+  List.iter
+    (fun (r : Comm_costs.row) ->
+      if not r.Comm_costs.ok then
+        Alcotest.failf "Table 1 mismatch at n=%d m=%d" r.Comm_costs.n r.Comm_costs.m;
+      Alcotest.(check int) "NM formula" ((r.Comm_costs.m * r.Comm_costs.m) + r.Comm_costs.m + 7)
+        r.Comm_costs.measured.Wire.messages)
+    rows
+
+let test_table2_sweep_all_match () =
+  let rows = Comm_costs.table2_sweep () in
+  List.iter
+    (fun (r : Comm_costs.row) ->
+      if not r.Comm_costs.ok then Alcotest.failf "Table 2 mismatch at m=%d" r.Comm_costs.m;
+      Alcotest.(check int) "NM = 3m" (3 * r.Comm_costs.m) r.Comm_costs.measured.Wire.messages;
+      Alcotest.(check int) "NR = 4" 4 r.Comm_costs.measured.Wire.rounds)
+    rows
+
+let test_table1_ms_scales_with_m_squared () =
+  let rows = Comm_costs.table1_sweep () in
+  let ms_at m =
+    List.find (fun (r : Comm_costs.row) -> r.Comm_costs.m = m && r.Comm_costs.n = 100) rows
+    |> fun r -> float_of_int r.Comm_costs.measured.Wire.bits
+  in
+  (* The m^2 share-exchange dominates: 3 -> 10 should grow by ~(100+10)/(9+3)-ish. *)
+  Alcotest.(check bool) "superlinear growth" true (ms_at 10 /. ms_at 3 > 4.)
+
+(* --- estimator claims ---------------------------------------------------------- *)
+
+let test_em_overfits_sparse_but_wins_rich () =
+  let rows = Estimators.quality_sweep ~traces:[ 10; 800 ] () in
+  match rows with
+  | [ sparse; rich ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "sparse: EM %.4f worse than Eq1 %.4f" sparse.Estimators.em_mse
+         sparse.Estimators.eq1_mse)
+      true
+      (sparse.Estimators.em_mse > sparse.Estimators.eq1_mse);
+    Alcotest.(check bool)
+      (Printf.sprintf "rich: EM %.4f beats Eq1 %.4f" rich.Estimators.em_mse
+         rich.Estimators.eq1_mse)
+      true
+      (rich.Estimators.em_mse < rich.Estimators.eq1_mse);
+    Alcotest.(check bool) "shrinkage helps sparse" true
+      (sparse.Estimators.shrunk_mse < sparse.Estimators.eq1_mse)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_generalisation_converges () =
+  let rows = Estimators.generalisation_sweep ~traces:[ 10; 800 ] () in
+  match rows with
+  | [ sparse; rich ] ->
+    Alcotest.(check bool) "held-out ll improves with data" true
+      (rich.Estimators.eq1_ll > sparse.Estimators.eq1_ll);
+    Alcotest.(check bool) "planted model is the ceiling" true
+      (rich.Estimators.eq1_ll <= rich.Estimators.planted_ll +. 1e-9
+      && rich.Estimators.em_ll <= rich.Estimators.planted_ll +. 1e-9);
+    Alcotest.(check bool) "rich estimators near the ceiling" true
+      (rich.Estimators.planted_ll -. rich.Estimators.eq1_ll < 0.2)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_family_comparison_sane () =
+  let rows = Estimators.family_comparison () in
+  Alcotest.(check int) "three estimators" 3 (List.length rows);
+  List.iter
+    (fun (r : Estimators.family_row) ->
+      if r.Estimators.spearman < 0.3 || r.Estimators.spearman > 1. then
+        Alcotest.failf "%s correlation out of plausible range: %f" r.Estimators.name
+          r.Estimators.spearman)
+    rows;
+  (* Eq. 1 should lead on this workload (documented in EXPERIMENTS.md). *)
+  let find name = (List.find (fun r -> r.Estimators.name = name) rows).Estimators.spearman in
+  Alcotest.(check bool) "Eq1 >= Jaccard here" true (find "Eq. 1" >= find "Jaccard")
+
+let test_perturbation_error_monotone () =
+  let rows = Estimators.perturbation_sweep ~epsilons:[ 0.1; 1.; 20. ] () in
+  match rows with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "error falls with epsilon" true
+      (a.Estimators.mean_abs_error > b.Estimators.mean_abs_error
+      && b.Estimators.mean_abs_error > c.Estimators.mean_abs_error)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_discretization_u_shape () =
+  let rows = Estimators.discretization_sweep ~steps:[ 1; 20; 200 ] () in
+  match rows with
+  | [ fine; mid; coarse ] ->
+    Alcotest.(check bool) "mid bin counts most episodes" true
+      (mid.Estimators.episodes > fine.Estimators.episodes
+      && mid.Estimators.episodes > coarse.Estimators.episodes)
+  | _ -> Alcotest.fail "unexpected row count"
+
+(* --- privacy experiments ------------------------------------------------------ *)
+
+module Privacy_expt = Spe_expt.Privacy_expt
+module Gain = Spe_privacy.Gain
+module Leakage = Spe_privacy.Leakage
+
+let test_figure1_claims () =
+  let rows = Privacy_expt.figure1 ~trials_per_x:300 () in
+  Alcotest.(check int) "two priors" 2 (List.length rows);
+  List.iter
+    (fun (row : Privacy_expt.figure1_row) ->
+      let r = row.Privacy_expt.result in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: gain small positive (%.4f)" row.Privacy_expt.prior_name
+           r.Gain.average)
+        true
+        (r.Gain.average > 0. && r.Gain.average < 1.);
+      Alcotest.(check bool) "helps more often than hurts" true (r.Gain.positive_fraction > 0.5))
+    rows
+
+let test_theorem41_within_noise () =
+  let rows = Privacy_expt.theorem41 ~trials:10_000 () in
+  List.iter
+    (fun (row : Privacy_expt.leakage_row) ->
+      (* 3-sigma bound for binomial rates around ~0.1 at 10k trials. *)
+      let dev = Privacy_expt.max_rate_deviation row in
+      if dev > 0.012 then Alcotest.failf "x=%d deviates by %.4f" row.Privacy_expt.x dev;
+      (* P3 measured rates never exceed the stated bound (plus noise). *)
+      let o = row.Privacy_expt.observed in
+      let p3 =
+        float_of_int (o.Leakage.p3_lower_hits + o.Leakage.p3_upper_hits)
+        /. float_of_int o.Leakage.trials
+      in
+      if p3 > row.Privacy_expt.theory.Leakage.p3_lower +. row.Privacy_expt.theory.Leakage.p3_upper +. 0.01
+      then Alcotest.failf "x=%d P3 rate %.4f above bound" row.Privacy_expt.x p3)
+    rows
+
+let () =
+  Alcotest.run "spe_expt"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workloads_deterministic;
+          Alcotest.test_case "splits cover" `Quick test_workloads_split_covers;
+        ] );
+      ( "comm-costs",
+        [
+          Alcotest.test_case "table 1 sweep" `Quick test_table1_sweep_all_match;
+          Alcotest.test_case "table 2 sweep" `Slow test_table2_sweep_all_match;
+          Alcotest.test_case "MS ~ m^2" `Quick test_table1_ms_scales_with_m_squared;
+        ] );
+      ( "estimators",
+        [
+          Alcotest.test_case "EM overfitting claim" `Slow test_em_overfits_sparse_but_wins_rich;
+          Alcotest.test_case "generalisation convergence" `Slow test_generalisation_converges;
+          Alcotest.test_case "family comparison" `Quick test_family_comparison_sane;
+          Alcotest.test_case "perturbation monotone" `Quick test_perturbation_error_monotone;
+          Alcotest.test_case "discretization sweet spot" `Quick test_discretization_u_shape;
+        ] );
+      ( "privacy",
+        [
+          Alcotest.test_case "figure 1 claims" `Quick test_figure1_claims;
+          Alcotest.test_case "theorem 4.1 within noise" `Slow test_theorem41_within_noise;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the Sec. 8 future-work implementations: the multi-host
+   Protocol 4 and attribute-informed shrinkage estimation. *)
+
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Log = Spe_actionlog.Log
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Counters = Spe_influence.Counters
+module Link_strength = Spe_influence.Link_strength
+module Attributes = Spe_influence.Attributes
+module Protocol4 = Spe_core.Protocol4
+module Protocol4_multi_host = Spe_core.Protocol4_multi_host
+
+let st () = State.create ~seed:157 ()
+
+(* --- multi-host --------------------------------------------------------- *)
+
+(* Split one generated graph's arcs across t hosts. *)
+let split_graph s g ~t =
+  let buckets = Array.make t [] in
+  Digraph.iter_edges g (fun u v ->
+      let j = State.next_int s t in
+      buckets.(j) <- (u, v) :: buckets.(j));
+  Array.map (fun arcs -> Digraph.create ~n:(Digraph.n g) arcs) buckets
+
+let multi_host_workload s ~t =
+  let g = Generate.barabasi_albert s ~n:30 ~m:2 in
+  let planted = Cascade.uniform_probabilities ~p:0.35 g in
+  let log = Cascade.generate s planted { Cascade.num_actions = 20; seeds_per_action = 1; max_delay = 2 } in
+  let graphs = split_graph s g ~t in
+  let logs = Partition.exclusive s log ~m:3 in
+  (g, graphs, log, logs)
+
+let test_multi_host_matches_plaintext () =
+  let s = st () in
+  let _, graphs, log, logs = multi_host_workload s ~t:3 in
+  let wire = Wire.create () in
+  let config = Protocol4.default_config ~h:2 in
+  let results = Protocol4_multi_host.run s ~wire ~graphs ~logs config in
+  Alcotest.(check int) "one result per host" 3 (Array.length results);
+  Array.iteri
+    (fun j r ->
+      Alcotest.(check int) "host id" j r.Protocol4_multi_host.host;
+      (* Each host's strengths equal the plaintext on its own arcs. *)
+      List.iter
+        (fun ((u, v), p) ->
+          if not (Digraph.mem_edge graphs.(j) u v) then
+            Alcotest.fail "strength for a foreign arc";
+          let expected = Counters.b_single log ~h:2 ~i:u ~j:v in
+          let a = (Log.user_activity log).(u) in
+          let expected = if a = 0 then 0. else float_of_int expected /. float_of_int a in
+          if abs_float (p -. expected) > 1e-3 *. (expected +. 1.) then
+            Alcotest.failf "host %d p(%d,%d) = %f vs %f" j u v p expected)
+        r.Protocol4_multi_host.strengths)
+    results
+
+let test_multi_host_covers_all_arcs () =
+  let s = st () in
+  let g, graphs, _, logs = multi_host_workload s ~t:2 in
+  let wire = Wire.create () in
+  let results =
+    Protocol4_multi_host.run s ~wire ~graphs ~logs (Protocol4.default_config ~h:2)
+  in
+  let total =
+    Array.fold_left (fun acc r -> acc + List.length r.Protocol4_multi_host.strengths) 0 results
+  in
+  Alcotest.(check int) "every arc served exactly once" (Digraph.edge_count g) total
+
+let test_multi_host_single_host_equals_protocol4 () =
+  (* With one host the protocol must agree with standard Protocol 4 up
+     to randomness in E'. *)
+  let s = st () in
+  let g, _, log, logs = multi_host_workload s ~t:1 in
+  let wire = Wire.create () in
+  let results =
+    Protocol4_multi_host.run s ~wire ~graphs:[| g |] ~logs (Protocol4.default_config ~h:2)
+  in
+  let r = results.(0) in
+  let ct =
+    Counters.compute log ~h:2
+      ~pairs:(Array.of_list (List.map fst r.Protocol4_multi_host.strengths))
+  in
+  let expected = Link_strength.all_eq1 ct in
+  List.iteri
+    (fun k (_, p) ->
+      if abs_float (p -. expected.(k)) > 1e-3 *. (expected.(k) +. 1.) then
+        Alcotest.fail "single-host mismatch")
+    r.Protocol4_multi_host.strengths
+
+let test_multi_host_shared_batch_cheaper () =
+  (* The design rationale: one shared sharing batch beats running the
+     whole protocol once per host. *)
+  let s = st () in
+  let _, graphs, _, logs = multi_host_workload s ~t:3 in
+  let config = Protocol4.default_config ~h:2 in
+  let wire_multi = Wire.create () in
+  let _ = Protocol4_multi_host.run s ~wire:wire_multi ~graphs ~logs config in
+  let per_host_total = ref 0 in
+  Array.iter
+    (fun g ->
+      if Digraph.edge_count g > 0 then begin
+        let wire = Wire.create () in
+        let pairs = Protocol4.publish_pairs s ~wire ~graph:g ~m:3 ~c_factor:config.Protocol4.c_factor in
+        let inputs =
+          Array.map (fun l -> Protocol4.provider_input_of_log l ~h:2 ~pairs) logs
+        in
+        let _ = Protocol4.run s ~wire ~graph:g ~num_actions:20 ~pairs ~inputs config in
+        per_host_total := !per_host_total + (Wire.stats wire).Wire.bits
+      end)
+    graphs;
+  let multi = (Wire.stats wire_multi).Wire.bits in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared batch %d bits < separate runs %d bits" multi !per_host_total)
+    true (multi < !per_host_total)
+
+let test_multi_host_validation () =
+  let s = st () in
+  let wire = Wire.create () in
+  let g5 = Digraph.create ~n:5 [ (0, 1) ] and g6 = Digraph.create ~n:6 [ (0, 1) ] in
+  let log = Log.empty ~num_users:5 ~num_actions:2 in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Protocol4_multi_host.run: hosts must share the user universe")
+    (fun () ->
+      ignore
+        (Protocol4_multi_host.run s ~wire ~graphs:[| g5; g6 |] ~logs:[| log; log |]
+           (Protocol4.default_config ~h:2)))
+
+(* --- attributes --------------------------------------------------------- *)
+
+(* A two-group planted model: strong within-group influence, weak
+   across. *)
+let attribute_workload s =
+  let n = 40 in
+  let g = Generate.erdos_renyi_gnm s ~n ~m:300 in
+  let grouping = Attributes.random_grouping s ~n ~num_groups:2 in
+  let truth u v =
+    if grouping.Attributes.group_of.(u) = grouping.Attributes.group_of.(v) then 0.5 else 0.05
+  in
+  let planted = { Cascade.graph = g; probability = truth } in
+  (g, grouping, truth, planted)
+
+let test_grouping_validation () =
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Attributes.grouping_of_array: negative group id") (fun () ->
+      ignore (Attributes.grouping_of_array [| 0; -1 |]));
+  let gr = Attributes.grouping_of_array [| 0; 2; 1 |] in
+  Alcotest.(check int) "group count inferred" 3 gr.Attributes.num_groups
+
+let test_pooled_strengths_separate_groups () =
+  let s = st () in
+  let g, grouping, _, planted = attribute_workload s in
+  let log = Cascade.generate s planted { Cascade.num_actions = 300; seeds_per_action = 2; max_delay = 2 } in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let pooled = Attributes.pooled_strengths ct grouping in
+  (* Within-group pooled strength must clearly exceed cross-group. *)
+  let within = (pooled.(0).(0) +. pooled.(1).(1)) /. 2. in
+  let across = (pooled.(0).(1) +. pooled.(1).(0)) /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "within %.3f > across %.3f" within across)
+    true
+    (within > 2. *. across)
+
+let test_shrinkage_zero_lambda_is_eq1 () =
+  let s = st () in
+  let g, grouping, _, planted = attribute_workload s in
+  let log = Cascade.generate s planted Cascade.default_params in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let shrunk = Attributes.shrunk_strengths ct grouping ~lambda:0. in
+  let eq1 = Link_strength.all_eq1 ct in
+  Array.iteri
+    (fun k v -> if abs_float (v -. eq1.(k)) > 1e-12 then Alcotest.fail "lambda=0 <> Eq1")
+    shrunk
+
+let test_shrinkage_improves_sparse_estimates () =
+  (* With few traces, shrinking toward the group prior reduces MSE
+     against the planted truth — the Sec. 8 motivation. *)
+  let s = st () in
+  let g, grouping, truth, planted = attribute_workload s in
+  let log = Cascade.generate s planted { Cascade.num_actions = 15; seeds_per_action = 2; max_delay = 2 } in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let raw = Attributes.shrunk_strengths ct grouping ~lambda:0. in
+  let shrunk = Attributes.shrunk_strengths ct grouping ~lambda:5. in
+  let mse e = Attributes.mse_vs_truth ~estimates:e ~pairs:ct.Counters.pairs ~truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk mse %.4f < raw mse %.4f" (mse shrunk) (mse raw))
+    true
+    (mse shrunk < mse raw)
+
+let test_shrinkage_infinite_lambda_is_pooled () =
+  let s = st () in
+  let g, grouping, _, planted = attribute_workload s in
+  let log = Cascade.generate s planted Cascade.default_params in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let pooled = Attributes.pooled_strengths ct grouping in
+  let shrunk = Attributes.shrunk_strengths ct grouping ~lambda:1e12 in
+  Array.iteri
+    (fun k (i, j) ->
+      let prior = pooled.(grouping.Attributes.group_of.(i)).(grouping.Attributes.group_of.(j)) in
+      if abs_float (shrunk.(k) -. prior) > 1e-6 then
+        Alcotest.fail "large lambda must converge to the pooled prior")
+    ct.Counters.pairs
+
+let () =
+  Alcotest.run "spe_extensions"
+    [
+      ( "multi-host",
+        [
+          Alcotest.test_case "matches plaintext" `Quick test_multi_host_matches_plaintext;
+          Alcotest.test_case "covers all arcs" `Quick test_multi_host_covers_all_arcs;
+          Alcotest.test_case "single host" `Quick test_multi_host_single_host_equals_protocol4;
+          Alcotest.test_case "shared batch cheaper" `Quick test_multi_host_shared_batch_cheaper;
+          Alcotest.test_case "validation" `Quick test_multi_host_validation;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "grouping validation" `Quick test_grouping_validation;
+          Alcotest.test_case "pooled separates groups" `Quick test_pooled_strengths_separate_groups;
+          Alcotest.test_case "lambda=0 is Eq1" `Quick test_shrinkage_zero_lambda_is_eq1;
+          Alcotest.test_case "shrinkage helps sparse data" `Quick test_shrinkage_improves_sparse_estimates;
+          Alcotest.test_case "lambda=inf is pooled" `Quick test_shrinkage_infinite_lambda_is_pooled;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the file interchange formats used by the CLI. *)
+
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Graph_io = Spe_graph.Graph_io
+module Log = Spe_actionlog.Log
+module Log_io = Spe_actionlog.Log_io
+module Cascade = Spe_actionlog.Cascade
+module State = Spe_rng.State
+
+let st () = State.create ~seed:131 ()
+
+let graph_equal a b =
+  Digraph.n a = Digraph.n b && Digraph.edges a = Digraph.edges b
+
+(* --- graphs ------------------------------------------------------------ *)
+
+let test_graph_roundtrip_string () =
+  let s = st () in
+  for _ = 1 to 20 do
+    let g = Generate.erdos_renyi_gnp s ~n:(5 + State.next_int s 30) ~p:0.2 in
+    let g' = Graph_io.of_string (Graph_io.to_string g) in
+    Alcotest.(check bool) "round trip" true (graph_equal g g')
+  done
+
+let test_graph_roundtrip_file () =
+  let s = st () in
+  let g = Generate.barabasi_albert s ~n:25 ~m:2 in
+  let path = Filename.temp_file "spe_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save g path;
+      Alcotest.(check bool) "file round trip" true (graph_equal g (Graph_io.load path)))
+
+let test_graph_parses_comments_and_blanks () =
+  let g = Graph_io.of_string "# a comment\n\nn 3\n0 1\n\n# another\n1 2\n" in
+  Alcotest.(check int) "nodes" 3 (Digraph.n g);
+  Alcotest.(check int) "arcs" 2 (Digraph.edge_count g)
+
+let test_graph_rejects_malformed () =
+  let fails input =
+    match Graph_io.of_string input with
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted malformed input %S" input
+  in
+  fails "0 1\n";            (* missing header *)
+  fails "n 3\nn 4\n0 1\n";  (* duplicate header *)
+  fails "n 3\n0\n";         (* incomplete arc *)
+  fails "n 3\n0 x\n";       (* non-numeric *)
+  fails "n 2\n0 5\n"        (* endpoint out of range *)
+
+let test_graph_empty () =
+  let g = Graph_io.of_string "n 0\n" in
+  Alcotest.(check int) "empty graph" 0 (Digraph.n g);
+  Alcotest.(check string) "renders" "n 0\n" (Graph_io.to_string g)
+
+(* --- logs --------------------------------------------------------------- *)
+
+let sample_log s =
+  let g = Generate.erdos_renyi_gnm s ~n:20 ~m:60 in
+  let planted = Cascade.uniform_probabilities ~p:0.4 g in
+  Cascade.generate s planted { Cascade.num_actions = 10; seeds_per_action = 1; max_delay = 3 }
+
+let test_log_roundtrip_string () =
+  let s = st () in
+  for _ = 1 to 20 do
+    let log = sample_log s in
+    Alcotest.(check bool) "round trip" true (Log.equal log (Log_io.of_string (Log_io.to_string log)))
+  done
+
+let test_log_roundtrip_file () =
+  let s = st () in
+  let log = sample_log s in
+  let path = Filename.temp_file "spe_log" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Log_io.save log path;
+      Alcotest.(check bool) "file round trip" true (Log.equal log (Log_io.load path)))
+
+let test_log_rejects_malformed () =
+  let fails input =
+    match Log_io.of_string input with
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted malformed input %S" input
+  in
+  fails "0 1 2\n";                       (* missing header *)
+  fails "universe 5 5\n0 1\n";           (* incomplete record *)
+  fails "universe 5 5\n9 0 0\n";         (* user out of universe *)
+  fails "universe 5 5\n0 0 -1\n";        (* negative time *)
+  fails "universe x 5\n"                 (* bad header *)
+
+let test_log_preserves_universe () =
+  let log = Log_io.of_string "universe 7 4\n0 0 5\n" in
+  Alcotest.(check int) "users" 7 (Log.num_users log);
+  Alcotest.(check int) "actions" 4 (Log.num_actions log);
+  Alcotest.(check int) "records" 1 (Log.size log)
+
+let test_log_empty () =
+  let log = Log_io.of_string "universe 3 2\n" in
+  Alcotest.(check int) "no records" 0 (Log.size log)
+
+(* --- class specs ----------------------------------------------------------- *)
+
+module Spec_io = Spe_actionlog.Spec_io
+module Partition = Spe_actionlog.Partition
+
+let spec_equal (a : Partition.class_spec) (b : Partition.class_spec) =
+  a.Partition.m = b.Partition.m
+  && a.Partition.action_class = b.Partition.action_class
+  && a.Partition.class_providers = b.Partition.class_providers
+
+let test_spec_roundtrip () =
+  let s = st () in
+  for _ = 1 to 20 do
+    let spec = Partition.random_class_spec s ~num_actions:12 ~m:4 ~num_classes:3 in
+    Alcotest.(check bool) "round trip" true
+      (spec_equal spec (Spec_io.of_string (Spec_io.to_string spec)))
+  done
+
+let test_spec_file_roundtrip () =
+  let s = st () in
+  let spec = Partition.random_class_spec s ~num_actions:8 ~m:3 ~num_classes:2 in
+  let path = Filename.temp_file "spe_spec" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Spec_io.save spec path;
+      Alcotest.(check bool) "file round trip" true (spec_equal spec (Spec_io.load path)))
+
+let test_spec_rejects_malformed () =
+  let fails input =
+    match Spec_io.of_string input with
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted malformed spec %S" input
+  in
+  fails "class 0 0\naction 0 0\n";                 (* missing providers *)
+  fails "providers 2\naction 0 0\n";               (* class undeclared *)
+  fails "providers 2\nclass 0 0\nclass 0 1\naction 0 0\n"; (* duplicate class *)
+  fails "providers 2\nclass 0 5\naction 0 0\n";    (* provider out of range *)
+  fails "providers 2\nclass 0 0\naction 0 0\naction 2 0\n" (* sparse action ids *)
+
+let test_spec_comments () =
+  let spec = Spec_io.of_string "# header\nproviders 2\n\nclass 0 0 1\naction 0 0\n" in
+  Alcotest.(check int) "providers" 2 spec.Partition.m;
+  Alcotest.(check int) "one action" 1 (Array.length spec.Partition.action_class)
+
+(* --- results --------------------------------------------------------------- *)
+
+module Result_io = Spe_influence.Result_io
+
+let test_strengths_roundtrip () =
+  let strengths = [ ((0, 1), 0.5); ((3, 2), 1. /. 3.); ((1, 0), 0.) ] in
+  let back = Result_io.strengths_of_string (Result_io.strengths_to_string strengths) in
+  Alcotest.(check int) "count" 3 (List.length back);
+  List.iter2
+    (fun ((u, v), p) ((u', v'), p') ->
+      Alcotest.(check int) "src" u u';
+      Alcotest.(check int) "dst" v v';
+      Alcotest.(check bool) "value bit-exact" true (p = p'))
+    strengths back
+
+let test_scores_roundtrip () =
+  let scores = [| 0.; 1.5; 2. /. 7.; 42. |] in
+  let back = Result_io.scores_of_string (Result_io.scores_to_string scores) in
+  Alcotest.(check bool) "bit-exact array" true (scores = back)
+
+let test_results_malformed () =
+  let fails f input =
+    match f input with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "accepted malformed input %S" input
+  in
+  fails Result_io.strengths_of_string "0 1 0.5\n";            (* no header *)
+  fails Result_io.strengths_of_string "strengths 2\n0 1 0.5\n"; (* count mismatch *)
+  fails Result_io.strengths_of_string "strengths 1\n0 1 x\n";  (* bad value *)
+  fails Result_io.scores_of_string "scores 1\n5 1.0\n"         (* id out of range *)
+
+(* --- end-to-end story --------------------------------------------------------- *)
+
+let test_full_pipeline_through_files () =
+  (* The CLI workflow as a library round trip: generate, persist
+     everything, reload, run the secure pipeline, persist the results,
+     reload them, and feed seed selection — asserting consistency at
+     every hop. *)
+  let dir = Filename.temp_file "spe_story" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let path name = Filename.concat dir name in
+      let s = st () in
+      let g = Generate.barabasi_albert s ~n:25 ~m:2 in
+      let planted = Cascade.uniform_probabilities ~p:0.3 g in
+      let log = Cascade.generate s planted { Cascade.num_actions = 20; seeds_per_action = 1; max_delay = 2 } in
+      let logs = Spe_actionlog.Partition.exclusive s log ~m:2 in
+      (* Persist and reload the inputs. *)
+      Graph_io.save g (path "graph.txt");
+      Array.iteri (fun k l -> Log_io.save l (path (Printf.sprintf "p%d.log" k))) logs;
+      let g' = Graph_io.load (path "graph.txt") in
+      let logs' = Array.init 2 (fun k -> Log_io.load (path (Printf.sprintf "p%d.log" k))) in
+      (* Secure estimation on the reloaded inputs. *)
+      let r =
+        Spe_core.Driver.link_strengths_exclusive s ~graph:g' ~logs:logs'
+          (Spe_core.Protocol4.default_config ~h:2)
+      in
+      Result_io.save_strengths r.Spe_core.Driver.strengths (path "strengths.txt");
+      let strengths = Result_io.load_strengths (path "strengths.txt") in
+      Alcotest.(check int) "all arcs estimated" (Digraph.edge_count g) (List.length strengths);
+      (* Downstream consumption of the reloaded results. *)
+      let model = Spe_influence.Maximize.of_strengths g' strengths in
+      let seeds, spread = Spe_influence.Maximize.celf s model ~k:2 ~samples:100 in
+      Alcotest.(check int) "two seeds" 2 (List.length seeds);
+      Alcotest.(check bool) "positive spread" true (spread >= 2.))
+
+let () =
+  Alcotest.run "spe_io"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "string round trip" `Quick test_graph_roundtrip_string;
+          Alcotest.test_case "file round trip" `Quick test_graph_roundtrip_file;
+          Alcotest.test_case "comments/blanks" `Quick test_graph_parses_comments_and_blanks;
+          Alcotest.test_case "malformed" `Quick test_graph_rejects_malformed;
+          Alcotest.test_case "empty" `Quick test_graph_empty;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "string round trip" `Quick test_log_roundtrip_string;
+          Alcotest.test_case "file round trip" `Quick test_log_roundtrip_file;
+          Alcotest.test_case "malformed" `Quick test_log_rejects_malformed;
+          Alcotest.test_case "universe preserved" `Quick test_log_preserves_universe;
+          Alcotest.test_case "empty" `Quick test_log_empty;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "string round trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "file round trip" `Quick test_spec_file_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_spec_rejects_malformed;
+          Alcotest.test_case "comments" `Quick test_spec_comments;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "strengths round trip" `Quick test_strengths_roundtrip;
+          Alcotest.test_case "scores round trip" `Quick test_scores_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_results_malformed;
+        ] );
+      ( "story",
+        [ Alcotest.test_case "full pipeline through files" `Quick test_full_pipeline_through_files ] );
+    ]

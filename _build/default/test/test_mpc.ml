@@ -1,0 +1,613 @@
+(* Tests for the MPC substrate: wire accounting, Protocol 1 modular
+   share reconstruction, Protocol 2 integer shares and the Theorem 4.1
+   leak classification, and Protocol 3's exact masked division. *)
+
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Protocol1 = Spe_mpc.Protocol1
+module Protocol2 = Spe_mpc.Protocol2
+module Protocol3 = Spe_mpc.Protocol3
+
+let st () = State.create ~seed:61 ()
+
+let providers m = Array.init m (fun k -> Wire.Provider k)
+
+(* --- wire ---------------------------------------------------------------- *)
+
+let test_wire_accounting () =
+  let w = Wire.create () in
+  Wire.round w (fun () ->
+      Wire.send w ~src:Wire.Host ~dst:(Wire.Provider 0) ~bits:100;
+      Wire.send w ~src:(Wire.Provider 0) ~dst:(Wire.Provider 1) ~bits:50);
+  Wire.round w (fun () -> Wire.send w ~src:(Wire.Provider 1) ~dst:Wire.Host ~bits:8);
+  let s = Wire.stats w in
+  Alcotest.(check int) "rounds" 2 s.Wire.rounds;
+  Alcotest.(check int) "messages" 3 s.Wire.messages;
+  Alcotest.(check int) "bits" 158 s.Wire.bits;
+  Alcotest.(check int) "transcript length" 3 (List.length (Wire.messages w))
+
+let test_wire_guards () =
+  let w = Wire.create () in
+  Alcotest.check_raises "send outside round" (Failure "Wire.send: outside a round") (fun () ->
+      Wire.send w ~src:Wire.Host ~dst:(Wire.Provider 0) ~bits:1);
+  Alcotest.check_raises "nested round" (Failure "Wire.round: nested round") (fun () ->
+      Wire.round w (fun () -> Wire.round w (fun () -> ())));
+  Wire.round w (fun () ->
+      Alcotest.check_raises "self send" (Invalid_argument "Wire.send: self-send") (fun () ->
+          Wire.send w ~src:Wire.Host ~dst:Wire.Host ~bits:1))
+
+let test_wire_round_reopens_after_exception () =
+  let w = Wire.create () in
+  (try Wire.round w (fun () -> failwith "boom") with Failure _ -> ());
+  (* The round guard must have been released. *)
+  Wire.round w (fun () -> Wire.send w ~src:Wire.Host ~dst:(Wire.Provider 0) ~bits:1);
+  Alcotest.(check int) "second round opened" 2 (Wire.stats w).Wire.rounds
+
+let test_bits_for_int_mod () =
+  Alcotest.(check int) "mod 2" 1 (Wire.bits_for_int_mod 2);
+  Alcotest.(check int) "mod 256" 8 (Wire.bits_for_int_mod 256);
+  Alcotest.(check int) "mod 257" 9 (Wire.bits_for_int_mod 257);
+  Alcotest.(check int) "mod 2^40" 40 (Wire.bits_for_int_mod (1 lsl 40))
+
+(* --- Protocol 1 ------------------------------------------------------------ *)
+
+let run_p1 ?(modulus = 1 lsl 30) s inputs =
+  let w = Wire.create () in
+  let m = Array.length inputs in
+  let r = Protocol1.run s ~wire:w ~parties:(providers m) ~modulus ~inputs in
+  (r, Wire.stats w)
+
+let test_p1_reconstruction () =
+  let s = st () in
+  let modulus = 1 lsl 30 in
+  for _ = 1 to 200 do
+    let m = 2 + State.next_int s 5 in
+    let len = 1 + State.next_int s 10 in
+    let inputs = Array.init m (fun _ -> Array.init len (fun _ -> State.next_int s 1000)) in
+    let r, _ = run_p1 ~modulus s inputs in
+    for l = 0 to len - 1 do
+      let x = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+      let recon = (r.Protocol1.share1.(l) + r.Protocol1.share2.(l)) mod modulus in
+      if recon <> x mod modulus then Alcotest.failf "bad reconstruction at %d" l
+    done
+  done
+
+let test_p1_message_count () =
+  let s = st () in
+  List.iter
+    (fun m ->
+      let inputs = Array.init m (fun _ -> [| 5 |]) in
+      let _, stats = run_p1 s inputs in
+      let expected_messages = (m * (m - 1)) + if m > 2 then m - 2 else 0 in
+      Alcotest.(check int) (Printf.sprintf "m=%d messages" m) expected_messages
+        stats.Wire.messages;
+      Alcotest.(check int)
+        (Printf.sprintf "m=%d rounds" m)
+        (if m = 2 then 1 else 2)
+        stats.Wire.rounds)
+    [ 2; 3; 5; 8 ]
+
+let test_p1_share_uniformity () =
+  (* share1 of a fixed input must spread over Z_S: crude bucket test. *)
+  let s = st () in
+  let modulus = 1 lsl 20 in
+  let low = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let r, _ = run_p1 ~modulus s [| [| 3 |]; [| 4 |] |] in
+    if r.Protocol1.share1.(0) < modulus / 2 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int trials in
+  Alcotest.(check bool) "share1 roughly uniform" true (abs_float (frac -. 0.5) < 0.05)
+
+let test_p1_validation () =
+  let s = st () in
+  Alcotest.check_raises "one party" (Invalid_argument "Protocol1.run: need at least two parties")
+    (fun () -> ignore (run_p1 s [| [| 1 |] |]));
+  Alcotest.check_raises "input out of range"
+    (Invalid_argument "Protocol1.run: input out of range") (fun () ->
+      ignore (run_p1 ~modulus:10 s [| [| 11 |]; [| 0 |] |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Protocol1.run: input vector length mismatch") (fun () ->
+      ignore (run_p1 s [| [| 1 |]; [| 1; 2 |] |]))
+
+(* --- Protocol 2 ------------------------------------------------------------ *)
+
+let run_p2 ?(modulus = 1 lsl 20) ?(bound = 1000) s inputs =
+  let w = Wire.create () in
+  let m = Array.length inputs in
+  let third = if m > 2 then Wire.Provider 2 else Wire.Host in
+  let r =
+    Protocol2.run s ~wire:w ~parties:(providers m) ~third_party:third ~modulus
+      ~input_bound:bound ~inputs
+  in
+  (r, Wire.stats w)
+
+let test_p2_integer_reconstruction () =
+  let s = st () in
+  for _ = 1 to 500 do
+    let m = 2 + State.next_int s 4 in
+    let len = 1 + State.next_int s 8 in
+    (* Keep aggregates within the bound. *)
+    let inputs = Array.init m (fun _ -> Array.init len (fun _ -> State.next_int s (1000 / m))) in
+    let r, _ = run_p2 s inputs in
+    for l = 0 to len - 1 do
+      let x = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+      (* Exact integer equality: this is the whole point of Protocol 2. *)
+      if r.Protocol2.share1.(l) + r.Protocol2.share2.(l) <> x then
+        Alcotest.failf "integer shares do not sum to x at %d" l
+    done
+  done
+
+let test_p2_share1_nonnegative () =
+  let s = st () in
+  for _ = 1 to 100 do
+    let r, _ = run_p2 s [| [| State.next_int s 500 |]; [| State.next_int s 500 |] |] in
+    if r.Protocol2.share1.(0) < 0 then Alcotest.fail "share1 must stay in [0, S)"
+  done
+
+let test_p2_rounds () =
+  let s = st () in
+  (* m = 2: P1 round + to-T + verdict = 3 rounds; m > 2 adds the
+     collect round. *)
+  let _, stats2 = run_p2 s [| [| 1 |]; [| 2 |] |] in
+  Alcotest.(check int) "m=2 rounds" 3 stats2.Wire.rounds;
+  let _, stats4 = run_p2 s [| [| 1 |]; [| 2 |]; [| 3 |]; [| 4 |] |] in
+  Alcotest.(check int) "m=4 rounds" 4 stats4.Wire.rounds
+
+let test_p2_leak_soundness () =
+  (* Every reported leak must be a true statement about the aggregate. *)
+  let s = st () in
+  for _ = 1 to 2000 do
+    let a = State.next_int s 500 and b = State.next_int s 500 in
+    let x = a + b in
+    let r, _ = run_p2 s [| [| a |]; [| b |] |] in
+    let check = function
+      | Protocol2.Lower_bound v -> if x < v then Alcotest.failf "false lower bound %d on %d" v x
+      | Protocol2.Upper_bound v -> if x > v then Alcotest.failf "false upper bound %d on %d" v x
+      | Protocol2.Nothing -> ()
+    in
+    Array.iter check r.Protocol2.views.Protocol2.p2_leaks;
+    Array.iter check r.Protocol2.views.Protocol2.p3_leaks
+  done
+
+let test_p2_leak_rate_shrinks_with_modulus () =
+  (* Theorem 4.1: leak probabilities scale like A/S.  Compare S = 2^12
+     against S = 2^20 at A = 1000. *)
+  let count_leaks modulus =
+    let s = State.create ~seed:77 () in
+    let leaks = ref 0 in
+    let trials = 3000 in
+    for _ = 1 to trials do
+      let a = State.next_int s 500 and b = State.next_int s 500 in
+      let r, _ = run_p2 ~modulus s [| [| a |]; [| b |] |] in
+      let tally = function Protocol2.Nothing -> () | _ -> incr leaks in
+      Array.iter tally r.Protocol2.views.Protocol2.p2_leaks;
+      Array.iter tally r.Protocol2.views.Protocol2.p3_leaks
+    done;
+    float_of_int !leaks /. float_of_int trials
+  in
+  let small = count_leaks (1 lsl 12) and big = count_leaks (1 lsl 20) in
+  Alcotest.(check bool)
+    (Printf.sprintf "leak rate %.4f at 2^12 vs %.4f at 2^20" small big)
+    true
+    (big < small /. 10.)
+
+let test_p2_permutation_hides_attribution () =
+  (* The batched variant's point: the third party sees the y values in
+     a secret order, so it cannot tell which counter a leak belongs to.
+     Statistical check: plant one extreme counter among uniform ones
+     and verify the position of the largest y is roughly uniform over
+     the batch across runs. *)
+  let s = st () in
+  let len = 8 in
+  let runs = 4000 in
+  let position_counts = Array.make len 0 in
+  for _ = 1 to runs do
+    (* Counter 0 is maximal (A), the rest are zero: without the
+       permutation its masked value would sit at a fixed position. *)
+    let inputs = [| Array.init len (fun l -> if l = 0 then 1000 else 0); Array.make len 0 |] in
+    let r, _ = run_p2 ~modulus:(1 lsl 20) ~bound:1000 s inputs in
+    (* T's view: the y vector.  Find the position holding the largest
+       y; under the secret permutation it should be uniform.  (y is
+       dominated by the uniform share noise, so use a proxy the third
+       party could actually compute: the position of counter 0's y is
+       perm(0), which we can read from the views' ordering by running
+       the classification...) Use p3_y directly: all counters look
+       alike to T, so test that the *index of the maximum* is not
+       concentrated. *)
+    let y = r.Protocol2.views.Protocol2.p3_y in
+    let best = ref 0 in
+    for l = 1 to len - 1 do
+      if y.(l) > y.(!best) then best := l
+    done;
+    position_counts.(!best) <- position_counts.(!best) + 1
+  done;
+  (* Uniform expectation runs/len with generous slack. *)
+  let expected = float_of_int runs /. float_of_int len in
+  Array.iteri
+    (fun l c ->
+      let dev = abs_float (float_of_int c -. expected) /. expected in
+      if dev > 0.25 then Alcotest.failf "position %d concentration: %d of %d" l c runs)
+    position_counts
+
+let test_p2_aggregate_bound_enforced () =
+  let s = st () in
+  Alcotest.check_raises "aggregate over bound"
+    (Invalid_argument "Protocol2.run: aggregate exceeds input bound") (fun () ->
+      ignore (run_p2 ~bound:10 s [| [| 6 |]; [| 6 |] |]))
+
+let test_p2_third_party_distinct () =
+  let s = st () in
+  let w = Wire.create () in
+  Alcotest.check_raises "third party clash"
+    (Invalid_argument "Protocol2.run: third party must differ from players 1 and 2") (fun () ->
+      ignore
+        (Protocol2.run s ~wire:w ~parties:(providers 2) ~third_party:(Wire.Provider 0)
+           ~modulus:1000 ~input_bound:10 ~inputs:[| [| 1 |]; [| 2 |] |]))
+
+(* --- Protocol 3 ------------------------------------------------------------ *)
+
+let test_p3_exact_quotient () =
+  let s = st () in
+  for _ = 1 to 2000 do
+    let a1 = State.next_int s 1000 and a2 = 1 + State.next_int s 999 in
+    let w = Wire.create () in
+    let o =
+      Protocol3.run s ~wire:w ~p1:(Wire.Provider 0) ~p2:(Wire.Provider 1) ~host:Wire.Host ~a1
+        ~a2
+    in
+    let expected = float_of_int a1 /. float_of_int a2 in
+    if abs_float (o.Protocol3.quotient -. expected) > 1e-9 *. expected +. 1e-12 then
+      Alcotest.failf "quotient %f <> %f" o.Protocol3.quotient expected
+  done
+
+let test_p3_zero_denominator () =
+  let s = st () in
+  let w = Wire.create () in
+  let o =
+    Protocol3.run s ~wire:w ~p1:(Wire.Provider 0) ~p2:(Wire.Provider 1) ~host:Wire.Host ~a1:7
+      ~a2:0
+  in
+  Alcotest.(check (float 0.)) "q = 0 on zero denominator" 0. o.Protocol3.quotient
+
+let test_p3_host_view_masked () =
+  (* The host's view r*a must differ across runs on the same input. *)
+  let s = st () in
+  let view () =
+    let w = Wire.create () in
+    let o =
+      Protocol3.run s ~wire:w ~p1:(Wire.Provider 0) ~p2:(Wire.Provider 1) ~host:Wire.Host ~a1:5
+        ~a2:3
+    in
+    fst o.Protocol3.host_view
+  in
+  Alcotest.(check bool) "mask varies" true (view () <> view ())
+
+let test_p3_wire () =
+  let s = st () in
+  let w = Wire.create () in
+  let _ =
+    Protocol3.run s ~wire:w ~p1:(Wire.Provider 0) ~p2:(Wire.Provider 1) ~host:Wire.Host ~a1:1
+      ~a2:2
+  in
+  let stats = Wire.stats w in
+  Alcotest.(check int) "1 round" 1 stats.Wire.rounds;
+  Alcotest.(check int) "2 messages" 2 stats.Wire.messages;
+  Alcotest.(check int) "2 floats" (2 * Wire.float_bits) stats.Wire.bits
+
+let test_divide_shares () =
+  let s = st () in
+  for _ = 1 to 1000 do
+    let num = State.next_int s 1000 and den = 1 + State.next_int s 999 in
+    let s1n = State.next_int s 100000 in
+    let s2n = num - s1n in
+    let s1d = State.next_int s 100000 in
+    let s2d = den - s1d in
+    let mask = Spe_rng.Dist.mask_pair s in
+    let q = Protocol3.divide_shares ~mask ~num:(s1n, s2n) ~den:(s1d, s2d) in
+    let expected = float_of_int num /. float_of_int den in
+    if abs_float (q -. expected) > 1e-6 *. (expected +. 1.) then
+      Alcotest.failf "share division %f <> %f" q expected
+  done
+
+let test_divide_shares_zero_den () =
+  (* den = 0 must cancel exactly despite the mask. *)
+  let s = st () in
+  for _ = 1 to 200 do
+    let s1d = State.next_int s 100000 in
+    let mask = Spe_rng.Dist.mask_pair s in
+    let q = Protocol3.divide_shares ~mask ~num:(3, 4) ~den:(s1d, -s1d) in
+    Alcotest.(check (float 0.)) "zero denominator detected" 0. q
+  done
+
+(* --- message-passing runtime ---------------------------------------------------- *)
+
+module Runtime = Spe_mpc.Runtime
+module Protocol1_distributed = Spe_mpc.Protocol1_distributed
+module Protocol2_distributed = Spe_mpc.Protocol2_distributed
+
+let test_runtime_routing () =
+  let engine = Runtime.create () in
+  let received = ref [] in
+  Runtime.add_party engine (Wire.Provider 0) (fun ~round ~inbox:_ ->
+      if round = 1 then
+        [ { Runtime.src = Wire.Provider 0; dst = Wire.Provider 1;
+            payload = Runtime.Floats [| 1.5 |] } ]
+      else []);
+  Runtime.add_party engine (Wire.Provider 1) (fun ~round:_ ~inbox ->
+      List.iter
+        (fun m -> match m.Runtime.payload with
+           | Runtime.Floats f -> received := f.(0) :: !received
+           | _ -> ())
+        inbox;
+      []);
+  let w = Wire.create () in
+  let rounds = Runtime.run engine ~wire:w ~max_rounds:5 in
+  Alcotest.(check int) "one active round" 1 rounds;
+  Alcotest.(check (list (float 0.))) "payload delivered" [ 1.5 ] !received;
+  Alcotest.(check int) "64 bits charged" 64 (Wire.stats w).Wire.bits
+
+let test_runtime_nontermination_detected () =
+  let engine = Runtime.create () in
+  (* Two parties ping-ponging forever. *)
+  Runtime.add_party engine Wire.Host (fun ~round:_ ~inbox:_ ->
+      [ { Runtime.src = Wire.Host; dst = Wire.Provider 0; payload = Runtime.Bits [| true |] } ]);
+  Runtime.add_party engine (Wire.Provider 0) (fun ~round:_ ~inbox:_ ->
+      [ { Runtime.src = Wire.Provider 0; dst = Wire.Host; payload = Runtime.Bits [| true |] } ]);
+  let w = Wire.create () in
+  Alcotest.check_raises "runaway protocol" (Failure "Runtime.run: protocol did not terminate")
+    (fun () -> ignore (Runtime.run engine ~wire:w ~max_rounds:3))
+
+let test_runtime_rejects_unknown_destination () =
+  let engine = Runtime.create () in
+  Runtime.add_party engine Wire.Host (fun ~round:_ ~inbox:_ ->
+      [ { Runtime.src = Wire.Host; dst = Wire.Provider 9; payload = Runtime.Bits [| true |] } ]);
+  let w = Wire.create () in
+  Alcotest.check_raises "unknown party"
+    (Invalid_argument "Runtime.run: message to unknown party") (fun () ->
+      ignore (Runtime.run engine ~wire:w ~max_rounds:3))
+
+let test_p1_distributed_matches_central () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let m = 2 + State.next_int s 4 in
+    let len = 1 + State.next_int s 6 in
+    let inputs = Array.init m (fun _ -> Array.init len (fun _ -> State.next_int s 500)) in
+    let modulus = 1 lsl 16 in
+    let wd = Wire.create () in
+    let rd =
+      Protocol1_distributed.run s ~wire:wd ~parties:(providers m) ~modulus ~inputs
+    in
+    (* Same reconstruction... *)
+    for l = 0 to len - 1 do
+      let x = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+      if (rd.Protocol1.share1.(l) + rd.Protocol1.share2.(l)) mod modulus <> x mod modulus
+      then Alcotest.fail "distributed reconstruction broken"
+    done;
+    (* ...and the same wire shape as the central implementation, up to
+       byte rounding of each message. *)
+    let wc = Wire.create () in
+    let _ = Protocol1.run s ~wire:wc ~parties:(providers m) ~modulus ~inputs in
+    let sc = Wire.stats wc and sd = Wire.stats wd in
+    Alcotest.(check int) "same rounds" sc.Wire.rounds sd.Wire.rounds;
+    Alcotest.(check int) "same message count" sc.Wire.messages sd.Wire.messages;
+    if sd.Wire.bits < sc.Wire.bits || sd.Wire.bits > sc.Wire.bits + (8 * sc.Wire.messages)
+    then Alcotest.failf "bits diverge: central %d distributed %d" sc.Wire.bits sd.Wire.bits
+  done
+
+let test_p2_distributed_matches_central () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let m = 2 + State.next_int s 3 in
+    let len = 1 + State.next_int s 5 in
+    let bound = 1000 in
+    let inputs = Array.init m (fun _ -> Array.init len (fun _ -> State.next_int s (bound / m))) in
+    let modulus = 1 lsl 14 in
+    let wd = Wire.create () in
+    let rd =
+      Protocol2_distributed.run s ~wire:wd ~parties:(providers m) ~third_party:Wire.Host
+        ~modulus ~input_bound:bound ~inputs
+    in
+    for l = 0 to len - 1 do
+      let x = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+      if rd.Protocol2_distributed.share1.(l) + rd.Protocol2_distributed.share2.(l) <> x then
+        Alcotest.failf "distributed integer shares broken at %d" l
+    done;
+    let wc = Wire.create () in
+    let _ =
+      Protocol2.run s ~wire:wc ~parties:(providers m) ~third_party:Wire.Host ~modulus
+        ~input_bound:bound ~inputs
+    in
+    let sc = Wire.stats wc and sd = Wire.stats wd in
+    Alcotest.(check int) "same rounds" sc.Wire.rounds sd.Wire.rounds;
+    Alcotest.(check int) "same message count" sc.Wire.messages sd.Wire.messages
+  done
+
+let test_p3_distributed_matches_central () =
+  let s = st () in
+  for _ = 1 to 100 do
+    let a1 = State.next_int s 1000 and a2 = State.next_int s 1000 in
+    let wd = Wire.create () in
+    let q =
+      Spe_mpc.Protocol3_distributed.run s ~wire:wd ~p1:(Wire.Provider 0)
+        ~p2:(Wire.Provider 1) ~host:Wire.Host ~a1 ~a2
+    in
+    let expected = if a2 = 0 then 0. else float_of_int a1 /. float_of_int a2 in
+    if abs_float (q -. expected) > 1e-9 *. (expected +. 1.) then
+      Alcotest.failf "distributed quotient %f <> %f" q expected;
+    let sd = Wire.stats wd in
+    Alcotest.(check int) "one round" 1 sd.Wire.rounds;
+    Alcotest.(check int) "two messages" 2 sd.Wire.messages;
+    Alcotest.(check int) "two floats" (2 * Wire.float_bits) sd.Wire.bits
+  done
+
+let test_p2_distributed_rejects_inside_third () =
+  let s = st () in
+  let w = Wire.create () in
+  Alcotest.check_raises "third party inside"
+    (Invalid_argument "Protocol2_distributed.run: third party must be outside the sharing parties")
+    (fun () ->
+      ignore
+        (Protocol2_distributed.run s ~wire:w ~parties:(providers 3)
+           ~third_party:(Wire.Provider 2) ~modulus:1024 ~input_bound:10
+           ~inputs:[| [| 1 |]; [| 2 |]; [| 3 |] |]))
+
+(* --- codec -------------------------------------------------------------------- *)
+
+module Codec = Spe_mpc.Codec
+module Nat = Spe_bignum.Nat
+
+let test_codec_residues () =
+  let s = st () in
+  for _ = 1 to 100 do
+    let modulus = 2 + State.next_int s 1_000_000 in
+    let count = State.next_int s 20 in
+    let values = Array.init count (fun _ -> State.next_int s modulus) in
+    let decoded = Codec.decode_residues ~modulus ~count (Codec.encode_residues ~modulus values) in
+    Alcotest.(check (array int)) "round trip" values decoded
+  done
+
+let test_codec_sizes_match_wire_formula () =
+  (* The Table 1 size formulae use bits_for_int_mod; the byte encoding
+     must match after rounding to whole bytes. *)
+  List.iter
+    (fun modulus ->
+      let declared_bits = Wire.bits_for_int_mod modulus in
+      let encoded_bits = 8 * Bytes.length (Codec.encode_residues ~modulus [| 0 |]) in
+      if encoded_bits < declared_bits || encoded_bits >= declared_bits + 8 then
+        Alcotest.failf "modulus %d: declared %d encoded %d" modulus declared_bits encoded_bits)
+    [ 2; 3; 255; 256; 257; 65536; 1 lsl 30; 1 lsl 40 ]
+
+let test_codec_floats () =
+  let values = [| 0.; -1.5; Float.pi; 1e300; -0.; Float.min_float |] in
+  let decoded = Codec.decode_floats ~count:(Array.length values) (Codec.encode_floats values) in
+  Array.iteri
+    (fun i v ->
+      if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float decoded.(i))) then
+        Alcotest.fail "float bits changed")
+    values;
+  Alcotest.(check int) "8 bytes per float" 48 (Bytes.length (Codec.encode_floats values))
+
+let test_codec_nats () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let width_bits = 8 + State.next_int s 512 in
+    let values = Array.init 5 (fun _ -> Nat.random_bits s width_bits) in
+    let decoded =
+      Codec.decode_nats ~width_bits ~count:5 (Codec.encode_nats ~width_bits values)
+    in
+    Array.iteri
+      (fun i v ->
+        if not (Nat.equal v decoded.(i)) then Alcotest.fail "nat round trip failed")
+      values
+  done;
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Codec.encode_nats: value exceeds width") (fun () ->
+      ignore (Codec.encode_nats ~width_bits:4 [| Nat.of_int 16 |]))
+
+let test_codec_bitset () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let count = State.next_int s 40 in
+    let flags = Array.init count (fun _ -> State.next_bool s) in
+    let decoded = Codec.decode_bitset ~count (Codec.encode_bitset flags) in
+    Alcotest.(check bool) "round trip" true (flags = decoded)
+  done;
+  Alcotest.(check int) "one bit per flag, byte padded" 2
+    (Bytes.length (Codec.encode_bitset (Array.make 9 true)))
+
+(* --- QCheck ----------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"protocol1 modular reconstruction" ~count:300
+      (pair small_nat (list_of_size (Gen.int_range 2 6) (int_range 0 999)))
+      (fun (seed, xs) ->
+        List.length xs >= 2
+        ==>
+        let s = State.create ~seed () in
+        let inputs = Array.of_list (List.map (fun x -> [| x |]) xs) in
+        let r, _ = run_p1 ~modulus:4096 s inputs in
+        let x = List.fold_left ( + ) 0 xs in
+        (r.Protocol1.share1.(0) + r.Protocol1.share2.(0)) mod 4096 = x mod 4096);
+    Test.make ~name:"protocol2 integer reconstruction" ~count:300
+      (triple small_nat (int_range 0 400) (int_range 0 400))
+      (fun (seed, a, b) ->
+        let s = State.create ~seed () in
+        let r, _ = run_p2 s [| [| a |]; [| b |] |] in
+        r.Protocol2.share1.(0) + r.Protocol2.share2.(0) = a + b);
+    Test.make ~name:"protocol3 masked view hides magnitude ordering" ~count:100
+      (pair small_nat (pair (int_range 1 1000) (int_range 1 1000)))
+      (fun (seed, (a1, a2)) ->
+        let s = State.create ~seed () in
+        let w = Wire.create () in
+        let o =
+          Protocol3.run s ~wire:w ~p1:(Wire.Provider 0) ~p2:(Wire.Provider 1) ~host:Wire.Host
+            ~a1 ~a2
+        in
+        (* Both masked values share the mask, so their ratio is exact —
+           but each in isolation must be positive and finite. *)
+        let m1, m2 = o.Protocol3.host_view in
+        m1 >= 0. && m2 > 0. && Float.is_finite m1 && Float.is_finite m2);
+  ]
+
+let () =
+  Alcotest.run "spe_mpc"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "accounting" `Quick test_wire_accounting;
+          Alcotest.test_case "guards" `Quick test_wire_guards;
+          Alcotest.test_case "round guard released on raise" `Quick
+            test_wire_round_reopens_after_exception;
+          Alcotest.test_case "bits_for_int_mod" `Quick test_bits_for_int_mod;
+        ] );
+      ( "protocol1",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_p1_reconstruction;
+          Alcotest.test_case "message counts" `Quick test_p1_message_count;
+          Alcotest.test_case "share uniformity" `Quick test_p1_share_uniformity;
+          Alcotest.test_case "validation" `Quick test_p1_validation;
+        ] );
+      ( "protocol2",
+        [
+          Alcotest.test_case "integer reconstruction" `Quick test_p2_integer_reconstruction;
+          Alcotest.test_case "share1 in range" `Quick test_p2_share1_nonnegative;
+          Alcotest.test_case "round counts" `Quick test_p2_rounds;
+          Alcotest.test_case "leaks are sound" `Quick test_p2_leak_soundness;
+          Alcotest.test_case "leak rate ~ A/S" `Slow test_p2_leak_rate_shrinks_with_modulus;
+          Alcotest.test_case "permutation hides attribution" `Slow test_p2_permutation_hides_attribution;
+          Alcotest.test_case "aggregate bound" `Quick test_p2_aggregate_bound_enforced;
+          Alcotest.test_case "third party distinct" `Quick test_p2_third_party_distinct;
+        ] );
+      ( "protocol3",
+        [
+          Alcotest.test_case "exact quotient" `Quick test_p3_exact_quotient;
+          Alcotest.test_case "zero denominator" `Quick test_p3_zero_denominator;
+          Alcotest.test_case "mask varies" `Quick test_p3_host_view_masked;
+          Alcotest.test_case "wire costs" `Quick test_p3_wire;
+          Alcotest.test_case "share division" `Quick test_divide_shares;
+          Alcotest.test_case "share division zero" `Quick test_divide_shares_zero_den;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "routing" `Quick test_runtime_routing;
+          Alcotest.test_case "non-termination" `Quick test_runtime_nontermination_detected;
+          Alcotest.test_case "unknown destination" `Quick test_runtime_rejects_unknown_destination;
+          Alcotest.test_case "protocol 1 distributed" `Quick test_p1_distributed_matches_central;
+          Alcotest.test_case "protocol 2 distributed" `Quick test_p2_distributed_matches_central;
+          Alcotest.test_case "protocol 3 distributed" `Quick test_p3_distributed_matches_central;
+          Alcotest.test_case "third party placement" `Quick test_p2_distributed_rejects_inside_third;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "residues" `Quick test_codec_residues;
+          Alcotest.test_case "sizes match wire formula" `Quick test_codec_sizes_match_wire_formula;
+          Alcotest.test_case "floats" `Quick test_codec_floats;
+          Alcotest.test_case "nats" `Quick test_codec_nats;
+          Alcotest.test_case "bitset" `Quick test_codec_bitset;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]

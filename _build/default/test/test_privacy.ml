@@ -1,0 +1,428 @@
+(* Tests for the privacy analysis: the Theorem 4.4 posterior (checked
+   against numerical integration of the paper's per-mu decomposition
+   and against Monte-Carlo simulation), the Sec. 7.2 gain experiment,
+   and the Theorem 4.1 leak-rate model vs Protocol 2 runs. *)
+
+module Posterior = Spe_privacy.Posterior
+module Gain = Spe_privacy.Gain
+module Leakage = Spe_privacy.Leakage
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+let st () = State.create ~seed:97 ()
+
+let check_distribution name dist =
+  Array.iter (fun p -> if p < -.1e-12 then Alcotest.failf "%s: negative mass" name) dist;
+  let total = Array.fold_left ( +. ) 0. dist in
+  if abs_float (total -. 1.) > 1e-9 then Alcotest.failf "%s: sums to %f" name total
+
+(* --- priors ----------------------------------------------------------------- *)
+
+let test_priors_are_distributions () =
+  check_distribution "uniform" (Posterior.uniform_prior ~bound:10 :> float array);
+  check_distribution "unimodal" (Posterior.unimodal_prior ~bound:10 :> float array);
+  check_distribution "geometric" (Posterior.geometric_prior ~bound:10 ~p:0.4 :> float array)
+
+let test_unimodal_shape () =
+  let f = (Posterior.unimodal_prior ~bound:10 :> float array) in
+  (* Peak at A/2 = 5, per the paper: f(i) = (i+1)/36 up to 5. *)
+  Alcotest.(check (float 1e-9)) "f(0)" (1. /. 36.) f.(0);
+  Alcotest.(check (float 1e-9)) "f(5)" (6. /. 36.) f.(5);
+  Alcotest.(check (float 1e-9)) "f(10)" (1. /. 36.) f.(10);
+  Alcotest.(check (float 1e-9)) "symmetric" f.(3) f.(7)
+
+let test_prior_validation () =
+  Alcotest.check_raises "negative mass"
+    (Invalid_argument "Posterior.prior_of_array: negative mass") (fun () ->
+      ignore (Posterior.prior_of_array [| 1.5; -0.5 |]));
+  Alcotest.check_raises "bad sum" (Invalid_argument "Posterior.prior_of_array: masses must sum to 1")
+    (fun () -> ignore (Posterior.prior_of_array [| 0.3; 0.3 |]))
+
+(* --- posterior --------------------------------------------------------------- *)
+
+let test_posterior_is_distribution () =
+  let prior = Posterior.uniform_prior ~bound:10 in
+  List.iter
+    (fun y -> check_distribution (Printf.sprintf "posterior y=%f" y) (Posterior.posterior prior ~y))
+    [ 0.1; 0.5; 1.; 2.5; 7.; 10.; 15.; 100. ]
+
+let test_posterior_zero_observation () =
+  let prior = Posterior.uniform_prior ~bound:5 in
+  let post = Posterior.posterior prior ~y:0. in
+  Alcotest.(check (float 0.)) "x = 0 certain" 1. post.(0)
+
+let test_posterior_excludes_zero_on_positive_y () =
+  let prior = Posterior.uniform_prior ~bound:5 in
+  let post = Posterior.posterior prior ~y:2. in
+  Alcotest.(check (float 0.)) "x = 0 impossible" 0. post.(0)
+
+let test_theorem_4_3_support_preserved () =
+  (* Every x >= 1 with positive prior stays possible for any y > 0. *)
+  let prior = Posterior.unimodal_prior ~bound:10 in
+  List.iter
+    (fun y ->
+      let post = Posterior.posterior prior ~y in
+      for x = 1 to 10 do
+        if post.(x) <= 0. then Alcotest.failf "support lost at x=%d y=%f" x y
+      done)
+    [ 0.01; 1.; 9.99; 50. ]
+
+let test_large_y_posterior_constant () =
+  (* Paper: every y > A induces the same posterior. *)
+  let prior = Posterior.unimodal_prior ~bound:10 in
+  let p1 = Posterior.posterior prior ~y:11. in
+  let p2 = Posterior.posterior prior ~y:1000. in
+  Array.iteri
+    (fun x v -> if abs_float (v -. p2.(x)) > 1e-12 then Alcotest.failf "y>A posterior varies at %d" x)
+    p1;
+  (* and it is proportional to f(x) * x. *)
+  let f = (prior :> float array) in
+  let expected_raw = Array.mapi (fun x fx -> fx *. float_of_int x) f in
+  let total = Array.fold_left ( +. ) 0. expected_raw in
+  Array.iteri
+    (fun x v ->
+      if abs_float (v -. (expected_raw.(x) /. total)) > 1e-12 then
+        Alcotest.failf "y>A posterior shape wrong at %d" x)
+    p1
+
+(* Numerical integration of the paper's decomposition:
+   f(x|y) = int G_mu(x, y) Phi(mu | y) dmu, with
+   G_mu(x,y) = (f(x)/x) / sum_(k > y/mu) f(k)/k   on x > y/mu,
+   Phi(mu|y) ∝ mu^-2 * (1/mu) * sum_(k > y/mu) f(k)/k. *)
+let posterior_by_integration (prior : Posterior.prior) ~y =
+  let f = (prior :> float array) in
+  let a = Array.length f - 1 in
+  let s_tail t =
+    (* sum over integers k in (t, A] of f(k)/k *)
+    let acc = ref 0. in
+    for k = 1 to a do
+      if float_of_int k > t then acc := !acc +. (f.(k) /. float_of_int k)
+    done;
+    !acc
+  in
+  (* Integrate over mu in [1, cap] with a change of variable u = 1/mu
+     (uniform grid in u makes the improper integral finite). *)
+  let steps = 200_000 in
+  let out = Array.make (a + 1) 0. in
+  let du = 1. /. float_of_int steps in
+  for i = 0 to steps - 1 do
+    let u = (float_of_int i +. 0.5) *. du in
+    let mu = 1. /. u in
+    (* mu^-2 dmu = du; extra 1/mu for the likelihood. *)
+    let tail = s_tail (y /. mu) in
+    if tail > 0. then begin
+      let weight = u *. du (* Phi(mu) dmu * (1/mu) = u * du *) in
+      for x = 1 to a do
+        if float_of_int x *. mu > y then
+          out.(x) <- out.(x) +. (weight *. (f.(x) /. float_of_int x) /. tail *. tail)
+      done
+    end
+  done;
+  let total = Array.fold_left ( +. ) 0. out in
+  Array.map (fun v -> v /. total) out
+
+let test_posterior_matches_integration () =
+  List.iter
+    (fun (prior, y) ->
+      let closed = Posterior.posterior prior ~y in
+      let integrated = posterior_by_integration prior ~y in
+      Array.iteri
+        (fun x v ->
+          if abs_float (v -. integrated.(x)) > 1e-3 then
+            Alcotest.failf "closed %f <> integrated %f at x=%d y=%f" v integrated.(x) x y)
+        closed)
+    [
+      (Posterior.uniform_prior ~bound:10, 0.7);
+      (Posterior.uniform_prior ~bound:10, 4.2);
+      (Posterior.unimodal_prior ~bound:10, 2.8);
+      (Posterior.unimodal_prior ~bound:10, 12.);
+    ]
+
+let test_posterior_matches_monte_carlo () =
+  (* Simulate the generative process and compare conditional histograms
+     near a fixed observation window. *)
+  let s = st () in
+  let prior = Posterior.uniform_prior ~bound:10 in
+  let f = (prior :> float array) in
+  let y_lo = 3.0 and y_hi = 3.2 in
+  let hits = Array.make 11 0 in
+  let samples = 2_000_000 in
+  for _ = 1 to samples do
+    let x = Dist.categorical s f in
+    if x > 0 then begin
+      let r = Dist.mask_pair s in
+      let y = r *. float_of_int x in
+      if y >= y_lo && y < y_hi then hits.(x) <- hits.(x) + 1
+    end
+  done;
+  let total = Array.fold_left ( + ) 0 hits in
+  let post = Posterior.posterior prior ~y:3.1 in
+  for x = 1 to 10 do
+    let empirical = float_of_int hits.(x) /. float_of_int total in
+    if abs_float (empirical -. post.(x)) > 0.02 then
+      Alcotest.failf "x=%d: empirical %.4f vs closed %.4f" x empirical post.(x)
+  done
+
+let test_posterior_ratio () =
+  let prior = Posterior.uniform_prior ~bound:10 in
+  let r = Posterior.posterior_ratio prior ~y:5. ~x:7 in
+  let post = Posterior.posterior prior ~y:5. in
+  Alcotest.(check (float 1e-12)) "ratio consistent" (post.(7) /. (1. /. 11.)) r
+
+(* --- information metrics -------------------------------------------------------- *)
+
+let test_entropy_known () =
+  Alcotest.(check (float 1e-9)) "uniform over 4" 2. (Posterior.entropy [| 0.25; 0.25; 0.25; 0.25 |]);
+  Alcotest.(check (float 1e-9)) "point mass" 0. (Posterior.entropy [| 0.; 1.; 0. |]);
+  Alcotest.(check (float 1e-9)) "fair coin" 1. (Posterior.entropy [| 0.5; 0.5 |])
+
+let test_kl_known () =
+  Alcotest.(check (float 1e-9)) "identical distributions" 0.
+    (Posterior.kl_divergence ~from_:[| 0.5; 0.5 |] ~to_:[| 0.5; 0.5 |]);
+  Alcotest.(check bool) "positive when different" true
+    (Posterior.kl_divergence ~from_:[| 0.9; 0.1 |] ~to_:[| 0.5; 0.5 |] > 0.);
+  Alcotest.(check bool) "infinite on support loss" true
+    (Posterior.kl_divergence ~from_:[| 0.5; 0.5 |] ~to_:[| 1.; 0. |] = Float.infinity)
+
+let test_posterior_keeps_most_entropy () =
+  (* Theorem 4.3, quantified: the masked observation removes only a
+     modest share of the observer's uncertainty. *)
+  let s = st () in
+  let prior = Posterior.uniform_prior ~bound:10 in
+  let before = Posterior.entropy (prior :> float array) in
+  let after = Posterior.expected_posterior_entropy s prior ~samples:5000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "entropy %.3f -> %.3f keeps > 60%%" before after)
+    true
+    (after > 0.6 *. before);
+  Alcotest.(check bool) "and it cannot grow" true (after <= before +. 1e-9)
+
+let test_kl_prior_to_posterior_small () =
+  let prior = Posterior.uniform_prior ~bound:10 in
+  let post = Posterior.posterior prior ~y:30. in
+  (* y > A: the induced posterior is the fixed reweighting f(x)*x; its
+     divergence from the prior is well under one bit. *)
+  let kl = Posterior.kl_divergence ~from_:post ~to_:(prior :> float array) in
+  Alcotest.(check bool) (Printf.sprintf "KL %.3f < 1 bit" kl) true (kl < 1.)
+
+(* --- gain experiment ---------------------------------------------------------- *)
+
+let test_gain_experiment_shape () =
+  let s = st () in
+  let prior = Posterior.uniform_prior ~bound:10 in
+  let r = Gain.run s ~prior ~trials_per_x:200 in
+  Alcotest.(check int) "A * trials samples" 2000 (Array.length r.Gain.gains);
+  (* Figure 1's qualitative shape: small positive average gain. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "average gain %.4f is small and positive" r.Gain.average)
+    true
+    (r.Gain.average > 0. && r.Gain.average < 1.)
+
+let test_gain_experiment_unimodal () =
+  let s = st () in
+  let prior = Posterior.unimodal_prior ~bound:10 in
+  let r = Gain.run s ~prior ~trials_per_x:200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "unimodal average gain %.4f small" r.Gain.average)
+    true
+    (r.Gain.average > -0.5 && r.Gain.average < 1.)
+
+let test_histogram () =
+  let h = Gain.histogram_of ~buckets:4 [| 0.; 1.; 2.; 3.; 3.9 |] in
+  Alcotest.(check int) "bucket count" 4 (Array.length h.Gain.counts);
+  Alcotest.(check int) "total preserved" 5 (Array.fold_left ( + ) 0 h.Gain.counts);
+  Alcotest.check_raises "empty sample" (Invalid_argument "Gain.histogram_of: empty sample")
+    (fun () -> ignore (Gain.histogram_of [||]))
+
+(* --- leakage ------------------------------------------------------------------- *)
+
+let test_leakage_theoretical () =
+  let r = Leakage.theoretical ~modulus:1000 ~input_bound:100 ~x:30 in
+  Alcotest.(check (float 1e-12)) "p2 lower = x/S" 0.03 r.Leakage.p2_lower;
+  Alcotest.(check (float 1e-12)) "p2 upper = (A-x)/S" 0.07 r.Leakage.p2_upper;
+  Alcotest.(check (float 1e-12)) "p3 bound = A/(S-A)" (100. /. 900.) r.Leakage.p3_lower
+
+let test_leakage_monte_carlo_matches_theory () =
+  (* Small S so the rates are measurable. *)
+  let s = st () in
+  let modulus = 1 lsl 10 and input_bound = 100 and x = 60 in
+  let trials = 20_000 in
+  let o = Leakage.monte_carlo s ~modulus ~input_bound ~x ~trials in
+  let t = Leakage.theoretical ~modulus ~input_bound ~x in
+  let rate hits = float_of_int hits /. float_of_int trials in
+  (* The P2 rates are exact probabilities: check within 3 sigma. *)
+  let sigma p = 3. *. sqrt (p *. (1. -. p) /. float_of_int trials) +. 0.002 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p2 lower %.4f vs theory %.4f" (rate o.Leakage.p2_lower_hits) t.Leakage.p2_lower)
+    true
+    (abs_float (rate o.Leakage.p2_lower_hits -. t.Leakage.p2_lower) < sigma t.Leakage.p2_lower);
+  Alcotest.(check bool)
+    (Printf.sprintf "p2 upper %.4f vs theory %.4f" (rate o.Leakage.p2_upper_hits) t.Leakage.p2_upper)
+    true
+    (abs_float (rate o.Leakage.p2_upper_hits -. t.Leakage.p2_upper) < sigma t.Leakage.p2_upper);
+  (* The P3 rates are upper-bounded by theory. *)
+  Alcotest.(check bool) "p3 lower below bound" true
+    (rate o.Leakage.p3_lower_hits <= t.Leakage.p3_lower +. 0.01);
+  Alcotest.(check bool) "p3 upper below bound" true
+    (rate o.Leakage.p3_upper_hits <= t.Leakage.p3_upper +. 0.01)
+
+let test_required_modulus () =
+  let s = Leakage.required_modulus ~input_bound:100 ~counters:1000 ~epsilon:0.01 in
+  Alcotest.(check int) "S >= A(1 + 2c/eps)" (100 * (1 + 200_000)) s;
+  (* And it actually suppresses leaks: a quick empirical check. *)
+  let st = st () in
+  let o = Leakage.monte_carlo st ~modulus:s ~input_bound:100 ~x:50 ~trials:2000 in
+  let leaks =
+    o.Leakage.p2_lower_hits + o.Leakage.p2_upper_hits + o.Leakage.p3_lower_hits
+    + o.Leakage.p3_upper_hits
+  in
+  Alcotest.(check int) "no leaks at the prescribed modulus" 0 leaks
+
+(* --- perturbation baseline ------------------------------------------------------ *)
+
+module Perturbation = Spe_privacy.Perturbation
+module Log = Spe_actionlog.Log
+module Cascade = Spe_actionlog.Cascade
+module Generate = Spe_graph.Generate
+module Counters = Spe_influence.Counters
+module Link_strength = Spe_influence.Link_strength
+
+let perturbation_workload s =
+  let g = Generate.erdos_renyi_gnm s ~n:25 ~m:120 in
+  let planted = Cascade.uniform_probabilities ~p:0.4 g in
+  let log = Cascade.generate s planted { Cascade.num_actions = 60; seeds_per_action = 2; max_delay = 2 } in
+  (g, log)
+
+let test_laplace_noise_properties () =
+  let s = st () in
+  let n = 100_000 in
+  let samples = Array.init n (fun _ -> Perturbation.laplace_noise s ~scale:2.) in
+  let mean = Array.fold_left ( +. ) 0. samples /. float_of_int n in
+  Alcotest.(check bool) "centred" true (abs_float mean < 0.05);
+  (* Laplace(b) variance is 2 b^2 = 8. *)
+  let var = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. samples /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "variance %.2f near 8" var) true
+    (abs_float (var -. 8.) < 0.5)
+
+let test_perturbed_error_decreases_with_epsilon () =
+  let s = st () in
+  let g, log = perturbation_workload s in
+  let ct = Counters.compute_graph log ~h:2 g in
+  let exact = Link_strength.all_eq1 ct in
+  let mean_abs_err epsilon =
+    let total = ref 0. and trials = 20 in
+    for _ = 1 to trials do
+      let noisy = Perturbation.perturbed_strengths s ~epsilon ct in
+      Array.iteri (fun k p -> total := !total +. abs_float (p -. exact.(k))) noisy
+    done;
+    !total /. float_of_int (trials * Array.length exact)
+  in
+  let loose = mean_abs_err 0.1 and tight = mean_abs_err 10. in
+  Alcotest.(check bool)
+    (Printf.sprintf "error at eps=0.1 (%.3f) > error at eps=10 (%.3f)" loose tight)
+    true (loose > 2. *. tight);
+  (* And even at strong privacy the output stays in [0, 1]. *)
+  let noisy = Perturbation.perturbed_strengths s ~epsilon:0.05 ct in
+  Array.iter (fun p -> if p < 0. || p > 1. then Alcotest.fail "clamping failed") noisy
+
+let test_randomized_response_identity_at_one () =
+  let s = st () in
+  let _, log = perturbation_workload s in
+  Alcotest.(check bool) "p=1 keeps the log" true
+    (Log.equal log (Perturbation.randomized_response s ~p_truth:1. log))
+
+let test_randomized_response_degrades () =
+  let s = st () in
+  let g, log = perturbation_workload s in
+  let ct_exact = Counters.compute_graph log ~h:2 g in
+  let noisy_log = Perturbation.randomized_response s ~p_truth:0.3 log in
+  Alcotest.(check int) "universe preserved" (Log.num_users log) (Log.num_users noisy_log);
+  let ct_noisy = Counters.compute_graph noisy_log ~h:2 g in
+  (* The perturbed counters differ (overwhelmingly likely). *)
+  Alcotest.(check bool) "counters perturbed" true (ct_exact.Counters.b <> ct_noisy.Counters.b)
+
+let test_perturbation_validation () =
+  let s = st () in
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Perturbation.laplace_counters: epsilon must be positive") (fun () ->
+      let g, log = perturbation_workload s in
+      ignore (Perturbation.laplace_counters s ~epsilon:0. (Counters.compute_graph log ~h:2 g)));
+  Alcotest.check_raises "bad p_truth"
+    (Invalid_argument "Perturbation.randomized_response: p_truth out of [0,1]") (fun () ->
+      let _, log = perturbation_workload s in
+      ignore (Perturbation.randomized_response s ~p_truth:1.5 log))
+
+(* --- QCheck -------------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"posterior is a distribution for any prior and y" ~count:200
+      (pair (int_range 2 12) (float_range 0.01 50.))
+      (fun (a, y) ->
+        let prior = Posterior.uniform_prior ~bound:a in
+        let post = Posterior.posterior prior ~y in
+        abs_float (Array.fold_left ( +. ) 0. post -. 1.) < 1e-9);
+    Test.make ~name:"posterior mean within support" ~count:200
+      (pair (int_range 2 12) (float_range 0.01 50.))
+      (fun (a, y) ->
+        let prior = Posterior.uniform_prior ~bound:a in
+        let m = Posterior.mean (Posterior.posterior prior ~y) in
+        m >= 0. && m <= float_of_int a);
+    Test.make ~name:"theoretical leak rates sum to 1 for P2" ~count:200
+      (pair (int_range 101 10_000) (int_range 0 100))
+      (fun (modulus, x) ->
+        let r = Leakage.theoretical ~modulus ~input_bound:100 ~x in
+        let nothing = float_of_int (modulus - 100) /. float_of_int modulus in
+        abs_float (r.Leakage.p2_lower +. r.Leakage.p2_upper +. nothing -. 1.) < 1e-9);
+  ]
+
+let () =
+  Alcotest.run "spe_privacy"
+    [
+      ( "priors",
+        [
+          Alcotest.test_case "are distributions" `Quick test_priors_are_distributions;
+          Alcotest.test_case "unimodal shape" `Quick test_unimodal_shape;
+          Alcotest.test_case "validation" `Quick test_prior_validation;
+        ] );
+      ( "posterior",
+        [
+          Alcotest.test_case "is a distribution" `Quick test_posterior_is_distribution;
+          Alcotest.test_case "y = 0" `Quick test_posterior_zero_observation;
+          Alcotest.test_case "y > 0 excludes 0" `Quick test_posterior_excludes_zero_on_positive_y;
+          Alcotest.test_case "theorem 4.3 support" `Quick test_theorem_4_3_support_preserved;
+          Alcotest.test_case "y > A constant posterior" `Quick test_large_y_posterior_constant;
+          Alcotest.test_case "matches paper's integral form" `Slow test_posterior_matches_integration;
+          Alcotest.test_case "matches monte carlo" `Slow test_posterior_matches_monte_carlo;
+          Alcotest.test_case "ratio" `Quick test_posterior_ratio;
+        ] );
+      ( "information",
+        [
+          Alcotest.test_case "entropy" `Quick test_entropy_known;
+          Alcotest.test_case "kl divergence" `Quick test_kl_known;
+          Alcotest.test_case "posterior keeps entropy" `Quick test_posterior_keeps_most_entropy;
+          Alcotest.test_case "kl prior-posterior small" `Quick test_kl_prior_to_posterior_small;
+        ] );
+      ( "gain",
+        [
+          Alcotest.test_case "experiment shape (uniform)" `Quick test_gain_experiment_shape;
+          Alcotest.test_case "experiment shape (unimodal)" `Quick test_gain_experiment_unimodal;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "perturbation",
+        [
+          Alcotest.test_case "laplace noise shape" `Quick test_laplace_noise_properties;
+          Alcotest.test_case "error vs epsilon" `Quick test_perturbed_error_decreases_with_epsilon;
+          Alcotest.test_case "rr identity at p=1" `Quick test_randomized_response_identity_at_one;
+          Alcotest.test_case "rr degrades counters" `Quick test_randomized_response_degrades;
+          Alcotest.test_case "validation" `Quick test_perturbation_validation;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "theoretical rates" `Quick test_leakage_theoretical;
+          Alcotest.test_case "monte carlo vs theory" `Slow test_leakage_monte_carlo_matches_theory;
+          Alcotest.test_case "required modulus" `Quick test_required_modulus;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the stats helpers and graph metrics. *)
+
+module Descriptive = Spe_stats.Descriptive
+module Correlation = Spe_stats.Correlation
+module Digraph = Spe_graph.Digraph
+module Generate = Spe_graph.Generate
+module Metrics = Spe_graph.Metrics
+module State = Spe_rng.State
+
+let st () = State.create ~seed:151 ()
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- descriptive -------------------------------------------------------- *)
+
+let test_mean_variance () =
+  feq "mean" 2.5 (Descriptive.mean [| 1.; 2.; 3.; 4. |]);
+  feq "variance" 1.25 (Descriptive.variance [| 1.; 2.; 3.; 4. |]);
+  feq "stddev" (sqrt 1.25) (Descriptive.stddev [| 1.; 2.; 3.; 4. |]);
+  feq "constant variance" 0. (Descriptive.variance [| 7.; 7.; 7. |])
+
+let test_median_quantile () =
+  feq "odd median" 3. (Descriptive.median [| 5.; 3.; 1. |]);
+  feq "even median" 2.5 (Descriptive.median [| 1.; 2.; 3.; 4. |]);
+  feq "q0" 1. (Descriptive.quantile [| 1.; 2.; 3. |] ~q:0.);
+  feq "q1" 3. (Descriptive.quantile [| 1.; 2.; 3. |] ~q:1.);
+  feq "interpolated" 1.5 (Descriptive.quantile [| 1.; 2.; 3. |] ~q:0.25)
+
+let test_summary () =
+  let s = Descriptive.summarize [| 4.; 1.; 3.; 2. |] in
+  Alcotest.(check int) "count" 4 s.Descriptive.count;
+  feq "min" 1. s.Descriptive.min;
+  feq "max" 4. s.Descriptive.max;
+  feq "median" 2.5 s.Descriptive.median
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Spe_stats.mean: empty sample") (fun () ->
+      ignore (Descriptive.mean [||]))
+
+(* --- correlation ---------------------------------------------------------- *)
+
+let test_pearson_known () =
+  feq "perfect" 1. (Correlation.pearson [| 1.; 2.; 3. |] [| 10.; 20.; 30. |]);
+  feq "anti" (-1.) (Correlation.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  let r = Correlation.pearson [| 1.; 2.; 3.; 4. |] [| 1.; 3.; 2.; 4. |] in
+  Alcotest.(check bool) "partial" true (r > 0.7 && r < 1.)
+
+let test_spearman_monotone_invariance () =
+  (* Spearman is invariant under monotone transforms. *)
+  let a = [| 0.3; 1.2; 0.7; 2.5; 0.1 |] in
+  let b = Array.map (fun x -> exp x) a in
+  feq "monotone transform" 1. (Correlation.spearman a b)
+
+let test_ranks_ties () =
+  Alcotest.(check (array (float 1e-9))) "mid ranks"
+    [| 1.; 2.5; 2.5; 4. |]
+    (Correlation.ranks [| 0.; 1.; 1.; 2. |])
+
+let test_kendall_known () =
+  feq "perfect" 1. (Correlation.kendall [| 1.; 2.; 3. |] [| 5.; 6.; 7. |]);
+  feq "anti" (-1.) (Correlation.kendall [| 1.; 2.; 3. |] [| 7.; 6.; 5. |]);
+  (* one discordant pair among three: tau = (2 - 1) / 3 *)
+  feq "mixed" (1. /. 3.) (Correlation.kendall [| 1.; 2.; 3. |] [| 1.; 3.; 2. |])
+
+let test_correlation_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Spe_stats.pearson: length mismatch") (fun () ->
+      ignore (Correlation.pearson [| 1.; 2. |] [| 1. |]))
+
+(* --- graph metrics ----------------------------------------------------------- *)
+
+let test_degree_histogram () =
+  let g = Digraph.create ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2) ] in
+  Alcotest.(check (array int)) "out histogram" [| 2; 1; 0; 1 |] (Metrics.degree_histogram g `Out);
+  Alcotest.(check int) "max out degree" 3 (Metrics.max_degree g `Out);
+  Alcotest.(check (array int)) "in histogram" [| 1; 2; 1 |] (Metrics.degree_histogram g `In)
+
+let test_reciprocity () =
+  let g = Digraph.create ~n:3 [ (0, 1); (1, 0); (1, 2) ] in
+  feq "one of three arcs unreciprocated" (2. /. 3.) (Metrics.reciprocity g);
+  let s = st () in
+  let und = Generate.watts_strogatz s ~n:20 ~k:4 ~beta:0.1 in
+  feq "undirected build fully reciprocal" 1. (Metrics.reciprocity und)
+
+let test_clustering () =
+  (* Triangle: fully clustered. *)
+  let tri = Digraph.of_undirected ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  feq "triangle" 1. (Metrics.global_clustering tri);
+  (* Star: no triangles. *)
+  let star = Digraph.of_undirected ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  feq "star" 0. (Metrics.global_clustering star);
+  (* Watts-Strogatz at low beta is strongly clustered; ER at same
+     density is not. *)
+  let s = st () in
+  let ws = Generate.watts_strogatz s ~n:100 ~k:6 ~beta:0.05 in
+  let er = Generate.erdos_renyi_gnm s ~n:100 ~m:600 in
+  Alcotest.(check bool) "ws more clustered than er" true
+    (Metrics.global_clustering ws > 2. *. Metrics.global_clustering er)
+
+let test_pagerank_sums_to_one () =
+  let s = st () in
+  let g = Generate.barabasi_albert s ~n:50 ~m:3 in
+  let pr = Metrics.pagerank g in
+  feq "sums to 1" 1. (Array.fold_left ( +. ) 0. pr)
+
+let test_pagerank_chain () =
+  (* In a chain with damping, rank accumulates downstream. *)
+  let g = Digraph.create ~n:3 [ (0, 1); (1, 2) ] in
+  let pr = Metrics.pagerank g in
+  Alcotest.(check bool) "monotone along chain" true (pr.(0) < pr.(1) && pr.(1) < pr.(2))
+
+let test_pagerank_dangling () =
+  (* All-dangling graph degenerates to uniform. *)
+  let g = Digraph.create ~n:4 [] in
+  let pr = Metrics.pagerank g in
+  Array.iter (fun p -> feq "uniform" 0.25 p) pr
+
+let test_pagerank_hub () =
+  let s = st () in
+  let g = Generate.barabasi_albert s ~n:80 ~m:2 in
+  let pr = Metrics.pagerank g in
+  (* The seed-clique nodes are the oldest and attract the most rank:
+     the top PageRank node must be among the high-degree nodes. *)
+  let top_pr = List.hd (Metrics.top_k 1 pr) in
+  let deg = Array.init 80 (fun v -> float_of_int (Digraph.in_degree g v)) in
+  let top_deg = Metrics.top_k 5 deg in
+  Alcotest.(check bool) "top pagerank is a hub" true (List.mem top_pr top_deg)
+
+let test_top_k () =
+  Alcotest.(check (list int)) "descending" [ 2; 0; 1 ] (Metrics.top_k 3 [| 5.; 1.; 9. |]);
+  Alcotest.(check (list int)) "k > n truncates" [ 1; 0 ] (Metrics.top_k 5 [| 1.; 2. |]);
+  Alcotest.(check (list int)) "ties by index" [ 0; 1 ] (Metrics.top_k 2 [| 3.; 3.; 1. |])
+
+(* --- QCheck -------------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let nonempty_floats = list_of_size Gen.(int_range 2 30) (float_range (-100.) 100.) in
+  [
+    Test.make ~name:"quantiles are monotone" ~count:200 nonempty_floats
+      (fun xs ->
+        let a = Array.of_list xs in
+        Descriptive.quantile a ~q:0.25 <= Descriptive.quantile a ~q:0.75);
+    Test.make ~name:"pearson is symmetric" ~count:200 (pair nonempty_floats nonempty_floats)
+      (fun (xs, ys) ->
+        let n = min (List.length xs) (List.length ys) in
+        n >= 2
+        ==>
+        let a = Array.of_list (List.filteri (fun i _ -> i < n) xs) in
+        let b = Array.of_list (List.filteri (fun i _ -> i < n) ys) in
+        let r1 = Correlation.pearson a b and r2 = Correlation.pearson b a in
+        (Float.is_nan r1 && Float.is_nan r2) || abs_float (r1 -. r2) < 1e-9);
+    Test.make ~name:"spearman bounded" ~count:200 (pair nonempty_floats nonempty_floats)
+      (fun (xs, ys) ->
+        let n = min (List.length xs) (List.length ys) in
+        n >= 2
+        ==>
+        let a = Array.of_list (List.filteri (fun i _ -> i < n) xs) in
+        let b = Array.of_list (List.filteri (fun i _ -> i < n) ys) in
+        let r = Correlation.spearman a b in
+        Float.is_nan r || (r >= -1.0000001 && r <= 1.0000001));
+  ]
+
+let () =
+  Alcotest.run "spe_stats_metrics"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "median/quantile" `Quick test_median_quantile;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "pearson" `Quick test_pearson_known;
+          Alcotest.test_case "spearman invariance" `Quick test_spearman_monotone_invariance;
+          Alcotest.test_case "ranks with ties" `Quick test_ranks_ties;
+          Alcotest.test_case "kendall" `Quick test_kendall_known;
+          Alcotest.test_case "validation" `Quick test_correlation_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          Alcotest.test_case "reciprocity" `Quick test_reciprocity;
+          Alcotest.test_case "clustering" `Quick test_clustering;
+          Alcotest.test_case "pagerank sums" `Quick test_pagerank_sums_to_one;
+          Alcotest.test_case "pagerank chain" `Quick test_pagerank_chain;
+          Alcotest.test_case "pagerank dangling" `Quick test_pagerank_dangling;
+          Alcotest.test_case "pagerank hub" `Quick test_pagerank_hub;
+          Alcotest.test_case "top_k" `Quick test_top_k;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
+    ]
