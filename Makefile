@@ -1,0 +1,19 @@
+# Convenience aliases around dune; `make check` is the tier-1 gate.
+
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+check:
+	dune build @all
+	dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -444,6 +444,68 @@ let ablation_multi_host () =
         (float_of_int separate /. float_of_int shared))
     [ 2; 3; 5 ]
 
+let ablation_transport () =
+  section "Ablation - transport overhead: simulated wire vs in-memory channels vs unix sockets";
+  let module P1d = Spe_mpc.Protocol1_distributed in
+  let module Runtime = Spe_mpc.Runtime in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  let m = 4 and len = 256 in
+  let modulus = 1 lsl 40 in
+  let parties = Array.init m (fun k -> Wire.Provider k) in
+  let gen = State.create ~seed:61 () in
+  let inputs = Array.init m (fun _ -> Array.init len (fun _ -> State.next_int gen modulus)) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "%10s | %10s | %12s | %12s | %s\n" "engine" "time (ms)" "payload (B)"
+    "on-wire (B)" "overhead";
+  let sim_payload = ref 0 in
+  let () =
+    let (stats : Wire.stats), dt =
+      time (fun () ->
+          let s = State.create ~seed:62 () in
+          let session = P1d.make s ~parties ~modulus ~inputs in
+          let engine = Runtime.create () in
+          Array.iteri (fun k p -> Runtime.add_party engine p session.P1d.programs.(k))
+            session.P1d.parties;
+          let w = Wire.create () in
+          let _ = Runtime.run engine ~wire:w ~max_rounds:P1d.max_rounds in
+          Wire.stats w)
+    in
+    sim_payload := stats.Wire.bits / 8;
+    Printf.printf "%10s | %10.2f | %12d | %12s | %s\n" "sim" (1000. *. dt) !sim_payload "-" "-"
+  in
+  List.iter
+    (fun (label, engine) ->
+      let (res : Endpoint.result), dt =
+        time (fun () ->
+            let s = State.create ~seed:62 () in
+            let session = P1d.make s ~parties ~modulus ~inputs in
+            engine ~parties:session.P1d.parties ~programs:session.P1d.programs
+              ~max_rounds:P1d.max_rounds ())
+      in
+      let totals =
+        Net_wire.totals
+          (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+      in
+      assert (totals.Net_wire.payload_bytes = !sim_payload);
+      Printf.printf "%10s | %10.2f | %12d | %12d | %.3fx\n" label (1000. *. dt)
+        totals.Net_wire.payload_bytes res.Endpoint.transport_bytes
+        (float_of_int res.Endpoint.transport_bytes /. float_of_int totals.Net_wire.payload_bytes))
+    [
+      ("memory", fun ~parties ~programs ~max_rounds () ->
+          Endpoint.run_memory ~parties ~programs ~max_rounds ());
+      ("socket", fun ~parties ~programs ~max_rounds () ->
+          Endpoint.run_socket ~parties ~programs ~max_rounds ());
+    ];
+  Printf.printf
+    "\nThe payload bytes are engine-independent (the MS statistic); the real\n\
+     transports add the framing derived in DESIGN.md - length prefixes, data\n\
+     headers, round barriers and (for sockets) the connection handshakes.\n"
+
 let ablation_discretization () =
   section "Ablation - time discretization (Sec. 2: 'real data needs to be heavily discretized')";
   Printf.printf "%10s | %12s | %16s\n" "bin width" "b episodes" "mean estimate";
@@ -594,6 +656,7 @@ let () =
   ablation_montgomery ();
   ablation_alternatives ();
   ablation_multi_host ();
+  ablation_transport ();
   ablation_discretization ();
   ablation_estimator_variants ();
   ablation_perturbation ();

@@ -534,6 +534,147 @@ let verify_cmd =
           report the deviation.")
     term
 
+(* --- spe shares ----------------------------------------------------------------------- *)
+
+(* Run the distributed sharing protocols (1 and 2) over a chosen
+   engine: the in-process simulated wire, the in-memory transport or
+   real Unix-domain sockets.  The shares and the NR/NM/MS statistics
+   are engine-independent; the real transports additionally report the
+   measured framed bytes and the framing overhead (DESIGN.md,
+   "Framing overhead"). *)
+
+let shares_cmd =
+  let module P1d = Spe_mpc.Protocol1_distributed in
+  let module P2d = Spe_mpc.Protocol2_distributed in
+  let module Runtime = Spe_mpc.Runtime in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (enum [ ("1", `P1); ("2", `P2) ]) `P1
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:"Which sharing protocol: 1 (modular shares) or 2 (integer shares).")
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("memory", `Memory); ("socket", `Socket) ]) `Sim
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Engine hosting the party programs: the simulated wire (sim), in-memory \
+             channels (memory) or Unix-domain sockets (socket).")
+  in
+  let providers_arg =
+    Arg.(value & opt int 3 & info [ "providers" ] ~docv:"M" ~doc:"Number of sharing parties.")
+  in
+  let counters_arg =
+    Arg.(value & opt int 8 & info [ "counters" ] ~docv:"L" ~doc:"Counters shared per party.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "bound" ] ~docv:"A" ~doc:"Protocol 2 aggregate bound A (ignored by protocol 1).")
+  in
+  let run seed protocol transport m len modulus_bits bound =
+    if m < 2 then `Error (false, "need at least two providers")
+    else begin
+      let modulus = 1 lsl modulus_bits in
+      let parties = Array.init m (fun k -> Wire.Provider k) in
+      let gen = State.create ~seed:(seed lxor 0x5e) () in
+      let per_party_max = match protocol with `P1 -> modulus | `P2 -> bound / m in
+      let inputs =
+        Array.init m (fun _ -> Array.init len (fun _ -> State.next_int gen (max 1 per_party_max)))
+      in
+      let s = State.create ~seed () in
+      let parties', programs, extract =
+        match protocol with
+        | `P1 ->
+          let session = P1d.make s ~parties ~modulus ~inputs in
+          ( session.P1d.parties,
+            session.P1d.programs,
+            fun () ->
+              let r = session.P1d.result () in
+              (r.Spe_mpc.Protocol1.share1, r.Spe_mpc.Protocol1.share2) )
+        | `P2 ->
+          let session =
+            P2d.make s ~parties ~third_party:Wire.Host ~modulus ~input_bound:bound ~inputs
+          in
+          ( session.P2d.parties,
+            session.P2d.programs,
+            fun () ->
+              let r = session.P2d.result () in
+              (r.P2d.share1, r.P2d.share2) )
+      in
+      let max_rounds = match protocol with `P1 -> P1d.max_rounds | `P2 -> P2d.max_rounds in
+      let stats, transport_bytes =
+        match transport with
+        | `Sim ->
+          let engine = Runtime.create () in
+          Array.iteri (fun k p -> Runtime.add_party engine p programs.(k)) parties';
+          let w = Wire.create () in
+          let _rounds = Runtime.run engine ~wire:w ~max_rounds in
+          (Wire.stats w, None)
+        | `Memory | `Socket ->
+          let res =
+            match transport with
+            | `Memory -> Endpoint.run_memory ~parties:parties' ~programs ~max_rounds ()
+            | _ -> Endpoint.run_socket ~parties:parties' ~programs ~max_rounds ()
+          in
+          let logs =
+            Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
+          in
+          (Wire.stats (Net_wire.merge logs), Some (res.Endpoint.transport_bytes, Net_wire.totals logs))
+      in
+      let share1, share2 = extract () in
+      let preview = min len 8 in
+      Printf.printf "protocol %s over %s, %d providers, %d counters, S = 2^%d\n"
+        (match protocol with `P1 -> "1" | `P2 -> "2")
+        (match transport with `Sim -> "the simulated wire" | `Memory -> "in-memory channels"
+                            | `Socket -> "unix sockets")
+        m len modulus_bits;
+      Printf.printf "share1:";
+      for l = 0 to preview - 1 do Printf.printf " %d" share1.(l) done;
+      if preview < len then Printf.printf " ...";
+      Printf.printf "\nshare2:";
+      for l = 0 to preview - 1 do Printf.printf " %d" share2.(l) done;
+      if preview < len then Printf.printf " ...";
+      Printf.printf "\n";
+      let ok = ref true in
+      for l = 0 to len - 1 do
+        let x = Array.fold_left (fun acc v -> acc + v.(l)) 0 inputs in
+        let reconstructed =
+          match protocol with
+          | `P1 -> (share1.(l) + share2.(l)) mod modulus = x mod modulus
+          | `P2 -> share1.(l) + share2.(l) = x
+        in
+        if not reconstructed then ok := false
+      done;
+      Printf.printf "reconstruction check: %s\n" (if !ok then "OK" else "FAILED");
+      wire_summary stats;
+      (match transport_bytes with
+      | None -> ()
+      | Some (total, totals) ->
+        Printf.printf
+          "transport: %d framed bytes on the wire (%d payload, overhead factor %.3f)\n"
+          total totals.Net_wire.payload_bytes
+          (float_of_int total /. float_of_int (max 1 totals.Net_wire.payload_bytes)));
+      if !ok then `Ok () else `Error (false, "share reconstruction failed")
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ protocol_arg $ transport_arg $ providers_arg $ counters_arg
+       $ modulus_bits_arg $ bound_arg))
+  in
+  Cmd.v
+    (Cmd.info "shares"
+       ~doc:
+         "Run the distributed sharing protocols over a real transport (or the simulated \
+          wire) and compare the costs.")
+    term
+
 (* --- entry point ------------------------------------------------------------------ *)
 
 let () =
@@ -544,4 +685,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; privacy_cmd; costs_cmd;
-            leakage_cmd; em_cmd; metrics_cmd; verify_cmd ]))
+            leakage_cmd; em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))

@@ -1,75 +1,60 @@
 module State = Spe_rng.State
 
-let run st ~wire ~parties ~modulus ~inputs =
+type session = {
+  parties : Wire.party array;
+  programs : Runtime.program array;
+  result : unit -> Protocol1.result;
+}
+
+let max_rounds = 10
+
+let make st ~parties ~modulus ~inputs =
   let m = Array.length parties in
-  if m < 2 then invalid_arg "Protocol1_distributed.run: need at least two parties";
+  if m < 2 then invalid_arg "Protocol1_distributed.make: need at least two parties";
   if Array.length inputs <> m then
-    invalid_arg "Protocol1_distributed.run: one input vector per party";
+    invalid_arg "Protocol1_distributed.make: one input vector per party";
   let len = Array.length inputs.(0) in
   (* Outputs extracted from the party closures after the run. *)
   let result1 = ref [||] and result2 = ref [||] in
-  let engine = Runtime.create () in
-  Array.iteri
-    (fun k party ->
-      let rng = State.split st in
-      let input = inputs.(k) in
-      (* Party-local state. *)
-      let own_piece = ref [||] in
-      let aggregate = ref [||] in
-      let program ~round ~inbox =
-        match round with
-        | 1 ->
-          (* Split the private input into m uniform pieces summing to
-             it mod S; keep piece k, address piece j to party j. *)
-          let pieces = Array.init m (fun _ -> Array.make len 0) in
-          Array.iteri
-            (fun l x ->
-              let partial = ref 0 in
-              for j = 1 to m - 1 do
-                let r = State.next_int rng modulus in
-                pieces.(j).(l) <- r;
-                partial := (!partial + r) mod modulus
-              done;
-              pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
-            input;
-          own_piece := pieces.(k);
-          List.filter_map
-            (fun j ->
-              if j = k then None
-              else
-                Some
-                  {
-                    Runtime.src = party;
-                    dst = parties.(j);
-                    payload = Runtime.Ints { modulus; values = pieces.(j) };
-                  })
-            (List.init m (fun j -> j))
-        | 2 ->
-          (* Aggregate own piece plus everything received. *)
-          let s = Array.copy !own_piece in
-          List.iter
-            (fun msg ->
-              match msg.Runtime.payload with
-              | Runtime.Ints { values; _ } ->
-                Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
-              | _ -> invalid_arg "Protocol1_distributed: unexpected payload")
-            inbox;
-          aggregate := s;
-          if k = 0 then begin
-            result1 := s;
-            []
-          end
-          else if k = 1 then begin
-            result2 := s;
-            []
-          end
-          else
-            [ { Runtime.src = party; dst = parties.(1);
-                payload = Runtime.Ints { modulus; values = s } } ]
-        | 3 ->
-          (* Only party 2 has an inbox: fold the forwarded aggregates. *)
-          if k = 1 then begin
-            let s = !aggregate in
+  let programs =
+    Array.mapi
+      (fun k party ->
+        let rng = State.split st in
+        let input = inputs.(k) in
+        (* Party-local state. *)
+        let own_piece = ref [||] in
+        let aggregate = ref [||] in
+        let program ~round ~inbox =
+          match round with
+          | 1 ->
+            (* Split the private input into m uniform pieces summing to
+               it mod S; keep piece k, address piece j to party j. *)
+            let pieces = Array.init m (fun _ -> Array.make len 0) in
+            Array.iteri
+              (fun l x ->
+                let partial = ref 0 in
+                for j = 1 to m - 1 do
+                  let r = State.next_int rng modulus in
+                  pieces.(j).(l) <- r;
+                  partial := (!partial + r) mod modulus
+                done;
+                pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
+              input;
+            own_piece := pieces.(k);
+            List.filter_map
+              (fun j ->
+                if j = k then None
+                else
+                  Some
+                    {
+                      Runtime.src = party;
+                      dst = parties.(j);
+                      payload = Runtime.Ints { modulus; values = pieces.(j) };
+                    })
+              (List.init m (fun j -> j))
+          | 2 ->
+            (* Aggregate own piece plus everything received. *)
+            let s = Array.copy !own_piece in
             List.iter
               (fun msg ->
                 match msg.Runtime.payload with
@@ -77,12 +62,46 @@ let run st ~wire ~parties ~modulus ~inputs =
                   Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
                 | _ -> invalid_arg "Protocol1_distributed: unexpected payload")
               inbox;
-            result2 := s
-          end;
-          []
-        | _ -> []
-      in
-      Runtime.add_party engine party program)
+            aggregate := s;
+            if k = 0 then begin
+              result1 := s;
+              []
+            end
+            else if k = 1 then begin
+              result2 := s;
+              []
+            end
+            else
+              [ { Runtime.src = party; dst = parties.(1);
+                  payload = Runtime.Ints { modulus; values = s } } ]
+          | 3 ->
+            (* Only party 2 has an inbox: fold the forwarded aggregates. *)
+            if k = 1 then begin
+              let s = !aggregate in
+              List.iter
+                (fun msg ->
+                  match msg.Runtime.payload with
+                  | Runtime.Ints { values; _ } ->
+                    Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
+                  | _ -> invalid_arg "Protocol1_distributed: unexpected payload")
+                inbox;
+              result2 := s
+            end;
+            []
+          | _ -> []
+        in
+        program)
+      parties
+  in
+  {
     parties;
-  let _rounds = Runtime.run engine ~wire ~max_rounds:10 in
-  { Protocol1.share1 = !result1; share2 = !result2 }
+    programs;
+    result = (fun () -> { Protocol1.share1 = !result1; share2 = !result2 });
+  }
+
+let run st ~wire ~parties ~modulus ~inputs =
+  let session = make st ~parties ~modulus ~inputs in
+  let engine = Runtime.create () in
+  Array.iteri (fun k party -> Runtime.add_party engine party session.programs.(k)) parties;
+  let _rounds = Runtime.run engine ~wire ~max_rounds in
+  session.result ()

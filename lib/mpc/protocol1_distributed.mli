@@ -5,7 +5,34 @@
     cross-check that the central implementation's data flow is honest
     (no party touches a value it was never sent).  The tests assert
     both implementations reconstruct the same sums and charge the same
-    wire totals up to byte rounding. *)
+    wire totals up to byte rounding.
+
+    The party programs are exposed as a {!session} so that any engine
+    can host them: the in-process {!Runtime.run} (via {!run}) or the
+    [Spe_net] transport endpoints, which carry the same closures over
+    real byte streams. *)
+
+type session = {
+  parties : Wire.party array;  (** All participants, in engine order. *)
+  programs : Runtime.program array;  (** One per party, same order. *)
+  result : unit -> Protocol1.result;
+      (** Read the shares out of the party closures; call only after an
+          engine has driven the programs to quiescence. *)
+}
+
+val max_rounds : int
+(** A round budget that every instance terminates well within. *)
+
+val make :
+  Spe_rng.State.t ->
+  parties:Wire.party array ->
+  modulus:int ->
+  inputs:int array array ->
+  session
+(** Build the party programs without running them.  Each party draws
+    its share randomness from a generator split off the supplied one at
+    construction time, so two sessions built from equal-seeded
+    generators compute identical shares on any engine. *)
 
 val run :
   Spe_rng.State.t ->
@@ -14,5 +41,5 @@ val run :
   modulus:int ->
   inputs:int array array ->
   Protocol1.result
-(** Same contract as {!Protocol1.run}.  Each party draws its share
-    randomness from a generator split off the supplied one. *)
+(** Same contract as {!Protocol1.run}: {!make} driven by
+    {!Runtime.run}. *)

@@ -3,108 +3,117 @@ module Perm = Spe_rng.Perm
 
 type result = { share1 : int array; share2 : int array }
 
-let run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs =
+type session = {
+  parties : Wire.party array;
+  programs : Runtime.program array;
+  result : unit -> result;
+}
+
+let max_rounds = 12
+
+let make st ~parties ~third_party ~modulus ~input_bound ~inputs =
   let m = Array.length parties in
-  if m < 2 then invalid_arg "Protocol2_distributed.run: need at least two parties";
+  if m < 2 then invalid_arg "Protocol2_distributed.make: need at least two parties";
   if Array.exists (fun p -> p = third_party) parties then
-    invalid_arg "Protocol2_distributed.run: third party must be outside the sharing parties";
+    invalid_arg "Protocol2_distributed.make: third party must be outside the sharing parties";
   if input_bound < 0 || input_bound >= modulus then
-    invalid_arg "Protocol2_distributed.run: need 0 <= A < S";
+    invalid_arg "Protocol2_distributed.make: need 0 <= A < S";
   let len = if Array.length inputs = 0 then 0 else Array.length inputs.(0) in
   (* Joint secrets of players 1 and 2 (shared-seed coin flipping). *)
   let joint = State.split st in
   let masks = Array.init len (fun _ -> State.next_int joint (modulus - input_bound)) in
   let perm = Perm.random joint len in
   let result1 = ref [||] and result2 = ref [||] in
-  let engine = Runtime.create () in
   (* The y values travel as residues modulo 3S (s1 + s2 + r < 3S). *)
   let y_modulus = 3 * modulus in
-  Array.iteri
-    (fun k party ->
-      let rng = State.split st in
-      let input = inputs.(k) in
-      let own_piece = ref [||] in
-      let aggregate = ref [||] in
-      let fold_inbox inbox s =
-        List.iter
-          (fun msg ->
-            match msg.Runtime.payload with
-            | Runtime.Ints { values; _ } ->
-              Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
-            | _ -> invalid_arg "Protocol2_distributed: unexpected payload")
-          inbox
-      in
-      let send_masked_to_third s offset_masks =
-        let payload =
-          Array.init len (fun l -> s.(l) + offset_masks.(l))
+  let sharing_programs =
+    Array.mapi
+      (fun k party ->
+        let rng = State.split st in
+        let input = inputs.(k) in
+        let own_piece = ref [||] in
+        let aggregate = ref [||] in
+        let fold_inbox inbox s =
+          List.iter
+            (fun msg ->
+              match msg.Runtime.payload with
+              | Runtime.Ints { values; _ } ->
+                Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
+              | _ -> invalid_arg "Protocol2_distributed: unexpected payload")
+            inbox
         in
-        [ { Runtime.src = party; dst = third_party;
-            payload = Runtime.Ints { modulus = y_modulus; values = Perm.permute_array perm payload } } ]
-      in
-      let zero_masks = Array.make len 0 in
-      let program ~round ~inbox =
-        match round with
-        | 1 ->
-          let pieces = Array.init m (fun _ -> Array.make len 0) in
-          Array.iteri
-            (fun l x ->
-              let partial = ref 0 in
-              for j = 1 to m - 1 do
-                let r = State.next_int rng modulus in
-                pieces.(j).(l) <- r;
-                partial := (!partial + r) mod modulus
-              done;
-              pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
-            input;
-          own_piece := pieces.(k);
-          List.filter_map
-            (fun j ->
-              if j = k then None
-              else
-                Some
-                  { Runtime.src = party; dst = parties.(j);
-                    payload = Runtime.Ints { modulus; values = pieces.(j) } })
-            (List.init m (fun j -> j))
-        | 2 ->
-          let s = Array.copy !own_piece in
-          fold_inbox inbox s;
-          aggregate := s;
-          if k = 0 then begin
-            (* Player 1's aggregate is final: ship it to the third
-               party immediately (permuted). *)
-            result1 := s;
-            send_masked_to_third s zero_masks
-          end
-          else if k = 1 then
-            if m = 2 then begin
-              (* No collects to wait for: mask and ship now. *)
-              result2 := Array.copy s;
-              send_masked_to_third s masks
+        let send_masked_to_third s offset_masks =
+          let payload =
+            Array.init len (fun l -> s.(l) + offset_masks.(l))
+          in
+          [ { Runtime.src = party; dst = third_party;
+              payload = Runtime.Ints { modulus = y_modulus; values = Perm.permute_array perm payload } } ]
+        in
+        let zero_masks = Array.make len 0 in
+        let program ~round ~inbox =
+          match round with
+          | 1 ->
+            let pieces = Array.init m (fun _ -> Array.make len 0) in
+            Array.iteri
+              (fun l x ->
+                let partial = ref 0 in
+                for j = 1 to m - 1 do
+                  let r = State.next_int rng modulus in
+                  pieces.(j).(l) <- r;
+                  partial := (!partial + r) mod modulus
+                done;
+                pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
+              input;
+            own_piece := pieces.(k);
+            List.filter_map
+              (fun j ->
+                if j = k then None
+                else
+                  Some
+                    { Runtime.src = party; dst = parties.(j);
+                      payload = Runtime.Ints { modulus; values = pieces.(j) } })
+              (List.init m (fun j -> j))
+          | 2 ->
+            let s = Array.copy !own_piece in
+            fold_inbox inbox s;
+            aggregate := s;
+            if k = 0 then begin
+              (* Player 1's aggregate is final: ship it to the third
+                 party immediately (permuted). *)
+              result1 := s;
+              send_masked_to_third s zero_masks
             end
-            else []
-          else
-            [ { Runtime.src = party; dst = parties.(1);
-                payload = Runtime.Ints { modulus; values = s } } ]
-        | 3 when k = 1 && m > 2 ->
-          let s = !aggregate in
-          fold_inbox inbox s;
-          result2 := Array.copy s;
-          send_masked_to_third s masks
-        | r when r >= 3 && k = 1 -> (
-          (* The verdict round: adjust the final share. *)
-          match inbox with
-          | [ { Runtime.payload = Runtime.Bits verdicts; _ } ] ->
-            let s = !result2 in
-            for l = 0 to len - 1 do
-              if verdicts.(Perm.apply perm l) then s.(l) <- s.(l) - modulus
-            done;
-            []
-          | [] -> []
-          | _ -> invalid_arg "Protocol2_distributed: unexpected verdict inbox")
-        | _ -> []
-      in
-      Runtime.add_party engine party program)
-    parties;
+            else if k = 1 then
+              if m = 2 then begin
+                (* No collects to wait for: mask and ship now. *)
+                result2 := Array.copy s;
+                send_masked_to_third s masks
+              end
+              else []
+            else
+              [ { Runtime.src = party; dst = parties.(1);
+                  payload = Runtime.Ints { modulus; values = s } } ]
+          | 3 when k = 1 && m > 2 ->
+            let s = !aggregate in
+            fold_inbox inbox s;
+            result2 := Array.copy s;
+            send_masked_to_third s masks
+          | r when r >= 3 && k = 1 -> (
+            (* The verdict round: adjust the final share. *)
+            match inbox with
+            | [ { Runtime.payload = Runtime.Bits verdicts; _ } ] ->
+              let s = !result2 in
+              for l = 0 to len - 1 do
+                if verdicts.(Perm.apply perm l) then s.(l) <- s.(l) - modulus
+              done;
+              []
+            | [] -> []
+            | _ -> invalid_arg "Protocol2_distributed: unexpected verdict inbox")
+          | _ -> []
+        in
+        program)
+      parties
+  in
   (* The third party: buffers the two masked vectors, then announces
      the wrap verdicts. *)
   let buffer = ref [] in
@@ -118,6 +127,17 @@ let run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs =
       [ { Runtime.src = third_party; dst = parties.(1); payload = Runtime.Bits verdicts } ]
     | _ -> []
   in
-  Runtime.add_party engine third_party third_program;
-  let _rounds = Runtime.run engine ~wire ~max_rounds:12 in
-  { share1 = !result1; share2 = !result2 }
+  {
+    parties = Array.append parties [| third_party |];
+    programs = Array.append sharing_programs [| third_program |];
+    result = (fun () -> { share1 = !result1; share2 = !result2 });
+  }
+
+let run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs =
+  let session = make st ~parties ~third_party ~modulus ~input_bound ~inputs in
+  let engine = Runtime.create () in
+  Array.iteri
+    (fun k party -> Runtime.add_party engine party session.programs.(k))
+    session.parties;
+  let _rounds = Runtime.run engine ~wire ~max_rounds in
+  session.result ()

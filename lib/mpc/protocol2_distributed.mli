@@ -12,9 +12,35 @@
 
     The tests assert result equality (integer share reconstruction) and
     wire-total agreement with the central {!Protocol2.run} up to byte
-    rounding. *)
+    rounding.
+
+    As with {!Protocol1_distributed}, the party programs are exposed as
+    a {!session} so any engine — the in-process {!Runtime.run} or the
+    [Spe_net] transport endpoints — can host them. *)
 
 type result = { share1 : int array; share2 : int array }
+
+type session = {
+  parties : Wire.party array;
+      (** The sharing parties followed by the third party. *)
+  programs : Runtime.program array;  (** One per party, same order. *)
+  result : unit -> result;
+      (** Read the shares out of the party closures; call only after an
+          engine has driven the programs to quiescence. *)
+}
+
+val max_rounds : int
+(** A round budget that every instance terminates well within. *)
+
+val make :
+  Spe_rng.State.t ->
+  parties:Wire.party array ->
+  third_party:Wire.party ->
+  modulus:int ->
+  input_bound:int ->
+  inputs:int array array ->
+  session
+(** Build the party programs without running them. *)
 
 val run :
   Spe_rng.State.t ->
@@ -25,3 +51,4 @@ val run :
   input_bound:int ->
   inputs:int array array ->
   result
+(** {!make} driven by {!Runtime.run}. *)

@@ -1,0 +1,235 @@
+module Wire = Spe_mpc.Wire
+module Runtime = Spe_mpc.Runtime
+
+type config = { round_timeout : float; max_retries : int; linger : float }
+
+let default_config = { round_timeout = 2.0; max_retries = 3; linger = 5.0 }
+
+exception
+  Round_timeout of { party : Wire.party; round : int; missing : Wire.party list }
+
+type outcome = { rounds : int; sent : Net_wire.record list }
+
+type result = { outcomes : outcome array; transport_bytes : int }
+
+(* One endpoint: step the program, broadcast the round barrier, collect
+   the peers' barriers (Nacking silence), repeat until global
+   quiescence.  All state is thread-local; the transport is the only
+   shared object. *)
+let run_endpoint config (transport : Transport.t) parties program max_rounds k =
+  let m = Array.length parties in
+  let party = parties.(k) in
+  let index_of p =
+    let rec go i = if i >= m then None else if parties.(i) = p then Some i else go (i + 1) in
+    go 0
+  in
+  let eors = Hashtbl.create 16 (* (round, sender) -> (total, to_me) *) in
+  let data_count = Hashtbl.create 16 (* (round, sender) -> frames received *) in
+  let pending = Hashtbl.create 16 (* round -> (sender, seq, message) list, reversed *) in
+  let seen = Hashtbl.create 64 (* (sender, round, seq) — retransmission dedup *) in
+  let cache = Hashtbl.create 16 (* round -> (dst, body) list — for Nack replays *) in
+  let fins = Array.make m false in
+  fins.(k) <- true;
+  let records = ref [] in
+  let resend round dst =
+    List.iter
+      (fun (d, body) -> if d = dst then transport.Transport.send d body)
+      (List.rev (Option.value ~default:[] (Hashtbl.find_opt cache round)))
+  in
+  let handle body =
+    match Frame.decode body with
+    | Frame.Hello _ -> ()
+    | Frame.Data { round; seq; src; dst = _; payload } -> (
+      match index_of src with
+      | None -> () (* not a group member: ignore *)
+      | Some si ->
+        let key = (si, round, seq) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          Hashtbl.replace data_count (round, si)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt data_count (round, si)));
+          Hashtbl.replace pending round
+            ((si, seq, { Runtime.src; dst = party; payload })
+            :: Option.value ~default:[] (Hashtbl.find_opt pending round))
+        end)
+    | Frame.End_of_round { round; sender; total; to_dst } ->
+      Hashtbl.replace eors (round, sender) (total, to_dst)
+    | Frame.Nack { round; sender } -> resend round sender
+    | Frame.Fin { sender } -> if sender >= 0 && sender < m then fins.(sender) <- true
+  in
+  let send_frame ~round dst frame =
+    let body = Frame.encode frame in
+    Hashtbl.replace cache round
+      ((dst, body) :: Option.value ~default:[] (Hashtbl.find_opt cache round));
+    transport.Transport.send dst body
+  in
+  let rec loop r inbox =
+    if r > max_rounds then failwith "Endpoint.run: protocol did not terminate";
+    let sends = program ~round:r ~inbox in
+    List.iteri
+      (fun seq (msg : Runtime.message) ->
+        if msg.Runtime.src <> party then invalid_arg "Endpoint.run: forged source";
+        match index_of msg.Runtime.dst with
+        | None -> invalid_arg "Endpoint.run: message to unknown party"
+        | Some di ->
+          if di = k then invalid_arg "Endpoint.run: self-send";
+          let frame =
+            Frame.Data
+              { round = r; seq; src = msg.Runtime.src; dst = msg.Runtime.dst;
+                payload = msg.Runtime.payload }
+          in
+          send_frame ~round:r di frame;
+          records :=
+            {
+              Net_wire.round = r;
+              src = msg.Runtime.src;
+              dst = msg.Runtime.dst;
+              payload_bytes = Runtime.payload_bits msg.Runtime.payload / 8;
+              framed_bytes = Frame.framed_length frame;
+            }
+            :: !records)
+      sends;
+    let own_total = List.length sends in
+    for j = 0 to m - 1 do
+      if j <> k then begin
+        let to_dst =
+          List.length
+            (List.filter
+               (fun (msg : Runtime.message) -> index_of msg.Runtime.dst = Some j)
+               sends)
+        in
+        send_frame ~round:r j
+          (Frame.End_of_round { round = r; sender = k; total = own_total; to_dst })
+      end
+    done;
+    (* Collect the barrier: every peer's End_of_round plus the data
+       frames it promised us. *)
+    let complete j =
+      match Hashtbl.find_opt eors (r, j) with
+      | None -> false
+      | Some (_, to_me) ->
+        Option.value ~default:0 (Hashtbl.find_opt data_count (r, j)) >= to_me
+    in
+    let all_complete () =
+      let rec go j = j >= m || ((j = k || complete j) && go (j + 1)) in
+      go 0
+    in
+    let retries = ref 0 in
+    while not (all_complete ()) do
+      let deadline = Unix.gettimeofday () +. config.round_timeout in
+      let rec drain () =
+        if not (all_complete ()) then
+          match transport.Transport.recv ~deadline with
+          | Some body ->
+            handle body;
+            drain ()
+          | None -> ()
+      in
+      drain ();
+      if not (all_complete ()) then begin
+        if !retries >= config.max_retries then begin
+          let missing =
+            List.filter_map
+              (fun j -> if j <> k && not (complete j) then Some parties.(j) else None)
+              (List.init m Fun.id)
+          in
+          raise (Round_timeout { party; round = r; missing })
+        end;
+        incr retries;
+        for j = 0 to m - 1 do
+          if j <> k && not (complete j) then
+            transport.Transport.send j (Frame.encode (Frame.Nack { round = r; sender = k }))
+        done
+      end
+    done;
+    let grand_total =
+      List.fold_left
+        (fun acc j -> if j = k then acc else acc + fst (Hashtbl.find eors (r, j)))
+        own_total
+        (List.init m Fun.id)
+    in
+    if grand_total = 0 then begin
+      (* Global quiescence, visible to everyone at this same round.
+         Confirm, then stay to replay the final barrier for any peer
+         that lost frames, leaving early once all have confirmed. *)
+      for j = 0 to m - 1 do
+        if j <> k then transport.Transport.send j (Frame.encode (Frame.Fin { sender = k }))
+      done;
+      let deadline = Unix.gettimeofday () +. config.linger in
+      let rec lingering () =
+        if (not (Array.for_all Fun.id fins)) && Unix.gettimeofday () < deadline then
+          match transport.Transport.recv ~deadline with
+          | Some body ->
+            handle body;
+            lingering ()
+          | None -> ()
+      in
+      lingering ();
+      r - 1
+    end
+    else begin
+      let inbox' =
+        Option.value ~default:[] (Hashtbl.find_opt pending r)
+        |> List.sort (fun (s1, q1, _) (s2, q2, _) -> compare (s1, q1) (s2, q2))
+        |> List.map (fun (_, _, msg) -> msg)
+      in
+      loop (r + 1) inbox'
+    end
+  in
+  let rounds = loop 1 [] in
+  { rounds; sent = List.rev !records }
+
+let run_group ?(config = default_config) ~transports ~parties ~programs ~max_rounds () =
+  let m = Array.length parties in
+  if Array.length transports <> m || Array.length programs <> m then
+    invalid_arg "Endpoint.run_group: one transport and one program per party";
+  let outcomes = Array.make m None in
+  let errors = Array.make m None in
+  let close_all () =
+    Array.iter (fun (t : Transport.t) -> try t.Transport.close () with _ -> ()) transports
+  in
+  let threads =
+    Array.init m (fun k ->
+        Thread.create
+          (fun () ->
+            match run_endpoint config transports.(k) parties programs.(k) max_rounds k with
+            | outcome -> outcomes.(k) <- Some outcome
+            | exception e ->
+              errors.(k) <- Some e;
+              (* Tear the group down so the peers unwind promptly. *)
+              close_all ())
+          ())
+  in
+  Array.iter Thread.join threads;
+  let transport_bytes =
+    Array.fold_left (fun acc (t : Transport.t) -> acc + t.Transport.sent_bytes ()) 0 transports
+  in
+  close_all ();
+  (* Surface the root cause, not the Closed cascade it triggered. *)
+  let root, any =
+    Array.fold_left
+      (fun (root, any) e ->
+        match e with
+        | None -> (root, any)
+        | Some Transport.Closed -> (root, if any = None then e else any)
+        | Some _ -> ((if root = None then e else root), (if any = None then e else any)))
+      (None, None) errors
+  in
+  (match (root, any) with
+  | Some e, _ -> raise e
+  | None, Some e -> raise e
+  | None, None -> ());
+  { outcomes = Array.map Option.get outcomes; transport_bytes }
+
+let run_memory ?config ?fault ~parties ~programs ~max_rounds () =
+  let transports = Transport.Memory.create_group ?fault ~m:(Array.length parties) () in
+  run_group ?config ~transports ~parties ~programs ~max_rounds ()
+
+let run_socket ?config ?addresses ~parties ~programs ~max_rounds () =
+  let addresses =
+    match addresses with
+    | Some a -> a
+    | None -> Transport.Socket.temp_unix_addresses ~m:(Array.length parties)
+  in
+  let transports = Transport.Socket.create_group ~addresses in
+  run_group ?config ~transports ~parties ~programs ~max_rounds ()

@@ -1,0 +1,91 @@
+(** Hosting {!Spe_mpc.Runtime.program}s over a real transport.
+
+    {!Spe_mpc.Runtime.run} routes party closures through an in-process
+    hash table; this module gives each party its own thread and moves
+    the same programs over byte streams.  The round discipline is kept
+    by an [End_of_round] barrier: after stepping, a party tells every
+    peer how many data frames it sent that round (in total, and to that
+    peer specifically), and a party steps round [r + 1] only once it
+    holds the barrier frame and the promised data from all peers.
+    A round in which no party sent anything is globally visible through
+    the barrier counts, so every endpoint terminates on the same round
+    — exactly the engine's quiescence rule, and like the engine the
+    quiescent round is not charged.
+
+    Loss is handled by receiver-driven retransmission: a party whose
+    round fails to complete within [round_timeout] Nacks the incomplete
+    peers, who replay their cached frames for that round; after
+    [max_retries] fruitless timeouts the party raises {!Round_timeout}
+    instead of hanging, and the whole group is torn down. *)
+
+type config = {
+  round_timeout : float;
+      (** Seconds to wait for a round barrier before Nacking. *)
+  max_retries : int;  (** Nack rounds before giving up. *)
+  linger : float;
+      (** Seconds a quiescent endpoint stays around to serve
+          retransmissions of its final barrier (it leaves early once
+          every peer has confirmed termination). *)
+}
+
+val default_config : config
+(** 2 s round timeout, 3 retries, 5 s linger (the linger exceeds a
+    round timeout so a quiescent endpoint outlives a lossy peer's first
+    Nack). *)
+
+exception Round_timeout of {
+  party : Spe_mpc.Wire.party;
+  round : int;
+  missing : Spe_mpc.Wire.party list;  (** Peers that never completed the round. *)
+}
+
+type outcome = {
+  rounds : int;  (** Non-quiescent rounds executed — the NR statistic. *)
+  sent : Net_wire.record list;
+      (** This endpoint's first-transmission log, in send order. *)
+}
+
+type result = {
+  outcomes : outcome array;  (** One per endpoint, in party order. *)
+  transport_bytes : int;
+      (** Total framed bytes actually transmitted by the group —
+          payloads, framing, barriers, handshakes, retransmissions. *)
+}
+
+val run_group :
+  ?config:config ->
+  transports:Transport.t array ->
+  parties:Spe_mpc.Wire.party array ->
+  programs:Spe_mpc.Runtime.program array ->
+  max_rounds:int ->
+  unit ->
+  result
+(** Drive one program per party, each on its own thread over its
+    transport, until global quiescence.  Mirrors the engine's contract:
+    raises [Failure "Endpoint.run: protocol did not terminate"] past
+    [max_rounds], [Invalid_argument] on a forged source or a message to
+    an unknown party, {!Round_timeout} when a peer stays silent.  Any
+    failure closes the whole group, so the remaining threads unwind
+    promptly instead of waiting out their timeouts. *)
+
+val run_memory :
+  ?config:config ->
+  ?fault:Fault.t ->
+  parties:Spe_mpc.Wire.party array ->
+  programs:Spe_mpc.Runtime.program array ->
+  max_rounds:int ->
+  unit ->
+  result
+(** {!run_group} over a fresh {!Transport.Memory} group. *)
+
+val run_socket :
+  ?config:config ->
+  ?addresses:Transport.Socket.address array ->
+  parties:Spe_mpc.Wire.party array ->
+  programs:Spe_mpc.Runtime.program array ->
+  max_rounds:int ->
+  unit ->
+  result
+(** {!run_group} over a fresh {!Transport.Socket} group (fresh
+    Unix-domain sockets in a temporary directory unless [addresses]
+    says otherwise). *)

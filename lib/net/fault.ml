@@ -1,0 +1,37 @@
+module State = Spe_rng.State
+
+type action = Deliver | Drop | Delay of float
+
+type t = { lock : Mutex.t; decide : src:int -> dst:int -> action }
+
+let decide t ~src ~dst =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> t.decide ~src ~dst)
+
+let make decide = { lock = Mutex.create (); decide }
+
+let none = make (fun ~src:_ ~dst:_ -> Deliver)
+
+let counted f =
+  let next = ref 0 in
+  make (fun ~src:_ ~dst:_ ->
+      let i = !next in
+      incr next;
+      f i)
+
+let drop_nth indices = counted (fun i -> if List.mem i indices then Drop else Deliver)
+
+let delay_nth delays =
+  counted (fun i ->
+      match List.assoc_opt i delays with Some d -> Delay d | None -> Deliver)
+
+let blackhole ~src ~dst =
+  make (fun ~src:s ~dst:d -> if s = src && d = dst then Drop else Deliver)
+
+let seeded st ~drop ~delay ~max_delay =
+  make (fun ~src:_ ~dst:_ ->
+      if State.next_float st < drop then Drop
+      else if State.next_float st < delay then Delay (State.next_float st *. max_delay)
+      else Deliver)

@@ -1,0 +1,39 @@
+(** Fault injection for the in-memory transport.
+
+    A policy is consulted once per transmitted frame (retransmissions
+    included) and decides its fate.  Delaying a frame past later
+    traffic is how reordering is exercised; dropping one forces the
+    endpoint's Nack/retransmit path; dropping a whole link forces the
+    hard timeout.  Policies carry their own state behind a mutex, so a
+    single policy value can be shared by every sender in a group. *)
+
+type action =
+  | Deliver  (** Pass the frame through immediately. *)
+  | Drop  (** Lose the frame; the sender is not told. *)
+  | Delay of float  (** Deliver after this many seconds. *)
+
+type t
+
+val decide : t -> src:int -> dst:int -> action
+(** Transport hook: classify the next frame on the [src -> dst] link. *)
+
+val none : t
+(** Deliver everything. *)
+
+val drop_nth : int list -> t
+(** Drop the frames whose 0-based global transmission index is listed;
+    deliver everything else.  Deterministic by construction. *)
+
+val delay_nth : (int * float) list -> t
+(** Delay the listed global transmission indices by the paired number
+    of seconds (reordering them past later frames). *)
+
+val blackhole : src:int -> dst:int -> t
+(** Drop every frame on one directed link; deliver all others.  The
+    receiver's bounded retries must then surface a clean timeout. *)
+
+val seeded : Spe_rng.State.t -> drop:float -> delay:float -> max_delay:float -> t
+(** Independent per-frame coin flips: with probability [drop] the frame
+    is lost, else with probability [delay] it is held for a uniform
+    time in [(0, max_delay)].  Deterministic given the seed and the
+    transmission order. *)

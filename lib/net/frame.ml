@@ -1,0 +1,178 @@
+module Wire = Spe_mpc.Wire
+module Runtime = Spe_mpc.Runtime
+module Codec = Spe_mpc.Codec
+
+type t =
+  | Hello of { sender : int }
+  | Data of {
+      round : int;
+      seq : int;
+      src : Wire.party;
+      dst : Wire.party;
+      payload : Runtime.payload;
+    }
+  | End_of_round of { round : int; sender : int; total : int; to_dst : int }
+  | Nack of { round : int; sender : int }
+  | Fin of { sender : int }
+
+let length_prefix_bytes = 4
+
+(* Tags. *)
+let tag_hello = 0
+let tag_data = 1
+let tag_eor = 2
+let tag_nack = 3
+let tag_fin = 4
+
+(* Payload kinds inside a Data body. *)
+let kind_ints = 0
+let kind_floats = 1
+let kind_bits = 2
+
+(* Parties in two bytes: Host = 0, Provider k = k + 1. *)
+let party_code = function
+  | Wire.Host -> 0
+  | Wire.Provider k ->
+    if k < 0 || k > 0xFFFE then invalid_arg "Frame.encode: provider index out of range";
+    k + 1
+
+let party_of_code = function
+  | 0 -> Wire.Host
+  | c -> Wire.Provider (c - 1)
+
+(* Little append-only byte writer. *)
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Frame.encode: u16 out of range";
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Frame.encode: u32 out of range";
+  put_u8 buf (v lsr 24);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u63 buf v =
+  if v < 0 then invalid_arg "Frame.encode: u63 out of range";
+  put_u32 buf (v lsr 32);
+  put_u32 buf (v land 0xFFFF_FFFF)
+
+type reader = { body : bytes; mutable pos : int }
+
+let get_u8 r =
+  if r.pos >= Bytes.length r.body then invalid_arg "Frame.decode: truncated frame";
+  let v = Char.code (Bytes.get r.body r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let hi = get_u8 r in
+  (hi lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let hi = get_u16 r in
+  (hi lsl 16) lor get_u16 r
+
+let get_u63 r =
+  let hi = get_u32 r in
+  (hi lsl 32) lor get_u32 r
+
+let get_bytes r n =
+  if n < 0 || r.pos + n > Bytes.length r.body then
+    invalid_arg "Frame.decode: truncated frame";
+  let b = Bytes.sub r.body r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let put_payload buf = function
+  | Runtime.Ints { modulus; values } ->
+    put_u8 buf kind_ints;
+    put_u63 buf modulus;
+    put_u32 buf (Array.length values);
+    Buffer.add_bytes buf (Codec.encode_residues ~modulus values)
+  | Runtime.Floats values ->
+    put_u8 buf kind_floats;
+    put_u32 buf (Array.length values);
+    Buffer.add_bytes buf (Codec.encode_floats values)
+  | Runtime.Bits flags ->
+    put_u8 buf kind_bits;
+    put_u32 buf (Array.length flags);
+    Buffer.add_bytes buf (Codec.encode_bitset flags)
+
+let get_payload r =
+  match get_u8 r with
+  | k when k = kind_ints ->
+    let modulus = get_u63 r in
+    if modulus <= 1 then invalid_arg "Frame.decode: bad modulus";
+    let count = get_u32 r in
+    let body = get_bytes r (Codec.residue_bytes ~modulus * count) in
+    Runtime.Ints { modulus; values = Codec.decode_residues ~modulus ~count body }
+  | k when k = kind_floats ->
+    let count = get_u32 r in
+    Runtime.Floats (Codec.decode_floats ~count (get_bytes r (8 * count)))
+  | k when k = kind_bits ->
+    let count = get_u32 r in
+    Runtime.Bits (Codec.decode_bitset ~count (get_bytes r ((count + 7) / 8)))
+  | k -> invalid_arg (Printf.sprintf "Frame.decode: unknown payload kind %d" k)
+
+let encode t =
+  let buf = Buffer.create 32 in
+  (match t with
+  | Hello { sender } ->
+    put_u8 buf tag_hello;
+    put_u16 buf sender
+  | Data { round; seq; src; dst; payload } ->
+    put_u8 buf tag_data;
+    put_u32 buf round;
+    put_u32 buf seq;
+    put_u16 buf (party_code src);
+    put_u16 buf (party_code dst);
+    put_payload buf payload
+  | End_of_round { round; sender; total; to_dst } ->
+    put_u8 buf tag_eor;
+    put_u32 buf round;
+    put_u16 buf sender;
+    put_u32 buf total;
+    put_u32 buf to_dst
+  | Nack { round; sender } ->
+    put_u8 buf tag_nack;
+    put_u32 buf round;
+    put_u16 buf sender
+  | Fin { sender } ->
+    put_u8 buf tag_fin;
+    put_u16 buf sender);
+  Buffer.to_bytes buf
+
+let decode body =
+  let r = { body; pos = 0 } in
+  let t =
+    match get_u8 r with
+    | k when k = tag_hello -> Hello { sender = get_u16 r }
+    | k when k = tag_data ->
+      let round = get_u32 r in
+      let seq = get_u32 r in
+      let src = party_of_code (get_u16 r) in
+      let dst = party_of_code (get_u16 r) in
+      Data { round; seq; src; dst; payload = get_payload r }
+    | k when k = tag_eor ->
+      let round = get_u32 r in
+      let sender = get_u16 r in
+      let total = get_u32 r in
+      End_of_round { round; sender; total; to_dst = get_u32 r }
+    | k when k = tag_nack ->
+      let round = get_u32 r in
+      Nack { round; sender = get_u16 r }
+    | k when k = tag_fin -> Fin { sender = get_u16 r }
+    | k -> invalid_arg (Printf.sprintf "Frame.decode: unknown tag %d" k)
+  in
+  if r.pos <> Bytes.length body then invalid_arg "Frame.decode: trailing bytes";
+  t
+
+let framed_length t = length_prefix_bytes + Bytes.length (encode t)
+
+let payload_length = function
+  | Data { payload; _ } -> Runtime.payload_bits payload / 8
+  | Hello _ | End_of_round _ | Nack _ | Fin _ -> 0

@@ -1,0 +1,39 @@
+module Wire = Spe_mpc.Wire
+
+type record = {
+  round : int;
+  src : Wire.party;
+  dst : Wire.party;
+  payload_bytes : int;
+  framed_bytes : int;
+}
+
+type totals = { messages : int; payload_bytes : int; framed_bytes : int }
+
+let totals logs =
+  Array.fold_left
+    (List.fold_left (fun acc (r : record) ->
+         {
+           messages = acc.messages + 1;
+           payload_bytes = acc.payload_bytes + r.payload_bytes;
+           framed_bytes = acc.framed_bytes + r.framed_bytes;
+         }))
+    { messages = 0; payload_bytes = 0; framed_bytes = 0 }
+    logs
+
+let merge logs =
+  let wire = Wire.create () in
+  let last_round =
+    Array.fold_left
+      (List.fold_left (fun acc r -> max acc r.round))
+      0 logs
+  in
+  for round = 1 to last_round do
+    Wire.round wire (fun () ->
+        Array.iter
+          (List.iter (fun r ->
+               if r.round = round then
+                 Wire.send wire ~src:r.src ~dst:r.dst ~bits:(8 * r.payload_bytes)))
+          logs)
+  done;
+  wire

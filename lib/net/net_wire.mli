@@ -1,0 +1,35 @@
+(** Bridging real transport measurements back to {!Spe_mpc.Wire}.
+
+    Each {!Endpoint} logs a {!record} per protocol message it first
+    transmits (retransmissions are excluded — the simulated wire has no
+    packet loss to pay for).  Merging the per-endpoint logs rebuilds a
+    {!Spe_mpc.Wire.t} whose NR/NM/MS statistics are directly comparable
+    with a simulated run of the same protocol: the payload bytes are
+    produced by the same {!Spe_mpc.Codec} encodings the simulation
+    charges, so MS must agree {e exactly}, while [framed_bytes] carries
+    the transport's extra framing (see DESIGN.md, "Framing
+    overhead"). *)
+
+type record = {
+  round : int;
+  src : Spe_mpc.Wire.party;
+  dst : Spe_mpc.Wire.party;
+  payload_bytes : int;  (** Codec bytes — what the simulated wire charges. *)
+  framed_bytes : int;  (** Bytes the frame occupied on the real wire. *)
+}
+
+type totals = {
+  messages : int;
+  payload_bytes : int;
+  framed_bytes : int;  (** Data frames only; control frames are not included. *)
+}
+
+val totals : record list array -> totals
+(** Sum the per-endpoint logs. *)
+
+val merge : record list array -> Spe_mpc.Wire.t
+(** Replay the logs onto a fresh simulated wire, round by round, each
+    message charged its payload size in bits — the socket-run
+    counterpart of the wire a {!Spe_mpc.Runtime.run} fills in.  The
+    endpoint logs must come from one run (rounds are aligned by
+    number). *)

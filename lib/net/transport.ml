@@ -1,0 +1,249 @@
+exception Closed
+
+type t = {
+  self : int;
+  peers : int;
+  send : int -> bytes -> unit;
+  recv : deadline:float -> bytes option;
+  close : unit -> unit;
+  sent_bytes : unit -> int;
+}
+
+(* A mutex-guarded frame queue.  [pop] polls rather than waiting on a
+   condition variable: the stdlib [Condition] has no timed wait, and a
+   sub-millisecond poll is far below every protocol timeout. *)
+module Mailbox = struct
+  type m = {
+    lock : Mutex.t;
+    frames : bytes Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () = { lock = Mutex.create (); frames = Queue.create (); closed = false }
+
+  let with_lock mb f =
+    Mutex.lock mb.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mb.lock) f
+
+  let push mb body =
+    with_lock mb (fun () ->
+        if mb.closed then raise Closed;
+        Queue.push body mb.frames)
+
+  let poll_interval = 0.0005
+
+  let rec pop mb ~deadline =
+    let next =
+      with_lock mb (fun () ->
+          if mb.closed then raise Closed;
+          Queue.take_opt mb.frames)
+    in
+    match next with
+    | Some _ as r -> r
+    | None ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Thread.delay poll_interval;
+        pop mb ~deadline
+      end
+
+  let close mb = with_lock mb (fun () -> mb.closed <- true)
+end
+
+let check_dst ~peers dst =
+  if dst < 0 || dst >= peers then invalid_arg "Transport.send: unknown peer"
+
+module Memory = struct
+  let create_group ?(fault = Fault.none) ~m () =
+    let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
+    let counters = Array.init m (fun _ -> Atomic.make 0) in
+    let close_all () = Array.iter Mailbox.close mailboxes in
+    Array.init m (fun self ->
+        let send dst body =
+          check_dst ~peers:m dst;
+          Atomic.fetch_and_add counters.(self) (Frame.length_prefix_bytes + Bytes.length body)
+          |> ignore;
+          match Fault.decide fault ~src:self ~dst with
+          | Fault.Deliver -> Mailbox.push mailboxes.(dst) body
+          | Fault.Drop -> ()
+          | Fault.Delay d ->
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Thread.delay d;
+                   try Mailbox.push mailboxes.(dst) body with Closed -> ())
+                 ())
+        in
+        {
+          self;
+          peers = m;
+          send;
+          recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
+          close = close_all;
+          sent_bytes = (fun () -> Atomic.get counters.(self));
+        })
+end
+
+module Socket = struct
+  type address = Unix_domain of string | Tcp of string * int
+
+  let sockaddr_of = function
+    | Unix_domain path -> Unix.ADDR_UNIX path
+    | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+  let rec really_write fd buf off len =
+    if len > 0 then begin
+      let n = try Unix.write fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+      really_write fd buf (off + n) (len - n)
+    end
+
+  (* [None] on clean EOF before the first byte; raises on a torn read. *)
+  let really_read fd len =
+    let buf = Bytes.create len in
+    let rec go off =
+      if off >= len then Some buf
+      else
+        match Unix.read fd buf off (len - off) with
+        | 0 -> if off = 0 then None else failwith "Transport.Socket: truncated stream"
+        | n -> go (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let write_frame fd body =
+    let len = Bytes.length body in
+    let prefixed = Bytes.create (Frame.length_prefix_bytes + len) in
+    Bytes.set_int32_be prefixed 0 (Int32.of_int len);
+    Bytes.blit body 0 prefixed Frame.length_prefix_bytes len;
+    really_write fd prefixed 0 (Bytes.length prefixed)
+
+  let read_frame fd =
+    match really_read fd Frame.length_prefix_bytes with
+    | None -> None
+    | Some prefix -> really_read fd (Int32.to_int (Bytes.get_int32_be prefix 0))
+
+  let create_group ~addresses =
+    let m = Array.length addresses in
+    if m < 2 then invalid_arg "Transport.Socket.create_group: need at least two endpoints";
+    let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
+    let counters = Array.init m (fun _ -> Atomic.make 0) in
+    (* fds.(i).(j): the descriptor endpoint i uses to exchange frames
+       with endpoint j.  Each connection contributes one descriptor to
+       each of its two ends. *)
+    let fds = Array.make_matrix m m None in
+    let fds_lock = Mutex.create () in
+    let set_fd i j fd =
+      Mutex.lock fds_lock;
+      fds.(i).(j) <- Some fd;
+      Mutex.unlock fds_lock
+    in
+    let listeners =
+      Array.mapi
+        (fun i addr ->
+          let domain = match addr with Unix_domain _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+          let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+          (match addr with
+          | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+          | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
+          Unix.bind sock (sockaddr_of addr);
+          Unix.listen sock m;
+          (i, sock))
+        addresses
+    in
+    (* Endpoint i accepts one connection from every higher index; the
+       dialer introduces itself with a Hello frame. *)
+    let acceptors =
+      Array.map
+        (fun (i, listener) ->
+          Thread.create
+            (fun () ->
+              for _ = i + 1 to m - 1 do
+                let fd, _ = Unix.accept listener in
+                match read_frame fd with
+                | Some body -> (
+                  match Frame.decode body with
+                  | Frame.Hello { sender } -> set_fd i sender fd
+                  | _ -> failwith "Transport.Socket: expected Hello")
+                | None -> failwith "Transport.Socket: peer hung up during handshake"
+              done;
+              Unix.close listener)
+            ())
+        listeners
+    in
+    for j = 1 to m - 1 do
+      for i = 0 to j - 1 do
+        let fd = Unix.socket (match addresses.(i) with Unix_domain _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET) Unix.SOCK_STREAM 0 in
+        Unix.connect fd (sockaddr_of addresses.(i));
+        let hello = Frame.encode (Frame.Hello { sender = j }) in
+        write_frame fd hello;
+        Atomic.fetch_and_add counters.(j) (Frame.length_prefix_bytes + Bytes.length hello)
+        |> ignore;
+        set_fd j i fd
+      done
+    done;
+    Array.iter Thread.join acceptors;
+    let closed = Atomic.make false in
+    let close_all () =
+      if not (Atomic.exchange closed true) then begin
+        Array.iter Mailbox.close mailboxes;
+        Array.iter
+          (fun row ->
+            Array.iter (function Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ())
+              row)
+          fds;
+        Array.iter
+          (function
+            | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+            | Tcp _ -> ())
+          addresses
+      end
+    in
+    (* One reader thread per descriptor feeds the owning endpoint's
+       mailbox; it stops quietly on EOF or once the group is closed. *)
+    Array.iteri
+      (fun i row ->
+        Array.iter
+          (function
+            | None -> ()
+            | Some fd ->
+              ignore
+                (Thread.create
+                   (fun () ->
+                     try
+                       let rec loop () =
+                         match read_frame fd with
+                         | Some body ->
+                           Mailbox.push mailboxes.(i) body;
+                           loop ()
+                         | None -> ()
+                       in
+                       loop ()
+                     with Closed | Failure _ | Unix.Unix_error _ -> ())
+                   ()))
+          row)
+      fds;
+    Array.init m (fun self ->
+        let send dst body =
+          check_dst ~peers:m dst;
+          if Atomic.get closed then raise Closed;
+          match fds.(self).(dst) with
+          | None -> invalid_arg "Transport.send: unknown peer"
+          | Some fd ->
+            Atomic.fetch_and_add counters.(self) (Frame.length_prefix_bytes + Bytes.length body)
+            |> ignore;
+            (try write_frame fd body
+             with Unix.Unix_error _ -> raise Closed)
+        in
+        {
+          self;
+          peers = m;
+          send;
+          recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
+          close = close_all;
+          sent_bytes = (fun () -> Atomic.get counters.(self));
+        })
+
+  let temp_unix_addresses ~m =
+    let dir = Filename.temp_dir "spe-net" "" in
+    Array.init m (fun i -> Unix_domain (Filename.concat dir (Printf.sprintf "p%d.sock" i)))
+end

@@ -1,0 +1,63 @@
+(** The transport interface: what an {!Endpoint} needs from the world.
+
+    A transport value is one endpoint's view of a fully-connected group
+    of [peers] endpoints indexed [0 .. peers - 1]: it can push a frame
+    body to any peer and pull the next inbound frame body, with a
+    deadline.  Two backends implement it — {!Memory} (deterministic
+    in-process channels with optional fault injection) and {!Socket}
+    (real Unix-domain or TCP stream sockets, one length-prefixed frame
+    stream per connection).
+
+    Both backends account [sent_bytes] identically — every frame costs
+    [Frame.length_prefix_bytes + body length], which on the socket
+    backend is literally the bytes written — so byte measurements are
+    comparable across backends. *)
+
+exception Closed
+(** Raised by {!send} and {!recv} once the transport is closed — the
+    group is tearing down (a peer failed or the run ended). *)
+
+type t = {
+  self : int;  (** This endpoint's index in the group. *)
+  peers : int;  (** Group size [m]; valid destinations are [0 .. m-1]. *)
+  send : int -> bytes -> unit;
+      (** [send dst body] transmits a frame body to peer [dst].
+          Raises [Closed] after {!close}; raises [Invalid_argument] on
+          a bad destination. *)
+  recv : deadline:float -> bytes option;
+      (** Next inbound frame body, from any peer; [None] once
+          [Unix.gettimeofday () >= deadline] with nothing pending.
+          Raises [Closed] after {!close}. *)
+  close : unit -> unit;  (** Idempotent. *)
+  sent_bytes : unit -> int;
+      (** Framed bytes this endpoint has transmitted so far, length
+          prefixes included (retransmissions count; faults do not
+          refund). *)
+}
+
+module Memory : sig
+  val create_group : ?fault:Fault.t -> m:int -> unit -> t array
+  (** A fully-connected group of [m] in-memory endpoints.  Frames pass
+      through [fault] (default {!Fault.none}); delayed frames are
+      delivered by a helper thread after their hold time.  Closing any
+      member closes the whole group. *)
+end
+
+module Socket : sig
+  type address =
+    | Unix_domain of string  (** Socket file path (created, not unlinked). *)
+    | Tcp of string * int  (** Host, port — loopback in tests. *)
+
+  val create_group : addresses:address array -> t array
+  (** A fully-connected group over real stream sockets: endpoint [i]
+      listens on [addresses.(i)], every pair is connected once (the
+      higher index dials the lower and introduces itself with a
+      {!Frame.Hello}), and a reader thread per connection feeds the
+      receiver queue.  The endpoints live in one process but share no
+      state other than the sockets — each is driven by its own thread
+      and sees only bytes.  Closing any member closes the group. *)
+
+  val temp_unix_addresses : m:int -> address array
+  (** Fresh Unix-domain socket paths in a private temporary directory,
+      for tests and the CLI. *)
+end

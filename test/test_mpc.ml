@@ -368,6 +368,20 @@ let test_runtime_rejects_unknown_destination () =
     (Invalid_argument "Runtime.run: message to unknown party") (fun () ->
       ignore (Runtime.run engine ~wire:w ~max_rounds:3))
 
+let test_runtime_quiescent_round_not_charged () =
+  (* A silent group terminates immediately: the quiescence-detection
+     round is free, so NR = 0 and the wire is untouched. *)
+  let engine = Runtime.create () in
+  Runtime.add_party engine Wire.Host (fun ~round:_ ~inbox:_ -> []);
+  Runtime.add_party engine (Wire.Provider 0) (fun ~round:_ ~inbox:_ -> []);
+  let w = Wire.create () in
+  let rounds = Runtime.run engine ~wire:w ~max_rounds:5 in
+  Alcotest.(check int) "zero active rounds" 0 rounds;
+  let s = Wire.stats w in
+  Alcotest.(check int) "no rounds charged" 0 s.Wire.rounds;
+  Alcotest.(check int) "no messages charged" 0 s.Wire.messages;
+  Alcotest.(check int) "no bits charged" 0 s.Wire.bits
+
 let test_p1_distributed_matches_central () =
   let s = st () in
   for _ = 1 to 50 do
@@ -446,7 +460,7 @@ let test_p2_distributed_rejects_inside_third () =
   let s = st () in
   let w = Wire.create () in
   Alcotest.check_raises "third party inside"
-    (Invalid_argument "Protocol2_distributed.run: third party must be outside the sharing parties")
+    (Invalid_argument "Protocol2_distributed.make: third party must be outside the sharing parties")
     (fun () ->
       ignore
         (Protocol2_distributed.run s ~wire:w ~parties:(providers 3)
@@ -522,6 +536,37 @@ let test_codec_bitset () =
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"codec residue round trip" ~count:500
+      (triple small_nat (int_range 2 (1 lsl 40)) (int_range 0 30))
+      (fun (seed, modulus, count) ->
+        let s = State.create ~seed () in
+        let values = Array.init count (fun _ -> State.next_int s modulus) in
+        Codec.decode_residues ~modulus ~count (Codec.encode_residues ~modulus values)
+        = values);
+    Test.make ~name:"codec float round trip is bit exact" ~count:500
+      (list_of_size (Gen.int_range 0 30) float)
+      (fun xs ->
+        let values = Array.of_list xs in
+        let decoded =
+          Codec.decode_floats ~count:(Array.length values) (Codec.encode_floats values)
+        in
+        Array.for_all2
+          (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+          values decoded);
+    Test.make ~name:"codec nat round trip" ~count:200
+      (triple small_nat (int_range 1 400) (int_range 0 8))
+      (fun (seed, width_bits, count) ->
+        let s = State.create ~seed () in
+        let values = Array.init count (fun _ -> Nat.random_bits s width_bits) in
+        let decoded =
+          Codec.decode_nats ~width_bits ~count (Codec.encode_nats ~width_bits values)
+        in
+        Array.for_all2 Nat.equal values decoded);
+    Test.make ~name:"codec bitset round trip" ~count:500
+      (list_of_size (Gen.int_range 0 100) bool)
+      (fun flags ->
+        let flags = Array.of_list flags in
+        Codec.decode_bitset ~count:(Array.length flags) (Codec.encode_bitset flags) = flags);
     Test.make ~name:"protocol1 modular reconstruction" ~count:300
       (pair small_nat (list_of_size (Gen.int_range 2 6) (int_range 0 999)))
       (fun (seed, xs) ->
@@ -596,6 +641,8 @@ let () =
           Alcotest.test_case "routing" `Quick test_runtime_routing;
           Alcotest.test_case "non-termination" `Quick test_runtime_nontermination_detected;
           Alcotest.test_case "unknown destination" `Quick test_runtime_rejects_unknown_destination;
+          Alcotest.test_case "quiescent round not charged" `Quick
+            test_runtime_quiescent_round_not_charged;
           Alcotest.test_case "protocol 1 distributed" `Quick test_p1_distributed_matches_central;
           Alcotest.test_case "protocol 2 distributed" `Quick test_p2_distributed_matches_central;
           Alcotest.test_case "protocol 3 distributed" `Quick test_p3_distributed_matches_central;

@@ -1,0 +1,482 @@
+(* Tests for the transport subsystem: frame encode/decode, the memory
+   and socket transports, the Endpoint round loop (including the
+   Runtime.run edge-case contract), equality of protocol results and
+   wire statistics across engines, the byte-exact framing-overhead
+   accounting, and the fault-injection / timeout paths. *)
+
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Runtime = Spe_mpc.Runtime
+module Protocol1 = Spe_mpc.Protocol1
+module P1d = Spe_mpc.Protocol1_distributed
+module P2d = Spe_mpc.Protocol2_distributed
+module Frame = Spe_net.Frame
+module Fault = Spe_net.Fault
+module Transport = Spe_net.Transport
+module Endpoint = Spe_net.Endpoint
+module Net_wire = Spe_net.Net_wire
+
+let providers m = Array.init m (fun k -> Wire.Provider k)
+
+(* Fast timeouts so the fault tests finish in well under a second. *)
+let fast = { Endpoint.round_timeout = 0.08; max_retries = 3; linger = 0.5 }
+
+(* --- frames ----------------------------------------------------------------- *)
+
+let roundtrip frame =
+  let decoded = Frame.decode (Frame.encode frame) in
+  if decoded <> frame then Alcotest.fail "frame round trip failed"
+
+let test_frame_roundtrips () =
+  roundtrip (Frame.Hello { sender = 3 });
+  roundtrip
+    (Frame.Data
+       { round = 7; seq = 2; src = Wire.Host; dst = Wire.Provider 4;
+         payload = Runtime.Ints { modulus = 1 lsl 40; values = [| 0; 5; (1 lsl 40) - 1 |] } });
+  roundtrip
+    (Frame.Data
+       { round = 1; seq = 0; src = Wire.Provider 0; dst = Wire.Provider 1;
+         payload = Runtime.Floats [| 0.; -1.5; Float.pi |] });
+  roundtrip
+    (Frame.Data
+       { round = 2; seq = 9; src = Wire.Provider 1; dst = Wire.Host;
+         payload = Runtime.Bits [| true; false; true; true; false; true; false; true; true |] });
+  roundtrip (Frame.End_of_round { round = 4; sender = 1; total = 6; to_dst = 2 });
+  roundtrip (Frame.Nack { round = 4; sender = 0 });
+  roundtrip (Frame.Fin { sender = 2 })
+
+let test_frame_rejects_garbage () =
+  Alcotest.check_raises "unknown tag" (Invalid_argument "Frame.decode: unknown tag 200")
+    (fun () -> ignore (Frame.decode (Bytes.make 1 '\200')));
+  Alcotest.check_raises "truncated" (Invalid_argument "Frame.decode: truncated frame")
+    (fun () -> ignore (Frame.decode (Bytes.sub (Frame.encode (Frame.Nack { round = 1; sender = 0 })) 0 3)));
+  let full = Frame.encode (Frame.Fin { sender = 1 }) in
+  let padded = Bytes.extend full 0 2 in
+  Alcotest.check_raises "trailing bytes" (Invalid_argument "Frame.decode: trailing bytes")
+    (fun () -> ignore (Frame.decode padded))
+
+let test_frame_payload_length_matches_runtime () =
+  let payloads =
+    [ Runtime.Ints { modulus = 1 lsl 20; values = [| 1; 2; 3 |] };
+      Runtime.Floats [| 1.; 2. |]; Runtime.Bits (Array.make 11 true) ]
+  in
+  List.iter
+    (fun payload ->
+      let frame =
+        Frame.Data { round = 1; seq = 0; src = Wire.Host; dst = Wire.Provider 0; payload }
+      in
+      Alcotest.(check int) "payload bytes as charged on the simulated wire"
+        (Runtime.payload_bits payload / 8)
+        (Frame.payload_length frame);
+      Alcotest.(check bool) "framing overhead is positive" true
+        (Frame.framed_length frame > Frame.payload_length frame))
+    payloads
+
+let qcheck_frame_tests =
+  let open QCheck in
+  let payload_gen =
+    Gen.oneof
+      [
+        Gen.map2
+          (fun bits values ->
+            let modulus = 1 lsl (2 + bits) in
+            Runtime.Ints
+              { modulus; values = Array.of_list (List.map (fun v -> v mod modulus) values) })
+          (Gen.int_range 0 40)
+          (Gen.list_size (Gen.int_range 0 20) (Gen.int_range 0 max_int));
+        Gen.map (fun l -> Runtime.Floats (Array.of_list l))
+          (Gen.list_size (Gen.int_range 0 20) Gen.float);
+        Gen.map (fun l -> Runtime.Bits (Array.of_list l))
+          (Gen.list_size (Gen.int_range 0 40) Gen.bool);
+      ]
+  in
+  let frame_gen =
+    Gen.oneof
+      [
+        Gen.map (fun s -> Frame.Hello { sender = s }) (Gen.int_range 0 100);
+        Gen.map3
+          (fun round seq payload ->
+            Frame.Data
+              { round; seq; src = Wire.Provider 0; dst = Wire.Host; payload })
+          (Gen.int_range 1 1000) (Gen.int_range 0 1000) payload_gen;
+        Gen.map3
+          (fun round sender (total, to_dst) ->
+            Frame.End_of_round { round; sender; total; to_dst })
+          (Gen.int_range 1 1000) (Gen.int_range 0 100)
+          (Gen.pair (Gen.int_range 0 1000) (Gen.int_range 0 1000));
+        Gen.map2 (fun round sender -> Frame.Nack { round; sender })
+          (Gen.int_range 1 1000) (Gen.int_range 0 100);
+        Gen.map (fun s -> Frame.Fin { sender = s }) (Gen.int_range 0 100);
+      ]
+  in
+  [
+    Test.make ~name:"length-prefixed frame encode/decode round-trips" ~count:500
+      (make frame_gen)
+      (fun frame ->
+        let body = Frame.encode frame in
+        Frame.decode body = frame
+        && Frame.framed_length frame = Frame.length_prefix_bytes + Bytes.length body);
+  ]
+
+(* --- transports ------------------------------------------------------------- *)
+
+let test_memory_transport_delivers () =
+  let group = Transport.Memory.create_group ~m:2 () in
+  let a = group.(0) and b = group.(1) in
+  a.Transport.send 1 (Bytes.of_string "one");
+  a.Transport.send 1 (Bytes.of_string "two");
+  let deadline = Unix.gettimeofday () +. 1. in
+  Alcotest.(check (option string)) "fifo 1" (Some "one")
+    (Option.map Bytes.to_string (b.Transport.recv ~deadline));
+  Alcotest.(check (option string)) "fifo 2" (Some "two")
+    (Option.map Bytes.to_string (b.Transport.recv ~deadline));
+  Alcotest.(check (option string)) "empty queue times out" None
+    (Option.map Bytes.to_string (b.Transport.recv ~deadline:(Unix.gettimeofday () +. 0.01)));
+  Alcotest.(check int) "framed bytes counted" (2 * (Frame.length_prefix_bytes + 3))
+    (a.Transport.sent_bytes ());
+  a.Transport.close ();
+  Alcotest.check_raises "send after close" Transport.Closed (fun () ->
+      b.Transport.send 0 (Bytes.of_string "x"));
+  Alcotest.check_raises "recv after close" Transport.Closed (fun () ->
+      ignore (a.Transport.recv ~deadline))
+
+let test_socket_transport_delivers () =
+  let group =
+    Transport.Socket.create_group ~addresses:(Transport.Socket.temp_unix_addresses ~m:3)
+  in
+  let deadline = Unix.gettimeofday () +. 2. in
+  group.(2).Transport.send 0 (Bytes.of_string "hello-from-2");
+  group.(0).Transport.send 2 (Bytes.of_string "hello-from-0");
+  Alcotest.(check (option string)) "2 -> 0" (Some "hello-from-2")
+    (Option.map Bytes.to_string (group.(0).Transport.recv ~deadline));
+  Alcotest.(check (option string)) "0 -> 2" (Some "hello-from-0")
+    (Option.map Bytes.to_string (group.(2).Transport.recv ~deadline));
+  group.(0).Transport.close ()
+
+(* --- the Endpoint engine contract (Runtime.run edge cases) -------------------- *)
+
+(* A one-shot program: sends its floats to the next party in round 1,
+   then goes quiet.  Exercises quiescence exactly like Runtime.run. *)
+let one_shot_programs parties =
+  let m = Array.length parties in
+  Array.init m (fun k ->
+      fun ~round ~inbox:_ ->
+        if round = 1 then
+          [ { Runtime.src = parties.(k); dst = parties.((k + 1) mod m);
+              payload = Runtime.Floats [| float_of_int k |] } ]
+        else [])
+
+let test_endpoint_quiescent_round_not_charged () =
+  let parties = providers 3 in
+  let res =
+    Endpoint.run_memory ~config:fast ~parties ~programs:(one_shot_programs parties)
+      ~max_rounds:5 ()
+  in
+  Array.iter
+    (fun (o : Endpoint.outcome) ->
+      Alcotest.(check int) "one active round" 1 o.Endpoint.rounds)
+    res.Endpoint.outcomes;
+  let merged =
+    Net_wire.merge (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+  in
+  let s = Wire.stats merged in
+  Alcotest.(check int) "merged wire: 1 round" 1 s.Wire.rounds;
+  Alcotest.(check int) "merged wire: 3 messages" 3 s.Wire.messages;
+  (* The in-process engine agrees, message for message. *)
+  let engine = Runtime.create () in
+  let programs = one_shot_programs parties in
+  Array.iteri (fun k p -> Runtime.add_party engine p programs.(k)) parties;
+  let w = Wire.create () in
+  let rounds = Runtime.run engine ~wire:w ~max_rounds:5 in
+  Alcotest.(check int) "engine rounds agree" rounds 1;
+  Alcotest.(check bool) "engine stats agree" true (Wire.stats w = s)
+
+let test_endpoint_nontermination_detected () =
+  let parties = [| Wire.Host; Wire.Provider 0 |] in
+  let programs =
+    Array.init 2 (fun k ->
+        fun ~round:_ ~inbox:_ ->
+          [ { Runtime.src = parties.(k); dst = parties.(1 - k);
+              payload = Runtime.Bits [| true |] } ])
+  in
+  Alcotest.check_raises "runaway protocol"
+    (Failure "Endpoint.run: protocol did not terminate") (fun () ->
+      ignore (Endpoint.run_memory ~config:fast ~parties ~programs ~max_rounds:3 ()))
+
+let test_endpoint_rejects_unknown_destination () =
+  let parties = [| Wire.Host; Wire.Provider 0 |] in
+  let programs =
+    [|
+      (fun ~round:_ ~inbox:_ ->
+        [ { Runtime.src = Wire.Host; dst = Wire.Provider 9;
+            payload = Runtime.Bits [| true |] } ]);
+      (fun ~round:_ ~inbox:_ -> []);
+    |]
+  in
+  Alcotest.check_raises "unknown party"
+    (Invalid_argument "Endpoint.run: message to unknown party") (fun () ->
+      ignore (Endpoint.run_memory ~config:fast ~parties ~programs ~max_rounds:3 ()))
+
+let test_endpoint_rejects_forged_source () =
+  let parties = [| Wire.Host; Wire.Provider 0 |] in
+  let programs =
+    [|
+      (fun ~round:_ ~inbox:_ ->
+        [ { Runtime.src = Wire.Provider 0; dst = Wire.Host;
+            payload = Runtime.Bits [| true |] } ]);
+      (fun ~round:_ ~inbox:_ -> []);
+    |]
+  in
+  Alcotest.check_raises "forged source" (Invalid_argument "Endpoint.run: forged source")
+    (fun () -> ignore (Endpoint.run_memory ~config:fast ~parties ~programs ~max_rounds:3 ()))
+
+(* --- protocol equality across engines ----------------------------------------- *)
+
+let p1_reference ~seed ~parties ~modulus ~inputs =
+  let s = State.create ~seed () in
+  let w = Wire.create () in
+  let r = P1d.run s ~wire:w ~parties ~modulus ~inputs in
+  (r, Wire.stats w)
+
+let run_p1_over engine ~seed ~parties ~modulus ~inputs =
+  let s = State.create ~seed () in
+  let session = P1d.make s ~parties ~modulus ~inputs in
+  let res =
+    engine ~parties:session.P1d.parties ~programs:session.P1d.programs
+      ~max_rounds:P1d.max_rounds ()
+  in
+  (session.P1d.result (), res)
+
+let logs_of (res : Endpoint.result) =
+  Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
+
+let check_p1_engine engine label =
+  List.iter
+    (fun m ->
+      let parties = providers m in
+      let modulus = 1 lsl 30 in
+      let inputs = Array.init m (fun k -> Array.init 5 (fun l -> (k * 17) + l)) in
+      let reference, sim_stats = p1_reference ~seed:11 ~parties ~modulus ~inputs in
+      let result, res = run_p1_over engine ~seed:11 ~parties ~modulus ~inputs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s m=%d share1" label m)
+        true
+        (result.Protocol1.share1 = reference.Protocol1.share1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s m=%d share2" label m)
+        true
+        (result.Protocol1.share2 = reference.Protocol1.share2);
+      let merged_stats = Wire.stats (Net_wire.merge (logs_of res)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s m=%d NR/NM/MS identical to the simulated wire" label m)
+        true (merged_stats = sim_stats))
+    [ 2; 3; 4 ]
+
+let mem_engine ?config ?fault () ~parties ~programs ~max_rounds () =
+  Endpoint.run_memory ?config ?fault ~parties ~programs ~max_rounds ()
+
+let sock_engine ~parties ~programs ~max_rounds () =
+  Endpoint.run_socket ~parties ~programs ~max_rounds ()
+
+let test_p1_memory_matches_sim () = check_p1_engine (mem_engine ()) "memory"
+
+let test_p1_socket_matches_sim () = check_p1_engine sock_engine "socket"
+
+let check_p2_engine engine label =
+  List.iter
+    (fun m ->
+      let parties = providers m in
+      let modulus = 1 lsl 14 and bound = 1000 in
+      let inputs = Array.init m (fun k -> Array.init 4 (fun l -> (k * 31 + l) mod (bound / m))) in
+      let s = State.create ~seed:23 () in
+      let w = Wire.create () in
+      let reference =
+        P2d.run s ~wire:w ~parties ~third_party:Wire.Host ~modulus ~input_bound:bound ~inputs
+      in
+      let s = State.create ~seed:23 () in
+      let session =
+        P2d.make s ~parties ~third_party:Wire.Host ~modulus ~input_bound:bound ~inputs
+      in
+      let res =
+        engine ~parties:session.P2d.parties ~programs:session.P2d.programs
+          ~max_rounds:P2d.max_rounds ()
+      in
+      let result = session.P2d.result () in
+      Alcotest.(check bool) (Printf.sprintf "%s m=%d share1" label m) true
+        (result.P2d.share1 = reference.P2d.share1);
+      Alcotest.(check bool) (Printf.sprintf "%s m=%d share2" label m) true
+        (result.P2d.share2 = reference.P2d.share2);
+      let merged_stats = Wire.stats (Net_wire.merge (logs_of res)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s m=%d NR/NM/MS identical to the simulated wire" label m)
+        true
+        (merged_stats = Wire.stats w))
+    [ 2; 3; 5 ]
+
+let test_p2_memory_matches_sim () = check_p2_engine (mem_engine ()) "memory"
+
+let test_p2_socket_matches_sim () = check_p2_engine sock_engine "socket"
+
+(* --- byte accounting ----------------------------------------------------------- *)
+
+(* The documented overhead formula (DESIGN.md "Framing overhead"): a
+   fault-free run transmits, beyond the data frames, one End_of_round
+   per endpoint per peer per executed step (active rounds + the
+   quiescent one) and one Fin per endpoint per peer; the socket backend
+   adds one Hello per connection. *)
+let expected_transport_bytes ~m ~rounds ~data_framed ~hellos =
+  let eor = Frame.framed_length (Frame.End_of_round { round = 1; sender = 0; total = 0; to_dst = 0 }) in
+  let fin = Frame.framed_length (Frame.Fin { sender = 0 }) in
+  let hello = Frame.framed_length (Frame.Hello { sender = 0 }) in
+  data_framed
+  + (m * (rounds + 1) * (m - 1) * eor)
+  + (m * (m - 1) * fin)
+  + if hellos then m * (m - 1) / 2 * hello else 0
+
+let check_byte_accounting engine ~hellos label =
+  let m = 4 in
+  let parties = providers m in
+  let modulus = 1 lsl 40 in
+  let inputs = Array.init m (fun k -> Array.init 16 (fun l -> (k * 1000) + l)) in
+  let _, sim_stats = p1_reference ~seed:31 ~parties ~modulus ~inputs in
+  let _, res = run_p1_over engine ~seed:31 ~parties ~modulus ~inputs in
+  let logs = logs_of res in
+  let totals = Net_wire.totals logs in
+  (* Payload bytes: exactly the simulated MS. *)
+  Alcotest.(check int)
+    (label ^ ": payload bytes = simulated MS / 8")
+    (sim_stats.Wire.bits / 8) totals.Net_wire.payload_bytes;
+  (* Measured transport bytes: payload + the documented framing overhead. *)
+  let rounds = res.Endpoint.outcomes.(0).Endpoint.rounds in
+  Alcotest.(check int)
+    (label ^ ": transport bytes = data frames + documented control overhead")
+    (expected_transport_bytes ~m ~rounds ~data_framed:totals.Net_wire.framed_bytes ~hellos)
+    res.Endpoint.transport_bytes
+
+let test_memory_byte_accounting () =
+  check_byte_accounting (mem_engine ()) ~hellos:false "memory"
+
+let test_socket_byte_accounting () =
+  check_byte_accounting sock_engine ~hellos:true "socket"
+
+(* --- fault injection ------------------------------------------------------------ *)
+
+let test_dropped_frames_are_retransmitted () =
+  let m = 3 in
+  let parties = providers m in
+  let modulus = 1 lsl 16 in
+  let inputs = Array.init m (fun k -> [| 2 * k; 5 + k |]) in
+  let reference, sim_stats = p1_reference ~seed:41 ~parties ~modulus ~inputs in
+  (* Drop two early frames: the Nack/retransmit path must recover and
+     the protocol outcome must be unchanged. *)
+  let result, res =
+    run_p1_over
+      (mem_engine ~config:fast ~fault:(Fault.drop_nth [ 1; 5 ]) ())
+      ~seed:41 ~parties ~modulus ~inputs
+  in
+  Alcotest.(check bool) "shares survive frame loss" true
+    (result.Protocol1.share1 = reference.Protocol1.share1
+    && result.Protocol1.share2 = reference.Protocol1.share2);
+  Alcotest.(check bool) "wire statistics survive frame loss" true
+    (Wire.stats (Net_wire.merge (logs_of res)) = sim_stats);
+  (* The retransmissions cost real bytes beyond the fault-free run. *)
+  let _, clean = run_p1_over (mem_engine ~config:fast ()) ~seed:41 ~parties ~modulus ~inputs in
+  Alcotest.(check bool) "retransmissions are visible in transport bytes" true
+    (res.Endpoint.transport_bytes > clean.Endpoint.transport_bytes)
+
+let test_delayed_frame_reorders_and_recovers () =
+  let m = 3 in
+  let parties = providers m in
+  let modulus = 1 lsl 16 in
+  let inputs = Array.init m (fun k -> [| 9 * k; k + 1 |]) in
+  let reference, sim_stats = p1_reference ~seed:43 ~parties ~modulus ~inputs in
+  (* Hold one round-1 frame past the round timeout: its round completes
+     late (via the delayed original or a Nacked retransmission), and
+     later frames overtake it — the reorder path. *)
+  let result, res =
+    run_p1_over
+      (mem_engine ~config:fast ~fault:(Fault.delay_nth [ (2, 0.15) ]) ())
+      ~seed:43 ~parties ~modulus ~inputs
+  in
+  Alcotest.(check bool) "shares survive reordering" true
+    (result.Protocol1.share1 = reference.Protocol1.share1
+    && result.Protocol1.share2 = reference.Protocol1.share2);
+  Alcotest.(check bool) "wire statistics survive reordering" true
+    (Wire.stats (Net_wire.merge (logs_of res)) = sim_stats)
+
+let test_blackhole_times_out_cleanly () =
+  let m = 3 in
+  let parties = providers m in
+  let modulus = 1 lsl 16 in
+  let inputs = Array.init m (fun k -> [| k |]) in
+  let s = State.create ~seed:47 () in
+  let session = P1d.make s ~parties ~modulus ~inputs in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Endpoint.run_memory ~config:fast ~fault:(Fault.blackhole ~src:0 ~dst:2)
+       ~parties:session.P1d.parties ~programs:session.P1d.programs
+       ~max_rounds:P1d.max_rounds ()
+   with
+  | _ -> Alcotest.fail "a dead link must not let the run complete"
+  | exception Endpoint.Round_timeout { party; round; missing } ->
+    Alcotest.(check bool) "starved party raises" true (party = Wire.Provider 2);
+    Alcotest.(check int) "at the round the link died" 1 round;
+    Alcotest.(check bool) "names the silent peer" true (missing = [ Wire.Provider 0 ]));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded retries, no hang (%.2fs)" elapsed)
+    true
+    (elapsed < 10. *. fast.Endpoint.round_timeout)
+
+(* ------------------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "spe_net"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "round trips" `Quick test_frame_roundtrips;
+          Alcotest.test_case "rejects garbage" `Quick test_frame_rejects_garbage;
+          Alcotest.test_case "payload length matches runtime" `Quick
+            test_frame_payload_length_matches_runtime;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "memory delivery" `Quick test_memory_transport_delivers;
+          Alcotest.test_case "socket delivery" `Quick test_socket_transport_delivers;
+        ] );
+      ( "endpoint",
+        [
+          Alcotest.test_case "quiescent round not charged" `Quick
+            test_endpoint_quiescent_round_not_charged;
+          Alcotest.test_case "non-termination" `Quick test_endpoint_nontermination_detected;
+          Alcotest.test_case "unknown destination" `Quick
+            test_endpoint_rejects_unknown_destination;
+          Alcotest.test_case "forged source" `Quick test_endpoint_rejects_forged_source;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "protocol 1 over memory" `Quick test_p1_memory_matches_sim;
+          Alcotest.test_case "protocol 1 over sockets" `Quick test_p1_socket_matches_sim;
+          Alcotest.test_case "protocol 2 over memory" `Quick test_p2_memory_matches_sim;
+          Alcotest.test_case "protocol 2 over sockets" `Quick test_p2_socket_matches_sim;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "memory bytes" `Quick test_memory_byte_accounting;
+          Alcotest.test_case "socket bytes" `Quick test_socket_byte_accounting;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop triggers retransmit" `Quick
+            test_dropped_frames_are_retransmitted;
+          Alcotest.test_case "delay reorders and recovers" `Quick
+            test_delayed_frame_reorders_and_recovers;
+          Alcotest.test_case "blackhole times out cleanly" `Quick
+            test_blackhole_times_out_cleanly;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 1717 |]))
+          qcheck_frame_tests );
+    ]
