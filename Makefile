@@ -1,6 +1,6 @@
 # Convenience aliases around dune; `make check` is the tier-1 gate.
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench fmt clean
 
 all:
 	dune build @all
@@ -14,6 +14,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+fmt:
+	@command -v ocamlformat >/dev/null 2>&1 \
+	  && dune build @fmt --auto-promote \
+	  || echo "ocamlformat not installed; skipping format pass"
 
 clean:
 	dune clean

@@ -447,6 +447,7 @@ let ablation_multi_host () =
 let ablation_transport () =
   section "Ablation - transport overhead: simulated wire vs in-memory channels vs unix sockets";
   let module P1d = Spe_mpc.Protocol1_distributed in
+  let module Session = Spe_mpc.Session in
   let module Runtime = Spe_mpc.Runtime in
   let module Endpoint = Spe_net.Endpoint in
   let module Net_wire = Spe_net.Net_wire in
@@ -469,8 +470,8 @@ let ablation_transport () =
           let s = State.create ~seed:62 () in
           let session = P1d.make s ~parties ~modulus ~inputs in
           let engine = Runtime.create () in
-          Array.iteri (fun k p -> Runtime.add_party engine p session.P1d.programs.(k))
-            session.P1d.parties;
+          Array.iteri (fun k p -> Runtime.add_party engine p session.Session.programs.(k))
+            session.Session.parties;
           let w = Wire.create () in
           let _ = Runtime.run engine ~wire:w ~max_rounds:P1d.max_rounds in
           Wire.stats w)
@@ -484,7 +485,7 @@ let ablation_transport () =
         time (fun () ->
             let s = State.create ~seed:62 () in
             let session = P1d.make s ~parties ~modulus ~inputs in
-            engine ~parties:session.P1d.parties ~programs:session.P1d.programs
+            engine ~parties:session.Session.parties ~programs:session.Session.programs
               ~max_rounds:P1d.max_rounds ())
       in
       let totals =
@@ -504,7 +505,77 @@ let ablation_transport () =
   Printf.printf
     "\nThe payload bytes are engine-independent (the MS statistic); the real\n\
      transports add the framing derived in DESIGN.md - length prefixes, data\n\
-     headers, round barriers and (for sockets) the connection handshakes.\n"
+     headers, round barriers and (for sockets) the connection handshakes.\n";
+  (* The same comparison over the full composed pipelines: one JSON row
+     per (pipeline, engine), machine-readable for the plotting scripts. *)
+  Printf.printf "\nFull pipelines (Driver_distributed sessions, m = 3):\n";
+  let module Driver_distributed = Spe_core.Driver_distributed in
+  let s, g, log = workload ~seed:57 ~n:30 ~edges:90 ~actions:12 in
+  let logs = Partition.exclusive s log ~m:3 in
+  let p4_config = Protocol4.default_config ~h:2 in
+  let p6_config = { Protocol6.default_config with Protocol6.key_bits = 128 } in
+  let pipelines =
+    [
+      ("links", fun st ->
+          Session.map ignore (Driver_distributed.links_exclusive st ~graph:g ~logs p4_config));
+      ("scores", fun st ->
+          Session.map ignore
+            (Driver_distributed.user_scores_exclusive st ~graph:g ~logs ~tau:6
+               ~modulus:(1 lsl 20) p6_config));
+    ]
+  in
+  let engines =
+    [
+      ("sim", fun session ->
+          let w = Wire.create () in
+          let () = Session.run session ~wire:w in
+          let stats = Wire.stats w in
+          (stats.Wire.rounds, stats.Wire.messages, stats.Wire.bits / 8, None));
+      ("memory", fun session ->
+          let (), res = Endpoint.run_session_memory session in
+          let totals =
+            Net_wire.totals
+              (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+          in
+          let rounds =
+            Array.fold_left (fun acc (o : Endpoint.outcome) -> max acc o.Endpoint.rounds) 0
+              res.Endpoint.outcomes
+          in
+          (rounds, totals.Net_wire.messages, totals.Net_wire.payload_bytes,
+           Some res.Endpoint.transport_bytes));
+      ("socket", fun session ->
+          let (), res = Endpoint.run_session_socket session in
+          let totals =
+            Net_wire.totals
+              (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+          in
+          let rounds =
+            Array.fold_left (fun acc (o : Endpoint.outcome) -> max acc o.Endpoint.rounds) 0
+              res.Endpoint.outcomes
+          in
+          (rounds, totals.Net_wire.messages, totals.Net_wire.payload_bytes,
+           Some res.Endpoint.transport_bytes));
+    ]
+  in
+  List.iter
+    (fun (pipeline, build) ->
+      let payload_ref = ref None in
+      List.iter
+        (fun (engine, run) ->
+          let (rounds, messages, payload_bytes, transport_bytes), dt =
+            time (fun () -> run (build (State.create ~seed:64 ())))
+          in
+          (match !payload_ref with
+          | None -> payload_ref := Some payload_bytes
+          | Some p -> assert (p = payload_bytes));
+          Printf.printf
+            "{\"pipeline\":%S,\"engine\":%S,\"rounds\":%d,\"messages\":%d,\
+             \"payload_bytes\":%d,\"transport_bytes\":%s,\"ms\":%.2f}\n"
+            pipeline engine rounds messages payload_bytes
+            (match transport_bytes with None -> "null" | Some b -> string_of_int b)
+            (1000. *. dt))
+        engines)
+    pipelines
 
 let ablation_discretization () =
   section "Ablation - time discretization (Sec. 2: 'real data needs to be heavily discretized')";

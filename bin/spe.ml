@@ -63,6 +63,61 @@ let wire_summary (w : Wire.stats) =
     w.Wire.messages
     (float_of_int w.Wire.bits /. 8192.)
 
+(* Engine selection for the full pipelines: the central reference
+   implementation, or the composed Session on any of the three
+   engines.  All four produce identical results from the same seed. *)
+let pipeline_transport_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("central", `Central); ("sim", `Sim); ("memory", `Memory); ("socket", `Socket) ])
+        `Central
+    & info [ "transport" ] ~docv:"ENGINE"
+        ~doc:
+          "How to execute the protocol pipeline: the central reference implementation \
+           (central), the composed party programs on the in-process engine (sim), or \
+           each party on its own thread over in-memory channels (memory) or Unix-domain \
+           sockets (socket).  The results and the NR/NM statistics are \
+           engine-independent; the real transports also report measured framed bytes.")
+
+(* Run a composed pipeline session on the chosen non-central engine;
+   returns the result plus the wire rebuilt from the message log, and
+   the measured transport bytes for the real backends. *)
+let run_pipeline_session transport session =
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  match transport with
+  | `Sim ->
+    let w = Wire.create () in
+    let r = Session.run session ~wire:w in
+    (r, w, None)
+  | `Memory | `Socket ->
+    (* The default 2 s round timeout is tuned for loss detection; a
+       full pipeline has long compute rounds (e.g. decrypting every
+       Protocol 6 bundle under a 1024-bit key), during which a busy
+       party looks exactly like a dead one.  Local transports are
+       reliable, so wait out the compute instead of Nacking it. *)
+    let config =
+      { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+    in
+    let r, (res : Endpoint.result) =
+      match transport with
+      | `Memory -> Endpoint.run_session_memory ~config session
+      | _ -> Endpoint.run_session_socket ~config session
+    in
+    let merged =
+      Net_wire.merge
+        (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+    in
+    (r, merged, Some res.Endpoint.transport_bytes)
+
+let transport_bytes_summary (stats : Wire.stats) = function
+  | None -> ()
+  | Some bytes ->
+    Printf.printf "transport: %d framed bytes on the wire (%.3fx the payload)\n" bytes
+      (float_of_int bytes /. (float_of_int stats.Wire.bits /. 8.))
+
 (* --- spe generate ------------------------------------------------------ *)
 
 let generate_cmd =
@@ -192,7 +247,8 @@ let links_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full strength list to FILE.")
   in
-  let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation trace out =
+  let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
+      transport trace out =
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let estimator =
@@ -208,17 +264,30 @@ let links_cmd =
     let config =
       { Protocol4.c_factor; modulus = 1 lsl modulus_bits; h; estimator }
     in
+    let spec = Option.map Spe_actionlog.Spec_io.load spec_path in
     let s = State.create ~seed () in
-    let r =
-      match spec_path with
-      | None -> Driver.link_strengths_exclusive s ~graph ~logs config
-      | Some path ->
-        let spec = Spe_actionlog.Spec_io.load path in
-        Driver.link_strengths_non_exclusive s ~graph ~logs ~spec ~obfuscation config
+    let strengths, stats, transcript, transport_bytes =
+      match transport with
+      | `Central ->
+        let r =
+          match spec with
+          | None -> Driver.link_strengths_exclusive s ~graph ~logs config
+          | Some spec ->
+            Driver.link_strengths_non_exclusive s ~graph ~logs ~spec ~obfuscation config
+        in
+        (r.Driver.strengths, r.Driver.wire, r.Driver.transcript, None)
+      | (`Sim | `Memory | `Socket) as transport ->
+        let session =
+          match spec with
+          | None -> Spe_core.Driver_distributed.links_exclusive s ~graph ~logs config
+          | Some spec ->
+            Spe_core.Driver_distributed.links_non_exclusive s ~graph ~logs ~spec
+              ~obfuscation config
+        in
+        let r, w, transport_bytes = run_pipeline_session transport session in
+        (r.Protocol4.strengths, Wire.stats w, Wire.messages w, transport_bytes)
     in
-    let sorted =
-      List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) r.Driver.strengths
-    in
+    let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
     Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
     List.iteri
       (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
@@ -226,16 +295,17 @@ let links_cmd =
     (match out with
     | None -> ()
     | Some path ->
-      Spe_influence.Result_io.save_strengths r.Driver.strengths path;
+      Spe_influence.Result_io.save_strengths strengths path;
       Printf.printf "wrote %s\n" path);
-    wire_summary r.Driver.wire;
+    wire_summary stats;
+    transport_bytes_summary stats transport_bytes;
     if trace then begin
       Printf.printf "\ntranscript:\n";
       List.iter
         (fun (msg : Wire.message) ->
           Format.printf "  r%-3d %a -> %a  %d bits@." msg.Wire.round Wire.pp_party
             msg.Wire.src Wire.pp_party msg.Wire.dst msg.Wire.bits)
-        r.Driver.transcript
+        transcript
     end;
     `Ok ()
   in
@@ -243,13 +313,13 @@ let links_cmd =
     Term.(
       ret
         (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ c_arg $ modulus_bits_arg $ decay
-       $ top_arg $ spec_arg $ obfuscation_arg $ trace_arg $ out_arg))
+       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ trace_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "links"
        ~doc:
          "Securely compute link influence strengths (Protocol 4, exclusive case) over \
-          provider log files.")
+          provider log files, on any engine (--transport).")
     term
 
 (* --- spe scores ---------------------------------------------------------- *)
@@ -270,38 +340,52 @@ let scores_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
   in
-  let run seed graph_path log_paths tau key_bits modulus_bits top out =
+  let run seed graph_path log_paths tau key_bits modulus_bits top transport out =
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let config = { Protocol6.default_config with Protocol6.key_bits } in
+    let modulus = 1 lsl modulus_bits in
     let s = State.create ~seed () in
-    let r =
-      Driver.user_scores_exclusive s ~graph ~logs ~tau ~modulus:(1 lsl modulus_bits)
-        { Protocol6.default_config with Protocol6.key_bits }
+    let scores, stats, transport_bytes =
+      match transport with
+      | `Central ->
+        let r = Driver.user_scores_exclusive s ~graph ~logs ~tau ~modulus config in
+        (r.Driver.scores, r.Driver.wire, None)
+      | (`Sim | `Memory | `Socket) as transport ->
+        let session =
+          Spe_core.Driver_distributed.user_scores_exclusive s ~graph ~logs ~tau ~modulus
+            config
+        in
+        let r, w, transport_bytes = run_pipeline_session transport session in
+        (r.Spe_core.Driver_distributed.scores, Wire.stats w, transport_bytes)
     in
-    let idx = Array.init (Array.length r.Driver.scores) (fun i -> i) in
-    Array.sort (fun a b -> Stdlib.compare r.Driver.scores.(b) r.Driver.scores.(a)) idx;
+    let idx = Array.init (Array.length scores) (fun i -> i) in
+    Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
     Printf.printf "user influence scores (top %d):\n" top;
     Array.iteri
       (fun rank u ->
         if rank < top then Printf.printf "  #%-3d user %-6d score %.3f\n" (rank + 1) u
-            r.Driver.scores.(u))
+            scores.(u))
       idx;
     (match out with
     | None -> ()
     | Some path ->
-      Spe_influence.Result_io.save_scores r.Driver.scores path;
+      Spe_influence.Result_io.save_scores scores path;
       Printf.printf "wrote %s\n" path);
-    wire_summary r.Driver.wire;
+    wire_summary stats;
+    transport_bytes_summary stats transport_bytes;
     `Ok ()
   in
   let term =
     Term.(
       ret (const run $ seed_arg $ graph_arg $ logs_arg $ tau $ key_bits $ modulus_bits_arg
-         $ top_arg $ out_arg))
+         $ top_arg $ pipeline_transport_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "scores"
-       ~doc:"Securely compute user influence scores (Protocol 6 + Def. 3.3).")
+       ~doc:
+         "Securely compute user influence scores (Protocol 6 + Def. 3.3), on any \
+          engine (--transport).")
     term
 
 (* --- spe campaign --------------------------------------------------------- *)
@@ -546,6 +630,7 @@ let verify_cmd =
 let shares_cmd =
   let module P1d = Spe_mpc.Protocol1_distributed in
   let module P2d = Spe_mpc.Protocol2_distributed in
+  let module Session = Spe_mpc.Session in
   let module Runtime = Spe_mpc.Runtime in
   let module Endpoint = Spe_net.Endpoint in
   let module Net_wire = Spe_net.Net_wire in
@@ -591,20 +676,20 @@ let shares_cmd =
         match protocol with
         | `P1 ->
           let session = P1d.make s ~parties ~modulus ~inputs in
-          ( session.P1d.parties,
-            session.P1d.programs,
+          ( session.Session.parties,
+            session.Session.programs,
             fun () ->
-              let r = session.P1d.result () in
+              let r = session.Session.result () in
               (r.Spe_mpc.Protocol1.share1, r.Spe_mpc.Protocol1.share2) )
         | `P2 ->
           let session =
             P2d.make s ~parties ~third_party:Wire.Host ~modulus ~input_bound:bound ~inputs
           in
-          ( session.P2d.parties,
-            session.P2d.programs,
+          ( session.Session.parties,
+            session.Session.programs,
             fun () ->
-              let r = session.P2d.result () in
-              (r.P2d.share1, r.P2d.share2) )
+              let r = session.Session.result () in
+              (r.Spe_mpc.Protocol2.share1, r.Spe_mpc.Protocol2.share2) )
       in
       let max_rounds = match protocol with `P1 -> P1d.max_rounds | `P2 -> P2d.max_rounds in
       let stats, transport_bytes =

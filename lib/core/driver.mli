@@ -39,6 +39,11 @@ val link_strengths_exclusive :
   link_result
 (** The Sec. 5.1 pipeline over exclusive provider logs. *)
 
+val pick_trusted : m:int -> class_members:int array -> Spe_mpc.Wire.party
+(** The trusted third party for one action class: a provider outside
+    the class when one exists, the host otherwise.  Shared with
+    [Driver_distributed] so both pipelines seat the same parties. *)
+
 val link_strengths_non_exclusive :
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->

@@ -64,6 +64,45 @@ let flatten_input estimator input =
   in
   Array.append input.a numer
 
+(* One player's Steps 7-8 arithmetic: the local weighted combination of
+   the numerator shares (float once the Eq. 2 weights enter; exact
+   integers under Eq. 1), then the per-user mask multiplies.  Shared
+   with the distributed twin so both paths produce bit-identical
+   floats. *)
+let masked_shares_of_flat estimator ~h ~n ~pairs ~masks shares =
+  let numerator_share k =
+    match estimator with
+    | Eq1 -> float_of_int shares.(n + k)
+    | Eq2 w ->
+      let w = (w :> float array) in
+      let acc = ref 0. in
+      for l = 0 to h - 1 do
+        acc := !acc +. (w.(l) *. float_of_int shares.(n + (k * h) + l))
+      done;
+      !acc
+  in
+  let masked_a = Array.init n (fun i -> masks.(i) *. float_of_int shares.(i)) in
+  let masked_num =
+    Array.init (Array.length pairs) (fun k ->
+        let i, _ = pairs.(k) in
+        masks.(i) *. numerator_share k)
+  in
+  (masked_a, masked_num)
+
+let pair_estimates_of_masked ~pairs ~masked_a1 ~masked_a2 ~masked_num1 ~masked_num2 =
+  Array.init (Array.length pairs) (fun k ->
+      let i, _ = pairs.(k) in
+      let den = masked_a1.(i) +. masked_a2.(i) in
+      if den = 0. then 0. else (masked_num1.(k) +. masked_num2.(k)) /. den)
+
+let strengths_of_estimates ~graph ~pairs estimates =
+  let strengths = ref [] in
+  for k = Array.length pairs - 1 downto 0 do
+    let u, v = pairs.(k) in
+    if Digraph.mem_edge graph u v then strengths := ((u, v), estimates.(k)) :: !strengths
+  done;
+  !strengths
+
 type masked_shares = {
   masked_a1 : float array;
   masked_a2 : float array;
@@ -101,30 +140,12 @@ let share_and_mask st ~wire ~n ~num_actions ~pairs ~inputs config =
       Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
       Wire.send wire ~src:parties.(1) ~dst:parties.(0) ~bits:(n * Wire.float_bits));
   let masks = Array.init n (fun _ -> Dist.mask_pair st) in
-  (* Local weighted combination of the numerator shares (float once the
-     Eq. 2 weights enter; exact integers under Eq. 1). *)
-  let numerator_share flat k =
-    match config.estimator with
-    | Eq1 -> float_of_int flat.(n + k)
-    | Eq2 w ->
-      let w = (w :> float array) in
-      let acc = ref 0. in
-      for l = 0 to config.h - 1 do
-        acc := !acc +. (w.(l) *. float_of_int flat.(n + (k * config.h) + l))
-      done;
-      !acc
+  let masked_a1, masked_num1 =
+    masked_shares_of_flat config.estimator ~h:config.h ~n ~pairs ~masks share1
   in
-  let masked_of_shares shares =
-    let masked_a = Array.init n (fun i -> masks.(i) *. float_of_int shares.(i)) in
-    let masked_num =
-      Array.init q (fun k ->
-          let i, _ = pairs.(k) in
-          masks.(i) *. numerator_share shares k)
-    in
-    (masked_a, masked_num)
+  let masked_a2, masked_num2 =
+    masked_shares_of_flat config.estimator ~h:config.h ~n ~pairs ~masks share2
   in
-  let masked_a1, masked_num1 = masked_of_shares share1 in
-  let masked_a2, masked_num2 = masked_of_shares share2 in
   {
     masked_a1;
     masked_a2;
@@ -135,10 +156,8 @@ let share_and_mask st ~wire ~n ~num_actions ~pairs ~inputs config =
   }
 
 let estimates_of_masked ms ~pairs =
-  Array.init (Array.length pairs) (fun k ->
-      let i, _ = pairs.(k) in
-      let den = ms.masked_a1.(i) +. ms.masked_a2.(i) in
-      if den = 0. then 0. else (ms.masked_num1.(k) +. ms.masked_num2.(k)) /. den)
+  pair_estimates_of_masked ~pairs ~masked_a1:ms.masked_a1 ~masked_a2:ms.masked_a2
+    ~masked_num1:ms.masked_num1 ~masked_num2:ms.masked_num2
 
 let run st ~wire ~graph ~num_actions ~pairs ~inputs config =
   let n = Digraph.n graph in
@@ -150,13 +169,8 @@ let run st ~wire ~graph ~num_actions ~pairs ~inputs config =
       Wire.send wire ~src:(Wire.Provider 1) ~dst:Wire.Host ~bits:((n + q) * Wire.float_bits));
   (* Step 9: the host reconstructs the quotients. *)
   let pair_estimates = estimates_of_masked ms ~pairs in
-  let strengths = ref [] in
-  for k = q - 1 downto 0 do
-    let u, v = pairs.(k) in
-    if Digraph.mem_edge graph u v then strengths := ((u, v), pair_estimates.(k)) :: !strengths
-  done;
   {
-    strengths = !strengths;
+    strengths = strengths_of_estimates ~graph ~pairs pair_estimates;
     pairs;
     pair_estimates;
     p2_leaks = ms.share_p2_leaks;

@@ -58,6 +58,43 @@ val provider_input_of_log :
   Spe_actionlog.Log.t -> h:int -> pairs:(int * int) array -> provider_input
 (** What each provider computes locally once [Omega_E'] is known. *)
 
+val flatten_input : estimator -> provider_input -> int array
+(** The counters one provider feeds the batched Protocol 2, flattened
+    as [a_0..a_(n-1)] followed by the per-pair numerator counters — the
+    window counters [b^h] under Eq. 1, the [h] lag counters per pair
+    under Eq. 2.  Shared with [Protocol4_distributed]. *)
+
+val masked_shares_of_flat :
+  estimator ->
+  h:int ->
+  n:int ->
+  pairs:(int * int) array ->
+  masks:float array ->
+  int array ->
+  float array * float array
+(** [(masked_a, masked_num)] of one player's flat share vector: the
+    Steps 7-8 local weighted combination and per-user mask multiplies.
+    Shared with [Protocol4_distributed] so both paths produce
+    bit-identical floats. *)
+
+val pair_estimates_of_masked :
+  pairs:(int * int) array ->
+  masked_a1:float array ->
+  masked_a2:float array ->
+  masked_num1:float array ->
+  masked_num2:float array ->
+  float array
+(** Step 9, the host side: [(num1_k + num2_k) / (a1_i + a2_i)] per
+    published pair, [0] on a zero denominator. *)
+
+val strengths_of_estimates :
+  graph:Spe_graph.Digraph.t ->
+  pairs:(int * int) array ->
+  float array ->
+  ((int * int) * float) list
+(** Restriction of the per-pair estimates to the real arcs, in
+    published-pair order. *)
+
 type result = {
   strengths : ((int * int) * float) list;
       (** Final output: [p_(i,j)] for the real arcs only. *)

@@ -88,10 +88,25 @@ let validate ~providers ~trusted ~logs =
     logs;
   (d, n, na)
 
-let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
-  if h < 1 then invalid_arg "Protocol5.run: window must be >= 1";
-  let d, n, num_actions = validate ~providers ~trusted ~logs in
-  let representative = providers.(0) in
+(* Everything both twins derive from the jointly drawn secrets: the
+   obfuscated per-provider logs, the public wire-value spaces, the
+   window test on (possibly encrypted) stamps, and the representative's
+   inversion.  All randomness is consumed here, in one fixed order —
+   the central [run] and the distributed session draw identically. *)
+type plan = {
+  obf_logs : obf_record list array;
+  obf_users : int;
+  period : int;
+  lag_of : int -> int -> int option;
+  unobfuscate :
+    (int, int) Hashtbl.t -> (int * int, int array) Hashtbl.t -> class_counters;
+}
+
+let prepare st ~h ~logs ~obfuscation =
+  if Array.length logs < 1 then invalid_arg "Protocol5.prepare: need at least one provider";
+  let d = Array.length logs in
+  let n = Log.num_users logs.(0) in
+  let num_actions = Log.num_actions logs.(0) in
   (* Secrets drawn jointly by the class providers (shared generator;
      semi-honest model, see DESIGN.md). *)
   let sigma = Perm.random st (max 1 num_actions) in
@@ -109,31 +124,22 @@ let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
             (Log.records l))
         logs
     in
-    let rbits = record_bits ~num_users:n ~num_actions ~period:horizon in
-    Wire.round wire (fun () ->
-        Array.iteri
-          (fun k recs ->
-            Wire.send wire ~src:providers.(k) ~dst:trusted ~bits:(List.length recs * rbits))
-          obf_logs);
     let lag_of t t' =
       let diff = t' - t in
       if diff >= 1 && diff <= h then Some diff else None
     in
-    let a_table, c_table = trusted_count ~h ~lag_of (List.concat (Array.to_list obf_logs)) in
-    Wire.round wire (fun () ->
-        Wire.send wire ~src:trusted ~dst:representative
-          ~bits:
-            (counters_bits ~num_users:n ~bound:num_actions ~h ~n_a:(Hashtbl.length a_table)
-               ~n_c:(Hashtbl.length c_table)));
     (* The representative inverts the user permutation. *)
-    let inv = Perm.inverse pi in
-    let a = Array.make n 0 in
-    Hashtbl.iter (fun u cnt -> a.(Perm.apply inv u) <- cnt) a_table;
-    let c_out = Hashtbl.create (Hashtbl.length c_table) in
-    Hashtbl.iter
-      (fun (u, u') row -> Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
-      c_table;
-    { a; c_table = c_out; h }
+    let unobfuscate a_table c_table =
+      let inv = Perm.inverse pi in
+      let a = Array.make n 0 in
+      Hashtbl.iter (fun u cnt -> a.(Perm.apply inv u) <- cnt) a_table;
+      let c_out = Hashtbl.create (Hashtbl.length c_table) in
+      Hashtbl.iter
+        (fun (u, u') row -> Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
+        c_table;
+      { a; c_table = c_out; h }
+    in
+    { obf_logs; obf_users = n; period = horizon; lag_of; unobfuscate }
   | Enhanced ->
     let period = horizon + h in
     let cipher = Shift_cipher.random st ~period in
@@ -205,37 +211,49 @@ let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
           real @ !fakes)
         logs
     in
-    let rbits = record_bits ~num_users:n_obf ~num_actions ~period in
-    Wire.round wire (fun () ->
-        Array.iteri
-          (fun k recs ->
-            Wire.send wire ~src:providers.(k) ~dst:trusted ~bits:(List.length recs * rbits))
-          obf_logs);
     let lag_of e e' =
       if Shift_cipher.follows_within cipher ~h e e' then Some (((e' - e) mod period + period) mod period)
       else None
     in
-    let a_table, c_table = trusted_count ~h ~lag_of (List.concat (Array.to_list obf_logs)) in
-    Wire.round wire (fun () ->
-        Wire.send wire ~src:trusted ~dst:representative
-          ~bits:
-            (counters_bits ~num_users:n_obf ~bound:num_actions ~h
-               ~n_a:(Hashtbl.length a_table) ~n_c:(Hashtbl.length c_table)));
     (* The representative keeps only counters whose ids are images of
        true users and inverts the renaming. *)
-    let inv = Perm.inverse rho in
-    let is_true obf_id = Perm.apply inv obf_id < n in
-    let a = Array.make n 0 in
-    Hashtbl.iter
-      (fun u cnt -> if is_true u then a.(Perm.apply inv u) <- cnt)
-      a_table;
-    let c_out = Hashtbl.create (Hashtbl.length c_table) in
-    Hashtbl.iter
-      (fun (u, u') row ->
-        if is_true u && is_true u' then
-          Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
-      c_table;
-    { a; c_table = c_out; h }
+    let unobfuscate a_table c_table =
+      let inv = Perm.inverse rho in
+      let is_true obf_id = Perm.apply inv obf_id < n in
+      let a = Array.make n 0 in
+      Hashtbl.iter
+        (fun u cnt -> if is_true u then a.(Perm.apply inv u) <- cnt)
+        a_table;
+      let c_out = Hashtbl.create (Hashtbl.length c_table) in
+      Hashtbl.iter
+        (fun (u, u') row ->
+          if is_true u && is_true u' then
+            Hashtbl.replace c_out (Perm.apply inv u, Perm.apply inv u') row)
+        c_table;
+      { a; c_table = c_out; h }
+    in
+    { obf_logs; obf_users = n_obf; period; lag_of; unobfuscate }
+
+let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
+  if h < 1 then invalid_arg "Protocol5.run: window must be >= 1";
+  let _, _, num_actions = validate ~providers ~trusted ~logs in
+  let representative = providers.(0) in
+  let plan = prepare st ~h ~logs ~obfuscation in
+  let rbits = record_bits ~num_users:plan.obf_users ~num_actions ~period:plan.period in
+  Wire.round wire (fun () ->
+      Array.iteri
+        (fun k recs ->
+          Wire.send wire ~src:providers.(k) ~dst:trusted ~bits:(List.length recs * rbits))
+        plan.obf_logs);
+  let a_table, c_table =
+    trusted_count ~h ~lag_of:plan.lag_of (List.concat (Array.to_list plan.obf_logs))
+  in
+  Wire.round wire (fun () ->
+      Wire.send wire ~src:trusted ~dst:representative
+        ~bits:
+          (counters_bits ~num_users:plan.obf_users ~bound:num_actions ~h
+             ~n_a:(Hashtbl.length a_table) ~n_c:(Hashtbl.length c_table)));
+  plan.unobfuscate a_table c_table
 
 let to_provider_input class_sets ~pairs =
   match class_sets with

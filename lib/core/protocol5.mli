@@ -39,6 +39,52 @@ type class_counters = {
   h : int;
 }
 
+type obf_record = { user : int; action : int; time : int }
+(** An obfuscated record as it travels to the trusted party.  Not a
+    [Log.t]: fake-user padding intentionally repeats [(user, action)]
+    pairs across time slots in ways [Log.t]'s at-most-once invariant
+    would collapse. *)
+
+type plan = {
+  obf_logs : obf_record list array;  (** Per provider, ready to ship. *)
+  obf_users : int;
+      (** Size of the obfuscated user-id space on the wire ([n], or
+          [n + fakes] under {!Enhanced}). *)
+  period : int;  (** Time-stamp value space on the wire. *)
+  lag_of : int -> int -> int option;
+      (** The trusted party's window test on (possibly encrypted)
+          stamps: [lag_of t t'] is the lag in [[1, h]] when [t']
+          follows [t] within the window. *)
+  unobfuscate :
+    (int, int) Hashtbl.t -> (int * int, int array) Hashtbl.t -> class_counters;
+      (** The representative's inversion of the trusted party's
+          [a]/[c] tables back to true user ids. *)
+}
+(** Everything both protocol twins derive from the jointly drawn
+    secrets.  {!prepare} consumes all the class's randomness in one
+    fixed order, so the central {!run} and the distributed session
+    draw identically. *)
+
+val prepare :
+  Spe_rng.State.t ->
+  h:int ->
+  logs:Spe_actionlog.Log.t array ->
+  obfuscation:obfuscation ->
+  plan
+(** Draw the joint secrets and obfuscate every provider's class log.
+    [logs] must be non-empty with equal universes (callers validate). *)
+
+val trusted_count :
+  h:int ->
+  lag_of:(int -> int -> int option) ->
+  obf_record list ->
+  (int, int) Hashtbl.t * (int * int, int array) Hashtbl.t
+(** The trusted party's computation on the unified obfuscated log:
+    dedup real [(user, action)] repeats to the earliest stamp, then
+    per obfuscated user the class-activity count, and per ordered user
+    pair the lag-counter row (all-zero rows absent).  Deterministic in
+    the record {e set} (input order is irrelevant). *)
+
 val run :
   Spe_rng.State.t ->
   wire:Spe_mpc.Wire.t ->

@@ -45,6 +45,24 @@ type result = {
   ciphertexts : int;  (** Total ciphertexts that crossed the wire. *)
 }
 
+val check_exclusive : Spe_actionlog.Log.t array -> int -> unit
+(** [check_exclusive logs num_actions] raises [Invalid_argument] when
+    some action occurs in two providers' logs — the non-exclusive case
+    requires the Protocol 5 preprocessing first. *)
+
+val deltas_of_action :
+  Spe_actionlog.Log.t -> pairs:(int * int) array -> action:int -> int array
+(** The Delta vector of one action over the published pairs:
+    [t_j - t_i] when both users acted and [j] strictly followed [i],
+    else [0].  Shared with [Protocol6_distributed]. *)
+
+val pack_deltas : per:int -> delta_bits:int -> int array -> int array
+(** Pack consecutive groups of [per] deltas (each [< 2^delta_bits])
+    into one plaintext integer, little-endian. *)
+
+val unpack_deltas : per:int -> delta_bits:int -> q:int -> int array -> int array
+(** Inverse of {!pack_deltas} for a vector of [q] deltas. *)
+
 val run :
   Spe_rng.State.t ->
   wire:Spe_mpc.Wire.t ->

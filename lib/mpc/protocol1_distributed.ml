@@ -1,45 +1,47 @@
 module State = Spe_rng.State
 
-type session = {
-  parties : Wire.party array;
-  programs : Runtime.program array;
-  result : unit -> Protocol1.result;
-}
+type session = Protocol1.result Session.t
 
 let max_rounds = 10
+
+(* Mirror the central implementation's draw order exactly — party k's
+   random pieces come off the shared generator before party k+1's, each
+   in (element, piece) order — so the shares are bit-identical to
+   Protocol1.run from an equal-positioned generator. *)
+let draw_pieces st ~m ~modulus input =
+  let len = Array.length input in
+  let pieces = Array.init m (fun _ -> Array.make len 0) in
+  Array.iteri
+    (fun l x ->
+      let partial = ref 0 in
+      for j = 1 to m - 1 do
+        let r = State.next_int st modulus in
+        pieces.(j).(l) <- r;
+        partial := (!partial + r) mod modulus
+      done;
+      pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
+    input;
+  pieces
 
 let make st ~parties ~modulus ~inputs =
   let m = Array.length parties in
   if m < 2 then invalid_arg "Protocol1_distributed.make: need at least two parties";
   if Array.length inputs <> m then
     invalid_arg "Protocol1_distributed.make: one input vector per party";
-  let len = Array.length inputs.(0) in
+  let all_pieces = Array.map (draw_pieces st ~m ~modulus) inputs in
   (* Outputs extracted from the party closures after the run. *)
   let result1 = ref [||] and result2 = ref [||] in
   let programs =
     Array.mapi
       (fun k party ->
-        let rng = State.split st in
-        let input = inputs.(k) in
+        let pieces = all_pieces.(k) in
         (* Party-local state. *)
         let own_piece = ref [||] in
         let aggregate = ref [||] in
         let program ~round ~inbox =
           match round with
           | 1 ->
-            (* Split the private input into m uniform pieces summing to
-               it mod S; keep piece k, address piece j to party j. *)
-            let pieces = Array.init m (fun _ -> Array.make len 0) in
-            Array.iteri
-              (fun l x ->
-                let partial = ref 0 in
-                for j = 1 to m - 1 do
-                  let r = State.next_int rng modulus in
-                  pieces.(j).(l) <- r;
-                  partial := (!partial + r) mod modulus
-                done;
-                pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
-              input;
+            (* Keep piece k, address piece j to party j. *)
             own_piece := pieces.(k);
             List.filter_map
               (fun j ->
@@ -93,15 +95,9 @@ let make st ~parties ~modulus ~inputs =
         program)
       parties
   in
-  {
-    parties;
-    programs;
-    result = (fun () -> { Protocol1.share1 = !result1; share2 = !result2 });
-  }
+  Session.make ~parties ~programs
+    ~rounds:(if m = 2 then 1 else 2)
+    ~result:(fun () -> { Protocol1.share1 = !result1; share2 = !result2 })
 
 let run st ~wire ~parties ~modulus ~inputs =
-  let session = make st ~parties ~modulus ~inputs in
-  let engine = Runtime.create () in
-  Array.iteri (fun k party -> Runtime.add_party engine party session.programs.(k)) parties;
-  let _rounds = Runtime.run engine ~wire ~max_rounds in
-  session.result ()
+  Session.run (make st ~parties ~modulus ~inputs) ~wire

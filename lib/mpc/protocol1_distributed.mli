@@ -3,25 +3,25 @@
 
     Functionally identical to {!Protocol1.run}; exists as a mechanised
     cross-check that the central implementation's data flow is honest
-    (no party touches a value it was never sent).  The tests assert
-    both implementations reconstruct the same sums and charge the same
-    wire totals up to byte rounding.
+    (no party touches a value it was never sent).  The share randomness
+    is drawn off the supplied generator in exactly the central draw
+    order, so a session built from an equal-positioned generator
+    computes {e bit-identical} shares to {!Protocol1.run} on any
+    engine; the tests assert result equality and wire-total agreement
+    up to byte rounding.
 
-    The party programs are exposed as a {!session} so that any engine
+    The party programs are exposed as a {!Session.t} so that any engine
     can host them: the in-process {!Runtime.run} (via {!run}) or the
     [Spe_net] transport endpoints, which carry the same closures over
     real byte streams. *)
 
-type session = {
-  parties : Wire.party array;  (** All participants, in engine order. *)
-  programs : Runtime.program array;  (** One per party, same order. *)
-  result : unit -> Protocol1.result;
-      (** Read the shares out of the party closures; call only after an
-          engine has driven the programs to quiescence. *)
-}
+type session = Protocol1.result Session.t
+(** Alias kept from the pre-{!Session} record; the fields live in
+    {!Session.t} now. *)
 
 val max_rounds : int
-(** A round budget that every instance terminates well within. *)
+(** A round budget that every instance terminates well within (the
+    session itself declares its exact round count). *)
 
 val make :
   Spe_rng.State.t ->
@@ -29,10 +29,7 @@ val make :
   modulus:int ->
   inputs:int array array ->
   session
-(** Build the party programs without running them.  Each party draws
-    its share randomness from a generator split off the supplied one at
-    construction time, so two sessions built from equal-seeded
-    generators compute identical shares on any engine. *)
+(** Build the party programs without running them. *)
 
 val run :
   Spe_rng.State.t ->
@@ -42,4 +39,4 @@ val run :
   inputs:int array array ->
   Protocol1.result
 (** Same contract as {!Protocol1.run}: {!make} driven by
-    {!Runtime.run}. *)
+    {!Session.run}. *)

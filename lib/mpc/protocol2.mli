@@ -45,6 +45,15 @@ type result = {
   views : views;
 }
 
+val p2_leak : input_bound:int -> s2:int -> wrapped:bool -> leak
+(** Theorem 4.1's classification of what player 2 infers from the wrap
+    verdict given his (pre-adjustment) share — shared with the
+    distributed twin, where player 2 classifies his own view. *)
+
+val p3_leak : modulus:int -> input_bound:int -> y:int -> leak
+(** What T infers from one observed [y] — shared with the distributed
+    twin, where T classifies its own view. *)
+
 val run :
   Spe_rng.State.t ->
   wire:Wire.t ->

@@ -3,49 +3,63 @@ module Perm = Spe_rng.Perm
 
 type result = { share1 : int array; share2 : int array }
 
-type session = {
-  parties : Wire.party array;
-  programs : Runtime.program array;
-  result : unit -> result;
-}
+type session = Protocol2.result Session.t
+
+type handle = { share1 : unit -> int array; share2 : unit -> int array }
 
 let max_rounds = 12
 
-let make st ~parties ~third_party ~modulus ~input_bound ~inputs =
+let make_lazy st ~parties ~third_party ~modulus ~input_bound ~length ~inputs =
   let m = Array.length parties in
   if m < 2 then invalid_arg "Protocol2_distributed.make: need at least two parties";
-  if Array.exists (fun p -> p = third_party) parties then
-    invalid_arg "Protocol2_distributed.make: third party must be outside the sharing parties";
+  if third_party = parties.(0) || third_party = parties.(1) then
+    invalid_arg "Protocol2_distributed.make: third party must differ from players 1 and 2";
   if input_bound < 0 || input_bound >= modulus then
     invalid_arg "Protocol2_distributed.make: need 0 <= A < S";
-  let len = if Array.length inputs = 0 then 0 else Array.length inputs.(0) in
-  (* Joint secrets of players 1 and 2 (shared-seed coin flipping). *)
-  let joint = State.split st in
-  let masks = Array.init len (fun _ -> State.next_int joint (modulus - input_bound)) in
-  let perm = Perm.random joint len in
+  if Array.length inputs <> m then
+    invalid_arg "Protocol2_distributed.make: one input thunk per party";
+  let len = length in
+  (* Mirror the central draw order exactly: the Protocol 1 pieces of
+     party 0, then party 1, ..., then player 2's masks, then the shared
+     batch permutation — so both shares are bit-identical to
+     Protocol2.run from an equal-positioned generator.  The input
+     thunks are only forced inside the party programs. *)
+  let rpieces =
+    Array.init m (fun _ ->
+        let pieces = Array.init m (fun _ -> Array.make len 0) in
+        for l = 0 to len - 1 do
+          for j = 1 to m - 1 do
+            pieces.(j).(l) <- State.next_int st modulus
+          done
+        done;
+        pieces)
+  in
+  let masks = Array.init len (fun _ -> State.next_int st (modulus - input_bound)) in
+  let perm = Perm.random st len in
   let result1 = ref [||] and result2 = ref [||] in
+  let p2_leaks = ref [||] and p3_leaks = ref [||] and p3_y = ref [||] in
   (* The y values travel as residues modulo 3S (s1 + s2 + r < 3S). *)
   let y_modulus = 3 * modulus in
   let sharing_programs =
     Array.mapi
       (fun k party ->
-        let rng = State.split st in
-        let input = inputs.(k) in
+        let pieces = rpieces.(k) in
         let own_piece = ref [||] in
         let aggregate = ref [||] in
+        (* Only fold share pieces (modulus S): the merged-role case
+           below can see the masked vectors (modulus 3S) in the same
+           inbox. *)
         let fold_inbox inbox s =
           List.iter
             (fun msg ->
               match msg.Runtime.payload with
-              | Runtime.Ints { values; _ } ->
+              | Runtime.Ints { modulus = md; values } when md = modulus ->
                 Array.iteri (fun l v -> s.(l) <- (s.(l) + v) mod modulus) values
-              | _ -> invalid_arg "Protocol2_distributed: unexpected payload")
+              | _ -> ())
             inbox
         in
         let send_masked_to_third s offset_masks =
-          let payload =
-            Array.init len (fun l -> s.(l) + offset_masks.(l))
-          in
+          let payload = Array.init len (fun l -> s.(l) + offset_masks.(l)) in
           [ { Runtime.src = party; dst = third_party;
               payload = Runtime.Ints { modulus = y_modulus; values = Perm.permute_array perm payload } } ]
         in
@@ -53,14 +67,14 @@ let make st ~parties ~third_party ~modulus ~input_bound ~inputs =
         let program ~round ~inbox =
           match round with
           | 1 ->
-            let pieces = Array.init m (fun _ -> Array.make len 0) in
+            let input = inputs.(k) () in
+            if Array.length input <> len then
+              invalid_arg "Protocol2_distributed: input vector length mismatch";
             Array.iteri
               (fun l x ->
                 let partial = ref 0 in
                 for j = 1 to m - 1 do
-                  let r = State.next_int rng modulus in
-                  pieces.(j).(l) <- r;
-                  partial := (!partial + r) mod modulus
+                  partial := (!partial + pieces.(j).(l)) mod modulus
                 done;
                 pieces.(0).(l) <- ((x - !partial) mod modulus + modulus) mod modulus)
               input;
@@ -99,45 +113,98 @@ let make st ~parties ~third_party ~modulus ~input_bound ~inputs =
             result2 := Array.copy s;
             send_masked_to_third s masks
           | r when r >= 3 && k = 1 -> (
-            (* The verdict round: adjust the final share. *)
-            match inbox with
-            | [ { Runtime.payload = Runtime.Bits verdicts; _ } ] ->
+            (* The verdict round: classify the leak (Theorem 4.1) and
+               adjust the final share. *)
+            match
+              List.find_map
+                (fun msg ->
+                  match msg.Runtime.payload with
+                  | Runtime.Bits verdicts -> Some verdicts
+                  | _ -> None)
+                inbox
+            with
+            | Some verdicts ->
               let s = !result2 in
+              let leaks = Array.make len Protocol2.Nothing in
               for l = 0 to len - 1 do
-                if verdicts.(Perm.apply perm l) then s.(l) <- s.(l) - modulus
+                let wrapped = verdicts.(Perm.apply perm l) in
+                leaks.(l) <- Protocol2.p2_leak ~input_bound ~s2:s.(l) ~wrapped;
+                if wrapped then s.(l) <- s.(l) - modulus
               done;
+              p2_leaks := leaks;
               []
-            | [] -> []
-            | _ -> invalid_arg "Protocol2_distributed: unexpected verdict inbox")
+            | None -> [])
           | _ -> []
         in
         program)
       parties
   in
-  (* The third party: buffers the two masked vectors, then announces
-     the wrap verdicts. *)
-  let buffer = ref [] in
+  (* The third party: collects the two masked vectors, classifies its
+     own leak, then announces the wrap verdicts. *)
+  let v1 = ref None and v2 = ref None in
   let third_program ~round:_ ~inbox =
-    buffer := !buffer @ inbox;
-    match !buffer with
-    | [ { Runtime.payload = Runtime.Ints { values = v1; _ }; _ };
-        { Runtime.payload = Runtime.Ints { values = v2; _ }; _ } ] ->
-      buffer := [];
-      let verdicts = Array.init len (fun l -> v1.(l) + v2.(l) >= modulus) in
+    List.iter
+      (fun msg ->
+        match msg.Runtime.payload with
+        | Runtime.Ints { modulus = md; values } when md = y_modulus ->
+          if msg.Runtime.src = parties.(0) then v1 := Some values
+          else if msg.Runtime.src = parties.(1) then v2 := Some values
+        | _ -> ())
+      inbox;
+    match (!v1, !v2) with
+    | Some a, Some b ->
+      v1 := None;
+      v2 := None;
+      let y = Array.init len (fun l -> a.(l) + b.(l)) in
+      p3_y := y;
+      p3_leaks := Array.map (fun yl -> Protocol2.p3_leak ~modulus ~input_bound ~y:yl) y;
+      let verdicts = Array.map (fun yl -> yl >= modulus) y in
       [ { Runtime.src = third_party; dst = parties.(1); payload = Runtime.Bits verdicts } ]
     | _ -> []
   in
-  {
-    parties = Array.append parties [| third_party |];
-    programs = Array.append sharing_programs [| third_program |];
-    result = (fun () -> { share1 = !result1; share2 = !result2 });
-  }
+  (* When the third party is itself a sharing party (the central m > 2
+     pipelines use provider 3), merge both roles into one program: the
+     share traffic and the masked vectors are disjoint in round and in
+     modulus, so each role filters its own messages. *)
+  let session_parties, programs =
+    match
+      Array.to_list parties |> List.mapi (fun i p -> (i, p))
+      |> List.find_opt (fun (_, p) -> p = third_party)
+    with
+    | None ->
+      (Array.append parties [| third_party |],
+       Array.append sharing_programs [| third_program |])
+    | Some (t, _) ->
+      let merged ~round ~inbox =
+        sharing_programs.(t) ~round ~inbox @ third_program ~round ~inbox
+      in
+      let programs = Array.copy sharing_programs in
+      programs.(t) <- merged;
+      (parties, programs)
+  in
+  let rounds = if m = 2 then 3 else 4 in
+  let session =
+    Session.make ~parties:session_parties ~programs ~rounds ~result:(fun () ->
+        {
+          Protocol2.share1 = !result1;
+          share2 = !result2;
+          views = { Protocol2.p2_leaks = !p2_leaks; p3_leaks = !p3_leaks; p3_y = !p3_y };
+        })
+  in
+  (session, { share1 = (fun () -> !result1); share2 = (fun () -> !result2) })
+
+let make st ~parties ~third_party ~modulus ~input_bound ~inputs =
+  if Array.exists (fun p -> p = third_party) parties then
+    invalid_arg "Protocol2_distributed.make: third party must be outside the sharing parties";
+  let length = if Array.length inputs = 0 then 0 else Array.length inputs.(0) in
+  let session, _ =
+    make_lazy st ~parties ~third_party ~modulus ~input_bound ~length
+      ~inputs:(Array.map (fun input () -> input) inputs)
+  in
+  session
 
 let run st ~wire ~parties ~third_party ~modulus ~input_bound ~inputs =
-  let session = make st ~parties ~third_party ~modulus ~input_bound ~inputs in
-  let engine = Runtime.create () in
-  Array.iteri
-    (fun k party -> Runtime.add_party engine party session.programs.(k))
-    session.parties;
-  let _rounds = Runtime.run engine ~wire ~max_rounds in
-  session.result ()
+  let { Protocol2.share1; share2; _ } =
+    Session.run (make st ~parties ~third_party ~modulus ~input_bound ~inputs) ~wire
+  in
+  ({ share1; share2 } : result)

@@ -2,35 +2,58 @@
     exchange, then the masked wrap-around test through the third party,
     with every player an isolated state machine.
 
-    Restrictions relative to {!Protocol2.run}: the third party must not
-    be one of the sharing parties (use the host), since each runtime
-    party runs a single program.  The jointly-generated secrets of
-    players 1 and 2 (the masks and the batch permutation) are
-    precomputed from a shared generator and captured by both closures —
-    the same semi-honest joint-coin-flipping model as everywhere else
-    (DESIGN.md).
-
-    The tests assert result equality (integer share reconstruction) and
-    wire-total agreement with the central {!Protocol2.run} up to byte
-    rounding.
+    The jointly-generated secrets of players 1 and 2 (the masks and the
+    batch permutation) are precomputed from the shared generator and
+    captured by both closures — the same semi-honest
+    joint-coin-flipping model as everywhere else (DESIGN.md).  All
+    randomness is consumed in exactly the central draw order, so both
+    shares (and the leak views) are {e bit-identical} to
+    {!Protocol2.run} from an equal-positioned generator; the tests
+    assert this, plus wire-total agreement up to byte rounding.
 
     As with {!Protocol1_distributed}, the party programs are exposed as
-    a {!session} so any engine — the in-process {!Runtime.run} or the
+    a {!Session.t} so any engine — the in-process {!Runtime.run} or the
     [Spe_net] transport endpoints — can host them. *)
 
 type result = { share1 : int array; share2 : int array }
+(** The legacy result of {!run}; {!make}'s session result is the full
+    {!Protocol2.result} with the Theorem 4.1 leak views. *)
 
-type session = {
-  parties : Wire.party array;
-      (** The sharing parties followed by the third party. *)
-  programs : Runtime.program array;  (** One per party, same order. *)
-  result : unit -> result;
-      (** Read the shares out of the party closures; call only after an
-          engine has driven the programs to quiescence. *)
+type session = Protocol2.result Session.t
+(** Alias kept from the pre-{!Session} record; the fields live in
+    {!Session.t} now.  The session's parties are the sharing parties
+    followed by the third party (unless merged, see {!make_lazy}). *)
+
+type handle = {
+  share1 : unit -> int array;  (** Player 1's final share (his own view). *)
+  share2 : unit -> int array;  (** Player 2's final share (post-verdict). *)
 }
+(** Per-player accessors for composing sessions: a later phase run by
+    player 1 (resp. 2) may read only its own share, rather than the
+    orchestrator-level session result. *)
 
 val max_rounds : int
-(** A round budget that every instance terminates well within. *)
+(** A round budget that every instance terminates well within (the
+    session itself declares its exact round count). *)
+
+val make_lazy :
+  Spe_rng.State.t ->
+  parties:Wire.party array ->
+  third_party:Wire.party ->
+  modulus:int ->
+  input_bound:int ->
+  length:int ->
+  inputs:(unit -> int array) array ->
+  session * handle
+(** Build the party programs with {e deferred} inputs: each party's
+    thunk is forced inside its own program at round 1, so a composed
+    pipeline can share counters that an earlier phase only just
+    delivered (e.g. counters built against the published pair set).
+
+    Unlike {!make}, the third party may also be one of the sharing
+    parties with index [>= 2] (as the central Protocol 4 uses provider
+    3 when [m > 2]); both roles then merge into one program.  It must
+    still differ from players 1 and 2. *)
 
 val make :
   Spe_rng.State.t ->
@@ -40,7 +63,9 @@ val make :
   input_bound:int ->
   inputs:int array array ->
   session
-(** Build the party programs without running them. *)
+(** {!make_lazy} with eager inputs and the stricter historical
+    restriction that the third party lies outside the sharing
+    parties. *)
 
 val run :
   Spe_rng.State.t ->
@@ -51,4 +76,4 @@ val run :
   input_bound:int ->
   inputs:int array array ->
   result
-(** {!make} driven by {!Runtime.run}. *)
+(** {!make} driven by {!Session.run}. *)

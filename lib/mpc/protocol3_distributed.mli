@@ -2,8 +2,23 @@
     distributed-twin validation set (Protocols 1-3).
 
     Players 1 and 2 hold the private integers; the host receives the
-    masked reals and divides.  The joint mask (Steps 1-2) is
-    precomputed from a shared generator, as everywhere else. *)
+    masked reals and divides.  The joint mask (Steps 1-2) is consumed
+    off the supplied generator in the central draw order, so the
+    quotient is bit-identical to [Protocol3.run] on any engine. *)
+
+type session = float Session.t
+
+val make :
+  Spe_rng.State.t ->
+  p1:Wire.party ->
+  p2:Wire.party ->
+  host:Wire.party ->
+  a1:int ->
+  a2:int ->
+  session
+(** Build the three party programs without running them; the session
+    result is the quotient the host computed (zero on a zero
+    denominator, as in [Protocol3.run]). *)
 
 val run :
   Spe_rng.State.t ->
@@ -14,5 +29,4 @@ val run :
   a1:int ->
   a2:int ->
   float
-(** Returns the quotient the host computed; same contract as
-    [Protocol3.run] (zero on a zero denominator). *)
+(** {!make} driven by {!Session.run}. *)

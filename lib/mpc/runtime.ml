@@ -2,12 +2,23 @@ type payload =
   | Ints of { modulus : int; values : int array }
   | Floats of float array
   | Bits of bool array
+  | Nats of { width_bits : int; values : Spe_bignum.Nat.t array }
+  | Tuples of { moduli : int array; rows : int array array }
+  | Batch of payload list
 
-let payload_bits = function
+let rec payload_bits = function
   | Ints { modulus; values } ->
     8 * Bytes.length (Codec.encode_residues ~modulus values)
   | Floats values -> 8 * Bytes.length (Codec.encode_floats values)
   | Bits flags -> 8 * Bytes.length (Codec.encode_bitset flags)
+  | Nats { width_bits; values } ->
+    8 * Bytes.length (Codec.encode_nats ~width_bits values)
+  | Tuples { moduli; rows } ->
+    let row_bytes =
+      Array.fold_left (fun acc modulus -> acc + Codec.residue_bytes ~modulus) 0 moduli
+    in
+    8 * row_bytes * Array.length rows
+  | Batch payloads -> List.fold_left (fun acc p -> acc + payload_bits p) 0 payloads
 
 type message = { src : Wire.party; dst : Wire.party; payload : payload }
 

@@ -21,6 +21,17 @@ type payload =
       (** Residue vector, encoded fixed-width per the modulus. *)
   | Floats of float array  (** IEEE doubles. *)
   | Bits of bool array  (** One bit each, byte padded. *)
+  | Nats of { width_bits : int; values : Spe_bignum.Nat.t array }
+      (** Fixed-width big naturals — ciphertexts and keys (Protocol 6). *)
+  | Tuples of { moduli : int array; rows : int array array }
+      (** Fixed-shape records: every row holds one residue per modulus,
+          each encoded fixed-width per its column modulus — the
+          obfuscated action records and counter tables of Protocol 5. *)
+  | Batch of payload list
+      (** Several payloads in one message; charged the sum of the
+          parts.  Lets a distributed protocol keep the central one-round
+          one-message structure when a logical message mixes encodings
+          (e.g. Protocol 6's action labels + ciphertext bundles). *)
 
 val payload_bits : payload -> int
 (** Exact encoded size, as charged on the wire. *)

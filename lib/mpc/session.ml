@@ -1,0 +1,123 @@
+type 'r t = {
+  parties : Wire.party array;
+  programs : Runtime.program array;
+  rounds : int;
+  result : unit -> 'r;
+}
+
+let make ~parties ~programs ~rounds ~result =
+  if Array.length parties <> Array.length programs then
+    invalid_arg "Session.make: one program per party";
+  if rounds < 0 then invalid_arg "Session.make: negative round count";
+  Array.iteri
+    (fun i p ->
+      for j = 0 to i - 1 do
+        if parties.(j) = p then invalid_arg "Session.make: duplicate party"
+      done)
+    parties;
+  { parties; programs; rounds; result }
+
+let map f t = { t with result = (fun () -> f (t.result ())) }
+
+let program_of t party =
+  let rec find k =
+    if k >= Array.length t.parties then None
+    else if t.parties.(k) = party then Some t.programs.(k)
+    else find (k + 1)
+  in
+  find 0
+
+(* Union keeping [a]'s order first — engine registration order decides
+   inbox ordering, so this must be deterministic. *)
+let union_parties a b =
+  let extra =
+    Array.to_list b.parties
+    |> List.filter (fun p -> not (Array.exists (( = ) p) a.parties))
+  in
+  Array.append a.parties (Array.of_list extra)
+
+let member parties p = Array.exists (( = ) p) parties
+
+let seq a b =
+  let parties = union_parties a b in
+  let programs =
+    Array.map
+      (fun party ->
+        let pa = program_of a party and pb = program_of b party in
+        fun ~round ~inbox ->
+          if round <= a.rounds then
+            match pa with
+            | Some f -> f ~round ~inbox
+            | None ->
+              if inbox <> [] then
+                invalid_arg "Session.seq: message across phase boundary";
+              []
+          else if round = a.rounds + 1 then begin
+            (* Phase A's finishing call: final inbox, mandatory silence;
+               then phase B's first round on an empty inbox. *)
+            (match pa with
+            | Some f ->
+              if f ~round ~inbox <> [] then
+                invalid_arg "Session.seq: first phase overran its declared rounds"
+            | None ->
+              if inbox <> [] then
+                invalid_arg "Session.seq: message across phase boundary");
+            match pb with Some f -> f ~round:1 ~inbox:[] | None -> []
+          end
+          else
+            match pb with
+            | Some f -> f ~round:(round - a.rounds) ~inbox
+            | None ->
+              if inbox <> [] then
+                invalid_arg "Session.seq: message across phase boundary";
+              [])
+      parties
+  in
+  {
+    parties;
+    programs;
+    rounds = a.rounds + b.rounds;
+    result =
+      (fun () ->
+        let ra = a.result () in
+        let rb = b.result () in
+        (ra, rb));
+  }
+
+let par a b =
+  Array.iter
+    (fun p ->
+      if member b.parties p then invalid_arg "Session.par: party sets must be disjoint")
+    a.parties;
+  let guard own_parties f ~round ~inbox =
+    List.iter
+      (fun msg ->
+        if not (member own_parties msg.Runtime.src) then
+          invalid_arg "Session.par: message across session boundary")
+      inbox;
+    f ~round ~inbox
+  in
+  let programs =
+    Array.append
+      (Array.map (guard a.parties) a.programs)
+      (Array.map (guard b.parties) b.programs)
+  in
+  {
+    parties = Array.append a.parties b.parties;
+    programs;
+    rounds = max a.rounds b.rounds;
+    result =
+      (fun () ->
+        let ra = a.result () in
+        let rb = b.result () in
+        (ra, rb));
+  }
+
+let run t ~wire =
+  let engine = Runtime.create () in
+  Array.iteri (fun k p -> Runtime.add_party engine p t.programs.(k)) t.parties;
+  let executed = Runtime.run engine ~wire ~max_rounds:(t.rounds + 1) in
+  if executed <> t.rounds then
+    failwith
+      (Printf.sprintf "Session.run: declared %d rounds but executed %d" t.rounds executed);
+  t.result ()

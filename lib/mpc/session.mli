@@ -1,0 +1,75 @@
+(** A first-class, engine-agnostic protocol session.
+
+    A session packages everything an engine needs to execute a
+    multi-party protocol — the parties, one {!Runtime.program} per
+    party, the exact number of charged rounds, and a thunk that reads
+    the result out of the party closures once an engine has driven the
+    programs to quiescence.  [Protocol1_distributed],
+    [Protocol2_distributed] and [Protocol3_distributed] each used to
+    carry their own copy of this record; they now alias this type, and
+    the Protocol 4/5/6 pipelines in [Spe_core] are built by {e
+    composing} sessions with the combinators below.
+
+    Any engine can host a session: the in-process {!Runtime.run} (via
+    {!run}), or the [Spe_net] endpoints, which carry the same party
+    closures over memory channels or sockets.
+
+    {2 Composition semantics}
+
+    {!seq} splices a second phase directly after the first with no idle
+    round in between: phase A's programs see local rounds [1..rounds_a]
+    plus one finishing call at [rounds_a + 1] (their final inbox, at
+    which they must be silent), and phase B's programs start at the
+    same global round with local round [1].  Dataflow between phases
+    goes through the party closures — a phase-B program may read a
+    ref (or call an accessor) that a phase-A program of the {e same}
+    party filled.  Phases must be self-contained: a message across the
+    phase boundary raises.
+
+    {!par} interleaves two sessions over {e disjoint} party sets in the
+    same rounds; each program sees only messages originating inside its
+    own session. *)
+
+type 'r t = {
+  parties : Wire.party array;  (** All participants, in engine order. *)
+  programs : Runtime.program array;  (** One per party, same order. *)
+  rounds : int;
+      (** Exact number of charged (message-bearing) rounds the session
+          executes on any engine.  Engines use [rounds + 1] as the
+          round budget; {!seq} uses it to splice phases. *)
+  result : unit -> 'r;
+      (** Read the result out of the party closures; call only after an
+          engine has driven the programs to quiescence. *)
+}
+
+val make :
+  parties:Wire.party array ->
+  programs:Runtime.program array ->
+  rounds:int ->
+  result:(unit -> 'r) ->
+  'r t
+(** Raises [Invalid_argument] on mismatched array lengths, duplicate
+    parties, or a negative round count. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-compose the result thunk. *)
+
+val seq : 'a t -> 'b t -> ('a * 'b) t
+(** [seq a b] runs [a] to completion, then [b], as one session over the
+    union of both party sets (a party appearing in both runs its [a]
+    program through [a]'s rounds, then its [b] program).  The combined
+    round count is the sum.  Raises at execution time if a phase-A
+    program sends after its declared rounds, or if a message crosses
+    the phase boundary. *)
+
+val par : 'a t -> 'b t -> ('a * 'b) t
+(** [par a b] runs both sessions concurrently over the disjoint union
+    of their party sets; the combined round count is the max.  Raises
+    [Invalid_argument] if the party sets intersect, and at execution
+    time if a message crosses the session boundary. *)
+
+val run : 'r t -> wire:Wire.t -> 'r
+(** Drive the session with the in-process {!Runtime.run} and return the
+    result.  Raises [Failure] if the executed round count differs from
+    the declared {!field-rounds} — a mis-declared session would silently
+    desynchronise {!seq}, so this is checked on every run. *)

@@ -1,5 +1,6 @@
 module Wire = Spe_mpc.Wire
 module Runtime = Spe_mpc.Runtime
+module Session = Spe_mpc.Session
 
 type config = { round_timeout : float; max_retries : int; linger : float }
 
@@ -233,3 +234,29 @@ let run_socket ?config ?addresses ~parties ~programs ~max_rounds () =
   in
   let transports = Transport.Socket.create_group ~addresses in
   run_group ?config ~transports ~parties ~programs ~max_rounds ()
+
+(* A session declares its exact round count; enforce it like
+   Session.run does, so a mis-declared session cannot silently
+   desynchronise a composed pipeline on a transport engine either. *)
+let check_session_rounds (session : _ Session.t) result =
+  let executed = Array.fold_left (fun acc o -> max acc o.rounds) 0 result.outcomes in
+  if executed <> session.Session.rounds then
+    failwith
+      (Printf.sprintf "Endpoint.run_session: declared %d rounds but executed %d"
+         session.Session.rounds executed)
+
+let run_session_memory ?config ?fault session =
+  let result =
+    run_memory ?config ?fault ~parties:session.Session.parties
+      ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ()
+  in
+  check_session_rounds session result;
+  (session.Session.result (), result)
+
+let run_session_socket ?config ?addresses session =
+  let result =
+    run_socket ?config ?addresses ~parties:session.Session.parties
+      ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ()
+  in
+  check_session_rounds session result;
+  (session.Session.result (), result)

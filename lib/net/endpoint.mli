@@ -89,3 +89,20 @@ val run_socket :
 (** {!run_group} over a fresh {!Transport.Socket} group (fresh
     Unix-domain sockets in a temporary directory unless [addresses]
     says otherwise). *)
+
+val run_session_memory :
+  ?config:config ->
+  ?fault:Fault.t ->
+  'r Spe_mpc.Session.t ->
+  'r * result
+(** Host a composed {!Spe_mpc.Session} on memory-channel endpoints and
+    read its result.  Like {!Spe_mpc.Session.run}, raises [Failure] if
+    the executed round count differs from the session's declared
+    {!Spe_mpc.Session.rounds}. *)
+
+val run_session_socket :
+  ?config:config ->
+  ?addresses:Transport.Socket.address array ->
+  'r Spe_mpc.Session.t ->
+  'r * result
+(** {!run_session_memory} over fresh Unix-domain sockets. *)

@@ -28,6 +28,9 @@ let tag_fin = 4
 let kind_ints = 0
 let kind_floats = 1
 let kind_bits = 2
+let kind_nats = 3
+let kind_tuples = 4
+let kind_batch = 5
 
 (* Parties in two bytes: Host = 0, Provider k = k + 1. *)
 let party_code = function
@@ -87,7 +90,7 @@ let get_bytes r n =
   r.pos <- r.pos + n;
   b
 
-let put_payload buf = function
+let rec put_payload buf = function
   | Runtime.Ints { modulus; values } ->
     put_u8 buf kind_ints;
     put_u63 buf modulus;
@@ -101,8 +104,31 @@ let put_payload buf = function
     put_u8 buf kind_bits;
     put_u32 buf (Array.length flags);
     Buffer.add_bytes buf (Codec.encode_bitset flags)
+  | Runtime.Nats { width_bits; values } ->
+    put_u8 buf kind_nats;
+    put_u63 buf width_bits;
+    put_u32 buf (Array.length values);
+    Buffer.add_bytes buf (Codec.encode_nats ~width_bits values)
+  | Runtime.Tuples { moduli; rows } ->
+    put_u8 buf kind_tuples;
+    put_u16 buf (Array.length moduli);
+    Array.iter (fun modulus -> put_u63 buf modulus) moduli;
+    put_u32 buf (Array.length rows);
+    Array.iter
+      (fun row ->
+        if Array.length row <> Array.length moduli then
+          invalid_arg "Frame.encode: tuple row arity mismatch";
+        Array.iteri
+          (fun j v ->
+            Buffer.add_bytes buf (Codec.encode_residues ~modulus:moduli.(j) [| v |]))
+          row)
+      rows
+  | Runtime.Batch payloads ->
+    put_u8 buf kind_batch;
+    put_u16 buf (List.length payloads);
+    List.iter (fun p -> put_payload buf p) payloads
 
-let get_payload r =
+let rec get_payload r =
   match get_u8 r with
   | k when k = kind_ints ->
     let modulus = get_u63 r in
@@ -116,6 +142,29 @@ let get_payload r =
   | k when k = kind_bits ->
     let count = get_u32 r in
     Runtime.Bits (Codec.decode_bitset ~count (get_bytes r ((count + 7) / 8)))
+  | k when k = kind_nats ->
+    let width_bits = get_u63 r in
+    if width_bits < 1 then invalid_arg "Frame.decode: bad nat width";
+    let count = get_u32 r in
+    let body = get_bytes r ((width_bits + 7) / 8 * count) in
+    Runtime.Nats { width_bits; values = Codec.decode_nats ~width_bits ~count body }
+  | k when k = kind_tuples ->
+    let arity = get_u16 r in
+    let moduli = Array.init arity (fun _ -> get_u63 r) in
+    Array.iter (fun m -> if m <= 1 then invalid_arg "Frame.decode: bad modulus") moduli;
+    let count = get_u32 r in
+    let rows =
+      Array.init count (fun _ ->
+          Array.map
+            (fun modulus ->
+              let body = get_bytes r (Codec.residue_bytes ~modulus) in
+              (Codec.decode_residues ~modulus ~count:1 body).(0))
+            moduli)
+    in
+    Runtime.Tuples { moduli; rows }
+  | k when k = kind_batch ->
+    let count = get_u16 r in
+    Runtime.Batch (List.init count (fun _ -> get_payload r))
   | k -> invalid_arg (Printf.sprintf "Frame.decode: unknown payload kind %d" k)
 
 let encode t =

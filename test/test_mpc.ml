@@ -467,6 +467,114 @@ let test_p2_distributed_rejects_inside_third () =
            ~third_party:(Wire.Provider 2) ~modulus:1024 ~input_bound:10
            ~inputs:[| [| 1 |]; [| 2 |]; [| 3 |] |]))
 
+(* --- sessions ----------------------------------------------------------------- *)
+
+module Session = Spe_mpc.Session
+
+(* [sender -> receiver] for [rounds] rounds, one Floats message per
+   round; the result is [tag]. *)
+let chat_session ~sender ~receiver ~rounds tag =
+  let count = ref 0 in
+  Session.make
+    ~parties:[| sender; receiver |]
+    ~programs:
+      [|
+        (fun ~round ~inbox:_ ->
+          if round <= rounds then
+            [ { Runtime.src = sender; dst = receiver; payload = Runtime.Floats [| 1. |] } ]
+          else []);
+        (fun ~round:_ ~inbox -> List.iter (fun _ -> incr count) inbox; []);
+      |]
+    ~rounds
+    ~result:(fun () -> (tag, !count))
+
+let test_session_seq_splices () =
+  let a = chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:2 "A" in
+  let b = chat_session ~sender:(Wire.Provider 1) ~receiver:(Wire.Provider 2) ~rounds:1 "B" in
+  let s = Session.seq a b in
+  Alcotest.(check int) "rounds add up" 3 s.Session.rounds;
+  Alcotest.(check int) "parties united in order" 3 (Array.length s.Session.parties);
+  let w = Wire.create () in
+  let (ta, ca), (tb, cb) = Session.run s ~wire:w in
+  Alcotest.(check (pair string int)) "phase A result" ("A", 2) (ta, ca);
+  Alcotest.(check (pair string int)) "phase B result" ("B", 1) (tb, cb);
+  let stats = Wire.stats w in
+  Alcotest.(check int) "no idle round between phases" 3 stats.Wire.rounds;
+  Alcotest.(check int) "all messages charged" 3 stats.Wire.messages
+
+let test_session_seq_rejects_overrun () =
+  (* Declared one round, but the program also sends at its finishing
+     call — the splice must refuse rather than desynchronise phase B. *)
+  let a =
+    Session.make
+      ~parties:[| Wire.Provider 0; Wire.Provider 1 |]
+      ~programs:
+        [|
+          (fun ~round:_ ~inbox:_ ->
+            [ { Runtime.src = Wire.Provider 0; dst = Wire.Provider 1;
+                payload = Runtime.Bits [| true |] } ]);
+          (fun ~round:_ ~inbox:_ -> []);
+        |]
+      ~rounds:1
+      ~result:(fun () -> ())
+  in
+  let b = chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:1 "B" in
+  Alcotest.check_raises "overrun detected"
+    (Invalid_argument "Session.seq: first phase overran its declared rounds") (fun () ->
+      ignore (Session.run (Session.seq a b) ~wire:(Wire.create ())))
+
+let test_session_seq_rejects_cross_boundary () =
+  (* Phase A aims a message at a party that only joins in phase B. *)
+  let a =
+    Session.make
+      ~parties:[| Wire.Provider 0; Wire.Provider 1 |]
+      ~programs:
+        [|
+          (fun ~round ~inbox:_ ->
+            if round = 1 then
+              [ { Runtime.src = Wire.Provider 0; dst = Wire.Provider 2;
+                  payload = Runtime.Bits [| true |] } ]
+            else []);
+          (fun ~round:_ ~inbox:_ -> []);
+        |]
+      ~rounds:2
+      ~result:(fun () -> ())
+  in
+  let b = chat_session ~sender:(Wire.Provider 2) ~receiver:(Wire.Provider 0) ~rounds:1 "B" in
+  Alcotest.check_raises "phase boundary enforced"
+    (Invalid_argument "Session.seq: message across phase boundary") (fun () ->
+      ignore (Session.run (Session.seq a b) ~wire:(Wire.create ())))
+
+let test_session_par_interleaves () =
+  let a = chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:2 "A" in
+  let b = chat_session ~sender:(Wire.Provider 2) ~receiver:(Wire.Provider 3) ~rounds:1 "B" in
+  let s = Session.par a b in
+  Alcotest.(check int) "rounds are the max" 2 s.Session.rounds;
+  let w = Wire.create () in
+  let (ta, ca), (tb, cb) = Session.run s ~wire:w in
+  Alcotest.(check (pair string int)) "left result" ("A", 2) (ta, ca);
+  Alcotest.(check (pair string int)) "right result" ("B", 1) (tb, cb);
+  Alcotest.(check int) "messages from both sessions" 3 (Wire.stats w).Wire.messages
+
+let test_session_par_rejects_overlap () =
+  let a = chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:1 "A" in
+  let b = chat_session ~sender:(Wire.Provider 1) ~receiver:(Wire.Provider 2) ~rounds:1 "B" in
+  Alcotest.check_raises "overlapping parties"
+    (Invalid_argument "Session.par: party sets must be disjoint") (fun () ->
+      ignore (Session.par a b))
+
+let test_session_run_checks_declared_rounds () =
+  let quiet =
+    Session.make
+      ~parties:[| Wire.Provider 0 |]
+      ~programs:[| (fun ~round:_ ~inbox:_ -> []) |]
+      ~rounds:2
+      ~result:(fun () -> ())
+  in
+  Alcotest.check_raises "mis-declared round count"
+    (Failure "Session.run: declared 2 rounds but executed 0") (fun () ->
+      Session.run quiet ~wire:(Wire.create ()))
+
 (* --- codec -------------------------------------------------------------------- *)
 
 module Codec = Spe_mpc.Codec
@@ -647,6 +755,17 @@ let () =
           Alcotest.test_case "protocol 2 distributed" `Quick test_p2_distributed_matches_central;
           Alcotest.test_case "protocol 3 distributed" `Quick test_p3_distributed_matches_central;
           Alcotest.test_case "third party placement" `Quick test_p2_distributed_rejects_inside_third;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "seq splices phases" `Quick test_session_seq_splices;
+          Alcotest.test_case "seq rejects overrun" `Quick test_session_seq_rejects_overrun;
+          Alcotest.test_case "seq rejects cross-boundary message" `Quick
+            test_session_seq_rejects_cross_boundary;
+          Alcotest.test_case "par interleaves" `Quick test_session_par_interleaves;
+          Alcotest.test_case "par rejects overlap" `Quick test_session_par_rejects_overlap;
+          Alcotest.test_case "run checks declared rounds" `Quick
+            test_session_run_checks_declared_rounds;
         ] );
       ( "codec",
         [

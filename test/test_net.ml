@@ -7,9 +7,21 @@
 module State = Spe_rng.State
 module Wire = Spe_mpc.Wire
 module Runtime = Spe_mpc.Runtime
+module Session = Spe_mpc.Session
 module Protocol1 = Spe_mpc.Protocol1
+module Protocol2 = Spe_mpc.Protocol2
+module Protocol3 = Spe_mpc.Protocol3
 module P1d = Spe_mpc.Protocol1_distributed
 module P2d = Spe_mpc.Protocol2_distributed
+module P3d = Spe_mpc.Protocol3_distributed
+module Nat = Spe_bignum.Nat
+module Generate = Spe_graph.Generate
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Protocol4 = Spe_core.Protocol4
+module Protocol6 = Spe_core.Protocol6
+module Driver = Spe_core.Driver
+module Driver_distributed = Spe_core.Driver_distributed
 module Frame = Spe_net.Frame
 module Fault = Spe_net.Fault
 module Transport = Spe_net.Transport
@@ -41,6 +53,27 @@ let test_frame_roundtrips () =
     (Frame.Data
        { round = 2; seq = 9; src = Wire.Provider 1; dst = Wire.Host;
          payload = Runtime.Bits [| true; false; true; true; false; true; false; true; true |] });
+  roundtrip
+    (Frame.Data
+       { round = 3; seq = 1; src = Wire.Provider 2; dst = Wire.Host;
+         payload =
+           Runtime.Nats
+             { width_bits = 64;
+               values = [| Nat.zero; Nat.of_int 123456789; Nat.of_int max_int |] } });
+  roundtrip
+    (Frame.Data
+       { round = 5; seq = 3; src = Wire.Host; dst = Wire.Provider 0;
+         payload =
+           Runtime.Tuples
+             { moduli = [| 8; 300; 17 |]; rows = [| [| 1; 2; 3 |]; [| 7; 299; 16 |] |] } });
+  roundtrip
+    (Frame.Data
+       { round = 6; seq = 0; src = Wire.Provider 1; dst = Wire.Provider 0;
+         payload =
+           Runtime.Batch
+             [ Runtime.Ints { modulus = 1 lsl 12; values = [| 1; 4095 |] };
+               Runtime.Nats { width_bits = 16; values = [| Nat.of_int 65535 |] };
+               Runtime.Tuples { moduli = [| 4; 4 |]; rows = [| [| 3; 0 |] |] } ] });
   roundtrip (Frame.End_of_round { round = 4; sender = 1; total = 6; to_dst = 2 });
   roundtrip (Frame.Nack { round = 4; sender = 0 });
   roundtrip (Frame.Fin { sender = 2 })
@@ -58,7 +91,12 @@ let test_frame_rejects_garbage () =
 let test_frame_payload_length_matches_runtime () =
   let payloads =
     [ Runtime.Ints { modulus = 1 lsl 20; values = [| 1; 2; 3 |] };
-      Runtime.Floats [| 1.; 2. |]; Runtime.Bits (Array.make 11 true) ]
+      Runtime.Floats [| 1.; 2. |]; Runtime.Bits (Array.make 11 true);
+      Runtime.Nats { width_bits = 48; values = [| Nat.of_int 5; Nat.of_int 1000000 |] };
+      Runtime.Tuples { moduli = [| 30; 12; 64 |]; rows = [| [| 29; 0; 63 |]; [| 1; 11; 7 |] |] };
+      Runtime.Batch
+        [ Runtime.Floats [| 0.5 |];
+          Runtime.Nats { width_bits = 8; values = [| Nat.of_int 255 |] } ] ]
   in
   List.iter
     (fun payload ->
@@ -242,10 +280,10 @@ let run_p1_over engine ~seed ~parties ~modulus ~inputs =
   let s = State.create ~seed () in
   let session = P1d.make s ~parties ~modulus ~inputs in
   let res =
-    engine ~parties:session.P1d.parties ~programs:session.P1d.programs
+    engine ~parties:session.Session.parties ~programs:session.Session.programs
       ~max_rounds:P1d.max_rounds ()
   in
-  (session.P1d.result (), res)
+  (session.Session.result (), res)
 
 let logs_of (res : Endpoint.result) =
   Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
@@ -298,14 +336,14 @@ let check_p2_engine engine label =
         P2d.make s ~parties ~third_party:Wire.Host ~modulus ~input_bound:bound ~inputs
       in
       let res =
-        engine ~parties:session.P2d.parties ~programs:session.P2d.programs
+        engine ~parties:session.Session.parties ~programs:session.Session.programs
           ~max_rounds:P2d.max_rounds ()
       in
-      let result = session.P2d.result () in
+      let result = session.Session.result () in
       Alcotest.(check bool) (Printf.sprintf "%s m=%d share1" label m) true
-        (result.P2d.share1 = reference.P2d.share1);
+        (result.Protocol2.share1 = reference.P2d.share1);
       Alcotest.(check bool) (Printf.sprintf "%s m=%d share2" label m) true
-        (result.P2d.share2 = reference.P2d.share2);
+        (result.Protocol2.share2 = reference.P2d.share2);
       let merged_stats = Wire.stats (Net_wire.merge (logs_of res)) in
       Alcotest.(check bool)
         (Printf.sprintf "%s m=%d NR/NM/MS identical to the simulated wire" label m)
@@ -316,6 +354,155 @@ let check_p2_engine engine label =
 let test_p2_memory_matches_sim () = check_p2_engine (mem_engine ()) "memory"
 
 let test_p2_socket_matches_sim () = check_p2_engine sock_engine "socket"
+
+(* Protocol 3: the quotient and the full NR/NM/MS triple are identical
+   across the central run, the in-process session, and both transport
+   engines — the distributed twin charges the same two Floats sends. *)
+let test_p3_cross_engine () =
+  let p1 = Wire.Provider 0 and p2 = Wire.Provider 1 and host = Wire.Host in
+  List.iter
+    (fun (a1, a2) ->
+      let label = Printf.sprintf "p3 a1=%d a2=%d" a1 a2 in
+      let central_q, central_stats =
+        let s = State.create ~seed:71 () in
+        let w = Wire.create () in
+        let o = Protocol3.run s ~wire:w ~p1 ~p2 ~host ~a1 ~a2 in
+        (o.Protocol3.quotient, Wire.stats w)
+      in
+      let session () = P3d.make (State.create ~seed:71 ()) ~p1 ~p2 ~host ~a1 ~a2 in
+      let w = Wire.create () in
+      let sim_q = Session.run (session ()) ~wire:w in
+      Alcotest.(check bool) (label ^ ": sim quotient bit-identical") true (sim_q = central_q);
+      Alcotest.(check bool) (label ^ ": sim NR/NM/MS identical to the central wire") true
+        (Wire.stats w = central_stats);
+      List.iter
+        (fun (engine_label, run) ->
+          let q, res = run (session ()) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: quotient bit-identical" label engine_label)
+            true (q = central_q);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: NR/NM/MS identical to the central wire" label engine_label)
+            true
+            (Wire.stats (Net_wire.merge (logs_of res)) = central_stats))
+        [ ("memory", fun s -> Endpoint.run_session_memory s);
+          ("socket", fun s -> Endpoint.run_session_socket s) ])
+    [ (3, 4); (0, 7); (5, 0) ]
+
+(* --- full pipelines across engines --------------------------------------------- *)
+
+let pipeline_workload ~seed ~n ~edges ~actions ~m =
+  let s = State.create ~seed () in
+  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let log =
+    Cascade.generate s planted
+      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
+  in
+  (g, Partition.exclusive s log ~m)
+
+(* The distributed pipelines charge the same NR and NM as the central
+   oracle, but the typed payload encodings pad each value to whole
+   bytes (DESIGN.md, "central vs distributed wire sizes"): a value of
+   b >= 1 central bits occupies 8 * ceil(b / 8) <= 8b distributed bits,
+   plus at most one padded byte of per-message fixed overhead — hence
+   MS_central <= MS_distributed <= 9 * MS_central + 8 * NM. *)
+let check_ms_envelope label ~(central : Wire.stats) ~distributed_bits =
+  Alcotest.(check bool)
+    (label ^ ": MS within the typed-encoding envelope")
+    true
+    (distributed_bits >= central.Wire.bits
+    && distributed_bits <= (9 * central.Wire.bits) + (8 * central.Wire.messages))
+
+let session_engines = [ ("memory", `Memory); ("socket", `Socket) ]
+
+let run_session_over engine session =
+  match engine with
+  | `Memory -> Endpoint.run_session_memory session
+  | `Socket -> Endpoint.run_session_socket session
+
+let check_links_cross_engine (seed, n, edges, actions, m) =
+  let label = Printf.sprintf "links m=%d seed=%d" m seed in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let config = Protocol4.default_config ~h:2 in
+  let central =
+    Driver.link_strengths_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs config
+  in
+  let session () =
+    Driver_distributed.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs
+      config
+  in
+  let w = Wire.create () in
+  let sim = Session.run (session ()) ~wire:w in
+  let sim_stats = Wire.stats w in
+  Alcotest.(check bool) (label ^ ": sim strengths bit-identical to the central oracle") true
+    (sim.Protocol4.strengths = central.Driver.strengths);
+  Alcotest.(check int) (label ^ ": NR matches the central oracle")
+    central.Driver.wire.Wire.rounds sim_stats.Wire.rounds;
+  Alcotest.(check int) (label ^ ": NM matches the central oracle")
+    central.Driver.wire.Wire.messages sim_stats.Wire.messages;
+  check_ms_envelope label ~central:central.Driver.wire ~distributed_bits:sim_stats.Wire.bits;
+  List.iter
+    (fun (engine_label, engine) ->
+      let (result : Protocol4.result), res = run_session_over engine (session ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: result identical to sim" label engine_label)
+        true
+        (result.Protocol4.strengths = sim.Protocol4.strengths
+        && result.Protocol4.pair_estimates = sim.Protocol4.pair_estimates
+        && result.Protocol4.pairs = sim.Protocol4.pairs);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: NR/NM/MS identical to sim" label engine_label)
+        true
+        (Wire.stats (Net_wire.merge (logs_of res)) = sim_stats))
+    session_engines
+
+let check_scores_cross_engine (seed, n, edges, actions, m) =
+  let label = Printf.sprintf "scores m=%d seed=%d" m seed in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let config = { Protocol6.default_config with Protocol6.key_bits = 128 } in
+  let tau = 6 and modulus = 1 lsl 20 in
+  let central =
+    Driver.user_scores_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs ~tau
+      ~modulus config
+  in
+  let session () =
+    Driver_distributed.user_scores_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g
+      ~logs ~tau ~modulus config
+  in
+  let w = Wire.create () in
+  let sim = Session.run (session ()) ~wire:w in
+  let sim_stats = Wire.stats w in
+  Alcotest.(check bool) (label ^ ": sim scores bit-identical to the central oracle") true
+    (sim.Driver_distributed.scores = central.Driver.scores);
+  Alcotest.(check bool) (label ^ ": sim graphs identical to the central oracle") true
+    (sim.Driver_distributed.graphs = central.Driver.graphs);
+  Alcotest.(check int) (label ^ ": NR matches the central oracle")
+    central.Driver.wire.Wire.rounds sim_stats.Wire.rounds;
+  Alcotest.(check int) (label ^ ": NM matches the central oracle")
+    central.Driver.wire.Wire.messages sim_stats.Wire.messages;
+  check_ms_envelope label ~central:central.Driver.wire ~distributed_bits:sim_stats.Wire.bits;
+  List.iter
+    (fun (engine_label, engine) ->
+      let (result : Driver_distributed.scores), res = run_session_over engine (session ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: result identical to sim" label engine_label)
+        true
+        (result.Driver_distributed.scores = sim.Driver_distributed.scores
+        && result.Driver_distributed.graphs = sim.Driver_distributed.graphs);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: NR/NM/MS identical to sim" label engine_label)
+        true
+        (Wire.stats (Net_wire.merge (logs_of res)) = sim_stats))
+    session_engines
+
+let test_links_cross_engine () =
+  List.iter check_links_cross_engine
+    [ (101, 24, 70, 10, 2); (103, 30, 90, 12, 2); (101, 24, 70, 10, 3); (103, 30, 90, 12, 3) ]
+
+let test_scores_cross_engine () =
+  List.iter check_scores_cross_engine
+    [ (105, 18, 50, 8, 2); (107, 22, 66, 10, 2); (105, 18, 50, 8, 3); (107, 22, 66, 10, 3) ]
 
 (* --- byte accounting ----------------------------------------------------------- *)
 
@@ -414,7 +601,7 @@ let test_blackhole_times_out_cleanly () =
   let t0 = Unix.gettimeofday () in
   (match
      Endpoint.run_memory ~config:fast ~fault:(Fault.blackhole ~src:0 ~dst:2)
-       ~parties:session.P1d.parties ~programs:session.P1d.programs
+       ~parties:session.Session.parties ~programs:session.Session.programs
        ~max_rounds:P1d.max_rounds ()
    with
   | _ -> Alcotest.fail "a dead link must not let the run complete"
@@ -460,6 +647,12 @@ let () =
           Alcotest.test_case "protocol 1 over sockets" `Quick test_p1_socket_matches_sim;
           Alcotest.test_case "protocol 2 over memory" `Quick test_p2_memory_matches_sim;
           Alcotest.test_case "protocol 2 over sockets" `Quick test_p2_socket_matches_sim;
+          Alcotest.test_case "protocol 3 across engines" `Quick test_p3_cross_engine;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "links across engines" `Quick test_links_cross_engine;
+          Alcotest.test_case "scores across engines" `Quick test_scores_cross_engine;
         ] );
       ( "accounting",
         [
