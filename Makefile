@@ -1,6 +1,6 @@
 # Convenience aliases around dune; `make check` is the tier-1 gate.
 
-.PHONY: all check test bench fmt clean
+.PHONY: all check test bench fmt doc clean
 
 all:
 	dune build @all
@@ -19,6 +19,11 @@ fmt:
 	@command -v ocamlformat >/dev/null 2>&1 \
 	  && dune build @fmt --auto-promote \
 	  || echo "ocamlformat not installed; skipping format pass"
+
+doc:
+	@command -v odoc >/dev/null 2>&1 \
+	  && dune build @doc \
+	  || echo "odoc not installed; skipping doc build"
 
 clean:
 	dune clean

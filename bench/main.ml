@@ -505,10 +505,26 @@ let ablation_transport () =
   Printf.printf
     "\nThe payload bytes are engine-independent (the MS statistic); the real\n\
      transports add the framing derived in DESIGN.md - length prefixes, data\n\
-     headers, round barriers and (for sockets) the connection handshakes.\n";
-  (* The same comparison over the full composed pipelines: one JSON row
-     per (pipeline, engine), machine-readable for the plotting scripts. *)
-  Printf.printf "\nFull pipelines (Driver_distributed sessions, m = 3):\n";
+     headers, round barriers and (for sockets) the connection handshakes.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bench trajectory: BENCH_protocols.json                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One spe-metrics/1 report per (pipeline, engine) — the full composed
+   pipelines from Driver_distributed, each run with a recording trace
+   and aggregated by Spe_obs.Metrics exactly like `spe ... --metrics
+   json` does.  The rows land in BENCH_protocols.json (schema
+   spe-bench/1; field docs in OBSERVABILITY.md) for the plotting
+   scripts, and the trace accounting is asserted against Net_wire /
+   the simulated wire on every row. *)
+
+let bench_json_path = "BENCH_protocols.json"
+
+let pipeline_reports () =
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
   let module Driver_distributed = Spe_core.Driver_distributed in
   let s, g, log = workload ~seed:57 ~n:30 ~edges:90 ~actions:12 in
   let logs = Partition.exclusive s log ~m:3 in
@@ -524,58 +540,64 @@ let ablation_transport () =
                ~modulus:(1 lsl 20) p6_config));
     ]
   in
+  let run_endpoint trace session runner =
+    let (), (res : Endpoint.result) = runner ~trace session in
+    let totals =
+      Net_wire.totals
+        (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+    in
+    (totals.Net_wire.messages, totals.Net_wire.payload_bytes)
+  in
   let engines =
     [
-      ("sim", fun session ->
+      ("sim", fun trace session ->
           let w = Wire.create () in
-          let () = Session.run session ~wire:w in
+          let () = Session.run ~trace session ~wire:w in
           let stats = Wire.stats w in
-          (stats.Wire.rounds, stats.Wire.messages, stats.Wire.bits / 8, None));
-      ("memory", fun session ->
-          let (), res = Endpoint.run_session_memory session in
-          let totals =
-            Net_wire.totals
-              (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
-          in
-          let rounds =
-            Array.fold_left (fun acc (o : Endpoint.outcome) -> max acc o.Endpoint.rounds) 0
-              res.Endpoint.outcomes
-          in
-          (rounds, totals.Net_wire.messages, totals.Net_wire.payload_bytes,
-           Some res.Endpoint.transport_bytes));
-      ("socket", fun session ->
-          let (), res = Endpoint.run_session_socket session in
-          let totals =
-            Net_wire.totals
-              (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
-          in
-          let rounds =
-            Array.fold_left (fun acc (o : Endpoint.outcome) -> max acc o.Endpoint.rounds) 0
-              res.Endpoint.outcomes
-          in
-          (rounds, totals.Net_wire.messages, totals.Net_wire.payload_bytes,
-           Some res.Endpoint.transport_bytes));
+          (stats.Wire.messages, stats.Wire.bits / 8));
+      ("memory", fun trace session ->
+          run_endpoint trace session (fun ~trace s -> Endpoint.run_session_memory ~trace s));
+      ("socket", fun trace session ->
+          run_endpoint trace session (fun ~trace s -> Endpoint.run_session_socket ~trace s));
     ]
   in
-  List.iter
+  List.concat_map
     (fun (pipeline, build) ->
       let payload_ref = ref None in
-      List.iter
+      List.map
         (fun (engine, run) ->
-          let (rounds, messages, payload_bytes, transport_bytes), dt =
-            time (fun () -> run (build (State.create ~seed:64 ())))
-          in
+          let session = build (State.create ~seed:64 ()) in
+          let trace = Spe_obs.Trace.create () in
+          let messages, payload_bytes = run trace session in
           (match !payload_ref with
           | None -> payload_ref := Some payload_bytes
           | Some p -> assert (p = payload_bytes));
-          Printf.printf
-            "{\"pipeline\":%S,\"engine\":%S,\"rounds\":%d,\"messages\":%d,\
-             \"payload_bytes\":%d,\"transport_bytes\":%s,\"ms\":%.2f}\n"
-            pipeline engine rounds messages payload_bytes
-            (match transport_bytes with None -> "null" | Some b -> string_of_int b)
-            (1000. *. dt))
+          let report =
+            Spe_obs.Metrics.of_trace ~protocol:pipeline ~engine
+              ~parties:(Array.length session.Spe_mpc.Session.parties) trace
+          in
+          assert (Spe_obs.Metrics.equal_accounting report ~messages ~payload_bytes);
+          report)
         engines)
     pipelines
+
+let bench_rows () =
+  section "Bench trajectory - one spe-metrics/1 row per (pipeline, engine)";
+  let reports = pipeline_reports () in
+  Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
+    "payload (B)" "on-wire (B)" "wall (s)";
+  List.iter
+    (fun (r : Spe_obs.Metrics.report) ->
+      Printf.printf "%-8s %-8s | %4d %6d %12d %12s | %.3f\n" r.Spe_obs.Metrics.protocol
+        r.engine r.rounds r.messages r.payload_bytes
+        (match r.transport_bytes with None -> "-" | Some b -> string_of_int b)
+        r.wall_s)
+    reports;
+  let oc = open_out bench_json_path in
+  output_string oc (Spe_obs.Obs_io.bench_to_string ~generated_by:"bench/main.ml" reports);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d rows, schema %s)\n" bench_json_path (List.length reports)
+    Spe_obs.Obs_io.bench_schema
 
 let ablation_discretization () =
   section "Ablation - time discretization (Sec. 2: 'real data needs to be heavily discretized')";
@@ -710,6 +732,12 @@ let bechamel_suite () =
          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
 
 let () =
+  (* `bench --bench-json` regenerates just BENCH_protocols.json (the
+     CI artifact) without the full multi-minute harness. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--bench-json" then begin
+    bench_rows ();
+    exit 0
+  end;
   Printf.printf "Privacy Preserving Estimation of Social Influence - reproduction harness\n";
   table1 ();
   table2 ();
@@ -728,6 +756,7 @@ let () =
   ablation_alternatives ();
   ablation_multi_host ();
   ablation_transport ();
+  bench_rows ();
   ablation_discretization ();
   ablation_estimator_variants ();
   ablation_perturbation ();

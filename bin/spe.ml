@@ -82,15 +82,16 @@ let pipeline_transport_arg =
 
 (* Run a composed pipeline session on the chosen non-central engine;
    returns the result plus the wire rebuilt from the message log, and
-   the measured transport bytes for the real backends. *)
-let run_pipeline_session transport session =
+   the Net_wire accounting (transport bytes + totals) for the real
+   backends. *)
+let run_pipeline_session ~trace transport session =
   let module Session = Spe_mpc.Session in
   let module Endpoint = Spe_net.Endpoint in
   let module Net_wire = Spe_net.Net_wire in
   match transport with
   | `Sim ->
     let w = Wire.create () in
-    let r = Session.run session ~wire:w in
+    let r = Session.run ~trace session ~wire:w in
     (r, w, None)
   | `Memory | `Socket ->
     (* The default 2 s round timeout is tuned for loss detection; a
@@ -103,20 +104,96 @@ let run_pipeline_session transport session =
     in
     let r, (res : Endpoint.result) =
       match transport with
-      | `Memory -> Endpoint.run_session_memory ~config session
-      | _ -> Endpoint.run_session_socket ~config session
+      | `Memory -> Endpoint.run_session_memory ~config ~trace session
+      | _ -> Endpoint.run_session_socket ~config ~trace session
     in
-    let merged =
-      Net_wire.merge
-        (Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes)
+    let logs =
+      Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
     in
-    (r, merged, Some res.Endpoint.transport_bytes)
+    (r, Net_wire.merge logs, Some (res.Endpoint.transport_bytes, Net_wire.totals logs))
 
 let transport_bytes_summary (stats : Wire.stats) = function
   | None -> ()
-  | Some bytes ->
+  | Some (bytes, _) ->
     Printf.printf "transport: %d framed bytes on the wire (%.3fx the payload)\n" bytes
       (float_of_int bytes /. (float_of_int stats.Wire.bits /. 8.))
+
+(* --- observability plumbing (shared by links, scores and shares) ------ *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a session trace (spans, counters, notes - see OBSERVABILITY.md) and \
+           write the event dump to FILE.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print the run's metrics report: human-readable (text) or spe-metrics/1 JSON \
+           (json).  The JSON document is the last thing printed, starting at the first \
+           column, so it can be split off the human output.")
+
+(* A recording trace when --trace or --metrics asks for one; the
+   near-free disabled trace otherwise. *)
+let obs_trace trace_file metrics =
+  if trace_file <> None || metrics <> None then Spe_obs.Trace.create ()
+  else Spe_obs.Trace.disabled ()
+
+(* After the run: cross-check the trace against the independent wire
+   accounting (NM and MS/8 must agree exactly; on a real transport the
+   framed bytes must match Net_wire too), then emit what was asked
+   for.  The metrics report goes last so `--metrics json` ends stdout
+   with one clean JSON document. *)
+let emit_observability trace ~protocol ~engine ~parties ~messages ~payload_bytes ~net
+    trace_file metrics =
+  if Spe_obs.Trace.enabled trace then begin
+    let module Metrics = Spe_obs.Metrics in
+    let report = Metrics.of_trace ~protocol ~engine ~parties trace in
+    if not (Metrics.equal_accounting report ~messages ~payload_bytes) then
+      failwith
+        (Printf.sprintf
+           "trace accounting mismatch: observed %d messages / %d payload bytes, wire \
+            accounted %d / %d"
+           report.Metrics.messages report.Metrics.payload_bytes messages payload_bytes);
+    (match net with
+    | None -> ()
+    | Some (_, (totals : Spe_net.Net_wire.totals)) -> (
+      match report.Metrics.framed_bytes with
+      | Some framed when framed = totals.Spe_net.Net_wire.framed_bytes -> ()
+      | Some framed ->
+        failwith
+          (Printf.sprintf "trace framed-byte mismatch: observed %d, Net_wire says %d"
+             framed totals.Spe_net.Net_wire.framed_bytes)
+      | None -> failwith "trace recorded no framed bytes on a real transport"));
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Spe_obs.Obs_io.trace_to_text trace);
+      close_out oc;
+      Printf.printf "wrote %s (%d events)\n" path (List.length (Spe_obs.Trace.events trace)));
+    match metrics with
+    | None -> ()
+    | Some `Text -> print_string (Spe_obs.Obs_io.report_to_text report)
+    | Some `Json -> print_string (Spe_obs.Obs_io.report_to_string report)
+  end
+
+let engine_name = function
+  | `Central -> "central"
+  | `Sim -> "sim"
+  | `Memory -> "memory"
+  | `Socket -> "socket"
+
+(* The central wire charges exact bit counts; the trace replay rounds
+   each message up to whole bytes, so the cross-check must too. *)
+let transcript_payload_bytes transcript =
+  List.fold_left (fun acc (m : Wire.message) -> acc + ((m.Wire.bits + 7) / 8)) 0 transcript
 
 (* --- spe generate ------------------------------------------------------ *)
 
@@ -238,8 +315,8 @@ let links_cmd =
       & info [ "obfuscation" ] ~docv:"MODE"
           ~doc:"Protocol 5 obfuscation for the non-exclusive case: basic or enhanced.")
   in
-  let trace_arg =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full message transcript.")
+  let transcript_arg =
+    Arg.(value & flag & info [ "transcript" ] ~doc:"Print the full message transcript.")
   in
   let out_arg =
     Arg.(
@@ -248,7 +325,7 @@ let links_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full strength list to FILE.")
   in
   let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
-      transport trace out =
+      transport show_transcript trace_file metrics out =
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let estimator =
@@ -266,16 +343,20 @@ let links_cmd =
     in
     let spec = Option.map Spe_actionlog.Spec_io.load spec_path in
     let s = State.create ~seed () in
-    let strengths, stats, transcript, transport_bytes =
+    let trace = obs_trace trace_file metrics in
+    let protocol = match spec with None -> "links" | Some _ -> "links-nonexcl" in
+    let strengths, stats, transcript, net, parties, payload_bytes =
       match transport with
       | `Central ->
         let r =
           match spec with
-          | None -> Driver.link_strengths_exclusive s ~graph ~logs config
+          | None -> Driver.link_strengths_exclusive ~trace s ~graph ~logs config
           | Some spec ->
-            Driver.link_strengths_non_exclusive s ~graph ~logs ~spec ~obfuscation config
+            Driver.link_strengths_non_exclusive ~trace s ~graph ~logs ~spec ~obfuscation
+              config
         in
-        (r.Driver.strengths, r.Driver.wire, r.Driver.transcript, None)
+        ( r.Driver.strengths, r.Driver.wire, r.Driver.transcript, None,
+          Array.length logs + 1, transcript_payload_bytes r.Driver.transcript )
       | (`Sim | `Memory | `Socket) as transport ->
         let session =
           match spec with
@@ -284,8 +365,10 @@ let links_cmd =
             Spe_core.Driver_distributed.links_non_exclusive s ~graph ~logs ~spec
               ~obfuscation config
         in
-        let r, w, transport_bytes = run_pipeline_session transport session in
-        (r.Protocol4.strengths, Wire.stats w, Wire.messages w, transport_bytes)
+        let r, w, net = run_pipeline_session ~trace transport session in
+        let stats = Wire.stats w in
+        ( r.Protocol4.strengths, stats, Wire.messages w, net,
+          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8 )
     in
     let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
     Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
@@ -298,8 +381,8 @@ let links_cmd =
       Spe_influence.Result_io.save_strengths strengths path;
       Printf.printf "wrote %s\n" path);
     wire_summary stats;
-    transport_bytes_summary stats transport_bytes;
-    if trace then begin
+    transport_bytes_summary stats net;
+    if show_transcript then begin
       Printf.printf "\ntranscript:\n";
       List.iter
         (fun (msg : Wire.message) ->
@@ -307,13 +390,16 @@ let links_cmd =
             msg.Wire.src Wire.pp_party msg.Wire.dst msg.Wire.bits)
         transcript
     end;
+    emit_observability trace ~protocol ~engine:(engine_name transport) ~parties
+      ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics;
     `Ok ()
   in
   let term =
     Term.(
       ret
         (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ c_arg $ modulus_bits_arg $ decay
-       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ trace_arg $ out_arg))
+       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ transcript_arg
+       $ trace_file_arg $ metrics_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "links"
@@ -340,24 +426,29 @@ let scores_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
   in
-  let run seed graph_path log_paths tau key_bits modulus_bits top transport out =
+  let run seed graph_path log_paths tau key_bits modulus_bits top transport trace_file
+      metrics out =
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let config = { Protocol6.default_config with Protocol6.key_bits } in
     let modulus = 1 lsl modulus_bits in
     let s = State.create ~seed () in
-    let scores, stats, transport_bytes =
+    let trace = obs_trace trace_file metrics in
+    let scores, stats, net, parties, payload_bytes =
       match transport with
       | `Central ->
-        let r = Driver.user_scores_exclusive s ~graph ~logs ~tau ~modulus config in
-        (r.Driver.scores, r.Driver.wire, None)
+        let r = Driver.user_scores_exclusive ~trace s ~graph ~logs ~tau ~modulus config in
+        ( r.Driver.scores, r.Driver.wire, None, Array.length logs + 1,
+          transcript_payload_bytes r.Driver.transcript )
       | (`Sim | `Memory | `Socket) as transport ->
         let session =
           Spe_core.Driver_distributed.user_scores_exclusive s ~graph ~logs ~tau ~modulus
             config
         in
-        let r, w, transport_bytes = run_pipeline_session transport session in
-        (r.Spe_core.Driver_distributed.scores, Wire.stats w, transport_bytes)
+        let r, w, net = run_pipeline_session ~trace transport session in
+        let stats = Wire.stats w in
+        ( r.Spe_core.Driver_distributed.scores, stats, net,
+          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8 )
     in
     let idx = Array.init (Array.length scores) (fun i -> i) in
     Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
@@ -373,13 +464,15 @@ let scores_cmd =
       Spe_influence.Result_io.save_scores scores path;
       Printf.printf "wrote %s\n" path);
     wire_summary stats;
-    transport_bytes_summary stats transport_bytes;
+    transport_bytes_summary stats net;
+    emit_observability trace ~protocol:"scores" ~engine:(engine_name transport) ~parties
+      ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics;
     `Ok ()
   in
   let term =
     Term.(
       ret (const run $ seed_arg $ graph_arg $ logs_arg $ tau $ key_bits $ modulus_bits_arg
-         $ top_arg $ pipeline_transport_arg $ out_arg))
+         $ top_arg $ pipeline_transport_arg $ trace_file_arg $ metrics_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "scores"
@@ -661,7 +754,7 @@ let shares_cmd =
       value & opt int 1000
       & info [ "bound" ] ~docv:"A" ~doc:"Protocol 2 aggregate bound A (ignored by protocol 1).")
   in
-  let run seed protocol transport m len modulus_bits bound =
+  let run seed protocol transport m len modulus_bits bound trace_file metrics =
     if m < 2 then `Error (false, "need at least two providers")
     else begin
       let modulus = 1 lsl modulus_bits in
@@ -692,19 +785,25 @@ let shares_cmd =
               (r.Spe_mpc.Protocol2.share1, r.Spe_mpc.Protocol2.share2) )
       in
       let max_rounds = match protocol with `P1 -> P1d.max_rounds | `P2 -> P2d.max_rounds in
+      let trace = obs_trace trace_file metrics in
       let stats, transport_bytes =
         match transport with
         | `Sim ->
           let engine = Runtime.create () in
           Array.iteri (fun k p -> Runtime.add_party engine p programs.(k)) parties';
           let w = Wire.create () in
-          let _rounds = Runtime.run engine ~wire:w ~max_rounds in
+          let _rounds =
+            Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+                Runtime.run ~trace engine ~wire:w ~max_rounds)
+          in
           (Wire.stats w, None)
         | `Memory | `Socket ->
           let res =
-            match transport with
-            | `Memory -> Endpoint.run_memory ~parties:parties' ~programs ~max_rounds ()
-            | _ -> Endpoint.run_socket ~parties:parties' ~programs ~max_rounds ()
+            Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+                match transport with
+                | `Memory ->
+                  Endpoint.run_memory ~trace ~parties:parties' ~programs ~max_rounds ()
+                | _ -> Endpoint.run_socket ~trace ~parties:parties' ~programs ~max_rounds ())
           in
           let logs =
             Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
@@ -744,6 +843,11 @@ let shares_cmd =
           "transport: %d framed bytes on the wire (%d payload, overhead factor %.3f)\n"
           total totals.Net_wire.payload_bytes
           (float_of_int total /. float_of_int (max 1 totals.Net_wire.payload_bytes)));
+      emit_observability trace
+        ~protocol:(match protocol with `P1 -> "shares-p1" | `P2 -> "shares-p2")
+        ~engine:(engine_name transport) ~parties:(Array.length parties')
+        ~messages:stats.Wire.messages ~payload_bytes:(stats.Wire.bits / 8)
+        ~net:transport_bytes trace_file metrics;
       if !ok then `Ok () else `Error (false, "share reconstruction failed")
     end
   in
@@ -751,7 +855,7 @@ let shares_cmd =
     Term.(
       ret
         (const run $ seed_arg $ protocol_arg $ transport_arg $ providers_arg $ counters_arg
-       $ modulus_bits_arg $ bound_arg))
+       $ modulus_bits_arg $ bound_arg $ trace_file_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "shares"

@@ -1,6 +1,7 @@
 module State = Spe_rng.State
 module Dist = Spe_rng.Dist
 module Wire = Spe_mpc.Wire
+module Runtime = Spe_mpc.Runtime
 module Protocol2 = Spe_mpc.Protocol2
 module Digraph = Spe_graph.Digraph
 module Log = Spe_actionlog.Log
@@ -14,9 +15,29 @@ type link_result = {
   detail : Protocol4.result;
 }
 
-let link_strengths_exclusive st ~graph ~logs config =
+(* Replay the simulated transcript into a trace, so a central run feeds
+   [Spe_obs.Metrics.of_trace] through the same counters as the
+   engine-instrumented runs.  The simulated wire charges exact bit
+   counts; bytes round up per message. *)
+let replay_transcript trace wire =
+  if Spe_obs.Trace.enabled trace then
+    List.iter
+      (fun (msg : Wire.message) ->
+        let src = Runtime.party_label msg.Wire.src in
+        Spe_obs.Trace.count trace ~party:src ~round:msg.Wire.round Spe_obs.Trace.Messages 1;
+        Spe_obs.Trace.count trace ~party:src ~round:msg.Wire.round
+          Spe_obs.Trace.Payload_bytes
+          ((msg.Wire.bits + 7) / 8))
+      (Wire.messages wire)
+
+let link_strengths_exclusive ?(trace = Spe_obs.Trace.disabled ()) st ~graph ~logs config =
   let wire = Wire.create () in
-  let detail = Protocol4.run_with_logs st ~wire ~graph ~logs config in
+  let detail =
+    Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+        Protocol4.run_with_logs st ~wire ~graph ~logs config)
+  in
+  Spe_obs.Trace.set_phases trace [ ("p4", (Wire.stats wire).Wire.rounds) ];
+  replay_transcript trace wire;
   { strengths = detail.Protocol4.strengths; wire = Wire.stats wire;
     transcript = Wire.messages wire; detail }
 
@@ -28,7 +49,8 @@ let pick_trusted ~m ~class_members =
   let rec scan k = if k >= m then Wire.Host else if in_class.(k) then scan (k + 1) else Wire.Provider k in
   scan 0
 
-let link_strengths_non_exclusive st ~graph ~logs ~spec ~obfuscation config =
+let link_strengths_non_exclusive ?(trace = Spe_obs.Trace.disabled ()) st ~graph ~logs ~spec
+    ~obfuscation config =
   let m = Array.length logs in
   if m < 2 then invalid_arg "Driver.link_strengths_non_exclusive: need at least two providers";
   if spec.Partition.m <> m then
@@ -38,42 +60,60 @@ let link_strengths_non_exclusive st ~graph ~logs ~spec ~obfuscation config =
     (fun l -> Partition.validate_class_spec spec ~num_actions:(Log.num_actions l))
     logs;
   let wire = Wire.create () in
-  (* Protocol 5 per class; the representative (first provider of the
-     class) accumulates the class counter sets. *)
-  let held = Array.make m [] in
-  Array.iteri
-    (fun class_id members ->
-      let class_logs =
-        Array.map
-          (fun k -> Log.filter_actions logs.(k) (fun a -> spec.Partition.action_class.(a) = class_id))
-          members
-      in
-      let providers = Array.map (fun k -> Wire.Provider k) members in
-      let trusted = pick_trusted ~m ~class_members:members in
-      let counters =
-        Protocol5.run st ~wire ~h:config.Protocol4.h ~providers ~trusted ~logs:class_logs
-          ~obfuscation
-      in
-      let representative = members.(0) in
-      held.(representative) <- counters :: held.(representative))
-    spec.Partition.class_providers;
-  (* Now the exclusive machinery: publish pairs, build each provider's
-     input from the class counters it represents. *)
-  let pairs = Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor:config.Protocol4.c_factor in
-  let n = Digraph.n graph in
-  let q = Array.length pairs in
-  let zero_input () =
-    { Protocol4.a = Array.make n 0; c = Array.make_matrix q config.Protocol4.h 0 }
+  let rounds_so_far () = (Wire.stats wire).Wire.rounds in
+  let detail =
+    Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+        (* Protocol 5 per class; the representative (first provider of
+           the class) accumulates the class counter sets. *)
+        let held = Array.make m [] in
+        Array.iteri
+          (fun class_id members ->
+            let class_logs =
+              Array.map
+                (fun k ->
+                  Log.filter_actions logs.(k) (fun a ->
+                      spec.Partition.action_class.(a) = class_id))
+                members
+            in
+            let providers = Array.map (fun k -> Wire.Provider k) members in
+            let trusted = pick_trusted ~m ~class_members:members in
+            let counters =
+              Protocol5.run st ~wire ~h:config.Protocol4.h ~providers ~trusted
+                ~logs:class_logs ~obfuscation
+            in
+            let representative = members.(0) in
+            held.(representative) <- counters :: held.(representative))
+          spec.Partition.class_providers;
+        let class_rounds = rounds_so_far () in
+        (* Now the exclusive machinery: publish pairs, build each
+           provider's input from the class counters it represents. *)
+        let pairs =
+          Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor:config.Protocol4.c_factor
+        in
+        let publish_rounds = rounds_so_far () - class_rounds in
+        let n = Digraph.n graph in
+        let q = Array.length pairs in
+        let zero_input () =
+          { Protocol4.a = Array.make n 0; c = Array.make_matrix q config.Protocol4.h 0 }
+        in
+        let inputs =
+          Array.map
+            (fun counter_sets ->
+              match counter_sets with
+              | [] -> zero_input ()
+              | sets -> Protocol5.to_provider_input sets ~pairs)
+            held
+        in
+        let detail = Protocol4.run st ~wire ~graph ~num_actions ~pairs ~inputs config in
+        Spe_obs.Trace.set_phases trace
+          [
+            ("p5-class", class_rounds);
+            ("p4-publish", publish_rounds);
+            ("p4", rounds_so_far () - class_rounds - publish_rounds);
+          ];
+        detail)
   in
-  let inputs =
-    Array.map
-      (fun counter_sets ->
-        match counter_sets with
-        | [] -> zero_input ()
-        | sets -> Protocol5.to_provider_input sets ~pairs)
-      held
-  in
-  let detail = Protocol4.run st ~wire ~graph ~num_actions ~pairs ~inputs config in
+  replay_transcript trace wire;
   { strengths = detail.Protocol4.strengths; wire = Wire.stats wire;
     transcript = Wire.messages wire; detail }
 
@@ -84,14 +124,18 @@ type score_result = {
   graphs : Propagation.t array;
 }
 
-let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
+let user_scores_exclusive ?(trace = Spe_obs.Trace.disabled ()) st ~graph ~logs ~tau ~modulus
+    config =
   let m = Array.length logs in
   if m < 2 then invalid_arg "Driver.user_scores_exclusive: need at least two providers";
   if tau < 0 then invalid_arg "Driver.user_scores_exclusive: negative tau";
   let n = Digraph.n graph in
   let wire = Wire.create () in
+  let rounds_so_far () = (Wire.stats wire).Wire.rounds in
+  Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" @@ fun () ->
   (* Propagation graphs via Protocol 6. *)
   let p6 = Protocol6.run st ~wire ~graph ~logs config in
+  let p6_rounds = rounds_so_far () in
   (* The host computes every numerator locally (Def. 3.3's sphere
      sums over the reconstructed propagation graphs). *)
   let numerators = Propagation.sphere_totals p6.Protocol6.graphs ~n ~tau in
@@ -106,6 +150,7 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
     Protocol2.run st ~wire ~parties ~third_party ~modulus ~input_bound:num_actions
       ~inputs:a_inputs
   in
+  let share_rounds = rounds_so_far () - p6_rounds in
   (* Joint per-user masks (two exchange rounds, as in Protocol 4). *)
   Wire.round wire (fun () ->
       Wire.send wire ~src:parties.(0) ~dst:parties.(1) ~bits:(n * Wire.float_bits);
@@ -134,5 +179,12 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
   Wire.round wire (fun () ->
       Wire.send wire ~src:parties.(0) ~dst:Wire.Host ~bits:(n * Wire.float_bits));
   let scores = Array.init n (fun i -> from_p1.(i) /. blinds.(i)) in
+  Spe_obs.Trace.set_phases trace
+    [
+      ("p6", p6_rounds);
+      ("p2-shares", share_rounds);
+      ("scores-final", rounds_so_far () - p6_rounds - share_rounds);
+    ];
+  replay_transcript trace wire;
   { scores; wire = Wire.stats wire; transcript = Wire.messages wire;
     graphs = p6.Protocol6.graphs }

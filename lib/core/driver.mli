@@ -32,12 +32,20 @@ type link_result = {
 }
 
 val link_strengths_exclusive :
+  ?trace:Spe_obs.Trace.t ->
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->
   logs:Spe_actionlog.Log.t array ->
   Protocol4.config ->
   link_result
-(** The Sec. 5.1 pipeline over exclusive provider logs. *)
+(** The Sec. 5.1 pipeline over exclusive provider logs.
+
+    When [trace] is recording, the run is wrapped in a [Session] span
+    and the simulated transcript is replayed into the trace's
+    [Messages]/[Payload_bytes] counters (bytes round up per message),
+    so {!Spe_obs.Metrics.of_trace} works identically on central and
+    engine-hosted runs.  The central pipelines expose coarser phase
+    maps than the composed sessions — here a single ["p4"] segment. *)
 
 val pick_trusted : m:int -> class_members:int array -> Spe_mpc.Wire.party
 (** The trusted third party for one action class: a provider outside
@@ -45,6 +53,7 @@ val pick_trusted : m:int -> class_members:int array -> Spe_mpc.Wire.party
     [Driver_distributed] so both pipelines seat the same parties. *)
 
 val link_strengths_non_exclusive :
+  ?trace:Spe_obs.Trace.t ->
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->
   logs:Spe_actionlog.Log.t array ->
@@ -55,7 +64,10 @@ val link_strengths_non_exclusive :
 (** The Sec. 5.2 pipeline: Protocol 5 per action class (the trusted
     third party is a provider outside the class when one exists, the
     host otherwise; the class representative is its first provider),
-    then Protocol 4 over the representatives' aggregated counters. *)
+    then Protocol 4 over the representatives' aggregated counters.
+    [trace] as in {!link_strengths_exclusive}; the phase map derives
+    from the wire's round deltas between stages
+    (["p5-class"]/["p4-publish"]/["p4"]). *)
 
 type score_result = {
   scores : float array;  (** [score(v_i)] per user (Def. 3.3). *)
@@ -66,6 +78,7 @@ type score_result = {
 }
 
 val user_scores_exclusive :
+  ?trace:Spe_obs.Trace.t ->
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->
   logs:Spe_actionlog.Log.t array ->
@@ -76,4 +89,6 @@ val user_scores_exclusive :
 (** The Sec. 6 pipeline: Protocol 6 for the propagation graphs, the
     Protocol 2/3 machinery for the masked denominators, and the blinded
     unmasking round-trip described above.  [modulus] is the share
-    modulus for the denominator sharing. *)
+    modulus for the denominator sharing.  [trace] as in
+    {!link_strengths_exclusive}; phases
+    ["p6"]/["p2-shares"]/["scores-final"]. *)

@@ -152,16 +152,17 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
     | _ -> []
   in
   let final_phase =
-    Session.make
-      ~parties:[| p0; p1; Wire.Host |]
-      ~programs:
-        [|
-          player p0 p1 handle.Protocol2_distributed.share1 true;
-          player p1 p0 handle.Protocol2_distributed.share2 false;
-          host_program;
-        |]
-      ~rounds:5
-      ~result:(fun () -> !scores_ref)
+    Session.with_label "scores-final"
+      (Session.make
+         ~parties:[| p0; p1; Wire.Host |]
+         ~programs:
+           [|
+             player p0 p1 handle.Protocol2_distributed.share1 true;
+             player p1 p0 handle.Protocol2_distributed.share2 false;
+             host_program;
+           |]
+         ~rounds:5
+         ~result:(fun () -> !scores_ref))
   in
   Session.map
     (fun ((p6_result, _), user_scores) ->

@@ -66,6 +66,7 @@ let make st ~graph ~num_actions ~m ~provider_input_of config =
   let publish, pairs, pairs_of =
     publish_pairs_phase st ~graph ~m ~c_factor:config.Protocol4.c_factor
   in
+  let publish = Session.with_label "p4-publish" publish in
   let q = Array.length pairs in
   let len = match config.Protocol4.estimator with Protocol4.Eq1 -> n + q | Protocol4.Eq2 _ -> n + (q * h) in
   let parties = Array.init m (fun k -> Wire.Provider k) in
@@ -135,16 +136,17 @@ let make st ~graph ~num_actions ~m ~provider_input_of config =
     []
   in
   let mask_phase =
-    Session.make
-      ~parties:[| p0; p1; Wire.Host |]
-      ~programs:
-        [|
-          player p0 p1 handle.Protocol2_distributed.share1 (fun () -> pairs_of 0);
-          player p1 p0 handle.Protocol2_distributed.share2 (fun () -> pairs_of 1);
-          host_program;
-        |]
-      ~rounds:3
-      ~result:(fun () -> ())
+    Session.with_label "p4-mask"
+      (Session.make
+         ~parties:[| p0; p1; Wire.Host |]
+         ~programs:
+           [|
+             player p0 p1 handle.Protocol2_distributed.share1 (fun () -> pairs_of 0);
+             player p1 p0 handle.Protocol2_distributed.share2 (fun () -> pairs_of 1);
+             host_program;
+           |]
+         ~rounds:3
+         ~result:(fun () -> ()))
   in
   Session.map
     (fun ((_, p2result), ()) ->

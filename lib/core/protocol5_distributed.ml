@@ -103,10 +103,11 @@ let make st ~h ~providers ~trusted ~logs ~obfuscation =
   let programs =
     Array.append (Array.init d provider_program) [| trusted_program |]
   in
-  Session.make ~parties ~programs ~rounds:2 ~result:(fun () ->
-      match !result with
-      | Some counters -> counters
-      | None -> failwith "Protocol5_distributed: counters never arrived")
+  Session.with_label "p5-class"
+  @@ Session.make ~parties ~programs ~rounds:2 ~result:(fun () ->
+         match !result with
+         | Some counters -> counters
+         | None -> failwith "Protocol5_distributed: counters never arrived")
 
 let run st ~wire ~h ~providers ~trusted ~logs ~obfuscation =
   Session.run (make st ~h ~providers ~trusted ~logs ~obfuscation) ~wire

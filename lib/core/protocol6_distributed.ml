@@ -27,6 +27,7 @@ let make st ~graph ~logs config =
     Protocol4_distributed.publish_pairs_phase st ~graph ~m
       ~c_factor:config.Protocol6.c_factor
   in
+  let publish = Session.with_label "p6-publish" publish in
   let q = Array.length pairs in
   (* Step 3: host-local keygen, at the central draw position. *)
   let cipher =
@@ -59,11 +60,12 @@ let make st ~graph ~logs config =
       else []
     in
     let silent ~round:_ ~inbox:_ = [] in
-    Session.make
-      ~parties:(Array.append [| Wire.Host |] (Array.init m (fun k -> Wire.Provider k)))
-      ~programs:(Array.append [| host_program |] (Array.make m silent))
-      ~rounds:1
-      ~result:(fun () -> ())
+    Session.with_label "p6-key"
+      (Session.make
+         ~parties:(Array.append [| Wire.Host |] (Array.init m (fun k -> Wire.Provider k)))
+         ~programs:(Array.append [| host_program |] (Array.make m silent))
+         ~rounds:1
+         ~result:(fun () -> ()))
   in
   (* Steps 4-9: per controlled action, the delta vector over the
      published pairs, packed and encrypted.  The bundles are prepared
@@ -149,14 +151,15 @@ let make st ~graph ~logs config =
     []
   in
   let bundle_phase =
-    Session.make
-      ~parties:(Array.append (Array.init m (fun k -> Wire.Provider k)) [| Wire.Host |])
-      ~programs:(Array.append (Array.init m provider_program) [| host_program |])
-      ~rounds:2
-      ~result:(fun () ->
-        match !result with
-        | Some r -> r
-        | None -> failwith "Protocol6_distributed: host never decrypted")
+    Session.with_label "p6-bundles"
+      (Session.make
+         ~parties:(Array.append (Array.init m (fun k -> Wire.Provider k)) [| Wire.Host |])
+         ~programs:(Array.append (Array.init m provider_program) [| host_program |])
+         ~rounds:2
+         ~result:(fun () ->
+           match !result with
+           | Some r -> r
+           | None -> failwith "Protocol6_distributed: host never decrypted"))
   in
   Session.map
     (fun ((_, ()), r) -> r)

@@ -95,9 +95,10 @@ let make st ~parties ~modulus ~inputs =
         program)
       parties
   in
-  Session.make ~parties ~programs
-    ~rounds:(if m = 2 then 1 else 2)
-    ~result:(fun () -> { Protocol1.share1 = !result1; share2 = !result2 })
+  Session.with_label "p1-shares"
+    (Session.make ~parties ~programs
+       ~rounds:(if m = 2 then 1 else 2)
+       ~result:(fun () -> { Protocol1.share1 = !result1; share2 = !result2 }))
 
 let run st ~wire ~parties ~modulus ~inputs =
   Session.run (make st ~parties ~modulus ~inputs) ~wire

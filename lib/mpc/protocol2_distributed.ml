@@ -184,7 +184,8 @@ let make_lazy st ~parties ~third_party ~modulus ~input_bound ~length ~inputs =
   in
   let rounds = if m = 2 then 3 else 4 in
   let session =
-    Session.make ~parties:session_parties ~programs ~rounds ~result:(fun () ->
+    Session.with_label "p2-shares"
+    @@ Session.make ~parties:session_parties ~programs ~rounds ~result:(fun () ->
         {
           Protocol2.share1 = !result1;
           share2 = !result2;

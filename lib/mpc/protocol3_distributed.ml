@@ -31,11 +31,12 @@ let make st ~p1 ~p2 ~host ~a1 ~a2 =
     | _ -> ());
     []
   in
-  Session.make
-    ~parties:[| p1; p2; host |]
-    ~programs:[| sender a1 p1; sender a2 p2; host_program |]
-    ~rounds:1
-    ~result:(fun () -> !quotient)
+  Session.with_label "p3-divide"
+    (Session.make
+       ~parties:[| p1; p2; host |]
+       ~programs:[| sender a1 p1; sender a2 p2; host_program |]
+       ~rounds:1
+       ~result:(fun () -> !quotient))
 
 let run st ~wire ~p1 ~p2 ~host ~a1 ~a2 =
   Session.run (make st ~p1 ~p2 ~host ~a1 ~a2) ~wire

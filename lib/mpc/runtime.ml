@@ -32,18 +32,26 @@ let add_party t party program =
   if List.mem_assoc party t.parties then invalid_arg "Runtime.add_party: duplicate party";
   t.parties <- t.parties @ [ (party, program) ]
 
-let run t ~wire ~max_rounds =
+let party_label p = Format.asprintf "%a" Wire.pp_party p
+
+let run ?(trace = Spe_obs.Trace.disabled ()) t ~wire ~max_rounds =
+  let tracing = Spe_obs.Trace.enabled trace in
   let inboxes : (Wire.party, message list) Hashtbl.t = Hashtbl.create 8 in
   let inbox_of party = Option.value ~default:[] (Hashtbl.find_opt inboxes party) in
   let rec loop round =
     if round > max_rounds then failwith "Runtime.run: protocol did not terminate";
     (* Deliver this round: every party steps on its inbox. *)
-    let outputs =
+    let step () =
       List.concat_map
         (fun (party, program) ->
           let inbox = List.rev (inbox_of party) in
           Hashtbl.remove inboxes party;
-          let sends = program ~round ~inbox in
+          let sends =
+            if tracing then
+              Spe_obs.Trace.span trace ~party:(party_label party) ~index:round
+                Spe_obs.Trace.Compute "step" (fun () -> program ~round ~inbox)
+            else program ~round ~inbox
+          in
           List.iter
             (fun msg ->
               if msg.src <> party then invalid_arg "Runtime.run: forged source";
@@ -53,13 +61,24 @@ let run t ~wire ~max_rounds =
           sends)
         t.parties
     in
+    let outputs =
+      if tracing then Spe_obs.Trace.span trace ~index:round Spe_obs.Trace.Round "round" step
+      else step ()
+    in
     match outputs with
     | [] -> round - 1
     | sends ->
       Wire.round wire (fun () ->
           List.iter
             (fun msg ->
-              Wire.send wire ~src:msg.src ~dst:msg.dst ~bits:(payload_bits msg.payload);
+              let bits = payload_bits msg.payload in
+              Wire.send wire ~src:msg.src ~dst:msg.dst ~bits;
+              if tracing then begin
+                let src = party_label msg.src in
+                Spe_obs.Trace.count trace ~party:src ~round Spe_obs.Trace.Messages 1;
+                Spe_obs.Trace.count trace ~party:src ~round Spe_obs.Trace.Payload_bytes
+                  (bits / 8)
+              end;
               Hashtbl.replace inboxes msg.dst (msg :: inbox_of msg.dst))
             sends);
       loop (round + 1)

@@ -50,9 +50,20 @@ val create : unit -> t
 val add_party : t -> Wire.party -> program -> unit
 (** Raises [Invalid_argument] on a duplicate party. *)
 
-val run : t -> wire:Wire.t -> max_rounds:int -> int
+val party_label : Wire.party -> string
+(** The party's display name ([Host], [P1], …) as used in trace
+    events — the [Spe_obs] layer identifies parties by string so it
+    stays dependency-free. *)
+
+val run : ?trace:Spe_obs.Trace.t -> t -> wire:Wire.t -> max_rounds:int -> int
 (** Execute rounds until one produces no messages (the quiescent round
     is not charged) or [max_rounds] is hit (then [Failure] — a protocol
     that fails to terminate is a bug).  Every non-quiet round is
     declared on [wire] with each message's encoded size.  Returns the
-    number of rounds executed.  Messages to unknown parties raise. *)
+    number of rounds executed.  Messages to unknown parties raise.
+
+    When [trace] is given and recording, every round is wrapped in a
+    [Round] span, every party step in a [Compute] span, and every
+    message increments the [Messages] and [Payload_bytes] counters
+    (tagged with the sending party and the round) — byte-for-byte the
+    same quantities declared on [wire]. *)

@@ -2,6 +2,7 @@ type 'r t = {
   parties : Wire.party array;
   programs : Runtime.program array;
   rounds : int;
+  phases : (string * int) list;
   result : unit -> 'r;
 }
 
@@ -15,7 +16,9 @@ let make ~parties ~programs ~rounds ~result =
         if parties.(j) = p then invalid_arg "Session.make: duplicate party"
       done)
     parties;
-  { parties; programs; rounds; result }
+  { parties; programs; rounds; phases = [ ("session", rounds) ]; result }
+
+let with_label label t = { t with phases = [ (label, t.rounds) ] }
 
 let map f t = { t with result = (fun () -> f (t.result ())) }
 
@@ -77,6 +80,7 @@ let seq a b =
     parties;
     programs;
     rounds = a.rounds + b.rounds;
+    phases = a.phases @ b.phases;
     result =
       (fun () ->
         let ra = a.result () in
@@ -106,6 +110,9 @@ let par a b =
     parties = Array.append a.parties b.parties;
     programs;
     rounds = max a.rounds b.rounds;
+    (* Interleaved rounds have no single owner — collapse to one
+       segment covering the longer side. *)
+    phases = [ ("par", max a.rounds b.rounds) ];
     result =
       (fun () ->
         let ra = a.result () in
@@ -113,10 +120,14 @@ let par a b =
         (ra, rb));
   }
 
-let run t ~wire =
+let run ?(trace = Spe_obs.Trace.disabled ()) t ~wire =
+  Spe_obs.Trace.set_phases trace t.phases;
   let engine = Runtime.create () in
   Array.iteri (fun k p -> Runtime.add_party engine p t.programs.(k)) t.parties;
-  let executed = Runtime.run engine ~wire ~max_rounds:(t.rounds + 1) in
+  let executed =
+    Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+        Runtime.run ~trace engine ~wire ~max_rounds:(t.rounds + 1))
+  in
   if executed <> t.rounds then
     failwith
       (Printf.sprintf "Session.run: declared %d rounds but executed %d" t.rounds executed);

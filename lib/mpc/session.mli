@@ -37,6 +37,12 @@ type 'r t = {
       (** Exact number of charged (message-bearing) rounds the session
           executes on any engine.  Engines use [rounds + 1] as the
           round budget; {!seq} uses it to splice phases. *)
+  phases : (string * int) list;
+      (** The {e phase map}: ordered [(label, rounds)] segments summing
+          to {!field-rounds}.  {!make} produces one segment (relabel it
+          with {!with_label}); {!seq} concatenates.  Engines install it
+          on their {!Spe_obs.Trace} so metrics and timeout errors can
+          name the pipeline stage an engine round belongs to. *)
   result : unit -> 'r;
       (** Read the result out of the party closures; call only after an
           engine has driven the programs to quiescence. *)
@@ -49,7 +55,15 @@ val make :
   result:(unit -> 'r) ->
   'r t
 (** Raises [Invalid_argument] on mismatched array lengths, duplicate
-    parties, or a negative round count. *)
+    parties, or a negative round count.  The phase map is a single
+    segment labelled ["session"] — see {!with_label}. *)
+
+val with_label : string -> 'r t -> 'r t
+(** [with_label label t] names [t]'s rounds for observability: its
+    phase map becomes the single segment [(label, t.rounds)].  Protocol
+    builders label their sessions (e.g. [p4-mask]) before composing
+    them with {!seq} so per-phase metrics and timeout messages read
+    well. *)
 
 val map : ('a -> 'b) -> 'a t -> 'b t
 (** Post-compose the result thunk. *)
@@ -58,18 +72,25 @@ val seq : 'a t -> 'b t -> ('a * 'b) t
 (** [seq a b] runs [a] to completion, then [b], as one session over the
     union of both party sets (a party appearing in both runs its [a]
     program through [a]'s rounds, then its [b] program).  The combined
-    round count is the sum.  Raises at execution time if a phase-A
-    program sends after its declared rounds, or if a message crosses
-    the phase boundary. *)
+    round count is the sum and the phase maps concatenate.  Raises at
+    execution time if a phase-A program sends after its declared
+    rounds, or if a message crosses the phase boundary. *)
 
 val par : 'a t -> 'b t -> ('a * 'b) t
 (** [par a b] runs both sessions concurrently over the disjoint union
-    of their party sets; the combined round count is the max.  Raises
-    [Invalid_argument] if the party sets intersect, and at execution
-    time if a message crosses the session boundary. *)
+    of their party sets; the combined round count is the max (and the
+    phase map collapses to one ["par"] segment — interleaved rounds
+    have no single owner).  Raises [Invalid_argument] if the party sets
+    intersect, and at execution time if a message crosses the session
+    boundary. *)
 
-val run : 'r t -> wire:Wire.t -> 'r
+val run : ?trace:Spe_obs.Trace.t -> 'r t -> wire:Wire.t -> 'r
 (** Drive the session with the in-process {!Runtime.run} and return the
     result.  Raises [Failure] if the executed round count differs from
     the declared {!field-rounds} — a mis-declared session would silently
-    desynchronise {!seq}, so this is checked on every run. *)
+    desynchronise {!seq}, so this is checked on every run.
+
+    When [trace] is given, the session's phase map is installed on it,
+    the whole execution is wrapped in a [Session] span, and
+    {!Runtime.run} records per-round spans and per-message counters —
+    see {!Spe_obs.Trace}. *)

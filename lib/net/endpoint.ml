@@ -7,7 +7,25 @@ type config = { round_timeout : float; max_retries : int; linger : float }
 let default_config = { round_timeout = 2.0; max_retries = 3; linger = 5.0 }
 
 exception
-  Round_timeout of { party : Wire.party; round : int; missing : Wire.party list }
+  Round_timeout of {
+    party : Wire.party;
+    round : int;
+    phase : string option;
+    missing : Wire.party list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Round_timeout { party; round; phase; missing } ->
+      Some
+        (Format.asprintf "Endpoint.Round_timeout: %a timed out in round %d%s waiting on %a"
+           Wire.pp_party party round
+           (match phase with Some p -> Printf.sprintf " (phase %s)" p | None -> "")
+           (Format.pp_print_list
+              ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+              Wire.pp_party)
+           missing)
+    | _ -> None)
 
 type outcome = { rounds : int; sent : Net_wire.record list }
 
@@ -17,9 +35,11 @@ type result = { outcomes : outcome array; transport_bytes : int }
    the peers' barriers (Nacking silence), repeat until global
    quiescence.  All state is thread-local; the transport is the only
    shared object. *)
-let run_endpoint config (transport : Transport.t) parties program max_rounds k =
+let run_endpoint config trace (transport : Transport.t) parties program max_rounds k =
   let m = Array.length parties in
   let party = parties.(k) in
+  let me = Runtime.party_label party in
+  let tracing = Spe_obs.Trace.enabled trace in
   let index_of p =
     let rec go i = if i >= m then None else if parties.(i) = p then Some i else go (i + 1) in
     go 0
@@ -34,7 +54,11 @@ let run_endpoint config (transport : Transport.t) parties program max_rounds k =
   let records = ref [] in
   let resend round dst =
     List.iter
-      (fun (d, body) -> if d = dst then transport.Transport.send d body)
+      (fun (d, body) ->
+        if d = dst then begin
+          transport.Transport.send d body;
+          Spe_obs.Trace.count trace ~party:me ~round Spe_obs.Trace.Retransmits 1
+        end)
       (List.rev (Option.value ~default:[] (Hashtbl.find_opt cache round)))
   in
   let handle body =
@@ -66,88 +90,116 @@ let run_endpoint config (transport : Transport.t) parties program max_rounds k =
   in
   let rec loop r inbox =
     if r > max_rounds then failwith "Endpoint.run: protocol did not terminate";
-    let sends = program ~round:r ~inbox in
-    List.iteri
-      (fun seq (msg : Runtime.message) ->
-        if msg.Runtime.src <> party then invalid_arg "Endpoint.run: forged source";
-        match index_of msg.Runtime.dst with
-        | None -> invalid_arg "Endpoint.run: message to unknown party"
-        | Some di ->
-          if di = k then invalid_arg "Endpoint.run: self-send";
-          let frame =
-            Frame.Data
-              { round = r; seq; src = msg.Runtime.src; dst = msg.Runtime.dst;
-                payload = msg.Runtime.payload }
-          in
-          send_frame ~round:r di frame;
-          records :=
-            {
-              Net_wire.round = r;
-              src = msg.Runtime.src;
-              dst = msg.Runtime.dst;
-              payload_bytes = Runtime.payload_bits msg.Runtime.payload / 8;
-              framed_bytes = Frame.framed_length frame;
-            }
-            :: !records)
-      sends;
-    let own_total = List.length sends in
-    for j = 0 to m - 1 do
-      if j <> k then begin
-        let to_dst =
-          List.length
-            (List.filter
-               (fun (msg : Runtime.message) -> index_of msg.Runtime.dst = Some j)
-               sends)
-        in
-        send_frame ~round:r j
-          (Frame.End_of_round { round = r; sender = k; total = own_total; to_dst })
-      end
-    done;
-    (* Collect the barrier: every peer's End_of_round plus the data
-       frames it promised us. *)
-    let complete j =
-      match Hashtbl.find_opt eors (r, j) with
-      | None -> false
-      | Some (_, to_me) ->
-        Option.value ~default:0 (Hashtbl.find_opt data_count (r, j)) >= to_me
-    in
-    let all_complete () =
-      let rec go j = j >= m || ((j = k || complete j) && go (j + 1)) in
-      go 0
-    in
-    let retries = ref 0 in
-    while not (all_complete ()) do
-      let deadline = Unix.gettimeofday () +. config.round_timeout in
-      let rec drain () =
-        if not (all_complete ()) then
-          match transport.Transport.recv ~deadline with
-          | Some body ->
-            handle body;
-            drain ()
-          | None -> ()
+    (* The whole charged round — local step, barrier broadcast, barrier
+       collection — runs inside one [Round] span so per-phase wall
+       times can be summed from round envelopes. *)
+    let round_work () =
+      let sends =
+        if tracing then
+          Spe_obs.Trace.span trace ~party:me ~index:r Spe_obs.Trace.Compute "step" (fun () ->
+              program ~round:r ~inbox)
+        else program ~round:r ~inbox
       in
-      drain ();
-      if not (all_complete ()) then begin
-        if !retries >= config.max_retries then begin
-          let missing =
-            List.filter_map
-              (fun j -> if j <> k && not (complete j) then Some parties.(j) else None)
-              (List.init m Fun.id)
+      List.iteri
+        (fun seq (msg : Runtime.message) ->
+          if msg.Runtime.src <> party then invalid_arg "Endpoint.run: forged source";
+          match index_of msg.Runtime.dst with
+          | None -> invalid_arg "Endpoint.run: message to unknown party"
+          | Some di ->
+            if di = k then invalid_arg "Endpoint.run: self-send";
+            let frame =
+              Frame.Data
+                { round = r; seq; src = msg.Runtime.src; dst = msg.Runtime.dst;
+                  payload = msg.Runtime.payload }
+            in
+            send_frame ~round:r di frame;
+            let payload_bytes = Runtime.payload_bits msg.Runtime.payload / 8 in
+            let framed_bytes = Frame.framed_length frame in
+            if tracing then begin
+              Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Messages 1;
+              Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Payload_bytes
+                payload_bytes;
+              Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Framed_bytes
+                framed_bytes
+            end;
+            records :=
+              {
+                Net_wire.round = r;
+                src = msg.Runtime.src;
+                dst = msg.Runtime.dst;
+                payload_bytes;
+                framed_bytes;
+              }
+              :: !records)
+        sends;
+      let own_total = List.length sends in
+      for j = 0 to m - 1 do
+        if j <> k then begin
+          let to_dst =
+            List.length
+              (List.filter
+                 (fun (msg : Runtime.message) -> index_of msg.Runtime.dst = Some j)
+                 sends)
           in
-          raise (Round_timeout { party; round = r; missing })
-        end;
-        incr retries;
-        for j = 0 to m - 1 do
-          if j <> k && not (complete j) then
-            transport.Transport.send j (Frame.encode (Frame.Nack { round = r; sender = k }))
-        done
-      end
-    done;
-    let grand_total =
+          send_frame ~round:r j
+            (Frame.End_of_round { round = r; sender = k; total = own_total; to_dst })
+        end
+      done;
+      (* Collect the barrier: every peer's End_of_round plus the data
+         frames it promised us. *)
+      let complete j =
+        match Hashtbl.find_opt eors (r, j) with
+        | None -> false
+        | Some (_, to_me) ->
+          Option.value ~default:0 (Hashtbl.find_opt data_count (r, j)) >= to_me
+      in
+      let all_complete () =
+        let rec go j = j >= m || ((j = k || complete j) && go (j + 1)) in
+        go 0
+      in
+      let retries = ref 0 in
+      while not (all_complete ()) do
+        let deadline = Unix.gettimeofday () +. config.round_timeout in
+        let rec drain () =
+          if not (all_complete ()) then
+            match transport.Transport.recv ~deadline with
+            | Some body ->
+              handle body;
+              drain ()
+            | None -> ()
+        in
+        drain ();
+        if not (all_complete ()) then begin
+          Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Timeouts 1;
+          if !retries >= config.max_retries then begin
+            let missing =
+              List.filter_map
+                (fun j -> if j <> k && not (complete j) then Some parties.(j) else None)
+                (List.init m Fun.id)
+            in
+            raise
+              (Round_timeout
+                 { party; round = r; phase = Spe_obs.Trace.phase_of_round trace r; missing })
+          end;
+          incr retries;
+          for j = 0 to m - 1 do
+            if j <> k && not (complete j) then begin
+              transport.Transport.send j
+                (Frame.encode (Frame.Nack { round = r; sender = k }));
+              Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Nacks 1
+            end
+          done
+        end
+      done;
       List.fold_left
         (fun acc j -> if j = k then acc else acc + fst (Hashtbl.find eors (r, j)))
         own_total
         (List.init m Fun.id)
+    in
+    let grand_total =
+      if tracing then
+        Spe_obs.Trace.span trace ~party:me ~index:r Spe_obs.Trace.Round "round" round_work
+      else round_work ()
     in
     if grand_total = 0 then begin
       (* Global quiescence, visible to everyone at this same round.
@@ -180,7 +232,8 @@ let run_endpoint config (transport : Transport.t) parties program max_rounds k =
   let rounds = loop 1 [] in
   { rounds; sent = List.rev !records }
 
-let run_group ?(config = default_config) ~transports ~parties ~programs ~max_rounds () =
+let run_group ?(config = default_config) ?(trace = Spe_obs.Trace.disabled ()) ~transports
+    ~parties ~programs ~max_rounds () =
   let m = Array.length parties in
   if Array.length transports <> m || Array.length programs <> m then
     invalid_arg "Endpoint.run_group: one transport and one program per party";
@@ -193,7 +246,7 @@ let run_group ?(config = default_config) ~transports ~parties ~programs ~max_rou
     Array.init m (fun k ->
         Thread.create
           (fun () ->
-            match run_endpoint config transports.(k) parties programs.(k) max_rounds k with
+            match run_endpoint config trace transports.(k) parties programs.(k) max_rounds k with
             | outcome -> outcomes.(k) <- Some outcome
             | exception e ->
               errors.(k) <- Some e;
@@ -222,18 +275,18 @@ let run_group ?(config = default_config) ~transports ~parties ~programs ~max_rou
   | None, None -> ());
   { outcomes = Array.map Option.get outcomes; transport_bytes }
 
-let run_memory ?config ?fault ~parties ~programs ~max_rounds () =
-  let transports = Transport.Memory.create_group ?fault ~m:(Array.length parties) () in
-  run_group ?config ~transports ~parties ~programs ~max_rounds ()
+let run_memory ?config ?fault ?trace ~parties ~programs ~max_rounds () =
+  let transports = Transport.Memory.create_group ?fault ?trace ~m:(Array.length parties) () in
+  run_group ?config ?trace ~transports ~parties ~programs ~max_rounds ()
 
-let run_socket ?config ?addresses ~parties ~programs ~max_rounds () =
+let run_socket ?config ?addresses ?trace ~parties ~programs ~max_rounds () =
   let addresses =
     match addresses with
     | Some a -> a
     | None -> Transport.Socket.temp_unix_addresses ~m:(Array.length parties)
   in
-  let transports = Transport.Socket.create_group ~addresses in
-  run_group ?config ~transports ~parties ~programs ~max_rounds ()
+  let transports = Transport.Socket.create_group ?trace ~addresses () in
+  run_group ?config ?trace ~transports ~parties ~programs ~max_rounds ()
 
 (* A session declares its exact round count; enforce it like
    Session.run does, so a mis-declared session cannot silently
@@ -245,18 +298,22 @@ let check_session_rounds (session : _ Session.t) result =
       (Printf.sprintf "Endpoint.run_session: declared %d rounds but executed %d"
          session.Session.rounds executed)
 
-let run_session_memory ?config ?fault session =
+let run_session_memory ?config ?fault ?(trace = Spe_obs.Trace.disabled ()) session =
+  Spe_obs.Trace.set_phases trace session.Session.phases;
   let result =
-    run_memory ?config ?fault ~parties:session.Session.parties
-      ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ()
+    Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+        run_memory ?config ?fault ~trace ~parties:session.Session.parties
+          ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ())
   in
   check_session_rounds session result;
   (session.Session.result (), result)
 
-let run_session_socket ?config ?addresses session =
+let run_session_socket ?config ?addresses ?(trace = Spe_obs.Trace.disabled ()) session =
+  Spe_obs.Trace.set_phases trace session.Session.phases;
   let result =
-    run_socket ?config ?addresses ~parties:session.Session.parties
-      ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ()
+    Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+        run_socket ?config ?addresses ~trace ~parties:session.Session.parties
+          ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ())
   in
   check_session_rounds session result;
   (session.Session.result (), result)

@@ -36,8 +36,16 @@ val default_config : config
 exception Round_timeout of {
   party : Spe_mpc.Wire.party;
   round : int;
+  phase : string option;
+      (** The pipeline phase owning [round], read from the trace's
+          phase map — so a stuck socket run reports ["p4-mask"] rather
+          than a bare round number.  [None] when no phase map was
+          installed (e.g. {!run_group} on raw programs). *)
   missing : Spe_mpc.Wire.party list;  (** Peers that never completed the round. *)
 }
+(** A registered [Printexc] printer renders the full context:
+    ["Endpoint.Round_timeout: P1 timed out in round 3 (phase p4-mask)
+    waiting on Host"]. *)
 
 type outcome = {
   rounds : int;  (** Non-quiescent rounds executed — the NR statistic. *)
@@ -54,6 +62,7 @@ type result = {
 
 val run_group :
   ?config:config ->
+  ?trace:Spe_obs.Trace.t ->
   transports:Transport.t array ->
   parties:Spe_mpc.Wire.party array ->
   programs:Spe_mpc.Runtime.program array ->
@@ -66,21 +75,32 @@ val run_group :
     [max_rounds], [Invalid_argument] on a forged source or a message to
     an unknown party, {!Round_timeout} when a peer stays silent.  Any
     failure closes the whole group, so the remaining threads unwind
-    promptly instead of waiting out their timeouts. *)
+    promptly instead of waiting out their timeouts.
+
+    When [trace] is recording, every endpoint thread records into it:
+    a [Round] span per charged round (local step in a nested [Compute]
+    span), [Messages]/[Payload_bytes]/[Framed_bytes] counts per data
+    frame first transmitted — byte-for-byte what lands in
+    {!Net_wire.record}s — plus [Retransmits], [Nacks] and [Timeouts]
+    as the loss recovery machinery fires. *)
 
 val run_memory :
   ?config:config ->
   ?fault:Fault.t ->
+  ?trace:Spe_obs.Trace.t ->
   parties:Spe_mpc.Wire.party array ->
   programs:Spe_mpc.Runtime.program array ->
   max_rounds:int ->
   unit ->
   result
-(** {!run_group} over a fresh {!Transport.Memory} group. *)
+(** {!run_group} over a fresh {!Transport.Memory} group; [trace] is
+    shared with the transports, so fault decisions and transport bytes
+    land in the same event stream. *)
 
 val run_socket :
   ?config:config ->
   ?addresses:Transport.Socket.address array ->
+  ?trace:Spe_obs.Trace.t ->
   parties:Spe_mpc.Wire.party array ->
   programs:Spe_mpc.Runtime.program array ->
   max_rounds:int ->
@@ -88,21 +108,28 @@ val run_socket :
   result
 (** {!run_group} over a fresh {!Transport.Socket} group (fresh
     Unix-domain sockets in a temporary directory unless [addresses]
-    says otherwise). *)
+    says otherwise); [trace] is shared with the transports. *)
 
 val run_session_memory :
   ?config:config ->
   ?fault:Fault.t ->
+  ?trace:Spe_obs.Trace.t ->
   'r Spe_mpc.Session.t ->
   'r * result
 (** Host a composed {!Spe_mpc.Session} on memory-channel endpoints and
     read its result.  Like {!Spe_mpc.Session.run}, raises [Failure] if
     the executed round count differs from the session's declared
-    {!Spe_mpc.Session.rounds}. *)
+    {!Spe_mpc.Session.rounds}.
+
+    The session's {!Spe_mpc.Session.phases} map is installed on
+    [trace] (even a non-recording one — {!Round_timeout} reads it for
+    its [phase] field) and the whole run is wrapped in a [Session]
+    span. *)
 
 val run_session_socket :
   ?config:config ->
   ?addresses:Transport.Socket.address array ->
+  ?trace:Spe_obs.Trace.t ->
   'r Spe_mpc.Session.t ->
   'r * result
 (** {!run_session_memory} over fresh Unix-domain sockets. *)

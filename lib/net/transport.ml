@@ -53,20 +53,33 @@ end
 let check_dst ~peers dst =
   if dst < 0 || dst >= peers then invalid_arg "Transport.send: unknown peer"
 
+(* Endpoints are identified by group index at this layer; traces use
+   ["#i"] labels since the transport does not know the party names. *)
+let index_label i = Printf.sprintf "#%d" i
+
 module Memory = struct
-  let create_group ?(fault = Fault.none) ~m () =
+  let create_group ?(fault = Fault.none) ?(trace = Spe_obs.Trace.disabled ()) ~m () =
     let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
     let counters = Array.init m (fun _ -> Atomic.make 0) in
     let close_all () = Array.iter Mailbox.close mailboxes in
     Array.init m (fun self ->
+        let label = index_label self in
         let send dst body =
           check_dst ~peers:m dst;
-          Atomic.fetch_and_add counters.(self) (Frame.length_prefix_bytes + Bytes.length body)
-          |> ignore;
+          let cost = Frame.length_prefix_bytes + Bytes.length body in
+          Atomic.fetch_and_add counters.(self) cost |> ignore;
+          Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost;
           match Fault.decide fault ~src:self ~dst with
           | Fault.Deliver -> Mailbox.push mailboxes.(dst) body
-          | Fault.Drop -> ()
+          | Fault.Drop ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst)
           | Fault.Delay d ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label
+                (Printf.sprintf "fault.delay %.3fs ->#%d" d dst);
             ignore
               (Thread.create
                  (fun () ->
@@ -122,7 +135,7 @@ module Socket = struct
     | None -> None
     | Some prefix -> really_read fd (Int32.to_int (Bytes.get_int32_be prefix 0))
 
-  let create_group ~addresses =
+  let create_group ?(trace = Spe_obs.Trace.disabled ()) ~addresses () =
     let m = Array.length addresses in
     if m < 2 then invalid_arg "Transport.Socket.create_group: need at least two endpoints";
     let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
@@ -176,8 +189,9 @@ module Socket = struct
         Unix.connect fd (sockaddr_of addresses.(i));
         let hello = Frame.encode (Frame.Hello { sender = j }) in
         write_frame fd hello;
-        Atomic.fetch_and_add counters.(j) (Frame.length_prefix_bytes + Bytes.length hello)
-        |> ignore;
+        let cost = Frame.length_prefix_bytes + Bytes.length hello in
+        Atomic.fetch_and_add counters.(j) cost |> ignore;
+        Spe_obs.Trace.count trace ~party:(index_label j) Spe_obs.Trace.Transport_bytes cost;
         set_fd j i fd
       done
     done;
@@ -223,14 +237,16 @@ module Socket = struct
           row)
       fds;
     Array.init m (fun self ->
+        let label = index_label self in
         let send dst body =
           check_dst ~peers:m dst;
           if Atomic.get closed then raise Closed;
           match fds.(self).(dst) with
           | None -> invalid_arg "Transport.send: unknown peer"
           | Some fd ->
-            Atomic.fetch_and_add counters.(self) (Frame.length_prefix_bytes + Bytes.length body)
-            |> ignore;
+            let cost = Frame.length_prefix_bytes + Bytes.length body in
+            Atomic.fetch_and_add counters.(self) cost |> ignore;
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost;
             (try write_frame fd body
              with Unix.Unix_error _ -> raise Closed)
         in

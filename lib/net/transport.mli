@@ -36,11 +36,17 @@ type t = {
 }
 
 module Memory : sig
-  val create_group : ?fault:Fault.t -> m:int -> unit -> t array
+  val create_group : ?fault:Fault.t -> ?trace:Spe_obs.Trace.t -> m:int -> unit -> t array
   (** A fully-connected group of [m] in-memory endpoints.  Frames pass
       through [fault] (default {!Fault.none}); delayed frames are
       delivered by a helper thread after their hold time.  Closing any
-      member closes the whole group. *)
+      member closes the whole group.
+
+      When [trace] is recording, every send increments the
+      [Transport_bytes] counter by its full framed cost and every fault
+      decision records a [Faults_dropped]/[Faults_delayed] count plus a
+      note — endpoints are labelled ["#i"] by group index, the only
+      identity this layer has. *)
 end
 
 module Socket : sig
@@ -48,14 +54,18 @@ module Socket : sig
     | Unix_domain of string  (** Socket file path (created, not unlinked). *)
     | Tcp of string * int  (** Host, port — loopback in tests. *)
 
-  val create_group : addresses:address array -> t array
+  val create_group : ?trace:Spe_obs.Trace.t -> addresses:address array -> unit -> t array
   (** A fully-connected group over real stream sockets: endpoint [i]
       listens on [addresses.(i)], every pair is connected once (the
       higher index dials the lower and introduces itself with a
       {!Frame.Hello}), and a reader thread per connection feeds the
       receiver queue.  The endpoints live in one process but share no
       state other than the sockets — each is driven by its own thread
-      and sees only bytes.  Closing any member closes the group. *)
+      and sees only bytes.  Closing any member closes the group.
+
+      When [trace] is recording, every byte written — handshake frames
+      at dial time included — lands on the [Transport_bytes] counter,
+      labelled ["#i"] by group index. *)
 
   val temp_unix_addresses : m:int -> address array
   (** Fresh Unix-domain socket paths in a private temporary directory,

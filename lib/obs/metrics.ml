@@ -1,0 +1,229 @@
+type phase_row = {
+  phase : string;
+  rounds : int;
+  messages : int;
+  payload_bytes : int;
+  wall_s : float;
+}
+
+type compute_row = { party : string; calls : int; total_s : float; max_s : float }
+
+type hist_bucket = { le_bytes : int; count : int }
+
+type report = {
+  protocol : string;
+  engine : string;
+  parties : int;
+  rounds : int;
+  messages : int;
+  payload_bytes : int;
+  framed_bytes : int option;
+  transport_bytes : int option;
+  retransmits : int;
+  nacks : int;
+  timeouts : int;
+  faults_dropped : int;
+  faults_delayed : int;
+  wall_s : float;
+  phases : phase_row list;
+  compute : compute_row list;
+  payload_hist : hist_bucket list;
+}
+
+(* Smallest power of two >= n (n >= 1): the histogram bucket bound. *)
+let bucket_of n =
+  let rec go b = if b >= n then b else go (b * 2) in
+  go 1
+
+let of_trace ~protocol ~engine ~parties trace =
+  let events = Trace.events trace in
+  (* Counter totals, and whether each byte counter appeared at all
+     (zero-delta counts are never recorded, so presence means the
+     engine genuinely measures that quantity). *)
+  let messages = ref 0
+  and payload = ref 0
+  and framed = ref 0
+  and saw_framed = ref false
+  and transport = ref 0
+  and saw_transport = ref false
+  and retransmits = ref 0
+  and nacks = ref 0
+  and timeouts = ref 0
+  and dropped = ref 0
+  and delayed = ref 0 in
+  (* Distinct message-bearing rounds -> NR; per-phase message/payload
+     sums; payload-size histogram. *)
+  let msg_rounds : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let phase_msgs : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let phase_cell label =
+    match Hashtbl.find_opt phase_msgs label with
+    | Some cell -> cell
+    | None ->
+      let cell = (ref 0, ref 0) in
+      Hashtbl.add phase_msgs label cell;
+      cell
+  in
+  let hist : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  (* Span digests: session wall, per-round envelopes (min start / max
+     stop across parties), phase spans, per-party compute. *)
+  let session_wall = ref None in
+  let round_env : (int, float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let phase_spans : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let compute : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let see t =
+    if t < !t_min then t_min := t;
+    if t > !t_max then t_max := t
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Count { counter; round; at; delta; party = _ } ->
+        see at;
+        let phase_for r = Option.bind r (Trace.phase_of_round trace) in
+        (match counter with
+        | Trace.Messages ->
+          messages := !messages + delta;
+          (match round with
+          | Some r -> Hashtbl.replace msg_rounds r ()
+          | None -> ());
+          (match phase_for round with
+          | Some label ->
+            let m, _ = phase_cell label in
+            m := !m + delta
+          | None -> ())
+        | Trace.Payload_bytes ->
+          payload := !payload + delta;
+          (match phase_for round with
+          | Some label ->
+            let _, b = phase_cell label in
+            b := !b + delta
+          | None -> ());
+          let bucket = bucket_of (max 1 delta) in
+          (match Hashtbl.find_opt hist bucket with
+          | Some c -> incr c
+          | None -> Hashtbl.add hist bucket (ref 1))
+        | Trace.Framed_bytes ->
+          saw_framed := true;
+          framed := !framed + delta
+        | Trace.Transport_bytes ->
+          saw_transport := true;
+          transport := !transport + delta
+        | Trace.Retransmits -> retransmits := !retransmits + delta
+        | Trace.Nacks -> nacks := !nacks + delta
+        | Trace.Timeouts -> timeouts := !timeouts + delta
+        | Trace.Faults_dropped -> dropped := !dropped + delta
+        | Trace.Faults_delayed -> delayed := !delayed + delta)
+      | Trace.Span { kind; label; party; index; start; stop } -> (
+        see start;
+        see stop;
+        match kind with
+        | Trace.Session ->
+          (* Keep the widest session span (outermost wins). *)
+          let w = stop -. start in
+          (match !session_wall with
+          | Some w' when w' >= w -> ()
+          | _ -> session_wall := Some w)
+        | Trace.Phase ->
+          let cell =
+            match Hashtbl.find_opt phase_spans label with
+            | Some c -> c
+            | None ->
+              let c = ref 0. in
+              Hashtbl.add phase_spans label c;
+              c
+          in
+          cell := !cell +. (stop -. start)
+        | Trace.Round -> (
+          match index with
+          | None -> ()
+          | Some r -> (
+            match Hashtbl.find_opt round_env r with
+            | Some (lo, hi) ->
+              if start < !lo then lo := start;
+              if stop > !hi then hi := stop
+            | None -> Hashtbl.add round_env r (ref start, ref stop)))
+        | Trace.Compute -> (
+          let p = Option.value party ~default:"?" in
+          let d = stop -. start in
+          match Hashtbl.find_opt compute p with
+          | Some (calls, total, mx) ->
+            incr calls;
+            total := !total +. d;
+            if d > !mx then mx := d
+          | None -> Hashtbl.add compute p (ref 1, ref d, ref d)))
+      | Trace.Note { at; _ } -> see at)
+    events;
+  (* Phase rows, in phase-map order, merging repeated labels.  Rounds
+     are attributed through the map; wall time prefers summed per-round
+     envelopes and falls back to recorded phase spans. *)
+  let phase_labels =
+    List.fold_left
+      (fun acc (label, _) -> if List.mem label acc then acc else acc @ [ label ])
+      [] (Trace.phases trace)
+  in
+  let phase_rows =
+    List.map
+      (fun label ->
+        let msgs, bytes =
+          match Hashtbl.find_opt phase_msgs label with
+          | Some (m, b) -> (!m, !b)
+          | None -> (0, 0)
+        in
+        let nrounds = ref 0 and wall = ref 0. and timed = ref false in
+        Hashtbl.iter
+          (fun r () ->
+            if Trace.phase_of_round trace r = Some label then begin
+              incr nrounds;
+              match Hashtbl.find_opt round_env r with
+              | Some (lo, hi) ->
+                timed := true;
+                wall := !wall +. (!hi -. !lo)
+              | None -> ()
+            end)
+          msg_rounds;
+        let wall_s =
+          if !timed then !wall
+          else match Hashtbl.find_opt phase_spans label with Some c -> !c | None -> 0.
+        in
+        { phase = label; rounds = !nrounds; messages = msgs; payload_bytes = bytes; wall_s })
+      phase_labels
+  in
+  let compute_rows =
+    Hashtbl.fold
+      (fun party (calls, total, mx) acc ->
+        { party; calls = !calls; total_s = !total; max_s = !mx } :: acc)
+      compute []
+    |> List.sort (fun a b -> compare a.party b.party)
+  in
+  let hist_rows =
+    Hashtbl.fold (fun le_bytes c acc -> { le_bytes; count = !c } :: acc) hist []
+    |> List.sort (fun a b -> compare a.le_bytes b.le_bytes)
+  in
+  let wall_s =
+    match !session_wall with
+    | Some w -> w
+    | None -> if !t_max >= !t_min then !t_max -. !t_min else 0.
+  in
+  {
+    protocol;
+    engine;
+    parties;
+    rounds = Hashtbl.length msg_rounds;
+    messages = !messages;
+    payload_bytes = !payload;
+    framed_bytes = (if !saw_framed then Some !framed else None);
+    transport_bytes = (if !saw_transport then Some !transport else None);
+    retransmits = !retransmits;
+    nacks = !nacks;
+    timeouts = !timeouts;
+    faults_dropped = !dropped;
+    faults_delayed = !delayed;
+    wall_s;
+    phases = phase_rows;
+    compute = compute_rows;
+    payload_hist = hist_rows;
+  }
+
+let equal_accounting r ~messages ~payload_bytes =
+  r.messages = messages && r.payload_bytes = payload_bytes

@@ -1,0 +1,67 @@
+(** Aggregating a finished {!Trace} into the paper's cost statistics.
+
+    The paper evaluates its protocols by the number of communication
+    rounds (NR), the number of messages (NM) and the message size in
+    bits (MS) — see Tables 1–2 of Tassa & Bonchi.  A {!report} carries
+    exactly those totals (bytes rather than bits: [payload_bytes] is
+    MS / 8), plus what only an instrumented run can know: wall-clock
+    time, per-phase breakdowns, per-party compute summaries, transport
+    overhead, retransmissions and injected faults.
+
+    One report is produced per (protocol, engine) execution by
+    {!of_trace}; {!Obs_io} renders it as text or versioned JSON. *)
+
+type phase_row = {
+  phase : string;  (** Phase label from the session's phase map. *)
+  rounds : int;  (** Message-bearing engine rounds owned by this phase. *)
+  messages : int;  (** NM restricted to this phase. *)
+  payload_bytes : int;  (** MS / 8 restricted to this phase. *)
+  wall_s : float;  (** Observed wall-clock: per-round envelopes summed, or
+                       the phase span when rounds were not timed. *)
+}
+
+type compute_row = {
+  party : string;
+  calls : int;  (** Local program steps this party executed. *)
+  total_s : float;  (** Total time inside those steps. *)
+  max_s : float;  (** Longest single step. *)
+}
+
+type hist_bucket = {
+  le_bytes : int;  (** Bucket upper bound: the next power of two. *)
+  count : int;  (** Payload-size observations falling in this bucket. *)
+}
+
+type report = {
+  protocol : string;
+  engine : string;  (** [central], [sim], [memory] or [socket]. *)
+  parties : int;
+  rounds : int;  (** NR: distinct engine rounds that carried messages. *)
+  messages : int;  (** NM: messages first transmitted. *)
+  payload_bytes : int;  (** MS / 8: codec payload bytes. *)
+  framed_bytes : int option;
+      (** Data-frame bytes incl. framing; [None] when the engine does not
+          frame (central / simulated runs). *)
+  transport_bytes : int option;
+      (** All bytes pushed through a transport, control frames and
+          retransmissions included; [None] off the real transports. *)
+  retransmits : int;
+  nacks : int;
+  timeouts : int;
+  faults_dropped : int;
+  faults_delayed : int;
+  wall_s : float;  (** Session span when recorded, else the event spread. *)
+  phases : phase_row list;  (** In phase-map order; [[]] without a map. *)
+  compute : compute_row list;  (** Sorted by party label. *)
+  payload_hist : hist_bucket list;  (** Sorted by [le_bytes]. *)
+}
+
+val of_trace : protocol:string -> engine:string -> parties:int -> Trace.t -> report
+(** Aggregate everything the trace recorded.  Counters missing from the
+    trace aggregate to zero ([None] for the optional byte totals);
+    rounds are attributed to phases via {!Trace.phase_of_round}. *)
+
+val equal_accounting : report -> messages:int -> payload_bytes:int -> bool
+(** [equal_accounting r ~messages ~payload_bytes] — do the report's NM
+    and MS/8 agree with an independent accounting (the simulated wire
+    or [Spe_net.Net_wire])?  Used by tests and the CLI cross-check. *)

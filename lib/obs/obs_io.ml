@@ -1,0 +1,519 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string ?(pretty = true) t =
+    let buf = Buffer.create 256 in
+    let pad n = if pretty then Buffer.add_string buf (String.make (2 * n) ' ') in
+    let nl () = if pretty then Buffer.add_char buf '\n' in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_repr f)
+      | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf (if pretty then "\": " else "\":");
+            go (depth + 1) v)
+          fields;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+
+  exception Parse of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+            advance ();
+            Buffer.add_char buf '"';
+            go ()
+          | Some '\\' ->
+            advance ();
+            Buffer.add_char buf '\\';
+            go ()
+          | Some '/' ->
+            advance ();
+            Buffer.add_char buf '/';
+            go ()
+          | Some 'b' ->
+            advance ();
+            Buffer.add_char buf '\b';
+            go ()
+          | Some 'f' ->
+            advance ();
+            Buffer.add_char buf '\012';
+            go ()
+          | Some 'n' ->
+            advance ();
+            Buffer.add_char buf '\n';
+            go ()
+          | Some 'r' ->
+            advance ();
+            Buffer.add_char buf '\r';
+            go ()
+          | Some 't' ->
+            advance ();
+            Buffer.add_char buf '\t';
+            go ()
+          | Some 'u' ->
+            advance ();
+            let cp = parse_hex4 () in
+            (* UTF-8 encode the BMP codepoint (surrogate pairs are not
+               needed for anything this library emits). *)
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end;
+            go ()
+          | _ -> fail "bad escape")
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      let rec digits () =
+        match peek () with
+        | Some '0' .. '9' ->
+          advance ();
+          digits ()
+        | _ -> ()
+      in
+      digits ();
+      (match peek () with
+      | Some '.' ->
+        is_float := true;
+        advance ();
+        digits ()
+      | _ -> ());
+      (match peek () with
+      | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | _ -> ());
+        digits ()
+      | _ -> ());
+      let text = String.sub s start (!pos - start) in
+      if text = "" || text = "-" then fail "malformed number";
+      if !is_float then Float (float_of_string text)
+      else match int_of_string_opt text with Some i -> Int i | None -> Float (float_of_string text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          let rec more () =
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items := parse_value () :: !items;
+              skip_ws ();
+              more ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          more ();
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          let rec more () =
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields := field () :: !fields;
+              skip_ws ();
+              more ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          more ();
+          Obj (List.rev !fields)
+        end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> v
+    | exception Parse (at, msg) -> failwith (Printf.sprintf "Obs_io.Json: %s at offset %d" msg at)
+
+  let member key = function
+    | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "Obs_io.Json: missing field %S" key))
+    | _ -> failwith (Printf.sprintf "Obs_io.Json: field %S looked up in a non-object" key)
+end
+
+let schema = "spe-metrics/1"
+
+let bench_schema = "spe-bench/1"
+
+(* Typed accessors for the readers: strict about shape, permissive
+   about Int-vs-Float for float-valued fields. *)
+let as_int key j =
+  match Json.member key j with
+  | Json.Int i -> i
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S must be an integer" key)
+
+let as_float key j =
+  match Json.member key j with
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S must be a number" key)
+
+let as_string key j =
+  match Json.member key j with
+  | Json.String s -> s
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S must be a string" key)
+
+let as_int_opt key j =
+  match Json.member key j with
+  | Json.Null -> None
+  | Json.Int i -> Some i
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S must be an integer or null" key)
+
+let as_list key j =
+  match Json.member key j with
+  | Json.List items -> items
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S must be a list" key)
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let report_to_json (r : Metrics.report) =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("protocol", Json.String r.protocol);
+      ("engine", Json.String r.engine);
+      ("parties", Json.Int r.parties);
+      ("rounds", Json.Int r.rounds);
+      ("messages", Json.Int r.messages);
+      ("payload_bytes", Json.Int r.payload_bytes);
+      ("framed_bytes", opt_int r.framed_bytes);
+      ("transport_bytes", opt_int r.transport_bytes);
+      ("retransmits", Json.Int r.retransmits);
+      ("nacks", Json.Int r.nacks);
+      ("timeouts", Json.Int r.timeouts);
+      ( "faults",
+        Json.Obj
+          [ ("dropped", Json.Int r.faults_dropped); ("delayed", Json.Int r.faults_delayed) ] );
+      ("wall_s", Json.Float r.wall_s);
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (p : Metrics.phase_row) ->
+               Json.Obj
+                 [
+                   ("phase", Json.String p.phase);
+                   ("rounds", Json.Int p.rounds);
+                   ("messages", Json.Int p.messages);
+                   ("payload_bytes", Json.Int p.payload_bytes);
+                   ("wall_s", Json.Float p.wall_s);
+                 ])
+             r.phases) );
+      ( "compute",
+        Json.List
+          (List.map
+             (fun (c : Metrics.compute_row) ->
+               Json.Obj
+                 [
+                   ("party", Json.String c.party);
+                   ("calls", Json.Int c.calls);
+                   ("total_s", Json.Float c.total_s);
+                   ("max_s", Json.Float c.max_s);
+                 ])
+             r.compute) );
+      ( "payload_hist",
+        Json.List
+          (List.map
+             (fun (b : Metrics.hist_bucket) ->
+               Json.Obj [ ("le_bytes", Json.Int b.le_bytes); ("count", Json.Int b.count) ])
+             r.payload_hist) );
+    ]
+
+let report_of_json j : Metrics.report =
+  let tag = as_string "schema" j in
+  if tag <> schema then
+    failwith (Printf.sprintf "Obs_io: unsupported metrics schema %S (want %S)" tag schema);
+  let faults = Json.member "faults" j in
+  {
+    protocol = as_string "protocol" j;
+    engine = as_string "engine" j;
+    parties = as_int "parties" j;
+    rounds = as_int "rounds" j;
+    messages = as_int "messages" j;
+    payload_bytes = as_int "payload_bytes" j;
+    framed_bytes = as_int_opt "framed_bytes" j;
+    transport_bytes = as_int_opt "transport_bytes" j;
+    retransmits = as_int "retransmits" j;
+    nacks = as_int "nacks" j;
+    timeouts = as_int "timeouts" j;
+    faults_dropped = as_int "dropped" faults;
+    faults_delayed = as_int "delayed" faults;
+    wall_s = as_float "wall_s" j;
+    phases =
+      List.map
+        (fun p ->
+          {
+            Metrics.phase = as_string "phase" p;
+            rounds = as_int "rounds" p;
+            messages = as_int "messages" p;
+            payload_bytes = as_int "payload_bytes" p;
+            wall_s = as_float "wall_s" p;
+          })
+        (as_list "phases" j);
+    compute =
+      List.map
+        (fun c ->
+          {
+            Metrics.party = as_string "party" c;
+            calls = as_int "calls" c;
+            total_s = as_float "total_s" c;
+            max_s = as_float "max_s" c;
+          })
+        (as_list "compute" j);
+    payload_hist =
+      List.map
+        (fun b -> { Metrics.le_bytes = as_int "le_bytes" b; count = as_int "count" b })
+        (as_list "payload_hist" j);
+  }
+
+let report_to_string r = Json.to_string (report_to_json r) ^ "\n"
+
+let report_of_string s = report_of_json (Json.of_string s)
+
+let report_to_text (r : Metrics.report) =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "protocol %-18s engine %-8s parties %d\n" r.protocol r.engine r.parties;
+  p "  rounds (NR)      %d\n" r.rounds;
+  p "  messages (NM)    %d\n" r.messages;
+  p "  payload bytes    %d  (MS = %d bits)\n" r.payload_bytes (8 * r.payload_bytes);
+  (match r.framed_bytes with Some b -> p "  framed bytes     %d\n" b | None -> ());
+  (match r.transport_bytes with Some b -> p "  transport bytes  %d\n" b | None -> ());
+  p "  retransmits %d  nacks %d  timeouts %d  faults dropped/delayed %d/%d\n" r.retransmits
+    r.nacks r.timeouts r.faults_dropped r.faults_delayed;
+  p "  wall %.6f s\n" r.wall_s;
+  if r.phases <> [] then begin
+    p "  %-16s %7s %9s %13s %10s\n" "phase" "rounds" "messages" "payload_bytes" "wall_s";
+    List.iter
+      (fun (row : Metrics.phase_row) ->
+        p "  %-16s %7d %9d %13d %10.6f\n" row.phase row.rounds row.messages row.payload_bytes
+          row.wall_s)
+      r.phases
+  end;
+  if r.compute <> [] then begin
+    p "  %-16s %7s %10s %10s\n" "compute" "calls" "total_s" "max_s";
+    List.iter
+      (fun (row : Metrics.compute_row) ->
+        p "  %-16s %7d %10.6f %10.6f\n" row.party row.calls row.total_s row.max_s)
+      r.compute
+  end;
+  if r.payload_hist <> [] then begin
+    Buffer.add_string buf "  payload sizes:";
+    List.iter
+      (fun (b : Metrics.hist_bucket) -> p "  <=%dB:%d" b.le_bytes b.count)
+      r.payload_hist;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let kind_name = function
+  | Trace.Session -> "session"
+  | Trace.Phase -> "phase"
+  | Trace.Round -> "round"
+  | Trace.Compute -> "compute"
+
+let counter_name = function
+  | Trace.Messages -> "messages"
+  | Trace.Payload_bytes -> "payload_bytes"
+  | Trace.Framed_bytes -> "framed_bytes"
+  | Trace.Transport_bytes -> "transport_bytes"
+  | Trace.Retransmits -> "retransmits"
+  | Trace.Nacks -> "nacks"
+  | Trace.Timeouts -> "timeouts"
+  | Trace.Faults_dropped -> "faults.dropped"
+  | Trace.Faults_delayed -> "faults.delayed"
+
+let trace_to_text trace =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let party = function Some s -> " party=" ^ s | None -> "" in
+  let idx label = function Some i -> Printf.sprintf " %s=%d" label i | None -> "" in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Span { kind; label; party = pt; index; start; stop } ->
+        p "[%10.6f] span  %-8s %s%s%s dur=%.6fs\n" stop (kind_name kind) label (party pt)
+          (idx "round" index) (stop -. start)
+      | Trace.Count { counter; party = pt; round; at; delta } ->
+        p "[%10.6f] count %-15s +%d%s%s\n" at (counter_name counter) delta (party pt)
+          (idx "round" round)
+      | Trace.Note { label; party = pt; round; at } ->
+        p "[%10.6f] note  %s%s%s\n" at label (party pt) (idx "round" round))
+    (Trace.events trace);
+  Buffer.contents buf
+
+let bench_to_string ~generated_by rows =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String bench_schema);
+         ("generated_by", Json.String generated_by);
+         ("rows", Json.List (List.map report_to_json rows));
+       ])
+  ^ "\n"
+
+let bench_of_string s =
+  let j = Json.of_string s in
+  let tag = as_string "schema" j in
+  if tag <> bench_schema then
+    failwith (Printf.sprintf "Obs_io: unsupported bench schema %S (want %S)" tag bench_schema);
+  List.map report_of_json (as_list "rows" j)

@@ -1,0 +1,78 @@
+(** Rendering traces and metric reports: human text and versioned JSON.
+
+    The JSON side is deliberately self-contained — a minimal
+    reader/writer pair ({!Json}) instead of a yojson dependency — and
+    every document is versioned by a [schema] field so downstream
+    tooling can reject what it does not understand.  Two schemas exist:
+
+    - {!schema} ([spe-metrics/1]): one {!Metrics.report}, as emitted by
+      [spe ... --metrics json].  Field-by-field documentation lives in
+      [OBSERVABILITY.md].
+    - {!bench_schema} ([spe-bench/1]): a bench trajectory file
+      ([BENCH_protocols.json]) whose [rows] are [spe-metrics/1]
+      reports.
+
+    All readers raise [Failure] with a located message on malformed
+    input; {!report_of_string} is the round-trip inverse of
+    {!report_to_string} (tested in [test_obs]). *)
+
+(** A minimal JSON tree with a writer and a strict recursive-descent
+    reader.  Numbers parse to [Int] when they are exact integers and to
+    [Float] otherwise; the accessors used by the report reader accept
+    either where a float is expected. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?pretty:bool -> t -> string
+  (** Serialize.  [pretty] (default [true]) indents by two spaces;
+      floats print with enough digits to round-trip exactly. *)
+
+  val of_string : string -> t
+  (** Parse a complete document.  Raises [Failure] on syntax errors or
+      trailing garbage. *)
+
+  val member : string -> t -> t
+  (** Field access on an [Obj]; raises [Failure] when missing. *)
+end
+
+val schema : string
+(** The metrics-report schema tag: ["spe-metrics/1"]. *)
+
+val bench_schema : string
+(** The bench-file schema tag: ["spe-bench/1"]. *)
+
+val report_to_json : Metrics.report -> Json.t
+(** The report as a [spe-metrics/1] object (schema field included). *)
+
+val report_of_json : Json.t -> Metrics.report
+(** Inverse of {!report_to_json}.  Raises [Failure] if the schema tag
+    or any required field is missing or ill-typed. *)
+
+val report_to_string : Metrics.report -> string
+(** Pretty-printed [spe-metrics/1] JSON, newline-terminated. *)
+
+val report_of_string : string -> Metrics.report
+(** Parse + {!report_of_json}. *)
+
+val report_to_text : Metrics.report -> string
+(** The human report: totals, per-phase table, per-party compute and
+    the payload-size histogram. *)
+
+val trace_to_text : Trace.t -> string
+(** A readable dump of every recorded event, one line each, in
+    recording order — what [--trace FILE] writes. *)
+
+val bench_to_string : generated_by:string -> Metrics.report list -> string
+(** A [spe-bench/1] document: [{schema; generated_by; rows}] where each
+    row is a [spe-metrics/1] report. *)
+
+val bench_of_string : string -> Metrics.report list
+(** Read a [spe-bench/1] document back.  Raises [Failure] on schema or
+    row violations. *)

@@ -1,0 +1,106 @@
+type span_kind = Session | Phase | Round | Compute
+
+type counter =
+  | Messages
+  | Payload_bytes
+  | Framed_bytes
+  | Transport_bytes
+  | Retransmits
+  | Nacks
+  | Timeouts
+  | Faults_dropped
+  | Faults_delayed
+
+type event =
+  | Span of {
+      kind : span_kind;
+      label : string;
+      party : string option;
+      index : int option;
+      start : float;
+      stop : float;
+    }
+  | Count of {
+      counter : counter;
+      party : string option;
+      round : int option;
+      at : float;
+      delta : int;
+    }
+  | Note of { label : string; party : string option; round : int option; at : float }
+
+type t = {
+  clock : unit -> float;
+  origin : float;
+  recording : bool;
+  lock : Mutex.t;
+  mutable events : event list; (* reversed *)
+  mutable phases : (string * int) list;
+}
+
+let make ~recording ~clock =
+  { clock; origin = clock (); recording; lock = Mutex.create (); events = []; phases = [] }
+
+let create ?(clock = Unix.gettimeofday) () = make ~recording:true ~clock
+
+let disabled () = make ~recording:false ~clock:Unix.gettimeofday
+
+let enabled t = t.recording
+
+let now t = t.clock () -. t.origin
+
+let record t ev =
+  Mutex.lock t.lock;
+  t.events <- ev :: t.events;
+  Mutex.unlock t.lock
+
+let span t ?party ?index kind label f =
+  if not t.recording then f ()
+  else begin
+    let start = now t in
+    let finish () = record t (Span { kind; label; party; index; start; stop = now t }) in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let count t ?party ?round counter delta =
+  if delta < 0 then invalid_arg "Trace.count: negative delta";
+  if t.recording && delta > 0 then
+    record t (Count { counter; party; round; at = now t; delta })
+
+let note t ?party ?round label =
+  if t.recording then record t (Note { label; party; round; at = now t })
+
+let set_phases t phases =
+  List.iter
+    (fun (_, rounds) -> if rounds < 0 then invalid_arg "Trace.set_phases: negative rounds")
+    phases;
+  Mutex.lock t.lock;
+  t.phases <- phases;
+  Mutex.unlock t.lock
+
+let phases t = t.phases
+
+(* Walk the segments, discounting each segment's rounds as we pass it;
+   a round past the total belongs to the last labelled phase (the
+   engine's quiescent finishing round). *)
+let phase_of_round t round =
+  if round < 1 then None
+  else
+    let rec go r last = function
+      | [] -> last
+      | (label, rounds) :: rest ->
+        if r <= rounds then Some label else go (r - rounds) (Some label) rest
+    in
+    go round None t.phases
+
+let events t =
+  Mutex.lock t.lock;
+  let evs = List.rev t.events in
+  Mutex.unlock t.lock;
+  evs

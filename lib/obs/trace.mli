@@ -1,0 +1,102 @@
+(** The trace sink: typed spans, counters and notes for one protocol
+    run.
+
+    Every engine in the stack — the in-process
+    [Spe_mpc.Runtime]/[Spe_mpc.Session], the [Spe_net] endpoints and
+    transports, and the central [Spe_core.Driver] pipelines — accepts
+    an optional trace value and, when given one, records what it does:
+    {e spans} (timed intervals — the whole session, a pipeline phase, a
+    protocol round, a party's local compute step), {e counters}
+    (monotone totals — messages, payload/framed/transport bytes,
+    retransmissions, timeouts, injected faults) and {e notes}
+    (point-in-time remarks, e.g. a fault decision).  {!Metrics}
+    aggregates a finished trace into a {!Metrics.report}; {!Obs_io}
+    renders either as text or JSON.
+
+    A trace is thread-safe (the [Spe_net] endpoints record from one
+    thread per party) and zero-dependency; timestamps come from a
+    caller-replaceable clock and are stored relative to the trace's
+    creation instant, so a trace is meaningful on its own.  A
+    {!disabled} trace drops all events but still carries the
+    {e phase map} — the round-to-phase labelling that error paths (see
+    [Spe_net.Endpoint.Round_timeout]) read even when nobody asked for
+    events. *)
+
+type span_kind =
+  | Session  (** One whole protocol/pipeline execution. *)
+  | Phase  (** One stage of a composed pipeline (e.g. [p4-mask]). *)
+  | Round  (** One communication round: local step + barrier wait. *)
+  | Compute  (** One party's local program step within a round. *)
+
+type counter =
+  | Messages  (** Protocol messages first transmitted — the NM statistic. *)
+  | Payload_bytes  (** Codec payload bytes — MS / 8, what the simulated wire charges. *)
+  | Framed_bytes  (** Data-frame bytes incl. framing, first transmissions only. *)
+  | Transport_bytes  (** Every byte a transport pushed: control frames and retransmissions included. *)
+  | Retransmits  (** Data/control frames replayed in answer to a Nack. *)
+  | Nacks  (** Nack frames sent after an incomplete round. *)
+  | Timeouts  (** Round deadlines that expired before the barrier completed. *)
+  | Faults_dropped  (** Frames the fault policy decided to lose. *)
+  | Faults_delayed  (** Frames the fault policy decided to hold back. *)
+
+type event =
+  | Span of {
+      kind : span_kind;
+      label : string;
+      party : string option;  (** Recording party, when per-party. *)
+      index : int option;  (** Round number for {!Round}/{!Compute} spans. *)
+      start : float;  (** Seconds since trace creation. *)
+      stop : float;  (** Seconds since trace creation; [>= start]. *)
+    }
+  | Count of {
+      counter : counter;
+      party : string option;
+      round : int option;  (** Round the increment belongs to, when known. *)
+      at : float;
+      delta : int;
+    }
+  | Note of { label : string; party : string option; round : int option; at : float }
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh recording trace.  [clock] defaults to [Unix.gettimeofday];
+    tests inject a deterministic clock. *)
+
+val disabled : unit -> t
+(** A trace that records no events (so instrumentation stays near-free)
+    but still accepts and serves a phase map. *)
+
+val enabled : t -> bool
+(** [true] iff events are being recorded — instrumentation guards any
+    per-message work it would otherwise waste on a {!disabled} trace. *)
+
+val span : t -> ?party:string -> ?index:int -> span_kind -> string -> (unit -> 'a) -> 'a
+(** [span t kind label f] runs [f] and records the completed span
+    around it.  If [f] raises, the span is recorded up to the raise and
+    the exception is re-raised — timeout paths stay visible. *)
+
+val count : t -> ?party:string -> ?round:int -> counter -> int -> unit
+(** Add [delta] to a counter.  Negative deltas raise
+    [Invalid_argument]. *)
+
+val note : t -> ?party:string -> ?round:int -> string -> unit
+(** Record a point event (e.g. ["fault.drop 0->2"]). *)
+
+val set_phases : t -> (string * int) list -> unit
+(** Install the phase map: ordered [(label, rounds)] segments, engine
+    rounds [1 .. sum] mapping onto them in order.  Segments with zero
+    rounds are kept (they label phases that happened to be free).
+    Raises [Invalid_argument] on a negative segment. *)
+
+val phases : t -> (string * int) list
+(** The installed phase map ([[]] when none). *)
+
+val phase_of_round : t -> int -> string option
+(** The phase label owning a (1-based) engine round.  Rounds past the
+    map's total — the engine's quiescent finishing round — belong to
+    the last phase; [None] when no map is installed or [round < 1]. *)
+
+val events : t -> event list
+(** Everything recorded so far, in recording order.  Span events are
+    ordered by their [stop] time (a span is recorded when it ends). *)

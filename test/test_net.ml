@@ -180,7 +180,7 @@ let test_memory_transport_delivers () =
 
 let test_socket_transport_delivers () =
   let group =
-    Transport.Socket.create_group ~addresses:(Transport.Socket.temp_unix_addresses ~m:3)
+    Transport.Socket.create_group ~addresses:(Transport.Socket.temp_unix_addresses ~m:3) ()
   in
   let deadline = Unix.gettimeofday () +. 2. in
   group.(2).Transport.send 0 (Bytes.of_string "hello-from-2");
@@ -605,9 +605,10 @@ let test_blackhole_times_out_cleanly () =
        ~max_rounds:P1d.max_rounds ()
    with
   | _ -> Alcotest.fail "a dead link must not let the run complete"
-  | exception Endpoint.Round_timeout { party; round; missing } ->
+  | exception Endpoint.Round_timeout { party; round; phase; missing } ->
     Alcotest.(check bool) "starved party raises" true (party = Wire.Provider 2);
     Alcotest.(check int) "at the round the link died" 1 round;
+    Alcotest.(check (option string)) "no phase map on raw programs" None phase;
     Alcotest.(check bool) "names the silent peer" true (missing = [ Wire.Provider 0 ]));
   let elapsed = Unix.gettimeofday () -. t0 in
   Alcotest.(check bool)
