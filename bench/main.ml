@@ -511,7 +511,7 @@ let ablation_transport () =
 (* Bench trajectory: BENCH_protocols.json                              *)
 (* ------------------------------------------------------------------ *)
 
-(* One spe-metrics/1 report per (pipeline, engine) — the full composed
+(* One spe-metrics/2 report per (pipeline, engine) — the full composed
    pipelines from Driver_distributed, each run with a recording trace
    and aggregated by Spe_obs.Metrics exactly like `spe ... --metrics
    json` does.  The rows land in BENCH_protocols.json (schema
@@ -581,9 +581,98 @@ let pipeline_reports () =
         engines)
     pipelines
 
+(* Sharding ablation: the links pipeline cut into k shards on every
+   engine (DESIGN.md, "Sharded execution"), worker pool j = 4 on the
+   real transports.  Payload bytes are asserted k-invariant across all
+   twelve rows; each row's wall_s is the observed end-to-end wall
+   clock of the whole plan (the per-shard session walls live in the
+   row's shards table), so the socket rows show the concurrency win
+   directly. *)
+let sharding_reports () =
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  let module Plan = Spe_core.Plan in
+  let module Shard = Spe_core.Shard in
+  let module Metrics = Spe_obs.Metrics in
+  let s, g, log = workload ~seed:67 ~n:120 ~edges:480 ~actions:16 in
+  let logs = Partition.exclusive s log ~m:3 in
+  let config = Protocol4.default_config ~h:2 in
+  (* A full pipeline has long compute rounds; local transports are
+     reliable, so wait out the compute instead of Nacking it. *)
+  let pool_config =
+    { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+  in
+  let payload_ref = ref None in
+  let check_payload p =
+    match !payload_ref with
+    | None -> payload_ref := Some p
+    | Some q -> assert (p = q)
+  in
+  List.concat_map
+    (fun shards ->
+      let protocol = Printf.sprintf "links-k%d" shards in
+      List.map
+        (fun engine ->
+          let plan =
+            Shard.links_exclusive (State.create ~seed:68 ()) ~graph:g ~logs ~shards config
+          in
+          let t0 = Unix.gettimeofday () in
+          let report =
+            match engine with
+            | `Sim ->
+              let session = Plan.to_session plan in
+              let trace = Spe_obs.Trace.create () in
+              let w = Wire.create () in
+              let _ = Spe_mpc.Session.run ~trace session ~wire:w in
+              let stats = Wire.stats w in
+              check_payload (stats.Wire.bits / 8);
+              Metrics.of_trace ~protocol ~engine:"sim"
+                ~parties:(Array.length session.Session.parties) trace
+            | (`Memory | `Socket) as engine ->
+              let engine_name = match engine with `Memory -> "memory" | `Socket -> "socket" in
+              let reports = ref [] and payload = ref 0 in
+              List.iter
+                (fun (stage : Plan.stage) ->
+                  let traces =
+                    Array.map (fun _ -> Spe_obs.Trace.create ()) stage.Plan.sessions
+                  in
+                  let out =
+                    match engine with
+                    | `Memory ->
+                      Endpoint.run_sessions_memory ~config:pool_config ~workers:4 ~traces
+                        stage.Plan.sessions
+                    | `Socket ->
+                      Endpoint.run_sessions_socket ~config:pool_config ~workers:4 ~traces
+                        stage.Plan.sessions
+                  in
+                  Array.iteri
+                    (fun i ((), (res : Endpoint.result)) ->
+                      let totals =
+                        Net_wire.totals
+                          (Array.map
+                             (fun (o : Endpoint.outcome) -> o.Endpoint.sent)
+                             res.Endpoint.outcomes)
+                      in
+                      payload := !payload + totals.Net_wire.payload_bytes;
+                      reports :=
+                        Metrics.of_trace ~protocol ~engine:engine_name
+                          ~parties:(Array.length stage.Plan.sessions.(i).Session.parties)
+                          traces.(i)
+                        :: !reports)
+                    out)
+                plan.Plan.stages;
+              ignore (plan.Plan.result ());
+              check_payload !payload;
+              Metrics.merge (List.rev !reports)
+          in
+          { report with Metrics.wall_s = Unix.gettimeofday () -. t0 })
+        [ `Sim; `Memory; `Socket ])
+    [ 1; 2; 4; 8 ]
+
 let bench_rows () =
-  section "Bench trajectory - one spe-metrics/1 row per (pipeline, engine)";
-  let reports = pipeline_reports () in
+  section "Bench trajectory - one spe-metrics/2 row per (pipeline, engine)";
+  let reports = pipeline_reports () @ sharding_reports () in
   Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
     "payload (B)" "on-wire (B)" "wall (s)";
   List.iter

@@ -112,6 +112,91 @@ let run_pipeline_session ~trace transport session =
     in
     (r, Net_wire.merge logs, Some (res.Endpoint.transport_bytes, Net_wire.totals logs))
 
+(* Sharded execution: cut the pipeline into a Plan of per-shard
+   sessions (results are bit-identical for every K — DESIGN.md,
+   "Sharded execution").  On sim the plan is lowered back to one
+   session; on memory/socket each stage's sessions run concurrently on
+   the Endpoint worker pool. *)
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Cut the pipeline into K concurrent per-shard sessions (DESIGN.md, \"Sharded \
+           execution\").  Results are bit-identical for every K; on the memory and \
+           socket transports the shards run concurrently on a worker pool.  Requires a \
+           non-central --transport.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"J"
+        ~doc:
+          "Worker threads driving a sharded stage's sessions on the memory/socket \
+           transports (at most one per shard is ever active).")
+
+(* Run a sharded Plan on a real transport: each stage's sessions go to
+   the Endpoint worker pool, with one recording trace per shard when
+   observability was asked for.  Returns the merged result, aggregate
+   wire statistics (NR = the plan's declared rounds, NM/MS summed over
+   every shard's Net_wire log), a transcript grouped by shard, the
+   Net_wire accounting, and the per-shard trace sections for
+   Metrics.merge. *)
+let run_pipeline_plan ~trace ~workers transport (plan : _ Spe_core.Plan.t) =
+  let module Plan = Spe_core.Plan in
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  (* Same compute-friendly timeouts as the unsharded transport path. *)
+  let config =
+    { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+  in
+  let recording = Spe_obs.Trace.enabled trace in
+  let sections = ref [] and logs_rev = ref [] and transcript_rev = ref [] in
+  let transport_total = ref 0 in
+  List.iter
+    (fun (stage : Plan.stage) ->
+      let traces =
+        Array.map
+          (fun _ ->
+            if recording then Spe_obs.Trace.create () else Spe_obs.Trace.disabled ())
+          stage.Plan.sessions
+      in
+      let out =
+        match transport with
+        | `Memory ->
+          Endpoint.run_sessions_memory ~config ~workers ~traces stage.Plan.sessions
+        | `Socket ->
+          Endpoint.run_sessions_socket ~config ~workers ~traces stage.Plan.sessions
+      in
+      Array.iteri
+        (fun i ((), (res : Endpoint.result)) ->
+          transport_total := !transport_total + res.Endpoint.transport_bytes;
+          let logs =
+            Array.map (fun (o : Endpoint.outcome) -> o.Endpoint.sent) res.Endpoint.outcomes
+          in
+          logs_rev := logs :: !logs_rev;
+          transcript_rev := Wire.messages (Net_wire.merge logs) :: !transcript_rev;
+          let parties = Array.length stage.Plan.sessions.(i).Session.parties in
+          sections :=
+            (Printf.sprintf "%s[%d]" stage.Plan.label i, traces.(i), parties) :: !sections)
+        out)
+    plan.Plan.stages;
+  let r = plan.Plan.result () in
+  let totals = Net_wire.totals (Array.concat (List.rev !logs_rev)) in
+  let stats =
+    {
+      Wire.rounds = Plan.total_rounds plan;
+      messages = totals.Net_wire.messages;
+      bits = 8 * totals.Net_wire.payload_bytes;
+    }
+  in
+  ( r,
+    stats,
+    List.concat (List.rev !transcript_rev),
+    Some (!transport_total, totals),
+    List.rev !sections )
+
 let transport_bytes_summary (stats : Wire.stats) = function
   | None -> ()
   | Some (bytes, _) ->
@@ -135,7 +220,7 @@ let metrics_arg =
     & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
     & info [ "metrics" ] ~docv:"FMT"
         ~doc:
-          "Print the run's metrics report: human-readable (text) or spe-metrics/1 JSON \
+          "Print the run's metrics report: human-readable (text) or spe-metrics/2 JSON \
            (json).  The JSON document is the last thing printed, starting at the first \
            column, so it can be split off the human output.")
 
@@ -145,44 +230,79 @@ let obs_trace trace_file metrics =
   if trace_file <> None || metrics <> None then Spe_obs.Trace.create ()
   else Spe_obs.Trace.disabled ()
 
-(* After the run: cross-check the trace against the independent wire
+(* After the run: cross-check a report against the independent wire
    accounting (NM and MS/8 must agree exactly; on a real transport the
    framed bytes must match Net_wire too), then emit what was asked
    for.  The metrics report goes last so `--metrics json` ends stdout
    with one clean JSON document. *)
+let check_and_emit_report report ~messages ~payload_bytes ~net ~dump trace_file metrics =
+  let module Metrics = Spe_obs.Metrics in
+  if not (Metrics.equal_accounting report ~messages ~payload_bytes) then
+    failwith
+      (Printf.sprintf
+         "trace accounting mismatch: observed %d messages / %d payload bytes, wire \
+          accounted %d / %d"
+         report.Metrics.messages report.Metrics.payload_bytes messages payload_bytes);
+  (match net with
+  | None -> ()
+  | Some (_, (totals : Spe_net.Net_wire.totals)) -> (
+    match report.Metrics.framed_bytes with
+    | Some framed when framed = totals.Spe_net.Net_wire.framed_bytes -> ()
+    | Some framed ->
+      failwith
+        (Printf.sprintf "trace framed-byte mismatch: observed %d, Net_wire says %d"
+           framed totals.Spe_net.Net_wire.framed_bytes)
+    | None -> failwith "trace recorded no framed bytes on a real transport"));
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+    let text, events = dump () in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s (%d events)\n" path events);
+  match metrics with
+  | None -> ()
+  | Some `Text -> print_string (Spe_obs.Obs_io.report_to_text report)
+  | Some `Json -> print_string (Spe_obs.Obs_io.report_to_string report)
+
 let emit_observability trace ~protocol ~engine ~parties ~messages ~payload_bytes ~net
     trace_file metrics =
   if Spe_obs.Trace.enabled trace then begin
-    let module Metrics = Spe_obs.Metrics in
-    let report = Metrics.of_trace ~protocol ~engine ~parties trace in
-    if not (Metrics.equal_accounting report ~messages ~payload_bytes) then
-      failwith
-        (Printf.sprintf
-           "trace accounting mismatch: observed %d messages / %d payload bytes, wire \
-            accounted %d / %d"
-           report.Metrics.messages report.Metrics.payload_bytes messages payload_bytes);
-    (match net with
-    | None -> ()
-    | Some (_, (totals : Spe_net.Net_wire.totals)) -> (
-      match report.Metrics.framed_bytes with
-      | Some framed when framed = totals.Spe_net.Net_wire.framed_bytes -> ()
-      | Some framed ->
-        failwith
-          (Printf.sprintf "trace framed-byte mismatch: observed %d, Net_wire says %d"
-             framed totals.Spe_net.Net_wire.framed_bytes)
-      | None -> failwith "trace recorded no framed bytes on a real transport"));
-    (match trace_file with
-    | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Spe_obs.Obs_io.trace_to_text trace);
-      close_out oc;
-      Printf.printf "wrote %s (%d events)\n" path (List.length (Spe_obs.Trace.events trace)));
-    match metrics with
-    | None -> ()
-    | Some `Text -> print_string (Spe_obs.Obs_io.report_to_text report)
-    | Some `Json -> print_string (Spe_obs.Obs_io.report_to_string report)
+    let report = Spe_obs.Metrics.of_trace ~protocol ~engine ~parties trace in
+    check_and_emit_report report ~messages ~payload_bytes ~net
+      ~dump:(fun () ->
+        (Spe_obs.Obs_io.trace_to_text trace, List.length (Spe_obs.Trace.events trace)))
+      trace_file metrics
   end
+
+(* Sharded transport runs record one trace per shard session; merge
+   their reports (Metrics.merge, so --metrics shows the per-shard
+   table) and dump the traces one labelled section at a time. *)
+let emit_sharded_observability ~protocol ~engine ~messages ~payload_bytes ~net sections
+    trace_file metrics =
+  match sections with
+  | (_, first, _) :: _ when Spe_obs.Trace.enabled first ->
+    let module Metrics = Spe_obs.Metrics in
+    let report =
+      Metrics.merge
+        (List.map
+           (fun (_, tr, parties) -> Metrics.of_trace ~protocol ~engine ~parties tr)
+           sections)
+    in
+    check_and_emit_report report ~messages ~payload_bytes ~net
+      ~dump:(fun () ->
+        let buf = Buffer.create 4096 in
+        let events = ref 0 in
+        List.iter
+          (fun (label, tr, _) ->
+            events := !events + List.length (Spe_obs.Trace.events tr);
+            Buffer.add_string buf (Printf.sprintf "=== %s ===\n" label);
+            Buffer.add_string buf (Spe_obs.Obs_io.trace_to_text tr))
+          sections;
+        (Buffer.contents buf, !events))
+      trace_file metrics
+  | _ -> ()
 
 let engine_name = function
   | `Central -> "central"
@@ -325,7 +445,11 @@ let links_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full strength list to FILE.")
   in
   let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
-      transport show_transcript trace_file metrics out =
+      transport shards workers show_transcript trace_file metrics out =
+    if shards < 1 then failwith "--shards must be at least 1";
+    if workers < 1 then failwith "--workers must be at least 1";
+    if transport = `Central && shards > 1 then
+      failwith "--shards needs --transport sim, memory or socket";
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let estimator =
@@ -345,7 +469,7 @@ let links_cmd =
     let s = State.create ~seed () in
     let trace = obs_trace trace_file metrics in
     let protocol = match spec with None -> "links" | Some _ -> "links-nonexcl" in
-    let strengths, stats, transcript, net, parties, payload_bytes =
+    let strengths, stats, transcript, net, parties, payload_bytes, sections =
       match transport with
       | `Central ->
         let r =
@@ -356,8 +480,8 @@ let links_cmd =
               config
         in
         ( r.Driver.strengths, r.Driver.wire, r.Driver.transcript, None,
-          Array.length logs + 1, transcript_payload_bytes r.Driver.transcript )
-      | (`Sim | `Memory | `Socket) as transport ->
+          Array.length logs + 1, transcript_payload_bytes r.Driver.transcript, None )
+      | (`Sim | `Memory | `Socket) as transport when shards = 1 ->
         let session =
           match spec with
           | None -> Spe_core.Driver_distributed.links_exclusive s ~graph ~logs config
@@ -368,7 +492,28 @@ let links_cmd =
         let r, w, net = run_pipeline_session ~trace transport session in
         let stats = Wire.stats w in
         ( r.Protocol4.strengths, stats, Wire.messages w, net,
-          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8 )
+          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8, None )
+      | (`Sim | `Memory | `Socket) as transport -> (
+        let plan =
+          match spec with
+          | None -> Spe_core.Shard.links_exclusive s ~graph ~logs ~shards config
+          | Some spec ->
+            Spe_core.Shard.links_non_exclusive s ~graph ~logs ~spec ~obfuscation ~shards
+              config
+        in
+        match transport with
+        | `Sim ->
+          let session = Spe_core.Plan.to_session plan in
+          let r, w, net = run_pipeline_session ~trace `Sim session in
+          let stats = Wire.stats w in
+          ( r.Protocol4.strengths, stats, Wire.messages w, net,
+            Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8, None )
+        | (`Memory | `Socket) as transport ->
+          let r, stats, transcript, net, sections =
+            run_pipeline_plan ~trace ~workers transport plan
+          in
+          ( r.Protocol4.strengths, stats, transcript, net, Array.length logs + 1,
+            stats.Wire.bits / 8, Some sections ))
     in
     let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
     Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
@@ -390,16 +535,21 @@ let links_cmd =
             msg.Wire.src Wire.pp_party msg.Wire.dst msg.Wire.bits)
         transcript
     end;
-    emit_observability trace ~protocol ~engine:(engine_name transport) ~parties
-      ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics;
+    (match sections with
+    | None ->
+      emit_observability trace ~protocol ~engine:(engine_name transport) ~parties
+        ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics
+    | Some sections ->
+      emit_sharded_observability ~protocol ~engine:(engine_name transport)
+        ~messages:stats.Wire.messages ~payload_bytes ~net sections trace_file metrics);
     `Ok ()
   in
   let term =
     Term.(
       ret
         (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ c_arg $ modulus_bits_arg $ decay
-       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ transcript_arg
-       $ trace_file_arg $ metrics_arg $ out_arg))
+       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ shards_arg
+       $ workers_arg $ transcript_arg $ trace_file_arg $ metrics_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "links"
@@ -426,21 +576,25 @@ let scores_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
   in
-  let run seed graph_path log_paths tau key_bits modulus_bits top transport trace_file
-      metrics out =
+  let run seed graph_path log_paths tau key_bits modulus_bits top transport shards workers
+      trace_file metrics out =
+    if shards < 1 then failwith "--shards must be at least 1";
+    if workers < 1 then failwith "--workers must be at least 1";
+    if transport = `Central && shards > 1 then
+      failwith "--shards needs --transport sim, memory or socket";
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let config = { Protocol6.default_config with Protocol6.key_bits } in
     let modulus = 1 lsl modulus_bits in
     let s = State.create ~seed () in
     let trace = obs_trace trace_file metrics in
-    let scores, stats, net, parties, payload_bytes =
+    let scores, stats, net, parties, payload_bytes, sections =
       match transport with
       | `Central ->
         let r = Driver.user_scores_exclusive ~trace s ~graph ~logs ~tau ~modulus config in
         ( r.Driver.scores, r.Driver.wire, None, Array.length logs + 1,
-          transcript_payload_bytes r.Driver.transcript )
-      | (`Sim | `Memory | `Socket) as transport ->
+          transcript_payload_bytes r.Driver.transcript, None )
+      | (`Sim | `Memory | `Socket) as transport when shards = 1 ->
         let session =
           Spe_core.Driver_distributed.user_scores_exclusive s ~graph ~logs ~tau ~modulus
             config
@@ -448,7 +602,24 @@ let scores_cmd =
         let r, w, net = run_pipeline_session ~trace transport session in
         let stats = Wire.stats w in
         ( r.Spe_core.Driver_distributed.scores, stats, net,
-          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8 )
+          Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8, None )
+      | (`Sim | `Memory | `Socket) as transport -> (
+        let plan =
+          Spe_core.Shard.user_scores_exclusive s ~graph ~logs ~tau ~modulus ~shards config
+        in
+        match transport with
+        | `Sim ->
+          let session = Spe_core.Plan.to_session plan in
+          let r, w, net = run_pipeline_session ~trace `Sim session in
+          let stats = Wire.stats w in
+          ( r.Spe_core.Driver_distributed.scores, stats, net,
+            Array.length session.Spe_mpc.Session.parties, stats.Wire.bits / 8, None )
+        | (`Memory | `Socket) as transport ->
+          let r, stats, _transcript, net, sections =
+            run_pipeline_plan ~trace ~workers transport plan
+          in
+          ( r.Spe_core.Driver_distributed.scores, stats, net, Array.length logs + 1,
+            stats.Wire.bits / 8, Some sections ))
     in
     let idx = Array.init (Array.length scores) (fun i -> i) in
     Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
@@ -465,14 +636,20 @@ let scores_cmd =
       Printf.printf "wrote %s\n" path);
     wire_summary stats;
     transport_bytes_summary stats net;
-    emit_observability trace ~protocol:"scores" ~engine:(engine_name transport) ~parties
-      ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics;
+    (match sections with
+    | None ->
+      emit_observability trace ~protocol:"scores" ~engine:(engine_name transport) ~parties
+        ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics
+    | Some sections ->
+      emit_sharded_observability ~protocol:"scores" ~engine:(engine_name transport)
+        ~messages:stats.Wire.messages ~payload_bytes ~net sections trace_file metrics);
     `Ok ()
   in
   let term =
     Term.(
       ret (const run $ seed_arg $ graph_arg $ logs_arg $ tau $ key_bits $ modulus_bits_arg
-         $ top_arg $ pipeline_transport_arg $ trace_file_arg $ metrics_arg $ out_arg))
+         $ top_arg $ pipeline_transport_arg $ shards_arg $ workers_arg $ trace_file_arg
+         $ metrics_arg $ out_arg))
   in
   Cmd.v
     (Cmd.info "scores"

@@ -65,35 +65,14 @@ let links_non_exclusive st ~graph ~logs ~spec ~obfuscation config =
 
 type scores = { scores : float array; graphs : Propagation.t array }
 
-let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
-  let m = Array.length logs in
-  if m < 2 then
-    invalid_arg "Driver_distributed.user_scores_exclusive: need at least two providers";
-  if tau < 0 then invalid_arg "Driver_distributed.user_scores_exclusive: negative tau";
-  let n = Digraph.n graph in
-  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
-  if modulus <= num_actions then
-    invalid_arg "Driver_distributed.user_scores_exclusive: modulus must exceed A";
-  (* Phase 1: Protocol 6 delivers the propagation graphs to the host. *)
-  let p6 = Protocol6_distributed.make st ~graph ~logs config in
-  (* Phase 2: the batched Protocol 2 over the activity counters. *)
-  let parties = Array.init m (fun k -> Wire.Provider k) in
-  let third_party = if m > 2 then Wire.Provider 2 else Wire.Host in
-  let share_session, handle =
-    Protocol2_distributed.make_lazy st ~parties ~third_party ~modulus
-      ~input_bound:num_actions ~length:n
-      ~inputs:(Array.init m (fun k () -> Log.user_activity logs.(k)))
-  in
-  (* The joint per-user masks, then the host's blinds — the central
-     draw order. *)
-  let masks = Array.init n (fun _ -> Dist.mask_pair st) in
-  let blinds = Array.init n (fun _ -> Dist.mask_pair st) in
-  let p0 = parties.(0) and p1 = parties.(1) in
+(* The final unmasking phase, shared by the monolithic and sharded
+   score pipelines: mask agreement (rounds 1-2), masked denominators to
+   the host (round 3), then the blinded round-trip host -> player 1 ->
+   host (rounds 4-5), the host dividing at its finishing call.
+   [numerators_of] is forced inside the host program at round 4, after
+   every earlier phase has executed. *)
+let scores_final_phase ~n ~p0 ~p1 ~masks ~blinds ~share1 ~share2 ~numerators_of =
   let scores_ref = ref [||] in
-  (* Phase 3: mask agreement (rounds 1-2), masked denominators to the
-     host (round 3), then the blinded unmasking round-trip
-     host -> player 1 -> host (rounds 4-5; see [Driver]'s interface
-     documentation), the host dividing at its finishing call. *)
   let player me other share_of is_player1 ~round ~inbox =
     match round with
     | 1 | 2 ->
@@ -135,8 +114,7 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
       match (!v1, !v2) with
       | Some a, Some b ->
         let masked_denominators = Array.init n (fun i -> a.(i) +. b.(i)) in
-        let p6_result = p6.Session.result () in
-        let numerators = Propagation.sphere_totals p6_result.Protocol6.graphs ~n ~tau in
+        let numerators = numerators_of () in
         let to_p1 =
           Array.init n (fun i ->
               if masked_denominators.(i) = 0. then 0.
@@ -151,18 +129,45 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
       []
     | _ -> []
   in
+  Session.with_label "scores-final"
+    (Session.make
+       ~parties:[| p0; p1; Wire.Host |]
+       ~programs:[| player p0 p1 share1 true; player p1 p0 share2 false; host_program |]
+       ~rounds:5
+       ~result:(fun () -> !scores_ref))
+
+let user_scores_exclusive st ~graph ~logs ~tau ~modulus config =
+  let m = Array.length logs in
+  if m < 2 then
+    invalid_arg "Driver_distributed.user_scores_exclusive: need at least two providers";
+  if tau < 0 then invalid_arg "Driver_distributed.user_scores_exclusive: negative tau";
+  let n = Digraph.n graph in
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  if modulus <= num_actions then
+    invalid_arg "Driver_distributed.user_scores_exclusive: modulus must exceed A";
+  (* Phase 1: Protocol 6 delivers the propagation graphs to the host. *)
+  let p6 = Protocol6_distributed.make st ~graph ~logs config in
+  (* Phase 2: the batched Protocol 2 over the activity counters. *)
+  let parties = Array.init m (fun k -> Wire.Provider k) in
+  let third_party = if m > 2 then Wire.Provider 2 else Wire.Host in
+  let share_session, handle =
+    Protocol2_distributed.make_lazy st ~parties ~third_party ~modulus
+      ~input_bound:num_actions ~length:n
+      ~inputs:(Array.init m (fun k () -> Log.user_activity logs.(k)))
+  in
+  (* The joint per-user masks, then the host's blinds — the central
+     draw order. *)
+  let masks = Array.init n (fun _ -> Dist.mask_pair st) in
+  let blinds = Array.init n (fun _ -> Dist.mask_pair st) in
+  let p0 = parties.(0) and p1 = parties.(1) in
+  (* Phase 3: the shared final unmasking phase, the host reading the
+     Protocol 6 numerators once the earlier phases have delivered. *)
   let final_phase =
-    Session.with_label "scores-final"
-      (Session.make
-         ~parties:[| p0; p1; Wire.Host |]
-         ~programs:
-           [|
-             player p0 p1 handle.Protocol2_distributed.share1 true;
-             player p1 p0 handle.Protocol2_distributed.share2 false;
-             host_program;
-           |]
-         ~rounds:5
-         ~result:(fun () -> !scores_ref))
+    scores_final_phase ~n ~p0 ~p1 ~masks ~blinds
+      ~share1:handle.Protocol2_distributed.share1
+      ~share2:handle.Protocol2_distributed.share2
+      ~numerators_of:(fun () ->
+        Propagation.sphere_totals (p6.Session.result ()).Protocol6.graphs ~n ~tau)
   in
   Session.map
     (fun ((p6_result, _), user_scores) ->

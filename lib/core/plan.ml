@@ -1,0 +1,40 @@
+module Session = Spe_mpc.Session
+
+type stage = { label : string; sessions : unit Session.t array }
+
+type 'r t = { shards : int; stages : stage list; result : unit -> 'r }
+
+let make ~shards ~stages ~result =
+  if shards < 1 then invalid_arg "Plan.make: need at least one shard";
+  if stages = [] then invalid_arg "Plan.make: need at least one stage";
+  List.iter
+    (fun s -> if Array.length s.sessions = 0 then invalid_arg "Plan.make: empty stage")
+    stages;
+  { shards; stages; result }
+
+let map f t =
+  { shards = t.shards; stages = t.stages; result = (fun () -> f (t.result ())) }
+
+let total_rounds t =
+  List.fold_left
+    (fun acc stage ->
+      Array.fold_left (fun a s -> a + s.Session.rounds) acc stage.sessions)
+    0 t.stages
+
+let session_of_stage stage =
+  match Array.to_list stage.sessions with
+  | [] -> invalid_arg "Plan.to_session: empty stage"
+  | [ s ] -> s
+  | ss -> Session.map ignore (Session.all ss)
+
+let to_session t =
+  match t.stages with
+  | [] -> invalid_arg "Plan.to_session: empty plan"
+  | s0 :: rest ->
+    let seq_unit a b = Session.map (fun ((), ()) -> ()) (Session.seq a b) in
+    let combined =
+      List.fold_left
+        (fun acc stage -> seq_unit acc (session_of_stage stage))
+        (session_of_stage s0) rest
+    in
+    Session.map (fun () -> t.result ()) combined

@@ -1,0 +1,48 @@
+(** An execution plan: a pipeline cut into {e stages}, each stage a set
+    of sessions with no mutual dataflow, so any engine may drive a
+    stage's sessions concurrently (the [Spe_net.Endpoint] worker pool
+    does) — while dataflow {e between} stages still travels through the
+    party closures, exactly as {!Spe_mpc.Session.seq} phases do.
+
+    A plan is engine-agnostic data.  {!to_session} lowers it to one
+    ordinary session (stage sessions multiplexed with
+    {!Spe_mpc.Session.all}, stages sequenced with
+    {!Spe_mpc.Session.seq}) for the simulated engine; the transport
+    engines instead walk {!field-stages} in order and hand each stage's
+    array to a worker pool, one connection group per session.  Both
+    executions drive the same party closures, so {!field-result} reads
+    the same answer either way — the sharded pipelines in [Shard] rely
+    on this to stay bit-identical across engines and shard counts. *)
+
+type stage = {
+  label : string;  (** Stage name for progress/observability. *)
+  sessions : unit Spe_mpc.Session.t array;
+      (** Mutually independent sessions; for sharded pipelines, one per
+          shard. *)
+}
+
+type 'r t = {
+  shards : int;  (** The effective shard count [k] the plan was cut into. *)
+  stages : stage list;  (** Executed strictly in order. *)
+  result : unit -> 'r;
+      (** Read the merged result out of the party closures; call only
+          after every stage has been driven to quiescence. *)
+}
+
+val make : shards:int -> stages:stage list -> result:(unit -> 'r) -> 'r t
+(** Raises [Invalid_argument] on a non-positive shard count, an empty
+    stage list, or a stage with no sessions. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-compose the result thunk. *)
+
+val total_rounds : 'r t -> int
+(** The sum of every stage session's declared rounds — the charged
+    round count {!to_session} executes, and what the transport engines
+    report as the plan's [NR]. *)
+
+val to_session : 'r t -> 'r Spe_mpc.Session.t
+(** Lower the plan to a single session for serial engines: each
+    stage's sessions are multiplexed with {!Spe_mpc.Session.all}
+    (single-session stages are taken as-is, keeping their own phase
+    labels), and stages are sequenced with {!Spe_mpc.Session.seq}. *)

@@ -11,16 +11,15 @@ module Log = Spe_actionlog.Log
 
 type session = Protocol4.result Session.t
 
-let publish_pairs_phase st ~graph ~m ~c_factor =
-  if m < 1 then invalid_arg "Protocol4_distributed.publish_pairs_phase: need a provider";
-  let ob = Obfuscate.make st graph ~c:c_factor in
-  let q = Obfuscate.size ob in
-  let pairs = Array.make q (0, 0) in
-  Obfuscate.iteri ob (fun i u v -> pairs.(i) <- (u, v));
-  let node_modulus = max 2 (Digraph.n graph) in
+let publish_slice_session ~node_modulus ~pairs ~m ~lo ~hi =
+  if m < 1 then invalid_arg "Protocol4_distributed.publish_slice_session: need a provider";
+  if lo < 0 || hi < lo || hi > Array.length pairs then
+    invalid_arg "Protocol4_distributed.publish_slice_session: slice out of range";
   let flat =
-    Array.init (2 * q) (fun i ->
-        let u, v = pairs.(i / 2) in
+    Array.init
+      (2 * (hi - lo))
+      (fun i ->
+        let u, v = pairs.(lo + (i / 2)) in
         if i land 1 = 0 then u else v)
   in
   let received = Array.make m [||] in
@@ -47,8 +46,18 @@ let publish_pairs_phase st ~graph ~m ~c_factor =
   in
   let parties = Array.append [| Wire.Host |] (Array.init m (fun k -> Wire.Provider k)) in
   let programs = Array.append [| host_program |] (Array.init m provider_program) in
-  let session = Session.make ~parties ~programs ~rounds:1 ~result:(fun () -> pairs) in
-  (session, pairs, fun k -> received.(k))
+  let session = Session.make ~parties ~programs ~rounds:1 ~result:(fun () -> ()) in
+  (session, fun k -> received.(k))
+
+let publish_pairs_phase st ~graph ~m ~c_factor =
+  if m < 1 then invalid_arg "Protocol4_distributed.publish_pairs_phase: need a provider";
+  let ob = Obfuscate.make st graph ~c:c_factor in
+  let q = Obfuscate.size ob in
+  let pairs = Array.make q (0, 0) in
+  Obfuscate.iteri ob (fun i u v -> pairs.(i) <- (u, v));
+  let node_modulus = max 2 (Digraph.n graph) in
+  let session, received_of = publish_slice_session ~node_modulus ~pairs ~m ~lo:0 ~hi:q in
+  (Session.map (fun () -> pairs) session, pairs, received_of)
 
 let make st ~graph ~num_actions ~m ~provider_input_of config =
   if m < 2 then invalid_arg "Protocol4_distributed.make: need at least two providers";

@@ -28,6 +28,22 @@
 
 type session = Protocol4.result Spe_mpc.Session.t
 
+val publish_slice_session :
+  node_modulus:int ->
+  pairs:(int * int) array ->
+  m:int ->
+  lo:int ->
+  hi:int ->
+  unit Spe_mpc.Session.t * (int -> (int * int) array)
+(** A one-round session in which the host broadcasts the flattened
+    slice [pairs.(lo .. hi - 1)] of an already-published pair set to
+    [m] providers, who decode it at their finishing call.  This is the
+    publish phase of one {e shard} (see [Shard]); the whole-set
+    {!publish_pairs_phase} is the [lo = 0, hi = q] instance, so slice
+    payload bytes sum exactly to the unsharded broadcast.  Returns
+    [(session, received_of)]; raises [Invalid_argument] if [m < 1] or
+    the slice is out of range. *)
+
 val publish_pairs_phase :
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->

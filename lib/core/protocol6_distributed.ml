@@ -9,7 +9,15 @@ module Propagation = Spe_influence.Propagation
 
 type session = Protocol6.result Session.t
 
-let make st ~graph ~logs config =
+type prepared = {
+  setup_session : unit Session.t;
+  pairs : (int * int) array;
+  num_actions : int;
+  bundle_session : lo:int -> hi:int -> unit Session.t;
+  result : unit -> Protocol6.result;
+}
+
+let prepare st ~graph ~logs config =
   let m = Array.length logs in
   if m < 2 then invalid_arg "Protocol6_distributed.make: need at least two providers";
   if config.Protocol6.key_bits < 16 then
@@ -67,12 +75,14 @@ let make st ~graph ~logs config =
          ~rounds:1
          ~result:(fun () -> ()))
   in
+  let setup_session = Session.map (fun (_, ()) -> ()) (Session.seq publish key_phase) in
   (* Steps 4-9: per controlled action, the delta vector over the
      published pairs, packed and encrypted.  The bundles are prepared
-     here, in provider order, against the published pair set (the same
-     array every provider just received) — this keeps the probabilistic
-     Paillier stream on the single make-time draw order, so ciphertext
-     {e sizes} and plaintexts are engine-independent. *)
+     here, in provider order over the {e full} action range, against
+     the published pair set — this keeps the probabilistic Paillier
+     stream on the single make-time draw order whatever the shard cut,
+     so ciphertext {e sizes} and plaintexts are engine- and
+     shard-independent. *)
   let bundles =
     Array.map
       (fun l ->
@@ -101,68 +111,86 @@ let make st ~graph ~logs config =
           (actions.(i), Array.sub cts (i * chunks_per_action) chunks_per_action))
     | _ -> []
   in
-  (* The bundle phase: providers 2..m ship to provider 1 (round 1), who
-     forwards everything — own bundle first, then the peers' in party
-     order — to the host (round 2); the host decrypts and rebuilds the
-     propagation graphs at its finishing call. *)
-  let result = ref None in
-  let provider_program k ~round ~inbox =
-    match round with
-    | 1 ->
-      if k = 0 then []
-      else
-        [ { Runtime.src = Wire.Provider k; dst = Wire.Provider 0;
-            payload = bundle_payload bundles.(k) } ]
-    | 2 when k = 0 ->
-      let received =
-        List.concat_map (fun msg -> decode_bundle msg.Runtime.payload) inbox
-      in
-      let all = bundles.(0) @ received in
-      [ { Runtime.src = Wire.Provider 0; dst = Wire.Host; payload = bundle_payload all } ]
-    | _ -> []
-  in
-  let host_program ~round ~inbox =
-    (if round = 3 then
-       match List.concat_map (fun msg -> decode_bundle msg.Runtime.payload) inbox with
-       | [] when q > 0 && List.exists (fun b -> b <> []) (Array.to_list bundles) ->
-         failwith "Protocol6_distributed: bundles never arrived"
-       | all_bundles ->
-         (* Steps 11-12 (central code shape): decrypt and keep the real
-            arcs with a positive label. *)
-         let graphs = Array.init num_actions (fun action -> Propagation.of_arcs ~n ~action []) in
-         let total_ciphertexts =
-           List.fold_left (fun acc (_, cts) -> acc + Array.length cts) 0 all_bundles
-         in
-         List.iter
-           (fun (action, cts) ->
-             let packed = Array.map cipher.Cipher.decrypt_int cts in
-             let deltas = Protocol6.unpack_deltas ~per ~delta_bits ~q packed in
-             let arcs = ref [] in
-             Array.iteri
-               (fun k d ->
-                 let u, v = pairs.(k) in
-                 if d > 0 && Digraph.mem_edge graph u v then
-                   arcs := { Propagation.src = u; dst = v; delta = d } :: !arcs)
-               deltas;
-             graphs.(action) <- Propagation.of_arcs ~n ~action !arcs)
-           all_bundles;
-         result :=
-           Some { Protocol6.graphs; pairs; ciphertexts = total_ciphertexts });
-    []
-  in
-  let bundle_phase =
+  (* The merge target: one propagation graph per action, allocated
+     up-front; bundle sessions fill {e disjoint} action ranges, so
+     sharded and unsharded fills commute to the same array. *)
+  let graphs = Array.init num_actions (fun action -> Propagation.of_arcs ~n ~action []) in
+  let total_ciphertexts = ref 0 in
+  let dones = ref [] in
+  (* One bundle relay over the actions in [lo, hi): providers 2..m ship
+     their in-range bundles to provider 1 (round 1), who forwards
+     everything — own bundle first, then the peers' in party order — to
+     the host (round 2); the host decrypts and fills the shared graph
+     array at its finishing call.  Bundle payloads are per-action, so
+     the shard payload bytes sum exactly to the unsharded relay. *)
+  let bundle_session ~lo ~hi =
+    if lo < 0 || hi < lo || hi > num_actions then
+      invalid_arg "Protocol6_distributed.bundle_session: action range out of range";
+    let shard_bundles =
+      Array.map (List.filter (fun (action, _) -> action >= lo && action < hi)) bundles
+    in
+    let done_ = ref false in
+    dones := done_ :: !dones;
+    let provider_program k ~round ~inbox =
+      match round with
+      | 1 ->
+        if k = 0 then []
+        else
+          [ { Runtime.src = Wire.Provider k; dst = Wire.Provider 0;
+              payload = bundle_payload shard_bundles.(k) } ]
+      | 2 when k = 0 ->
+        let received =
+          List.concat_map (fun msg -> decode_bundle msg.Runtime.payload) inbox
+        in
+        let all = shard_bundles.(0) @ received in
+        [ { Runtime.src = Wire.Provider 0; dst = Wire.Host; payload = bundle_payload all } ]
+      | _ -> []
+    in
+    let host_program ~round ~inbox =
+      (if round = 3 then
+         match List.concat_map (fun msg -> decode_bundle msg.Runtime.payload) inbox with
+         | [] when q > 0 && List.exists (fun b -> b <> []) (Array.to_list shard_bundles) ->
+           failwith "Protocol6_distributed: bundles never arrived"
+         | all_bundles ->
+           (* Steps 11-12 (central code shape): decrypt and keep the real
+              arcs with a positive label. *)
+           total_ciphertexts :=
+             !total_ciphertexts
+             + List.fold_left (fun acc (_, cts) -> acc + Array.length cts) 0 all_bundles;
+           List.iter
+             (fun (action, cts) ->
+               let packed = Array.map cipher.Cipher.decrypt_int cts in
+               let deltas = Protocol6.unpack_deltas ~per ~delta_bits ~q packed in
+               let arcs = ref [] in
+               Array.iteri
+                 (fun k d ->
+                   let u, v = pairs.(k) in
+                   if d > 0 && Digraph.mem_edge graph u v then
+                     arcs := { Propagation.src = u; dst = v; delta = d } :: !arcs)
+                 deltas;
+               graphs.(action) <- Propagation.of_arcs ~n ~action !arcs)
+             all_bundles;
+           done_ := true);
+      []
+    in
     Session.with_label "p6-bundles"
       (Session.make
          ~parties:(Array.append (Array.init m (fun k -> Wire.Provider k)) [| Wire.Host |])
          ~programs:(Array.append (Array.init m provider_program) [| host_program |])
          ~rounds:2
-         ~result:(fun () ->
-           match !result with
-           | Some r -> r
-           | None -> failwith "Protocol6_distributed: host never decrypted"))
+         ~result:(fun () -> ()))
   in
+  let result () =
+    if !dones = [] || List.exists (fun d -> not !d) !dones then
+      failwith "Protocol6_distributed: host never decrypted";
+    { Protocol6.graphs; pairs; ciphertexts = !total_ciphertexts }
+  in
+  { setup_session; pairs; num_actions; bundle_session; result }
+
+let make st ~graph ~logs config =
+  let p = prepare st ~graph ~logs config in
   Session.map
-    (fun ((_, ()), r) -> r)
-    (Session.seq (Session.seq publish key_phase) bundle_phase)
+    (fun ((), ()) -> p.result ())
+    (Session.seq p.setup_session (p.bundle_session ~lo:0 ~hi:p.num_actions))
 
 let run st ~wire ~graph ~logs config = Session.run (make st ~graph ~logs config) ~wire

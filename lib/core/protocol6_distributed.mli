@@ -27,6 +27,40 @@
 
 type session = Protocol6.result Spe_mpc.Session.t
 
+type prepared = {
+  setup_session : unit Spe_mpc.Session.t;
+      (** Pair publication followed by the key broadcast (phases
+          [p6-publish] and [p6-key], two charged rounds). *)
+  pairs : (int * int) array;  (** The published pair set. *)
+  num_actions : int;  (** The joint action universe [A]. *)
+  bundle_session : lo:int -> hi:int -> unit Spe_mpc.Session.t;
+      (** One two-round bundle relay over the actions in [lo, hi):
+          every provider contributes only its in-range bundles; the
+          host decrypts at its finishing call and fills the shared
+          per-action graph array.  Distinct calls must cover disjoint
+          ranges; bundle payloads are per-action, so shard payload
+          bytes sum exactly to the [lo = 0, hi = num_actions] relay.
+          Raises [Invalid_argument] on an out-of-range window. *)
+  result : unit -> Protocol6.result;
+      (** The merged result; raises [Failure] until every bundle
+          session built from this value has been driven through its
+          host finishing call. *)
+}
+(** The pipeline cut at its natural shard seam.  All randomness — the
+    pair obfuscation, the keygen, every Paillier encryption — is drawn
+    at [prepare] time in the central order, so the merged result is
+    bit-identical to {!Protocol6.run} for {e any} partition of the
+    action range. *)
+
+val prepare :
+  Spe_rng.State.t ->
+  graph:Spe_graph.Digraph.t ->
+  logs:Spe_actionlog.Log.t array ->
+  Protocol6.config ->
+  prepared
+(** Same contract as {!make}; {!make} itself is
+    [setup_session] sequenced with the full-range bundle session. *)
+
 val make :
   Spe_rng.State.t ->
   graph:Spe_graph.Digraph.t ->

@@ -1,0 +1,69 @@
+(** Sharded pipeline construction: cut the Protocol 4/5/6 pipelines
+    into [k] per-shard sessions organised as a {!Plan}, merging to {e
+    exactly} the unsharded [Driver_distributed] output.
+
+    {2 Permute-then-shard}
+
+    Sharding must not change what any party learns.  All joint
+    randomness — the pair obfuscation, the batched Protocol 2 pieces,
+    masks and {e the secret permutation}, the Protocol 6 keygen and
+    encryptions — is drawn at plan-build time in exactly the unsharded
+    (central) order; shards are then contiguous chunks of the {e
+    already-permuted} published order.  The shard boundary is therefore
+    a public function of published sizes and [k] alone, and leaks
+    nothing about which counters landed in which shard; and because no
+    draw depends on [k], every shard count merges to bit-identical
+    results (DESIGN.md, "Sharded execution").
+
+    For the link pipelines the n + q counter groups (n user counters,
+    then the q published pair groups) are partitioned; each shard gets
+    its own pair-slice publication and verdict-less Protocol 2 core
+    ({!Spe_mpc.Protocol2_distributed.make_core}), one full-batch
+    verdict session announces all wraps in a single [Bits] message
+    (byte-identical to the unsharded announcement), and per-shard
+    masking sessions scatter into the host's masked arrays.  For the
+    score pipeline the {e action} range of the Protocol 6 bundle relay
+    is partitioned ({!Protocol6_distributed.prepare}); the activity
+    Protocol 2 and the final unmasking stay single-session.  In both
+    cases per-shard payload bytes sum exactly to the unsharded totals
+    ([MS] invariant), while rounds and message counts grow with [k] by
+    the closed forms in DESIGN.md. *)
+
+val links_exclusive :
+  Spe_rng.State.t ->
+  graph:Spe_graph.Digraph.t ->
+  logs:Spe_actionlog.Log.t array ->
+  shards:int ->
+  Protocol4.config ->
+  Protocol4.result Plan.t
+(** The Sec. 5.1 pipeline cut into [min shards (n + q)] shards.  Same
+    contract as {!Driver_distributed.links_exclusive}; the plan result
+    is bit-identical to it on any engine, for any [shards >= 1] (and
+    [shards = 1] is the monolithic session wire-for-wire). *)
+
+val links_non_exclusive :
+  Spe_rng.State.t ->
+  graph:Spe_graph.Digraph.t ->
+  logs:Spe_actionlog.Log.t array ->
+  spec:Spe_actionlog.Partition.class_spec ->
+  obfuscation:Protocol5.obfuscation ->
+  shards:int ->
+  Protocol4.config ->
+  Protocol4.result Plan.t
+(** The Sec. 5.2 pipeline: the Protocol 5 class sessions (built in
+    class order, same draws as the unsharded driver) run as one
+    concurrent pre-stage, then the sharded Protocol 4 core.  Same
+    contract as {!Driver_distributed.links_non_exclusive}. *)
+
+val user_scores_exclusive :
+  Spe_rng.State.t ->
+  graph:Spe_graph.Digraph.t ->
+  logs:Spe_actionlog.Log.t array ->
+  tau:int ->
+  modulus:int ->
+  shards:int ->
+  Protocol6.config ->
+  Driver_distributed.scores Plan.t
+(** The Sec. 6 pipeline with the bundle relay cut into
+    [min shards num_actions] action-range shards.  Same contract as
+    {!Driver_distributed.user_scores_exclusive}. *)

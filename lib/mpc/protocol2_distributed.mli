@@ -36,6 +36,121 @@ val max_rounds : int
 (** A round budget that every instance terminates well within (the
     session itself declares its exact round count). *)
 
+(** {2 Sharded building blocks}
+
+    A sharded pipeline (see [Spe_core.Shard]) cuts the counter space
+    into contiguous chunks of the {e already-permuted} publication
+    order, runs one verdict-less {!core} per chunk, and announces all
+    wrap verdicts in a single full-batch {!verdict} session.  The
+    monolithic {!make_lazy} is itself [seq core verdict] over the full
+    slice, so both paths are wire-for-wire and bit-for-bit the same
+    protocol. *)
+
+type randomness = {
+  modulus : int;
+  input_bound : int;
+  rpieces : int array array array;
+      (** [rpieces.(k).(j)] is the Protocol 1 piece party [k] hands to
+          party [j]; row 0 is a placeholder computed from the input at
+          round 1. *)
+  masks : int array;  (** Player 2's wrap-test masks, one per counter. *)
+  perm : Spe_rng.Perm.t;  (** The shared batch permutation. *)
+}
+(** All jointly-pre-drawn randomness for one Protocol 2 batch, drawn in
+    exactly the central order by {!draw} — shard slices are cut from
+    this {e after} drawing, so sharding never perturbs the stream. *)
+
+val draw :
+  Spe_rng.State.t ->
+  m:int ->
+  modulus:int ->
+  input_bound:int ->
+  length:int ->
+  randomness
+(** Draw the full batch's randomness in the central order: per party,
+    per counter, the [m - 1] free pieces; then the masks; then the
+    permutation.  Raises [Invalid_argument] unless [m >= 2] and
+    [0 <= input_bound < modulus]. *)
+
+type slice = {
+  randomness : randomness;
+      (** The slice's own copies of pieces and masks, with the {e
+          induced} permutation: local index [i] maps to the rank of its
+          global permuted slot within the slice. *)
+  start : int;  (** First counter index of the slice. *)
+  positions : int array;
+      (** [positions.(i)] is counter [start + i]'s slot in the {e
+          global} permuted batch — what {!core.apply_wraps} uses to read
+          its verdicts out of the full-batch bitset. *)
+}
+
+val slice : randomness -> start:int -> len:int -> slice
+(** Cut counters [start .. start + len - 1] out of a drawn batch.
+    [slice r ~start:0 ~len] (the full slice) has the identity mapping:
+    its induced permutation {e is} [r.perm].  The returned arrays are
+    fresh copies, so a core may mutate them freely.  Raises
+    [Invalid_argument] on an out-of-range window. *)
+
+type core = {
+  session : unit Session.t;
+      (** The verdict-less rounds: share exchange, aggregation, masked
+          vectors to the third party, who assembles y silently at its
+          finishing call.  2 rounds when [m = 2], else 3. *)
+  share1 : unit -> int array;  (** Player 1's final share. *)
+  share2 : unit -> int array;
+      (** Player 2's share; {e pre}-verdict until {!core.apply_wraps}
+          runs, final after. *)
+  y : unit -> int array;
+      (** The third party's assembled wrap-test vector, in the slice's
+          induced permuted order; read at or after the core's finishing
+          call. *)
+  positions : int array;  (** The slice's {!slice.positions}. *)
+  apply_wraps : bool array -> unit;
+      (** Apply the {e full-batch} verdict bitset (indexed by global
+          permuted slot): classifies the Theorem 4.1 player-2 leaks from
+          the pre-adjustment shares, then subtracts the modulus where
+          wrapped. *)
+  p2_leaks : unit -> Protocol2.leak array;
+      (** Player 2's leak view; valid after {!core.apply_wraps}. *)
+}
+
+val make_core :
+  parties:Wire.party array ->
+  third_party:Wire.party ->
+  slice:slice ->
+  inputs:(unit -> int array) array ->
+  core
+(** Build one verdict-less Protocol 2 core over a slice.  Same
+    merged-role rule as {!make_lazy}: the third party may be a sharing
+    party with index [>= 2].  Raises [Invalid_argument] on the same
+    conditions as {!make_lazy}, or if the slice was drawn for a
+    different party count. *)
+
+type verdict = {
+  session : unit Session.t;
+      (** One round: the third party announces the full-batch wrap
+          verdicts to player 2 as a single [Bits] message — exactly the
+          unsharded announcement, whatever the shard count. *)
+  p3_leaks : unit -> Protocol2.leak array;
+      (** The third party's Theorem 4.1 leak view, global permuted
+          order. *)
+  p3_y : unit -> int array;  (** The y vector the third party saw. *)
+}
+
+val make_verdict :
+  p1:Wire.party ->
+  third_party:Wire.party ->
+  modulus:int ->
+  input_bound:int ->
+  y_of:(unit -> int array) ->
+  apply:(bool array -> unit) ->
+  verdict
+(** Build the verdict announcement.  [y_of] is forced at the third
+    party's round 1 (after every core's finishing call when sequenced
+    after them) and must return the full batch in global permuted
+    order; [apply] runs at player 2's finishing call with the verdict
+    bitset.  Raises [Invalid_argument] if [p1 = third_party]. *)
+
 val make_lazy :
   Spe_rng.State.t ->
   parties:Wire.party array ->

@@ -88,6 +88,10 @@ let seq a b =
         (ra, rb));
   }
 
+(* The labels of a phase map, comma-joined — used by [par] and [all] to
+   keep composed segments naming their source stages. *)
+let phase_labels t = String.concat "," (List.map fst t.phases)
+
 let par a b =
   Array.iter
     (fun p ->
@@ -110,15 +114,138 @@ let par a b =
     parties = Array.append a.parties b.parties;
     programs;
     rounds = max a.rounds b.rounds;
-    (* Interleaved rounds have no single owner — collapse to one
-       segment covering the longer side. *)
-    phases = [ ("par", max a.rounds b.rounds) ];
+    (* Interleaved rounds have no single owner, but the segment can
+       still name both sides' stages so a timeout inside the par names
+       the pipeline stage rather than an opaque "par". *)
+    phases =
+      [ (Printf.sprintf "par(%s|%s)" (phase_labels a) (phase_labels b),
+         max a.rounds b.rounds) ];
     result =
       (fun () ->
         let ra = a.result () in
         let rb = b.result () in
         (ra, rb));
   }
+
+(* The label a component's phase map gives to its local round [r]. *)
+let phase_of_local phases r =
+  let rec go segs r =
+    match segs with
+    | [] -> "session"
+    | (label, len) :: rest -> if r <= len then label else go rest (r - len)
+  in
+  go phases r
+
+let all sessions =
+  match sessions with
+  | [] -> invalid_arg "Session.all: need at least one session"
+  | sessions ->
+    let comps = Array.of_list sessions in
+    let ns = Array.length comps in
+    (* Static schedule: every global round is owned by exactly one
+       component round [(s, r)] with [r <= rounds_s], in round-major
+       [(r, s)] order, so the total is the sum of the component round
+       counts and — because every declared component round is
+       message-bearing — every global round is message-bearing too.
+       Messages sent by component [s] at global round [g] are banked at
+       [g + 1] and replayed at [s]'s next owned round (or at its
+       finishing call, which fires at the first global round past its
+       last owned one; the final flush lands on the engine's uncharged
+       quiescent round). *)
+    let max_rounds = Array.fold_left (fun acc c -> max acc c.rounds) 0 comps in
+    let schedule =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun s -> if comps.(s).rounds >= r then Some (s, r) else None)
+            (List.init ns Fun.id))
+        (List.init max_rounds (fun i -> i + 1))
+      |> Array.of_list
+    in
+    let total = Array.length schedule in
+    let last_global = Array.make ns 0 in
+    Array.iteri (fun g (s, _) -> last_global.(s) <- g + 1) schedule;
+    (* First-appearance union: components with identical party orders
+       (the sharding case) keep their native inbox ordering. *)
+    let parties =
+      let acc = ref [] in
+      Array.iter
+        (fun c ->
+          Array.iter (fun p -> if not (List.mem p !acc) then acc := p :: !acc) c.parties)
+        comps;
+      Array.of_list (List.rev !acc)
+    in
+    let programs =
+      Array.map
+        (fun party ->
+          let subs = Array.map (fun c -> program_of c party) comps in
+          let pending = Array.make ns [] in
+          let finished = Array.make ns false in
+          let bank s inbox =
+            List.iter
+              (fun msg ->
+                if not (member comps.(s).parties msg.Runtime.src) then
+                  invalid_arg "Session.all: message across session boundary")
+              inbox;
+            match subs.(s) with
+            | Some _ -> pending.(s) <- pending.(s) @ inbox
+            | None ->
+              if inbox <> [] then invalid_arg "Session.all: message across session boundary"
+          in
+          let finish s =
+            if not finished.(s) then begin
+              finished.(s) <- true;
+              (match subs.(s) with
+              | Some f ->
+                if f ~round:(comps.(s).rounds + 1) ~inbox:pending.(s) <> [] then
+                  invalid_arg "Session.all: component overran its declared rounds"
+              | None ->
+                if pending.(s) <> [] then
+                  invalid_arg "Session.all: message across session boundary");
+              pending.(s) <- []
+            end
+          in
+          fun ~round ~inbox ->
+            (* 1. Bank the inbox with the component that owned the
+               previous global round. *)
+            if round >= 2 && round <= total + 1 then bank (fst schedule.(round - 2)) inbox;
+            (* 2. Flush finishing calls for components whose last owned
+               round has passed (mandatory silence, like [seq]). *)
+            for s = 0 to ns - 1 do
+              if (not finished.(s)) && last_global.(s) < round then finish s
+            done;
+            (* 3. Run the owner's local round on its banked inbox. *)
+            if round <= total then begin
+              let s, r = schedule.(round - 1) in
+              match subs.(s) with
+              | Some f ->
+                let ib = pending.(s) in
+                pending.(s) <- [];
+                f ~round:r ~inbox:ib
+              | None -> []
+            end
+            else [])
+        parties
+    in
+    let phases =
+      let rec build g acc =
+        if g > total then List.rev acc
+        else
+          let s, r = schedule.(g - 1) in
+          let label = Printf.sprintf "s%d:%s" s (phase_of_local comps.(s).phases r) in
+          match acc with
+          | (l, count) :: rest when l = label -> build (g + 1) ((l, count + 1) :: rest)
+          | _ -> build (g + 1) ((label, 1) :: acc)
+      in
+      build 1 []
+    in
+    {
+      parties;
+      programs;
+      rounds = total;
+      phases;
+      result = (fun () -> Array.map (fun c -> c.result ()) comps);
+    }
 
 let run ?(trace = Spe_obs.Trace.disabled ()) t ~wire =
   Spe_obs.Trace.set_phases trace t.phases;

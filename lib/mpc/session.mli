@@ -78,11 +78,39 @@ val seq : 'a t -> 'b t -> ('a * 'b) t
 
 val par : 'a t -> 'b t -> ('a * 'b) t
 (** [par a b] runs both sessions concurrently over the disjoint union
-    of their party sets; the combined round count is the max (and the
-    phase map collapses to one ["par"] segment — interleaved rounds
-    have no single owner).  Raises [Invalid_argument] if the party sets
-    intersect, and at execution time if a message crosses the session
-    boundary. *)
+    of their party sets; the combined round count is the max.
+    Interleaved rounds have no single owner, so the phase map is one
+    segment — but it preserves both sides' labels as
+    [par(<a labels>|<b labels>)], so a timeout inside the par still
+    names the pipeline stages.  Raises [Invalid_argument] if the party
+    sets intersect, and at execution time if a message crosses the
+    session boundary. *)
+
+val all : 'r t list -> 'r array t
+(** [all sessions] multiplexes any number of sessions — with {e
+    arbitrary, possibly overlapping} party sets — into one session by
+    tagging rounds: every global round is owned by exactly one
+    component round, in round-major [(round, session)] order, so the
+    combined round count is the {e sum} of the component counts.
+    Messages a component sends are banked by the wrapper programs and
+    replayed at that component's next owned round; finishing calls
+    (final inbox, mandatory silence) fire once a component's last owned
+    round has passed.  This is what sharded pipelines need: [par]
+    requires disjoint party sets, which per-shard sessions over the
+    same providers violate.
+
+    Requirements: every component round must be message-bearing (true
+    of any session whose declared {!field-rounds} is honest — a silent
+    round would already desynchronise {!run}), and components sharing
+    parties should list them in a consistent order so banked inboxes
+    replay in each component's native delivery order (shard sessions
+    built from one template do).
+
+    The phase map tags each component's segments as
+    [s<i>:<component label>]; the result is the array of component
+    results in input order.  Raises [Invalid_argument] on an empty
+    list, at execution time on a message across a session boundary, or
+    if a component sends at its finishing call. *)
 
 val run : ?trace:Spe_obs.Trace.t -> 'r t -> wire:Wire.t -> 'r
 (** Drive the session with the in-process {!Runtime.run} and return the

@@ -53,13 +53,15 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
   fins.(k) <- true;
   let records = ref [] in
   let resend round dst =
-    List.iter
-      (fun (d, body) ->
-        if d = dst then begin
-          transport.Transport.send d body;
-          Spe_obs.Trace.count trace ~party:me ~round Spe_obs.Trace.Retransmits 1
-        end)
-      (List.rev (Option.value ~default:[] (Hashtbl.find_opt cache round)))
+    let bodies =
+      List.filter_map (fun (d, body) -> if d = dst then Some body else None)
+        (List.rev (Option.value ~default:[] (Hashtbl.find_opt cache round)))
+    in
+    if bodies <> [] then begin
+      transport.Transport.send_many dst bodies;
+      Spe_obs.Trace.count trace ~party:me ~round Spe_obs.Trace.Retransmits
+        (List.length bodies)
+    end
   in
   let handle body =
     match Frame.decode body with
@@ -82,11 +84,25 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
     | Frame.Nack { round; sender } -> resend round sender
     | Frame.Fin { sender } -> if sender >= 0 && sender < m then fins.(sender) <- true
   in
-  let send_frame ~round dst frame =
+  (* A round's outbound frames are staged per destination and flushed
+     with one [send_many] per peer — one transport operation carries
+     the data frames and the barrier together.  The cache keeps every
+     staged body for Nack replays. *)
+  let outbox = Array.make m [] in
+  let stage_frame ~round dst frame =
     let body = Frame.encode frame in
     Hashtbl.replace cache round
       ((dst, body) :: Option.value ~default:[] (Hashtbl.find_opt cache round));
-    transport.Transport.send dst body
+    outbox.(dst) <- body :: outbox.(dst)
+  in
+  let flush_outbox () =
+    for j = 0 to m - 1 do
+      match outbox.(j) with
+      | [] -> ()
+      | bodies ->
+        outbox.(j) <- [];
+        transport.Transport.send_many j (List.rev bodies)
+    done
   in
   let rec loop r inbox =
     if r > max_rounds then failwith "Endpoint.run: protocol did not terminate";
@@ -112,7 +128,7 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
                 { round = r; seq; src = msg.Runtime.src; dst = msg.Runtime.dst;
                   payload = msg.Runtime.payload }
             in
-            send_frame ~round:r di frame;
+            stage_frame ~round:r di frame;
             let payload_bytes = Runtime.payload_bits msg.Runtime.payload / 8 in
             let framed_bytes = Frame.framed_length frame in
             if tracing then begin
@@ -141,10 +157,11 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
                  (fun (msg : Runtime.message) -> index_of msg.Runtime.dst = Some j)
                  sends)
           in
-          send_frame ~round:r j
+          stage_frame ~round:r j
             (Frame.End_of_round { round = r; sender = k; total = own_total; to_dst })
         end
       done;
+      flush_outbox ();
       (* Collect the barrier: every peer's End_of_round plus the data
          frames it promised us. *)
       let complete j =
@@ -158,39 +175,48 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
         go 0
       in
       let retries = ref 0 in
-      while not (all_complete ()) do
-        let deadline = Unix.gettimeofday () +. config.round_timeout in
-        let rec drain () =
-          if not (all_complete ()) then
-            match transport.Transport.recv ~deadline with
-            | Some body ->
-              handle body;
-              drain ()
-            | None -> ()
+      let starvation () =
+        let missing =
+          List.filter_map
+            (fun j -> if j <> k && not (complete j) then Some parties.(j) else None)
+            (List.init m Fun.id)
         in
-        drain ();
-        if not (all_complete ()) then begin
-          Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Timeouts 1;
-          if !retries >= config.max_retries then begin
-            let missing =
-              List.filter_map
-                (fun j -> if j <> k && not (complete j) then Some parties.(j) else None)
-                (List.init m Fun.id)
-            in
-            raise
-              (Round_timeout
-                 { party; round = r; phase = Spe_obs.Trace.phase_of_round trace r; missing })
-          end;
-          incr retries;
-          for j = 0 to m - 1 do
-            if j <> k && not (complete j) then begin
-              transport.Transport.send j
-                (Frame.encode (Frame.Nack { round = r; sender = k }));
-              Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Nacks 1
-            end
-          done
-        end
-      done;
+        Round_timeout
+          { party; round = r; phase = Spe_obs.Trace.phase_of_round trace r; missing }
+      in
+      (* [Closed] with [!retries > 0]: the group was torn down while
+         this round had already expired a full deadline with peers
+         missing — a sibling won the race to raise first.  Report the
+         starvation this party had diagnosed rather than the echo; a
+         party progressing normally (no retries yet) still propagates
+         [Closed], which keeps the pool's root-cause attribution
+         intact. *)
+      (try
+         while not (all_complete ()) do
+           let deadline = Unix.gettimeofday () +. config.round_timeout in
+           let rec drain () =
+             if not (all_complete ()) then
+               match transport.Transport.recv ~deadline with
+               | Some body ->
+                 handle body;
+                 drain ()
+               | None -> ()
+           in
+           drain ();
+           if not (all_complete ()) then begin
+             Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Timeouts 1;
+             if !retries >= config.max_retries then raise (starvation ());
+             incr retries;
+             for j = 0 to m - 1 do
+               if j <> k && not (complete j) then begin
+                 transport.Transport.send j
+                   (Frame.encode (Frame.Nack { round = r; sender = k }));
+                 Spe_obs.Trace.count trace ~party:me ~round:r Spe_obs.Trace.Nacks 1
+               end
+             done
+           end
+         done
+       with Transport.Closed when !retries > 0 -> raise (starvation ()));
       List.fold_left
         (fun acc j -> if j = k then acc else acc + fst (Hashtbl.find eors (r, j)))
         own_total
@@ -242,31 +268,47 @@ let run_group ?(config = default_config) ?(trace = Spe_obs.Trace.disabled ()) ~t
   let close_all () =
     Array.iter (fun (t : Transport.t) -> try t.Transport.close () with _ -> ()) transports
   in
-  let threads =
-    Array.init m (fun k ->
-        Thread.create
-          (fun () ->
-            match run_endpoint config trace transports.(k) parties programs.(k) max_rounds k with
-            | outcome -> outcomes.(k) <- Some outcome
-            | exception e ->
-              errors.(k) <- Some e;
-              (* Tear the group down so the peers unwind promptly. *)
-              close_all ())
-          ())
+  let run_party k =
+    match run_endpoint config trace transports.(k) parties programs.(k) max_rounds k with
+    | outcome -> outcomes.(k) <- Some outcome
+    | exception e ->
+      errors.(k) <- Some e;
+      (* Tear the group down so the peers unwind promptly. *)
+      close_all ()
   in
+  (* Party 0 runs on the calling thread — one fewer thread per group,
+     which matters when a pool drives many shard groups at once. *)
+  let threads = Array.init (m - 1) (fun i -> Thread.create run_party (i + 1)) in
+  run_party 0;
   Array.iter Thread.join threads;
   let transport_bytes =
     Array.fold_left (fun acc (t : Transport.t) -> acc + t.Transport.sent_bytes ()) 0 transports
   in
   close_all ();
-  (* Surface the root cause, not the Closed cascade it triggered. *)
+  (* Surface the root cause, not the Closed cascade it triggered.  Two
+     parties can time out in the same run — the starved one, and a
+     peer that then starved waiting for it one round later — so among
+     timeouts the earliest round is the diagnosis, not the echo. *)
+  let better a b =
+    match (a, b) with
+    | ( Round_timeout { round = ra; _ },
+        Round_timeout { round = rb; _ } ) ->
+      ra < rb
+    | _ -> false
+  in
   let root, any =
     Array.fold_left
       (fun (root, any) e ->
         match e with
         | None -> (root, any)
         | Some Transport.Closed -> (root, if any = None then e else any)
-        | Some _ -> ((if root = None then e else root), (if any = None then e else any)))
+        | Some err ->
+          let root =
+            match root with
+            | None -> e
+            | Some r -> if better err r then e else root
+          in
+          (root, if any = None then e else any))
       (None, None) errors
   in
   (match (root, any) with
@@ -317,3 +359,146 @@ let run_session_socket ?config ?addresses ?(trace = Spe_obs.Trace.disabled ()) s
   in
   check_session_rounds session result;
   (session.Session.result (), result)
+
+(* --- The shard worker pool ---------------------------------------------------- *)
+
+exception Shard_failed of { shard : int; phase : string option; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Shard_failed { shard; phase; exn } ->
+      Some
+        (Printf.sprintf "Endpoint.Shard_failed: shard %d%s failed: %s" shard
+           (match phase with Some p -> Printf.sprintf " (phase %s)" p | None -> "")
+           (Printexc.to_string exn))
+    | _ -> None)
+
+(* Up to [workers] threads claim shard sessions in index order; each
+   claimed shard gets its own fresh connection group (so the existing
+   per-group barrier/Nack/timeout machinery applies unchanged), and on
+   any shard failure every open sibling group is closed so its threads
+   unwind promptly instead of waiting out their timeouts. *)
+let run_pool ~workers ~config ~traces ~make_transports (sessions : _ Session.t array) =
+  let ns = Array.length sessions in
+  let results = Array.make ns None in
+  let errors = Array.make ns None in
+  let mutex = Mutex.create () in
+  let next = ref 0 in
+  let stopped = ref false in
+  let open_groups : (int, Transport.t array) Hashtbl.t = Hashtbl.create 8 in
+  let close_group ts =
+    Array.iter (fun (t : Transport.t) -> try t.Transport.close () with _ -> ()) ts
+  in
+  let cancel_all () =
+    Mutex.lock mutex;
+    stopped := true;
+    let groups = Hashtbl.fold (fun _ ts acc -> ts :: acc) open_groups [] in
+    Mutex.unlock mutex;
+    List.iter close_group groups
+  in
+  let claim () =
+    Mutex.lock mutex;
+    let r =
+      if !stopped || !next >= ns then None
+      else begin
+        let s = !next in
+        incr next;
+        Some s
+      end
+    in
+    Mutex.unlock mutex;
+    r
+  in
+  let run_one s =
+    let session = sessions.(s) in
+    let trace = traces.(s) in
+    Spe_obs.Trace.set_phases trace session.Session.phases;
+    let transports = make_transports s ~m:(Array.length session.Session.parties) ~trace in
+    Mutex.lock mutex;
+    Hashtbl.replace open_groups s transports;
+    let bail = !stopped in
+    Mutex.unlock mutex;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock mutex;
+        Hashtbl.remove open_groups s;
+        Mutex.unlock mutex;
+        close_group transports)
+      (fun () ->
+        if not bail then begin
+          let result =
+            Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
+                run_group ~config ~trace ~transports ~parties:session.Session.parties
+                  ~programs:session.Session.programs
+                  ~max_rounds:(session.Session.rounds + 1) ())
+          in
+          check_session_rounds session result;
+          results.(s) <- Some (session.Session.result (), result)
+        end)
+  in
+  let worker () =
+    let rec go () =
+      match claim () with
+      | None -> ()
+      | Some s ->
+        (try run_one s
+         with e ->
+           let phase = match e with Round_timeout { phase; _ } -> phase | _ -> None in
+           errors.(s) <- Some (Shard_failed { shard = s; phase; exn = e });
+           cancel_all ());
+        go ()
+    in
+    go ()
+  in
+  let nworkers = max 1 (min workers (max 1 ns)) in
+  let threads = Array.init nworkers (fun _ -> Thread.create worker ()) in
+  Array.iter Thread.join threads;
+  (* Surface the root cause, not the Closed cascade the teardown
+     triggered in the sibling groups. *)
+  let root, any =
+    Array.fold_left
+      (fun (root, any) e ->
+        match e with
+        | None -> (root, any)
+        | Some (Shard_failed { exn = Transport.Closed; _ }) ->
+          (root, if any = None then e else any)
+        | Some _ -> ((if root = None then e else root), if any = None then e else any))
+      (None, None) errors
+  in
+  (match (root, any) with
+  | Some e, _ -> raise e
+  | None, Some e -> raise e
+  | None, None -> ());
+  Array.map Option.get results
+
+let pool_defaults ?workers ?traces ns =
+  let workers = match workers with Some j -> j | None -> ns in
+  let traces =
+    match traces with
+    | Some t -> t
+    | None -> Array.init ns (fun _ -> Spe_obs.Trace.disabled ())
+  in
+  if Array.length traces <> ns then
+    invalid_arg "Endpoint.run_sessions: one trace per session";
+  (workers, traces)
+
+let run_sessions_memory ?(config = default_config) ?workers ?faults ?traces sessions =
+  let ns = Array.length sessions in
+  let workers, traces = pool_defaults ?workers ?traces ns in
+  let faults = match faults with Some f -> f | None -> Array.make ns None in
+  if Array.length faults <> ns then
+    invalid_arg "Endpoint.run_sessions_memory: one fault spec per session";
+  run_pool ~workers ~config ~traces
+    ~make_transports:(fun s ~m ~trace ->
+      Transport.Memory.create_group ?fault:faults.(s) ~trace ~m ())
+    sessions
+
+let run_sessions_socket ?(config = default_config) ?workers ?traces sessions =
+  let ns = Array.length sessions in
+  let workers, traces = pool_defaults ?workers ?traces ns in
+  (* Socketpair groups: a fresh connection group per shard session is
+     the pool's contract, and at that rate the addressed rendezvous
+     would cost more than the latency overlap sharding buys back. *)
+  run_pool ~workers ~config ~traces
+    ~make_transports:(fun _ ~m ~trace -> Transport.Socket.create_group_local ~trace ~m ())
+    sessions

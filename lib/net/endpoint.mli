@@ -133,3 +133,44 @@ val run_session_socket :
   'r Spe_mpc.Session.t ->
   'r * result
 (** {!run_session_memory} over fresh Unix-domain sockets. *)
+
+exception Shard_failed of {
+  shard : int;  (** Index of the failed session in the pool's array. *)
+  phase : string option;
+      (** The phase a {!Round_timeout} named, when that was the cause. *)
+  exn : exn;  (** The underlying failure. *)
+}
+(** Raised by the worker pool when one of its sessions fails; the pool
+    closes every sibling connection group before re-raising, and the
+    surfaced shard is the {e root cause} (a shard that died of
+    [Transport.Closed] because the pool tore it down is only reported
+    when nothing better is known).  A registered [Printexc] printer
+    renders ["Endpoint.Shard_failed: shard 2 (phase p4-mask) failed:
+    ..."]. *)
+
+val run_sessions_memory :
+  ?config:config ->
+  ?workers:int ->
+  ?faults:Fault.t option array ->
+  ?traces:Spe_obs.Trace.t array ->
+  'r Spe_mpc.Session.t array ->
+  ('r * result) array
+(** Drive an array of mutually independent sessions — one {!Plan}
+    stage's shards — on a pool of at most [workers] threads (default:
+    one per session), each claimed session running on its own fresh
+    {!Transport.Memory} group with the full {!run_session_memory}
+    contract (phase map installed, [Session] span, declared-rounds
+    check).  Results are in session order.  [faults] and [traces], when
+    given, must have one entry per session ([Invalid_argument]
+    otherwise).  On any failure the pool cancels the remaining work,
+    closes all open sibling groups, and raises {!Shard_failed} naming
+    the root-cause shard — it never hangs on a stalled shard. *)
+
+val run_sessions_socket :
+  ?config:config ->
+  ?workers:int ->
+  ?traces:Spe_obs.Trace.t array ->
+  'r Spe_mpc.Session.t array ->
+  ('r * result) array
+(** {!run_sessions_memory} over fresh Unix-domain socket groups (one
+    temporary directory per session). *)

@@ -4,6 +4,7 @@ type t = {
   self : int;
   peers : int;
   send : int -> bytes -> unit;
+  send_many : int -> bytes list -> unit;
   recv : deadline:float -> bytes option;
   close : unit -> unit;
   sent_bytes : unit -> int;
@@ -29,6 +30,11 @@ module Mailbox = struct
     with_lock mb (fun () ->
         if mb.closed then raise Closed;
         Queue.push body mb.frames)
+
+  let push_list mb bodies =
+    with_lock mb (fun () ->
+        if mb.closed then raise Closed;
+        List.iter (fun b -> Queue.push b mb.frames) bodies)
 
   let poll_interval = 0.0005
 
@@ -64,17 +70,21 @@ module Memory = struct
     let close_all () = Array.iter Mailbox.close mailboxes in
     Array.init m (fun self ->
         let label = index_label self in
-        let send dst body =
+        (* The fault decision and the byte accounting are per frame;
+           only the mailbox delivery batches.  Returns [None] when the
+           frame is dropped or delayed rather than delivered. *)
+        let stage dst body =
           check_dst ~peers:m dst;
           let cost = Frame.length_prefix_bytes + Bytes.length body in
           Atomic.fetch_and_add counters.(self) cost |> ignore;
           Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost;
           match Fault.decide fault ~src:self ~dst with
-          | Fault.Deliver -> Mailbox.push mailboxes.(dst) body
+          | Fault.Deliver -> Some body
           | Fault.Drop ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
             if Spe_obs.Trace.enabled trace then
-              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst)
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst);
+            None
           | Fault.Delay d ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
             if Spe_obs.Trace.enabled trace then
@@ -85,12 +95,24 @@ module Memory = struct
                  (fun () ->
                    Thread.delay d;
                    try Mailbox.push mailboxes.(dst) body with Closed -> ())
-                 ())
+                 ());
+            None
+        in
+        let send dst body =
+          match stage dst body with
+          | Some body -> Mailbox.push mailboxes.(dst) body
+          | None -> ()
+        in
+        let send_many dst bodies =
+          match List.filter_map (stage dst) bodies with
+          | [] -> ()
+          | delivered -> Mailbox.push_list mailboxes.(dst) delivered
         in
         {
           self;
           peers = m;
           send;
+          send_many;
           recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
           close = close_all;
           sent_bytes = (fun () -> Atomic.get counters.(self));
@@ -135,21 +157,178 @@ module Socket = struct
     | None -> None
     | Some prefix -> really_read fd (Int32.to_int (Bytes.get_int32_be prefix 0))
 
+  (* A full-duplex descriptor shared by one endpoint's sender and the
+     group's poller thread.  The send mutex makes teardown safe: the
+     poller closes the descriptor under the same mutex, so a send can
+     never race a close into a reused descriptor number. *)
+  type conn = { fd : Unix.file_descr; send_mx : Mutex.t; mutable fd_open : bool }
+
+  (* Writes to a peer that already shut its end down must surface as
+     [Closed], not kill the process. *)
+  let ignore_sigpipe =
+    lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+  let conn_of fd = { fd; send_mx = Mutex.create (); fd_open = true }
+
+  (* Everything past rendezvous is shared by both constructors:
+     [spin_up] takes a fully-populated connection matrix — where
+     conns.(i).(j) is the descriptor endpoint i uses to exchange
+     frames with endpoint j — and returns the endpoint array, owning
+     the teardown protocol and the group's poller thread. *)
+  let spin_up ~trace ~m ~mailboxes ~counters ~conns =
+    let closed = Atomic.make false in
+    (* Teardown protocol: [close_all] only *shuts down* every socket —
+       that wakes any read blocked in the poller and fails any write in
+       a sender with EPIPE — and the poller alone closes descriptors,
+       once it has seen each one dead.  Closing a descriptor another
+       thread still reads would let the number be reused by the next
+       group and its frames be stolen. *)
+    let close_all () =
+      if not (Atomic.exchange closed true) then begin
+        Array.iter Mailbox.close mailboxes;
+        Array.iter
+          (Array.iter (function
+            | None -> ()
+            | Some c -> (
+              try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())))
+          conns
+      end
+    in
+    (* One poller thread reads every descriptor of the group and feeds
+       the owning endpoint's mailbox.  [Unix.select] costs nothing
+       while the group is quiet, and a ready descriptor always yields a
+       whole frame promptly because senders write frames atomically
+       under the connection mutex. *)
+    let reader_ends =
+      Array.to_list conns
+      |> List.concat_map Array.to_list
+      |> List.concat_map (function None -> [] | Some c -> [ c ])
+    in
+    let owner_of = Hashtbl.create 16 in
+    Array.iteri
+      (fun i row ->
+        Array.iter (function None -> () | Some c -> Hashtbl.replace owner_of c.fd i) row)
+      conns;
+    ignore
+      (Thread.create
+         (fun () ->
+           (* Buffered reads: one [Unix.read] pulls whatever burst the
+              sender wrote — typically a whole round's frames — and the
+              tail of any split frame waits in [tails] for the next
+              chunk.  Frame-per-syscall reading would cost a select
+              wakeup plus two reads per frame. *)
+           let chunk = Bytes.create 65536 in
+           let tails = Hashtbl.create 16 in
+           let live = ref (List.map (fun c -> c.fd) reader_ends) in
+           let drop fd = live := List.filter (fun f -> f <> fd) !live in
+           while !live <> [] do
+             match Unix.select !live [] [] (-1.) with
+             | ready, _, _ ->
+               List.iter
+                 (fun fd ->
+                   let i = Hashtbl.find owner_of fd in
+                   match Unix.read fd chunk 0 (Bytes.length chunk) with
+                   | 0 -> drop fd
+                   | nread ->
+                     let prev =
+                       Option.value ~default:Bytes.empty (Hashtbl.find_opt tails fd)
+                     in
+                     let data = Bytes.cat prev (Bytes.sub chunk 0 nread) in
+                     let total = Bytes.length data in
+                     let pos = ref 0 in
+                     let rec consume () =
+                       if total - !pos >= Frame.length_prefix_bytes then begin
+                         let flen = Int32.to_int (Bytes.get_int32_be data !pos) in
+                         if total - !pos >= Frame.length_prefix_bytes + flen then begin
+                           let body = Bytes.sub data (!pos + Frame.length_prefix_bytes) flen in
+                           (try Mailbox.push mailboxes.(i) body with Closed -> ());
+                           pos := !pos + Frame.length_prefix_bytes + flen;
+                           consume ()
+                         end
+                       end
+                     in
+                     consume ();
+                     Hashtbl.replace tails fd (Bytes.sub data !pos (total - !pos))
+                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                   | exception Unix.Unix_error _ -> drop fd)
+                 ready
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             | exception Unix.Unix_error _ -> live := []
+           done;
+           (* Every read end is dead; reclaim the descriptors.  The
+              mutex excludes any send still holding a descriptor. *)
+           List.iter
+             (fun c ->
+               Mutex.lock c.send_mx;
+               if c.fd_open then begin
+                 c.fd_open <- false;
+                 try Unix.close c.fd with Unix.Unix_error _ -> ()
+               end;
+               Mutex.unlock c.send_mx)
+             reader_ends)
+         ());
+    Array.init m (fun self ->
+        let label = index_label self in
+        let conn_to dst =
+          check_dst ~peers:m dst;
+          if Atomic.get closed then raise Closed;
+          match conns.(self).(dst) with
+          | None -> invalid_arg "Transport.send: unknown peer"
+          | Some c -> c
+        in
+        let count_frame body =
+          let cost = Frame.length_prefix_bytes + Bytes.length body in
+          Atomic.fetch_and_add counters.(self) cost |> ignore;
+          Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost
+        in
+        let locked_write c buf =
+          Mutex.lock c.send_mx;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock c.send_mx)
+            (fun () ->
+              if not c.fd_open then raise Closed;
+              try really_write c.fd buf 0 (Bytes.length buf)
+              with Unix.Unix_error _ -> raise Closed)
+        in
+        let prefixed body =
+          let len = Bytes.length body in
+          let buf = Bytes.create (Frame.length_prefix_bytes + len) in
+          Bytes.set_int32_be buf 0 (Int32.of_int len);
+          Bytes.blit body 0 buf Frame.length_prefix_bytes len;
+          buf
+        in
+        let send dst body =
+          let c = conn_to dst in
+          count_frame body;
+          locked_write c (prefixed body)
+        in
+        (* A whole round's frames to one peer in a single write: one
+           syscall, one poller wakeup, one burst read at the far end. *)
+        let send_many dst bodies =
+          match bodies with
+          | [] -> ()
+          | bodies ->
+            let c = conn_to dst in
+            List.iter count_frame bodies;
+            locked_write c (Bytes.concat Bytes.empty (List.map prefixed bodies))
+        in
+        {
+          self;
+          peers = m;
+          send;
+          send_many;
+          recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
+          close = close_all;
+          sent_bytes = (fun () -> Atomic.get counters.(self));
+        })
+
   let create_group ?(trace = Spe_obs.Trace.disabled ()) ~addresses () =
+    Lazy.force ignore_sigpipe;
     let m = Array.length addresses in
     if m < 2 then invalid_arg "Transport.Socket.create_group: need at least two endpoints";
     let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
     let counters = Array.init m (fun _ -> Atomic.make 0) in
-    (* fds.(i).(j): the descriptor endpoint i uses to exchange frames
-       with endpoint j.  Each connection contributes one descriptor to
-       each of its two ends. *)
-    let fds = Array.make_matrix m m None in
-    let fds_lock = Mutex.create () in
-    let set_fd i j fd =
-      Mutex.lock fds_lock;
-      fds.(i).(j) <- Some fd;
-      Mutex.unlock fds_lock
-    in
+    let conns = Array.make_matrix m m None in
     let listeners =
       Array.mapi
         (fun i addr ->
@@ -163,26 +342,10 @@ module Socket = struct
           (i, sock))
         addresses
     in
-    (* Endpoint i accepts one connection from every higher index; the
-       dialer introduces itself with a Hello frame. *)
-    let acceptors =
-      Array.map
-        (fun (i, listener) ->
-          Thread.create
-            (fun () ->
-              for _ = i + 1 to m - 1 do
-                let fd, _ = Unix.accept listener in
-                match read_frame fd with
-                | Some body -> (
-                  match Frame.decode body with
-                  | Frame.Hello { sender } -> set_fd i sender fd
-                  | _ -> failwith "Transport.Socket: expected Hello")
-                | None -> failwith "Transport.Socket: peer hung up during handshake"
-              done;
-              Unix.close listener)
-            ())
-        listeners
-    in
+    (* Dial first — the listen backlog holds the pending connections —
+       then drain every listener in this same thread.  No handshake
+       threads: setup is a fixed sequence of non-blocking syscalls.
+       The dialer introduces itself with a Hello frame. *)
     for j = 1 to m - 1 do
       for i = 0 to j - 1 do
         let fd = Unix.socket (match addresses.(i) with Unix_domain _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET) Unix.SOCK_STREAM 0 in
@@ -192,74 +355,75 @@ module Socket = struct
         let cost = Frame.length_prefix_bytes + Bytes.length hello in
         Atomic.fetch_and_add counters.(j) cost |> ignore;
         Spe_obs.Trace.count trace ~party:(index_label j) Spe_obs.Trace.Transport_bytes cost;
-        set_fd j i fd
+        conns.(j).(i) <- Some (conn_of fd)
       done
     done;
-    Array.iter Thread.join acceptors;
-    let closed = Atomic.make false in
-    let close_all () =
-      if not (Atomic.exchange closed true) then begin
-        Array.iter Mailbox.close mailboxes;
-        Array.iter
-          (fun row ->
-            Array.iter (function Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ())
-              row)
-          fds;
-        Array.iter
-          (function
-            | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-            | Tcp _ -> ())
-          addresses
-      end
-    in
-    (* One reader thread per descriptor feeds the owning endpoint's
-       mailbox; it stops quietly on EOF or once the group is closed. *)
-    Array.iteri
-      (fun i row ->
-        Array.iter
-          (function
-            | None -> ()
-            | Some fd ->
-              ignore
-                (Thread.create
-                   (fun () ->
-                     try
-                       let rec loop () =
-                         match read_frame fd with
-                         | Some body ->
-                           Mailbox.push mailboxes.(i) body;
-                           loop ()
-                         | None -> ()
-                       in
-                       loop ()
-                     with Closed | Failure _ | Unix.Unix_error _ -> ())
-                   ()))
-          row)
-      fds;
-    Array.init m (fun self ->
-        let label = index_label self in
-        let send dst body =
-          check_dst ~peers:m dst;
-          if Atomic.get closed then raise Closed;
-          match fds.(self).(dst) with
-          | None -> invalid_arg "Transport.send: unknown peer"
-          | Some fd ->
-            let cost = Frame.length_prefix_bytes + Bytes.length body in
-            Atomic.fetch_and_add counters.(self) cost |> ignore;
-            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost;
-            (try write_frame fd body
-             with Unix.Unix_error _ -> raise Closed)
-        in
-        {
-          self;
-          peers = m;
-          send;
-          recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
-          close = close_all;
-          sent_bytes = (fun () -> Atomic.get counters.(self));
-        })
+    Array.iter
+      (fun (i, listener) ->
+        for _ = i + 1 to m - 1 do
+          let fd, _ = Unix.accept listener in
+          match read_frame fd with
+          | Some body -> (
+            match Frame.decode body with
+            | Frame.Hello { sender } -> conns.(i).(sender) <- Some (conn_of fd)
+            | _ -> failwith "Transport.Socket: expected Hello")
+          | None -> failwith "Transport.Socket: peer hung up during handshake"
+        done;
+        Unix.close listener)
+      listeners;
+    (* The rendezvous paths served their purpose; drop them now so a
+       crashed group cannot leave stale sockets behind. *)
+    Array.iter
+      (function
+        | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _ -> ())
+      addresses;
+    spin_up ~trace ~m ~mailboxes ~counters ~conns
+
+  (* Same engine — kernel stream sockets, frames, poller, teardown —
+     minus the rendezvous: every pair is joined by [Unix.socketpair],
+     so there is no listener, no dial, no Hello exchange and no
+     filesystem path.  This is what the shard pool uses: it creates a
+     fresh group per shard session, and at that rate the addressed
+     handshake (~0.7 ms per group) would dominate the very latency
+     overlap sharding exists to buy. *)
+  let create_group_local ?(trace = Spe_obs.Trace.disabled ()) ~m () =
+    Lazy.force ignore_sigpipe;
+    if m < 2 then
+      invalid_arg "Transport.Socket.create_group_local: need at least two endpoints";
+    let mailboxes = Array.init m (fun _ -> Mailbox.create ()) in
+    let counters = Array.init m (fun _ -> Atomic.make 0) in
+    let conns = Array.make_matrix m m None in
+    for j = 1 to m - 1 do
+      for i = 0 to j - 1 do
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        conns.(i).(j) <- Some (conn_of a);
+        conns.(j).(i) <- Some (conn_of b)
+      done
+    done;
+    spin_up ~trace ~m ~mailboxes ~counters ~conns
+
+  (* One rendezvous directory per process, group sockets numbered
+     within it — a fresh [Filename.temp_dir] per group costs directory
+     churn on every shard session.  Mutex-memoised: concurrent pool
+     workers create groups at the same time (and [Lazy] is not
+     thread-safe). *)
+  let temp_root = ref None
+  let temp_lock = Mutex.create ()
+  let temp_counter = Atomic.make 0
 
   let temp_unix_addresses ~m =
-    let dir = Filename.temp_dir "spe-net" "" in
-    Array.init m (fun i -> Unix_domain (Filename.concat dir (Printf.sprintf "p%d.sock" i)))
+    Mutex.lock temp_lock;
+    let dir =
+      match !temp_root with
+      | Some d -> d
+      | None ->
+        let d = Filename.temp_dir "spe-net" "" in
+        temp_root := Some d;
+        d
+    in
+    Mutex.unlock temp_lock;
+    let g = Atomic.fetch_and_add temp_counter 1 in
+    Array.init m (fun i ->
+        Unix_domain (Filename.concat dir (Printf.sprintf "g%d.p%d.sock" g i)))
 end

@@ -24,6 +24,13 @@ type t = {
       (** [send dst body] transmits a frame body to peer [dst].
           Raises [Closed] after {!close}; raises [Invalid_argument] on
           a bad destination. *)
+  send_many : int -> bytes list -> unit;
+      (** [send_many dst bodies] transmits the frame bodies in order to
+          peer [dst], equivalent to [List.iter (send dst) bodies] —
+          same per-frame byte accounting, same per-frame fault
+          decisions on {!Memory} — but batched into one transport
+          operation (one locked write on {!Socket}, one mailbox lock on
+          {!Memory}).  [send_many dst []] is a no-op. *)
   recv : deadline:float -> bytes option;
       (** Next inbound frame body, from any peer; [None] once
           [Unix.gettimeofday () >= deadline] with nothing pending.
@@ -58,14 +65,25 @@ module Socket : sig
   (** A fully-connected group over real stream sockets: endpoint [i]
       listens on [addresses.(i)], every pair is connected once (the
       higher index dials the lower and introduces itself with a
-      {!Frame.Hello}), and a reader thread per connection feeds the
-      receiver queue.  The endpoints live in one process but share no
-      state other than the sockets — each is driven by its own thread
-      and sees only bytes.  Closing any member closes the group.
+      {!Frame.Hello}), and one poller thread multiplexes every
+      connection of the group into the receiver queues.  The endpoints
+      live in one process but share no state other than the sockets —
+      each sees only bytes.  Closing any member shuts every socket
+      down; the poller reclaims the descriptors once it has drained
+      them, so no send can race a close into a reused descriptor.
 
       When [trace] is recording, every byte written — handshake frames
       at dial time included — lands on the [Transport_bytes] counter,
       labelled ["#i"] by group index. *)
+
+  val create_group_local : ?trace:Spe_obs.Trace.t -> m:int -> unit -> t array
+  (** Like {!create_group} but every pair is joined by a kernel
+      [socketpair] instead of a dialled connection: same stream
+      sockets, frames, poller and teardown, but no listener, no Hello
+      exchange and no rendezvous path — so [sent_bytes] starts at zero
+      rather than at the handshake cost.  The shard pool uses this:
+      one fresh group per shard session makes the addressed handshake
+      a per-shard tax that a socketpair group avoids. *)
 
   val temp_unix_addresses : m:int -> address array
   (** Fresh Unix-domain socket paths in a private temporary directory,

@@ -10,6 +10,15 @@ type compute_row = { party : string; calls : int; total_s : float; max_s : float
 
 type hist_bucket = { le_bytes : int; count : int }
 
+type shard_row = {
+  shard : int;
+  rounds : int;
+  messages : int;
+  payload_bytes : int;
+  framed_bytes : int option;
+  wall_s : float;
+}
+
 type report = {
   protocol : string;
   engine : string;
@@ -28,6 +37,7 @@ type report = {
   phases : phase_row list;
   compute : compute_row list;
   payload_hist : hist_bucket list;
+  shards : shard_row list;
 }
 
 (* Smallest power of two >= n (n >= 1): the histogram bucket bound. *)
@@ -223,7 +233,116 @@ let of_trace ~protocol ~engine ~parties trace =
     phases = phase_rows;
     compute = compute_rows;
     payload_hist = hist_rows;
+    shards = [];
   }
+
+let merge reports =
+  match reports with
+  | [] -> invalid_arg "Metrics.merge: need at least one report"
+  | first :: _ ->
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    let sum_f f = List.fold_left (fun acc r -> acc +. f r) 0. reports in
+    (* An optional byte counter survives the merge iff some input
+       measured it; unmeasured inputs contribute zero. *)
+    let sum_opt f =
+      List.fold_left
+        (fun acc r -> match f r with None -> acc | Some b -> Some (Option.value acc ~default:0 + b))
+        None reports
+    in
+    (* Phase rows merged by label, in first-appearance order across the
+       inputs — shards share a phase map, so this recovers it. *)
+    let phase_order = ref [] in
+    let phase_acc : (string, phase_row ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (p : phase_row) ->
+            match Hashtbl.find_opt phase_acc p.phase with
+            | Some cell ->
+              cell :=
+                {
+                  !cell with
+                  rounds = !cell.rounds + p.rounds;
+                  messages = !cell.messages + p.messages;
+                  payload_bytes = !cell.payload_bytes + p.payload_bytes;
+                  wall_s = !cell.wall_s +. p.wall_s;
+                }
+            | None ->
+              Hashtbl.add phase_acc p.phase (ref p);
+              phase_order := p.phase :: !phase_order)
+          r.phases)
+      reports;
+    let phases =
+      List.rev_map (fun label -> !(Hashtbl.find phase_acc label)) !phase_order
+    in
+    let compute_acc : (string, compute_row ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (c : compute_row) ->
+            match Hashtbl.find_opt compute_acc c.party with
+            | Some cell ->
+              cell :=
+                {
+                  !cell with
+                  calls = !cell.calls + c.calls;
+                  total_s = !cell.total_s +. c.total_s;
+                  max_s = Float.max !cell.max_s c.max_s;
+                }
+            | None -> Hashtbl.add compute_acc c.party (ref c))
+          r.compute)
+      reports;
+    let compute =
+      Hashtbl.fold (fun _ cell acc -> !cell :: acc) compute_acc []
+      |> List.sort (fun a b -> compare a.party b.party)
+    in
+    let hist_acc : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (b : hist_bucket) ->
+            match Hashtbl.find_opt hist_acc b.le_bytes with
+            | Some c -> c := !c + b.count
+            | None -> Hashtbl.add hist_acc b.le_bytes (ref b.count))
+          r.payload_hist)
+      reports;
+    let payload_hist =
+      Hashtbl.fold (fun le_bytes c acc -> { le_bytes; count = !c } :: acc) hist_acc []
+      |> List.sort (fun a b -> compare a.le_bytes b.le_bytes)
+    in
+    let shards =
+      List.mapi
+        (fun shard r ->
+          {
+            shard;
+            rounds = r.rounds;
+            messages = r.messages;
+            payload_bytes = r.payload_bytes;
+            framed_bytes = r.framed_bytes;
+            wall_s = r.wall_s;
+          })
+        reports
+    in
+    {
+      protocol = first.protocol;
+      engine = first.engine;
+      parties = List.fold_left (fun acc r -> max acc r.parties) 0 reports;
+      rounds = sum (fun r -> r.rounds);
+      messages = sum (fun r -> r.messages);
+      payload_bytes = sum (fun r -> r.payload_bytes);
+      framed_bytes = sum_opt (fun r -> r.framed_bytes);
+      transport_bytes = sum_opt (fun r -> r.transport_bytes);
+      retransmits = sum (fun r -> r.retransmits);
+      nacks = sum (fun r -> r.nacks);
+      timeouts = sum (fun r -> r.timeouts);
+      faults_dropped = sum (fun r -> r.faults_dropped);
+      faults_delayed = sum (fun r -> r.faults_delayed);
+      wall_s = sum_f (fun r -> r.wall_s);
+      phases;
+      compute;
+      payload_hist;
+      shards;
+    }
 
 let equal_accounting r ~messages ~payload_bytes =
   r.messages = messages && r.payload_bytes = payload_bytes

@@ -32,6 +32,15 @@ type hist_bucket = {
   count : int;  (** Payload-size observations falling in this bucket. *)
 }
 
+type shard_row = {
+  shard : int;  (** Shard index within the merged execution. *)
+  rounds : int;  (** NR charged to this shard's sessions. *)
+  messages : int;  (** NM restricted to this shard. *)
+  payload_bytes : int;  (** MS / 8 restricted to this shard. *)
+  framed_bytes : int option;  (** As {!report.framed_bytes}, per shard. *)
+  wall_s : float;  (** This shard's own session wall time. *)
+}
+
 type report = {
   protocol : string;
   engine : string;  (** [central], [sim], [memory] or [socket]. *)
@@ -54,12 +63,30 @@ type report = {
   phases : phase_row list;  (** In phase-map order; [[]] without a map. *)
   compute : compute_row list;  (** Sorted by party label. *)
   payload_hist : hist_bucket list;  (** Sorted by [le_bytes]. *)
+  shards : shard_row list;
+      (** Per-shard breakdown of a sharded execution, in shard order;
+          [[]] for unsharded runs (and always from {!of_trace} — only
+          {!merge} populates it). *)
 }
 
 val of_trace : protocol:string -> engine:string -> parties:int -> Trace.t -> report
 (** Aggregate everything the trace recorded.  Counters missing from the
     trace aggregate to zero ([None] for the optional byte totals);
-    rounds are attributed to phases via {!Trace.phase_of_round}. *)
+    rounds are attributed to phases via {!Trace.phase_of_round}.
+    [shards] is always [[]]. *)
+
+val merge : report list -> report
+(** Merge per-shard reports of one sharded execution into a single
+    report: counters sum (so NM / MS match what the unsharded
+    accounting would owe when the plan preserves payload bytes),
+    optional byte totals survive iff some input measured them, phase
+    rows merge by label in first-appearance order, compute rows merge
+    by party ([max_s] takes the max), histogram buckets merge by bound,
+    and [wall_s] is the {e cumulative} endpoint wall time (shards run
+    concurrently, so this exceeds the observed wall clock).  [shards]
+    gets one {!shard_row} per input, in order.  [protocol]/[engine] are
+    taken from the first report; [parties] is the max (shards share the
+    party set).  Raises [Invalid_argument] on an empty list. *)
 
 val equal_accounting : report -> messages:int -> payload_bytes:int -> bool
 (** [equal_accounting r ~messages ~payload_bytes] — do the report's NM

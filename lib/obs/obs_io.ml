@@ -291,7 +291,9 @@ module Json = struct
     | _ -> failwith (Printf.sprintf "Obs_io.Json: field %S looked up in a non-object" key)
 end
 
-let schema = "spe-metrics/1"
+let schema = "spe-metrics/2"
+
+let schema_v1 = "spe-metrics/1"
 
 let bench_schema = "spe-bench/1"
 
@@ -376,12 +378,28 @@ let report_to_json (r : Metrics.report) =
              (fun (b : Metrics.hist_bucket) ->
                Json.Obj [ ("le_bytes", Json.Int b.le_bytes); ("count", Json.Int b.count) ])
              r.payload_hist) );
+      ( "shards",
+        Json.List
+          (List.map
+             (fun (s : Metrics.shard_row) ->
+               Json.Obj
+                 [
+                   ("shard", Json.Int s.shard);
+                   ("rounds", Json.Int s.rounds);
+                   ("messages", Json.Int s.messages);
+                   ("payload_bytes", Json.Int s.payload_bytes);
+                   ("framed_bytes", opt_int s.framed_bytes);
+                   ("wall_s", Json.Float s.wall_s);
+                 ])
+             r.shards) );
     ]
 
 let report_of_json j : Metrics.report =
   let tag = as_string "schema" j in
-  if tag <> schema then
-    failwith (Printf.sprintf "Obs_io: unsupported metrics schema %S (want %S)" tag schema);
+  if tag <> schema && tag <> schema_v1 then
+    failwith
+      (Printf.sprintf "Obs_io: unsupported metrics schema %S (want %S or %S)" tag schema
+         schema_v1);
   let faults = Json.member "faults" j in
   {
     protocol = as_string "protocol" j;
@@ -423,6 +441,21 @@ let report_of_json j : Metrics.report =
       List.map
         (fun b -> { Metrics.le_bytes = as_int "le_bytes" b; count = as_int "count" b })
         (as_list "payload_hist" j);
+    shards =
+      (* spe-metrics/1 predates sharded execution: no shard table. *)
+      (if tag = schema_v1 then []
+       else
+         List.map
+           (fun s ->
+             {
+               Metrics.shard = as_int "shard" s;
+               rounds = as_int "rounds" s;
+               messages = as_int "messages" s;
+               payload_bytes = as_int "payload_bytes" s;
+               framed_bytes = as_int_opt "framed_bytes" s;
+               wall_s = as_float "wall_s" s;
+             })
+           (as_list "shards" j));
   }
 
 let report_to_string r = Json.to_string (report_to_json r) ^ "\n"
@@ -462,6 +495,14 @@ let report_to_text (r : Metrics.report) =
       (fun (b : Metrics.hist_bucket) -> p "  <=%dB:%d" b.le_bytes b.count)
       r.payload_hist;
     Buffer.add_char buf '\n'
+  end;
+  if r.shards <> [] then begin
+    p "  %-16s %7s %9s %13s %10s\n" "shard" "rounds" "messages" "payload_bytes" "wall_s";
+    List.iter
+      (fun (row : Metrics.shard_row) ->
+        p "  %-16d %7d %9d %13d %10.6f\n" row.shard row.rounds row.messages row.payload_bytes
+          row.wall_s)
+      r.shards
   end;
   Buffer.contents buf
 

@@ -3,14 +3,15 @@
     The JSON side is deliberately self-contained — a minimal
     reader/writer pair ({!Json}) instead of a yojson dependency — and
     every document is versioned by a [schema] field so downstream
-    tooling can reject what it does not understand.  Two schemas exist:
+    tooling can reject what it does not understand.  The schemas:
 
-    - {!schema} ([spe-metrics/1]): one {!Metrics.report}, as emitted by
-      [spe ... --metrics json].  Field-by-field documentation lives in
-      [OBSERVABILITY.md].
+    - {!schema} ([spe-metrics/2]): one {!Metrics.report}, as emitted by
+      [spe ... --metrics json] — [spe-metrics/1] plus the [shards]
+      table of sharded executions.  The reader also accepts
+      {!schema_v1} documents (their [shards] read back as [[]]).
+      Field-by-field documentation lives in [OBSERVABILITY.md].
     - {!bench_schema} ([spe-bench/1]): a bench trajectory file
-      ([BENCH_protocols.json]) whose [rows] are [spe-metrics/1]
-      reports.
+      ([BENCH_protocols.json]) whose [rows] are metrics reports.
 
     All readers raise [Failure] with a located message on malformed
     input; {!report_of_string} is the round-trip inverse of
@@ -43,27 +44,34 @@ module Json : sig
 end
 
 val schema : string
-(** The metrics-report schema tag: ["spe-metrics/1"]. *)
+(** The metrics-report schema tag written by this library:
+    ["spe-metrics/2"]. *)
+
+val schema_v1 : string
+(** The pre-sharding schema tag still accepted on read:
+    ["spe-metrics/1"]. *)
 
 val bench_schema : string
 (** The bench-file schema tag: ["spe-bench/1"]. *)
 
 val report_to_json : Metrics.report -> Json.t
-(** The report as a [spe-metrics/1] object (schema field included). *)
+(** The report as a [spe-metrics/2] object (schema field included). *)
 
 val report_of_json : Json.t -> Metrics.report
-(** Inverse of {!report_to_json}.  Raises [Failure] if the schema tag
-    or any required field is missing or ill-typed. *)
+(** Inverse of {!report_to_json}; also reads [spe-metrics/1] (whose
+    [shards] come back empty).  Raises [Failure] if the schema tag or
+    any required field is missing or ill-typed. *)
 
 val report_to_string : Metrics.report -> string
-(** Pretty-printed [spe-metrics/1] JSON, newline-terminated. *)
+(** Pretty-printed [spe-metrics/2] JSON, newline-terminated. *)
 
 val report_of_string : string -> Metrics.report
 (** Parse + {!report_of_json}. *)
 
 val report_to_text : Metrics.report -> string
-(** The human report: totals, per-phase table, per-party compute and
-    the payload-size histogram. *)
+(** The human report: totals, per-phase table, per-party compute, the
+    payload-size histogram and (for sharded runs) the per-shard
+    table. *)
 
 val trace_to_text : Trace.t -> string
 (** A readable dump of every recorded event, one line each, in

@@ -575,6 +575,71 @@ let test_session_run_checks_declared_rounds () =
     (Failure "Session.run: declared 2 rounds but executed 0") (fun () ->
       Session.run quiet ~wire:(Wire.create ()))
 
+let test_session_par_labels () =
+  let a =
+    Session.with_label "A"
+      (chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:2 "A")
+  in
+  let b =
+    Session.with_label "B"
+      (chat_session ~sender:(Wire.Provider 2) ~receiver:(Wire.Provider 3) ~rounds:1 "B")
+  in
+  Alcotest.(check (list (pair string int)))
+    "par keeps both sides' labels"
+    [ ("par(A|B)", 2) ]
+    (Session.par a b).Session.phases
+
+let test_session_all_multiplexes () =
+  (* Overlapping party sets — [par] would reject; [all] owns each
+     global round by exactly one component round. *)
+  let a =
+    Session.with_label "A"
+      (chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 1) ~rounds:2 "A")
+  in
+  let b =
+    Session.with_label "B"
+      (chat_session ~sender:(Wire.Provider 0) ~receiver:(Wire.Provider 2) ~rounds:1 "B")
+  in
+  let s = Session.all [ a; b ] in
+  Alcotest.(check int) "rounds are the sum" 3 s.Session.rounds;
+  Alcotest.(check (list (pair string int)))
+    "round-major phase tags"
+    [ ("s0:A", 1); ("s1:B", 1); ("s0:A", 1) ]
+    s.Session.phases;
+  let w = Wire.create () in
+  let results = Session.run s ~wire:w in
+  Alcotest.(check (array (pair string int)))
+    "component results in input order"
+    [| ("A", 2); ("B", 1) |]
+    results;
+  let stats = Wire.stats w in
+  Alcotest.(check int) "every global round message-bearing" 3 stats.Wire.rounds;
+  Alcotest.(check int) "all component messages delivered" 3 stats.Wire.messages
+
+let test_session_all_rejects_cross_boundary () =
+  let a =
+    Session.make
+      ~parties:[| Wire.Provider 0; Wire.Provider 1 |]
+      ~programs:
+        [|
+          (fun ~round ~inbox:_ ->
+            if round = 1 then
+              [ { Runtime.src = Wire.Provider 0; dst = Wire.Provider 2;
+                  payload = Runtime.Bits [| true |] } ]
+            else []);
+          (fun ~round:_ ~inbox:_ -> []);
+        |]
+      ~rounds:1
+      ~result:(fun () -> ("A", 0))
+  in
+  let b = chat_session ~sender:(Wire.Provider 2) ~receiver:(Wire.Provider 0) ~rounds:1 "B" in
+  Alcotest.check_raises "session boundary enforced"
+    (Invalid_argument "Session.all: message across session boundary") (fun () ->
+      ignore (Session.run (Session.all [ a; b ]) ~wire:(Wire.create ())));
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Session.all: need at least one session") (fun () ->
+      ignore (Session.all ([] : (string * int) Session.t list)))
+
 (* --- codec -------------------------------------------------------------------- *)
 
 module Codec = Spe_mpc.Codec
@@ -641,9 +706,75 @@ let test_codec_bitset () =
 
 (* --- QCheck ----------------------------------------------------------------- *)
 
+module Generate = Spe_graph.Generate
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module P4 = Spe_core.Protocol4
+module P6 = Spe_core.Protocol6
+module Driver_distributed = Spe_core.Driver_distributed
+module Shard = Spe_core.Shard
+module Plan = Spe_core.Plan
+
+(* A random exclusive-provider workload for the sharded-equivalence
+   properties. *)
+let shard_workload ~seed ~m =
+  let s = State.create ~seed () in
+  let g = Generate.erdos_renyi_gnm s ~n:12 ~m:30 in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let log =
+    Cascade.generate s planted
+      { Cascade.num_actions = 6; seeds_per_action = 2; max_delay = 3 }
+  in
+  (g, Partition.exclusive s log ~m)
+
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"sharded links merge to the unsharded result" ~count:25
+      (triple small_nat (int_range 2 4) (int_range 1 9))
+      (fun (seed, m, shards) ->
+        let g, logs = shard_workload ~seed ~m in
+        let config = P4.default_config ~h:2 in
+        let w_mono = Wire.create () and w_shard = Wire.create () in
+        let mono =
+          Session.run
+            (Driver_distributed.links_exclusive
+               (State.create ~seed:(seed + 1) ())
+               ~graph:g ~logs config)
+            ~wire:w_mono
+        in
+        let plan =
+          Shard.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs ~shards
+            config
+        in
+        let sharded = Session.run (Plan.to_session plan) ~wire:w_shard in
+        (* Bit-identical merge, and payload bytes equal to the
+           unsharded wire total (rounds/messages grow with k; the MS
+           invariant does not). *)
+        mono = sharded
+        && (Wire.stats w_mono).Wire.bits = (Wire.stats w_shard).Wire.bits);
+    Test.make ~name:"sharded scores merge to the unsharded result" ~count:6
+      (triple small_nat (int_range 2 3) (int_range 1 8))
+      (fun (seed, m, shards) ->
+        let g, logs = shard_workload ~seed ~m in
+        let config = { P6.default_config with P6.key_bits = 64 } in
+        let w_mono = Wire.create () and w_shard = Wire.create () in
+        let mono =
+          Session.run
+            (Driver_distributed.user_scores_exclusive
+               (State.create ~seed:(seed + 1) ())
+               ~graph:g ~logs ~tau:4 ~modulus:(1 lsl 20) config)
+            ~wire:w_mono
+        in
+        let plan =
+          Shard.user_scores_exclusive
+            (State.create ~seed:(seed + 1) ())
+            ~graph:g ~logs ~tau:4 ~modulus:(1 lsl 20) ~shards config
+        in
+        let sharded = Session.run (Plan.to_session plan) ~wire:w_shard in
+        mono.Driver_distributed.scores = sharded.Driver_distributed.scores
+        && mono.Driver_distributed.graphs = sharded.Driver_distributed.graphs
+        && (Wire.stats w_mono).Wire.bits = (Wire.stats w_shard).Wire.bits);
     Test.make ~name:"codec residue round trip" ~count:500
       (triple small_nat (int_range 2 (1 lsl 40)) (int_range 0 30))
       (fun (seed, modulus, count) ->
@@ -764,6 +895,11 @@ let () =
             test_session_seq_rejects_cross_boundary;
           Alcotest.test_case "par interleaves" `Quick test_session_par_interleaves;
           Alcotest.test_case "par rejects overlap" `Quick test_session_par_rejects_overlap;
+          Alcotest.test_case "par preserves phase labels" `Quick test_session_par_labels;
+          Alcotest.test_case "all multiplexes overlapping parties" `Quick
+            test_session_all_multiplexes;
+          Alcotest.test_case "all rejects cross-boundary message" `Quick
+            test_session_all_rejects_cross_boundary;
           Alcotest.test_case "run checks declared rounds" `Quick
             test_session_run_checks_declared_rounds;
         ] );

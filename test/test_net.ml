@@ -616,6 +616,187 @@ let test_blackhole_times_out_cleanly () =
     true
     (elapsed < 10. *. fast.Endpoint.round_timeout)
 
+(* --- sharded plans over the worker pool ----------------------------------------- *)
+
+module Shard = Spe_core.Shard
+module Plan = Spe_core.Plan
+module Protocol5 = Spe_core.Protocol5
+
+(* Drive every stage of a plan through a transport worker pool,
+   keeping each shard session's group size and endpoint result for the
+   accounting checks below. *)
+let run_plan_over engine ~workers (plan : _ Plan.t) =
+  let groups = ref [] in
+  List.iter
+    (fun (stage : Plan.stage) ->
+      let rs =
+        match engine with
+        | `Memory -> Endpoint.run_sessions_memory ~workers stage.Plan.sessions
+        | `Socket -> Endpoint.run_sessions_socket ~workers stage.Plan.sessions
+      in
+      Array.iteri
+        (fun i ((), res) ->
+          let m = Array.length stage.Plan.sessions.(i).Session.parties in
+          groups := (m, res) :: !groups)
+        rs)
+    plan.Plan.stages;
+  (plan.Plan.result (), List.rev !groups)
+
+(* Each shard session runs on its own connection group, so the framing
+   closed form of the accounting tests must hold per group — with no
+   Hello term: pool groups (memory, and socketpair socket groups) have
+   no dial handshake. *)
+let check_plan_accounting label plan groups ~payload_ref =
+  List.iteri
+    (fun g (m, (res : Endpoint.result)) ->
+      let rounds =
+        Array.fold_left (fun acc o -> max acc o.Endpoint.rounds) 0 res.Endpoint.outcomes
+      in
+      let totals = Net_wire.totals (logs_of res) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s group %d: framing closed form" label g)
+        (expected_transport_bytes ~m ~rounds ~data_framed:totals.Net_wire.framed_bytes
+           ~hellos:false)
+        res.Endpoint.transport_bytes)
+    groups;
+  let payload =
+    List.fold_left
+      (fun acc (_, res) -> acc + (Net_wire.totals (logs_of res)).Net_wire.payload_bytes)
+      0 groups
+  in
+  Alcotest.(check int)
+    (label ^ ": per-shard payload bytes sum to the unsharded MS")
+    payload_ref payload;
+  let rounds = List.fold_left (fun acc (_, res) ->
+      acc + Array.fold_left (fun a o -> max a o.Endpoint.rounds) 0 res.Endpoint.outcomes)
+      0 groups
+  in
+  Alcotest.(check int)
+    (label ^ ": executed rounds sum to the plan total")
+    (Plan.total_rounds plan) rounds
+
+let test_sharded_links_pool_cross_engine () =
+  let seed = 211 and n = 24 and edges = 70 and actions = 10 and m = 3 in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let config = Protocol4.default_config ~h:2 in
+  let session =
+    Driver_distributed.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs
+      config
+  in
+  let w = Wire.create () in
+  let sim = Session.run session ~wire:w in
+  let payload_ref = (Wire.stats w).Wire.bits / 8 in
+  List.iter
+    (fun (engine_label, engine) ->
+      List.iter
+        (fun shards ->
+          let label = Printf.sprintf "sharded links %s k=%d" engine_label shards in
+          let plan =
+            Shard.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs
+              ~shards config
+          in
+          let result, groups = run_plan_over engine ~workers:2 plan in
+          Alcotest.(check bool) (label ^ ": bit-identical to the unsharded run") true
+            (result.Protocol4.strengths = sim.Protocol4.strengths
+            && result.Protocol4.pair_estimates = sim.Protocol4.pair_estimates
+            && result.Protocol4.pairs = sim.Protocol4.pairs);
+          check_plan_accounting label plan groups ~payload_ref)
+        [ 1; 3 ])
+    session_engines
+
+let test_sharded_links_non_exclusive_pool_cross_engine () =
+  let seed = 223 and n = 20 and edges = 60 and actions = 9 and m = 3 in
+  let s = State.create ~seed () in
+  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let log =
+    Cascade.generate s planted
+      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
+  in
+  let spec = Partition.random_class_spec s ~num_actions:actions ~m ~num_classes:3 in
+  let logs = Partition.non_exclusive s log ~spec in
+  let config = Protocol4.default_config ~h:2 in
+  let obfuscation = Protocol5.Basic in
+  let session =
+    Driver_distributed.links_non_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g
+      ~logs ~spec ~obfuscation config
+  in
+  let w = Wire.create () in
+  let sim = Session.run session ~wire:w in
+  let payload_ref = (Wire.stats w).Wire.bits / 8 in
+  List.iter
+    (fun (engine_label, engine) ->
+      let label = Printf.sprintf "sharded non-exclusive links %s k=3" engine_label in
+      let plan =
+        Shard.links_non_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs ~spec
+          ~obfuscation ~shards:3 config
+      in
+      let result, groups = run_plan_over engine ~workers:2 plan in
+      Alcotest.(check bool) (label ^ ": bit-identical to the unsharded run") true
+        (result.Protocol4.strengths = sim.Protocol4.strengths
+        && result.Protocol4.pair_estimates = sim.Protocol4.pair_estimates
+        && result.Protocol4.pairs = sim.Protocol4.pairs);
+      check_plan_accounting label plan groups ~payload_ref)
+    session_engines
+
+let test_sharded_scores_pool_cross_engine () =
+  let seed = 227 and n = 16 and edges = 44 and actions = 8 and m = 2 in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let config = { Protocol6.default_config with Protocol6.key_bits = 128 } in
+  let tau = 6 and modulus = 1 lsl 20 in
+  let session =
+    Driver_distributed.user_scores_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g
+      ~logs ~tau ~modulus config
+  in
+  let w = Wire.create () in
+  let sim = Session.run session ~wire:w in
+  let payload_ref = (Wire.stats w).Wire.bits / 8 in
+  List.iter
+    (fun (engine_label, engine) ->
+      let label = Printf.sprintf "sharded scores %s k=3" engine_label in
+      let plan =
+        Shard.user_scores_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs
+          ~tau ~modulus ~shards:3 config
+      in
+      let result, groups = run_plan_over engine ~workers:2 plan in
+      Alcotest.(check bool) (label ^ ": bit-identical to the unsharded run") true
+        (result.Driver_distributed.scores = sim.Driver_distributed.scores
+        && result.Driver_distributed.graphs = sim.Driver_distributed.graphs);
+      check_plan_accounting label plan groups ~payload_ref)
+    session_engines
+
+(* A shard whose group stops delivering must fail the stage naming the
+   shard and its phase, and the pool must close the sibling groups
+   rather than wait out their timeouts. *)
+let test_pool_stall_cancels_siblings () =
+  let g, logs = pipeline_workload ~seed:211 ~n:24 ~edges:70 ~actions:10 ~m:3 in
+  let config = Protocol4.default_config ~h:2 in
+  let plan =
+    Shard.links_exclusive (State.create ~seed:212 ()) ~graph:g ~logs ~shards:4 config
+  in
+  let stage = List.hd plan.Plan.stages in
+  let ns = Array.length stage.Plan.sessions in
+  Alcotest.(check bool) "plan cut into several shard sessions" true (ns >= 4);
+  let faults = Array.make ns None in
+  faults.(2) <- Some (Fault.blackhole ~src:0 ~dst:1);
+  let t0 = Unix.gettimeofday () in
+  (match
+     Endpoint.run_sessions_memory ~config:fast ~workers:2 ~faults stage.Plan.sessions
+   with
+  | _ -> Alcotest.fail "a stalled shard must not let the stage complete"
+  | exception Endpoint.Shard_failed { shard; phase; exn } ->
+    Alcotest.(check int) "names the stalled shard" 2 shard;
+    Alcotest.(check bool) "names the phase" true (phase <> None);
+    Alcotest.(check bool) "root cause is the round timeout" true
+      (match exn with Endpoint.Round_timeout _ -> true | _ -> false));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Bound: the stalled shard's own retries, plus slack for the claim
+     order — never the siblings' full timeouts serialised. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "siblings cancelled, no hang (%.2fs)" elapsed)
+    true
+    (elapsed < 20. *. fast.Endpoint.round_timeout)
+
 (* ------------------------------------------------------------------------------ *)
 
 let () =
@@ -668,6 +849,17 @@ let () =
             test_delayed_frame_reorders_and_recovers;
           Alcotest.test_case "blackhole times out cleanly" `Quick
             test_blackhole_times_out_cleanly;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "sharded links over pools" `Quick
+            test_sharded_links_pool_cross_engine;
+          Alcotest.test_case "sharded non-exclusive links over pools" `Quick
+            test_sharded_links_non_exclusive_pool_cross_engine;
+          Alcotest.test_case "sharded scores over pools" `Quick
+            test_sharded_scores_pool_cross_engine;
+          Alcotest.test_case "stalled shard cancels siblings" `Quick
+            test_pool_stall_cancels_siblings;
         ] );
       ( "properties",
         List.map

@@ -184,7 +184,7 @@ let test_json_roundtrip () =
   | rows -> Alcotest.failf "expected 2 bench rows, got %d" (List.length rows));
   (* The machine-facing document is strict about its version tag. *)
   let tampered =
-    let sub = "spe-metrics/1" in
+    let sub = Obs_io.schema in
     let i =
       let n = String.length s and m = String.length sub in
       let rec find i =
@@ -203,6 +203,83 @@ let test_json_roundtrip () =
   match Obs_io.Json.of_string (s ^ "{}") with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "trailing garbage accepted"
+
+(* Pre-sharding spe-metrics/1 documents (no "shards" field) must still
+   read back, with an empty shard table. *)
+let test_json_reads_v1 () =
+  let r = sample_report () in
+  let v2 = Obs_io.report_to_json r in
+  let v1 =
+    match v2 with
+    | Obs_io.Json.Obj fields ->
+      Obs_io.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             match k with
+             | "schema" -> Some (k, Obs_io.Json.String Obs_io.schema_v1)
+             | "shards" -> None
+             | _ -> Some (k, v))
+           fields)
+    | _ -> Alcotest.fail "report did not serialize to an object"
+  in
+  let r' = Obs_io.report_of_json v1 in
+  Alcotest.(check bool) "v1 document accepted, shards empty" true
+    (r' = { r with Metrics.shards = [] })
+
+let test_metrics_merge () =
+  let shard i =
+    let trace = Trace.create ~clock:(ticking ~step:1.0 ()) () in
+    Trace.set_phases trace [ ("publish", 1); ("core", 2) ];
+    Trace.span trace Trace.Session "session" (fun () ->
+        for round = 1 to 3 do
+          Trace.span trace ~party:"Host" ~index:round Trace.Round "round" (fun () ->
+              Trace.span trace ~party:"Host" ~index:round Trace.Compute "step" (fun () -> ());
+              Trace.count trace ~party:"Host" ~round Trace.Messages 1;
+              Trace.count trace ~party:"Host" ~round Trace.Payload_bytes (10 * (i + 1));
+              Trace.count trace ~party:"Host" ~round Trace.Framed_bytes (12 * (i + 1)))
+        done);
+    Metrics.of_trace ~protocol:"links" ~engine:"memory" ~parties:4 trace
+  in
+  let a = shard 0 and b = shard 1 in
+  let m = Metrics.merge [ a; b ] in
+  Alcotest.(check int) "NR sums" (a.Metrics.rounds + b.Metrics.rounds) m.Metrics.rounds;
+  Alcotest.(check int) "NM sums" (a.Metrics.messages + b.Metrics.messages) m.Metrics.messages;
+  Alcotest.(check int) "payload sums"
+    (a.Metrics.payload_bytes + b.Metrics.payload_bytes)
+    m.Metrics.payload_bytes;
+  Alcotest.(check (option int)) "framed bytes sum"
+    (Some (Option.get a.Metrics.framed_bytes + Option.get b.Metrics.framed_bytes))
+    m.Metrics.framed_bytes;
+  Alcotest.(check (option int)) "unmeasured transport stays None" None
+    m.Metrics.transport_bytes;
+  Alcotest.(check int) "parties is the shared party set" 4 m.Metrics.parties;
+  (* Phase rows merge by label, preserving the shared map's order. *)
+  (match m.Metrics.phases with
+  | [ publish; core ] ->
+    Alcotest.(check string) "first phase" "publish" publish.Metrics.phase;
+    Alcotest.(check string) "second phase" "core" core.Metrics.phase;
+    Alcotest.(check int) "phase messages merge" 2 publish.Metrics.messages;
+    Alcotest.(check int) "phase bytes merge" 30 publish.Metrics.payload_bytes
+  | rows -> Alcotest.failf "expected 2 merged phase rows, got %d" (List.length rows));
+  (* One shard row per input, in order, carrying the input's totals. *)
+  (match m.Metrics.shards with
+  | [ s0; s1 ] ->
+    Alcotest.(check int) "shard 0 index" 0 s0.Metrics.shard;
+    Alcotest.(check int) "shard 1 index" 1 s1.Metrics.shard;
+    Alcotest.(check int) "shard 0 payload" a.Metrics.payload_bytes s0.Metrics.payload_bytes;
+    Alcotest.(check int) "shard 1 payload" b.Metrics.payload_bytes s1.Metrics.payload_bytes
+  | rows -> Alcotest.failf "expected 2 shard rows, got %d" (List.length rows));
+  (* Compute rows merge by party. *)
+  (match m.Metrics.compute with
+  | [ host ] -> Alcotest.(check int) "compute calls sum" 6 host.Metrics.calls
+  | rows -> Alcotest.failf "expected 1 merged compute row, got %d" (List.length rows));
+  (* A merged report is still a report: it round-trips with its shard
+     table intact. *)
+  let m' = Obs_io.report_of_string (Obs_io.report_to_string m) in
+  Alcotest.(check bool) "merged report round-trips" true (m = m');
+  Alcotest.check_raises "empty merge rejected"
+    (Invalid_argument "Metrics.merge: need at least one report") (fun () ->
+      ignore (Metrics.merge []))
 
 let test_json_values () =
   let check s v =
@@ -411,10 +488,14 @@ let () =
           Alcotest.test_case "phase_of_round" `Quick test_phase_of_round;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "synthetic aggregation" `Quick test_metrics_synthetic ] );
+        [
+          Alcotest.test_case "synthetic aggregation" `Quick test_metrics_synthetic;
+          Alcotest.test_case "shard merge" `Quick test_metrics_merge;
+        ] );
       ( "json",
         [
           Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "reads spe-metrics/1" `Quick test_json_reads_v1;
           Alcotest.test_case "json values" `Quick test_json_values;
         ] );
       ( "accounting",
