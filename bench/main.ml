@@ -754,6 +754,39 @@ let scalability () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* How much a fault campaign costs: wall time per seeded schedule, on
+   each engine, and how many of the seeds exercised a fatal event.
+   The chaos harness trades tight endpoint timeouts for throughput, so
+   this is the number to watch when extending the CI campaign. *)
+let ablation_chaos () =
+  section "Ablation - chaos campaign throughput (Spe_chaos, seeded fault schedules)";
+  let module Schedule = Spe_chaos.Schedule in
+  let module Harness = Spe_chaos.Harness in
+  let module Campaign = Spe_chaos.Campaign in
+  Printf.printf "%10s | %6s | %12s | %12s | %s\n" "engine" "seeds" "time (s)"
+    "s / schedule" "fatal";
+  List.iter
+    (fun (label, engine) ->
+      let seeds = 8 in
+      let fatal = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let summary =
+        Campaign.run
+          ~on_result:(fun _ sched _ ->
+            if Schedule.fatal sched <> None then incr fatal)
+          ~seeds ~seed:900
+          ~targets:[ (Schedule.Links, engine); (Schedule.Scores, engine) ]
+          ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%10s | %6d | %12.2f | %12.2f | %d/%d%s\n" label summary.Campaign.runs
+        dt
+        (dt /. float_of_int seeds)
+        !fatal seeds
+        (if summary.Campaign.violations = [] then ""
+         else Printf.sprintf "  (%d VIOLATIONS)" (List.length summary.Campaign.violations)))
+    [ ("memory", Schedule.Memory); ("socket", Schedule.Socket) ]
+
 let bechamel_suite () =
   section "Bechamel micro-benchmarks (wall clock per full run)";
   let open Bechamel in
@@ -845,6 +878,7 @@ let () =
   ablation_alternatives ();
   ablation_multi_host ();
   ablation_transport ();
+  ablation_chaos ();
   bench_rows ();
   ablation_discretization ();
   ablation_estimator_variants ();

@@ -446,10 +446,15 @@ let links_cmd =
   in
   let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
       transport shards workers show_transcript trace_file metrics out =
-    if shards < 1 then failwith "--shards must be at least 1";
-    if workers < 1 then failwith "--workers must be at least 1";
-    if transport = `Central && shards > 1 then
-      failwith "--shards needs --transport sim, memory or socket";
+    match
+      if shards < 1 then Some "--shards must be at least 1"
+      else if workers < 1 then Some "--workers must be at least 1"
+      else if transport = `Central && shards > 1 then
+        Some "--shards needs --transport sim, memory or socket"
+      else None
+    with
+    | Some msg -> `Error (true, msg)
+    | None ->
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let estimator =
@@ -578,10 +583,15 @@ let scores_cmd =
   in
   let run seed graph_path log_paths tau key_bits modulus_bits top transport shards workers
       trace_file metrics out =
-    if shards < 1 then failwith "--shards must be at least 1";
-    if workers < 1 then failwith "--workers must be at least 1";
-    if transport = `Central && shards > 1 then
-      failwith "--shards needs --transport sim, memory or socket";
+    match
+      if shards < 1 then Some "--shards must be at least 1"
+      else if workers < 1 then Some "--workers must be at least 1"
+      else if transport = `Central && shards > 1 then
+        Some "--shards needs --transport sim, memory or socket"
+      else None
+    with
+    | Some msg -> `Error (true, msg)
+    | None ->
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let config = { Protocol6.default_config with Protocol6.key_bits } in
@@ -1041,6 +1051,155 @@ let shares_cmd =
           wire) and compare the costs.")
     term
 
+(* --- spe chaos ------------------------------------------------------------------------ *)
+
+(* Deterministic fault campaigns over the sharded pipelines: generate
+   seeded fault schedules, run them through Spe_chaos.Harness's
+   invariant oracles, shrink every violation to a minimal spe-schedule/1
+   reproducer, and replay saved reproducers exactly. *)
+
+let chaos_cmd =
+  let module Schedule = Spe_chaos.Schedule in
+  let module Harness = Spe_chaos.Harness in
+  let module Campaign = Spe_chaos.Campaign in
+  let campaign_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "campaign" ] ~docv:"N" ~doc:"Run N seeded fault schedules.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one saved spe-schedule/1 document instead of a campaign.")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (enum [ ("links", `Links); ("scores", `Scores); ("both", `Both) ]) `Both
+      & info [ "target" ] ~docv:"PIPELINE"
+          ~doc:"Which pipeline(s) to torment: links, scores or both.")
+  in
+  let chaos_engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("memory", `Memory); ("socket", `Socket); ("both", `Both) ]) `Both
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Which transport engine(s) to run on: memory, socket or both.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Write each shrunk failing schedule to DIR/chaos-ID.json.")
+  in
+  let run campaign seed replay target engine out_dir =
+    let read_file path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match replay with
+    | Some path -> (
+      match Schedule.of_string (read_file path) with
+      | exception Failure msg -> `Error (false, path ^ ": " ^ msg)
+      | sched -> (
+        Printf.printf "replaying schedule %s: %s over %s, %d events (seed %d)\n%!"
+          (Schedule.id sched)
+          (Schedule.pipeline_name sched.Schedule.pipeline)
+          (Schedule.engine_name sched.Schedule.engine)
+          (List.length sched.Schedule.events)
+          sched.Schedule.seed;
+        match Harness.run sched with
+        | Harness.Pass ->
+          Printf.printf "replay: all invariant oracles passed\n";
+          `Ok ()
+        | Harness.Fail { oracle; detail } ->
+          `Error (false, Printf.sprintf "invariant violation (%s): %s" oracle detail)))
+    | None ->
+      if campaign <= 0 then `Error (true, "use --campaign N or --replay FILE")
+      else begin
+        let pipelines =
+          match target with
+          | `Links -> [ Schedule.Links ]
+          | `Scores -> [ Schedule.Scores ]
+          | `Both -> [ Schedule.Links; Schedule.Scores ]
+        in
+        let engines =
+          match engine with
+          | `Memory -> [ Schedule.Memory ]
+          | `Socket -> [ Schedule.Socket ]
+          | `Both -> [ Schedule.Memory; Schedule.Socket ]
+        in
+        let targets =
+          List.concat_map (fun p -> List.map (fun e -> (p, e)) engines) pipelines
+        in
+        let t0 = Unix.gettimeofday () in
+        let summary =
+          Campaign.run
+            ~on_result:(fun s sched outcome ->
+              match outcome with
+              | Harness.Pass -> ()
+              | Harness.Fail { oracle; _ } ->
+                Printf.printf "seed %d (%s/%s, schedule %s): %s violation, shrinking...\n%!"
+                  s
+                  (Schedule.pipeline_name sched.Schedule.pipeline)
+                  (Schedule.engine_name sched.Schedule.engine)
+                  (Schedule.id sched) oracle)
+            ~seeds:campaign ~seed ~targets ()
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        List.iter
+          (fun (v : Campaign.violation) ->
+            let Harness.{ oracle; detail } = v.Campaign.failure in
+            Printf.printf
+              "seed %d: %s violation shrunk to %d event(s) (schedule %s): %s\n" v.Campaign.seed
+              oracle
+              (List.length v.Campaign.shrunk.Schedule.events)
+              (Schedule.id v.Campaign.shrunk)
+              detail;
+            match out_dir with
+            | None -> ()
+            | Some dir ->
+              (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "chaos-%s.json" (Schedule.id v.Campaign.shrunk))
+              in
+              let oc = open_out path in
+              output_string oc (Schedule.to_string v.Campaign.shrunk);
+              close_out oc;
+              Printf.printf "wrote %s\n" path)
+          summary.Campaign.violations;
+        Printf.printf "campaign: %d schedules in %.1f s, %d violation(s)\n"
+          summary.Campaign.runs elapsed
+          (List.length summary.Campaign.violations);
+        if summary.Campaign.violations = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d invariant violation(s)"
+                (List.length summary.Campaign.violations) )
+      end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ campaign_arg $ seed_arg $ replay_arg $ target_arg $ chaos_engine_arg
+       $ out_dir_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run deterministic fault campaigns against the sharded pipelines (drops, \
+          delays, duplicates, dead links, killed workers) and shrink any invariant \
+          violation to a replayable spe-schedule/1 file.")
+    term
+
 (* --- entry point ------------------------------------------------------------------ *)
 
 let () =
@@ -1050,5 +1209,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; privacy_cmd; costs_cmd;
-            leakage_cmd; em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))
+          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; chaos_cmd; privacy_cmd;
+            costs_cmd; leakage_cmd; em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))

@@ -1,0 +1,111 @@
+type violation = {
+  seed : int;
+  schedule : Schedule.t;
+  shrunk : Schedule.t;
+  failure : Harness.failure;
+}
+
+type summary = { runs : int; violations : violation list }
+
+let fails ?bug sched =
+  match Harness.run ?bug sched with
+  | Harness.Pass -> None
+  | Harness.Fail f -> Some f
+
+(* Delta-debugging over the event list: try removing chunks, halving
+   the chunk size whenever nothing removable remains, until single
+   events are all load-bearing. *)
+let shrink_events ?bug (sched : Schedule.t) =
+  let still_fails events = fails ?bug { sched with Schedule.events } <> None in
+  let rec pass events chunk =
+    let n = List.length events in
+    if chunk < 1 || n = 0 then events
+    else begin
+      (* Remove the chunk starting at each offset in turn; restart the
+         pass after a successful removal (earlier offsets may have
+         become removable). *)
+      let rec try_offsets off =
+        if off >= n then None
+        else
+          let kept =
+            List.filteri (fun i _ -> i < off || i >= off + chunk) events
+          in
+          if List.length kept < n && still_fails kept then Some kept
+          else try_offsets (off + chunk)
+      in
+      match try_offsets 0 with
+      | Some kept -> pass kept chunk
+      | None -> pass events (chunk / 2)
+    end
+  in
+  let events = pass sched.Schedule.events (List.length sched.Schedule.events) in
+  { sched with Schedule.events }
+
+(* Candidate simplifications of one event's numeric fields, most
+   aggressive first. *)
+let simpler_events ev =
+  let nths n = if n = 0 then [] else [ 0; n / 2; n - 1 ] in
+  match ev with
+  | Schedule.Drop r -> List.map (fun nth -> Schedule.Drop { r with nth }) (nths r.nth)
+  | Schedule.Duplicate r ->
+    List.map (fun nth -> Schedule.Duplicate { r with nth }) (nths r.nth)
+  | Schedule.Delay r ->
+    let shorter =
+      if r.seconds > 0.05 then
+        [ Schedule.Delay { r with seconds = Float.max 0.05 (r.seconds /. 2.) } ]
+      else []
+    in
+    List.map (fun nth -> Schedule.Delay { r with nth }) (nths r.nth) @ shorter
+  | Schedule.Blackhole r ->
+    List.map
+      (fun from_nth -> Schedule.Blackhole { r with from_nth })
+      (nths r.from_nth)
+  | Schedule.Kill _ -> []
+  | Schedule.Skew r -> if r.factor = 1.0 then [] else [ Schedule.Skew { factor = 1.0 } ]
+
+let shrink_numbers ?bug (sched : Schedule.t) =
+  let still_fails events = fails ?bug { sched with Schedule.events } <> None in
+  let replace events i ev = List.mapi (fun j e -> if j = i then ev else e) events in
+  let rec fix events =
+    let rec try_one i =
+      if i >= List.length events then None
+      else
+        let candidates = simpler_events (List.nth events i) in
+        match
+          List.find_opt (fun c -> still_fails (replace events i c)) candidates
+        with
+        | Some c -> Some (replace events i c)
+        | None -> try_one (i + 1)
+    in
+    match try_one 0 with Some events -> fix events | None -> events
+  in
+  { sched with Schedule.events = fix sched.Schedule.events }
+
+let shrink ?bug sched =
+  match fails ?bug sched with
+  | None -> invalid_arg "Campaign.shrink: the schedule does not fail"
+  | Some _ ->
+    let shrunk = shrink_numbers ?bug (shrink_events ?bug sched) in
+    (match fails ?bug shrunk with
+    | Some failure -> (shrunk, failure)
+    | None ->
+      (* Cannot happen: every shrink step re-checks failure. *)
+      assert false)
+
+let run ?bug ?(on_result = fun _ _ _ -> ()) ~seeds ~seed ~targets () =
+  if targets = [] then invalid_arg "Campaign.run: no targets";
+  let nt = List.length targets in
+  let violations = ref [] in
+  for i = 0 to seeds - 1 do
+    let s = seed + i in
+    let pipeline, engine = List.nth targets (i mod nt) in
+    let sched = Harness.generate ~seed:s pipeline engine in
+    let outcome = Harness.run ?bug sched in
+    on_result s sched outcome;
+    match outcome with
+    | Harness.Pass -> ()
+    | Harness.Fail _ ->
+      let shrunk, failure = shrink ?bug sched in
+      violations := { seed = s; schedule = sched; shrunk; failure } :: !violations
+  done;
+  { runs = seeds; violations = List.rev !violations }

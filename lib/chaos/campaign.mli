@@ -1,0 +1,41 @@
+(** Fault campaigns: fan seeds across targets, shrink what fails.
+
+    A campaign generates one {!Schedule} per seed (round-robin over the
+    requested pipeline × engine targets), runs each through
+    {!Harness.run}, and — for every invariant violation — shrinks the
+    schedule to a minimal reproducer: first delta-debugging the event
+    list (chunk-halving removal to a fixpoint), then shrinking each
+    surviving event's numeric fields toward their smallest values.  The
+    shrunk schedule still fails the same way and, serialized as
+    [spe-schedule/1], replays the violation exactly via
+    [spe chaos --replay]. *)
+
+type violation = {
+  seed : int;  (** The campaign seed that produced the schedule. *)
+  schedule : Schedule.t;  (** The original failing schedule. *)
+  shrunk : Schedule.t;  (** The minimal reproducer. *)
+  failure : Harness.failure;  (** What the shrunk schedule still violates. *)
+}
+
+type summary = {
+  runs : int;  (** Schedules executed (excluding shrink replays). *)
+  violations : violation list;  (** In seed order; [[]] on a green campaign. *)
+}
+
+val shrink : ?bug:(Schedule.t -> bool) -> Schedule.t -> Schedule.t * Harness.failure
+(** Shrink a failing schedule ([bug] as in {!Harness.run}).  Returns
+    the minimal schedule together with the failure it still exhibits.
+    Raises [Invalid_argument] if the input schedule does not fail. *)
+
+val run :
+  ?bug:(Schedule.t -> bool) ->
+  ?on_result:(int -> Schedule.t -> Harness.outcome -> unit) ->
+  seeds:int ->
+  seed:int ->
+  targets:(Schedule.pipeline * Schedule.engine) list ->
+  unit ->
+  summary
+(** Run [seeds] schedules drawn from [seed, seed + seeds) over the
+    round-robined [targets], shrinking every failure.  [on_result] is
+    called after each run (before any shrinking) for progress
+    reporting.  Raises [Invalid_argument] when [targets] is empty. *)

@@ -1,0 +1,51 @@
+(** One chaos run: execute a sharded pipeline under a fault
+    {!Schedule} and judge it against the invariant oracles.
+
+    {!run} drives the schedule's plan stage by stage through the
+    {!Spe_net.Endpoint} worker pools — compiling the schedule's
+    per-frame events into transport fault policies, arming the
+    worker-kill hooks, scaling the round timeout by the schedule's
+    skew, and tracing every shard session on a deterministic virtual
+    clock ({!Spe_obs.Trace.ticking}).  The verdict is {!Pass} only if
+    all four oracles hold:
+
+    - {b result}: a completed run's merged plan result is bit-identical
+      to the central [Driver] oracle on the same workload.
+    - {b termination}: the run either completes or fails with a typed
+      [Shard_failed] within the wall budget — and only schedules with a
+      fatal event ({!Schedule.fatal}) are entitled to fail at all.
+    - {b accounting}: per shard session, the trace counters equal the
+      [Net_wire] log totals, and the endpoint's transport bytes respect
+      the framing closed form — equality on fault-free sessions, [>=]
+      when duplicates or retransmissions added bytes.
+    - {b attribution}: a fatal schedule's typed failure names the
+      actually-faulted session — the killed worker's shard (with
+      [Worker_killed] as the root cause), or the blackholed session
+      with the starved link's sender among the [Round_timeout]'s
+      missing parties. *)
+
+type failure = {
+  oracle : string;  (** ["result"], ["termination"], ["accounting"] or
+                        ["attribution"]. *)
+  detail : string;  (** Human-readable account of the violation. *)
+}
+
+type outcome = Pass | Fail of failure
+
+val generate : seed:int -> Schedule.pipeline -> Schedule.engine -> Schedule.t
+(** Draw a schedule from the seed: a handful of recoverable drops
+    (capped at two per directed link so the Nack machinery can always
+    recover), short delays (always below the skewed round timeout),
+    duplicates, sometimes a timeout skew, and — for a fraction of
+    seeds — one fatal kill or blackhole.  When the fatal event is a
+    blackhole, drops and delays are confined to the blackholed session
+    so the failure attribution is unambiguous.  Deterministic in
+    [seed]. *)
+
+val run : ?bug:(Schedule.t -> bool) -> Schedule.t -> outcome
+(** Execute the schedule and judge it.  [bug] is the mutation seam used
+    by the self-tests: when it returns [true] the result oracle is
+    reported as violated on an otherwise completed run, standing in for
+    a fault-handling bug the campaign must catch and shrink.  Raises
+    [Failure] if the schedule references a session or party outside the
+    plan it describes (a hand-edited replay file). *)

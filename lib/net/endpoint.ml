@@ -321,13 +321,13 @@ let run_memory ?config ?fault ?trace ~parties ~programs ~max_rounds () =
   let transports = Transport.Memory.create_group ?fault ?trace ~m:(Array.length parties) () in
   run_group ?config ?trace ~transports ~parties ~programs ~max_rounds ()
 
-let run_socket ?config ?addresses ?trace ~parties ~programs ~max_rounds () =
+let run_socket ?config ?addresses ?fault ?trace ~parties ~programs ~max_rounds () =
   let addresses =
     match addresses with
     | Some a -> a
     | None -> Transport.Socket.temp_unix_addresses ~m:(Array.length parties)
   in
-  let transports = Transport.Socket.create_group ?trace ~addresses () in
+  let transports = Transport.Socket.create_group ?fault ?trace ~addresses () in
   run_group ?config ?trace ~transports ~parties ~programs ~max_rounds ()
 
 (* A session declares its exact round count; enforce it like
@@ -350,11 +350,11 @@ let run_session_memory ?config ?fault ?(trace = Spe_obs.Trace.disabled ()) sessi
   check_session_rounds session result;
   (session.Session.result (), result)
 
-let run_session_socket ?config ?addresses ?(trace = Spe_obs.Trace.disabled ()) session =
+let run_session_socket ?config ?addresses ?fault ?(trace = Spe_obs.Trace.disabled ()) session =
   Spe_obs.Trace.set_phases trace session.Session.phases;
   let result =
     Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
-        run_socket ?config ?addresses ~trace ~parties:session.Session.parties
+        run_socket ?config ?addresses ?fault ~trace ~parties:session.Session.parties
           ~programs:session.Session.programs ~max_rounds:(session.Session.rounds + 1) ())
   in
   check_session_rounds session result;
@@ -363,6 +363,7 @@ let run_session_socket ?config ?addresses ?(trace = Spe_obs.Trace.disabled ()) s
 (* --- The shard worker pool ---------------------------------------------------- *)
 
 exception Shard_failed of { shard : int; phase : string option; exn : exn }
+exception Worker_killed
 
 let () =
   Printexc.register_printer (function
@@ -371,6 +372,7 @@ let () =
         (Printf.sprintf "Endpoint.Shard_failed: shard %d%s failed: %s" shard
            (match phase with Some p -> Printf.sprintf " (phase %s)" p | None -> "")
            (Printexc.to_string exn))
+    | Worker_killed -> Some "Endpoint.Worker_killed"
     | _ -> None)
 
 (* Up to [workers] threads claim shard sessions in index order; each
@@ -378,7 +380,7 @@ let () =
    per-group barrier/Nack/timeout machinery applies unchanged), and on
    any shard failure every open sibling group is closed so its threads
    unwind promptly instead of waiting out their timeouts. *)
-let run_pool ~workers ~config ~traces ~make_transports (sessions : _ Session.t array) =
+let run_pool ~workers ~config ~kills ~traces ~make_transports (sessions : _ Session.t array) =
   let ns = Array.length sessions in
   let results = Array.make ns None in
   let errors = Array.make ns None in
@@ -426,6 +428,11 @@ let run_pool ~workers ~config ~traces ~make_transports (sessions : _ Session.t a
         close_group transports)
       (fun () ->
         if not bail then begin
+          (* The kill hook fires after the group is registered, so the
+             teardown path it exercises is the real one: the dead
+             worker's siblings are cancelled and the pool attributes
+             the failure to this shard. *)
+          if kills.(s) then raise Worker_killed;
           let result =
             Spe_obs.Trace.span trace Spe_obs.Trace.Session "session" (fun () ->
                 run_group ~config ~trace ~transports ~parties:session.Session.parties
@@ -454,7 +461,9 @@ let run_pool ~workers ~config ~traces ~make_transports (sessions : _ Session.t a
   let threads = Array.init nworkers (fun _ -> Thread.create worker ()) in
   Array.iter Thread.join threads;
   (* Surface the root cause, not the Closed cascade the teardown
-     triggered in the sibling groups. *)
+     triggered in the sibling groups.  A killed worker outranks any
+     timeout: the kill is the cause, a sibling that starved while the
+     pool tore down is the echo. *)
   let root, any =
     Array.fold_left
       (fun (root, any) e ->
@@ -462,7 +471,15 @@ let run_pool ~workers ~config ~traces ~make_transports (sessions : _ Session.t a
         | None -> (root, any)
         | Some (Shard_failed { exn = Transport.Closed; _ }) ->
           (root, if any = None then e else any)
-        | Some _ -> ((if root = None then e else root), if any = None then e else any))
+        | Some _ ->
+          let root =
+            match (root, e) with
+            | None, _ -> e
+            | Some (Shard_failed { exn = Worker_killed; _ }), _ -> root
+            | Some _, Some (Shard_failed { exn = Worker_killed; _ }) -> e
+            | _ -> root
+          in
+          (root, if any = None then e else any))
       (None, None) errors
   in
   (match (root, any) with
@@ -482,23 +499,32 @@ let pool_defaults ?workers ?traces ns =
     invalid_arg "Endpoint.run_sessions: one trace per session";
   (workers, traces)
 
-let run_sessions_memory ?(config = default_config) ?workers ?faults ?traces sessions =
-  let ns = Array.length sessions in
-  let workers, traces = pool_defaults ?workers ?traces ns in
+let pool_faults ~who ?faults ?kills ns =
   let faults = match faults with Some f -> f | None -> Array.make ns None in
   if Array.length faults <> ns then
-    invalid_arg "Endpoint.run_sessions_memory: one fault spec per session";
-  run_pool ~workers ~config ~traces
+    invalid_arg (Printf.sprintf "Endpoint.%s: one fault spec per session" who);
+  let kills = match kills with Some k -> k | None -> Array.make ns false in
+  if Array.length kills <> ns then
+    invalid_arg (Printf.sprintf "Endpoint.%s: one kill flag per session" who);
+  (faults, kills)
+
+let run_sessions_memory ?(config = default_config) ?workers ?faults ?kills ?traces sessions =
+  let ns = Array.length sessions in
+  let workers, traces = pool_defaults ?workers ?traces ns in
+  let faults, kills = pool_faults ~who:"run_sessions_memory" ?faults ?kills ns in
+  run_pool ~workers ~config ~kills ~traces
     ~make_transports:(fun s ~m ~trace ->
       Transport.Memory.create_group ?fault:faults.(s) ~trace ~m ())
     sessions
 
-let run_sessions_socket ?(config = default_config) ?workers ?traces sessions =
+let run_sessions_socket ?(config = default_config) ?workers ?faults ?kills ?traces sessions =
   let ns = Array.length sessions in
   let workers, traces = pool_defaults ?workers ?traces ns in
+  let faults, kills = pool_faults ~who:"run_sessions_socket" ?faults ?kills ns in
   (* Socketpair groups: a fresh connection group per shard session is
      the pool's contract, and at that rate the addressed rendezvous
      would cost more than the latency overlap sharding buys back. *)
-  run_pool ~workers ~config ~traces
-    ~make_transports:(fun _ ~m ~trace -> Transport.Socket.create_group_local ~trace ~m ())
+  run_pool ~workers ~config ~kills ~traces
+    ~make_transports:(fun s ~m ~trace ->
+      Transport.Socket.create_group_local ?fault:faults.(s) ~trace ~m ())
     sessions

@@ -100,6 +100,7 @@ val run_memory :
 val run_socket :
   ?config:config ->
   ?addresses:Transport.Socket.address array ->
+  ?fault:Fault.t ->
   ?trace:Spe_obs.Trace.t ->
   parties:Spe_mpc.Wire.party array ->
   programs:Spe_mpc.Runtime.program array ->
@@ -108,7 +109,9 @@ val run_socket :
   result
 (** {!run_group} over a fresh {!Transport.Socket} group (fresh
     Unix-domain sockets in a temporary directory unless [addresses]
-    says otherwise); [trace] is shared with the transports. *)
+    says otherwise); [fault] and [trace] are shared with the
+    transports, so the socket engine takes the same per-frame fault
+    policies the memory engine does. *)
 
 val run_session_memory :
   ?config:config ->
@@ -129,6 +132,7 @@ val run_session_memory :
 val run_session_socket :
   ?config:config ->
   ?addresses:Transport.Socket.address array ->
+  ?fault:Fault.t ->
   ?trace:Spe_obs.Trace.t ->
   'r Spe_mpc.Session.t ->
   'r * result
@@ -148,10 +152,20 @@ exception Shard_failed of {
     renders ["Endpoint.Shard_failed: shard 2 (phase p4-mask) failed:
     ..."]. *)
 
+exception Worker_killed
+(** The injected worker-death fault: a pool worker whose session's
+    [kills] flag is set raises this immediately after its connection
+    group is registered, surfacing as {!Shard_failed} with this
+    exception inside.  In root-cause selection a killed worker outranks
+    any {!Round_timeout}: the sibling that starved while the pool tore
+    down is the echo, not the cause.  Only the chaos harness sets kill
+    flags; production pools never see this exception. *)
+
 val run_sessions_memory :
   ?config:config ->
   ?workers:int ->
   ?faults:Fault.t option array ->
+  ?kills:bool array ->
   ?traces:Spe_obs.Trace.t array ->
   'r Spe_mpc.Session.t array ->
   ('r * result) array
@@ -160,17 +174,23 @@ val run_sessions_memory :
     one per session), each claimed session running on its own fresh
     {!Transport.Memory} group with the full {!run_session_memory}
     contract (phase map installed, [Session] span, declared-rounds
-    check).  Results are in session order.  [faults] and [traces], when
-    given, must have one entry per session ([Invalid_argument]
-    otherwise).  On any failure the pool cancels the remaining work,
-    closes all open sibling groups, and raises {!Shard_failed} naming
-    the root-cause shard — it never hangs on a stalled shard. *)
+    check).  Results are in session order.  [faults], [kills] and
+    [traces], when given, must have one entry per session
+    ([Invalid_argument] otherwise); a session whose kill flag is set
+    raises {!Worker_killed} instead of running (the chaos harness's
+    worker-death fault).  On any failure the pool cancels the
+    remaining work, closes all open sibling groups, and raises
+    {!Shard_failed} naming the root-cause shard — it never hangs on a
+    stalled shard. *)
 
 val run_sessions_socket :
   ?config:config ->
   ?workers:int ->
+  ?faults:Fault.t option array ->
+  ?kills:bool array ->
   ?traces:Spe_obs.Trace.t array ->
   'r Spe_mpc.Session.t array ->
   ('r * result) array
 (** {!run_sessions_memory} over fresh Unix-domain socket groups (one
-    temporary directory per session). *)
+    temporary directory per session), with the same per-session
+    [faults] and [kills] hooks. *)

@@ -1,6 +1,6 @@
 module State = Spe_rng.State
 
-type action = Deliver | Drop | Delay of float
+type action = Deliver | Drop | Delay of float | Duplicate
 
 type t = { lock : Mutex.t; decide : src:int -> dst:int -> action }
 

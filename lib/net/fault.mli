@@ -11,11 +11,20 @@ type action =
   | Deliver  (** Pass the frame through immediately. *)
   | Drop  (** Lose the frame; the sender is not told. *)
   | Delay of float  (** Deliver after this many seconds. *)
+  | Duplicate
+      (** Deliver the frame twice (both copies are charged to the
+          wire); the receiver's dedup must make the copy harmless. *)
 
 type t
 
 val decide : t -> src:int -> dst:int -> action
 (** Transport hook: classify the next frame on the [src -> dst] link. *)
+
+val make : (src:int -> dst:int -> action) -> t
+(** Wrap a bare decision function as a policy.  The function is called
+    under the policy's own mutex, so it may keep private mutable state
+    (per-link counters, a generator) without further locking — this is
+    how [Spe_chaos] compiles a schedule into a policy. *)
 
 val none : t
 (** Deliver everything. *)

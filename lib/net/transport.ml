@@ -97,6 +97,16 @@ module Memory = struct
                    try Mailbox.push mailboxes.(dst) body with Closed -> ())
                  ());
             None
+          | Fault.Duplicate ->
+            (* The copy crosses the wire too: charge it and deliver it
+               ahead of the original; the receiver's dedup keyed on
+               (sender, round, seq) absorbs the repeat. *)
+            Atomic.fetch_and_add counters.(self) cost |> ignore;
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.dup ->#%d" dst);
+            (try Mailbox.push mailboxes.(dst) body with Closed -> ());
+            Some body
         in
         let send dst body =
           match stage dst body with
@@ -175,7 +185,7 @@ module Socket = struct
      conns.(i).(j) is the descriptor endpoint i uses to exchange
      frames with endpoint j — and returns the endpoint array, owning
      the teardown protocol and the group's poller thread. *)
-  let spin_up ~trace ~m ~mailboxes ~counters ~conns =
+  let spin_up ~fault ~trace ~m ~mailboxes ~counters ~conns =
     let closed = Atomic.make false in
     (* Teardown protocol: [close_all] only *shuts down* every socket —
        that wakes any read blocked in the poller and fails any write in
@@ -297,20 +307,58 @@ module Socket = struct
           Bytes.blit body 0 buf Frame.length_prefix_bytes len;
           buf
         in
+        (* Fault decisions mirror the memory backend exactly — charge
+           the frame *before* deciding (a dropped frame still counts as
+           transmitted, so the framing closed form survives faults),
+           then lose, hold or double the actual write. *)
+        let classify dst body =
+          count_frame body;
+          match Fault.decide fault ~src:self ~dst with
+          | Fault.Deliver -> [ prefixed body ]
+          | Fault.Drop ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst);
+            []
+          | Fault.Delay d ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label
+                (Printf.sprintf "fault.delay %.3fs ->#%d" d dst);
+            let buf = prefixed body in
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Thread.delay d;
+                   match conn_to dst with
+                   | c -> ( try locked_write c buf with Closed -> ())
+                   | exception Closed -> ())
+                 ());
+            []
+          | Fault.Duplicate ->
+            count_frame body;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.dup ->#%d" dst);
+            let buf = prefixed body in
+            [ buf; buf ]
+        in
         let send dst body =
           let c = conn_to dst in
-          count_frame body;
-          locked_write c (prefixed body)
+          match classify dst body with
+          | [] -> ()
+          | [ buf ] -> locked_write c buf
+          | bufs -> locked_write c (Bytes.concat Bytes.empty bufs)
         in
         (* A whole round's frames to one peer in a single write: one
            syscall, one poller wakeup, one burst read at the far end. *)
         let send_many dst bodies =
           match bodies with
           | [] -> ()
-          | bodies ->
+          | bodies -> (
             let c = conn_to dst in
-            List.iter count_frame bodies;
-            locked_write c (Bytes.concat Bytes.empty (List.map prefixed bodies))
+            match List.concat_map (classify dst) bodies with
+            | [] -> ()
+            | bufs -> locked_write c (Bytes.concat Bytes.empty bufs))
         in
         {
           self;
@@ -322,7 +370,7 @@ module Socket = struct
           sent_bytes = (fun () -> Atomic.get counters.(self));
         })
 
-  let create_group ?(trace = Spe_obs.Trace.disabled ()) ~addresses () =
+  let create_group ?(fault = Fault.none) ?(trace = Spe_obs.Trace.disabled ()) ~addresses () =
     Lazy.force ignore_sigpipe;
     let m = Array.length addresses in
     if m < 2 then invalid_arg "Transport.Socket.create_group: need at least two endpoints";
@@ -378,7 +426,7 @@ module Socket = struct
         | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
         | Tcp _ -> ())
       addresses;
-    spin_up ~trace ~m ~mailboxes ~counters ~conns
+    spin_up ~fault ~trace ~m ~mailboxes ~counters ~conns
 
   (* Same engine — kernel stream sockets, frames, poller, teardown —
      minus the rendezvous: every pair is joined by [Unix.socketpair],
@@ -387,7 +435,7 @@ module Socket = struct
      fresh group per shard session, and at that rate the addressed
      handshake (~0.7 ms per group) would dominate the very latency
      overlap sharding exists to buy. *)
-  let create_group_local ?(trace = Spe_obs.Trace.disabled ()) ~m () =
+  let create_group_local ?(fault = Fault.none) ?(trace = Spe_obs.Trace.disabled ()) ~m () =
     Lazy.force ignore_sigpipe;
     if m < 2 then
       invalid_arg "Transport.Socket.create_group_local: need at least two endpoints";
@@ -401,7 +449,7 @@ module Socket = struct
         conns.(j).(i) <- Some (conn_of b)
       done
     done;
-    spin_up ~trace ~m ~mailboxes ~counters ~conns
+    spin_up ~fault ~trace ~m ~mailboxes ~counters ~conns
 
   (* One rendezvous directory per process, group sockets numbered
      within it — a fresh [Filename.temp_dir] per group costs directory

@@ -28,7 +28,7 @@ type t = {
       (** [send_many dst bodies] transmits the frame bodies in order to
           peer [dst], equivalent to [List.iter (send dst) bodies] —
           same per-frame byte accounting, same per-frame fault
-          decisions on {!Memory} — but batched into one transport
+          decisions on both backends — but batched into one transport
           operation (one locked write on {!Socket}, one mailbox lock on
           {!Memory}).  [send_many dst []] is a no-op. *)
   recv : deadline:float -> bytes option;
@@ -53,7 +53,10 @@ module Memory : sig
       [Transport_bytes] counter by its full framed cost and every fault
       decision records a [Faults_dropped]/[Faults_delayed] count plus a
       note — endpoints are labelled ["#i"] by group index, the only
-      identity this layer has. *)
+      identity this layer has.  A {!Fault.Duplicate} decision charges
+      and delivers the frame twice; drops and delays charge the frame
+      once *before* the decision, so the framing closed form holds on
+      faulted paths too. *)
 end
 
 module Socket : sig
@@ -61,7 +64,8 @@ module Socket : sig
     | Unix_domain of string  (** Socket file path (created, not unlinked). *)
     | Tcp of string * int  (** Host, port — loopback in tests. *)
 
-  val create_group : ?trace:Spe_obs.Trace.t -> addresses:address array -> unit -> t array
+  val create_group :
+    ?fault:Fault.t -> ?trace:Spe_obs.Trace.t -> addresses:address array -> unit -> t array
   (** A fully-connected group over real stream sockets: endpoint [i]
       listens on [addresses.(i)], every pair is connected once (the
       higher index dials the lower and introduces itself with a
@@ -74,9 +78,18 @@ module Socket : sig
 
       When [trace] is recording, every byte written — handshake frames
       at dial time included — lands on the [Transport_bytes] counter,
-      labelled ["#i"] by group index. *)
+      labelled ["#i"] by group index.
 
-  val create_group_local : ?trace:Spe_obs.Trace.t -> m:int -> unit -> t array
+      [fault] (default {!Fault.none}) applies the same per-frame policy
+      the memory backend applies, with identical accounting: the frame
+      is charged before the decision, a [Drop] skips the write, a
+      [Delay] performs the write from a helper thread after the hold
+      time (swallowed if the group closed meanwhile), and a [Duplicate]
+      writes and charges the frame twice.  Handshake frames are never
+      subject to faults. *)
+
+  val create_group_local :
+    ?fault:Fault.t -> ?trace:Spe_obs.Trace.t -> m:int -> unit -> t array
   (** Like {!create_group} but every pair is joined by a kernel
       [socketpair] instead of a dialled connection: same stream
       sockets, frames, poller and teardown, but no listener, no Hello

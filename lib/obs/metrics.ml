@@ -22,6 +22,7 @@ type shard_row = {
 type report = {
   protocol : string;
   engine : string;
+  schedule : string option;
   parties : int;
   rounds : int;
   messages : int;
@@ -45,7 +46,7 @@ let bucket_of n =
   let rec go b = if b >= n then b else go (b * 2) in
   go 1
 
-let of_trace ~protocol ~engine ~parties trace =
+let of_trace ?schedule ~protocol ~engine ~parties trace =
   let events = Trace.events trace in
   (* Counter totals, and whether each byte counter appeared at all
      (zero-delta counts are never recorded, so presence means the
@@ -218,6 +219,7 @@ let of_trace ~protocol ~engine ~parties trace =
   {
     protocol;
     engine;
+    schedule;
     parties;
     rounds = Hashtbl.length msg_rounds;
     messages = !messages;
@@ -326,6 +328,12 @@ let merge reports =
     {
       protocol = first.protocol;
       engine = first.engine;
+      schedule =
+        (* Shards of one chaos run share a schedule; the first one
+           recorded wins. *)
+        List.fold_left
+          (fun acc r -> match acc with Some _ -> acc | None -> r.schedule)
+          None reports;
       parties = List.fold_left (fun acc r -> max acc r.parties) 0 reports;
       rounds = sum (fun r -> r.rounds);
       messages = sum (fun r -> r.messages);

@@ -44,6 +44,11 @@ type shard_row = {
 type report = {
   protocol : string;
   engine : string;  (** [central], [sim], [memory] or [socket]. *)
+  schedule : string option;
+      (** The fault-schedule id ([Spe_chaos.Schedule.id]) when the run
+          executed under an injected chaos schedule; [None] for normal
+          runs.  Ties a metrics document back to the exact reproducible
+          fault script that produced it. *)
   parties : int;
   rounds : int;  (** NR: distinct engine rounds that carried messages. *)
   messages : int;  (** NM: messages first transmitted. *)
@@ -69,11 +74,13 @@ type report = {
           {!merge} populates it). *)
 }
 
-val of_trace : protocol:string -> engine:string -> parties:int -> Trace.t -> report
+val of_trace :
+  ?schedule:string -> protocol:string -> engine:string -> parties:int -> Trace.t -> report
 (** Aggregate everything the trace recorded.  Counters missing from the
     trace aggregate to zero ([None] for the optional byte totals);
     rounds are attributed to phases via {!Trace.phase_of_round}.
-    [shards] is always [[]]. *)
+    [shards] is always [[]]; [schedule] (default [None]) stamps the
+    report with a chaos-schedule id. *)
 
 val merge : report list -> report
 (** Merge per-shard reports of one sharded execution into a single
@@ -86,7 +93,8 @@ val merge : report list -> report
     concurrently, so this exceeds the observed wall clock).  [shards]
     gets one {!shard_row} per input, in order.  [protocol]/[engine] are
     taken from the first report; [parties] is the max (shards share the
-    party set).  Raises [Invalid_argument] on an empty list. *)
+    party set); [schedule] is the first [Some] (shards of one chaos run
+    share a schedule).  Raises [Invalid_argument] on an empty list. *)
 
 val equal_accounting : report -> messages:int -> payload_bytes:int -> bool
 (** [equal_accounting r ~messages ~payload_bytes] — do the report's NM

@@ -328,12 +328,27 @@ let as_list key j =
 
 let opt_int = function None -> Json.Null | Some i -> Json.Int i
 
+(* [schedule] is optional in the document, not nullable: absent for
+   normal runs, present for chaos runs.  Absence keeps every
+   pre-existing spe-metrics/2 document valid. *)
+let as_string_opt_member key j =
+  match j with
+  | Json.Obj fields -> (
+    match List.assoc_opt key fields with
+    | None | Some Json.Null -> None
+    | Some (Json.String s) -> Some s
+    | Some _ -> failwith (Printf.sprintf "Obs_io: field %S must be a string" key))
+  | _ -> failwith (Printf.sprintf "Obs_io: field %S access on a non-object" key)
+
 let report_to_json (r : Metrics.report) =
   Json.Obj
-    [
-      ("schema", Json.String schema);
-      ("protocol", Json.String r.protocol);
-      ("engine", Json.String r.engine);
+    ([
+       ("schema", Json.String schema);
+       ("protocol", Json.String r.protocol);
+       ("engine", Json.String r.engine);
+     ]
+    @ (match r.schedule with None -> [] | Some s -> [ ("schedule", Json.String s) ])
+    @ [
       ("parties", Json.Int r.parties);
       ("rounds", Json.Int r.rounds);
       ("messages", Json.Int r.messages);
@@ -392,7 +407,7 @@ let report_to_json (r : Metrics.report) =
                    ("wall_s", Json.Float s.wall_s);
                  ])
              r.shards) );
-    ]
+    ])
 
 let report_of_json j : Metrics.report =
   let tag = as_string "schema" j in
@@ -404,6 +419,7 @@ let report_of_json j : Metrics.report =
   {
     protocol = as_string "protocol" j;
     engine = as_string "engine" j;
+    schedule = as_string_opt_member "schedule" j;
     parties = as_int "parties" j;
     rounds = as_int "rounds" j;
     messages = as_int "messages" j;
@@ -465,7 +481,8 @@ let report_of_string s = report_of_json (Json.of_string s)
 let report_to_text (r : Metrics.report) =
   let buf = Buffer.create 512 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  p "protocol %-18s engine %-8s parties %d\n" r.protocol r.engine r.parties;
+  p "protocol %-18s engine %-8s parties %d%s\n" r.protocol r.engine r.parties
+    (match r.schedule with Some s -> Printf.sprintf "  schedule %s" s | None -> "");
   p "  rounds (NR)      %d\n" r.rounds;
   p "  messages (NM)    %d\n" r.messages;
   p "  payload bytes    %d  (MS = %d bits)\n" r.payload_bytes (8 * r.payload_bytes);

@@ -7,9 +7,12 @@
 
     - {!schema} ([spe-metrics/2]): one {!Metrics.report}, as emitted by
       [spe ... --metrics json] — [spe-metrics/1] plus the [shards]
-      table of sharded executions.  The reader also accepts
-      {!schema_v1} documents (their [shards] read back as [[]]).
-      Field-by-field documentation lives in [OBSERVABILITY.md].
+      table of sharded executions and the optional [schedule] field
+      (the chaos-schedule id, written only when the run executed under
+      one; its absence keeps older documents valid).  The reader also
+      accepts {!schema_v1} documents (their [shards] read back as
+      [[]]).  Field-by-field documentation lives in
+      [OBSERVABILITY.md].
     - {!bench_schema} ([spe-bench/1]): a bench trajectory file
       ([BENCH_protocols.json]) whose [rows] are metrics reports.
 

@@ -43,6 +43,12 @@ let make ~recording ~clock =
 
 let create ?(clock = Unix.gettimeofday) () = make ~recording:true ~clock
 
+let ticking ?(step = 0.5) () =
+  let t = ref (-.step) in
+  fun () ->
+    t := !t +. step;
+    !t
+
 let disabled () = make ~recording:false ~clock:Unix.gettimeofday
 
 let enabled t = t.recording

@@ -61,7 +61,16 @@ type t
 
 val create : ?clock:(unit -> float) -> unit -> t
 (** A fresh recording trace.  [clock] defaults to [Unix.gettimeofday];
-    tests inject a deterministic clock. *)
+    tests inject a deterministic clock such as {!ticking}. *)
+
+val ticking : ?step:float -> unit -> unit -> float
+(** A deterministic virtual clock: each call returns [step] (default
+    0.5) more than the last, starting at 0.  [create
+    ~clock:(ticking ())] therefore yields a trace whose timestamps
+    depend only on the event {e order}, never on the wall clock — the
+    seam the chaos harness and the trace tests use to make recorded
+    timings reproducible.  Each call to [ticking] makes an independent
+    clock. *)
 
 val disabled : unit -> t
 (** A trace that records no events (so instrumentation stays near-free)

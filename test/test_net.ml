@@ -797,6 +797,53 @@ let test_pool_stall_cancels_siblings () =
     true
     (elapsed < 20. *. fast.Endpoint.round_timeout)
 
+(* The full Protocol 4 exclusive pipeline under a seeded lossy link
+   layer: every seeded drop is recovered by the Nack/retransmit
+   machinery, so the memory-engine result stays bit-identical to the
+   fault-free simulated run, first-transmission accounting still
+   matches the simulated wire exactly, and the transport-byte total
+   sits at or above the fault-free framing closed form (retransmissions
+   only ever add bytes). *)
+let test_links_seeded_faults_memory () =
+  let seed = 211 and n = 24 and edges = 70 and actions = 10 and m = 3 in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let config = Protocol4.default_config ~h:2 in
+  let session () =
+    Driver_distributed.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs
+      config
+  in
+  let w = Wire.create () in
+  let sim = Session.run (session ()) ~wire:w in
+  let sim_stats = Wire.stats w in
+  let fault =
+    Fault.seeded (State.create ~seed:4242 ()) ~drop:0.01 ~delay:0.02 ~max_delay:0.05
+  in
+  let trace = Spe_obs.Trace.create () in
+  let (result : Protocol4.result), res =
+    Endpoint.run_session_memory ~config:fast ~fault ~trace (session ())
+  in
+  Alcotest.(check bool) "lossy memory links: result bit-identical to the fault-free sim"
+    true
+    (result.Protocol4.strengths = sim.Protocol4.strengths
+    && result.Protocol4.pair_estimates = sim.Protocol4.pair_estimates
+    && result.Protocol4.pairs = sim.Protocol4.pairs);
+  Alcotest.(check bool) "lossy memory links: NR/NM/MS identical to sim" true
+    (Wire.stats (Net_wire.merge (logs_of res)) = sim_stats);
+  let report =
+    Spe_obs.Metrics.of_trace ~protocol:"links" ~engine:"memory" ~parties:(m + 1) trace
+  in
+  Alcotest.(check bool) "the seed produced losses and recoveries" true
+    (report.Spe_obs.Metrics.faults_dropped >= 1
+    && report.Spe_obs.Metrics.retransmits >= 1);
+  let totals = Net_wire.totals (logs_of res) in
+  let rounds =
+    Array.fold_left (fun acc o -> max acc o.Endpoint.rounds) 0 res.Endpoint.outcomes
+  in
+  Alcotest.(check bool) "transport bytes at or above the closed form" true
+    (res.Endpoint.transport_bytes
+    >= expected_transport_bytes ~m:(m + 1) ~rounds
+         ~data_framed:totals.Net_wire.framed_bytes ~hellos:false)
+
 (* ------------------------------------------------------------------------------ *)
 
 let () =
@@ -849,6 +896,8 @@ let () =
             test_delayed_frame_reorders_and_recovers;
           Alcotest.test_case "blackhole times out cleanly" `Quick
             test_blackhole_times_out_cleanly;
+          Alcotest.test_case "links pipeline under seeded loss" `Quick
+            test_links_seeded_faults_memory;
         ] );
       ( "sharding",
         [

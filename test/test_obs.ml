@@ -25,13 +25,9 @@ module Trace = Spe_obs.Trace
 module Metrics = Spe_obs.Metrics
 module Obs_io = Spe_obs.Obs_io
 
-(* A deterministic clock: every read advances by [step]. *)
-let ticking ?(step = 0.5) () =
-  let t = ref 0. in
-  fun () ->
-    let now = !t in
-    t := now +. step;
-    now
+(* A deterministic clock: every read advances by [step] — the library's
+   own virtual-clock seam (also what the chaos harness injects). *)
+let ticking = Trace.ticking
 
 (* --- the trace model ------------------------------------------------------- *)
 
@@ -477,6 +473,130 @@ let test_fault_accounting () =
     (report.Metrics.nacks >= 1 && report.Metrics.retransmits >= 1
     && report.Metrics.timeouts >= 1)
 
+(* --- qcheck: merge is a commutative monoid on shard reports --------------- *)
+
+(* Metrics.merge is only ever called on a flat list of per-shard
+   of_trace reports, but its algebra should still be sane: merging is
+   associative and commutative, and the empty report is an identity.
+   Compared modulo the per-input [shards] table (re-derived by every
+   merge) and phase-row order (first-appearance order is intentionally
+   input-order dependent).  Wall times are multiples of 0.5 so float
+   summation is exact and associativity holds bit-for-bit. *)
+
+let canon (r : Metrics.report) =
+  {
+    r with
+    Metrics.phases =
+      List.sort
+        (fun (p : Metrics.phase_row) q -> compare p.Metrics.phase q.Metrics.phase)
+        r.Metrics.phases;
+    shards = [];
+  }
+
+let empty_report =
+  {
+    Metrics.protocol = "links";
+    engine = "memory";
+    schedule = None;
+    parties = 0;
+    rounds = 0;
+    messages = 0;
+    payload_bytes = 0;
+    framed_bytes = None;
+    transport_bytes = None;
+    retransmits = 0;
+    nacks = 0;
+    timeouts = 0;
+    faults_dropped = 0;
+    faults_delayed = 0;
+    wall_s = 0.;
+    phases = [];
+    compute = [];
+    payload_hist = [];
+    shards = [];
+  }
+
+let report_arb =
+  let open QCheck.Gen in
+  let small = int_bound 50 in
+  let halves = map (fun k -> 0.5 *. float_of_int k) (int_bound 20) in
+  let phase_row =
+    oneofl [ "publish"; "core"; "verdict" ] >>= fun phase ->
+    small >>= fun rounds ->
+    small >>= fun messages ->
+    small >>= fun payload_bytes ->
+    halves >>= fun wall_s -> return { Metrics.phase; rounds; messages; payload_bytes; wall_s }
+  in
+  let compute_row =
+    oneofl [ "Host"; "P1"; "P2" ] >>= fun party ->
+    small >>= fun calls ->
+    halves >>= fun total_s ->
+    halves >>= fun max_s -> return { Metrics.party; calls; total_s; max_s }
+  in
+  let hist_bucket =
+    oneofl [ 8; 16; 32; 64 ] >>= fun le_bytes ->
+    small >>= fun count -> return { Metrics.le_bytes; count }
+  in
+  let gen =
+    small >>= fun rounds ->
+    small >>= fun messages ->
+    small >>= fun payload_bytes ->
+    opt small >>= fun framed_bytes ->
+    opt small >>= fun transport_bytes ->
+    small >>= fun retransmits ->
+    small >>= fun nacks ->
+    small >>= fun timeouts ->
+    small >>= fun faults_dropped ->
+    small >>= fun faults_delayed ->
+    halves >>= fun wall_s ->
+    int_range 1 5 >>= fun parties ->
+    bool >>= fun scheduled ->
+    list_size (int_bound 3) phase_row >>= fun phases ->
+    list_size (int_bound 3) compute_row >>= fun compute ->
+    list_size (int_bound 3) hist_bucket >>= fun payload_hist ->
+    return
+      {
+        empty_report with
+        Metrics.parties;
+        rounds;
+        messages;
+        payload_bytes;
+        framed_bytes;
+        transport_bytes;
+        retransmits;
+        nacks;
+        timeouts;
+        faults_dropped;
+        faults_delayed;
+        wall_s;
+        (* One fixed id: shards of one chaos run share their schedule,
+           so commutativity of "first Some wins" is only expected when
+           every Some agrees. *)
+        schedule = (if scheduled then Some "deadbeefcafe" else None);
+        phases;
+        compute;
+        payload_hist;
+      }
+  in
+  QCheck.make ~print:Obs_io.report_to_string gen
+
+let merge_associates =
+  QCheck.Test.make ~name:"Metrics.merge associates" ~count:200
+    (QCheck.triple report_arb report_arb report_arb) (fun (a, b, c) ->
+      let flat = canon (Metrics.merge [ a; b; c ]) in
+      canon (Metrics.merge [ Metrics.merge [ a; b ]; c ]) = flat
+      && canon (Metrics.merge [ a; Metrics.merge [ b; c ] ]) = flat)
+
+let merge_commutes =
+  QCheck.Test.make ~name:"Metrics.merge commutes" ~count:200
+    (QCheck.pair report_arb report_arb) (fun (a, b) ->
+      canon (Metrics.merge [ a; b ]) = canon (Metrics.merge [ b; a ]))
+
+let merge_identity =
+  QCheck.Test.make ~name:"Metrics.merge has an identity" ~count:200 report_arb (fun a ->
+      canon (Metrics.merge [ a; empty_report ]) = canon (Metrics.merge [ a ])
+      && canon (Metrics.merge [ empty_report; a ]) = canon (Metrics.merge [ a ]))
+
 let () =
   Alcotest.run "spe_obs"
     [
@@ -492,6 +612,10 @@ let () =
           Alcotest.test_case "synthetic aggregation" `Quick test_metrics_synthetic;
           Alcotest.test_case "shard merge" `Quick test_metrics_merge;
         ] );
+      ( "merge laws",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 2026 |]))
+          [ merge_associates; merge_commutes; merge_identity ] );
       ( "json",
         [
           Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
