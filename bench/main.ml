@@ -670,9 +670,141 @@ let sharding_reports () =
         [ `Sim; `Memory; `Socket ])
     [ 1; 2; 4; 8 ]
 
+(* Serve ablation: the same 50-job links load submitted two ways — a
+   fresh addressed socket group per job (every session pays the
+   connection rendezvous again) vs one persistent spe-serve deployment
+   (the mesh's Hello exchange is paid once per connection, jobs
+   multiplex over it and pipeline through H's bounded queue).  Both
+   rows land in BENCH_protocols.json; the daemon row's report is the
+   deployment's own cumulative scrape report (what `spe scrape`
+   serves), relabelled for the trajectory. *)
+let serve_reports () =
+  let module Schedule = Spe_chaos.Schedule in
+  let module Harness = Spe_chaos.Harness in
+  let module Proto = Spe_serve.Serve_proto in
+  let module Job = Spe_serve.Job in
+  let module Daemon = Spe_serve.Daemon in
+  let module Client = Spe_serve.Client in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Plan = Spe_core.Plan in
+  let module Shard = Spe_core.Shard in
+  let module Metrics = Spe_obs.Metrics in
+  let module Transport = Spe_net.Transport in
+  let jobs = 50 in
+  let protocol = "links-50jobs" in
+  let workload = { Schedule.wseed = 11; users = 12; edges = 30; actions = 6; providers = 2 } in
+  let graph, logs = Harness.workload_inputs workload in
+  let m = Array.length logs in
+  let pseed = workload.Schedule.wseed + 1 in
+  let config = Protocol4.default_config ~h:2 in
+  let pool_config =
+    { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+  in
+  (* Row 1: per-job spawn, sequential — each job stands its sessions'
+     socket groups up from scratch and tears them down again. *)
+  let respawn_reports = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for _job = 1 to jobs do
+    let plan =
+      Shard.links_exclusive (State.create ~seed:pseed ()) ~graph ~logs ~shards:2 config
+    in
+    List.iter
+      (fun (stage : Plan.stage) ->
+        let traces = Array.map (fun _ -> Spe_obs.Trace.create ()) stage.Plan.sessions in
+        let out =
+          Endpoint.run_sessions_socket ~config:pool_config ~workers:4 ~traces
+            stage.Plan.sessions
+        in
+        Array.iteri
+          (fun i ((), (_ : Endpoint.result)) ->
+            respawn_reports :=
+              Metrics.of_trace ~protocol ~engine:"respawn"
+                ~parties:(Array.length stage.Plan.sessions.(i).Spe_mpc.Session.parties)
+                traces.(i)
+              :: !respawn_reports)
+          out)
+      plan.Plan.stages;
+    ignore (plan.Plan.result ())
+  done;
+  let respawn_wall = Unix.gettimeofday () -. t0 in
+  let respawn =
+    { (Metrics.merge (List.rev !respawn_reports)) with Metrics.wall_s = respawn_wall }
+  in
+  (* Row 2: one persistent deployment, all 50 jobs pipelined at once
+     through H's admission queue. *)
+  let roster = Transport.Socket.temp_unix_addresses ~m:(m + 1) in
+  let maddrs = Transport.Socket.temp_unix_addresses ~m:(m + 1) in
+  let daemons =
+    Array.init (m + 1) (fun party ->
+        Daemon.start
+          {
+            (Daemon.default_config ~party ~roster) with
+            Daemon.metrics_addr = Some maddrs.(party);
+            round_timeout = 60.;
+            linger = 61.;
+            dial_timeout = 15.;
+          }
+          { Job.graph; logs })
+  in
+  let client = Client.connect ~retry_for:10. roster.(0) in
+  let spec =
+    {
+      Proto.pipeline = Proto.Links;
+      seed = pseed;
+      shards = 2;
+      h = 2;
+      c_factor = 2.;
+      modulus_bits = 40;
+      tau = 1;
+      key_bits = 16;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Client.run_jobs client
+      (List.init jobs (fun _ -> spec))
+      ~deadline:(Unix.gettimeofday () +. 300.)
+  in
+  let daemon_wall = Unix.gettimeofday () -. t0 in
+  let completed =
+    List.length
+      (List.filter
+         (function Client.Result (Proto.Strengths _) -> true | _ -> false)
+         outcomes)
+  in
+  assert (completed = jobs);
+  let hellos =
+    Array.fold_left
+      (fun acc d ->
+        acc
+        + match List.assoc_opt "hellos_received" (Daemon.gauges d) with
+          | Some v -> v
+          | None -> 0)
+      0 daemons
+  in
+  let reports = Array.to_list daemons |> List.filter_map Daemon.report in
+  Client.close client;
+  ignore (Client.shutdown_roster ~timeout:15. roster);
+  Array.iter Daemon.wait daemons;
+  assert (reports <> []);
+  let daemon_row =
+    { (Metrics.merge reports) with Metrics.protocol; engine = "daemon"; wall_s = daemon_wall }
+  in
+  Printf.printf
+    "serve ablation (%d links jobs, m = %d): per-job spawn %.2f s (%.0f ms/job),\n\
+     persistent daemons %.2f s (%.0f ms/job, %.1fx); %d mesh hellos total for the\n\
+     whole deployment — one per connection — vs a fresh rendezvous per session\n\
+     per job when respawning.\n\n"
+    jobs m respawn_wall
+    (1000. *. respawn_wall /. float_of_int jobs)
+    daemon_wall
+    (1000. *. daemon_wall /. float_of_int jobs)
+    (respawn_wall /. daemon_wall) hellos;
+  [ respawn; daemon_row ]
+
 let bench_rows () =
   section "Bench trajectory - one spe-metrics/2 row per (pipeline, engine)";
-  let reports = pipeline_reports () @ sharding_reports () in
+  let reports = pipeline_reports () @ sharding_reports () @ serve_reports () in
   Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
     "payload (B)" "on-wire (B)" "wall (s)";
   List.iter

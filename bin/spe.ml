@@ -22,6 +22,10 @@ module Posterior = Spe_privacy.Posterior
 module Gain = Spe_privacy.Gain
 module Leakage = Spe_privacy.Leakage
 module Model = Spe_cost.Model
+module Serve_addr = Spe_serve.Addr
+module Serve_client = Spe_serve.Client
+module Serve_proto = Spe_serve.Serve_proto
+module Serve_daemon = Spe_serve.Daemon
 
 open Cmdliner
 
@@ -57,6 +61,102 @@ let modulus_bits_arg =
 
 let top_arg =
   Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"How many results to print.")
+
+(* Optional variants of --graph/--log for the commands that can instead
+   talk to live daemons (--connect): the daemons own the workload, so
+   the files are only required for in-process runs. *)
+let graph_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "graph" ] ~docv:"FILE"
+        ~doc:"Social graph file (see spe generate).  Required unless --connect.")
+
+let logs_opt_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Provider action-log file; repeat once per provider.  Required unless \
+           --connect.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Submit the computation as a job to a live host daemon (spe serve) at ADDR \
+           (HOST:PORT or unix:PATH) instead of running the parties in-process.  The \
+           daemons own the workload, so --graph/--log are not used; --seed, --shards \
+           and the protocol parameters travel in the job spec.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "With --connect: submit N identical jobs (pipelined over one connection) and \
+           require every reply to agree — an end-to-end determinism check against a \
+           live deployment.")
+
+(* Submit a spec to a live deployment and hand the first successful
+   reply to [print].  Every failure path is a clean message and a
+   nonzero exit: address parse errors are usage errors, connection and
+   job failures are runtime errors — never a raw [Unix_error]. *)
+let run_connect ~addr_spec ~jobs spec ~print =
+  if jobs < 1 then `Error (true, "--jobs must be at least 1")
+  else
+    match Serve_addr.parse addr_spec with
+    | Error msg -> `Error (true, "--connect " ^ msg)
+    | Ok addr -> (
+      match Serve_client.connect ~retry_for:5. addr with
+      | exception Serve_client.Connection_lost msg -> `Error (false, msg)
+      | client -> (
+        let outcomes =
+          try
+            Ok
+              (Serve_client.run_jobs client
+                 (List.init jobs (fun _ -> spec))
+                 ~deadline:(Unix.gettimeofday () +. 600.))
+          with Serve_client.Connection_lost msg -> Error msg
+        in
+        Serve_client.close client;
+        match outcomes with
+        | Error msg -> `Error (false, msg)
+        | Ok outcomes -> (
+          let ok, busy, failed =
+            List.fold_left
+              (fun (ok, busy, failed) outcome ->
+                match outcome with
+                | Serve_client.Busy { queued; max_queue } ->
+                  ( ok,
+                    Printf.sprintf "busy: %d jobs queued of %d" queued max_queue :: busy,
+                    failed )
+                | Serve_client.Result (Serve_proto.Failed { kind; detail }) ->
+                  ( ok,
+                    busy,
+                    Printf.sprintf "%s: %s" (Serve_proto.failure_kind_name kind) detail
+                    :: failed )
+                | Serve_client.Result reply -> (reply :: ok, busy, failed))
+              ([], [], []) outcomes
+          in
+          match (ok, busy, failed) with
+          | first :: rest, [], [] ->
+            if List.for_all (fun r -> r = first) rest then begin
+              print first;
+              if jobs > 1 then
+                Printf.printf "%d jobs over one daemon connection, all replies identical\n"
+                  jobs;
+              `Ok ()
+            end
+            else `Error (false, "daemon replies disagree across identical jobs")
+          | _ ->
+            let detail = List.sort_uniq compare (busy @ failed) in
+            `Error
+              ( false,
+                Printf.sprintf "%d of %d jobs did not complete: %s" (List.length busy + List.length failed)
+                  jobs (String.concat "; " detail) ))))
 
 let wire_summary (w : Wire.stats) =
   Printf.printf "communication: %d rounds, %d messages, %.1f KiB\n" w.Wire.rounds
@@ -444,17 +544,59 @@ let links_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full strength list to FILE.")
   in
+  let print_strengths ~top strengths =
+    let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
+    Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
+    List.iteri
+      (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
+      sorted
+  in
   let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
-      transport shards workers show_transcript trace_file metrics out =
+      transport shards workers show_transcript trace_file metrics out connect jobs =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
-      else if transport = `Central && shards > 1 then
+      else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
     with
     | Some msg -> `Error (true, msg)
     | None ->
+    match connect with
+    | Some addr_spec ->
+      if decay <> None || spec_path <> None then
+        `Error (true, "--decay and --spec do not travel in a daemon job spec")
+      else if show_transcript || trace_file <> None || metrics <> None then
+        `Error
+          ( true,
+            "--transcript/--trace/--metrics are daemon-side with --connect; scrape the \
+             daemon's --metrics-addr instead" )
+      else
+        run_connect ~addr_spec ~jobs
+          {
+            Serve_proto.pipeline = Serve_proto.Links;
+            seed;
+            shards;
+            h;
+            c_factor;
+            modulus_bits;
+            tau = 1;
+            key_bits = 16;
+          }
+          ~print:(function
+            | Serve_proto.Strengths strengths ->
+              print_strengths ~top strengths;
+              (match out with
+              | None -> ()
+              | Some path ->
+                Spe_influence.Result_io.save_strengths strengths path;
+                Printf.printf "wrote %s\n" path)
+            | _ -> ())
+    | None ->
+    match (graph_path, log_paths) with
+    | None, _ -> `Error (true, "--graph is required when not using --connect")
+    | _, [] -> `Error (true, "--log is required when not using --connect")
+    | Some graph_path, log_paths ->
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let estimator =
@@ -520,11 +662,7 @@ let links_cmd =
           ( r.Protocol4.strengths, stats, transcript, net, Array.length logs + 1,
             stats.Wire.bits / 8, Some sections ))
     in
-    let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
-    Printf.printf "link influence strengths (top %d of %d):\n" top (List.length sorted);
-    List.iteri
-      (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
-      sorted;
+    print_strengths ~top strengths;
     (match out with
     | None -> ()
     | Some path ->
@@ -552,9 +690,10 @@ let links_cmd =
   let term =
     Term.(
       ret
-        (const run $ seed_arg $ graph_arg $ logs_arg $ h_arg $ c_arg $ modulus_bits_arg $ decay
-       $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ shards_arg
-       $ workers_arg $ transcript_arg $ trace_file_arg $ metrics_arg $ out_arg))
+        (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ h_arg $ c_arg $ modulus_bits_arg
+       $ decay $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ shards_arg
+       $ workers_arg $ transcript_arg $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg
+       $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "links"
@@ -581,17 +720,60 @@ let scores_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
   in
+  let print_scores ~top scores =
+    let idx = Array.init (Array.length scores) (fun i -> i) in
+    Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
+    Printf.printf "user influence scores (top %d):\n" top;
+    Array.iteri
+      (fun rank u ->
+        if rank < top then Printf.printf "  #%-3d user %-6d score %.3f\n" (rank + 1) u
+            scores.(u))
+      idx
+  in
   let run seed graph_path log_paths tau key_bits modulus_bits top transport shards workers
-      trace_file metrics out =
+      trace_file metrics out connect jobs =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
-      else if transport = `Central && shards > 1 then
+      else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
     with
     | Some msg -> `Error (true, msg)
     | None ->
+    match connect with
+    | Some addr_spec ->
+      if trace_file <> None || metrics <> None then
+        `Error
+          ( true,
+            "--trace/--metrics are daemon-side with --connect; scrape the daemon's \
+             --metrics-addr instead" )
+      else
+        run_connect ~addr_spec ~jobs
+          {
+            Serve_proto.pipeline = Serve_proto.Scores;
+            seed;
+            shards;
+            h = 1;
+            c_factor = 1.;
+            modulus_bits;
+            tau;
+            key_bits;
+          }
+          ~print:(function
+            | Serve_proto.Scores scores ->
+              print_scores ~top scores;
+              (match out with
+              | None -> ()
+              | Some path ->
+                Spe_influence.Result_io.save_scores scores path;
+                Printf.printf "wrote %s\n" path)
+            | _ -> ())
+    | None ->
+    match (graph_path, log_paths) with
+    | None, _ -> `Error (true, "--graph is required when not using --connect")
+    | _, [] -> `Error (true, "--log is required when not using --connect")
+    | Some graph_path, log_paths ->
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
     let config = { Protocol6.default_config with Protocol6.key_bits } in
@@ -631,14 +813,7 @@ let scores_cmd =
           ( r.Spe_core.Driver_distributed.scores, stats, net, Array.length logs + 1,
             stats.Wire.bits / 8, Some sections ))
     in
-    let idx = Array.init (Array.length scores) (fun i -> i) in
-    Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
-    Printf.printf "user influence scores (top %d):\n" top;
-    Array.iteri
-      (fun rank u ->
-        if rank < top then Printf.printf "  #%-3d user %-6d score %.3f\n" (rank + 1) u
-            scores.(u))
-      idx;
+    print_scores ~top scores;
     (match out with
     | None -> ()
     | Some path ->
@@ -657,9 +832,9 @@ let scores_cmd =
   in
   let term =
     Term.(
-      ret (const run $ seed_arg $ graph_arg $ logs_arg $ tau $ key_bits $ modulus_bits_arg
-         $ top_arg $ pipeline_transport_arg $ shards_arg $ workers_arg $ trace_file_arg
-         $ metrics_arg $ out_arg))
+      ret (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ tau $ key_bits
+         $ modulus_bits_arg $ top_arg $ pipeline_transport_arg $ shards_arg $ workers_arg
+         $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "scores"
@@ -1051,6 +1226,189 @@ let shares_cmd =
           wire) and compare the costs.")
     term
 
+(* --- spe serve / scrape / shutdown ---------------------------------------------------- *)
+
+(* Long-lived party daemons (lib/serve).  Each party of the deployment
+   runs one `spe serve` process; `spe links|scores --connect` submits
+   jobs to the host daemon; `spe scrape` reads a daemon's live metrics;
+   `spe shutdown` drains and stops a whole roster. *)
+
+let roster_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "roster" ] ~docv:"SPEC"
+        ~doc:
+          "Every party's daemon address, in any order: \
+           H=ADDR,P1=ADDR,...,Pm=ADDR where ADDR is HOST:PORT or unix:PATH.")
+
+let serve_cmd =
+  let party_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "party" ] ~docv:"P" ~doc:"Which party this daemon is: H, P1, P2, ...")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Bind override (default: this party's roster entry) — e.g. bind 0.0.0.0 \
+             while the roster advertises a hostname.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent pipeline jobs (worker threads at H; admission control bound).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Jobs allowed to wait past the active set; beyond it submissions get a \
+                typed busy reply.")
+  in
+  let metrics_addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Also serve live metrics (spe-serve-metrics/1: scheduler gauges plus the \
+             cumulative spe-metrics/2 report) at ADDR, over plain TCP or HTTP — see \
+             spe scrape and OBSERVABILITY.md.")
+  in
+  let run party roster listen max_sessions max_queue metrics_addr graph_path log_paths =
+    let ( let* ) r f = match r with Error msg -> `Error (true, msg) | Ok v -> f v in
+    let* party = Serve_addr.party_of_string party in
+    let* roster = Serve_addr.roster_of_string roster in
+    let* listen =
+      match listen with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Serve_addr.parse s)
+    in
+    let* metrics_addr =
+      match metrics_addr with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Serve_addr.parse s)
+    in
+    if party >= Array.length roster then
+      `Error
+        ( true,
+          Printf.sprintf "--party %s is outside the %d-party roster"
+            (Serve_addr.party_name party) (Array.length roster) )
+    else if List.length log_paths <> Array.length roster - 1 then
+      `Error
+        ( true,
+          Printf.sprintf
+            "the roster has %d providers but %d --log files were given; every daemon \
+             loads the full workload (the plan rebuild is what makes the deployment \
+             deterministic)"
+            (Array.length roster - 1) (List.length log_paths) )
+    else begin
+      let graph = Graph_io.load graph_path in
+      let logs = Array.of_list (List.map Log_io.load log_paths) in
+      let config =
+        {
+          (Serve_daemon.default_config ~party ~roster) with
+          Serve_daemon.listen;
+          max_sessions;
+          max_queue;
+          metrics_addr;
+        }
+      in
+      let shown = match listen with Some a -> a | None -> roster.(party) in
+      Printf.printf "spe-serve/1: %s listening on %s (%d parties, %d sessions, queue %d)%s\n%!"
+        (Serve_addr.party_name party)
+        (Serve_addr.to_string shown)
+        (Array.length roster) max_sessions max_queue
+        (match metrics_addr with
+        | Some a -> Printf.sprintf ", metrics on %s" (Serve_addr.to_string a)
+        | None -> "");
+      match Serve_daemon.run config { Spe_serve.Job.graph; logs } with
+      | () -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+      | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot serve on %s: %s"
+              (Serve_addr.to_string shown) (Unix.error_message err) )
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ party_arg $ roster_arg $ listen_arg $ max_sessions_arg $ max_queue_arg
+       $ metrics_addr_arg $ graph_arg $ logs_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one party as a long-lived daemon (spe-serve/1): connections to the peer \
+          daemons are established once and reused across every submitted pipeline job; \
+          the host daemon owns admission control.  Submit work with spe links|scores \
+          --connect.")
+    term
+
+let scrape_cmd =
+  let addr_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc:"A daemon's --metrics-addr endpoint.")
+  in
+  let run addr_spec =
+    match Serve_addr.parse addr_spec with
+    | Error msg -> `Error (true, "--connect " ^ msg)
+    | Ok addr -> (
+      match Serve_client.scrape addr with
+      | doc ->
+        print_string doc;
+        `Ok ()
+      | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot scrape %s: %s" (Serve_addr.to_string addr)
+              (Unix.error_message err) ))
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch a serve daemon's live metrics document (spe-serve-metrics/1) from its \
+          --metrics-addr.")
+    Term.(ret (const run $ addr_arg))
+
+let shutdown_cmd =
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"S" ~doc:"Per-daemon drain timeout in seconds.")
+  in
+  let run roster timeout =
+    match Serve_addr.roster_of_string roster with
+    | Error msg -> `Error (true, msg)
+    | Ok roster -> (
+      match Serve_client.shutdown_roster ~timeout roster with
+      | [] ->
+        Printf.printf "all %d daemons drained and stopped\n" (Array.length roster);
+        `Ok ()
+      | stragglers ->
+        `Error
+          ( false,
+            Printf.sprintf "daemon(s) did not confirm shutdown in %.0f s: %s" timeout
+              (String.concat ", " (List.map Serve_addr.party_name stragglers)) )
+      | exception Serve_client.Connection_lost msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:
+         "Gracefully stop a whole daemon roster: H first (it drains in-flight jobs and \
+          refuses queued ones with typed replies), then each provider.")
+    Term.(ret (const run $ roster_arg $ timeout_arg))
+
 (* --- spe chaos ------------------------------------------------------------------------ *)
 
 (* Deterministic fault campaigns over the sharded pipelines: generate
@@ -1095,7 +1453,17 @@ let chaos_cmd =
       & info [ "out-dir" ] ~docv:"DIR"
           ~doc:"Write each shrunk failing schedule to DIR/chaos-ID.json.")
   in
-  let run campaign seed replay target engine out_dir =
+  let daemon_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "daemon-kill" ]
+          ~doc:
+            "Fault at whole-party granularity: fork a live spe-serve deployment per \
+             seed, SIGKILL one provider daemon mid-burst, and check every client gets \
+             a typed reply (never a hang), surviving results match the central oracle, \
+             and the host keeps serving.  Uses --campaign N seeds and --target.")
+  in
+  let run campaign seed replay target engine out_dir daemon_kill =
     let read_file path =
       let ic = open_in_bin path in
       let n = in_channel_length ic in
@@ -1103,10 +1471,24 @@ let chaos_cmd =
       close_in ic;
       s
     in
+    let requested_pipeline =
+      match target with
+      | `Links -> Some Schedule.Links
+      | `Scores -> Some Schedule.Scores
+      | `Both -> None
+    in
     match replay with
+    | Some _ when daemon_kill ->
+      `Error (true, "--replay and --daemon-kill are mutually exclusive")
     | Some path -> (
       match Schedule.of_string (read_file path) with
       | exception Failure msg -> `Error (false, path ^ ": " ^ msg)
+      | sched when Result.is_error (Schedule.check_replay_target sched ~requested:requested_pipeline) ->
+        `Error
+          ( false,
+            path ^ ": "
+            ^ Result.fold ~ok:(fun () -> "") ~error:Fun.id
+                (Schedule.check_replay_target sched ~requested:requested_pipeline) )
       | sched -> (
         Printf.printf "replaying schedule %s: %s over %s, %d events (seed %d)\n%!"
           (Schedule.id sched)
@@ -1120,6 +1502,27 @@ let chaos_cmd =
           `Ok ()
         | Harness.Fail { oracle; detail } ->
           `Error (false, Printf.sprintf "invariant violation (%s): %s" oracle detail)))
+    | None when daemon_kill ->
+      let n = max campaign 1 in
+      let pipelines =
+        match requested_pipeline with
+        | Some p -> [ p ]
+        | None -> [ Schedule.Links; Schedule.Scores ]
+      in
+      let violations = ref 0 in
+      List.iter
+        (fun pipeline ->
+          for s = seed to seed + n - 1 do
+            Printf.printf "daemon-kill %s seed %d: %!" (Schedule.pipeline_name pipeline) s;
+            match Spe_chaos.Daemon_fault.run ~seed:s pipeline with
+            | Harness.Pass -> Printf.printf "pass\n%!"
+            | Harness.Fail { oracle; detail } ->
+              incr violations;
+              Printf.printf "%s violation: %s\n%!" oracle detail
+          done)
+        pipelines;
+      if !violations = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d invariant violation(s)" !violations)
     | None ->
       if campaign <= 0 then `Error (true, "use --campaign N or --replay FILE")
       else begin
@@ -1190,7 +1593,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ campaign_arg $ seed_arg $ replay_arg $ target_arg $ chaos_engine_arg
-       $ out_dir_arg))
+       $ out_dir_arg $ daemon_kill_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1209,5 +1612,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; chaos_cmd; privacy_cmd;
-            costs_cmd; leakage_cmd; em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))
+          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; serve_cmd; scrape_cmd;
+            shutdown_cmd; chaos_cmd; privacy_cmd; costs_cmd; leakage_cmd; em_cmd;
+            metrics_cmd; verify_cmd; shares_cmd ]))

@@ -1,0 +1,21 @@
+(** The daemon kill target: chaos at whole-party granularity.
+
+    Forks one {!Spe_serve.Daemon} per party over a temp unix-domain
+    roster, submits a burst of jobs, SIGKILLs one provider daemon
+    mid-flight, and judges the aftermath with the schedule harness's
+    oracle vocabulary:
+
+    - {b termination}: every job gets a reply within
+      {!Harness.wall_budget}, and every forked daemon is reaped — a
+      dead peer must never hang a client or leak a process.
+    - {b attribution}: failures carry a typed peer-death kind
+      ([Peer_down] / [Round_timeout] / [Shard_failed]), never a generic
+      rejection.
+    - {b result}: completed jobs are bit-identical to the central
+      [Driver] oracle.
+    - {b recovery}: a probe job submitted after the burst still gets a
+      typed reply — the host keeps serving with a dead provider. *)
+
+val run : ?jobs:int -> seed:int -> Schedule.pipeline -> Harness.outcome
+(** [jobs] (default 4) concurrent submissions; the seed picks which
+    provider dies.  Deterministic up to OS timing of the kill. *)

@@ -32,6 +32,19 @@ type failure = {
 
 type outcome = Pass | Fail of failure
 
+val wall_budget : float
+(** Seconds a run (or a daemon-fault campaign) may take before the
+    termination oracle calls it a hang. *)
+
+val workload_inputs :
+  Schedule.workload -> Spe_graph.Digraph.t * Spe_actionlog.Log.t array
+(** Regenerate a schedule's inputs from its workload parameters —
+    deterministic, so every harness (and every party daemon under
+    {!Daemon_fault}) derives the identical graph and provider logs. *)
+
+val default_workload : Schedule.pipeline -> Schedule.workload
+(** The small fixed workloads the campaigns run on. *)
+
 val generate : seed:int -> Schedule.pipeline -> Schedule.engine -> Schedule.t
 (** Draw a schedule from the seed: a handful of recoverable drops
     (capped at two per directed link so the Nack machinery can always

@@ -39,6 +39,20 @@ let schema = "spe-schedule/1"
 let pipeline_name = function Links -> "links" | Scores -> "scores"
 let engine_name = function Memory -> "memory" | Socket -> "socket"
 
+(* A replayed schedule pins its own pipeline; silently running it when
+   the operator asked for the other one would "pass" the wrong target.
+   [requested = None] means no restriction (--target both). *)
+let check_replay_target t ~requested =
+  match requested with
+  | None -> Ok ()
+  | Some p when p = t.pipeline -> Ok ()
+  | Some p ->
+    Error
+      (Printf.sprintf
+         "schedule targets the %s pipeline but --target %s was requested; rerun with \
+          --target %s (or both)"
+         (pipeline_name t.pipeline) (pipeline_name p) (pipeline_name t.pipeline))
+
 let skew t =
   List.fold_left
     (fun acc ev -> match ev with Skew { factor } -> acc *. factor | _ -> acc)

@@ -71,6 +71,11 @@ val pipeline_name : pipeline -> string
 val engine_name : engine -> string
 (** ["memory"] / ["socket"]. *)
 
+val check_replay_target : t -> requested:pipeline option -> (unit, string) result
+(** Refuse to replay a schedule under a mismatched [--target]: the
+    error names both the schedule's pipeline and the requested one.
+    [requested = None] (i.e. [--target both]) always passes. *)
+
 val skew : t -> float
 (** The product of every {!Skew} factor (1.0 when there are none). *)
 

@@ -258,6 +258,26 @@ let run_endpoint config trace (transport : Transport.t) parties program max_roun
   let rounds = loop 1 [] in
   { rounds; sent = List.rev !records }
 
+(* One party of a session over a caller-supplied transport — the
+   [Spe_serve] daemons drive exactly one seat of each session, with the
+   other seats living in other processes.  The phase map is installed
+   even on a disabled trace so a [Round_timeout] can name its phase. *)
+let run_party ?(config = default_config) ?(trace = Spe_obs.Trace.disabled ()) ~transport
+    ~(session : _ Session.t) ~index () =
+  let m = Array.length session.Session.parties in
+  if index < 0 || index >= m then invalid_arg "Endpoint.run_party: index out of range";
+  Spe_obs.Trace.set_phases trace session.Session.phases;
+  let outcome =
+    run_endpoint config trace transport session.Session.parties
+      session.Session.programs.(index)
+      (session.Session.rounds + 1) index
+  in
+  if outcome.rounds <> session.Session.rounds then
+    failwith
+      (Printf.sprintf "Endpoint.run_party: declared %d rounds but executed %d"
+         session.Session.rounds outcome.rounds);
+  outcome
+
 let run_group ?(config = default_config) ?(trace = Spe_obs.Trace.disabled ()) ~transports
     ~parties ~programs ~max_rounds () =
   let m = Array.length parties in

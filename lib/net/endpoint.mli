@@ -60,6 +60,25 @@ type result = {
           payloads, framing, barriers, handshakes, retransmissions. *)
 }
 
+val run_party :
+  ?config:config ->
+  ?trace:Spe_obs.Trace.t ->
+  transport:Transport.t ->
+  session:'r Spe_mpc.Session.t ->
+  index:int ->
+  unit ->
+  outcome
+(** Drive exactly one seat of a session on the calling thread, over a
+    caller-supplied transport whose group indices match the session's
+    party order — the building block for deployments where the other
+    seats live in other processes ([Spe_serve] daemons over a
+    session-multiplexed connection mesh, {!Mux}).  Installs the
+    session's phase map on [trace], enforces the declared round count
+    ([Failure] on mismatch), and raises exactly what {!run_group}'s
+    per-party loop raises ({!Round_timeout}, [Transport.Closed], ...).
+    The session's result thunk is {e not} called: only the seat that
+    owns the result state can read it. *)
+
 val run_group :
   ?config:config ->
   ?trace:Spe_obs.Trace.t ->

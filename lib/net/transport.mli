@@ -101,4 +101,24 @@ module Socket : sig
   val temp_unix_addresses : m:int -> address array
   (** Fresh Unix-domain socket paths in a private temporary directory,
       for tests and the CLI. *)
+
+  (** {2 Raw stream-socket helpers}
+
+      The length-prefixed frame discipline of this backend, exposed for
+      layers that run their own connections — the [Spe_serve] daemon
+      mesh speaks exactly these frames, so its byte accounting composes
+      with the group transports'. *)
+
+  val sockaddr_of : address -> Unix.sockaddr
+  (** The [Unix] address for {!address}.  Raises [Failure] on a TCP
+      host that is not a literal IP address. *)
+
+  val write_frame : Unix.file_descr -> bytes -> unit
+  (** Write one frame body with its length prefix, atomically with
+      respect to other [write_frame] calls on the same descriptor only
+      if the caller serialises them. *)
+
+  val read_frame : Unix.file_descr -> bytes option
+  (** Read one length-prefixed frame body; [None] on clean EOF before
+      the first byte, [Failure] on a torn stream. *)
 end

@@ -1,0 +1,138 @@
+(* A tiny pull-based scrape responder: one listener thread, one
+   render-and-close exchange per connection.
+
+   The daemon hands us [render]; every connection gets whatever it
+   returns at that moment.  Speaks both plain TCP (connect, read the
+   document, EOF) and just enough HTTP/1.0 for curl: if the client's
+   first bytes look like a request line we consume the header block and
+   wrap the document in a 200 response, otherwise the document is
+   written raw immediately.  Responses are one-shot — no keep-alive. *)
+
+type t = {
+  listener : Unix.file_descr;
+  stopped : bool ref;
+  lock : Mutex.t;
+  thread : Thread.t;
+}
+
+let rec really_write fd buf off len =
+  if len > 0 then begin
+    let n = try Unix.write fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    really_write fd buf (off + n) (len - n)
+  end
+
+let write_string fd s = really_write fd (Bytes.of_string s) 0 (String.length s)
+
+(* Wait briefly for request bytes; a plain-TCP scraper sends nothing,
+   so an idle descriptor means "just give me the document". *)
+let looks_like_http fd =
+  match Unix.select [ fd ] [] [] 0.05 with
+  | [], _, _ -> false
+  | _ ->
+    let buf = Bytes.create 1024 in
+    let n = try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+    n >= 3
+    &&
+    let line = Bytes.sub_string buf 0 n in
+    String.length line >= 4 && (String.sub line 0 4 = "GET " || String.sub line 0 4 = "HEAD")
+
+let serve_one render fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let http = looks_like_http fd in
+      let doc = render () in
+      if http then
+        write_string fd
+          (Printf.sprintf
+             "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: \
+              %d\r\nConnection: close\r\n\r\n"
+             (String.length doc));
+      write_string fd doc;
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()))
+
+let start ~addr ~render =
+  let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true);
+  (try Unix.bind listener addr
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listener 16;
+  let lock = Mutex.create () in
+  let stopped = ref false in
+  let is_stopped () =
+    Mutex.lock lock;
+    let s = !stopped in
+    Mutex.unlock lock;
+    s
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        (* Closing an fd does not wake a thread blocked in accept(2),
+           so poll with select and re-check the stop flag between
+           waits. *)
+        let rec await_readable () =
+          if is_stopped () then false
+          else
+            match Unix.select [ listener ] [] [] 0.25 with
+            | [], _, _ -> await_readable ()
+            | _ -> true
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> await_readable ()
+            | exception Unix.Unix_error _ -> false
+        in
+        let rec loop () =
+          if await_readable () then
+            match Unix.accept listener with
+            | fd, _ ->
+              (try serve_one render fd with _ -> ());
+              loop ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error _ -> if not (is_stopped ()) then loop ()
+            | exception _ -> ()
+        in
+        loop ())
+      ()
+  in
+  { listener; stopped; lock; thread }
+
+let bound_addr t = Unix.getsockname t.listener
+
+let stop t =
+  Mutex.lock t.lock;
+  let already = !(t.stopped) in
+  t.stopped := true;
+  Mutex.unlock t.lock;
+  if not already then begin
+    (* The accept loop notices the flag at its next select tick. *)
+    (match Unix.getsockname t.listener with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    Thread.join t.thread
+  end
+
+(* Client side, shared by tests and `spe scrape`: plain-TCP fetch. *)
+let fetch ~addr =
+  let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf)

@@ -1,0 +1,31 @@
+(** A pull-based metrics scrape endpoint.
+
+    [Spe_serve] daemons started with [--metrics-addr] expose their
+    cumulative [spe-metrics/2] report and live scheduler gauges here;
+    anything that can open a TCP (or Unix-domain) stream can read them.
+    Each connection is one exchange: the responder writes whatever
+    [render] returns {e at that moment} and closes.  Plain readers
+    (netcat, {!fetch}, `spe scrape`) get the raw document; a client
+    whose first bytes look like an HTTP [GET]/[HEAD] request line gets
+    it wrapped in a minimal [HTTP/1.0 200] response, so `curl` works
+    too.  See OBSERVABILITY.md, "The scrape endpoint". *)
+
+type t
+
+val start : addr:Unix.sockaddr -> render:(unit -> string) -> t
+(** Bind, listen and serve on a background thread.  A Unix-domain
+    [addr]'s stale socket file is unlinked first; TCP listeners set
+    [SO_REUSEADDR].  Raises the underlying [Unix.Unix_error] when the
+    address cannot be bound. *)
+
+val bound_addr : t -> Unix.sockaddr
+(** The actual bound address — resolves port 0 to the kernel-assigned
+    port. *)
+
+val stop : t -> unit
+(** Close the listener (unlinking a Unix-domain path) and join the
+    serving thread.  Idempotent. *)
+
+val fetch : addr:Unix.sockaddr -> string
+(** Client side: connect, read to EOF, return the document.  Raises the
+    underlying [Unix.Unix_error] when the endpoint is unreachable. *)

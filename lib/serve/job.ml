@@ -1,0 +1,155 @@
+(* Turning a wire {!Serve_proto.spec} into per-daemon work.
+
+   The deployment invariant everything here rests on: every daemon
+   rebuilds the {e identical} plan from [(spec, workload)], because the
+   sharded pipelines draw all joint randomness at plan-build time in a
+   deterministic order (Spe_core.Shard, "permute-then-shard").  Each
+   daemon then executes only its own party's seats over the mux, and
+   the merged result is read at H exactly as the in-process pool reads
+   it — the closure state behind [Plan.result] is written by the host's
+   own programs. *)
+
+module Session = Spe_mpc.Session
+module Wire = Spe_mpc.Wire
+module Plan = Spe_core.Plan
+
+type workload = { graph : Spe_graph.Digraph.t; logs : Spe_actionlog.Log.t array }
+
+(* A deterministic content digest for the Hello handshake: daemons over
+   different inputs could never agree on a plan, so refuse them at
+   connection time.  FNV-1a over the canonical record streams — not
+   Hashtbl.hash, whose node-count cutoff would ignore most of the
+   data. *)
+let digest { graph; logs } =
+  let fnv_prime = 0x100000001b3 in
+  (* The canonical 64-bit offset basis truncated to OCaml's 63-bit int. *)
+  let h = ref 0x3bf29ce484222325 in
+  let mix v =
+    h := (!h lxor (v land 0xFFFF)) * fnv_prime land max_int;
+    h := (!h lxor (v lsr 16)) * fnv_prime land max_int
+  in
+  let module G = Spe_graph.Digraph in
+  mix (G.n graph);
+  for u = 0 to G.n graph - 1 do
+    Array.iter
+      (fun v ->
+        mix u;
+        mix v)
+      (G.out_neighbors graph u)
+  done;
+  let module Log = Spe_actionlog.Log in
+  Array.iter
+    (fun log ->
+      mix (Log.num_users log);
+      mix (Log.num_actions log);
+      List.iter
+        (fun (r : Log.record) ->
+          mix r.Log.user;
+          mix r.Log.action;
+          mix r.Log.time)
+        (Log.records log))
+    logs;
+  mix (Array.length logs);
+  !h
+
+type planned =
+  | Links_plan of Spe_core.Protocol4.result Plan.t
+  | Scores_plan of Spe_core.Driver_distributed.scores Plan.t
+
+let validate (spec : Serve_proto.spec) workload =
+  let m = Array.length workload.logs in
+  if m < 2 then Error "need at least two providers"
+  else if spec.Serve_proto.shards < 1 then Error "shards must be at least 1"
+  else if spec.Serve_proto.modulus_bits < 2 || spec.Serve_proto.modulus_bits > 61 then
+    Error "modulus-bits out of range"
+  else
+    match spec.Serve_proto.pipeline with
+    | Serve_proto.Links ->
+      if spec.Serve_proto.h < 1 then Error "window h must be at least 1"
+      else if spec.Serve_proto.c_factor < 1.0 then Error "c-factor must be >= 1"
+      else Ok ()
+    | Serve_proto.Scores ->
+      if spec.Serve_proto.tau < 1 then Error "tau must be at least 1"
+      else if spec.Serve_proto.key_bits < 16 then Error "key-bits too small"
+      else Ok ()
+
+let build (spec : Serve_proto.spec) workload =
+  let s = Spe_rng.State.create ~seed:spec.Serve_proto.seed () in
+  match spec.Serve_proto.pipeline with
+  | Serve_proto.Links ->
+    let config =
+      {
+        Spe_core.Protocol4.c_factor = spec.Serve_proto.c_factor;
+        modulus = 1 lsl spec.Serve_proto.modulus_bits;
+        h = spec.Serve_proto.h;
+        estimator = Spe_core.Protocol4.Eq1;
+      }
+    in
+    Links_plan
+      (Spe_core.Shard.links_exclusive s ~graph:workload.graph ~logs:workload.logs
+         ~shards:spec.Serve_proto.shards config)
+  | Serve_proto.Scores ->
+    let config =
+      {
+        Spe_core.Protocol6.default_config with
+        Spe_core.Protocol6.key_bits = spec.Serve_proto.key_bits;
+      }
+    in
+    Scores_plan
+      (Spe_core.Shard.user_scores_exclusive s ~graph:workload.graph ~logs:workload.logs
+         ~tau:spec.Serve_proto.tau
+         ~modulus:(1 lsl spec.Serve_proto.modulus_bits)
+         ~shards:spec.Serve_proto.shards config)
+
+let stages = function
+  | Links_plan plan -> plan.Plan.stages
+  | Scores_plan plan -> plan.Plan.stages
+
+(* Only the host calls this, and only after every stage quiesced. *)
+let reply_of = function
+  | Links_plan plan ->
+    Serve_proto.Strengths (plan.Plan.result ()).Spe_core.Protocol4.strengths
+  | Scores_plan plan ->
+    Serve_proto.Scores (plan.Plan.result ()).Spe_core.Driver_distributed.scores
+
+(* Daemon ids mirror the frame codec's party order. *)
+let daemon_of_party = function Wire.Host -> 0 | Wire.Provider k -> k + 1
+
+(* Session ids: the coordinator's global job number, shifted past the
+   widest per-job session index.  Every daemon enumerates a plan's
+   sessions in the same (stage, index) order, so the ids agree without
+   any negotiation. *)
+let sid_stride = 65536
+
+let sid ~job ~gidx =
+  if gidx >= sid_stride then invalid_arg "Job.sid: plan has too many sessions";
+  (job * sid_stride) + gidx
+
+type seat = {
+  sid : int;
+  session : unit Session.t;
+  peers : int array;  (** Daemon id by group index. *)
+  index : int;  (** This daemon's group index. *)
+}
+
+(* The per-stage seats of one daemon, plus every sid of the job (for
+   cancellation, including sessions this daemon is not seated in). *)
+let seats ~job ~party planned =
+  let gidx = ref 0 in
+  let all_sids = ref [] in
+  let per_stage =
+    List.map
+      (fun (stage : Plan.stage) ->
+        Array.to_list stage.Plan.sessions
+        |> List.filter_map (fun (session : unit Session.t) ->
+               let id = sid ~job ~gidx:!gidx in
+               incr gidx;
+               all_sids := id :: !all_sids;
+               let peers = Array.map daemon_of_party session.Session.parties in
+               let index = ref (-1) in
+               Array.iteri (fun j p -> if p = party then index := j) peers;
+               if !index < 0 then None
+               else Some { sid = id; session; peers; index = !index }))
+      (stages planned)
+  in
+  (per_stage, List.rev !all_sids)

@@ -1,0 +1,54 @@
+(** Turning a wire {!Serve_proto.spec} into per-daemon work.
+
+    Every daemon rebuilds the {e identical} plan from [(spec,
+    workload)] — the sharded pipelines draw all joint randomness at
+    plan-build time in a deterministic order — and executes only its
+    own party's {!seat}s over the connection mesh.  The merged result
+    is read at H exactly as the in-process pool reads it. *)
+
+type workload = { graph : Spe_graph.Digraph.t; logs : Spe_actionlog.Log.t array }
+
+val digest : workload -> int
+(** Deterministic content digest (FNV-1a over the canonical graph and
+    log record streams) carried in the mesh {!Serve_proto.t.Hello}:
+    daemons loaded with different workloads could never agree on a
+    plan, so they refuse each other at connection time. *)
+
+type planned =
+  | Links_plan of Spe_core.Protocol4.result Spe_core.Plan.t
+  | Scores_plan of Spe_core.Driver_distributed.scores Spe_core.Plan.t
+
+val validate : Serve_proto.spec -> workload -> (unit, string) result
+(** Cheap spec sanity before any plan is built; the error is the typed
+    rejection detail. *)
+
+val build : Serve_proto.spec -> workload -> planned
+(** Build the full plan — identical in every daemon. *)
+
+val stages : planned -> Spe_core.Plan.stage list
+
+val reply_of : planned -> Serve_proto.reply
+(** Read the merged result (host only, after every stage quiesced). *)
+
+val daemon_of_party : Spe_mpc.Wire.party -> int
+(** Host is daemon 0, provider [k] is daemon [k + 1] — the frame
+    codec's party order. *)
+
+val sid_stride : int
+(** Session-id space per job; [sid = job * stride + session index]. *)
+
+val sid : job:int -> gidx:int -> int
+
+type seat = {
+  sid : int;
+  session : unit Spe_mpc.Session.t;
+  peers : int array;  (** Daemon id by group index. *)
+  index : int;  (** This daemon's group index. *)
+}
+
+val seats : job:int -> party:int -> planned -> seat list list * int list
+(** [seats ~job ~party planned] enumerates the plan's sessions in
+    (stage, index) order — the order every daemon agrees on — and
+    returns this daemon's seats grouped by stage, plus every sid of the
+    job (for cancellation, including sessions this daemon is not seated
+    in). *)

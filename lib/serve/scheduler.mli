@@ -1,0 +1,51 @@
+(** The daemon's session/job scheduler: a bounded FIFO feeding a fixed
+    worker pool, with typed admission control.
+
+    At most [max_active] jobs run concurrently (the daemon starts that
+    many worker threads, each looping {!take} / {!finish}); up to
+    [max_queue] more wait in FIFO order; past that, {!submit} refuses
+    with {!admission.Busy} — which the daemon turns into the protocol's
+    typed [Busy] reply, the backpressure signal clients act on.  The
+    module is deliberately free of I/O so admission behaviour is
+    unit-testable without a daemon. *)
+
+type 'a t
+
+type admission = Accepted | Busy of { queued : int; max_queue : int }
+
+val create : ?max_queue:int -> max_active:int -> unit -> 'a t
+(** [max_queue] defaults to 64.  [Invalid_argument] if either bound is
+    below 1. *)
+
+val submit : 'a t -> 'a -> admission
+(** Enqueue, or refuse when the queue is full or the scheduler has
+    stopped (both count toward the [rejected] statistic). *)
+
+val take : 'a t -> 'a option
+(** Block until a job is available ([Some], claiming an active slot the
+    caller must release with {!finish}) or the scheduler stops
+    ([None]). *)
+
+val finish : 'a t -> unit
+(** Release the active slot claimed by the matching {!take}. *)
+
+val stop : 'a t -> 'a list
+(** Stop admitting, wake every blocked {!take} with [None], and return
+    the still-queued jobs so each can be refused with a typed reply. *)
+
+val drain : 'a t -> deadline:float -> bool
+(** Wait until every active job has finished; [false] on deadline. *)
+
+val depth : 'a t -> int
+(** Jobs currently queued (the [queue_depth] gauge). *)
+
+val active : 'a t -> int
+(** Jobs currently running (the [active_jobs] gauge). *)
+
+val max_active : 'a t -> int
+val max_queue : 'a t -> int
+
+type stats = { submitted : int; rejected : int; completed : int }
+
+val stats : 'a t -> stats
+(** Monotone counters: admitted, refused, finished. *)

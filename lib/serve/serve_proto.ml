@@ -1,0 +1,301 @@
+(* The spe-serve/1 control protocol: what flows on a daemon-mesh or
+   client connection, around and between the inner Spe_net.Frame
+   streams.
+
+   Every connection opens with a [Hello] in each direction (the dialer
+   speaks first); after that, session traffic travels as
+   [Session_frame]s — an unmodified inner endpoint frame body tagged
+   with its session id — multiplexed with the job-control frames.  The
+   codec follows the Frame discipline exactly: length-prefixed bodies
+   on the wire (Transport.Socket.write_frame / read_frame), explicit
+   big-endian byte writers, a strict reader that rejects unknown tags
+   and trailing bytes.  Tags live at 64+ so a serve frame can never be
+   confused with an inner protocol frame. *)
+
+module Frame = Spe_net.Frame
+
+let version = 1
+let protocol = "spe-serve/1"
+
+type role = Party of int | Client
+
+type pipeline = Links | Scores
+
+let pipeline_name = function Links -> "links" | Scores -> "scores"
+
+type spec = {
+  pipeline : pipeline;
+  seed : int;
+  shards : int;
+  h : int;  (** Memory-window width (links). *)
+  c_factor : float;  (** Obfuscation blow-up (links). *)
+  modulus_bits : int;  (** Share modulus S = 2^bits (both pipelines). *)
+  tau : int;  (** Propagation threshold (scores). *)
+  key_bits : int;  (** Protocol 6 key size (scores). *)
+}
+
+type failure_kind = Rejected | Busy_queue | Peer_down | Round_timeout | Shard_failed | Other
+
+let failure_kind_name = function
+  | Rejected -> "rejected"
+  | Busy_queue -> "busy"
+  | Peer_down -> "peer-down"
+  | Round_timeout -> "round-timeout"
+  | Shard_failed -> "shard-failed"
+  | Other -> "error"
+
+type reply =
+  | Strengths of ((int * int) * float) list
+  | Scores of float array
+  | Failed of { kind : failure_kind; detail : string }
+
+type t =
+  | Hello of { role : role; version : int; workload : int }
+  | Session_frame of { sid : int; body : bytes }
+  | Job_submit of { job : int; spec : spec }
+  | Job_result of { job : int; reply : reply }
+  | Busy of { job : int; queued : int; max_queue : int }
+  | Job_cancel of { job : int }
+  | Shutdown
+
+(* Tags: disjoint from the inner Frame tags (0-4) by a wide margin. *)
+let tag_hello = 64
+let tag_session_frame = 65
+let tag_job_submit = 66
+let tag_job_result = 67
+let tag_busy = 68
+let tag_shutdown = 69
+let tag_job_cancel = 70
+
+(* Byte writers, after Frame's. *)
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Serve_proto.encode: u16 out of range";
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Serve_proto.encode: u32 out of range";
+  put_u8 buf (v lsr 24);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u63 buf v =
+  if v < 0 then invalid_arg "Serve_proto.encode: u63 out of range";
+  put_u32 buf (v lsr 32);
+  put_u32 buf (v land 0xFFFF_FFFF)
+
+(* Floats travel as their IEEE-754 bits, so results survive the wire
+   bit-identically — the whole point of the oracle comparisons. *)
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for shift = 7 downto 0 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * shift)))
+  done
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { body : bytes; mutable pos : int }
+
+let get_u8 r =
+  if r.pos >= Bytes.length r.body then invalid_arg "Serve_proto.decode: truncated frame";
+  let v = Char.code (Bytes.get r.body r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let hi = get_u8 r in
+  (hi lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let hi = get_u16 r in
+  (hi lsl 16) lor get_u16 r
+
+let get_u63 r =
+  let hi = get_u32 r in
+  (hi lsl 32) lor get_u32 r
+
+let get_f64 r =
+  let bits = ref 0L in
+  for _ = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 r))
+  done;
+  Int64.float_of_bits !bits
+
+let get_bytes r n =
+  if n < 0 || r.pos + n > Bytes.length r.body then
+    invalid_arg "Serve_proto.decode: truncated frame";
+  let b = Bytes.sub r.body r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let get_string r =
+  let n = get_u32 r in
+  Bytes.to_string (get_bytes r n)
+
+let put_spec buf spec =
+  put_u8 buf (match spec.pipeline with Links -> 0 | Scores -> 1);
+  put_u63 buf spec.seed;
+  put_u16 buf spec.shards;
+  put_u16 buf spec.h;
+  put_f64 buf spec.c_factor;
+  put_u16 buf spec.modulus_bits;
+  put_u16 buf spec.tau;
+  put_u16 buf spec.key_bits
+
+let get_spec r =
+  let pipeline =
+    match get_u8 r with
+    | 0 -> Links
+    | 1 -> Scores
+    | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown pipeline %d" k)
+  in
+  let seed = get_u63 r in
+  let shards = get_u16 r in
+  let h = get_u16 r in
+  let c_factor = get_f64 r in
+  let modulus_bits = get_u16 r in
+  let tau = get_u16 r in
+  let key_bits = get_u16 r in
+  { pipeline; seed; shards; h; c_factor; modulus_bits; tau; key_bits }
+
+let kind_code = function
+  | Rejected -> 0
+  | Busy_queue -> 1
+  | Peer_down -> 2
+  | Round_timeout -> 3
+  | Shard_failed -> 4
+  | Other -> 5
+
+let kind_of_code = function
+  | 0 -> Rejected
+  | 1 -> Busy_queue
+  | 2 -> Peer_down
+  | 3 -> Round_timeout
+  | 4 -> Shard_failed
+  | 5 -> Other
+  | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown failure kind %d" k)
+
+let put_reply buf = function
+  | Strengths strengths ->
+    put_u8 buf 0;
+    put_u32 buf (List.length strengths);
+    List.iter
+      (fun ((u, v), p) ->
+        put_u32 buf u;
+        put_u32 buf v;
+        put_f64 buf p)
+      strengths
+  | Scores scores ->
+    put_u8 buf 1;
+    put_u32 buf (Array.length scores);
+    Array.iter (put_f64 buf) scores
+  | Failed { kind; detail } ->
+    put_u8 buf 2;
+    put_u8 buf (kind_code kind);
+    put_string buf detail
+
+let get_reply r =
+  match get_u8 r with
+  | 0 ->
+    let n = get_u32 r in
+    Strengths
+      (List.init n (fun _ ->
+           let u = get_u32 r in
+           let v = get_u32 r in
+           let p = get_f64 r in
+           ((u, v), p)))
+  | 1 ->
+    let n = get_u32 r in
+    Scores (Array.init n (fun _ -> get_f64 r))
+  | 2 ->
+    let kind = kind_of_code (get_u8 r) in
+    let detail = get_string r in
+    Failed { kind; detail }
+  | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown reply kind %d" k)
+
+let encode t =
+  let buf = Buffer.create 32 in
+  (match t with
+  | Hello { role; version; workload } ->
+    put_u8 buf tag_hello;
+    put_u8 buf version;
+    (match role with
+    | Party id ->
+      put_u8 buf 0;
+      put_u16 buf id
+    | Client ->
+      put_u8 buf 1;
+      put_u16 buf 0);
+    put_u63 buf workload
+  | Session_frame { sid; body } ->
+    put_u8 buf tag_session_frame;
+    put_u63 buf sid;
+    put_u32 buf (Bytes.length body);
+    Buffer.add_bytes buf body
+  | Job_submit { job; spec } ->
+    put_u8 buf tag_job_submit;
+    put_u63 buf job;
+    put_spec buf spec
+  | Job_result { job; reply } ->
+    put_u8 buf tag_job_result;
+    put_u63 buf job;
+    put_reply buf reply
+  | Busy { job; queued; max_queue } ->
+    put_u8 buf tag_busy;
+    put_u63 buf job;
+    put_u32 buf queued;
+    put_u32 buf max_queue
+  | Job_cancel { job } ->
+    put_u8 buf tag_job_cancel;
+    put_u63 buf job
+  | Shutdown -> put_u8 buf tag_shutdown);
+  Buffer.to_bytes buf
+
+let decode body =
+  let r = { body; pos = 0 } in
+  let t =
+    match get_u8 r with
+    | k when k = tag_hello ->
+      let version = get_u8 r in
+      let role =
+        match get_u8 r with
+        | 0 -> Party (get_u16 r)
+        | 1 ->
+          let _ = get_u16 r in
+          Client
+        | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown role %d" k)
+      in
+      let workload = get_u63 r in
+      Hello { role; version; workload }
+    | k when k = tag_session_frame ->
+      let sid = get_u63 r in
+      let n = get_u32 r in
+      Session_frame { sid; body = get_bytes r n }
+    | k when k = tag_job_submit ->
+      let job = get_u63 r in
+      Job_submit { job; spec = get_spec r }
+    | k when k = tag_job_result ->
+      let job = get_u63 r in
+      Job_result { job; reply = get_reply r }
+    | k when k = tag_busy ->
+      let job = get_u63 r in
+      let queued = get_u32 r in
+      let max_queue = get_u32 r in
+      Busy { job; queued; max_queue }
+    | k when k = tag_job_cancel -> Job_cancel { job = get_u63 r }
+    | k when k = tag_shutdown -> Shutdown
+    | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown tag %d" k)
+  in
+  if r.pos <> Bytes.length body then invalid_arg "Serve_proto.decode: trailing bytes";
+  t
+
+(* Connection I/O: serve frames ride the same length-prefixed stream
+   discipline as the inner protocol frames. *)
+let write fd t = Spe_net.Transport.Socket.write_frame fd (encode t)
+
+let read fd = Option.map decode (Spe_net.Transport.Socket.read_frame fd)

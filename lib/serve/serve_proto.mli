@@ -1,0 +1,89 @@
+(** The versioned [spe-serve/1] control protocol.
+
+    Everything a daemon-mesh or client connection carries: the opening
+    {!t.Hello} handshake, session-tagged inner endpoint frames
+    ({!t.Session_frame} — the body is an unmodified
+    {!Spe_net.Frame} encoding, multiplexed by session id), and the job
+    control frames (submit / result / busy / cancel / shutdown).
+    Frames are length-prefixed on the wire with the same discipline as
+    the inner protocol ({!Spe_net.Transport.Socket.write_frame}); the
+    decoder is strict — unknown tags, unknown enum codes and trailing
+    bytes all raise [Invalid_argument].  Tags live at 64+ so a serve
+    frame can never be confused with an inner frame. *)
+
+val version : int
+(** 1 — carried in every {!t.Hello}; a daemon refuses mismatched peers. *)
+
+val protocol : string
+(** ["spe-serve/1"]. *)
+
+type role =
+  | Party of int  (** A daemon introducing itself: 0 = H, [k] = P[k]. *)
+  | Client  (** A job-submitting client (CLI, tests, bench). *)
+
+type pipeline = Links | Scores
+
+val pipeline_name : pipeline -> string
+
+type spec = {
+  pipeline : pipeline;
+  seed : int;  (** The job's PRNG seed — with the daemons' shared
+                   workload this pins the whole plan. *)
+  shards : int;
+  h : int;  (** Memory-window width (links). *)
+  c_factor : float;  (** Obfuscation blow-up (links); travels as IEEE bits. *)
+  modulus_bits : int;  (** Share modulus S = 2^bits. *)
+  tau : int;  (** Propagation threshold (scores). *)
+  key_bits : int;  (** Protocol 6 key size (scores). *)
+}
+(** Everything a job needs beyond the daemons' preloaded workload.
+    Every daemon rebuilds the identical plan from [(spec, workload)] —
+    all joint randomness is drawn at plan-build time in a deterministic
+    order — and executes only its own party's seats. *)
+
+type failure_kind =
+  | Rejected  (** Refused before running (shutdown drain, bad spec). *)
+  | Busy_queue  (** Admission control: the bounded queue was full. *)
+  | Peer_down  (** A peer daemon's connection died mid-session. *)
+  | Round_timeout  (** A session starved past its Nack budget. *)
+  | Shard_failed  (** A shard session failed for another typed reason. *)
+  | Other
+
+val failure_kind_name : failure_kind -> string
+
+type reply =
+  | Strengths of ((int * int) * float) list  (** Links result, real arcs. *)
+  | Scores of float array  (** Scores result, by user. *)
+  | Failed of { kind : failure_kind; detail : string }
+
+type t =
+  | Hello of {
+      role : role;
+      version : int;
+      workload : int;
+          (** Digest of the sender's loaded workload (0 for clients);
+              daemons refuse peers whose digest differs — a mesh over
+              different inputs could never agree on a plan. *)
+    }
+  | Session_frame of { sid : int; body : bytes }
+  | Job_submit of { job : int; spec : spec }
+      (** Client -> H: [job] is the client's own correlation id.
+          H -> P: [job] is the coordinator's global job number, which
+          also prefixes every session id of the job. *)
+  | Job_result of { job : int; reply : reply }
+  | Busy of { job : int; queued : int; max_queue : int }
+      (** The typed admission-control rejection. *)
+  | Job_cancel of { job : int }
+      (** H -> P: abort the (global) job's sessions. *)
+  | Shutdown
+
+val encode : t -> bytes
+val decode : bytes -> t
+
+val write : Unix.file_descr -> t -> unit
+(** One length-prefixed frame; the caller serialises writes per
+    descriptor. *)
+
+val read : Unix.file_descr -> t option
+(** [None] on clean EOF; [Failure] on a torn stream;
+    [Invalid_argument] on a malformed frame. *)

@@ -139,6 +139,29 @@ let test_schedule_rejects_malformed () =
   reject "truncated document" (String.sub golden 0 (String.length golden / 2));
   reject "not an object" "[1, 2, 3]"
 
+(* A replayed schedule pins its own pipeline; a mismatched --target is
+   a hard error naming both values, never a silent run of the wrong
+   pipeline. *)
+let test_replay_target_check () =
+  let ok = function
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  in
+  ok (Schedule.check_replay_target links_base ~requested:None);
+  ok (Schedule.check_replay_target links_base ~requested:(Some Schedule.Links));
+  match Schedule.check_replay_target links_base ~requested:(Some Schedule.Scores) with
+  | Ok () -> Alcotest.fail "mismatched --target should be refused"
+  | Error msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "names the schedule's pipeline" true (contains "links");
+    Alcotest.(check bool) "names the requested target" true (contains "scores")
+
 (* --- the event-to-policy compiler ------------------------------------------ *)
 
 let test_fault_policy_compiles () =
@@ -306,6 +329,8 @@ let () =
           Alcotest.test_case "golden round-trip" `Quick test_schedule_golden_roundtrip;
           Alcotest.test_case "rejects malformed documents" `Quick
             test_schedule_rejects_malformed;
+          Alcotest.test_case "replay --target mismatch refused" `Quick
+            test_replay_target_check;
           Alcotest.test_case "compiles events to a fault policy" `Quick
             test_fault_policy_compiles;
         ] );

@@ -1,0 +1,440 @@
+(* Tests for the serve subsystem: the shared address parser (clean
+   errors, never a raw Unix_error), the spe-serve/1 frame codec
+   (round-trip + strict rejection, like the inner Frame tests), the
+   scheduler's typed admission control, the metrics scrape endpoint,
+   and the live-deployment integration paths — daemons in-process over
+   a unix-domain roster serving sequential and bursty job loads
+   bit-identically to the central Driver oracle with exactly one Hello
+   exchange per mesh connection, and the whole-party kill campaign. *)
+
+module Addr = Spe_serve.Addr
+module Proto = Spe_serve.Serve_proto
+module Scheduler = Spe_serve.Scheduler
+module Job = Spe_serve.Job
+module Daemon = Spe_serve.Daemon
+module Client = Spe_serve.Client
+module Transport = Spe_net.Transport
+module Schedule = Spe_chaos.Schedule
+module Harness = Spe_chaos.Harness
+module Driver = Spe_core.Driver
+module Protocol4 = Spe_core.Protocol4
+module State = Spe_rng.State
+module Json = Spe_obs.Obs_io.Json
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* --- Addr ------------------------------------------------------------------ *)
+
+let test_addr_parse () =
+  (match Addr.parse "unix:/tmp/spe.sock" with
+  | Ok (Transport.Socket.Unix_domain p) -> check Alcotest.string "unix path" "/tmp/spe.sock" p
+  | _ -> Alcotest.fail "unix address did not parse");
+  (match Addr.parse "127.0.0.1:9000" with
+  | Ok (Transport.Socket.Tcp (h, p)) ->
+    check Alcotest.string "host" "127.0.0.1" h;
+    check Alcotest.int "port" 9000 p
+  | _ -> Alcotest.fail "tcp address did not parse");
+  (match Addr.parse "localhost:80" with
+  | Ok (Transport.Socket.Tcp (h, _)) -> check Alcotest.string "localhost folds" "127.0.0.1" h
+  | _ -> Alcotest.fail "localhost did not parse");
+  List.iter
+    (fun bad ->
+      match Addr.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad)
+      | Error msg -> checkb (bad ^ " has a message") true (String.length msg > 0))
+    [ ""; "no-colon"; "host:"; "host:notaport"; "host:70000"; "host:-1"; "unix:"; "nosuchhostname.invalid:80" ]
+
+let test_addr_party () =
+  (match Addr.party_of_string "H" with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "H should be party 0");
+  (match Addr.party_of_string "P3" with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "P3 should be party 3");
+  List.iter
+    (fun bad ->
+      match Addr.party_of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad)
+      | Error _ -> ())
+    [ ""; "P0"; "P"; "Q2"; "H2" ];
+  (match Addr.party_of_string "p1" with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "party names are case-insensitive");
+  check Alcotest.string "party 0 name" "H" (Addr.party_name 0);
+  check Alcotest.string "party 2 name" "P2" (Addr.party_name 2)
+
+let test_addr_roster () =
+  let spec = "P2=unix:/tmp/p2.sock,H=127.0.0.1:9000,P1=127.0.0.1:9001" in
+  (match Addr.roster_of_string spec with
+  | Error msg -> Alcotest.fail msg
+  | Ok roster ->
+    check Alcotest.int "roster size" 3 (Array.length roster);
+    check Alcotest.string "H first" "127.0.0.1:9000" (Addr.to_string roster.(0));
+    check Alcotest.string "P2 last" "unix:/tmp/p2.sock" (Addr.to_string roster.(2));
+    (* Round-trip through the printer. *)
+    match Addr.roster_of_string (Addr.roster_to_string roster) with
+    | Ok again -> checkb "round-trips" true (again = roster)
+    | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Addr.roster_of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad)
+      | Error _ -> ())
+    [
+      "";
+      "H=127.0.0.1:9000";  (* no providers *)
+      "H=127.0.0.1:9000,P2=127.0.0.1:9002";  (* gap: P1 missing *)
+      "H=127.0.0.1:9000,P1=127.0.0.1:9001,P1=127.0.0.1:9002";  (* duplicate *)
+      "P1=127.0.0.1:9001,P2=127.0.0.1:9002";  (* no host *)
+      "H=127.0.0.1:9000,P1=nonsense";  (* bad address *)
+    ]
+
+(* --- the spe-serve/1 codec -------------------------------------------------- *)
+
+let sample_spec =
+  {
+    Proto.pipeline = Proto.Links;
+    seed = 42;
+    shards = 3;
+    h = 2;
+    c_factor = 2.5;
+    modulus_bits = 40;
+    tau = 6;
+    key_bits = 128;
+  }
+
+let roundtrip frame = Proto.decode (Proto.encode frame)
+
+let test_proto_roundtrip () =
+  let frames =
+    [
+      Proto.Hello { role = Proto.Party 0; version = 1; workload = 0x123456789 };
+      Proto.Hello { role = Proto.Client; version = 1; workload = 0 };
+      Proto.Session_frame { sid = 65537; body = Bytes.of_string "\x00\x01\xff" };
+      Proto.Job_submit { job = 7; spec = sample_spec };
+      Proto.Job_submit
+        { job = 8; spec = { sample_spec with Proto.pipeline = Proto.Scores } };
+      Proto.Job_result
+        { job = 7; reply = Proto.Strengths [ ((0, 1), 0.5); ((3, 2), 0.125) ] };
+      Proto.Job_result { job = 9; reply = Proto.Scores [| 1.5; 0.0; nan; 3.25 |] };
+      Proto.Job_result
+        {
+          job = 10;
+          reply = Proto.Failed { kind = Proto.Peer_down; detail = "P2 died" };
+        };
+      Proto.Busy { job = 3; queued = 64; max_queue = 64 };
+      Proto.Job_cancel { job = 5 };
+      Proto.Shutdown;
+    ]
+  in
+  List.iter
+    (fun frame ->
+      let back = roundtrip frame in
+      (* NaN-tolerant structural equality: compare re-encodings, which
+         are bit-exact for floats. *)
+      checkb "frame round-trips" true (Proto.encode back = Proto.encode frame))
+    frames
+
+let test_proto_rejects_malformed () =
+  let expect_invalid what bytes =
+    match Proto.decode bytes with
+    | _ -> Alcotest.fail (what ^ " should have been rejected")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "empty frame" (Bytes.create 0);
+  expect_invalid "unknown tag" (Bytes.make 4 '\x00');
+  let good = Proto.encode (Proto.Job_cancel { job = 5 }) in
+  let trailing = Bytes.extend good 0 1 in
+  expect_invalid "trailing bytes" trailing;
+  let truncated = Bytes.sub good 0 (Bytes.length good - 1) in
+  expect_invalid "truncated frame" truncated;
+  (* An inner-protocol frame (tags 0-4) must never decode as a serve
+     frame. *)
+  expect_invalid "inner frame tag" (Bytes.make 8 '\x02')
+
+(* --- scheduler admission ---------------------------------------------------- *)
+
+let test_scheduler_admission () =
+  let s = Scheduler.create ~max_queue:2 ~max_active:1 () in
+  checkb "1st accepted" true (Scheduler.submit s 1 = Scheduler.Accepted);
+  checkb "2nd accepted" true (Scheduler.submit s 2 = Scheduler.Accepted);
+  (match Scheduler.submit s 3 with
+  | Scheduler.Busy { queued = 2; max_queue = 2 } -> ()
+  | _ -> Alcotest.fail "3rd submit should be Busy {queued=2}");
+  check Alcotest.int "depth" 2 (Scheduler.depth s);
+  (* A worker claims one; a queue slot frees up. *)
+  (match Scheduler.take s with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "take should yield the first job");
+  check Alcotest.int "active" 1 (Scheduler.active s);
+  checkb "refill accepted" true (Scheduler.submit s 4 = Scheduler.Accepted);
+  Scheduler.finish s;
+  check Alcotest.int "active after finish" 0 (Scheduler.active s);
+  let drained = Scheduler.stop s in
+  checkb "stop returns the queue in order" true (drained = [ 2; 4 ]);
+  checkb "take after stop" true (Scheduler.take s = None);
+  (match Scheduler.submit s 5 with
+  | Scheduler.Busy _ -> ()
+  | _ -> Alcotest.fail "submit after stop should be Busy");
+  let st = Scheduler.stats s in
+  check Alcotest.int "submitted" 3 st.Scheduler.submitted;
+  check Alcotest.int "rejected" 2 st.Scheduler.rejected;
+  check Alcotest.int "completed" 1 st.Scheduler.completed
+
+(* --- live deployments ------------------------------------------------------- *)
+
+(* A small links workload: 3 providers like the chaos campaigns, so the
+   mesh is a real 4-daemon clique. *)
+let links_workload =
+  { Schedule.wseed = 97; users = 18; edges = 50; actions = 8; providers = 3 }
+
+let links_spec ~pseed ~shards =
+  {
+    Proto.pipeline = Proto.Links;
+    seed = pseed;
+    shards;
+    h = 2;
+    c_factor = 2.;
+    modulus_bits = 40;
+    tau = 1;
+    key_bits = 16;
+  }
+
+let links_oracle ~pseed ~graph ~logs =
+  let r =
+    Driver.link_strengths_exclusive (State.create ~seed:pseed ()) ~graph ~logs
+      (Protocol4.default_config ~h:2)
+  in
+  r.Driver.strengths
+
+(* Start one in-process daemon per party over a temp unix-domain
+   roster, run [f client daemons roster], then shut everything down. *)
+let with_deployment ?(workload = links_workload) ?(max_sessions = 4) ?(max_queue = 64)
+    ?metrics_addr f =
+  let graph, logs = Harness.workload_inputs workload in
+  let m = Array.length logs in
+  let roster = Transport.Socket.temp_unix_addresses ~m:(m + 1) in
+  let daemons =
+    Array.init (m + 1) (fun party ->
+        Daemon.start
+          {
+            (Daemon.default_config ~party ~roster) with
+            Daemon.max_sessions;
+            max_queue;
+            metrics_addr = (if party = 0 then metrics_addr else None);
+            round_timeout = 60.;
+            linger = 61.;
+            dial_timeout = 15.;
+          }
+          { Job.graph; logs })
+  in
+  let client = Client.connect ~retry_for:10. roster.(0) in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      ignore (Client.shutdown_roster ~timeout:15. roster);
+      Array.iter Daemon.wait daemons)
+    (fun () -> f client daemons roster ~graph ~logs)
+
+let gauge daemons party name =
+  match List.assoc_opt name (Daemon.gauges daemons.(party)) with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "gauge %s missing" name)
+
+(* Satellite: N >= 3 sequential sharded sessions over one connection
+   set, bit-identical to the central Driver oracle, with exactly one
+   Hello exchange per mesh connection in the accounting. *)
+let test_daemon_sequential_jobs () =
+  with_deployment (fun client daemons _roster ~graph ~logs ->
+      let m = Array.length logs in
+      let pseed = links_workload.Schedule.wseed + 1 in
+      let expected = Proto.Strengths (links_oracle ~pseed ~graph ~logs) in
+      for _round = 1 to 3 do
+        match
+          Client.run_jobs client
+            [ links_spec ~pseed ~shards:2 ]
+            ~deadline:(Unix.gettimeofday () +. 60.)
+        with
+        | [ Client.Result reply ] ->
+          checkb "bit-identical to the central oracle" true (reply = expected)
+        | _ -> Alcotest.fail "job did not complete"
+      done;
+      (* One Hello exchange per mesh connection, none per job: every
+         daemon received exactly one Hello from each of its m peers
+         (client hellos are counted separately), no matter how many
+         sessions multiplexed over the mesh. *)
+      for party = 0 to m do
+        check Alcotest.int
+          (Printf.sprintf "daemon %s hellos" (Addr.party_name party))
+          m
+          (gauge daemons party "hellos_received")
+      done;
+      checkb "H ran sessions" true (gauge daemons 0 "sessions_run" > 0);
+      check Alcotest.int "H completed all jobs" 3 (gauge daemons 0 "jobs_completed"))
+
+(* Acceptance: a 50-job concurrent burst under admission control, every
+   reply bit-identical. *)
+let test_daemon_burst_50 () =
+  let workload = { Schedule.wseed = 11; users = 12; edges = 30; actions = 6; providers = 2 } in
+  with_deployment ~workload ~max_sessions:4 ~max_queue:64
+    (fun client daemons _roster ~graph ~logs ->
+      let pseed = workload.Schedule.wseed + 1 in
+      let expected = Proto.Strengths (links_oracle ~pseed ~graph ~logs) in
+      let jobs = 50 in
+      let outcomes =
+        Client.run_jobs client
+          (List.init jobs (fun _ -> links_spec ~pseed ~shards:2))
+          ~deadline:(Unix.gettimeofday () +. 120.)
+      in
+      check Alcotest.int "all jobs answered" jobs (List.length outcomes);
+      List.iteri
+        (fun i outcome ->
+          match outcome with
+          | Client.Result reply ->
+            checkb (Printf.sprintf "job %d bit-identical" i) true (reply = expected)
+          | Client.Busy _ -> Alcotest.fail (Printf.sprintf "job %d refused from a 64-slot queue" i))
+        outcomes;
+      check Alcotest.int "H completed all" jobs (gauge daemons 0 "jobs_completed");
+      checkb "admission never tripped" true (gauge daemons 0 "busy_rejected" = 0))
+
+(* Backpressure: a tiny queue must refuse part of a burst with the
+   typed Busy reply, and what it does admit still completes correctly. *)
+let test_daemon_busy_backpressure () =
+  let workload = { Schedule.wseed = 11; users = 12; edges = 30; actions = 6; providers = 2 } in
+  with_deployment ~workload ~max_sessions:1 ~max_queue:1
+    (fun client daemons _roster ~graph ~logs ->
+      let pseed = workload.Schedule.wseed + 1 in
+      let expected = Proto.Strengths (links_oracle ~pseed ~graph ~logs) in
+      let jobs = 8 in
+      let outcomes =
+        Client.run_jobs client
+          (List.init jobs (fun _ -> links_spec ~pseed ~shards:2))
+          ~deadline:(Unix.gettimeofday () +. 120.)
+      in
+      let busy, completed =
+        List.partition (function Client.Busy _ -> true | _ -> false) outcomes
+      in
+      checkb "some jobs were refused" true (busy <> []);
+      checkb "some jobs completed" true (completed <> []);
+      List.iter
+        (function
+          | Client.Result reply ->
+            checkb "admitted jobs still bit-identical" true (reply = expected)
+          | Client.Busy { queued; max_queue } ->
+            check Alcotest.int "busy names the bound" 1 max_queue;
+            checkb "busy names the depth" true (queued >= 0))
+        outcomes;
+      let st = gauge daemons 0 "busy_rejected" in
+      check Alcotest.int "every refusal counted" (List.length busy) st)
+
+(* The scrape endpoint: live gauges + cumulative report, over both the
+   raw and the HTTP framing. *)
+let test_daemon_scrape () =
+  let dir = Filename.temp_file "spe-scrape" "" in
+  Unix.unlink dir;
+  let maddr = Transport.Socket.Unix_domain dir in
+  with_deployment ~metrics_addr:maddr (fun client _daemons _roster ~graph ~logs ->
+      let pseed = links_workload.Schedule.wseed + 1 in
+      let expected = Proto.Strengths (links_oracle ~pseed ~graph ~logs) in
+      (match
+         Client.run_jobs client
+           [ links_spec ~pseed ~shards:2 ]
+           ~deadline:(Unix.gettimeofday () +. 60.)
+       with
+      | [ Client.Result reply ] -> checkb "job ok" true (reply = expected)
+      | _ -> Alcotest.fail "job did not complete");
+      let doc = Client.scrape maddr in
+      let json = Json.of_string doc in
+      (match Json.member "version" json with
+      | Json.String "spe-serve-metrics/1" -> ()
+      | _ -> Alcotest.fail "scrape document version");
+      (match Json.member "party" json with
+      | Json.String "H" -> ()
+      | _ -> Alcotest.fail "scrape document party");
+      (match Json.member "gauges" json with
+      | Json.Obj gauges ->
+        List.iter
+          (fun key ->
+            match List.assoc_opt key gauges with
+            | Some (Json.Int _) -> ()
+            | _ -> Alcotest.fail (Printf.sprintf "gauge %s missing from scrape" key))
+          [
+            "queue_depth"; "active_jobs"; "active_sessions"; "jobs_submitted";
+            "jobs_completed"; "busy_rejected"; "hellos_sent"; "hellos_received";
+          ];
+        (match List.assoc_opt "jobs_completed" gauges with
+        | Some (Json.Int n) -> checkb "completed gauge counts" true (n >= 1)
+        | _ -> Alcotest.fail "jobs_completed gauge")
+      | _ -> Alcotest.fail "scrape gauges object");
+      (* Tracing was on, so the cumulative spe-metrics/2 report is
+         attached. *)
+      (match Json.member "report" json with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "scrape report should be a merged spe-metrics/2 document");
+      (* The same endpoint speaks HTTP when asked with a GET line. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Addr.sockaddr maddr);
+      let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write fd req 0 (Bytes.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Unix.close fd;
+      let http = Buffer.contents buf in
+      checkb "HTTP status line" true
+        (String.length http > 15 && String.sub http 0 15 = "HTTP/1.0 200 OK");
+      checkb "HTTP body carries the document" true
+        (let marker = "spe-serve-metrics/1" in
+         let rec find i =
+           if i + String.length marker > String.length http then false
+           else String.sub http i (String.length marker) = marker || find (i + 1)
+         in
+         find 0))
+
+(* Whole-party chaos: SIGKILL one provider daemon mid-burst; every
+   client reply stays typed, survivors match the oracle, the host keeps
+   serving, and every forked daemon is reaped. *)
+let test_daemon_kill_campaign () =
+  match Spe_chaos.Daemon_fault.run ~jobs:3 ~seed:1 Schedule.Links with
+  | Harness.Pass -> ()
+  | Harness.Fail { oracle; detail } ->
+    Alcotest.fail (Printf.sprintf "%s violation: %s" oracle detail)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "parses tcp and unix addresses" `Quick test_addr_parse;
+          Alcotest.test_case "parses party names" `Quick test_addr_party;
+          Alcotest.test_case "parses rosters" `Quick test_addr_roster;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "frames round-trip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "rejects malformed frames" `Quick
+            test_proto_rejects_malformed;
+        ] );
+      ( "scheduler",
+        [ Alcotest.test_case "typed admission control" `Quick test_scheduler_admission ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "sequential jobs, one hello per peer" `Slow
+            test_daemon_sequential_jobs;
+          Alcotest.test_case "50-job burst bit-identical" `Slow test_daemon_burst_50;
+          Alcotest.test_case "busy backpressure" `Slow test_daemon_busy_backpressure;
+          Alcotest.test_case "metrics scrape" `Slow test_daemon_scrape;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "daemon kill stays typed" `Slow test_daemon_kill_campaign;
+        ] );
+    ]
