@@ -582,12 +582,15 @@ let pipeline_reports () =
     pipelines
 
 (* Sharding ablation: the links pipeline cut into k shards on every
-   engine (DESIGN.md, "Sharded execution"), worker pool j = 4 on the
-   real transports.  Payload bytes are asserted k-invariant across all
-   twelve rows; each row's wall_s is the observed end-to-end wall
+   engine (DESIGN.md, "Sharded execution"), j = 4 concurrent sessions
+   on the real transports — the memory engine's blocking worker pool
+   (the differential oracle) and the socket engine's reactor shard
+   pool, where j bounds sessions in flight on the one loop thread,
+   not a thread count.  Payload bytes are asserted k-invariant across
+   all twelve rows; each row's wall_s is the observed end-to-end wall
    clock of the whole plan (the per-shard session walls live in the
-   row's shards table), so the socket rows show the concurrency win
-   directly. *)
+   row's shards table), so the socket rows price the reactor's
+   per-shard cost directly. *)
 let sharding_reports () =
   let module Session = Spe_mpc.Session in
   let module Endpoint = Spe_net.Endpoint in

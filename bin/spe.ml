@@ -556,6 +556,7 @@ let links_cmd =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
+      else if jobs < 1 then Some "--jobs must be at least 1"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
@@ -735,6 +736,7 @@ let scores_cmd =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
+      else if jobs < 1 then Some "--jobs must be at least 1"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
@@ -1283,6 +1285,8 @@ let serve_cmd =
   in
   let run party roster listen max_sessions max_queue metrics_addr graph_path log_paths =
     let ( let* ) r f = match r with Error msg -> `Error (true, msg) | Ok v -> f v in
+    let* () = if max_sessions < 1 then Error "--max-sessions must be at least 1" else Ok () in
+    let* () = if max_queue < 1 then Error "--max-queue must be at least 1" else Ok () in
     let* party = Serve_addr.party_of_string party in
     let* roster = Serve_addr.roster_of_string roster in
     let* listen =

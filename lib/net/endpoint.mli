@@ -79,6 +79,28 @@ val run_party :
     The session's result thunk is {e not} called: only the seat that
     owns the result state can read it. *)
 
+val run_party_async :
+  ?config:config ->
+  ?trace:Spe_obs.Trace.t ->
+  reactor:Reactor.t ->
+  transport:Transport.t ->
+  session:'r Spe_mpc.Session.t ->
+  index:int ->
+  on_done:((outcome, exn) Stdlib.result -> unit) ->
+  unit ->
+  unit
+(** The event-driven twin of {!run_party}: the seat runs as a
+    resumable state machine on [reactor] — parked between events,
+    woken by the transport's delivery hook, its round deadlines kept
+    by reactor timers — so a host (an [spe serve] daemon) runs every
+    seat of every concurrent session on one loop thread instead of one
+    thread each.  Must be called from the reactor thread; [on_done]
+    fires exactly once, on the reactor thread, with the outcome or
+    with exactly the exception {!run_party} would have raised.  The
+    transport's [try_recv]/[set_notify] interface is the only one
+    used, so both blocking-capable transports ({!Mux} sessions) and
+    reactor-owned ones work. *)
+
 val run_group :
   ?config:config ->
   ?trace:Spe_obs.Trace.t ->
@@ -126,11 +148,19 @@ val run_socket :
   max_rounds:int ->
   unit ->
   result
-(** {!run_group} over a fresh {!Transport.Socket} group (fresh
-    Unix-domain sockets in a temporary directory unless [addresses]
-    says otherwise); [fault] and [trace] are shared with the
-    transports, so the socket engine takes the same per-frame fault
-    policies the memory engine does. *)
+(** The {!run_group} contract over a fresh {!Transport.Socket} group
+    (fresh Unix-domain sockets in a temporary directory unless
+    [addresses] says otherwise); [fault] and [trace] are shared with
+    the transports, so the socket engine takes the same per-frame
+    fault policies the memory engine does.
+
+    Since the reactor rewrite this engine spawns no threads: the
+    parties run as state machines on a private {!Reactor} driven by
+    the calling thread, over reactor-owned connections
+    ({!Transport.Socket.reactor_group}).  Results, accounting and the
+    failure contract are unchanged — the cross-engine suites pin the
+    socket engine bit-identical to the blocking memory engine, which
+    stays as the differential oracle. *)
 
 val run_session_memory :
   ?config:config ->
@@ -210,6 +240,12 @@ val run_sessions_socket :
   ?traces:Spe_obs.Trace.t array ->
   'r Spe_mpc.Session.t array ->
   ('r * result) array
-(** {!run_sessions_memory} over fresh Unix-domain socket groups (one
-    temporary directory per session), with the same per-session
-    [faults] and [kills] hooks. *)
+(** The {!run_sessions_memory} contract over fresh socketpair groups,
+    with the same per-session [faults] and [kills] hooks — but since
+    the reactor rewrite the pool spawns no threads at all: [workers]
+    bounds how many shard sessions are {e in flight} on the one
+    reactor the calling thread drives, so k shards cost k sets of
+    state machines, not k×parties blocked threads.  Claim order,
+    sibling cancellation on failure and root-cause attribution
+    ({!Worker_killed} outranks timeouts, [Transport.Closed] is the
+    echo) are identical to the thread pool's. *)

@@ -12,41 +12,101 @@
    endpoint threads cannot deadlock through the mux. *)
 
 module Mailbox = struct
-  (* A private copy of the transport mailbox discipline: mutex-guarded
-     queue with a polled pop (see Transport.Mailbox for why polling). *)
+  (* A private copy of the transport mailbox discipline — parked
+     condition-variable-style wait plus the try_recv/notify readiness
+     interface (see Transport.Mailbox) — with one difference: a closed
+     mux mailbox drains its remaining frames before raising [Closed],
+     because a session seat may still complete from frames that
+     arrived before its peer's connection died. *)
   type t = {
     lock : Mutex.t;
     frames : bytes Queue.t;
     mutable closed : bool;
+    mutable waiting : bool;
+    mutable wake : (Unix.file_descr * Unix.file_descr) option;
+    mutable notify : (unit -> unit) option;
   }
 
-  let create () = { lock = Mutex.create (); frames = Queue.create (); closed = false }
+  let create () =
+    {
+      lock = Mutex.create ();
+      frames = Queue.create ();
+      closed = false;
+      waiting = false;
+      wake = None;
+      notify = None;
+    }
 
   let with_lock mb f =
     Mutex.lock mb.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock mb.lock) f
 
-  let push mb body =
-    with_lock mb (fun () -> if not mb.closed then Queue.push body mb.frames)
+  let wake_byte = Bytes.make 1 '!'
 
-  let poll_interval = 0.0005
+  let signal_locked mb =
+    if mb.waiting then
+      match mb.wake with
+      | Some (_, w) -> ( try ignore (Unix.write w wake_byte 0 1) with Unix.Unix_error _ -> ())
+      | None -> ()
+
+  let run_notify mb =
+    match with_lock mb (fun () -> mb.notify) with Some f -> f () | None -> ()
+
+  let set_notify mb f = with_lock mb (fun () -> mb.notify <- Some f)
+
+  let push mb body =
+    with_lock mb (fun () ->
+        if not mb.closed then begin
+          Queue.push body mb.frames;
+          signal_locked mb
+        end);
+    run_notify mb
+
+  let try_pop mb =
+    with_lock mb (fun () ->
+        if mb.closed && Queue.is_empty mb.frames then raise Transport.Closed;
+        Queue.take_opt mb.frames)
 
   let rec pop mb ~deadline =
     let next =
       with_lock mb (fun () ->
           if mb.closed && Queue.is_empty mb.frames then raise Transport.Closed;
-          Queue.take_opt mb.frames)
+          match Queue.take_opt mb.frames with
+          | Some _ as r -> `Frame r
+          | None ->
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining <= 0. then `Expired
+            else begin
+              (* One pipe per park, owned by this popper: created here,
+                 deregistered under the lock and closed right after the
+                 wait, so a pusher can never signal a stale descriptor
+                 and a long-lived daemon's mailboxes leak nothing. *)
+              let r, w = Unix.pipe () in
+              Unix.set_nonblock w;
+              mb.wake <- Some (r, w);
+              mb.waiting <- true;
+              `Park (r, w, remaining)
+            end)
     in
     match next with
-    | Some _ as r -> r
-    | None ->
-      if Unix.gettimeofday () >= deadline then None
-      else begin
-        Thread.delay poll_interval;
-        pop mb ~deadline
-      end
+    | `Frame r -> r
+    | `Expired -> None
+    | `Park (r, w, remaining) ->
+      (match Unix.select [ r ] [] [] remaining with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      with_lock mb (fun () ->
+          mb.waiting <- false;
+          mb.wake <- None);
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      pop mb ~deadline
 
-  let close mb = with_lock mb (fun () -> mb.closed <- true)
+  let close mb =
+    with_lock mb (fun () ->
+        mb.closed <- true;
+        signal_locked mb);
+    run_notify mb
 end
 
 type entry = {
@@ -196,6 +256,8 @@ let open_session t ~sid ~peers =
       send;
       send_many;
       recv = (fun ~deadline -> Mailbox.pop entry.mailbox ~deadline);
+      try_recv = (fun () -> Mailbox.try_pop entry.mailbox);
+      set_notify = (fun f -> Mailbox.set_notify entry.mailbox f);
       close;
       sent_bytes = (fun () -> Atomic.get sent);
     },

@@ -6,54 +6,126 @@ type t = {
   send : int -> bytes -> unit;
   send_many : int -> bytes list -> unit;
   recv : deadline:float -> bytes option;
+  try_recv : unit -> bytes option;
+  set_notify : (unit -> unit) -> unit;
   close : unit -> unit;
   sent_bytes : unit -> int;
 }
 
-(* A mutex-guarded frame queue.  [pop] polls rather than waiting on a
-   condition variable: the stdlib [Condition] has no timed wait, and a
-   sub-millisecond poll is far below every protocol timeout. *)
+(* A mutex-guarded frame queue with a condition-variable-style parked
+   wait.  The stdlib [Condition] has no timed wait, and [recv] must
+   honour a deadline, so the condvar is pipe-backed: an empty [pop]
+   parks in [Unix.select] on a lazily-created wake pipe with exactly
+   the remaining time as the timeout, and a [push] into an empty queue
+   (or a [close]) writes one byte to wake it.  No polling, exact
+   deadlines — the old 0.5 ms [Thread.delay] poll burned a core for
+   the whole of a long compute phase on the far side.
+
+   The mailbox also carries the reactor-facing readiness interface:
+   [try_recv] (non-blocking pop) and a notify callback invoked after
+   every delivery and on close, which is how a push from a foreign
+   thread wakes a state machine parked on another thread's reactor. *)
 module Mailbox = struct
   type m = {
     lock : Mutex.t;
     frames : bytes Queue.t;
     mutable closed : bool;
+    mutable waiting : bool;  (* a popper is parked on the wake pipe *)
+    mutable wake : (Unix.file_descr * Unix.file_descr) option;
+        (* Owned by the parked popper for the duration of one park:
+           created before parking, removed under the lock and closed
+           right after the wait, so a pusher can never touch a stale
+           descriptor and nothing leaks on close. *)
+    mutable notify : (unit -> unit) option;
   }
 
-  let create () = { lock = Mutex.create (); frames = Queue.create (); closed = false }
+  let create () =
+    {
+      lock = Mutex.create ();
+      frames = Queue.create ();
+      closed = false;
+      waiting = false;
+      wake = None;
+      notify = None;
+    }
 
   let with_lock mb f =
     Mutex.lock mb.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock mb.lock) f
 
+  let wake_byte = Bytes.make 1 '!'
+
+  (* Call with the lock held; the write is safe under it because the
+     popper only ever reads the pipe outside the lock. *)
+  let signal_locked mb =
+    if mb.waiting then
+      match mb.wake with
+      | Some (_, w) -> ( try ignore (Unix.write w wake_byte 0 1) with Unix.Unix_error _ -> ())
+      | None -> ()
+
+  let notify_of mb = with_lock mb (fun () -> mb.notify)
+
+  let run_notify mb = match notify_of mb with Some f -> f () | None -> ()
+
+  let set_notify mb f = with_lock mb (fun () -> mb.notify <- Some f)
+
   let push mb body =
     with_lock mb (fun () ->
         if mb.closed then raise Closed;
-        Queue.push body mb.frames)
+        Queue.push body mb.frames;
+        signal_locked mb);
+    run_notify mb
 
   let push_list mb bodies =
     with_lock mb (fun () ->
         if mb.closed then raise Closed;
-        List.iter (fun b -> Queue.push b mb.frames) bodies)
+        List.iter (fun b -> Queue.push b mb.frames) bodies;
+        signal_locked mb);
+    run_notify mb
 
-  let poll_interval = 0.0005
+  let try_pop mb =
+    with_lock mb (fun () ->
+        if mb.closed then raise Closed;
+        Queue.take_opt mb.frames)
 
   let rec pop mb ~deadline =
     let next =
       with_lock mb (fun () ->
           if mb.closed then raise Closed;
-          Queue.take_opt mb.frames)
+          match Queue.take_opt mb.frames with
+          | Some _ as r -> `Frame r
+          | None ->
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining <= 0. then `Expired
+            else begin
+              let r, w = Unix.pipe () in
+              Unix.set_nonblock w;
+              mb.wake <- Some (r, w);
+              mb.waiting <- true;
+              `Park (r, w, remaining)
+            end)
     in
     match next with
-    | Some _ as r -> r
-    | None ->
-      if Unix.gettimeofday () >= deadline then None
-      else begin
-        Thread.delay poll_interval;
-        pop mb ~deadline
-      end
+    | `Frame r -> r
+    | `Expired -> None
+    | `Park (r, w, remaining) ->
+      (match Unix.select [ r ] [] [] remaining with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      with_lock mb (fun () ->
+          mb.waiting <- false;
+          mb.wake <- None);
+      (* Exclusive owner now — no pusher can signal a pipe that is no
+         longer registered, so closing cannot race a write. *)
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      pop mb ~deadline
 
-  let close mb = with_lock mb (fun () -> mb.closed <- true)
+  let close mb =
+    with_lock mb (fun () ->
+        mb.closed <- true;
+        signal_locked mb);
+    run_notify mb
 end
 
 let check_dst ~peers dst =
@@ -124,6 +196,8 @@ module Memory = struct
           send;
           send_many;
           recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
+          try_recv = (fun () -> Mailbox.try_pop mailboxes.(self));
+          set_notify = (fun f -> Mailbox.set_notify mailboxes.(self) f);
           close = close_all;
           sent_bytes = (fun () -> Atomic.get counters.(self));
         })
@@ -180,11 +254,18 @@ module Socket = struct
 
   let conn_of fd = { fd; send_mx = Mutex.create (); fd_open = true }
 
-  (* Everything past rendezvous is shared by both constructors:
-     [spin_up] takes a fully-populated connection matrix — where
-     conns.(i).(j) is the descriptor endpoint i uses to exchange
-     frames with endpoint j — and returns the endpoint array, owning
-     the teardown protocol and the group's poller thread. *)
+  let prefixed body =
+    let len = Bytes.length body in
+    let buf = Bytes.create (Frame.length_prefix_bytes + len) in
+    Bytes.set_int32_be buf 0 (Int32.of_int len);
+    Bytes.blit body 0 buf Frame.length_prefix_bytes len;
+    buf
+
+  (* Everything past rendezvous is shared by both blocking
+     constructors: [spin_up] takes a fully-populated connection matrix
+     — where conns.(i).(j) is the descriptor endpoint i uses to
+     exchange frames with endpoint j — and returns the endpoint array,
+     owning the teardown protocol and the group's poller thread. *)
   let spin_up ~fault ~trace ~m ~mailboxes ~counters ~conns =
     let closed = Atomic.make false in
     (* Teardown protocol: [close_all] only *shuts down* every socket —
@@ -300,13 +381,6 @@ module Socket = struct
               try really_write c.fd buf 0 (Bytes.length buf)
               with Unix.Unix_error _ -> raise Closed)
         in
-        let prefixed body =
-          let len = Bytes.length body in
-          let buf = Bytes.create (Frame.length_prefix_bytes + len) in
-          Bytes.set_int32_be buf 0 (Int32.of_int len);
-          Bytes.blit body 0 buf Frame.length_prefix_bytes len;
-          buf
-        in
         (* Fault decisions mirror the memory backend exactly — charge
            the frame *before* deciding (a dropped frame still counts as
            transmitted, so the framing closed form survives faults),
@@ -366,6 +440,266 @@ module Socket = struct
           send;
           send_many;
           recv = (fun ~deadline -> Mailbox.pop mailboxes.(self) ~deadline);
+          try_recv = (fun () -> Mailbox.try_pop mailboxes.(self));
+          set_notify = (fun f -> Mailbox.set_notify mailboxes.(self) f);
+          close = close_all;
+          sent_bytes = (fun () -> Atomic.get counters.(self));
+        })
+
+  (* --- Reactor-driven groups -------------------------------------------------- *)
+
+  (* A byte window over a reusable backing buffer: valid bytes are
+     [buf.(off) .. buf.(off + len - 1)].  Appends compact or grow in
+     place, so a connection's read path reuses one buffer for the
+     whole session instead of [Bytes.cat]-ing a fresh copy per chunk
+     (the old poller's tail accumulation was quadratic on large
+     bursts), and the write path uses the same shape as its pending
+     output window. *)
+  module Slab = struct
+    type s = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+    let create () = { buf = Bytes.create 4096; off = 0; len = 0 }
+
+    let reserve s n =
+      if s.off + s.len + n > Bytes.length s.buf then
+        if s.len + n <= Bytes.length s.buf then begin
+          (* Enough total room: slide the window back to the start. *)
+          Bytes.blit s.buf s.off s.buf 0 s.len;
+          s.off <- 0
+        end
+        else begin
+          let cap = ref (max 4096 (Bytes.length s.buf)) in
+          while !cap < s.len + n do
+            cap := !cap * 2
+          done;
+          let buf = Bytes.create !cap in
+          Bytes.blit s.buf s.off buf 0 s.len;
+          s.buf <- buf;
+          s.off <- 0
+        end
+
+    let add s src off n =
+      reserve s n;
+      Bytes.blit src off s.buf (s.off + s.len) n;
+      s.len <- s.len + n
+
+    let consume s n =
+      s.off <- s.off + n;
+      s.len <- s.len - n;
+      if s.len = 0 then s.off <- 0
+  end
+
+  (* One direction-owning descriptor of a reactor group: endpoint
+     [owner] reads its inbound frames from [fd] and queues its
+     outbound bytes on [out] until the send-flush continuation has
+     drained them. *)
+  type rconn = {
+    r_fd : Unix.file_descr;
+    r_owner : int;
+    mutable r_open : bool;
+    r_in : Slab.s;
+    r_out : Slab.s;
+    mutable r_flushing : bool;  (* on_writable continuation installed *)
+  }
+
+  (* The per-endpoint inbox of a reactor group.  Single-threaded: the
+     reactor loop is the only reader and (via the read callbacks) the
+     only writer, so no lock — only the notify hook, which posts the
+     owning machine's wake task. *)
+  type rinbox = {
+    q : bytes Queue.t;
+    mutable rx_closed : bool;
+    mutable rx_notify : (unit -> unit) option;
+  }
+
+  let spin_up_reactor ~reactor ~fault ~trace ~m ~counters ~conns =
+    let closed = ref false in
+    let inboxes =
+      Array.init m (fun _ -> { q = Queue.create (); rx_closed = false; rx_notify = None })
+    in
+    let rconns =
+      Array.map
+        (Array.map (Option.map (fun (owner, fd) ->
+             Unix.set_nonblock fd;
+             {
+               r_fd = fd;
+               r_owner = owner;
+               r_open = true;
+               r_in = Slab.create ();
+               r_out = Slab.create ();
+               r_flushing = false;
+             })))
+        conns
+    in
+    let notify_inbox ib = match ib.rx_notify with Some f -> f () | None -> () in
+    let kill_conn c =
+      if c.r_open then begin
+        c.r_open <- false;
+        Reactor.forget_fd reactor c.r_fd;
+        (try Unix.close c.r_fd with Unix.Unix_error _ -> ())
+      end
+    in
+    let close_all () =
+      if not !closed then begin
+        closed := true;
+        Array.iter (Array.iter (function None -> () | Some c -> kill_conn c)) rconns;
+        Array.iter
+          (fun ib ->
+            ib.rx_closed <- true;
+            notify_inbox ib)
+          inboxes
+      end
+    in
+    (* The buffer-reusing read path: append whatever the kernel has
+       into the connection's slab, slice out every complete frame in
+       place, and wake the owning machine once per burst. *)
+    let on_read c =
+      let ib = inboxes.(c.r_owner) in
+      Slab.reserve c.r_in 65536;
+      let s = c.r_in in
+      match Unix.read c.r_fd s.Slab.buf (s.Slab.off + s.Slab.len) 65536 with
+      | 0 -> kill_conn c
+      | nread ->
+        s.Slab.len <- s.Slab.len + nread;
+        let delivered = ref false in
+        let rec consume () =
+          if s.Slab.len >= Frame.length_prefix_bytes then begin
+            let flen = Int32.to_int (Bytes.get_int32_be s.Slab.buf s.Slab.off) in
+            if s.Slab.len >= Frame.length_prefix_bytes + flen then begin
+              let body = Bytes.sub s.Slab.buf (s.Slab.off + Frame.length_prefix_bytes) flen in
+              Slab.consume s (Frame.length_prefix_bytes + flen);
+              if not ib.rx_closed then begin
+                Queue.push body ib.q;
+                delivered := true
+              end;
+              consume ()
+            end
+          end
+        in
+        consume ();
+        if !delivered then notify_inbox ib
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> kill_conn c
+    in
+    Array.iter
+      (Array.iter (function
+        | None -> ()
+        | Some c -> Reactor.on_readable reactor c.r_fd (fun () -> on_read c)))
+      rconns;
+    (* The send-flush continuation: write as much pending output as
+       the kernel will take; on a short write park a writability
+       interest and resume there.  This is what lets m machines share
+       one thread without a full socket buffer deadlocking the loop. *)
+    let rec flush c =
+      let s = c.r_out in
+      if c.r_open && s.Slab.len > 0 then begin
+        match Unix.write c.r_fd s.Slab.buf s.Slab.off s.Slab.len with
+        | n ->
+          Slab.consume s n;
+          if s.Slab.len > 0 then park c else unpark c
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          park c
+        | exception Unix.Unix_error _ ->
+          (* The peer is gone; the machines will find out through the
+             barrier.  Drop the pending output. *)
+          s.Slab.len <- 0;
+          s.Slab.off <- 0;
+          kill_conn c
+      end
+      else if c.r_open then unpark c
+    and park c =
+      if not c.r_flushing then begin
+        c.r_flushing <- true;
+        Reactor.on_writable reactor c.r_fd (fun () -> flush c)
+      end
+    and unpark c =
+      if c.r_flushing then begin
+        c.r_flushing <- false;
+        Reactor.clear_writable reactor c.r_fd
+      end
+    in
+    Array.init m (fun self ->
+        let label = index_label self in
+        let conn_to dst =
+          check_dst ~peers:m dst;
+          if !closed then raise Closed;
+          match rconns.(self).(dst) with
+          | None -> invalid_arg "Transport.send: unknown peer"
+          | Some c -> c
+        in
+        let count_frame body =
+          let cost = Frame.length_prefix_bytes + Bytes.length body in
+          Atomic.fetch_and_add counters.(self) cost |> ignore;
+          Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost
+        in
+        let enqueue c buf =
+          if not c.r_open then raise Closed;
+          Slab.add c.r_out buf 0 (Bytes.length buf)
+        in
+        (* Identical fault semantics to the blocking backends — charge
+           before deciding — except a [Delay] holds the frame on a
+           reactor timer instead of a helper thread: the injection
+           point lives on the loop the machines run on. *)
+        let classify dst body =
+          count_frame body;
+          match Fault.decide fault ~src:self ~dst with
+          | Fault.Deliver -> [ prefixed body ]
+          | Fault.Drop ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst);
+            []
+          | Fault.Delay d ->
+            Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label
+                (Printf.sprintf "fault.delay %.3fs ->#%d" d dst);
+            let buf = prefixed body in
+            ignore
+              (Reactor.at reactor
+                 (Unix.gettimeofday () +. d)
+                 (fun () ->
+                   if not !closed then
+                     match rconns.(self).(dst) with
+                     | Some c when c.r_open ->
+                       Slab.add c.r_out buf 0 (Bytes.length buf);
+                       flush c
+                     | _ -> ()));
+            []
+          | Fault.Duplicate ->
+            count_frame body;
+            if Spe_obs.Trace.enabled trace then
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.dup ->#%d" dst);
+            let buf = prefixed body in
+            [ buf; buf ]
+        in
+        let send_many dst bodies =
+          match bodies with
+          | [] -> ()
+          | bodies -> (
+            let c = conn_to dst in
+            match List.concat_map (classify dst) bodies with
+            | [] -> ()
+            | bufs ->
+              List.iter (enqueue c) bufs;
+              flush c)
+        in
+        let send dst body = send_many dst [ body ] in
+        let try_recv () =
+          let ib = inboxes.(self) in
+          if ib.rx_closed && Queue.is_empty ib.q then raise Closed;
+          Queue.take_opt ib.q
+        in
+        {
+          self;
+          peers = m;
+          send;
+          send_many;
+          recv =
+            (fun ~deadline:_ ->
+              invalid_arg "Transport: blocking recv on a reactor transport");
+          try_recv;
+          set_notify = (fun f -> inboxes.(self).rx_notify <- Some f);
           close = close_all;
           sent_bytes = (fun () -> Atomic.get counters.(self));
         })
@@ -450,6 +784,84 @@ module Socket = struct
       done
     done;
     spin_up ~fault ~trace ~m ~mailboxes ~counters ~conns
+
+  (* The reactor twin of [create_group_local]: same socketpair mesh,
+     same frames and fault accounting, but every descriptor belongs to
+     [reactor] and the returned transports speak the non-blocking
+     readiness interface ([try_recv] + notify) instead of a blocking
+     [recv].  Zero threads: reads, writes, delays and teardown all
+     happen on the loop. *)
+  let reactor_group_local ?(fault = Fault.none) ?(trace = Spe_obs.Trace.disabled ())
+      ~reactor ~m () =
+    Lazy.force ignore_sigpipe;
+    if m < 2 then
+      invalid_arg "Transport.Socket.reactor_group_local: need at least two endpoints";
+    let counters = Array.init m (fun _ -> Atomic.make 0) in
+    let conns = Array.make_matrix m m None in
+    for j = 1 to m - 1 do
+      for i = 0 to j - 1 do
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        conns.(i).(j) <- Some (i, a);
+        conns.(j).(i) <- Some (j, b)
+      done
+    done;
+    spin_up_reactor ~reactor ~fault ~trace ~m ~counters ~conns
+
+  (* The reactor twin of [create_group]: the addressed rendezvous and
+     its Hello accounting are identical (and still blocking — setup is
+     a fixed syscall sequence before the loop starts), then the
+     descriptors are handed to the reactor. *)
+  let reactor_group ?(fault = Fault.none) ?(trace = Spe_obs.Trace.disabled ()) ~reactor
+      ~addresses () =
+    Lazy.force ignore_sigpipe;
+    let m = Array.length addresses in
+    if m < 2 then invalid_arg "Transport.Socket.reactor_group: need at least two endpoints";
+    let counters = Array.init m (fun _ -> Atomic.make 0) in
+    let conns = Array.make_matrix m m None in
+    let listeners =
+      Array.mapi
+        (fun i addr ->
+          let domain = match addr with Unix_domain _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+          let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+          (match addr with
+          | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+          | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
+          Unix.bind sock (sockaddr_of addr);
+          Unix.listen sock m;
+          (i, sock))
+        addresses
+    in
+    for j = 1 to m - 1 do
+      for i = 0 to j - 1 do
+        let fd = Unix.socket (match addresses.(i) with Unix_domain _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET) Unix.SOCK_STREAM 0 in
+        Unix.connect fd (sockaddr_of addresses.(i));
+        let hello = Frame.encode (Frame.Hello { sender = j }) in
+        write_frame fd hello;
+        let cost = Frame.length_prefix_bytes + Bytes.length hello in
+        Atomic.fetch_and_add counters.(j) cost |> ignore;
+        Spe_obs.Trace.count trace ~party:(index_label j) Spe_obs.Trace.Transport_bytes cost;
+        conns.(j).(i) <- Some (j, fd)
+      done
+    done;
+    Array.iter
+      (fun (i, listener) ->
+        for _ = i + 1 to m - 1 do
+          let fd, _ = Unix.accept listener in
+          match read_frame fd with
+          | Some body -> (
+            match Frame.decode body with
+            | Frame.Hello { sender } -> conns.(i).(sender) <- Some (i, fd)
+            | _ -> failwith "Transport.Socket: expected Hello")
+          | None -> failwith "Transport.Socket: peer hung up during handshake"
+        done;
+        Unix.close listener)
+      listeners;
+    Array.iter
+      (function
+        | Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _ -> ())
+      addresses;
+    spin_up_reactor ~reactor ~fault ~trace ~m ~counters ~conns
 
   (* One rendezvous directory per process, group sockets numbered
      within it — a fresh [Filename.temp_dir] per group costs directory

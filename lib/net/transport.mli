@@ -34,7 +34,25 @@ type t = {
   recv : deadline:float -> bytes option;
       (** Next inbound frame body, from any peer; [None] once
           [Unix.gettimeofday () >= deadline] with nothing pending.
-          Raises [Closed] after {!close}. *)
+          The wait is a parked condition-variable-style wait (no
+          polling): a push on the far side wakes it immediately.
+          Raises [Closed] after {!close}.  On a reactor transport
+          (where blocking the loop thread would deadlock the group)
+          this raises [Invalid_argument] — use {!try_recv}. *)
+  try_recv : unit -> bytes option;
+      (** The non-blocking readiness interface: the next inbound frame
+          body if one is already queued, [None] otherwise.  Raises
+          [Closed] once the transport is closed.  This is what the
+          event-driven endpoint machines use — paired with
+          {!set_notify} so they only look when there is something to
+          see. *)
+  set_notify : (unit -> unit) -> unit;
+      (** Install the delivery hook (replacing any previous one): it
+          fires after every frame delivery into this endpoint's queue
+          and once on close.  It may fire from a foreign thread (a
+          socket reader, a daemon connection thread); the endpoint
+          machines install a hook that posts a wake task to their
+          reactor, which is thread-safe. *)
   close : unit -> unit;  (** Idempotent. *)
   sent_bytes : unit -> int;
       (** Framed bytes this endpoint has transmitted so far, length
@@ -97,6 +115,33 @@ module Socket : sig
       rather than at the handshake cost.  The shard pool uses this:
       one fresh group per shard session makes the addressed handshake
       a per-shard tax that a socketpair group avoids. *)
+
+  val reactor_group_local :
+    ?fault:Fault.t -> ?trace:Spe_obs.Trace.t -> reactor:Reactor.t -> m:int -> unit -> t array
+  (** The event-driven twin of {!create_group_local}: the same
+      socketpair mesh, frames and fault/byte accounting, but every
+      descriptor is owned by [reactor] — reads happen in a
+      buffer-reusing readiness callback, writes are buffered and
+      drained by a send-flush continuation when the socket is
+      writable, and a {!Fault.Delay} holds its frame on a reactor
+      timer instead of a helper thread.  The returned transports
+      support only the non-blocking interface: [recv] raises
+      [Invalid_argument]; drive them with [try_recv]/[set_notify] from
+      the reactor thread.  All operations (including [close]) must run
+      on the reactor thread. *)
+
+  val reactor_group :
+    ?fault:Fault.t ->
+    ?trace:Spe_obs.Trace.t ->
+    reactor:Reactor.t ->
+    addresses:address array ->
+    unit ->
+    t array
+  (** The event-driven twin of {!create_group}: identical addressed
+      rendezvous and Hello byte accounting (setup itself is still a
+      fixed blocking syscall sequence, before the loop starts), then
+      the connections are handed to [reactor] exactly as in
+      {!reactor_group_local}. *)
 
   val temp_unix_addresses : m:int -> address array
   (** Fresh Unix-domain socket paths in a private temporary directory,

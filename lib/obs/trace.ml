@@ -74,6 +74,9 @@ let span t ?party ?index kind label f =
       raise e
   end
 
+let record_span t ?party ?index kind label ~start ~stop =
+  if t.recording then record t (Span { kind; label; party; index; start; stop })
+
 let count t ?party ?round counter delta =
   if delta < 0 then invalid_arg "Trace.count: negative delta";
   if t.recording && delta > 0 then

@@ -85,6 +85,20 @@ val span : t -> ?party:string -> ?index:int -> span_kind -> string -> (unit -> '
     around it.  If [f] raises, the span is recorded up to the raise and
     the exception is re-raised — timeout paths stay visible. *)
 
+val now : t -> float
+(** The trace's current timestamp: seconds since creation on the
+    trace's own clock.  The seam for {!record_span}: an event-driven
+    runner reads [now] when an interval opens and again when it closes,
+    since no closure brackets the interval.  On a [ticking] clock each
+    call advances the clock one step. *)
+
+val record_span :
+  t -> ?party:string -> ?index:int -> span_kind -> string -> start:float -> stop:float -> unit
+(** Record a span whose endpoints the caller timed itself (with {!now}).
+    This is how resumable state machines trace rounds and sessions that
+    span many scheduler wake-ups — {!span} cannot wrap work that is not
+    a single closure.  No-op on a disabled trace. *)
+
 val count : t -> ?party:string -> ?round:int -> counter -> int -> unit
 (** Add [delta] to a counter.  Negative deltas raise
     [Invalid_argument]. *)

@@ -27,6 +27,7 @@
 module Endpoint = Spe_net.Endpoint
 module Transport = Spe_net.Transport
 module Mux = Spe_net.Mux
+module Reactor = Spe_net.Reactor
 module Trace = Spe_obs.Trace
 module Metrics = Spe_obs.Metrics
 
@@ -47,8 +48,12 @@ let default_config ~party ~roster =
     party;
     roster;
     listen = None;
-    max_sessions = 4;
-    max_queue = 64;
+    (* Jobs are reactor task chains, not worker threads, so the
+       concurrency cap is bookkeeping rather than a thread budget —
+       high enough that a pipelined burst (the 500-job stress smoke)
+       queues on admission, not on artificial session scarcity. *)
+    max_sessions = 16;
+    max_queue = 1024;
     metrics_addr = None;
     (* Compute-friendly like the CLI pipelines: local connections are
        reliable, and a busy party decrypting bundles looks exactly like
@@ -93,6 +98,12 @@ type t = {
   workload : Job.workload;
   wdigest : int;
   mux : Mux.t;
+  reactor : Reactor.t;
+      (** The daemon's one event loop: every job — host and provider
+          side — runs on it as a task chain, every session seat as an
+          endpoint machine.  Connection readers stay as threads (they
+          block on peer sockets) and hand everything to the loop with
+          [Reactor.post]. *)
   lock : Mutex.t;
   peers : conn option array;  (** By daemon id; [None] = not connected. *)
   clients : (int, conn) Hashtbl.t;
@@ -104,7 +115,7 @@ type t = {
   mutable scrape : Spe_obs.Scrape.t option;
   mutable stopping : bool;
   mutable stopped : bool;
-  workers : Thread.t list ref;
+  loop : Thread.t option ref;  (** The thread driving [reactor]. *)
   acceptor : Thread.t option ref;
   (* Gauges. *)
   hellos_sent : int Atomic.t;
@@ -156,6 +167,11 @@ let render_scrape t () =
       ("hellos_received", Atomic.get t.hellos_received);
       ("clients_accepted", Atomic.get t.clients_accepted);
       ("sessions_run", Atomic.get t.sessions_run);
+      (* Reactor gauges: the loop's live vital signs. *)
+      ("reactor_iterations", Reactor.iterations t.reactor);
+      ("reactor_timer_fires", Reactor.timer_fires t.reactor);
+      ("reactor_ready_depth", Reactor.ready_depth t.reactor);
+      ("reactor_pending_timers", Reactor.pending_timers t.reactor);
     ]
   in
   let report =
@@ -188,74 +204,92 @@ let pipeline_label = function
   | Serve_proto.Links -> "links"
   | Serve_proto.Scores -> "scores"
 
-let run_seat t ~protocol (seat : Job.seat) =
-  let trace = if tracing t then Trace.create () else Trace.disabled () in
-  let transport, index = Mux.open_session t.mux ~sid:seat.Job.sid ~peers:seat.Job.peers in
-  assert (index = seat.Job.index);
-  Fun.protect
-    ~finally:(fun () -> try transport.Transport.close () with _ -> ())
-    (fun () ->
-      let _outcome =
-        Trace.span trace Trace.Session "session" (fun () ->
-            Endpoint.run_party ~config:(endpoint_config t) ~trace ~transport
-              ~session:seat.Job.session ~index ())
-      in
-      Atomic.incr t.sessions_run;
-      if tracing t then
-        record_report t
-          (Metrics.of_trace ~protocol ~engine:"serve"
-             ~parties:(Array.length seat.Job.session.Spe_mpc.Session.parties)
-             trace))
+(* One seat of one session as an endpoint machine on the daemon's
+   reactor.  [on_done] fires on the loop thread, exactly once. *)
+let run_seat_async t ~protocol (seat : Job.seat) ~on_done =
+  match Mux.open_session t.mux ~sid:seat.Job.sid ~peers:seat.Job.peers with
+  | exception e -> on_done (Error e)
+  | transport, index ->
+    assert (index = seat.Job.index);
+    let trace = if tracing t then Trace.create () else Trace.disabled () in
+    let start = if tracing t then Trace.now trace else 0. in
+    Endpoint.run_party_async ~config:(endpoint_config t) ~trace ~reactor:t.reactor
+      ~transport ~session:seat.Job.session ~index
+      ~on_done:(fun res ->
+        (try transport.Transport.close () with _ -> ());
+        match res with
+        | Error _ as e -> on_done e
+        | Ok _outcome ->
+          Atomic.incr t.sessions_run;
+          if tracing t then begin
+            Trace.record_span trace Trace.Session "session" ~start ~stop:(Trace.now trace);
+            record_report t
+              (Metrics.of_trace ~protocol ~engine:"serve"
+                 ~parties:(Array.length seat.Job.session.Spe_mpc.Session.parties)
+                 trace)
+          end;
+          on_done (Ok ()))
+      ()
 
 (* Run one stage's seats concurrently (the in-stage sessions are
    mutually independent, like the worker pool's), abort the whole job's
    sessions on the first failure so sibling seats — here and in every
-   other daemon — unwind promptly, and re-raise the root cause. *)
-let run_stage t ~protocol ~all_sids seats =
+   other daemon — unwind promptly, and surface the root cause.
+   [on_done] receives [None] on success, [Some root_cause] otherwise. *)
+let run_stage_async t ~protocol ~all_sids seats ~on_done =
   match seats with
-  | [] -> ()
-  | [ seat ] -> run_seat t ~protocol seat
-  | first :: rest ->
-    let errors = Array.make (List.length rest + 1) None in
+  | [] -> on_done None
+  | seats ->
+    let n = List.length seats in
+    let errors = Array.make n None in
+    let remaining = ref n in
     let abort_all () = List.iter (fun sid -> Mux.abort t.mux ~sid) all_sids in
-    let run i seat =
-      try run_seat t ~protocol seat
-      with e ->
+    let seat_done i res =
+      (match res with
+      | Ok () -> ()
+      | Error e ->
         errors.(i) <- Some e;
-        abort_all ()
+        abort_all ());
+      decr remaining;
+      if !remaining = 0 then begin
+        (* Prefer a root cause over the Closed echo the abort caused. *)
+        let root, any =
+          Array.fold_left
+            (fun (root, any) e ->
+              match e with
+              | None -> (root, any)
+              | Some Transport.Closed -> (root, if any = None then e else any)
+              | Some _ ->
+                ((if root = None then e else root), if any = None then e else any))
+            (None, None) errors
+        in
+        on_done (match (root, any) with Some _, _ -> root | None, _ -> any)
+      end
     in
-    let threads = List.mapi (fun i seat -> Thread.create (run (i + 1)) seat) rest in
-    run 0 first;
-    List.iter Thread.join threads;
-    (* Prefer a root cause over the Closed echo the abort caused. *)
-    let root, any =
-      Array.fold_left
-        (fun (root, any) e ->
-          match e with
-          | None -> (root, any)
-          | Some Transport.Closed -> (root, if any = None then e else any)
-          | Some _ -> ((if root = None then e else root), if any = None then e else any))
-        (None, None) errors
-    in
-    (match (root, any) with
-    | Some e, _ -> raise e
-    | None, Some e -> raise e
-    | None, None -> ())
+    List.iteri (fun i seat -> run_seat_async t ~protocol seat ~on_done:(seat_done i)) seats
 
-let run_my_seats t ~job ~spec planned =
+(* This daemon's seats of one job, stage after stage.  Registers the
+   job for [Job_cancel], defers the sids to the reaper on the way out
+   (late retransmits can trail a session by up to the linger), and
+   reports [None] or the root-cause failure to [on_done]. *)
+let run_job_async t ~job ~spec planned ~on_done =
   let protocol = pipeline_label spec.Serve_proto.pipeline in
   let per_stage, all_sids = Job.seats ~job ~party:t.config.party planned in
   with_lock t.lock (fun () -> Hashtbl.replace t.jobs job all_sids);
-  Fun.protect
-    ~finally:(fun () ->
-      with_lock t.lock (fun () -> Hashtbl.remove t.jobs job);
-      (* Late retransmits can trail a session by up to the linger;
-         remember the sids as finished until then, then let a later
-         job's bookkeeping pass reap them. *)
-      with_lock t.reap_lock (fun () ->
-          Queue.push (Unix.gettimeofday () +. (2. *. t.config.linger), all_sids) t.reap))
-    (fun () -> List.iter (fun seats -> run_stage t ~protocol ~all_sids seats) per_stage);
-  all_sids
+  let conclude res =
+    with_lock t.lock (fun () -> Hashtbl.remove t.jobs job);
+    with_lock t.reap_lock (fun () ->
+        Queue.push (Unix.gettimeofday () +. (2. *. t.config.linger), all_sids) t.reap);
+    on_done res
+  in
+  let rec stages = function
+    | [] -> conclude None
+    | stage :: rest ->
+      run_stage_async t ~protocol ~all_sids stage ~on_done:(function
+        | None -> stages rest
+        | Some _ as failure -> conclude failure)
+  in
+  stages per_stage
 
 let reap_finished t =
   let now = Unix.gettimeofday () in
@@ -302,92 +336,112 @@ let mesh_complete t =
       done);
   List.rev !missing
 
-let rec await_mesh t ~deadline =
-  match mesh_complete t with
-  | [] -> Ok ()
-  | missing ->
-    if Unix.gettimeofday () >= deadline then
-      Error
-        (Printf.sprintf "peer daemon%s %s not connected"
-           (if List.length missing > 1 then "s" else "")
-           (String.concat ", " (List.map Addr.party_name missing)))
-    else begin
-      Thread.delay 0.02;
-      await_mesh t ~deadline
-    end
+(* Wait for the mesh without holding the loop: re-check on a short
+   reactor timer until complete or the deadline passes. *)
+let await_mesh_async t ~deadline k =
+  let rec check () =
+    match mesh_complete t with
+    | [] -> k (Ok ())
+    | missing ->
+      if Unix.gettimeofday () >= deadline then
+        k
+          (Error
+             (Printf.sprintf "peer daemon%s %s not connected"
+                (if List.length missing > 1 then "s" else "")
+                (String.concat ", " (List.map Addr.party_name missing))))
+      else ignore (Reactor.at t.reactor (Unix.gettimeofday () +. 0.02) check)
+  in
+  check ()
 
 let reply_to client ~job reply =
   try send client (Serve_proto.Job_result { job; reply }) with Transport.Closed -> ()
 
-let run_host_job t { client; client_job; spec } =
+(* The host's job pump: claim queued jobs while active slots are free
+   and launch each as a task chain on the loop.  Runs on the loop
+   thread; re-entered from every job conclusion and from a post after
+   every accepted submission — the reactor replaces the fixed pool of
+   [max_sessions] worker threads with this one loop. *)
+let rec pump t =
+  match Scheduler.take_opt t.scheduler with
+  | None -> ()
+  | Some job ->
+    start_host_job t job;
+    pump t
+
+and start_host_job t { client; client_job; spec } =
   reap_finished t;
+  let conclude () =
+    Scheduler.finish t.scheduler;
+    pump t
+  in
   let fail kind detail =
     Atomic.incr t.jobs_failed;
-    reply_to client ~job:client_job (Serve_proto.Failed { kind; detail })
+    reply_to client ~job:client_job (Serve_proto.Failed { kind; detail });
+    conclude ()
   in
   match Job.validate spec t.workload with
   | Error detail -> fail Serve_proto.Rejected detail
-  | Ok () -> (
-    match
-      await_mesh t
-        ~deadline:(Unix.gettimeofday () +. Float.min 10. t.config.round_timeout)
-    with
-    | Error detail -> fail Serve_proto.Peer_down detail
-    | Ok () -> (
-      let g = Atomic.fetch_and_add t.next_job 1 in
-      match
-        broadcast t (Serve_proto.Job_submit { job = g; spec });
-        let planned = Job.build spec t.workload in
-        ignore (run_my_seats t ~job:g ~spec planned);
-        Job.reply_of planned
-      with
-      | reply ->
-        Atomic.incr t.jobs_completed;
-        reply_to client ~job:client_job reply
-      | exception e ->
-        (* Tear the job down everywhere, then answer typed. *)
-        broadcast t (Serve_proto.Job_cancel { job = g });
-        let _, all_sids = Job.seats ~job:g ~party:t.config.party (Job.build spec t.workload) in
-        List.iter (fun sid -> Mux.abort t.mux ~sid) all_sids;
-        let kind, detail = failure_of_exn e in
-        fail kind detail))
-
-let host_worker t () =
-  let rec loop () =
-    match Scheduler.take t.scheduler with
-    | None -> ()
-    | Some job ->
-      (try run_host_job t job
-       with e ->
-         Atomic.incr t.jobs_failed;
-         reply_to job.client ~job:job.client_job
-           (Serve_proto.Failed { kind = Serve_proto.Other; detail = Printexc.to_string e }));
-      Scheduler.finish t.scheduler;
-      loop ()
-  in
-  loop ()
+  | Ok () ->
+    await_mesh_async t
+      ~deadline:(Unix.gettimeofday () +. Float.min 10. t.config.round_timeout)
+      (function
+        | Error detail -> fail Serve_proto.Peer_down detail
+        | Ok () -> (
+          let g = Atomic.fetch_and_add t.next_job 1 in
+          match
+            broadcast t (Serve_proto.Job_submit { job = g; spec });
+            Job.build spec t.workload
+          with
+          | exception e ->
+            broadcast t (Serve_proto.Job_cancel { job = g });
+            let kind, detail = failure_of_exn e in
+            fail kind detail
+          | planned ->
+            run_job_async t ~job:g ~spec planned ~on_done:(function
+              | None -> (
+                match Job.reply_of planned with
+                | reply ->
+                  Atomic.incr t.jobs_completed;
+                  reply_to client ~job:client_job reply;
+                  conclude ()
+                | exception e ->
+                  broadcast t (Serve_proto.Job_cancel { job = g });
+                  let kind, detail = failure_of_exn e in
+                  fail kind detail)
+              | Some e ->
+                (* Tear the job down everywhere, then answer typed. *)
+                broadcast t (Serve_proto.Job_cancel { job = g });
+                let _, all_sids = Job.seats ~job:g ~party:t.config.party planned in
+                List.iter (fun sid -> Mux.abort t.mux ~sid) all_sids;
+                let kind, detail = failure_of_exn e in
+                fail kind detail)))
 
 (* --- provider side ------------------------------------------------------- *)
 
-let run_provider_job t ~job spec =
+let start_provider_job t ~job spec =
   Atomic.incr t.active_jobs;
-  Fun.protect
-    ~finally:(fun () -> Atomic.decr t.active_jobs)
-    (fun () ->
-      reap_finished t;
-      match Job.validate spec t.workload with
-      | Error _ -> Atomic.incr t.jobs_failed
-      | Ok () -> (
-        try
-          let planned = Job.build spec t.workload in
-          ignore (run_my_seats t ~job ~spec planned);
-          Atomic.incr t.jobs_completed
-        with _ ->
-          (* The coordinator owns the client-facing diagnosis; here the
-             job's sessions just need to be dead. *)
-          Atomic.incr t.jobs_failed;
-          let _, all_sids = Job.seats ~job ~party:t.config.party (Job.build spec t.workload) in
-          List.iter (fun sid -> Mux.abort t.mux ~sid) all_sids))
+  let conclude () = Atomic.decr t.active_jobs in
+  reap_finished t;
+  match Job.validate spec t.workload with
+  | Error _ ->
+    Atomic.incr t.jobs_failed;
+    conclude ()
+  | Ok () -> (
+    match Job.build spec t.workload with
+    | exception _ ->
+      Atomic.incr t.jobs_failed;
+      conclude ()
+    | planned ->
+      run_job_async t ~job ~spec planned ~on_done:(fun res ->
+          (match res with
+          | None -> Atomic.incr t.jobs_completed
+          | Some _ ->
+            (* The coordinator owns the client-facing diagnosis; here
+               the job's sessions just need to be dead. *)
+            Atomic.incr t.jobs_failed;
+            let _, all_sids = Job.seats ~job ~party:t.config.party planned in
+            List.iter (fun sid -> Mux.abort t.mux ~sid) all_sids);
+          conclude ()))
 
 let cancel_job t ~job =
   let sids = with_lock t.lock (fun () -> Hashtbl.find_opt t.jobs job) in
@@ -446,7 +500,10 @@ let initiate_shutdown t =
            in
            wait_provider ();
            close_everything t;
-           with_lock t.lock (fun () -> t.stopped <- true))
+           with_lock t.lock (fun () -> t.stopped <- true);
+           (* The loop may be parked with nothing left to do; a no-op
+              post wakes it to observe [stopped] and exit. *)
+           Reactor.post t.reactor ignore)
          ())
 
 (* --- connection plumbing -------------------------------------------------- *)
@@ -479,7 +536,7 @@ let peer_reader t ~peer conn () =
       | Serve_proto.Session_frame { sid; body } -> Mux.deliver t.mux ~sid body
       | Serve_proto.Job_submit { job; spec } ->
         if t.config.party <> 0 then
-          ignore (Thread.create (fun () -> run_provider_job t ~job spec) ())
+          Reactor.post t.reactor (fun () -> start_provider_job t ~job spec)
       | Serve_proto.Job_cancel { job } -> cancel_job t ~job
       | Serve_proto.Shutdown -> initiate_shutdown t
       | Serve_proto.Hello _ | Serve_proto.Job_result _ | Serve_proto.Busy _ -> ());
@@ -505,7 +562,7 @@ let client_reader t ~id conn () =
                })
         else begin
           match Scheduler.submit t.scheduler { client = conn; client_job = job; spec } with
-          | Scheduler.Accepted -> ()
+          | Scheduler.Accepted -> Reactor.post t.reactor (fun () -> pump t)
           | Scheduler.Busy { queued; max_queue } -> (
             try send conn (Serve_proto.Busy { job; queued; max_queue })
             with Transport.Closed -> ())
@@ -662,6 +719,7 @@ let start config workload =
       workload;
       wdigest = Job.digest workload;
       mux = Mux.create ~self:config.party;
+      reactor = Reactor.create ();
       lock = Mutex.create ();
       peers = Array.make (Array.length config.roster) None;
       clients = Hashtbl.create 8;
@@ -673,7 +731,7 @@ let start config workload =
       scrape = None;
       stopping = false;
       stopped = false;
-      workers = ref [];
+      loop = ref None;
       acceptor = ref None;
       hellos_sent = Atomic.make 0;
       hellos_received = Atomic.make 0;
@@ -689,6 +747,24 @@ let start config workload =
     }
   in
   t.acceptor := Some (Thread.create (accept_loop t) ());
+  (* The loop thread: every daemon needs one — the host pumps jobs on
+     it, providers run their seats on it.  A task that escapes with an
+     exception must not kill the daemon (the blocking host caught
+     per-job exceptions the same way), so re-enter the loop until
+     shutdown. *)
+  t.loop :=
+    Some
+      (Thread.create
+         (fun () ->
+           let until () = with_lock t.lock (fun () -> t.stopped) in
+           let rec go () =
+             match Reactor.run t.reactor ~until with
+             | () -> ()
+             | exception _ -> if not (until ()) then go ()
+           in
+           go ();
+           Reactor.destroy t.reactor)
+         ());
   (* Establish the mesh: dial every lower id (they dialed us if higher).
      Dial failures are fatal at start — a daemon that can never reach
      its peers should say so, not limp. *)
@@ -701,9 +777,6 @@ let start config workload =
         failwith msg)
   in
   dial 0;
-  if config.party = 0 then
-    t.workers :=
-      List.init config.max_sessions (fun _ -> Thread.create (host_worker t) ());
   (match config.metrics_addr with
   | None -> ()
   | Some maddr -> t.scrape <- Some (Spe_obs.Scrape.start ~addr:(Addr.sockaddr maddr)
@@ -715,7 +788,7 @@ let stop t = initiate_shutdown t
 let rec wait t =
   if with_lock t.lock (fun () -> t.stopped) then begin
     (match !(t.acceptor) with Some th -> (try Thread.join th with _ -> ()) | None -> ());
-    List.iter (fun th -> try Thread.join th with _ -> ()) !(t.workers)
+    match !(t.loop) with Some th -> (try Thread.join th with _ -> ()) | None -> ()
   end
   else begin
     Thread.delay 0.02;
@@ -762,6 +835,10 @@ let gauges t =
     ("hellos_received", Atomic.get t.hellos_received);
     ("clients_accepted", Atomic.get t.clients_accepted);
     ("sessions_run", Atomic.get t.sessions_run);
+    ("reactor_iterations", Reactor.iterations t.reactor);
+    ("reactor_timer_fires", Reactor.timer_fires t.reactor);
+    ("reactor_ready_depth", Reactor.ready_depth t.reactor);
+    ("reactor_pending_timers", Reactor.pending_timers t.reactor);
   ]
 
 let report t =

@@ -81,6 +81,20 @@ let rec take t =
     Thread.delay poll_interval;
     take t
 
+(* Non-blocking claim for the reactor host: a job only when one is
+   queued AND an active slot is free — the reactor's pump loop calls
+   this until it returns [None], so [max_active] bounds the jobs in
+   flight without a fixed worker pool to embody the bound. *)
+let take_opt t =
+  with_lock t (fun () ->
+      if t.stopped || t.active >= t.max_active then None
+      else
+        match Queue.take_opt t.queue with
+        | Some job ->
+          t.active <- t.active + 1;
+          Some job
+        | None -> None)
+
 let finish t =
   with_lock t (fun () ->
       t.active <- t.active - 1;

@@ -26,8 +26,17 @@ val take : 'a t -> 'a option
     caller must release with {!finish}) or the scheduler stops
     ([None]). *)
 
+val take_opt : 'a t -> 'a option
+(** Non-blocking claim: a job only when one is queued {e and} an
+    active slot is free; [None] otherwise (including when stopped).
+    The reactor host's pump loop calls this until it returns [None],
+    so [max_active] bounds the jobs in flight without a worker pool to
+    embody the bound.  A [Some] claims an active slot exactly like
+    {!take}. *)
+
 val finish : 'a t -> unit
-(** Release the active slot claimed by the matching {!take}. *)
+(** Release the active slot claimed by the matching {!take} or
+    {!take_opt}. *)
 
 val stop : 'a t -> 'a list
 (** Stop admitting, wake every blocked {!take} with [None], and return

@@ -27,6 +27,7 @@ module Fault = Spe_net.Fault
 module Transport = Spe_net.Transport
 module Endpoint = Spe_net.Endpoint
 module Net_wire = Spe_net.Net_wire
+module Reactor = Spe_net.Reactor
 
 let providers m = Array.init m (fun k -> Wire.Provider k)
 
@@ -154,6 +155,82 @@ let qcheck_frame_tests =
         let body = Frame.encode frame in
         Frame.decode body = frame
         && Frame.framed_length frame = Frame.length_prefix_bytes + Bytes.length body);
+  ]
+
+(* --- the reactor's determinism contract -------------------------------------- *)
+
+(* The reactor promises (reactor.mli): due timers fire strictly in
+   (deadline, registration) order, cancelled timers never fire, the
+   ready queue is drained FIFO in snapshots, and a task posted by a
+   running task waits for the {e next} snapshot — behind every queued
+   sibling, which is the fairness point machines rely on between
+   rounds.  The property builds a seeded batch of already-due timers
+   (with deadline collisions), cancellations and chained posts, runs
+   it twice, and checks both runs against the analytically expected
+   order. *)
+let qcheck_reactor_tests =
+  let open QCheck in
+  let batch_gen =
+    Gen.triple
+      (Gen.list_size (Gen.int_range 0 24) (Gen.int_range 0 4)) (* timer deadline offsets *)
+      (Gen.list_size (Gen.int_range 0 24) Gen.bool) (* cancellation mask *)
+      (Gen.int_range 0 12) (* chained post pairs *)
+  in
+  let run_batch (offsets, cancels, nposts) =
+    let r = Reactor.create () in
+    let order = ref [] in
+    let record e = order := e :: !order in
+    let now = Unix.gettimeofday () in
+    (* Already-due deadlines (now - 1 - offset): wall-clock independent
+       — every timer is due at the first iteration, so the fire order
+       is purely the heap's (deadline, seq) contract. *)
+    let timers =
+      List.mapi
+        (fun i off ->
+          (i, off, Reactor.at r (now -. 1. -. float_of_int off) (fun () -> record (`Timer i))))
+        offsets
+    in
+    let cancelled =
+      List.filteri (fun i _ -> List.nth_opt cancels i = Some true) timers
+      |> List.map (fun (i, _, tm) -> Reactor.cancel r tm; i)
+    in
+    for j = 0 to nposts - 1 do
+      (* Each parent posts a child when it runs: the child must land in
+         the next snapshot, after every queued parent. *)
+      Reactor.post r (fun () ->
+          record (`Parent j);
+          Reactor.post r (fun () -> record (`Child j)))
+    done;
+    let live = List.length offsets - List.length cancelled in
+    let target = live + (2 * nposts) in
+    Reactor.run r ~until:(fun () -> List.length !order >= target);
+    let fired = Reactor.timer_fires r in
+    Reactor.destroy r;
+    (List.rev !order, fired, live)
+  in
+  let expected_of (offsets, cancels, nposts) =
+    let live =
+      List.filteri (fun i _ -> List.nth_opt cancels i <> Some true)
+        (List.mapi (fun i off -> (i, off)) offsets)
+    in
+    (* Heap order: smaller deadline first (= larger offset), ties by
+       registration sequence. *)
+    let timers =
+      List.stable_sort (fun (_, o1) (_, o2) -> compare o2 o1) live
+      |> List.map (fun (i, _) -> `Timer i)
+    in
+    timers
+    @ List.init nposts (fun j -> `Parent j)
+    @ List.init nposts (fun j -> `Child j)
+  in
+  [
+    Test.make ~name:"reactor: timer order, cancellation and ready-FIFO are deterministic"
+      ~count:200 (make batch_gen)
+      (fun batch ->
+        let a, fired_a, live = run_batch batch in
+        let b, fired_b, _ = run_batch batch in
+        let expected = expected_of batch in
+        a = expected && b = expected && fired_a = live && fired_b = live);
   ]
 
 (* --- transports ------------------------------------------------------------- *)
@@ -765,6 +842,59 @@ let test_sharded_scores_pool_cross_engine () =
       check_plan_accounting label plan groups ~payload_ref)
     session_engines
 
+(* Regression pinning the two execution engines to each other across
+   shard counts: the reactor pool (run_sessions_socket — machines on
+   one poll loop) and the blocking thread pool (run_sessions_memory —
+   the differential oracle it must never drift from) must produce
+   bit-identical links and scores results at k ∈ {1, 2, 4, 8}. *)
+let test_reactor_vs_blocking_k_sweep () =
+  let seed = 229 and n = 20 and edges = 55 and actions = 8 and m = 3 in
+  let g, logs = pipeline_workload ~seed ~n ~edges ~actions ~m in
+  let links_config = Protocol4.default_config ~h:2 in
+  let links_sim =
+    Session.run
+      (Driver_distributed.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g
+         ~logs links_config)
+      ~wire:(Wire.create ())
+  in
+  let scores_config = { Protocol6.default_config with Protocol6.key_bits = 64 } in
+  let tau = 4 and modulus = 1 lsl 20 in
+  let scores_sim =
+    Session.run
+      (Driver_distributed.user_scores_exclusive (State.create ~seed:(seed + 2) ())
+         ~graph:g ~logs ~tau ~modulus scores_config)
+      ~wire:(Wire.create ())
+  in
+  List.iter
+    (fun shards ->
+      let links_plan () =
+        Shard.links_exclusive (State.create ~seed:(seed + 1) ()) ~graph:g ~logs ~shards
+          links_config
+      in
+      let reactor_links, _ = run_plan_over `Socket ~workers:2 (links_plan ()) in
+      let blocking_links, _ = run_plan_over `Memory ~workers:2 (links_plan ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "links k=%d: reactor = blocking oracle = sim" shards)
+        true
+        (reactor_links.Protocol4.strengths = blocking_links.Protocol4.strengths
+        && reactor_links.Protocol4.strengths = links_sim.Protocol4.strengths
+        && reactor_links.Protocol4.pair_estimates = links_sim.Protocol4.pair_estimates
+        && reactor_links.Protocol4.pairs = links_sim.Protocol4.pairs);
+      let scores_plan () =
+        Shard.user_scores_exclusive (State.create ~seed:(seed + 2) ()) ~graph:g ~logs
+          ~tau ~modulus ~shards scores_config
+      in
+      let reactor_scores, _ = run_plan_over `Socket ~workers:2 (scores_plan ()) in
+      let blocking_scores, _ = run_plan_over `Memory ~workers:2 (scores_plan ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "scores k=%d: reactor = blocking oracle = sim" shards)
+        true
+        (reactor_scores.Driver_distributed.scores
+         = blocking_scores.Driver_distributed.scores
+        && reactor_scores.Driver_distributed.scores = scores_sim.Driver_distributed.scores
+        && reactor_scores.Driver_distributed.graphs = scores_sim.Driver_distributed.graphs))
+    [ 1; 2; 4; 8 ]
+
 (* A shard whose group stops delivering must fail the stage naming the
    shard and its phase, and the pool must close the sibling groups
    rather than wait out their timeouts. *)
@@ -907,11 +1037,13 @@ let () =
             test_sharded_links_non_exclusive_pool_cross_engine;
           Alcotest.test_case "sharded scores over pools" `Quick
             test_sharded_scores_pool_cross_engine;
+          Alcotest.test_case "reactor vs blocking oracle at k in {1,2,4,8}" `Quick
+            test_reactor_vs_blocking_k_sweep;
           Alcotest.test_case "stalled shard cancels siblings" `Quick
             test_pool_stall_cancels_siblings;
         ] );
       ( "properties",
         List.map
           (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 1717 |]))
-          qcheck_frame_tests );
+          (qcheck_frame_tests @ qcheck_reactor_tests) );
     ]

@@ -362,10 +362,17 @@ let test_daemon_scrape () =
           [
             "queue_depth"; "active_jobs"; "active_sessions"; "jobs_submitted";
             "jobs_completed"; "busy_rejected"; "hellos_sent"; "hellos_received";
+            "reactor_iterations"; "reactor_timer_fires"; "reactor_ready_depth";
+            "reactor_pending_timers";
           ];
         (match List.assoc_opt "jobs_completed" gauges with
         | Some (Json.Int n) -> checkb "completed gauge counts" true (n >= 1)
-        | _ -> Alcotest.fail "jobs_completed gauge")
+        | _ -> Alcotest.fail "jobs_completed gauge");
+        (* The daemon ran a whole job on its loop thread by now, so the
+           reactor liveness gauges must be moving. *)
+        (match List.assoc_opt "reactor_iterations" gauges with
+        | Some (Json.Int n) -> checkb "reactor loop iterated" true (n > 0)
+        | _ -> Alcotest.fail "reactor_iterations gauge")
       | _ -> Alcotest.fail "scrape gauges object");
       (* Tracing was on, so the cumulative spe-metrics/2 report is
          attached. *)
