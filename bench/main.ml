@@ -93,7 +93,7 @@ let table2 () =
       Model.table2 ~q:r.Spe_expt.Comm_costs.q ~m:3 ~node_bits:6 ~key_bits:2048
         ~ciphertext_bits:1024
         ~actions_per_provider:
-          [| r.Spe_expt.Comm_costs.actions - (2 * third); third; third |]
+          [| r.Spe_expt.Comm_costs.actions - (2 * third); third; third |] ()
     in
     Printf.printf "\nAnalytic row at the paper's recommended z = 1024 (same workload):\n";
     Format.printf "%a" Model.pp model1024
@@ -152,15 +152,15 @@ let ablation_packing () =
   let _, g, log = workload ~seed:31 ~n:60 ~edges:150 ~actions:10 in
   let s = State.create ~seed:32 () in
   let logs = Partition.exclusive s log ~m:3 in
-  let run pack =
+  let run pack_slots =
     let s = State.create ~seed:33 () in
     let wire = Wire.create () in
-    let config = { Protocol6.default_config with Protocol6.key_bits = 256; pack } in
+    let config = { Protocol6.default_config with Protocol6.key_bits = 256; pack_slots } in
     let r = Protocol6.run s ~wire ~graph:g ~logs config in
     (r.Protocol6.ciphertexts, (Wire.stats wire).Wire.bits)
   in
-  let ct_plain, bits_plain = run false in
-  let ct_packed, bits_packed = run true in
+  let ct_plain, bits_plain = run 1 in
+  let ct_packed, bits_packed = run Spe_mpc.Pack.max_packed_bits in
   Printf.printf "unpacked: %6d ciphertexts, %10d wire bits\n" ct_plain bits_plain;
   Printf.printf "packed:   %6d ciphertexts, %10d wire bits (%.1fx reduction)\n" ct_packed
     bits_packed
@@ -368,6 +368,51 @@ let ablation_montgomery () =
         (1000. *. t_mont) (t_plain /. t_mont))
     [ 256; 512; 1024; 2048 ]
 
+let ablation_crypto_hot_paths () =
+  section "Ablation - crypto hot paths: CRT decryption and fixed-base encryption";
+  let s = State.create ~seed:23 () in
+  let time_each n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do ignore (f ()) done;
+    1000. *. (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let reps = 20 in
+  Printf.printf "%22s | %12s | %12s | %8s\n" "operation (1024-bit)" "plain (ms)" "accel (ms)"
+    "speedup";
+  (* RSA: CRT decryption against full-size exponentiation. *)
+  let kp = Spe_crypto.Rsa.generate s ~bits:1024 in
+  let m = Spe_bignum.Nat.random_below s kp.Spe_crypto.Rsa.public.Spe_crypto.Rsa.n in
+  let c = Spe_crypto.Rsa.encrypt kp.Spe_crypto.Rsa.public m in
+  let dec_plain = Spe_crypto.Rsa.decryptor ~crt:false kp.Spe_crypto.Rsa.secret in
+  let dec_crt = Spe_crypto.Rsa.decryptor ~crt:true kp.Spe_crypto.Rsa.secret in
+  assert (Spe_bignum.Nat.equal (dec_plain c) (dec_crt c));
+  let t_plain = time_each reps (fun () -> dec_plain c) in
+  let t_crt = time_each reps (fun () -> dec_crt c) in
+  Printf.printf "%22s | %12.2f | %12.2f | %7.1fx\n" "rsa decrypt" t_plain t_crt
+    (t_plain /. t_crt);
+  (* Paillier: CRT decryption, then fixed-base window encryption. *)
+  let pkp = Spe_crypto.Paillier.generate s ~bits:1024 in
+  let pm = Spe_bignum.Nat.random_below s pkp.Spe_crypto.Paillier.public.Spe_crypto.Paillier.n in
+  let pc = Spe_crypto.Paillier.encrypt s pkp.Spe_crypto.Paillier.public pm in
+  let pdec_plain = Spe_crypto.Paillier.decryptor ~crt:false pkp.Spe_crypto.Paillier.secret in
+  let pdec_crt = Spe_crypto.Paillier.decryptor ~crt:true pkp.Spe_crypto.Paillier.secret in
+  assert (Spe_bignum.Nat.equal (pdec_plain pc) (pdec_crt pc));
+  let t_pplain = time_each reps (fun () -> pdec_plain pc) in
+  let t_pcrt = time_each reps (fun () -> pdec_crt pc) in
+  Printf.printf "%22s | %12.2f | %12.2f | %7.1fx\n" "paillier decrypt" t_pplain t_pcrt
+    (t_pplain /. t_pcrt);
+  let enc_plain = Spe_crypto.Paillier.encryptor ~fixed_base:false s pkp.Spe_crypto.Paillier.public in
+  let enc_fb = Spe_crypto.Paillier.encryptor ~fixed_base:true s pkp.Spe_crypto.Paillier.public in
+  let t_eplain = time_each reps (fun () -> enc_plain pm) in
+  let t_efb = time_each reps (fun () -> enc_fb pm) in
+  Printf.printf "%22s | %12.2f | %12.2f | %7.1fx\n" "paillier encrypt" t_eplain t_efb
+    (t_eplain /. t_efb);
+  Printf.printf
+    "\nCRT splits the secret exponentiation into two half-width ones (Garner\n\
+     recombination); fixed-base windows turn the n-th-power re-randomiser into\n\
+     table lookups.  Both are on by default behind Cipher; accel = false in\n\
+     Protocol 6's config restores the plain paths (PERFORMANCE.md).\n"
+
 let ablation_alternatives () =
   section "Ablation - the cryptographic alternatives the paper rejects (Secs. 4.1, 5.1.1)";
   (* Third-party Protocol 2 vs the millionaires-based variant. *)
@@ -538,6 +583,20 @@ let pipeline_reports () =
           Session.map ignore
             (Driver_distributed.user_scores_exclusive st ~graph:g ~logs ~tau:6
                ~modulus:(1 lsl 20) p6_config));
+      (* Tentpole ablations: the same scores pipeline with the crypto
+         accelerations disabled (plain decrypt exponent, no fixed-base
+         windows, per-call Montgomery contexts) and with plaintext
+         packing at full width.  Before/after rows for PERFORMANCE.md. *)
+      ("scores-noaccel", fun st ->
+          Session.map ignore
+            (Driver_distributed.user_scores_exclusive st ~graph:g ~logs ~tau:6
+               ~modulus:(1 lsl 20)
+               { p6_config with Protocol6.accel = false }));
+      ("scores-packed", fun st ->
+          Session.map ignore
+            (Driver_distributed.user_scores_exclusive st ~graph:g ~logs ~tau:6
+               ~modulus:(1 lsl 20)
+               { p6_config with Protocol6.pack_slots = Spe_mpc.Pack.max_packed_bits }));
     ]
   in
   let run_endpoint trace session runner =
@@ -805,8 +864,33 @@ let serve_reports () =
     (respawn_wall /. daemon_wall) hellos;
   [ respawn; daemon_row ]
 
+(* Bench-drift smoke: regenerate one Table 1 and two Table 2 rows
+   (unpacked and fully packed) and fail loudly if the measured
+   payload bytes ever deviate from the documented closed forms.  CI
+   runs this through `bench --bench-json` on every push, so a codec or
+   protocol change that silently shifts the wire shows up as a red
+   build, not a drifted artifact. *)
+let drift_smoke () =
+  let module C = Spe_expt.Comm_costs in
+  let check label (row : C.row) =
+    if not row.C.ok then begin
+      Printf.eprintf
+        "bench drift: %s payload deviates from the closed form (measured %d bits, model %d)\n"
+        label row.C.measured.Wire.bits row.C.model.Spe_cost.Model.ms;
+      exit 1
+    end
+  in
+  check "links (Table 1)" (C.table1_row ~seed:1103 ~n:100 ~edges:400 ~m:3);
+  check "scores (Table 2)"
+    (C.table2_row ~seed:2063 ~n:60 ~edges:150 ~m:3 ~actions:10 ~key_bits:256 ());
+  check "scores packed (Table 2)"
+    (C.table2_row ~pack_slots:Spe_mpc.Pack.max_packed_bits ~seed:2063 ~n:60 ~edges:150
+       ~m:3 ~actions:10 ~key_bits:256 ());
+  Printf.printf "payload closed forms: links + scores (packed and unpacked) match the wire\n"
+
 let bench_rows () =
   section "Bench trajectory - one spe-metrics/2 row per (pipeline, engine)";
+  drift_smoke ();
   let reports = pipeline_reports () @ sharding_reports () @ serve_reports () in
   Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
     "payload (B)" "on-wire (B)" "wall (s)";
@@ -1010,6 +1094,7 @@ let () =
   ablation_counter_engines ();
   ablation_protocol5_overhead ();
   ablation_montgomery ();
+  ablation_crypto_hot_paths ();
   ablation_alternatives ();
   ablation_multi_host ();
   ablation_transport ();

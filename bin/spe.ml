@@ -721,6 +721,15 @@ let scores_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write all scores to FILE.")
   in
+  let pack_slots =
+    Arg.(
+      value & opt int 1
+      & info [ "pack-slots" ] ~docv:"SLOTS"
+          ~doc:
+            "Pack up to SLOTS time-difference entries into each Protocol 6 plaintext \
+             (clamped to what the key admits).  1 disables packing and is bit-identical \
+             to the paper's protocol.")
+  in
   let print_scores ~top scores =
     let idx = Array.init (Array.length scores) (fun i -> i) in
     Array.sort (fun a b -> Stdlib.compare scores.(b) scores.(a)) idx;
@@ -731,12 +740,15 @@ let scores_cmd =
             scores.(u))
       idx
   in
-  let run seed graph_path log_paths tau key_bits modulus_bits top transport shards workers
-      trace_file metrics out connect jobs =
+  let run seed graph_path log_paths tau key_bits pack_slots modulus_bits top transport
+      shards workers trace_file metrics out connect jobs =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
       else if jobs < 1 then Some "--jobs must be at least 1"
+      else if pack_slots < 1 then Some "--pack-slots must be at least 1"
+      else if connect <> None && pack_slots <> 1 then
+        Some "--pack-slots is not part of the daemon job spec; run without --connect"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
@@ -778,7 +790,7 @@ let scores_cmd =
     | Some graph_path, log_paths ->
     let graph = Graph_io.load graph_path in
     let logs = Array.of_list (List.map Log_io.load log_paths) in
-    let config = { Protocol6.default_config with Protocol6.key_bits } in
+    let config = { Protocol6.default_config with Protocol6.key_bits; pack_slots } in
     let modulus = 1 lsl modulus_bits in
     let s = State.create ~seed () in
     let trace = obs_trace trace_file metrics in
@@ -835,8 +847,8 @@ let scores_cmd =
   let term =
     Term.(
       ret (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ tau $ key_bits
-         $ modulus_bits_arg $ top_arg $ pipeline_transport_arg $ shards_arg $ workers_arg
-         $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg $ jobs_arg))
+         $ pack_slots $ modulus_bits_arg $ top_arg $ pipeline_transport_arg $ shards_arg
+         $ workers_arg $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "scores"
@@ -939,7 +951,7 @@ let costs_cmd =
     Format.printf "%a@."
       Model.pp
       (Model.table2 ~q ~m ~node_bits ~key_bits:(2 * z) ~ciphertext_bits:z
-         ~actions_per_provider);
+         ~actions_per_provider ());
     `Ok ()
   in
   let term = Term.(ret (const run $ n $ q $ m $ modulus_bits_arg $ actions $ z)) in

@@ -116,3 +116,10 @@ let pow ctx ~base ~exp =
     if Nat.test_bit exp i then acc := mont_mul ctx !acc base_m
   done;
   of_mont ctx (Nat.of_limbs !acc)
+
+(* Limb-level access for the sibling [Fixed_base] module. *)
+let width ctx = ctx.k
+let one_mont_limbs ctx = Array.copy ctx.one_mont
+let to_mont_limbs ctx x = Nat.to_limbs (to_mont ctx x) ~width:ctx.k
+let of_mont_limbs ctx a = of_mont ctx (Nat.of_limbs a)
+let mul_limbs = mont_mul

@@ -30,3 +30,16 @@ val pow : t -> base:Nat.t -> exp:Nat.t -> Nat.t
 (** [pow ctx ~base ~exp] is [base^exp mod modulus] for ordinary
     (non-Montgomery) [base], returned in ordinary form — a drop-in
     replacement for {!Nat.mod_pow} on odd moduli. *)
+
+(**/**)
+
+(* Limb-level access for the sibling [Fixed_base] module: raw
+   Montgomery-form limb arrays of the context's width, avoiding a
+   Nat round-trip per multiplication.  Not part of the public API. *)
+val width : t -> int
+val one_mont_limbs : t -> int array
+val to_mont_limbs : t -> Nat.t -> int array
+val of_mont_limbs : t -> int array -> Nat.t
+val mul_limbs : t -> int array -> int array -> int array
+
+(**/**)

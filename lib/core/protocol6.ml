@@ -7,9 +7,16 @@ module Propagation = Spe_influence.Propagation
 
 type scheme = Rsa | Paillier
 
-type config = { c_factor : float; key_bits : int; scheme : scheme; pack : bool }
+type config = {
+  c_factor : float;
+  key_bits : int;
+  scheme : scheme;
+  pack_slots : int;
+  accel : bool;
+}
 
-let default_config = { c_factor = 2.; key_bits = 1024; scheme = Rsa; pack = false }
+let default_config =
+  { c_factor = 2.; key_bits = 1024; scheme = Rsa; pack_slots = 1; accel = true }
 
 type result = {
   graphs : Propagation.t array;
@@ -41,24 +48,19 @@ let deltas_of_action log ~pairs ~action =
       | _ -> 0)
     pairs
 
-(* Pack consecutive groups of [per] deltas (each < 2^delta_bits) into
-   one plaintext integer, little-endian. *)
+(* Packing lives in Spe_mpc.Pack; these wrappers keep the historical
+   labelled interface shared with Protocol6_distributed. *)
 let pack_deltas ~per ~delta_bits deltas =
-  let q = Array.length deltas in
-  let chunks = (q + per - 1) / per in
-  Array.init chunks (fun chunk ->
-      let acc = ref 0 in
-      for l = per - 1 downto 0 do
-        let idx = (chunk * per) + l in
-        if idx < q then acc := (!acc lsl delta_bits) lor deltas.(idx)
-      done;
-      !acc)
+  Spe_mpc.Pack.pack (Spe_mpc.Pack.create ~slots:per ~slot_bits:delta_bits) deltas
 
 let unpack_deltas ~per ~delta_bits ~q packed =
-  let mask = (1 lsl delta_bits) - 1 in
-  Array.init q (fun idx ->
-      let chunk = idx / per and l = idx mod per in
-      (packed.(chunk) lsr (l * delta_bits)) land mask)
+  Spe_mpc.Pack.unpack (Spe_mpc.Pack.create ~slots:per ~slot_bits:delta_bits) ~q packed
+
+(* Admissible slots per plaintext for this run's key and delta width. *)
+let slots_per_plaintext config ~delta_bits =
+  max 1
+    (min config.pack_slots
+       (Spe_mpc.Pack.max_slots ~key_bits:config.key_bits ~slot_bits:delta_bits))
 
 let run st ~wire ~graph ~logs config =
   let m = Array.length logs in
@@ -74,11 +76,17 @@ let run st ~wire ~graph ~logs config =
   (* Steps 1-2. *)
   let pairs = Protocol4.publish_pairs st ~wire ~graph ~m ~c_factor:config.c_factor in
   let q = Array.length pairs in
-  (* Step 3: keygen and broadcast. *)
+  let period = 1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs in
+  let delta_bits = Wire.bits_for_int_mod (max 2 (period + 1)) in
+  let per = slots_per_plaintext config ~delta_bits in
+  (* Step 3: keygen and broadcast.  Declaring the packed width to
+     keygen turns a too-small key into a typed Key_too_small error
+     instead of silently wrapped ciphertexts. *)
+  let plain_bits = per * delta_bits in
   let cipher =
     match config.scheme with
-    | Rsa -> Cipher.rsa st ~bits:config.key_bits
-    | Paillier -> Cipher.paillier st ~bits:config.key_bits
+    | Rsa -> Cipher.rsa ~plain_bits ~accel:config.accel st ~bits:config.key_bits
+    | Paillier -> Cipher.paillier ~plain_bits ~accel:config.accel st ~bits:config.key_bits
   in
   let z = cipher.Cipher.public.Cipher.ciphertext_bits in
   Wire.round wire (fun () ->
@@ -86,12 +94,6 @@ let run st ~wire ~graph ~logs config =
         Wire.send wire ~src:Wire.Host ~dst:(Wire.Provider k)
           ~bits:cipher.Cipher.public.Cipher.key_bits
       done);
-  let period = 1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs in
-  let delta_bits = Wire.bits_for_int_mod (max 2 (period + 1)) in
-  let per =
-    if config.pack then max 1 (min ((config.key_bits - 1) / delta_bits) (61 / delta_bits))
-    else 1
-  in
   (* Steps 4-9: per controlled action, encrypt the (packed) delta
      vector. *)
   let encrypt_action log action =

@@ -21,10 +21,12 @@
     The paper quotes ciphertext size [z = 1024] bits for RSA; the
     {!config} lets tests run with smaller keys while the Table 2 cost
     model uses the recommended size.  As an engineering extension,
-    [pack = true] packs as many [Delta] entries as fit into a single
-    plaintext, cutting the ciphertext count per action from [q] to
-    [ceil(q / floor((key_bits - 1) / delta_bits))] — the ablation bench
-    quantifies the saving. *)
+    [pack_slots > 1] packs up to that many [Delta] entries into a
+    single plaintext via {!Spe_mpc.Pack}, cutting the ciphertext count
+    per action from [q] to [ceil(q / per)] where [per] is clamped to
+    what the key and the native-int decode path admit
+    ([Spe_mpc.Pack.max_slots]) — the ablation bench quantifies the
+    saving, and PERFORMANCE.md derives it. *)
 
 type scheme = Rsa | Paillier
 
@@ -32,11 +34,19 @@ type config = {
   c_factor : float;  (** Obfuscation blow-up for [E']. *)
   key_bits : int;  (** Public-key modulus size. *)
   scheme : scheme;
-  pack : bool;  (** Pack several [Delta] entries per ciphertext. *)
+  pack_slots : int;
+      (** Upper bound on [Delta] entries per ciphertext; [1] disables
+          packing (bit-identical to the unpacked protocol). *)
+  accel : bool;
+      (** Crypto hot-path accelerations (hoisted Montgomery contexts,
+          CRT decryption, fixed-base randomness).  On by default;
+          [false] reproduces the pre-acceleration baseline for
+          ablation benchmarks. *)
 }
 
 val default_config : config
-(** [c = 2], RSA-1024, no packing — the paper's recommended setting. *)
+(** [c = 2], RSA-1024, no packing, accelerations on — the paper's
+    recommended setting. *)
 
 type result = {
   graphs : Spe_influence.Propagation.t array;
@@ -58,10 +68,17 @@ val deltas_of_action :
 
 val pack_deltas : per:int -> delta_bits:int -> int array -> int array
 (** Pack consecutive groups of [per] deltas (each [< 2^delta_bits])
-    into one plaintext integer, little-endian. *)
+    into one plaintext integer, little-endian — a thin wrapper over
+    {!Spe_mpc.Pack.pack} shared with [Protocol6_distributed]. *)
 
 val unpack_deltas : per:int -> delta_bits:int -> q:int -> int array -> int array
 (** Inverse of {!pack_deltas} for a vector of [q] deltas. *)
+
+val slots_per_plaintext : config -> delta_bits:int -> int
+(** The effective [per]: [config.pack_slots] clamped to what the key
+    and the native-int decode path admit (at least 1).  Exposed so the
+    distributed engines and the cost model agree with {!run} on the
+    chunk count. *)
 
 val run :
   Spe_rng.State.t ->

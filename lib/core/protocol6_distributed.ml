@@ -37,20 +37,22 @@ let prepare st ~graph ~logs config =
   in
   let publish = Session.with_label "p6-publish" publish in
   let q = Array.length pairs in
-  (* Step 3: host-local keygen, at the central draw position. *)
-  let cipher =
-    match config.Protocol6.scheme with
-    | Protocol6.Rsa -> Cipher.rsa st ~bits:config.Protocol6.key_bits
-    | Protocol6.Paillier -> Cipher.paillier st ~bits:config.Protocol6.key_bits
-  in
-  let z = cipher.Cipher.public.Cipher.ciphertext_bits in
   let period = 1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs in
   let delta_bits = Wire.bits_for_int_mod (max 2 (period + 1)) in
-  let per =
-    if config.Protocol6.pack then
-      max 1 (min ((config.Protocol6.key_bits - 1) / delta_bits) (61 / delta_bits))
-    else 1
+  let per = Protocol6.slots_per_plaintext config ~delta_bits in
+  (* Step 3: host-local keygen, at the central draw position, declaring
+     the packed plaintext width so a too-small key fails typed. *)
+  let plain_bits = per * delta_bits in
+  let cipher =
+    match config.Protocol6.scheme with
+    | Protocol6.Rsa ->
+      Cipher.rsa ~plain_bits ~accel:config.Protocol6.accel st
+        ~bits:config.Protocol6.key_bits
+    | Protocol6.Paillier ->
+      Cipher.paillier ~plain_bits ~accel:config.Protocol6.accel st
+        ~bits:config.Protocol6.key_bits
   in
+  let z = cipher.Cipher.public.Cipher.ciphertext_bits in
   let chunks_per_action = (q + per - 1) / per in
   (* The key-broadcast phase.  [Cipher.t] deliberately hides the key
      material behind closures, so the broadcast carries a placeholder

@@ -40,21 +40,27 @@ let table1 ~n ~q ~m ~modulus_bits ~node_bits ~counters =
   assert (nm = (m * m) + m + 7);
   { rows; nr; nm; ms }
 
-let table2 ~q ~m ~node_bits ~key_bits ~ciphertext_bits ~actions_per_provider =
+let table2 ?chunks_per_action ~q ~m ~node_bits ~key_bits ~ciphertext_bits
+    ~actions_per_provider () =
   if m < 2 then invalid_arg "Model.table2: need at least two providers";
   if Array.length actions_per_provider <> m then
     invalid_arg "Model.table2: one action count per provider";
+  (* Packing replaces the q ciphertexts per action with ceil(q / per)
+     chunks; the unpacked table is the per = 1 special case. *)
+  let chunks = match chunks_per_action with None -> q | Some c -> c in
+  if chunks < 1 || chunks > q then
+    invalid_arg "Model.table2: chunks_per_action must be in [1, q]";
   let z = ciphertext_bits in
   let total_actions = Array.fold_left ( + ) 0 actions_per_provider in
-  (* The m - 1 bundle messages have heterogeneous sizes (q z A_k); the
-     row records their total as messages * average, so we expand them
-     into explicit rows per provider for exactness. *)
+  (* The m - 1 bundle messages have heterogeneous sizes (chunks z A_k);
+     the row records their total as messages * average, so we expand
+     them into explicit rows per provider for exactness. *)
   let bundle_rows =
     List.init (m - 1) (fun i ->
         {
           label = Printf.sprintf "Steps 4-9 (bundle from P%d)" (i + 2);
           messages = 1;
-          message_bits = q * z * actions_per_provider.(i + 1);
+          message_bits = chunks * z * actions_per_provider.(i + 1);
         })
   in
   let rows =
@@ -67,7 +73,7 @@ let table2 ~q ~m ~node_bits ~key_bits ~ciphertext_bits ~actions_per_provider =
         {
           label = "Step 10 (forward to H)";
           messages = 1;
-          message_bits = q * z * total_actions;
+          message_bits = chunks * z * total_actions;
         };
       ]
   in

@@ -35,17 +35,25 @@ val table1 :
     MS = O(m^2 * counters * log S). *)
 
 val table2 :
+  ?chunks_per_action:int ->
   q:int ->
   m:int ->
   node_bits:int ->
   key_bits:int ->
   ciphertext_bits:int ->
   actions_per_provider:int array ->
+  unit ->
   t
 (** Protocol 6 (Table 2).  [actions_per_provider.(k)] is the paper's
     [A_k] (provider k's controlled actions; exclusive case, so they sum
     to [A]).  Totals: NR = 4, NM = 3m, MS dominated by
-    [q * z * (A + sum_(k>=2) A_k) <= 2qzA]. *)
+    [q * z * (A + sum_(k>=2) A_k) <= 2qzA].
+
+    [?chunks_per_action] generalises the table to plaintext packing
+    ([Protocol6.pack_slots]): each action ships [ceil(q / per)]
+    ciphertexts instead of [q].  Defaults to [q] — the unpacked
+    protocol — so the paper's closed form is the [per = 1] special
+    case. *)
 
 val pp : Format.formatter -> t -> unit
 (** Render the table rows and totals. *)

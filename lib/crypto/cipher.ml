@@ -10,13 +10,21 @@ type t = { public : public; decrypt_int : Nat.t -> int }
 
 let check_plain m = if m < 0 then invalid_arg "Cipher.encrypt_int: negative plaintext"
 
-let rsa st ~bits =
-  let kp = Rsa.generate st ~bits in
+let rsa ?plain_bits ?(accel = true) st ~bits =
+  let kp = Rsa.generate ?plain_bits st ~bits in
+  let encrypt, decrypt =
+    if accel then (Rsa.encryptor kp.Rsa.public, Rsa.decryptor kp.Rsa.secret)
+    else
+      (* The pre-acceleration hot path: a fresh Montgomery context and
+         a full-size exponentiation per call (the bench's baseline). *)
+      ( (fun m -> Rsa.encrypt kp.Rsa.public m),
+        fun c -> Rsa.decryptor ~crt:false kp.Rsa.secret c )
+  in
   let encrypt_int m =
     check_plain m;
-    Rsa.encrypt kp.Rsa.public (Nat.of_int m)
+    encrypt (Nat.of_int m)
   in
-  let decrypt_int c = Nat.to_int_exn (Rsa.decrypt kp.Rsa.secret c) in
+  let decrypt_int c = Nat.to_int_exn (decrypt c) in
   {
     public =
       {
@@ -27,14 +35,22 @@ let rsa st ~bits =
     decrypt_int;
   }
 
-let paillier st ~bits =
-  let kp = Paillier.generate st ~bits in
+let paillier ?plain_bits ?(accel = true) st ~bits =
+  let kp = Paillier.generate ?plain_bits st ~bits in
   let enc_rng = Spe_rng.State.split st in
+  let encrypt, decrypt =
+    if accel then
+      ( Paillier.encryptor ~fixed_base:true enc_rng kp.Paillier.public,
+        Paillier.decryptor kp.Paillier.secret )
+    else
+      ( (fun m -> Paillier.encrypt enc_rng kp.Paillier.public m),
+        fun c -> Paillier.decryptor ~crt:false kp.Paillier.secret c )
+  in
   let encrypt_int m =
     check_plain m;
-    Paillier.encrypt enc_rng kp.Paillier.public (Nat.of_int m)
+    encrypt (Nat.of_int m)
   in
-  let decrypt_int c = Nat.to_int_exn (Paillier.decrypt kp.Paillier.secret c) in
+  let decrypt_int c = Nat.to_int_exn (decrypt c) in
   {
     public =
       {

@@ -2,9 +2,16 @@
     Protocol 6.
 
     The protocol encrypts small non-negative integers (time-difference
-    labels).  This module packages a scheme as a pair of closures plus
-    the two size constants that feed the Table 2 cost model: the
-    ciphertext size [z] and the public-key size [|kappa|]. *)
+    labels, or batches of them packed into one plaintext).  This module
+    packages a scheme as a pair of closures plus the two size constants
+    that feed the Table 2 cost model: the ciphertext size [z] and the
+    public-key size [|kappa|].
+
+    The closures carry the hot-path accelerations of the underlying
+    schemes — hoisted Montgomery contexts, CRT decryption, and (for
+    Paillier) the fixed-base randomness table; see PERFORMANCE.md.
+    They can be disabled with [~accel:false] to reproduce the
+    pre-acceleration baseline in ablation benchmarks. *)
 
 type public = {
   encrypt_int : int -> Spe_bignum.Nat.t;
@@ -20,11 +27,15 @@ type t = {
           does not fit in a native [int]. *)
 }
 
-val rsa : Spe_rng.State.t -> bits:int -> t
+val rsa : ?plain_bits:int -> ?accel:bool -> Spe_rng.State.t -> bits:int -> t
 (** Textbook RSA of the given modulus size (the paper's recommended
-    deployment uses 1024). *)
+    deployment uses 1024).  [?plain_bits] is forwarded to
+    {!Rsa.generate}: keys too small to hold the declared plaintext
+    width raise {!Rsa.Key_too_small} here, at key-generation time. *)
 
-val paillier : Spe_rng.State.t -> bits:int -> t
+val paillier : ?plain_bits:int -> ?accel:bool -> Spe_rng.State.t -> bits:int -> t
 (** Probabilistic Paillier; ciphertexts are twice the modulus size.
     Fresh encryption randomness is drawn from a generator split off the
-    one supplied here. *)
+    one supplied here.  [?plain_bits] is forwarded to
+    {!Paillier.generate} and raises {!Paillier.Key_too_small} when the
+    key cannot hold it. *)

@@ -45,25 +45,33 @@ let table1_sweep () =
     (fun (n, edges, m) -> table1_row ~seed:(1000 + n + m) ~n ~edges ~m)
     [ (100, 400, 3); (100, 400, 5); (100, 400, 10); (1000, 4000, 5) ]
 
-let table2_row ~seed ~n ~edges ~m ~actions ~key_bits =
+let table2_row ?(pack_slots = 1) ~seed ~n ~edges ~m ~actions ~key_bits () =
   let w = Workloads.erdos_renyi ~seed ~n ~edges ~actions () in
   let logs = Workloads.split_exclusive w ~m in
   let wire = Wire.create () in
-  let config = { Protocol6.default_config with Protocol6.key_bits } in
+  let config = { Protocol6.default_config with Protocol6.key_bits; pack_slots } in
   let r = Protocol6.run w.Workloads.rng ~wire ~graph:w.Workloads.graph ~logs config in
   let measured = Wire.stats wire in
   let q = Array.length r.Protocol6.pairs in
   let actions_per_provider = Array.map (fun l -> List.length (Log.actions_present l)) logs in
   let total_actions = Array.fold_left ( + ) 0 actions_per_provider in
+  (* Rebuild the packing factor exactly as Protocol6.run derives it, so
+     the model's chunk count is the analytic one, not a read-back. *)
+  let period =
+    1 + Array.fold_left (fun acc l -> max acc (Log.max_time l)) 0 logs
+  in
+  let delta_bits = Wire.bits_for_int_mod (max 2 (period + 1)) in
+  let per = Protocol6.slots_per_plaintext config ~delta_bits in
+  let chunks_per_action = (q + per - 1) / per in
   (* Read the drawn key and ciphertext sizes back from the wire so the
      model is built from the measured constants. *)
   let key_msg = List.find (fun msg -> msg.Wire.round = 2) (Wire.messages wire) in
   let forward = List.find (fun msg -> msg.Wire.round = 4) (Wire.messages wire) in
-  let z = forward.Wire.bits / (q * total_actions) in
+  let z = forward.Wire.bits / (chunks_per_action * total_actions) in
   let model =
-    Model.table2 ~q ~m
+    Model.table2 ~chunks_per_action ~q ~m
       ~node_bits:(Wire.bits_for_int_mod (max 2 n))
-      ~key_bits:key_msg.Wire.bits ~ciphertext_bits:z ~actions_per_provider
+      ~key_bits:key_msg.Wire.bits ~ciphertext_bits:z ~actions_per_provider ()
   in
   {
     n;
@@ -78,5 +86,9 @@ let table2_row ~seed ~n ~edges ~m ~actions ~key_bits =
 
 let table2_sweep () =
   List.map
-    (fun m -> table2_row ~seed:(2000 + 60 + m) ~n:60 ~edges:150 ~m ~actions:10 ~key_bits:256)
+    (fun m -> table2_row ~seed:(2000 + 60 + m) ~n:60 ~edges:150 ~m ~actions:10 ~key_bits:256 ())
     [ 3; 5 ]
+  (* Fully packed variant: the chunks_per_action generalisation of the
+     Table 2 closed form must match the wire too. *)
+  @ [ table2_row ~pack_slots:Spe_mpc.Pack.max_packed_bits ~seed:2063 ~n:60 ~edges:150 ~m:3
+        ~actions:10 ~key_bits:256 () ]

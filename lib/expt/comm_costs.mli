@@ -25,11 +25,23 @@ val table1_sweep : unit -> row list
 (** The EXPERIMENTS.md sweep: (100, 400) x m in {3, 5, 10} plus
     (1000, 4000, 5). *)
 
-val table2_row : seed:int -> n:int -> edges:int -> m:int -> actions:int -> key_bits:int -> row
+val table2_row :
+  ?pack_slots:int ->
+  seed:int ->
+  n:int ->
+  edges:int ->
+  m:int ->
+  actions:int ->
+  key_bits:int ->
+  unit ->
+  row
 (** One Protocol 6 run against its Table 2 model; [z] and the key size
     are read back from the wire so the model uses the measured
-    constants. *)
+    constants.  [?pack_slots] (default 1, i.e. unpacked) forwards to
+    {!Spe_core.Protocol6.config} and switches the model to the
+    [chunks_per_action] closed form. *)
 
 val table2_sweep : unit -> row list
 (** The EXPERIMENTS.md sweep: (60, 150, 10 actions, RSA-256) at
-    m in {3, 5}. *)
+    m in {3, 5}, plus a fully packed m = 3 row exercising the
+    [chunks_per_action] generalisation. *)

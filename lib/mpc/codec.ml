@@ -2,22 +2,30 @@ module Nat = Spe_bignum.Nat
 
 let residue_bytes ~modulus = (Wire.bits_for_int_mod modulus + 7) / 8
 
-let encode_residues ~modulus values =
+(* The [_into] variants write at [pos] in a caller-supplied buffer and
+   return the end position: the zero-copy path used by [Spe_net.Frame]
+   to fill transport send buffers in place. The allocating originals
+   delegate to them. *)
+let encode_residue_into ~modulus v buf ~pos =
   let width = residue_bytes ~modulus in
-  let buf = Bytes.create (width * Array.length values) in
-  Array.iteri
-    (fun i v ->
-      if v < 0 || v >= modulus then invalid_arg "Codec.encode_residues: value out of range";
-      let base = i * width in
-      let rec fill j v =
-        if j >= 0 then begin
-          Bytes.set buf (base + j) (Char.chr (v land 0xFF));
-          fill (j - 1) (v lsr 8)
-        end
-        else if v <> 0 then invalid_arg "Codec.encode_residues: width overflow"
-      in
-      fill (width - 1) v)
-    values;
+  if v < 0 || v >= modulus then invalid_arg "Codec.encode_residues: value out of range";
+  (* Plain loop, no closure: this runs per value on the transport send
+     path and must not allocate. *)
+  for j = 0 to width - 1 do
+    Bytes.set buf (pos + j) (Char.chr ((v lsr (8 * (width - 1 - j))) land 0xFF))
+  done;
+  pos + width
+
+let encode_residues_into ~modulus values buf ~pos =
+  let width = residue_bytes ~modulus in
+  for i = 0 to Array.length values - 1 do
+    ignore (encode_residue_into ~modulus values.(i) buf ~pos:(pos + (i * width)))
+  done;
+  pos + (width * Array.length values)
+
+let encode_residues ~modulus values =
+  let buf = Bytes.create (residue_bytes ~modulus * Array.length values) in
+  let _ = encode_residues_into ~modulus values buf ~pos:0 in
   buf
 
 let decode_residues ~modulus ~count buf =
@@ -32,23 +40,28 @@ let decode_residues ~modulus ~count buf =
       if !v >= modulus then invalid_arg "Codec.decode_residues: residue out of range";
       !v)
 
+let encode_floats_into values buf ~pos =
+  Array.iteri
+    (fun i v -> Bytes.set_int64_be buf (pos + (8 * i)) (Int64.bits_of_float v))
+    values;
+  pos + (8 * Array.length values)
+
 let encode_floats values =
   let buf = Bytes.create (8 * Array.length values) in
-  Array.iteri (fun i v -> Bytes.set_int64_be buf (8 * i) (Int64.bits_of_float v)) values;
+  let _ = encode_floats_into values buf ~pos:0 in
   buf
 
 let decode_floats ~count buf =
   if Bytes.length buf <> 8 * count then invalid_arg "Codec.decode_floats: length mismatch";
   Array.init count (fun i -> Int64.float_of_bits (Bytes.get_int64_be buf (8 * i)))
 
-let encode_nats ~width_bits values =
+let encode_nats_into ~width_bits values buf ~pos =
   if width_bits < 1 then invalid_arg "Codec.encode_nats: width must be positive";
   let width = (width_bits + 7) / 8 in
-  let buf = Bytes.create (width * Array.length values) in
   Array.iteri
     (fun i v ->
       if Nat.bit_length v > width_bits then invalid_arg "Codec.encode_nats: value exceeds width";
-      let base = i * width in
+      let base = pos + (i * width) in
       for j = 0 to width - 1 do
         (* Byte j holds bits [8*(width-1-j), 8*(width-j)) of v. *)
         let lo = 8 * (width - 1 - j) in
@@ -59,6 +72,13 @@ let encode_nats ~width_bits values =
         Bytes.set buf (base + j) (Char.chr !byte)
       done)
     values;
+  pos + (width * Array.length values)
+
+let encode_nats ~width_bits values =
+  if width_bits < 1 then invalid_arg "Codec.encode_nats: width must be positive";
+  let width = (width_bits + 7) / 8 in
+  let buf = Bytes.create (width * Array.length values) in
+  let _ = encode_nats_into ~width_bits values buf ~pos:0 in
   buf
 
 let decode_nats ~width_bits ~count buf =
@@ -72,16 +92,22 @@ let decode_nats ~width_bits ~count buf =
       done;
       !acc)
 
-let encode_bitset flags =
+let encode_bitset_into flags buf ~pos =
   let n = Array.length flags in
-  let buf = Bytes.make ((n + 7) / 8) '\000' in
+  let width = (n + 7) / 8 in
+  Bytes.fill buf pos width '\000';
   Array.iteri
     (fun i flag ->
       if flag then begin
-        let byte = i / 8 and bit = i mod 8 in
+        let byte = pos + (i / 8) and bit = i mod 8 in
         Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lor (1 lsl bit)))
       end)
     flags;
+  pos + width
+
+let encode_bitset flags =
+  let buf = Bytes.create ((Array.length flags + 7) / 8) in
+  let _ = encode_bitset_into flags buf ~pos:0 in
   buf
 
 let decode_bitset ~count buf =

@@ -1,0 +1,68 @@
+(* Plaintext packing: several small counters per public-key plaintext.
+
+   A Protocol 6 plaintext is a time difference of delta_bits bits, but
+   the key's plaintext space holds key_bits - 1 bits — encrypting one
+   counter per ciphertext wastes almost the whole block.  Packing
+   [slots] counters little-endian into one integer divides the
+   ciphertext count (and the NM/MS message bits driven by it) by
+   [slots].  The native-int ceiling of 61 bits, not the key, is the
+   binding constraint on the decode side: unpacked plaintexts are
+   recovered through [Cipher.decrypt_int]. *)
+
+type spec = { slots : int; slot_bits : int }
+
+exception Overflow of { index : int; value : int; slot_bits : int }
+
+let () =
+  Printexc.register_printer (function
+    | Overflow { index; value; slot_bits } ->
+      Some
+        (Printf.sprintf
+           "Pack.Overflow: value %d at index %d does not fit in a %d-bit slot" value index
+           slot_bits)
+    | _ -> None)
+
+(* Native ints carry 62 value bits on 64-bit platforms; keep one as
+   headroom so slot arithmetic never touches the sign bit. *)
+let max_packed_bits = 61
+
+let max_slots ~key_bits ~slot_bits =
+  if slot_bits < 1 then invalid_arg "Pack.max_slots: slot_bits must be positive";
+  if key_bits < 2 then invalid_arg "Pack.max_slots: key_bits must be at least 2";
+  max 1 (min ((key_bits - 1) / slot_bits) (max_packed_bits / slot_bits))
+
+let create ~slots ~slot_bits =
+  if slots < 1 then invalid_arg "Pack.create: slots must be positive";
+  if slot_bits < 1 then invalid_arg "Pack.create: slot_bits must be positive";
+  if slots * slot_bits > max_packed_bits then
+    invalid_arg "Pack.create: slots * slot_bits exceeds the 61-bit native-int bound";
+  { slots; slot_bits }
+
+let slots t = t.slots
+let slot_bits t = t.slot_bits
+let plain_bits t = t.slots * t.slot_bits
+let chunks t ~q = (q + t.slots - 1) / t.slots
+
+let pack t values =
+  let q = Array.length values in
+  let bound = 1 lsl t.slot_bits in
+  Array.iteri
+    (fun index value ->
+      if value < 0 || value >= bound then
+        raise (Overflow { index; value; slot_bits = t.slot_bits }))
+    values;
+  Array.init (chunks t ~q) (fun chunk ->
+      let acc = ref 0 in
+      for l = t.slots - 1 downto 0 do
+        let idx = (chunk * t.slots) + l in
+        if idx < q then acc := (!acc lsl t.slot_bits) lor values.(idx)
+      done;
+      !acc)
+
+let unpack t ~q packed =
+  if Array.length packed <> chunks t ~q then
+    invalid_arg "Pack.unpack: chunk count does not match q";
+  let mask = (1 lsl t.slot_bits) - 1 in
+  Array.init q (fun idx ->
+      let chunk = idx / t.slots and l = idx mod t.slots in
+      (packed.(chunk) lsr (l * t.slot_bits)) land mask)

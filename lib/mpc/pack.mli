@@ -1,0 +1,55 @@
+(** Plaintext packing: several small counters per public-key plaintext.
+
+    A Protocol 6 plaintext is one time difference of [delta_bits] bits,
+    while the key's plaintext space holds [key_bits - 1] bits;
+    encrypting one counter per ciphertext wastes almost the whole
+    block.  A {!spec} lays [slots] counters of [slot_bits] bits each
+    little-endian into one integer, dividing the ciphertext count —
+    and with it the NM/MS rows of the Table 2 cost model — by [slots].
+
+    Every value is bounds-checked on the way in ({!Overflow} carries
+    the offending index and value), and the packed width is capped at
+    61 bits because the decode side recovers plaintexts through
+    [Cipher.decrypt_int], which returns a native [int].
+    PERFORMANCE.md works the slot arithmetic through a full example. *)
+
+type spec
+(** A packing layout: slot count and per-slot width. *)
+
+exception Overflow of { index : int; value : int; slot_bits : int }
+(** Raised by {!pack} when [values.(index)] is negative or does not
+    fit in [slot_bits] bits. *)
+
+val max_packed_bits : int
+(** The 61-bit cap on [slots * slot_bits]: native ints carry 62 value
+    bits on 64-bit platforms, one kept as headroom. *)
+
+val max_slots : key_bits:int -> slot_bits:int -> int
+(** [max_slots ~key_bits ~slot_bits] is the widest admissible slot
+    count for a key of [key_bits] bits: at least 1, and bounded by
+    both the key's plaintext space ([key_bits - 1] bits) and
+    {!max_packed_bits}. *)
+
+val create : slots:int -> slot_bits:int -> spec
+(** Raises [Invalid_argument] unless [slots >= 1], [slot_bits >= 1]
+    and [slots * slot_bits <= max_packed_bits]. *)
+
+val slots : spec -> int
+val slot_bits : spec -> int
+
+val plain_bits : spec -> int
+(** [slots * slot_bits]: the plaintext width a key must hold — pass it
+    to keygen as [?plain_bits] to get a typed error instead of silent
+    wrapping. *)
+
+val chunks : spec -> q:int -> int
+(** [ceil(q / slots)]: plaintexts needed for a vector of [q] values. *)
+
+val pack : spec -> int array -> int array
+(** [pack t values] lays consecutive groups of [slots t] values into
+    one integer each, little-endian; the result has [chunks t ~q]
+    entries.  Raises {!Overflow} on any out-of-range value. *)
+
+val unpack : spec -> q:int -> int array -> int array
+(** Inverse of {!pack} for a vector of [q] values.  Raises
+    [Invalid_argument] if the chunk count does not match [q]. *)

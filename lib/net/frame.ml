@@ -43,25 +43,31 @@ let party_of_code = function
   | 0 -> Wire.Host
   | c -> Wire.Provider (c - 1)
 
-(* Little append-only byte writer. *)
-let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+(* Position-threading byte writers over a caller-supplied buffer: each
+   takes the write position and returns the next one.  No writer state
+   record, no closures — encoding a frame with an integer payload into
+   a reused buffer allocates nothing at all (the test suite pins this
+   with a [Gc.minor_words] delta). *)
+let put_u8 buf pos v =
+  Bytes.set buf pos (Char.chr (v land 0xFF));
+  pos + 1
 
-let put_u16 buf v =
+let put_u16 buf pos v =
   if v < 0 || v > 0xFFFF then invalid_arg "Frame.encode: u16 out of range";
-  put_u8 buf (v lsr 8);
-  put_u8 buf v
+  let pos = put_u8 buf pos (v lsr 8) in
+  put_u8 buf pos v
 
-let put_u32 buf v =
+let put_u32 buf pos v =
   if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Frame.encode: u32 out of range";
-  put_u8 buf (v lsr 24);
-  put_u8 buf (v lsr 16);
-  put_u8 buf (v lsr 8);
-  put_u8 buf v
+  let pos = put_u8 buf pos (v lsr 24) in
+  let pos = put_u8 buf pos (v lsr 16) in
+  let pos = put_u8 buf pos (v lsr 8) in
+  put_u8 buf pos v
 
-let put_u63 buf v =
+let put_u63 buf pos v =
   if v < 0 then invalid_arg "Frame.encode: u63 out of range";
-  put_u32 buf (v lsr 32);
-  put_u32 buf (v land 0xFFFF_FFFF)
+  let pos = put_u32 buf pos (v lsr 32) in
+  put_u32 buf pos (v land 0xFFFF_FFFF)
 
 type reader = { body : bytes; mutable pos : int }
 
@@ -90,43 +96,71 @@ let get_bytes r n =
   r.pos <- r.pos + n;
   b
 
-let rec put_payload buf = function
+(* Closed-form encoded sizes, mirrored one-for-one by the writers
+   below; PERFORMANCE.md ("Framing") states them and the test suite
+   pins writer = length. *)
+let rec payload_encoded_length = function
   | Runtime.Ints { modulus; values } ->
-    put_u8 buf kind_ints;
-    put_u63 buf modulus;
-    put_u32 buf (Array.length values);
-    Buffer.add_bytes buf (Codec.encode_residues ~modulus values)
-  | Runtime.Floats values ->
-    put_u8 buf kind_floats;
-    put_u32 buf (Array.length values);
-    Buffer.add_bytes buf (Codec.encode_floats values)
-  | Runtime.Bits flags ->
-    put_u8 buf kind_bits;
-    put_u32 buf (Array.length flags);
-    Buffer.add_bytes buf (Codec.encode_bitset flags)
+    1 + 8 + 4 + (Codec.residue_bytes ~modulus * Array.length values)
+  | Runtime.Floats values -> 1 + 4 + (8 * Array.length values)
+  | Runtime.Bits flags -> 1 + 4 + ((Array.length flags + 7) / 8)
   | Runtime.Nats { width_bits; values } ->
-    put_u8 buf kind_nats;
-    put_u63 buf width_bits;
-    put_u32 buf (Array.length values);
-    Buffer.add_bytes buf (Codec.encode_nats ~width_bits values)
+    1 + 8 + 4 + ((width_bits + 7) / 8 * Array.length values)
   | Runtime.Tuples { moduli; rows } ->
-    put_u8 buf kind_tuples;
-    put_u16 buf (Array.length moduli);
-    Array.iter (fun modulus -> put_u63 buf modulus) moduli;
-    put_u32 buf (Array.length rows);
-    Array.iter
-      (fun row ->
-        if Array.length row <> Array.length moduli then
-          invalid_arg "Frame.encode: tuple row arity mismatch";
-        Array.iteri
-          (fun j v ->
-            Buffer.add_bytes buf (Codec.encode_residues ~modulus:moduli.(j) [| v |]))
-          row)
-      rows
+    let row_bytes =
+      Array.fold_left (fun acc modulus -> acc + Codec.residue_bytes ~modulus) 0 moduli
+    in
+    1 + 2 + (8 * Array.length moduli) + 4 + (row_bytes * Array.length rows)
   | Runtime.Batch payloads ->
-    put_u8 buf kind_batch;
-    put_u16 buf (List.length payloads);
-    List.iter (fun p -> put_payload buf p) payloads
+    List.fold_left (fun acc p -> acc + payload_encoded_length p) (1 + 2) payloads
+
+let encoded_length = function
+  | Hello _ -> 1 + 2
+  | Data { payload; _ } -> 1 + 4 + 4 + 2 + 2 + payload_encoded_length payload
+  | End_of_round _ -> 1 + 4 + 2 + 4 + 4
+  | Nack _ -> 1 + 4 + 2
+  | Fin _ -> 1 + 2
+
+let rec put_payload buf pos = function
+  | Runtime.Ints { modulus; values } ->
+    let pos = put_u8 buf pos kind_ints in
+    let pos = put_u63 buf pos modulus in
+    let pos = put_u32 buf pos (Array.length values) in
+    Codec.encode_residues_into ~modulus values buf ~pos
+  | Runtime.Floats values ->
+    let pos = put_u8 buf pos kind_floats in
+    let pos = put_u32 buf pos (Array.length values) in
+    Codec.encode_floats_into values buf ~pos
+  | Runtime.Bits flags ->
+    let pos = put_u8 buf pos kind_bits in
+    let pos = put_u32 buf pos (Array.length flags) in
+    Codec.encode_bitset_into flags buf ~pos
+  | Runtime.Nats { width_bits; values } ->
+    let pos = put_u8 buf pos kind_nats in
+    let pos = put_u63 buf pos width_bits in
+    let pos = put_u32 buf pos (Array.length values) in
+    Codec.encode_nats_into ~width_bits values buf ~pos
+  | Runtime.Tuples { moduli; rows } ->
+    let pos = put_u8 buf pos kind_tuples in
+    let pos = put_u16 buf pos (Array.length moduli) in
+    let pos = ref pos in
+    for j = 0 to Array.length moduli - 1 do
+      pos := put_u63 buf !pos moduli.(j)
+    done;
+    pos := put_u32 buf !pos (Array.length rows);
+    for i = 0 to Array.length rows - 1 do
+      let row = rows.(i) in
+      if Array.length row <> Array.length moduli then
+        invalid_arg "Frame.encode: tuple row arity mismatch";
+      for j = 0 to Array.length row - 1 do
+        pos := Codec.encode_residue_into ~modulus:moduli.(j) row.(j) buf ~pos:!pos
+      done
+    done;
+    !pos
+  | Runtime.Batch payloads ->
+    let pos = put_u8 buf pos kind_batch in
+    let pos = put_u16 buf pos (List.length payloads) in
+    List.fold_left (fun pos p -> put_payload buf pos p) pos payloads
 
 let rec get_payload r =
   match get_u8 r with
@@ -167,33 +201,37 @@ let rec get_payload r =
     Runtime.Batch (List.init count (fun _ -> get_payload r))
   | k -> invalid_arg (Printf.sprintf "Frame.decode: unknown payload kind %d" k)
 
-let encode t =
-  let buf = Buffer.create 32 in
-  (match t with
+let encode_into t buf ~pos =
+  match t with
   | Hello { sender } ->
-    put_u8 buf tag_hello;
-    put_u16 buf sender
+    let pos = put_u8 buf pos tag_hello in
+    put_u16 buf pos sender
   | Data { round; seq; src; dst; payload } ->
-    put_u8 buf tag_data;
-    put_u32 buf round;
-    put_u32 buf seq;
-    put_u16 buf (party_code src);
-    put_u16 buf (party_code dst);
-    put_payload buf payload
+    let pos = put_u8 buf pos tag_data in
+    let pos = put_u32 buf pos round in
+    let pos = put_u32 buf pos seq in
+    let pos = put_u16 buf pos (party_code src) in
+    let pos = put_u16 buf pos (party_code dst) in
+    put_payload buf pos payload
   | End_of_round { round; sender; total; to_dst } ->
-    put_u8 buf tag_eor;
-    put_u32 buf round;
-    put_u16 buf sender;
-    put_u32 buf total;
-    put_u32 buf to_dst
+    let pos = put_u8 buf pos tag_eor in
+    let pos = put_u32 buf pos round in
+    let pos = put_u16 buf pos sender in
+    let pos = put_u32 buf pos total in
+    put_u32 buf pos to_dst
   | Nack { round; sender } ->
-    put_u8 buf tag_nack;
-    put_u32 buf round;
-    put_u16 buf sender
+    let pos = put_u8 buf pos tag_nack in
+    let pos = put_u32 buf pos round in
+    put_u16 buf pos sender
   | Fin { sender } ->
-    put_u8 buf tag_fin;
-    put_u16 buf sender);
-  Buffer.to_bytes buf
+    let pos = put_u8 buf pos tag_fin in
+    put_u16 buf pos sender
+
+let encode t =
+  let buf = Bytes.create (encoded_length t) in
+  let stop = encode_into t buf ~pos:0 in
+  assert (stop = Bytes.length buf);
+  buf
 
 let decode body =
   let r = { body; pos = 0 } in
@@ -220,7 +258,7 @@ let decode body =
   if r.pos <> Bytes.length body then invalid_arg "Frame.decode: trailing bytes";
   t
 
-let framed_length t = length_prefix_bytes + Bytes.length (encode t)
+let framed_length t = length_prefix_bytes + encoded_length t
 
 let payload_length = function
   | Data { payload; _ } -> Runtime.payload_bits payload / 8

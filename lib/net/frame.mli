@@ -39,7 +39,20 @@ type t =
       (** Sender decided the protocol is quiescent and is leaving. *)
 
 val encode : t -> bytes
-(** Frame body, without the length prefix. *)
+(** Frame body, without the length prefix: an exact-size buffer filled
+    by {!encode_into}. *)
+
+val encoded_length : t -> int
+(** Closed-form size of {!encode}'s result, computed without encoding
+    anything — sized from the payload's element counts and widths. *)
+
+val encode_into : t -> bytes -> pos:int -> int
+(** [encode_into t buf ~pos] writes the frame body at [pos] in [buf]
+    and returns the position one past the last byte written (always
+    [pos + encoded_length t]).  The caller guarantees capacity.  This
+    is the transport hot path: encoding a frame with an integer
+    payload into a reused send buffer allocates nothing (the test
+    suite asserts a zero minor-allocation delta). *)
 
 val decode : bytes -> t
 (** Inverse of {!encode}.  Raises [Invalid_argument] on a malformed or
@@ -50,7 +63,7 @@ val length_prefix_bytes : int
 
 val framed_length : t -> int
 (** Bytes the frame occupies on a real wire:
-    [length_prefix_bytes + Bytes.length (encode t)]. *)
+    [length_prefix_bytes + encoded_length t] — no encoding happens. *)
 
 val payload_length : t -> int
 (** Bytes of pure protocol payload inside the frame — the part the

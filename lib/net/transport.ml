@@ -261,6 +261,60 @@ module Socket = struct
     Bytes.blit body 0 buf Frame.length_prefix_bytes len;
     buf
 
+  (* A byte window over a reusable backing buffer: valid bytes are
+     [buf.(off) .. buf.(off + len - 1)].  Appends compact or grow in
+     place, so both send paths batch a round's frames into one reused
+     buffer (one write, no per-frame [Bytes.create]/[Bytes.concat]),
+     and a reactor connection's read path reuses one buffer for the
+     whole session instead of [Bytes.cat]-ing a fresh copy per chunk
+     (the old poller's tail accumulation was quadratic on large
+     bursts). *)
+  module Slab = struct
+    type s = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+    let create () = { buf = Bytes.create 4096; off = 0; len = 0 }
+
+    let reserve s n =
+      if s.off + s.len + n > Bytes.length s.buf then
+        if s.len + n <= Bytes.length s.buf then begin
+          (* Enough total room: slide the window back to the start. *)
+          Bytes.blit s.buf s.off s.buf 0 s.len;
+          s.off <- 0
+        end
+        else begin
+          let cap = ref (max 4096 (Bytes.length s.buf)) in
+          while !cap < s.len + n do
+            cap := !cap * 2
+          done;
+          let buf = Bytes.create !cap in
+          Bytes.blit s.buf s.off buf 0 s.len;
+          s.buf <- buf;
+          s.off <- 0
+        end
+
+    let add s src off n =
+      reserve s n;
+      Bytes.blit src off s.buf (s.off + s.len) n;
+      s.len <- s.len + n
+
+    (* One frame, length prefix included, appended in place. *)
+    let add_framed s body =
+      let len = Bytes.length body in
+      reserve s (Frame.length_prefix_bytes + len);
+      Bytes.set_int32_be s.buf (s.off + s.len) (Int32.of_int len);
+      Bytes.blit body 0 s.buf (s.off + s.len + Frame.length_prefix_bytes) len;
+      s.len <- s.len + Frame.length_prefix_bytes + len
+
+    let consume s n =
+      s.off <- s.off + n;
+      s.len <- s.len - n;
+      if s.len = 0 then s.off <- 0
+
+    let clear s =
+      s.off <- 0;
+      s.len <- 0
+  end
+
   (* Everything past rendezvous is shared by both blocking
      constructors: [spin_up] takes a fully-populated connection matrix
      — where conns.(i).(j) is the descriptor endpoint i uses to
@@ -381,6 +435,13 @@ module Socket = struct
               try really_write c.fd buf 0 (Bytes.length buf)
               with Unix.Unix_error _ -> raise Closed)
         in
+        (* Frames bound for one peer accumulate, length-prefixed, in a
+           per-endpoint scratch slab that is reused across sends: no
+           per-frame [Bytes.create] or [Bytes.concat] on the steady
+           path.  The endpoint's owner thread is the only writer (the
+           rare Delay fault keeps a private copy for its timer
+           thread). *)
+        let scratch = Slab.create () in
         (* Fault decisions mirror the memory backend exactly — charge
            the frame *before* deciding (a dropped frame still counts as
            transmitted, so the framing closed form survives faults),
@@ -388,12 +449,11 @@ module Socket = struct
         let classify dst body =
           count_frame body;
           match Fault.decide fault ~src:self ~dst with
-          | Fault.Deliver -> [ prefixed body ]
+          | Fault.Deliver -> Slab.add_framed scratch body
           | Fault.Drop ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
             if Spe_obs.Trace.enabled trace then
-              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst);
-            []
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst)
           | Fault.Delay d ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
             if Spe_obs.Trace.enabled trace then
@@ -407,32 +467,43 @@ module Socket = struct
                    match conn_to dst with
                    | c -> ( try locked_write c buf with Closed -> ())
                    | exception Closed -> ())
-                 ());
-            []
+                 ())
           | Fault.Duplicate ->
             count_frame body;
             if Spe_obs.Trace.enabled trace then
               Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.dup ->#%d" dst);
-            let buf = prefixed body in
-            [ buf; buf ]
+            Slab.add_framed scratch body;
+            Slab.add_framed scratch body
+        in
+        (* One write per flush — a round's frames cost one syscall, one
+           poller wakeup, one burst read at the far end.  The slab is
+           reset even when the write dies so a later send to a live
+           peer never replays stale bytes. *)
+        let flush_scratch c =
+          if scratch.Slab.len > 0 then
+            Fun.protect
+              ~finally:(fun () -> Slab.clear scratch)
+              (fun () ->
+                Mutex.lock c.send_mx;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock c.send_mx)
+                  (fun () ->
+                    if not c.fd_open then raise Closed;
+                    try really_write c.fd scratch.Slab.buf scratch.Slab.off scratch.Slab.len
+                    with Unix.Unix_error _ -> raise Closed))
         in
         let send dst body =
           let c = conn_to dst in
-          match classify dst body with
-          | [] -> ()
-          | [ buf ] -> locked_write c buf
-          | bufs -> locked_write c (Bytes.concat Bytes.empty bufs)
+          classify dst body;
+          flush_scratch c
         in
-        (* A whole round's frames to one peer in a single write: one
-           syscall, one poller wakeup, one burst read at the far end. *)
         let send_many dst bodies =
           match bodies with
           | [] -> ()
-          | bodies -> (
+          | bodies ->
             let c = conn_to dst in
-            match List.concat_map (classify dst) bodies with
-            | [] -> ()
-            | bufs -> locked_write c (Bytes.concat Bytes.empty bufs))
+            List.iter (classify dst) bodies;
+            flush_scratch c
         in
         {
           self;
@@ -447,47 +518,6 @@ module Socket = struct
         })
 
   (* --- Reactor-driven groups -------------------------------------------------- *)
-
-  (* A byte window over a reusable backing buffer: valid bytes are
-     [buf.(off) .. buf.(off + len - 1)].  Appends compact or grow in
-     place, so a connection's read path reuses one buffer for the
-     whole session instead of [Bytes.cat]-ing a fresh copy per chunk
-     (the old poller's tail accumulation was quadratic on large
-     bursts), and the write path uses the same shape as its pending
-     output window. *)
-  module Slab = struct
-    type s = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
-
-    let create () = { buf = Bytes.create 4096; off = 0; len = 0 }
-
-    let reserve s n =
-      if s.off + s.len + n > Bytes.length s.buf then
-        if s.len + n <= Bytes.length s.buf then begin
-          (* Enough total room: slide the window back to the start. *)
-          Bytes.blit s.buf s.off s.buf 0 s.len;
-          s.off <- 0
-        end
-        else begin
-          let cap = ref (max 4096 (Bytes.length s.buf)) in
-          while !cap < s.len + n do
-            cap := !cap * 2
-          done;
-          let buf = Bytes.create !cap in
-          Bytes.blit s.buf s.off buf 0 s.len;
-          s.buf <- buf;
-          s.off <- 0
-        end
-
-    let add s src off n =
-      reserve s n;
-      Bytes.blit src off s.buf (s.off + s.len) n;
-      s.len <- s.len + n
-
-    let consume s n =
-      s.off <- s.off + n;
-      s.len <- s.len - n;
-      if s.len = 0 then s.off <- 0
-  end
 
   (* One direction-owning descriptor of a reactor group: endpoint
      [owner] reads its inbound frames from [fd] and queues its
@@ -632,23 +662,22 @@ module Socket = struct
           Atomic.fetch_and_add counters.(self) cost |> ignore;
           Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Transport_bytes cost
         in
-        let enqueue c buf =
-          if not c.r_open then raise Closed;
-          Slab.add c.r_out buf 0 (Bytes.length buf)
-        in
         (* Identical fault semantics to the blocking backends — charge
            before deciding — except a [Delay] holds the frame on a
            reactor timer instead of a helper thread: the injection
-           point lives on the loop the machines run on. *)
-        let classify dst body =
+           point lives on the loop the machines run on.  Delivered
+           frames append, length-prefixed, straight into the
+           connection's pending-output slab: no intermediate copy. *)
+        let classify c dst body =
           count_frame body;
           match Fault.decide fault ~src:self ~dst with
-          | Fault.Deliver -> [ prefixed body ]
+          | Fault.Deliver ->
+            if not c.r_open then raise Closed;
+            Slab.add_framed c.r_out body
           | Fault.Drop ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_dropped 1;
             if Spe_obs.Trace.enabled trace then
-              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst);
-            []
+              Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.drop ->#%d" dst)
           | Fault.Delay d ->
             Spe_obs.Trace.count trace ~party:label Spe_obs.Trace.Faults_delayed 1;
             if Spe_obs.Trace.enabled trace then
@@ -664,25 +693,23 @@ module Socket = struct
                      | Some c when c.r_open ->
                        Slab.add c.r_out buf 0 (Bytes.length buf);
                        flush c
-                     | _ -> ()));
-            []
+                     | _ -> ()))
           | Fault.Duplicate ->
             count_frame body;
             if Spe_obs.Trace.enabled trace then
               Spe_obs.Trace.note trace ~party:label (Printf.sprintf "fault.dup ->#%d" dst);
-            let buf = prefixed body in
-            [ buf; buf ]
+            if not c.r_open then raise Closed;
+            Slab.add_framed c.r_out body;
+            Slab.add_framed c.r_out body
         in
         let send_many dst bodies =
           match bodies with
           | [] -> ()
-          | bodies -> (
+          | bodies ->
             let c = conn_to dst in
-            match List.concat_map (classify dst) bodies with
-            | [] -> ()
-            | bufs ->
-              List.iter (enqueue c) bufs;
-              flush c)
+            let before = c.r_out.Slab.len in
+            List.iter (classify c dst) bodies;
+            if c.r_out.Slab.len > before then flush c
         in
         let send dst body = send_many dst [ body ] in
         let try_recv () =

@@ -292,6 +292,55 @@ let test_montgomery_rejects_even () =
     (Invalid_argument "Montgomery.create: modulus must be odd and >= 3")
     (fun () -> ignore (Montgomery.create (Nat.of_int 100)))
 
+(* --- Fixed-base windows -------------------------------------------------- *)
+
+module Fixed_base = Spe_bignum.Fixed_base
+
+let test_fixed_base_vs_montgomery () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let m = Nat.random_bits_exact s (16 + State.next_int s 150) in
+    let m = if Nat.is_even m then Nat.succ m else m in
+    let ctx = Montgomery.create m in
+    let base = Nat.random_below s m in
+    let max_exp_bits = 1 + State.next_int s 80 in
+    let t = Fixed_base.create ctx ~base ~max_exp_bits in
+    for _ = 1 to 5 do
+      let e = Nat.random_bits s max_exp_bits in
+      Alcotest.check nat "fixed-base pow = square-and-multiply pow"
+        (Montgomery.pow ctx ~base ~exp:e)
+        (Fixed_base.pow t e)
+    done
+  done
+
+let test_fixed_base_windows_agree () =
+  (* Every window width walks the same digits of the same exponent. *)
+  let s = st () in
+  let m = Nat.of_string "987654321987654321987654321987" in
+  let ctx = Montgomery.create m in
+  let base = Nat.random_below s m in
+  let e = Nat.random_bits s 64 in
+  let expect = Montgomery.pow ctx ~base ~exp:e in
+  List.iter
+    (fun window ->
+      let t = Fixed_base.create ~window ctx ~base ~max_exp_bits:64 in
+      Alcotest.check nat (Printf.sprintf "window %d" window) expect (Fixed_base.pow t e))
+    [ 1; 2; 3; 4; 5; 8 ]
+
+let test_fixed_base_edges () =
+  let m = Nat.of_int 101 in
+  let ctx = Montgomery.create m in
+  let t = Fixed_base.create ctx ~base:(Nat.of_int 7) ~max_exp_bits:16 in
+  Alcotest.check nat "x^0 = 1" Nat.one (Fixed_base.pow t Nat.zero);
+  Alcotest.check nat "x^1 = x" (Nat.of_int 7) (Fixed_base.pow t Nat.one);
+  Alcotest.check nat "fermat" Nat.one (Fixed_base.pow t (Nat.of_int 100));
+  Alcotest.check_raises "exponent wider than table"
+    (Invalid_argument "Fixed_base.pow: exponent exceeds table") (fun () ->
+      ignore (Fixed_base.pow t (Nat.shift_left Nat.one 16)));
+  Alcotest.check_raises "window out of range"
+    (Invalid_argument "Fixed_base.create: window must be in [1, 8]") (fun () ->
+      ignore (Fixed_base.create ~window:9 ctx ~base:(Nat.of_int 7) ~max_exp_bits:16))
+
 (* --- Bigint ------------------------------------------------------------ *)
 
 let test_bigint_oracle () =
@@ -408,6 +457,17 @@ let qcheck_tests =
         let a = Bigint.of_nat a and b = Bigint.of_nat b in
         let a = if flip mod 2 = 0 then a else Bigint.neg a in
         Bigint.equal a (Bigint.sub (Bigint.add a b) b));
+    Test.make ~name:"fixed-base pow = montgomery pow" ~count:60
+      (triple (arb_nat 160) (arb_nat 160) (arb_nat 72))
+      (fun (m, base, e) ->
+        (* 2(m + 1) + 1: odd and >= 3 for every generated m. *)
+        let m = Nat.succ (Nat.mul (Nat.succ m) (Nat.of_int 2)) in
+        let ctx = Spe_bignum.Montgomery.create m in
+        let base = Nat.rem base m in
+        let t = Spe_bignum.Fixed_base.create ctx ~base ~max_exp_bits:72 in
+        Nat.equal
+          (Spe_bignum.Montgomery.pow ctx ~base ~exp:e)
+          (Spe_bignum.Fixed_base.pow t e));
   ]
 
 let () =
@@ -454,6 +514,12 @@ let () =
           Alcotest.test_case "multiplication" `Quick test_montgomery_mul;
           Alcotest.test_case "edge exponents" `Quick test_montgomery_edge_exponents;
           Alcotest.test_case "rejects even modulus" `Quick test_montgomery_rejects_even;
+        ] );
+      ( "fixed-base",
+        [
+          Alcotest.test_case "vs square-and-multiply" `Quick test_fixed_base_vs_montgomery;
+          Alcotest.test_case "all window widths" `Quick test_fixed_base_windows_agree;
+          Alcotest.test_case "edges and validation" `Quick test_fixed_base_edges;
         ] );
       ( "bigint",
         [

@@ -306,18 +306,18 @@ let test_p6_packing_preserves_output_and_saves_bits () =
   let s = State.create ~seed:83 () in
   let g, log = workload ~n:25 ~num_actions:15 s in
   let logs = Partition.exclusive s log ~m:3 in
-  let run pack seed =
+  let run pack_slots seed =
     let s = State.create ~seed () in
     (* Regenerate the same workload deterministically. *)
     ignore s;
     let s = State.create ~seed:5 () in
     let wire = Wire.create () in
-    let config = { Protocol6.default_config with Protocol6.key_bits = 128; pack } in
+    let config = { Protocol6.default_config with Protocol6.key_bits = 128; pack_slots } in
     let result = Protocol6.run s ~wire ~graph:g ~logs config in
     (result, Wire.stats wire)
   in
-  let plain, plain_stats = run false 1 in
-  let packed, packed_stats = run true 2 in
+  let plain, plain_stats = run 1 1 in
+  let packed, packed_stats = run Spe_mpc.Pack.max_packed_bits 2 in
   Array.iteri
     (fun action pg ->
       if not (Propagation.equal pg packed.Protocol6.graphs.(action)) then

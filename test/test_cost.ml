@@ -111,7 +111,7 @@ let test_table2_matches_measured () =
       let zbits = forward.Wire.bits / (q * total_actions) in
       let model =
         Model.table2 ~q ~m ~node_bits:(Wire.bits_for_int_mod (max 2 (Digraph.n g)))
-          ~key_bits ~ciphertext_bits:zbits ~actions_per_provider
+          ~key_bits ~ciphertext_bits:zbits ~actions_per_provider ()
       in
       if not (Model.matches_wire model stats) then
         Alcotest.failf "m=%d: model NM=%d MS=%d, wire NM=%d MS=%d" m model.Model.nm
@@ -124,7 +124,7 @@ let test_table2_totals_formulae () =
       let actions = Array.make m 5 in
       let t =
         Model.table2 ~q:200 ~m ~node_bits:7 ~key_bits:2048 ~ciphertext_bits:1024
-          ~actions_per_provider:actions
+          ~actions_per_provider:actions ()
       in
       Alcotest.(check int) (Printf.sprintf "NM = 3m at m=%d" m) (3 * m) t.Model.nm;
       Alcotest.(check int) "NR = 4" 4 t.Model.nr)
@@ -137,7 +137,7 @@ let test_table2_ms_bound () =
   let a = 40 in
   let t =
     Model.table2 ~q ~m:4 ~node_bits:7 ~key_bits:2048 ~ciphertext_bits:z
-      ~actions_per_provider:actions
+      ~actions_per_provider:actions ()
   in
   let bound = 2 * q * z * a in
   let overhead = (4 * 2 * q * 7) + (4 * 2048) in
@@ -148,7 +148,7 @@ let test_table2_validation () =
     (Invalid_argument "Model.table2: one action count per provider") (fun () ->
       ignore
         (Model.table2 ~q:10 ~m:3 ~node_bits:5 ~key_bits:64 ~ciphertext_bits:64
-           ~actions_per_provider:[| 1; 2 |]))
+           ~actions_per_provider:[| 1; 2 |] ()))
 
 let () =
   Alcotest.run "spe_cost"

@@ -108,6 +108,33 @@ let test_rsa_multiplicative () =
   Alcotest.check nat "multiplicative" (Nat.of_int (1234 * 5678))
     (Rsa.decrypt kp.Rsa.secret prod)
 
+let test_rsa_crt_equals_plain () =
+  let s = st () in
+  let kp = Rsa.generate s ~bits:256 in
+  Alcotest.(check bool) "generated key carries CRT constants" true
+    (kp.Rsa.secret.Rsa.crt <> None);
+  let dec_crt = Rsa.decryptor ~crt:true kp.Rsa.secret in
+  let dec_plain = Rsa.decryptor ~crt:false kp.Rsa.secret in
+  for _ = 1 to 50 do
+    let c = Rsa.encrypt kp.Rsa.public (Nat.random_below s kp.Rsa.public.Rsa.n) in
+    Alcotest.check nat "CRT decrypt = full-size decrypt" (dec_plain c) (dec_crt c);
+    (* Against the naive oracle too: c^d mod n without Montgomery. *)
+    Alcotest.check nat "CRT decrypt = mod_pow oracle"
+      (Nat.mod_pow ~base:c ~exp:kp.Rsa.secret.Rsa.d ~modulus:kp.Rsa.secret.Rsa.n)
+      (dec_crt c)
+  done
+
+let test_rsa_key_too_small () =
+  let s = st () in
+  (* plain_bits up to bits - 1 is fine; bits wraps and must be typed. *)
+  ignore (Rsa.generate ~plain_bits:63 s ~bits:64);
+  Alcotest.check_raises "plain_bits = key_bits rejected"
+    (Rsa.Key_too_small { key_bits = 64; plain_bits = 64 }) (fun () ->
+      ignore (Rsa.generate ~plain_bits:64 s ~bits:64));
+  Alcotest.check_raises "non-positive plain_bits rejected"
+    (Invalid_argument "Rsa.generate: plain_bits must be positive") (fun () ->
+      ignore (Rsa.generate ~plain_bits:0 s ~bits:64))
+
 (* --- Paillier ----------------------------------------------------------- *)
 
 let test_paillier_roundtrip () =
@@ -145,6 +172,50 @@ let test_paillier_mul_plain () =
   let c = Paillier.encrypt s pk (Nat.of_int 21) in
   Alcotest.check nat "2 * E(21) decrypts to 42" (Nat.of_int 42)
     (Paillier.decrypt kp.Paillier.secret (Paillier.mul_plain pk c Nat.two))
+
+let test_paillier_crt_equals_plain () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:256 in
+  Alcotest.(check bool) "generated key carries CRT constants" true
+    (kp.Paillier.secret.Paillier.crt <> None);
+  let dec_crt = Paillier.decryptor ~crt:true kp.Paillier.secret in
+  let dec_plain = Paillier.decryptor ~crt:false kp.Paillier.secret in
+  for _ = 1 to 30 do
+    let m = Nat.random_below s kp.Paillier.public.Paillier.n in
+    let c = Paillier.encrypt s kp.Paillier.public m in
+    Alcotest.check nat "CRT decrypt = lambda/mu decrypt" (dec_plain c) (dec_crt c);
+    Alcotest.check nat "CRT decrypt recovers m" m (dec_crt c)
+  done
+
+let test_paillier_fixed_base_encryptor () =
+  let s = st () in
+  let kp = Paillier.generate s ~bits:256 in
+  let enc = Paillier.encryptor ~fixed_base:true s kp.Paillier.public in
+  let dec = Paillier.decryptor kp.Paillier.secret in
+  for _ = 1 to 30 do
+    let m = Nat.random_below s kp.Paillier.public.Paillier.n in
+    Alcotest.check nat "fixed-base enc roundtrips" m (dec (enc m))
+  done;
+  (* Still probabilistic: the per-call exponent re-randomises. *)
+  let m = Nat.of_int 9 in
+  Alcotest.(check bool) "two fixed-base encryptions differ" false
+    (Nat.equal (enc m) (enc m));
+  (* And agrees with the plain square-and-multiply encryptor modulo
+     randomness: both decrypt to the same plaintext. *)
+  let enc_plain = Paillier.encryptor ~fixed_base:false s kp.Paillier.public in
+  Alcotest.check nat "plain encryptor agrees after decryption" m (dec (enc_plain m))
+
+let test_paillier_key_too_small () =
+  let s = st () in
+  ignore (Paillier.generate ~plain_bits:63 s ~bits:64);
+  (* Paillier.Key_too_small is a rebinding of Rsa.Key_too_small, so the
+     same exception value matches through either name. *)
+  Alcotest.check_raises "plain_bits = key_bits rejected"
+    (Paillier.Key_too_small { key_bits = 64; plain_bits = 64 }) (fun () ->
+      ignore (Paillier.generate ~plain_bits:64 s ~bits:64));
+  Alcotest.(check bool) "rebinding: same exception constructor" true
+    (Paillier.Key_too_small { key_bits = 1; plain_bits = 2 }
+    = Rsa.Key_too_small { key_bits = 1; plain_bits = 2 })
 
 (* --- shift cipher ------------------------------------------------------- *)
 
@@ -206,6 +277,20 @@ let test_cipher_paillier () =
   Alcotest.(check bool) "z near 2x modulus size" true
     (c.Cipher.public.Cipher.ciphertext_bits >= 255)
 
+let test_cipher_accel_off_roundtrips () =
+  (* ~accel:false swaps in the unaccelerated reference pipeline
+     (no CRT, no fixed-base, no hoisted contexts); the facade contract
+     is unchanged. *)
+  let s = st () in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          Alcotest.(check int) "roundtrip" m
+            (c.Cipher.decrypt_int (c.Cipher.public.Cipher.encrypt_int m)))
+        [ 0; 1; 42; 999_983 ])
+    [ Cipher.rsa ~accel:false s ~bits:128; Cipher.paillier ~accel:false s ~bits:128 ]
+
 let test_cipher_rejects_negative () =
   let s = st () in
   let c = Cipher.rsa s ~bits:64 in
@@ -235,6 +320,19 @@ let qcheck_tests =
             (Paillier.encrypt s_global pk (Nat.of_int b))
         in
         Nat.equal (Nat.of_int (a + b)) (Paillier.decrypt pkp.Paillier.secret c));
+    Test.make ~name:"rsa CRT decrypt = plain decrypt" ~count:60 (int_range 0 1_000_000_000)
+      (fun m ->
+        let c = Rsa.encrypt kp.Rsa.public (Nat.of_int m) in
+        Nat.equal
+          (Rsa.decryptor ~crt:false kp.Rsa.secret c)
+          (Rsa.decryptor ~crt:true kp.Rsa.secret c));
+    Test.make ~name:"paillier CRT decrypt = plain decrypt" ~count:40
+      (int_range 0 1_000_000_000)
+      (fun m ->
+        let c = Paillier.encrypt s_global pkp.Paillier.public (Nat.of_int m) in
+        Nat.equal
+          (Paillier.decryptor ~crt:false pkp.Paillier.secret c)
+          (Paillier.decryptor ~crt:true pkp.Paillier.secret c));
     Test.make ~name:"shift cipher preserves gaps" ~count:200
       (triple (int_range 1 500) (int_range 0 10_000) (int_range 0 10_000))
       (fun (key_seed, t1, t2) ->
@@ -261,6 +359,8 @@ let () =
           Alcotest.test_case "1024-bit keys" `Slow test_rsa_full_size;
           Alcotest.test_case "oversized plaintext" `Quick test_rsa_plaintext_too_large;
           Alcotest.test_case "multiplicative property" `Quick test_rsa_multiplicative;
+          Alcotest.test_case "CRT decrypt equality" `Quick test_rsa_crt_equals_plain;
+          Alcotest.test_case "key too small" `Quick test_rsa_key_too_small;
         ] );
       ( "paillier",
         [
@@ -268,6 +368,9 @@ let () =
           Alcotest.test_case "probabilistic" `Quick test_paillier_probabilistic;
           Alcotest.test_case "homomorphic add" `Quick test_paillier_homomorphic_add;
           Alcotest.test_case "plaintext multiply" `Quick test_paillier_mul_plain;
+          Alcotest.test_case "CRT decrypt equality" `Quick test_paillier_crt_equals_plain;
+          Alcotest.test_case "fixed-base encryptor" `Quick test_paillier_fixed_base_encryptor;
+          Alcotest.test_case "key too small" `Quick test_paillier_key_too_small;
         ] );
       ( "shift-cipher",
         [
@@ -279,6 +382,7 @@ let () =
         [
           Alcotest.test_case "rsa facade" `Quick test_cipher_rsa;
           Alcotest.test_case "paillier facade" `Quick test_cipher_paillier;
+          Alcotest.test_case "accel off" `Quick test_cipher_accel_off_roundtrips;
           Alcotest.test_case "negative plaintext" `Quick test_cipher_rejects_negative;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);

@@ -704,6 +704,47 @@ let test_codec_bitset () =
   Alcotest.(check int) "one bit per flag, byte padded" 2
     (Bytes.length (Codec.encode_bitset (Array.make 9 true)))
 
+(* --- pack ---------------------------------------------------------------- *)
+
+module Pack = Spe_mpc.Pack
+
+let test_pack_roundtrip () =
+  let s = st () in
+  for _ = 1 to 50 do
+    let slot_bits = 1 + State.next_int s 16 in
+    let slots = 1 + State.next_int s (Pack.max_packed_bits / slot_bits) in
+    let t = Pack.create ~slots ~slot_bits in
+    let q = 1 + State.next_int s 40 in
+    let values = Array.init q (fun _ -> State.next_int s (1 lsl slot_bits)) in
+    let packed = Pack.pack t values in
+    Alcotest.(check int) "chunk count" (Pack.chunks t ~q) (Array.length packed);
+    Alcotest.(check bool) "roundtrip" true (Pack.unpack t ~q packed = values)
+  done
+
+let test_pack_overflow () =
+  let t = Pack.create ~slots:4 ~slot_bits:8 in
+  Alcotest.check_raises "value >= 2^slot_bits rejected"
+    (Pack.Overflow { index = 2; value = 256; slot_bits = 8 }) (fun () ->
+      ignore (Pack.pack t [| 0; 255; 256 |]));
+  Alcotest.check_raises "negative value rejected"
+    (Pack.Overflow { index = 0; value = -1; slot_bits = 8 }) (fun () ->
+      ignore (Pack.pack t [| -1 |]))
+
+let test_pack_bounds () =
+  (* spec validation and the native-int ceiling. *)
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Pack.create: slots * slot_bits exceeds the 61-bit native-int bound")
+    (fun () -> ignore (Pack.create ~slots:8 ~slot_bits:8));
+  Alcotest.(check int) "max_slots respects key and native width" 3
+    (Pack.max_slots ~key_bits:64 ~slot_bits:20);
+  Alcotest.(check int) "max_slots floors at one slot" 1
+    (Pack.max_slots ~key_bits:16 ~slot_bits:40);
+  let t = Pack.create ~slots:3 ~slot_bits:20 in
+  Alcotest.(check int) "plain_bits = slots * slot_bits" 60 (Pack.plain_bits t);
+  Alcotest.check_raises "unpack validates chunk count"
+    (Invalid_argument "Pack.unpack: chunk count does not match q") (fun () ->
+      ignore (Pack.unpack t ~q:7 [| 0 |]))
+
 (* --- QCheck ----------------------------------------------------------------- *)
 
 module Generate = Spe_graph.Generate
@@ -806,6 +847,25 @@ let qcheck_tests =
       (fun flags ->
         let flags = Array.of_list flags in
         Codec.decode_bitset ~count:(Array.length flags) (Codec.encode_bitset flags) = flags);
+    Test.make ~name:"pack round trip" ~count:300
+      (triple small_nat (int_range 1 20) (int_range 0 60))
+      (fun (seed, slot_bits, q) ->
+        let s = State.create ~seed () in
+        let slots = 1 + State.next_int s (Pack.max_packed_bits / slot_bits) in
+        let t = Pack.create ~slots ~slot_bits in
+        let values = Array.init q (fun _ -> State.next_int s (1 lsl slot_bits)) in
+        q = 0 || Pack.unpack t ~q (Pack.pack t values) = values);
+    Test.make ~name:"pack rejects out-of-range slots" ~count:200
+      (triple (int_range 1 16) (int_range 0 30) int)
+      (fun (slot_bits, index, value) ->
+        assume (value < 0 || value lsr slot_bits > 0);
+        let t = Pack.create ~slots:1 ~slot_bits in
+        let values = Array.make (index + 1) 0 in
+        values.(index) <- value;
+        try
+          ignore (Pack.pack t values);
+          false
+        with Pack.Overflow { index = i; value = v; _ } -> i = index && v = value);
     Test.make ~name:"protocol1 modular reconstruction" ~count:300
       (pair small_nat (list_of_size (Gen.int_range 2 6) (int_range 0 999)))
       (fun (seed, xs) ->
@@ -910,6 +970,12 @@ let () =
           Alcotest.test_case "floats" `Quick test_codec_floats;
           Alcotest.test_case "nats" `Quick test_codec_nats;
           Alcotest.test_case "bitset" `Quick test_codec_bitset;
+        ] );
+      ( "pack",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pack_roundtrip;
+          Alcotest.test_case "overflow rejection" `Quick test_pack_overflow;
+          Alcotest.test_case "bounds" `Quick test_pack_bounds;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
     ]

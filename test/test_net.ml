@@ -37,8 +37,19 @@ let fast = { Endpoint.round_timeout = 0.08; max_retries = 3; linger = 0.5 }
 (* --- frames ----------------------------------------------------------------- *)
 
 let roundtrip frame =
-  let decoded = Frame.decode (Frame.encode frame) in
-  if decoded <> frame then Alcotest.fail "frame round trip failed"
+  let body = Frame.encode frame in
+  let decoded = Frame.decode body in
+  if decoded <> frame then Alcotest.fail "frame round trip failed";
+  (* The closed-form size is exact, and encode_into at an offset
+     produces the same bytes encode does. *)
+  Alcotest.(check int) "encoded_length closed form"
+    (Bytes.length body) (Frame.encoded_length frame);
+  let off = 7 in
+  let buf = Bytes.make (off + Bytes.length body + 3) '\xAA' in
+  let stop = Frame.encode_into frame buf ~pos:off in
+  Alcotest.(check int) "encode_into end position" (off + Bytes.length body) stop;
+  if not (Bytes.equal body (Bytes.sub buf off (Bytes.length body))) then
+    Alcotest.fail "encode_into disagrees with encode"
 
 let test_frame_roundtrips () =
   roundtrip (Frame.Hello { sender = 3 });
@@ -110,6 +121,35 @@ let test_frame_payload_length_matches_runtime () =
       Alcotest.(check bool) "framing overhead is positive" true
         (Frame.framed_length frame > Frame.payload_length frame))
     payloads
+
+let test_frame_encode_into_zero_alloc () =
+  (* The transport hot path: encoding an integer-payload frame into a
+     reused buffer must allocate nothing on the minor heap.  Floats /
+     Nats payloads box values and are excluded from the guarantee. *)
+  let frame =
+    Frame.Data
+      { round = 12; seq = 3; src = Wire.Provider 1; dst = Wire.Host;
+        payload = Runtime.Ints { modulus = 1 lsl 40; values = Array.init 64 (fun i -> i) } }
+  in
+  let measure frame buf =
+    (* Warm up: fault any lazy paths before measuring. *)
+    ignore (Frame.encode_into frame buf ~pos:0);
+    let iters = 1000 in
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      ignore (Frame.encode_into frame buf ~pos:0)
+    done;
+    let allocated = Gc.minor_words () -. before in
+    (* Sampling the counter boxes a couple of floats; anything beyond
+       that constant means encode_into allocates per frame. *)
+    if allocated > 64.0 then
+      Alcotest.failf "encode_into allocated %.0f minor words over %d frames" allocated
+        iters
+  in
+  measure frame (Bytes.create (Frame.encoded_length frame));
+  (* Control frames ride the same writer. *)
+  let eor = Frame.End_of_round { round = 3; sender = 1; total = 9; to_dst = 4 } in
+  measure eor (Bytes.create (Frame.encoded_length eor))
 
 let qcheck_frame_tests =
   let open QCheck in
@@ -985,6 +1025,8 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_frame_rejects_garbage;
           Alcotest.test_case "payload length matches runtime" `Quick
             test_frame_payload_length_matches_runtime;
+          Alcotest.test_case "encode_into allocates nothing" `Quick
+            test_frame_encode_into_zero_alloc;
         ] );
       ( "transport",
         [
