@@ -811,14 +811,13 @@ let serve_reports () =
   let client = Client.connect ~retry_for:10. roster.(0) in
   let spec =
     {
+      Proto.default_spec with
       Proto.pipeline = Proto.Links;
       seed = pseed;
       shards = 2;
       h = 2;
       c_factor = 2.;
       modulus_bits = 40;
-      tau = 1;
-      key_bits = 16;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -864,6 +863,172 @@ let serve_reports () =
     (respawn_wall /. daemon_wall) hellos;
   [ respawn; daemon_row ]
 
+(* Streaming ablation: the epoch-delta pipeline vs a full recompute of
+   every counter group each epoch, on all three engines.  Both modes
+   ingest the identical seeded arrival streams (Spe_actionlog.Source)
+   through windowed accumulators, so the released digests must agree
+   bit-for-bit — asserted per engine — while the delta rows pay only
+   for the dirty groups.  Each row's wall_s is the end-to-end
+   streaming wall clock (ingestion + epoch sessions); a synthetic
+   "stream-ingest" phase row carries the epoch and record counts, so
+   sustained updates/s = phases["stream-ingest"].messages / wall_s is
+   recoverable from BENCH_protocols.json alone. *)
+let stream_reports () =
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Plan = Spe_core.Plan in
+  let module Delta = Spe_core.Delta in
+  let module Metrics = Spe_obs.Metrics in
+  let module Source = Spe_actionlog.Source in
+  let module Stream = Spe_influence.Stream in
+  let seed = 91 in
+  let epochs = 6 and epoch_ticks = 25 and window = 8 and h = 2 in
+  let rate = 0.6 and burstiness = 0.3 and jitter = 2 in
+  let s, g, log = workload ~seed ~n:40 ~edges:120 ~actions:10 in
+  let logs = Partition.exclusive s log ~m:3 in
+  let m = Array.length logs in
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  let config =
+    { Protocol4.c_factor = 2.; modulus = 1 lsl 40; h; estimator = Protocol4.Eq1 }
+  in
+  let instance () =
+    let d =
+      Delta.create
+        (State.create ~seed ())
+        ~graph:g ~m ~num_actions ~group_seed:(seed lxor 0x5bd1e995) config
+    in
+    let pairs = Delta.pairs d in
+    let sources =
+      Array.mapi
+        (fun k l ->
+          Source.create (State.create ~seed:(seed + 101 + k) ()) l ~rate ~burstiness ~jitter ())
+        logs
+    in
+    let streams =
+      Array.map
+        (fun _ ->
+          Stream.create ~window ~num_users:(Digraph.n g) ~num_actions ~h ~pairs ())
+        logs
+    in
+    (d, sources, streams)
+  in
+  let union_sorted lists = List.sort_uniq compare (List.concat lists) in
+  let epoch_input ~epoch ~horizon (sources, streams) =
+    let arrivals = ref 0 in
+    Array.iteri
+      (fun k src ->
+        List.iter
+          (fun (r : Log.record) ->
+            incr arrivals;
+            let acc = streams.(k) in
+            Stream.advance acc ~now:(max (Stream.now acc) r.Log.time);
+            Stream.add acc r)
+          (Source.take_until src ~arrival:horizon))
+      sources;
+    let dirty_users = union_sorted (Array.to_list (Array.map Stream.dirty_users streams)) in
+    let dirty_pairs = union_sorted (Array.to_list (Array.map Stream.dirty_pairs streams)) in
+    let inputs =
+      Array.map
+        (fun acc ->
+          let c = Stream.snapshot acc in
+          { Protocol4.a = c.Counters.a; c = c.Counters.c })
+        streams
+    in
+    Array.iter Stream.clear_dirty streams;
+    (!arrivals, { Delta.epoch; dirty_users; dirty_pairs; inputs })
+  in
+  let pool_config =
+    { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+  in
+  let run_stage_sessions engine (stage : Plan.stage) =
+    let traces = Array.map (fun _ -> Spe_obs.Trace.create ()) stage.Plan.sessions in
+    (match engine with
+    | `Memory ->
+      ignore
+        (Endpoint.run_sessions_memory ~config:pool_config ~workers:2 ~traces
+           stage.Plan.sessions)
+    | `Socket ->
+      ignore
+        (Endpoint.run_sessions_socket ~config:pool_config ~workers:2 ~traces
+           stage.Plan.sessions));
+    Array.to_list
+      (Array.mapi
+         (fun i trace ->
+           Metrics.of_trace ~protocol:"stream" ~engine:"-"
+             ~parties:(Array.length stage.Plan.sessions.(i).Session.parties)
+             trace)
+         traces)
+  in
+  let run_epoch_plan engine (plan : Delta.release Plan.t) =
+    match engine with
+    | `Sim ->
+      let session = Plan.to_session plan in
+      let trace = Spe_obs.Trace.create () in
+      let release = Session.run ~trace session ~wire:(Wire.create ()) in
+      ( release,
+        [
+          Metrics.of_trace ~protocol:"stream" ~engine:"-"
+            ~parties:(Array.length session.Session.parties) trace;
+        ] )
+    | (`Memory | `Socket) as engine ->
+      let reports =
+        List.concat_map (run_stage_sessions engine) plan.Plan.stages
+      in
+      (plan.Plan.result (), reports)
+  in
+  let run_mode mode engine_name engine =
+    let d, srcs, accs = instance () in
+    let reports = ref [] in
+    let records = ref 0 in
+    let digests = Array.make epochs 0 in
+    let t0 = Unix.gettimeofday () in
+    for e = 0 to epochs - 1 do
+      let horizon = (e + 1) * epoch_ticks in
+      let arrivals, input = epoch_input ~epoch:e ~horizon (srcs, accs) in
+      records := !records + arrivals;
+      let release, rs = run_epoch_plan engine (Delta.epoch_plan d ~mode input) in
+      digests.(e) <- release.Delta.digest;
+      reports := List.rev_append rs !reports
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let protocol =
+      match mode with Delta.Delta -> "stream-delta" | Delta.Full -> "stream-full"
+    in
+    let merged = Metrics.merge (List.rev !reports) in
+    let ingest =
+      {
+        Metrics.phase = "stream-ingest";
+        rounds = epochs;
+        messages = !records;
+        payload_bytes = 0;
+        wall_s = wall;
+      }
+    in
+    let row =
+      {
+        merged with
+        Metrics.protocol;
+        engine = engine_name;
+        wall_s = wall;
+        phases = merged.Metrics.phases @ [ ingest ];
+      }
+    in
+    (row, digests, !records, wall)
+  in
+  List.concat_map
+    (fun (engine_name, engine) ->
+      let delta_row, ddig, records, dwall = run_mode Delta.Delta engine_name engine in
+      let full_row, fdig, _, fwall = run_mode Delta.Full engine_name engine in
+      assert (ddig = fdig);
+      let rate wall = if wall > 0. then float_of_int records /. wall else 0. in
+      Printf.printf
+        "stream %-7s: %d records over %d epochs; delta %.2f s (%.1f upd/s) vs full %.2f s\n\
+        \  (%.1f upd/s), %.2fx — released digests bit-identical\n"
+        engine_name records epochs dwall (rate dwall) fwall (rate fwall)
+        (fwall /. dwall);
+      [ delta_row; full_row ])
+    [ ("sim", `Sim); ("memory", `Memory); ("socket", `Socket) ]
+
 (* Bench-drift smoke: regenerate one Table 1 and two Table 2 rows
    (unpacked and fully packed) and fail loudly if the measured
    payload bytes ever deviate from the documented closed forms.  CI
@@ -891,7 +1056,9 @@ let drift_smoke () =
 let bench_rows () =
   section "Bench trajectory - one spe-metrics/2 row per (pipeline, engine)";
   drift_smoke ();
-  let reports = pipeline_reports () @ sharding_reports () @ serve_reports () in
+  let reports =
+    pipeline_reports () @ sharding_reports () @ stream_reports () @ serve_reports ()
+  in
   Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
     "payload (B)" "on-wire (B)" "wall (s)";
   List.iter

@@ -575,14 +575,13 @@ let links_cmd =
       else
         run_connect ~addr_spec ~jobs
           {
+            Serve_proto.default_spec with
             Serve_proto.pipeline = Serve_proto.Links;
             seed;
             shards;
             h;
             c_factor;
             modulus_bits;
-            tau = 1;
-            key_bits = 16;
           }
           ~print:(function
             | Serve_proto.Strengths strengths ->
@@ -747,8 +746,6 @@ let scores_cmd =
       else if workers < 1 then Some "--workers must be at least 1"
       else if jobs < 1 then Some "--jobs must be at least 1"
       else if pack_slots < 1 then Some "--pack-slots must be at least 1"
-      else if connect <> None && pack_slots <> 1 then
-        Some "--pack-slots is not part of the daemon job spec; run without --connect"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
       else None
@@ -765,14 +762,14 @@ let scores_cmd =
       else
         run_connect ~addr_spec ~jobs
           {
+            Serve_proto.default_spec with
             Serve_proto.pipeline = Serve_proto.Scores;
             seed;
             shards;
-            h = 1;
-            c_factor = 1.;
             modulus_bits;
             tau;
             key_bits;
+            pack_slots;
           }
           ~print:(function
             | Serve_proto.Scores scores ->
@@ -855,6 +852,307 @@ let scores_cmd =
        ~doc:
          "Securely compute user influence scores (Protocol 6 + Def. 3.3), on any \
           engine (--transport).")
+    term
+
+(* --- spe stream ----------------------------------------------------------- *)
+
+(* Epoch-delta streaming: replay the providers' logs as seeded arrival
+   streams, accumulate them in sliding-window counters, and re-release
+   the pair estimates every epoch, re-running the protocols only over
+   the dirtied counter groups (Spe_core.Delta).  The same seed
+   derivation as the daemons' Stream jobs, so `spe stream` in-process
+   and `spe stream --connect` against a deployment loaded with the same
+   workload release identical digests. *)
+
+let stream_cmd =
+  let module Source = Spe_actionlog.Source in
+  let module Stream = Spe_influence.Stream in
+  let module Counters = Spe_influence.Counters in
+  let module Delta = Spe_core.Delta in
+  let module Plan = Spe_core.Plan in
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let epoch_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "epoch"; "epoch-ticks" ] ~docv:"TICKS"
+          ~doc:"Arrival ticks per release epoch.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "window"; "stream-window" ] ~docv:"N"
+          ~doc:
+            "Sliding temporal window: a record leaves the counters once its timestamp \
+             falls N time units behind the stream clock.  0 (the default) keeps \
+             everything — pure accumulation.  (Unlike links/scores, --window here is \
+             the stream window; the estimator's memory width is -h.)")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"E" ~doc:"Release epochs to run.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "rate" ] ~docv:"R" ~doc:"Mean record arrivals per tick, per provider.")
+  in
+  let burstiness_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "burstiness" ] ~docv:"B"
+          ~doc:
+            "Markov-modulated arrival burstiness in [0, 1): 0 is a plain Poisson \
+             process, higher values alternate calm and burst regimes.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"J"
+          ~doc:"Bounded arrival reordering: each record lands up to J ticks late.")
+  in
+  let h_only_arg =
+    Arg.(value & opt int 3 & info [ "h" ] ~docv:"H" ~doc:"Memory-window width h.")
+  in
+  let stream_transport_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("memory", `Memory); ("socket", `Socket) ]) `Sim
+      & info [ "transport" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine executing each epoch's delta plan: sim, memory or socket.  The \
+             released bits are engine-independent.")
+  in
+  let verify_full_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-full" ]
+          ~doc:
+            "Also run a full per-epoch recompute (every counter group re-shared every \
+             epoch) in lockstep and assert its release digest matches the delta path's \
+             at every epoch — the bit-identity invariant, checked live.")
+  in
+  let print_summary ~top ~epochs digests recomputed strengths =
+    Array.iteri
+      (fun e d -> Printf.printf "epoch %d: %d group(s) recomputed, digest %016x\n" e
+          recomputed.(e) d)
+      digests;
+    Printf.printf "%d epoch(s) released\n" epochs;
+    let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) strengths in
+    Printf.printf "final link strengths (top %d of %d):\n" top (List.length sorted);
+    List.iteri
+      (fun i ((u, v), p) -> if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
+      sorted
+  in
+  let run seed graph_path log_paths epoch_ticks window epochs rate burstiness jitter h
+      c_factor modulus_bits transport top verify_full connect jobs =
+    match
+      if epoch_ticks < 1 then Some "--epoch must be at least 1"
+      else if window < 0 then Some "--stream-window must be >= 0"
+      else if epochs < 1 then Some "--epochs must be at least 1"
+      else if rate <= 0. then Some "--rate must be positive"
+      else if burstiness < 0. || burstiness >= 1. then Some "--burstiness must be in [0, 1)"
+      else if jitter < 0 then Some "--jitter must be >= 0"
+      else if h < 1 then Some "--h must be at least 1"
+      else if c_factor < 1. then Some "--c-factor must be >= 1"
+      else if jobs < 1 then Some "--jobs must be at least 1"
+      else None
+    with
+    | Some msg -> `Error (true, msg)
+    | None ->
+    match connect with
+    | Some addr_spec ->
+      if verify_full then
+        `Error
+          ( true,
+            "--verify-full is an in-process check; daemons run the delta plan — compare \
+             against a local run with the same seed instead" )
+      else
+        run_connect ~addr_spec ~jobs
+          {
+            Serve_proto.default_spec with
+            Serve_proto.pipeline = Serve_proto.Stream;
+            seed;
+            h;
+            c_factor;
+            modulus_bits;
+            epoch_ticks;
+            window;
+            epochs;
+            rate;
+            burstiness;
+            jitter;
+          }
+          ~print:(function
+            | Serve_proto.Stream_summary { digests; recomputed; strengths } ->
+              print_summary ~top ~epochs:(Array.length digests) digests recomputed
+                strengths
+            | _ -> ())
+    | None ->
+    match (graph_path, log_paths) with
+    | None, _ -> `Error (true, "--graph is required when not using --connect")
+    | _, [] -> `Error (true, "--log is required when not using --connect")
+    | Some graph_path, log_paths ->
+      let graph = Graph_io.load graph_path in
+      let logs = Array.of_list (List.map Log_io.load log_paths) in
+      if Array.length logs < 2 then `Error (true, "need at least two --log providers")
+      else begin
+        let m = Array.length logs in
+        let num_actions =
+          Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs
+        in
+        let config =
+          {
+            Protocol4.c_factor;
+            modulus = 1 lsl modulus_bits;
+            h;
+            estimator = Protocol4.Eq1;
+          }
+        in
+        (* One streaming instance: its Delta pipeline, the per-provider
+           sources, and windowed accumulators over its published pair
+           order.  [verify-full] builds a second one from the same seeds
+           — identical ingestion, every group recomputed every epoch. *)
+        let instance () =
+          let d =
+            Delta.create
+              (State.create ~seed ())
+              ~graph ~m ~num_actions ~group_seed:(seed lxor 0x5bd1e995) config
+          in
+          let pairs = Delta.pairs d in
+          let sources =
+            Array.mapi
+              (fun k l ->
+                Source.create
+                  (State.create ~seed:(seed + 101 + k) ())
+                  l ~rate ~burstiness ~jitter ())
+              logs
+          in
+          let streams =
+            Array.map
+              (fun _ ->
+                Stream.create
+                  ?window:(if window = 0 then None else Some window)
+                  ~num_users:(Digraph.n graph) ~num_actions ~h ~pairs ())
+              logs
+          in
+          (d, sources, streams)
+        in
+        let union_sorted lists = List.sort_uniq compare (List.concat lists) in
+        let epoch_input ~epoch ~horizon (sources, streams) =
+          let arrivals = ref 0 in
+          Array.iteri
+            (fun k src ->
+              List.iter
+                (fun (r : Log.record) ->
+                  incr arrivals;
+                  let acc = streams.(k) in
+                  Stream.advance acc ~now:(max (Stream.now acc) r.Log.time);
+                  Stream.add acc r)
+                (Source.take_until src ~arrival:horizon))
+            sources;
+          let dirty_users =
+            union_sorted (Array.to_list (Array.map Stream.dirty_users streams))
+          in
+          let dirty_pairs =
+            union_sorted (Array.to_list (Array.map Stream.dirty_pairs streams))
+          in
+          let inputs =
+            Array.map
+              (fun acc ->
+                let c = Stream.snapshot acc in
+                { Protocol4.a = c.Counters.a; c = c.Counters.c })
+              streams
+          in
+          Array.iter Stream.clear_dirty streams;
+          (!arrivals, { Delta.epoch; dirty_users; dirty_pairs; inputs })
+        in
+        let endpoint_config =
+          { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+        in
+        let run_plan engine (plan : _ Plan.t) =
+          match engine with
+          | `Sim -> Session.run (Plan.to_session plan) ~wire:(Wire.create ())
+          | (`Memory | `Socket) as e ->
+            List.iter
+              (fun (stage : Plan.stage) ->
+                ignore
+                  (match e with
+                  | `Memory ->
+                    Endpoint.run_sessions_memory ~config:endpoint_config ~workers:2
+                      stage.Plan.sessions
+                  | `Socket ->
+                    Endpoint.run_sessions_socket ~config:endpoint_config ~workers:2
+                      stage.Plan.sessions))
+              plan.Plan.stages;
+            plan.Plan.result ()
+        in
+        let d, srcs, accs = instance () in
+        let full_i = if verify_full then Some (instance ()) else None in
+        let t0 = Unix.gettimeofday () in
+        let total_arrivals = ref 0 in
+        let mismatch = ref None in
+        let last = ref None in
+        for e = 0 to epochs - 1 do
+          let horizon = (e + 1) * epoch_ticks in
+          let arrivals, input = epoch_input ~epoch:e ~horizon (srcs, accs) in
+          total_arrivals := !total_arrivals + arrivals;
+          let release = run_plan transport (Delta.epoch_plan d ~mode:Delta.Delta input) in
+          last := Some release;
+          Printf.printf "epoch %d: %d arrival(s), %d group(s) recomputed, digest %016x%s\n%!"
+            e arrivals release.Delta.recomputed release.Delta.digest
+            (match full_i with
+            | None -> ""
+            | Some (fd, fsrcs, faccs) ->
+              let _, finput = epoch_input ~epoch:e ~horizon (fsrcs, faccs) in
+              let full = run_plan `Sim (Delta.epoch_plan fd ~mode:Delta.Full finput) in
+              if full.Delta.digest = release.Delta.digest then " = full"
+              else begin
+                if !mismatch = None then mismatch := Some e;
+                Printf.sprintf " <> full %016x" full.Delta.digest
+              end)
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        (match !last with
+        | None -> ()
+        | Some release ->
+          let sorted =
+            List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) release.Delta.strengths
+          in
+          Printf.printf "final link strengths (top %d of %d):\n" top (List.length sorted);
+          List.iteri
+            (fun i ((u, v), p) ->
+              if i < top then Printf.printf "  %6d -> %-6d  %.4f\n" u v p)
+            sorted);
+        Printf.printf "%d epoch(s), %d record(s) in %.2f s (%.1f sustained updates/s)\n"
+          epochs !total_arrivals wall
+          (if wall > 0. then float_of_int !total_arrivals /. wall else 0.);
+        (match !mismatch with
+        | None ->
+          if verify_full then
+            Printf.printf "verify-full: delta releases bit-identical to full recompute\n";
+          `Ok ()
+        | Some e ->
+          `Error
+            ( false,
+              Printf.sprintf "verify-full: delta and full release digests diverge at epoch %d"
+                e ))
+      end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ epoch_arg $ window_arg
+       $ epochs_arg $ rate_arg $ burstiness_arg $ jitter_arg $ h_only_arg $ c_arg
+       $ modulus_bits_arg $ stream_transport_arg $ top_arg $ verify_full_arg
+       $ connect_arg $ jobs_arg))
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Replay the action logs as timestamped arrival streams and re-release link \
+          strengths every epoch, re-running the secure protocols only over the counter \
+          groups the window moved (Spe_core.Delta).  --verify-full checks the released \
+          bits against a full per-epoch recompute.")
     term
 
 (* --- spe campaign --------------------------------------------------------- *)
@@ -1337,7 +1635,8 @@ let serve_cmd =
         }
       in
       let shown = match listen with Some a -> a | None -> roster.(party) in
-      Printf.printf "spe-serve/1: %s listening on %s (%d parties, %d sessions, queue %d)%s\n%!"
+      Printf.printf "%s: %s listening on %s (%d parties, %d sessions, queue %d)%s\n%!"
+        Serve_proto.protocol
         (Serve_addr.party_name party)
         (Serve_addr.to_string shown)
         (Array.length roster) max_sessions max_queue
@@ -1363,10 +1662,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run one party as a long-lived daemon (spe-serve/1): connections to the peer \
+         "Run one party as a long-lived daemon (spe-serve/2): connections to the peer \
           daemons are established once and reused across every submitted pipeline job; \
-          the host daemon owns admission control.  Submit work with spe links|scores \
-          --connect.")
+          the host daemon owns admission control.  Submit work with spe \
+          links|scores|stream --connect.")
     term
 
 let scrape_cmd =
@@ -1628,6 +1927,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; links_cmd; scores_cmd; campaign_cmd; serve_cmd; scrape_cmd;
-            shutdown_cmd; chaos_cmd; privacy_cmd; costs_cmd; leakage_cmd; em_cmd;
-            metrics_cmd; verify_cmd; shares_cmd ]))
+          [ generate_cmd; links_cmd; scores_cmd; stream_cmd; campaign_cmd; serve_cmd;
+            scrape_cmd; shutdown_cmd; chaos_cmd; privacy_cmd; costs_cmd; leakage_cmd;
+            em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))

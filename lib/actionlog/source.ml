@@ -1,0 +1,73 @@
+module State = Spe_rng.State
+module Dist = Spe_rng.Dist
+
+type event = { arrival : int; record : Log.record }
+
+type t = { events : event array; mutable cursor : int }
+
+(* Burstiness beta in [0, 1) maps to the gap scale of a two-state
+   modulated Poisson process: the fast state compresses gaps by
+   1/(1 + 3*beta), the slow state stretches them by the inverse, and
+   the chain flips state with probability 0.1 per event.  beta = 0
+   collapses both states to scale 1 — a plain Poisson stream. *)
+let switch_probability = 0.1
+
+let burst_scale ~burstiness = 1. +. (3. *. burstiness)
+
+let create st log ~rate ?(burstiness = 0.) ?(jitter = 0) () =
+  if rate <= 0. then invalid_arg "Source.create: rate must be positive";
+  if burstiness < 0. || burstiness >= 1. then
+    invalid_arg "Source.create: burstiness must lie in [0, 1)";
+  if jitter < 0 then invalid_arg "Source.create: jitter must be >= 0";
+  let recs = Array.of_list (Log.records log) in
+  (* Emission order is record time: the stream delivers the history in
+     the order it happened, modulo the bounded reordering below. *)
+  Array.sort
+    (fun (r1 : Log.record) (r2 : Log.record) ->
+      compare (r1.Log.time, r1.Log.action, r1.Log.user) (r2.Log.time, r2.Log.action, r2.Log.user))
+    recs;
+  let scale = burst_scale ~burstiness in
+  let fast = ref true in
+  let clock = ref 0. in
+  let events =
+    Array.map
+      (fun record ->
+        if State.next_float st < switch_probability then fast := not !fast;
+        let gap = Dist.exponential st ~rate *. if !fast then 1. /. scale else scale in
+        clock := !clock +. gap;
+        let arrival = int_of_float !clock + if jitter > 0 then State.next_int st (jitter + 1) else 0 in
+        { arrival; record })
+      recs
+  in
+  (* Jitter can swap neighbours; re-establish arrival order with a
+     deterministic tie-break so replay is exact. *)
+  Array.sort
+    (fun e1 e2 ->
+      compare
+        (e1.arrival, e1.record.Log.time, e1.record.Log.action, e1.record.Log.user)
+        (e2.arrival, e2.record.Log.time, e2.record.Log.action, e2.record.Log.user))
+    events;
+  { events; cursor = 0 }
+
+let length t = Array.length t.events
+
+let remaining t = Array.length t.events - t.cursor
+
+let next_arrival t =
+  if t.cursor < Array.length t.events then Some t.events.(t.cursor).arrival else None
+
+let last_arrival t =
+  let n = Array.length t.events in
+  if n = 0 then None else Some t.events.(n - 1).arrival
+
+let take_until t ~arrival =
+  let out = ref [] in
+  while t.cursor < Array.length t.events && t.events.(t.cursor).arrival <= arrival do
+    out := t.events.(t.cursor).record :: !out;
+    t.cursor <- t.cursor + 1
+  done;
+  List.rev !out
+
+let reset t = t.cursor <- 0
+
+let events t = Array.to_list (Array.map (fun e -> (e.arrival, e.record)) t.events)

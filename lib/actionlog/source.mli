@@ -1,0 +1,63 @@
+(** Rate-controlled replay of an action log as a live event stream.
+
+    The streaming pipeline needs records that {e arrive} over a wall
+    clock, not a finished batch.  A source takes a log (typically from
+    {!Cascade.generate}), orders it by record time, and assigns every
+    record an integer {e arrival tick} on a separate timeline:
+
+    - gaps between arrivals are exponential with mean [1 / rate]
+      (a Poisson stream at [rate] events per tick);
+    - [burstiness] in [[0, 1)] modulates the gaps with a two-state
+      Markov chain — bursts of compressed gaps alternating with quiet
+      stretches — while preserving the long-run rate.  [0.] is plain
+      Poisson;
+    - [jitter] adds an independent uniform offset in [[0, jitter]]
+      ticks to each arrival, producing {e bounded} out-of-order
+      delivery relative to record-time order (the stream tests feed
+      this to the windowed {!Spe_influence.Stream} accumulator).
+
+    Sources are seeded and replayable: the same [State] seed, log and
+    parameters reproduce the identical event sequence, which is what
+    lets every party of a distributed job derive the same per-epoch
+    input without exchanging the stream itself.  Consumption is
+    flat-out — the source never sleeps; pacing is the caller's
+    business (epoch loops slice the arrival timeline instead). *)
+
+type t
+
+val create :
+  Spe_rng.State.t ->
+  Log.t ->
+  rate:float ->
+  ?burstiness:float ->
+  ?jitter:int ->
+  unit ->
+  t
+(** Plan the full arrival sequence for [log] (deterministic in the
+    state).  [rate] (> 0) is mean arrivals per tick; [burstiness]
+    (default 0) in [[0, 1)]; [jitter] (default 0) in ticks. *)
+
+val take_until : t -> arrival:int -> Log.record list
+(** Consume and return every not-yet-delivered record with arrival tick
+    [<= arrival], in arrival order.  An epoch loop calls this once per
+    epoch boundary. *)
+
+val length : t -> int
+(** Total events in the stream. *)
+
+val remaining : t -> int
+(** Events not yet consumed. *)
+
+val next_arrival : t -> int option
+(** Arrival tick of the next undelivered event. *)
+
+val last_arrival : t -> int option
+(** Arrival tick of the final event — the horizon after which
+    {!take_until} drains nothing new. *)
+
+val reset : t -> unit
+(** Rewind to the start; the replayed sequence is identical. *)
+
+val events : t -> (int * Log.record) list
+(** The full (arrival, record) sequence in delivery order, without
+    consuming — for tests and offline analysis. *)

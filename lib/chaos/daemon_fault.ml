@@ -35,22 +35,20 @@ let fail oracle fmt = Printf.ksprintf (fun detail -> Harness.Fail { Harness.orac
 let spec_of ~pseed = function
   | Schedule.Links ->
     {
+      Serve_proto.default_spec with
       Serve_proto.pipeline = Serve_proto.Links;
       seed = pseed;
       shards = 3;
       h = 2;
       c_factor = 2.;
       modulus_bits = 40;
-      tau = 1;
-      key_bits = 16;
     }
   | Schedule.Scores ->
     {
+      Serve_proto.default_spec with
       Serve_proto.pipeline = Serve_proto.Scores;
       seed = pseed;
       shards = 3;
-      h = 1;
-      c_factor = 1.;
       modulus_bits = 20;
       tau = 6;
       key_bits = 128;

@@ -1,8 +1,14 @@
 module Session = Spe_mpc.Session
 
-type stage = { label : string; sessions : unit Session.t array }
+type stage = { label : string; epoch : int option; sessions : unit Session.t array }
 
 type 'r t = { shards : int; stages : stage list; result : unit -> 'r }
+
+let stage ?epoch ~label sessions =
+  (match epoch with
+  | Some e when e < 0 -> invalid_arg "Plan.stage: epoch must be >= 0"
+  | _ -> ());
+  { label; epoch; sessions }
 
 let make ~shards ~stages ~result =
   if shards < 1 then invalid_arg "Plan.make: need at least one shard";

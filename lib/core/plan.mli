@@ -16,6 +16,10 @@
 
 type stage = {
   label : string;  (** Stage name for progress/observability. *)
+  epoch : int option;
+      (** For epoch-delta plans ([Delta]): which release epoch this
+          stage belongs to, so engines and daemons can attribute
+          progress per epoch.  [None] for batch pipelines. *)
   sessions : unit Spe_mpc.Session.t array;
       (** Mutually independent sessions; for sharded pipelines, one per
           shard. *)
@@ -28,6 +32,10 @@ type 'r t = {
       (** Read the merged result out of the party closures; call only
           after every stage has been driven to quiescence. *)
 }
+
+val stage : ?epoch:int -> label:string -> unit Spe_mpc.Session.t array -> stage
+(** Stage constructor; [epoch] (>= 0 when given) tags the stage with
+    its release epoch. *)
 
 val make : shards:int -> stages:stage list -> result:(unit -> 'r) -> 'r t
 (** Raises [Invalid_argument] on a non-positive shard count, an empty

@@ -246,11 +246,10 @@ let links_plan st ~graph ~num_actions ~m ~provider_input_of ~pre_stages ~shards 
     ~stages:
       (pre_stages
       @ [
-          { Plan.label = "links-shards";
-            sessions = Array.map (fun r -> r.session) shard_records };
-          { Plan.label = "p2-verdict";
-            sessions = [| verdict.Protocol2_distributed.session |] };
-          { Plan.label = "p4-mask"; sessions = Array.map mask_session shard_records };
+          Plan.stage ~label:"links-shards"
+            (Array.map (fun r -> r.session) shard_records);
+          Plan.stage ~label:"p2-verdict" [| verdict.Protocol2_distributed.session |];
+          Plan.stage ~label:"p4-mask" (Array.map mask_session shard_records);
         ])
     ~result
 
@@ -305,7 +304,7 @@ let links_non_exclusive st ~graph ~logs ~spec ~obfuscation ~shards config =
   let pre_stages =
     match class_sessions with
     | [] -> []
-    | ss -> [ { Plan.label = "p5-classes"; sessions = Array.of_list ss } ]
+    | ss -> [ Plan.stage ~label:"p5-classes" (Array.of_list ss) ]
   in
   links_plan st ~graph ~num_actions ~m
     ~provider_input_of:(fun ~k ~pairs ->
@@ -359,10 +358,10 @@ let user_scores_exclusive st ~graph ~logs ~tau ~modulus ~shards config =
   Plan.make ~shards:k_eff
     ~stages:
       [
-        { Plan.label = "p6-setup"; sessions = [| p.Protocol6_distributed.setup_session |] };
-        { Plan.label = "p6-bundles"; sessions = bundle_sessions };
-        { Plan.label = "scores-share";
-          sessions = [| Session.map ignore (Session.seq share_session final_phase) |] };
+        Plan.stage ~label:"p6-setup" [| p.Protocol6_distributed.setup_session |];
+        Plan.stage ~label:"p6-bundles" bundle_sessions;
+        Plan.stage ~label:"scores-share"
+          [| Session.map ignore (Session.seq share_session final_phase) |];
       ]
     ~result:(fun () ->
       {

@@ -20,6 +20,12 @@ let make ~parties ~programs ~rounds ~result =
 
 let with_label label t = { t with phases = [ (label, t.rounds) ] }
 
+let with_epoch epoch t =
+  if epoch < 0 then invalid_arg "Session.with_epoch: epoch must be >= 0";
+  { t with
+    phases = List.map (fun (l, n) -> (Printf.sprintf "e%d/%s" epoch l, n)) t.phases
+  }
+
 let map f t = { t with result = (fun () -> f (t.result ())) }
 
 let program_of t party =

@@ -65,6 +65,13 @@ val with_label : string -> 'r t -> 'r t
     them with {!seq} so per-phase metrics and timeout messages read
     well. *)
 
+val with_epoch : int -> 'r t -> 'r t
+(** [with_epoch e t] prefixes every segment of [t]'s phase map with
+    [e<e>/] — e.g. [p4-mask] becomes [e3/p4-mask] — so traces, metrics
+    and timeout errors from an epoch-delta plan ([Spe_core.Delta]) name
+    the release epoch a round belongs to.  Raises [Invalid_argument] on
+    a negative epoch. *)
+
 val map : ('a -> 'b) -> 'a t -> 'b t
 (** Post-compose the result thunk. *)
 

@@ -1,0 +1,105 @@
+module State = Spe_rng.State
+module Wire = Spe_mpc.Wire
+module Protocol2 = Spe_mpc.Protocol2
+
+type schedule = { group_sizes : int array; versions : int array }
+
+let schedule ~group_sizes ~versions =
+  if Array.length group_sizes <> Array.length versions then
+    invalid_arg "Composition.schedule: one version count per group";
+  Array.iter
+    (fun s -> if s < 0 then invalid_arg "Composition.schedule: negative group size")
+    group_sizes;
+  Array.iter
+    (fun v -> if v < 0 then invalid_arg "Composition.schedule: negative version count")
+    versions;
+  { group_sizes; versions }
+
+let of_group_widths ~width ~sourced ~versions =
+  if width < 1 then invalid_arg "Composition.of_group_widths: width must be >= 1";
+  let group_sizes = Array.map (fun q_g -> 1 + (q_g * width)) sourced in
+  schedule ~group_sizes ~versions
+
+let executions sched =
+  let total = ref 0 in
+  Array.iteri (fun g s -> total := !total + (s * sched.versions.(g))) sched.group_sizes;
+  !total
+
+type bound = {
+  executions : int;
+  per_counter : float;
+  total : float;
+  equivalent_counters : int;
+}
+
+let per_counter_rate ~modulus ~input_bound =
+  if modulus <= input_bound then invalid_arg "Composition.closed_form: need S > A";
+  if input_bound < 0 then invalid_arg "Composition.closed_form: need A >= 0";
+  let s = float_of_int modulus and a = float_of_int input_bound in
+  (* Theorem 4.1 per counter sharing: player 2 learns a lower or upper
+     bound w.p. x/S + (A - x)/S = A/S regardless of x, and the third
+     party learns one w.p. A/(S - A) on each side of the wrap test. *)
+  (a /. s) +. (2. *. a /. (s -. a))
+
+let closed_form ~modulus ~input_bound sched =
+  let e = executions sched in
+  let r = per_counter_rate ~modulus ~input_bound in
+  {
+    executions = e;
+    per_counter = r;
+    total = Float.min 1. (float_of_int e *. r);
+    equivalent_counters = e;
+  }
+
+let required_modulus ~input_bound sched ~epsilon =
+  Leakage.required_modulus ~input_bound ~counters:(max 1 (executions sched)) ~epsilon
+
+let independent_any_leak rates =
+  1. -. List.fold_left (fun acc r -> acc *. (1. -. r)) 1. rates
+
+(* One Theorem 4.1 execution of a single counter x, returning whether
+   any party's view leaked a bound — the per-trial event the union
+   bound charges once per execution. *)
+let leaks_once st ~modulus ~input_bound ~x =
+  let x1 = State.next_int st (x + 1) in
+  let wire = Wire.create () in
+  let r =
+    Protocol2.run st ~wire
+      ~parties:[| Wire.Provider 0; Wire.Provider 1 |]
+      ~third_party:Wire.Host ~modulus ~input_bound
+      ~inputs:[| [| x1 |]; [| x - x1 |] |]
+  in
+  let hit = function Protocol2.Nothing -> false | _ -> true in
+  hit r.Protocol2.views.Protocol2.p2_leaks.(0)
+  || hit r.Protocol2.views.Protocol2.p3_leaks.(0)
+
+type mc = {
+  trials : int;
+  single_rate : float;
+  composed_rate : float;
+  predicted : float;
+}
+
+let monte_carlo st ~modulus ~input_bound ~x ~versions ~trials =
+  if trials < 1 then invalid_arg "Composition.monte_carlo: need at least one trial";
+  if versions < 1 then invalid_arg "Composition.monte_carlo: need at least one version";
+  if x < 0 || x > input_bound then invalid_arg "Composition.monte_carlo: x out of [0, A]";
+  let single = ref 0 and composed = ref 0 in
+  for _ = 1 to trials do
+    if leaks_once st ~modulus ~input_bound ~x then incr single;
+    (* The same counter re-shared [versions] times with fresh
+       randomness — one per (group, version) generator — leaks iff any
+       execution leaks. *)
+    let any = ref false in
+    for _ = 1 to versions do
+      if leaks_once st ~modulus ~input_bound ~x then any := true
+    done;
+    if !any then incr composed
+  done;
+  let single_rate = float_of_int !single /. float_of_int trials in
+  {
+    trials;
+    single_rate;
+    composed_rate = float_of_int !composed /. float_of_int trials;
+    predicted = independent_any_leak (List.init versions (fun _ -> single_rate));
+  }

@@ -1,4 +1,4 @@
-(** The submission side of spe-serve/1 — what [spe links --connect]
+(** The submission side of spe-serve/2 — what [spe links --connect]
     and [spe scores --connect] run.
 
     A client talks to the host daemon only; H coordinates the provider
@@ -9,7 +9,7 @@
     from admission control. *)
 
 exception Connection_lost of string
-(** The daemon is unreachable, spoke something other than spe-serve/1,
+(** The daemon is unreachable, spoke something other than spe-serve/2,
     or died mid-conversation.  The payload is a clean human message —
     the CLI prints it and exits nonzero, never a raw [Unix_error]. *)
 

@@ -4,7 +4,7 @@
    listening on its roster address.  The connection mesh is established
    once: daemon d dials every peer with a lower id and accepts the
    higher ones, each connection opening with exactly one Hello exchange
-   (spe-serve/1) that checks the protocol version and the workload
+   (spe-serve/2) that checks the protocol version and the workload
    digest.  All later traffic — job control and the session-tagged
    inner protocol frames — multiplexes over those same connections, so
    the per-session rendezvous/Hello tax of addressed socket groups is
@@ -125,6 +125,12 @@ type t = {
   jobs_completed : int Atomic.t;
   jobs_failed : int Atomic.t;
   sessions_run : int Atomic.t;
+  (* Stream-job gauges: advanced as epoch-tagged stages quiesce. *)
+  epochs_released : int Atomic.t;
+  epoch_sessions_run : int Atomic.t;
+      (** Per-group recomputation sessions across all released epochs —
+          the quantity the delta path keeps small. *)
+  last_epoch : int Atomic.t;  (** Highest released epoch, -1 before any. *)
   (* Cumulative spe-metrics/2 state (when metrics_addr is set). *)
   reports_lock : Mutex.t;
   mutable reports : Metrics.report list;
@@ -167,6 +173,10 @@ let render_scrape t () =
       ("hellos_received", Atomic.get t.hellos_received);
       ("clients_accepted", Atomic.get t.clients_accepted);
       ("sessions_run", Atomic.get t.sessions_run);
+      (* Stream gauges: per-epoch release progress of stream jobs. *)
+      ("epochs_released", Atomic.get t.epochs_released);
+      ("epoch_sessions_run", Atomic.get t.epoch_sessions_run);
+      ("last_epoch", Atomic.get t.last_epoch);
       (* Reactor gauges: the loop's live vital signs. *)
       ("reactor_iterations", Reactor.iterations t.reactor);
       ("reactor_timer_fires", Reactor.timer_fires t.reactor);
@@ -203,6 +213,7 @@ let endpoint_config t =
 let pipeline_label = function
   | Serve_proto.Links -> "links"
   | Serve_proto.Scores -> "scores"
+  | Serve_proto.Stream -> "stream"
 
 (* One seat of one session as an endpoint machine on the daemon's
    reactor.  [on_done] fires on the loop thread, exactly once. *)
@@ -272,6 +283,28 @@ let run_stage_async t ~protocol ~all_sids seats ~on_done =
    job for [Job_cancel], defers the sids to the reaper on the way out
    (late retransmits can trail a session by up to the linger), and
    reports [None] or the root-cause failure to [on_done]. *)
+(* Epoch gauge bookkeeping: the plan's stages carry their epoch
+   ([Plan.stage.epoch]), so as each epoch-tagged stage quiesces we can
+   advance the stream gauges — a "release"-labelled stage marks the
+   epoch as released, and the sessions of the recompute stages count
+   toward [epoch_sessions_run]. *)
+let note_stage_done t (stage : Spe_core.Plan.stage) =
+  match stage.Spe_core.Plan.epoch with
+  | None -> ()
+  | Some epoch ->
+    if stage.Spe_core.Plan.label = "release" then begin
+      Atomic.incr t.epochs_released;
+      let rec raise_to e =
+        let cur = Atomic.get t.last_epoch in
+        if e > cur && not (Atomic.compare_and_set t.last_epoch cur e) then raise_to e
+      in
+      raise_to epoch
+    end
+    else
+      ignore
+        (Atomic.fetch_and_add t.epoch_sessions_run
+           (Array.length stage.Spe_core.Plan.sessions))
+
 let run_job_async t ~job ~spec planned ~on_done =
   let protocol = pipeline_label spec.Serve_proto.pipeline in
   let per_stage, all_sids = Job.seats ~job ~party:t.config.party planned in
@@ -284,12 +317,14 @@ let run_job_async t ~job ~spec planned ~on_done =
   in
   let rec stages = function
     | [] -> conclude None
-    | stage :: rest ->
-      run_stage_async t ~protocol ~all_sids stage ~on_done:(function
-        | None -> stages rest
+    | (plan_stage, seats) :: rest ->
+      run_stage_async t ~protocol ~all_sids seats ~on_done:(function
+        | None ->
+          note_stage_done t plan_stage;
+          stages rest
         | Some _ as failure -> conclude failure)
   in
-  stages per_stage
+  stages (List.combine (Job.stages planned) per_stage)
 
 let reap_finished t =
   let now = Unix.gettimeofday () in
@@ -740,6 +775,9 @@ let start config workload =
       jobs_completed = Atomic.make 0;
       jobs_failed = Atomic.make 0;
       sessions_run = Atomic.make 0;
+      epochs_released = Atomic.make 0;
+      epoch_sessions_run = Atomic.make 0;
+      last_epoch = Atomic.make (-1);
       reports_lock = Mutex.create ();
       reports = [];
       reap_lock = Mutex.create ();
@@ -835,6 +873,9 @@ let gauges t =
     ("hellos_received", Atomic.get t.hellos_received);
     ("clients_accepted", Atomic.get t.clients_accepted);
     ("sessions_run", Atomic.get t.sessions_run);
+    ("epochs_released", Atomic.get t.epochs_released);
+    ("epoch_sessions_run", Atomic.get t.epoch_sessions_run);
+    ("last_epoch", Atomic.get t.last_epoch);
     ("reactor_iterations", Reactor.iterations t.reactor);
     ("reactor_timer_fires", Reactor.timer_fires t.reactor);
     ("reactor_ready_depth", Reactor.ready_depth t.reactor);

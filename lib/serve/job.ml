@@ -55,6 +55,7 @@ let digest { graph; logs } =
 type planned =
   | Links_plan of Spe_core.Protocol4.result Plan.t
   | Scores_plan of Spe_core.Driver_distributed.scores Plan.t
+  | Stream_plan of { delta : Spe_core.Delta.t; stages : Plan.stage list }
 
 let validate (spec : Serve_proto.spec) workload =
   let m = Array.length workload.logs in
@@ -71,28 +72,121 @@ let validate (spec : Serve_proto.spec) workload =
     | Serve_proto.Scores ->
       if spec.Serve_proto.tau < 1 then Error "tau must be at least 1"
       else if spec.Serve_proto.key_bits < 16 then Error "key-bits too small"
+      else if spec.Serve_proto.pack_slots < 1 then Error "pack-slots must be at least 1"
       else Ok ()
+    | Serve_proto.Stream ->
+      if spec.Serve_proto.h < 1 then Error "window h must be at least 1"
+      else if spec.Serve_proto.c_factor < 1.0 then Error "c-factor must be >= 1"
+      else if spec.Serve_proto.epoch_ticks < 1 then Error "epoch-ticks must be at least 1"
+      else if spec.Serve_proto.epochs < 1 then Error "epochs must be at least 1"
+      else if spec.Serve_proto.window < 0 then Error "window must be >= 0"
+      else if spec.Serve_proto.rate <= 0. then Error "rate must be positive"
+      else if spec.Serve_proto.burstiness < 0. || spec.Serve_proto.burstiness >= 1. then
+        Error "burstiness must be in [0, 1)"
+      else if spec.Serve_proto.jitter < 0 then Error "jitter must be >= 0"
+      else Ok ()
+
+let links_config (spec : Serve_proto.spec) =
+  {
+    Spe_core.Protocol4.c_factor = spec.Serve_proto.c_factor;
+    modulus = 1 lsl spec.Serve_proto.modulus_bits;
+    h = spec.Serve_proto.h;
+    estimator = Spe_core.Protocol4.Eq1;
+  }
+
+(* Build all the epochs of a stream job ahead of time: replay the seeded
+   sources provider by provider into windowed accumulators over the
+   instance's published pair order, snapshot each epoch's inputs, and
+   concatenate the per-epoch Delta stages into one plan.  Every daemon
+   replays the identical ingestion (the sources are pure functions of
+   the spec seed and the shared workload), so the plan agreement
+   invariant carries over unchanged — epoch inputs are eager snapshots,
+   which is exactly what [Delta.epoch_stages] permits for building
+   ahead of execution. *)
+let build_stream (spec : Serve_proto.spec) workload s =
+  let module State = Spe_rng.State in
+  let module Log = Spe_actionlog.Log in
+  let module Source = Spe_actionlog.Source in
+  let module Stream = Spe_influence.Stream in
+  let module Counters = Spe_influence.Counters in
+  let module Protocol4 = Spe_core.Protocol4 in
+  let module Delta = Spe_core.Delta in
+  let config = links_config spec in
+  let m = Array.length workload.logs in
+  let num_actions =
+    Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 workload.logs
+  in
+  let delta =
+    Delta.create s ~graph:workload.graph ~m ~num_actions
+      ~group_seed:(spec.Serve_proto.seed lxor 0x5bd1e995)
+      config
+  in
+  let pairs = Delta.pairs delta in
+  let window = if spec.Serve_proto.window = 0 then None else Some spec.Serve_proto.window in
+  let sources =
+    Array.mapi
+      (fun k l ->
+        Source.create
+          (State.create ~seed:(spec.Serve_proto.seed + 101 + k) ())
+          l ~rate:spec.Serve_proto.rate ~burstiness:spec.Serve_proto.burstiness
+          ~jitter:spec.Serve_proto.jitter ())
+      workload.logs
+  in
+  let streams =
+    Array.map
+      (fun _ ->
+        Stream.create ?window
+          ~num_users:(Spe_graph.Digraph.n workload.graph)
+          ~num_actions ~h:config.Protocol4.h ~pairs ())
+      workload.logs
+  in
+  let union_sorted lists = List.sort_uniq compare (List.concat lists) in
+  let stages = ref [] in
+  for e = 0 to spec.Serve_proto.epochs - 1 do
+    let horizon = (e + 1) * spec.Serve_proto.epoch_ticks in
+    Array.iteri
+      (fun k src ->
+        List.iter
+          (fun (r : Log.record) ->
+            let acc = streams.(k) in
+            Stream.advance acc ~now:(max (Stream.now acc) r.Log.time);
+            Stream.add acc r)
+          (Source.take_until src ~arrival:horizon))
+      sources;
+    let dirty_users =
+      union_sorted (Array.to_list (Array.map Stream.dirty_users streams))
+    in
+    let dirty_pairs =
+      union_sorted (Array.to_list (Array.map Stream.dirty_pairs streams))
+    in
+    let inputs =
+      Array.map
+        (fun acc ->
+          let c = Stream.snapshot acc in
+          { Protocol4.a = c.Counters.a; c = c.Counters.c })
+        streams
+    in
+    Array.iter Stream.clear_dirty streams;
+    stages :=
+      Delta.epoch_stages delta ~mode:Delta.Delta
+        { Delta.epoch = e; dirty_users; dirty_pairs; inputs }
+      :: !stages
+  done;
+  Stream_plan { delta; stages = List.concat (List.rev !stages) }
 
 let build (spec : Serve_proto.spec) workload =
   let s = Spe_rng.State.create ~seed:spec.Serve_proto.seed () in
   match spec.Serve_proto.pipeline with
   | Serve_proto.Links ->
-    let config =
-      {
-        Spe_core.Protocol4.c_factor = spec.Serve_proto.c_factor;
-        modulus = 1 lsl spec.Serve_proto.modulus_bits;
-        h = spec.Serve_proto.h;
-        estimator = Spe_core.Protocol4.Eq1;
-      }
-    in
     Links_plan
       (Spe_core.Shard.links_exclusive s ~graph:workload.graph ~logs:workload.logs
-         ~shards:spec.Serve_proto.shards config)
+         ~shards:spec.Serve_proto.shards (links_config spec))
   | Serve_proto.Scores ->
     let config =
       {
         Spe_core.Protocol6.default_config with
         Spe_core.Protocol6.key_bits = spec.Serve_proto.key_bits;
+        pack_slots = spec.Serve_proto.pack_slots;
       }
     in
     Scores_plan
@@ -100,10 +194,12 @@ let build (spec : Serve_proto.spec) workload =
          ~tau:spec.Serve_proto.tau
          ~modulus:(1 lsl spec.Serve_proto.modulus_bits)
          ~shards:spec.Serve_proto.shards config)
+  | Serve_proto.Stream -> build_stream spec workload s
 
 let stages = function
   | Links_plan plan -> plan.Plan.stages
   | Scores_plan plan -> plan.Plan.stages
+  | Stream_plan { stages; _ } -> stages
 
 (* Only the host calls this, and only after every stage quiesced. *)
 let reply_of = function
@@ -111,6 +207,18 @@ let reply_of = function
     Serve_proto.Strengths (plan.Plan.result ()).Spe_core.Protocol4.strengths
   | Scores_plan plan ->
     Serve_proto.Scores (plan.Plan.result ()).Spe_core.Driver_distributed.scores
+  | Stream_plan { delta; _ } ->
+    let module Delta = Spe_core.Delta in
+    let releases = Delta.releases delta in
+    Serve_proto.Stream_summary
+      {
+        digests = Array.of_list (List.map (fun r -> r.Delta.digest) releases);
+        recomputed = Array.of_list (List.map (fun r -> r.Delta.recomputed) releases);
+        strengths =
+          (match List.rev releases with
+          | [] -> []
+          | last :: _ -> last.Delta.strengths);
+      }
 
 (* Daemon ids mirror the frame codec's party order. *)
 let daemon_of_party = function Wire.Host -> 0 | Wire.Provider k -> k + 1

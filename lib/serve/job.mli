@@ -17,6 +17,14 @@ val digest : workload -> int
 type planned =
   | Links_plan of Spe_core.Protocol4.result Spe_core.Plan.t
   | Scores_plan of Spe_core.Driver_distributed.scores Spe_core.Plan.t
+  | Stream_plan of { delta : Spe_core.Delta.t; stages : Spe_core.Plan.stage list }
+      (** All epochs of a stream job, built ahead of execution: every
+          daemon replays the identical seeded ingestion (sources are
+          pure functions of the spec seed and shared workload), feeds
+          windowed accumulators, and concatenates the per-epoch
+          [Spe_core.Delta] stages — epoch inputs are eager snapshots,
+          so building ahead is sound.  The reply is read from the
+          instance's accumulated releases. *)
 
 val validate : Serve_proto.spec -> workload -> (unit, string) result
 (** Cheap spec sanity before any plan is built; the error is the typed

@@ -1,4 +1,4 @@
-(* The spe-serve/1 control protocol: what flows on a daemon-mesh or
+(* The spe-serve/2 control protocol: what flows on a daemon-mesh or
    client connection, around and between the inner Spe_net.Frame
    streams.
 
@@ -14,25 +14,51 @@
 
 module Frame = Spe_net.Frame
 
-let version = 1
-let protocol = "spe-serve/1"
+let version = 2
+let protocol = "spe-serve/2"
 
 type role = Party of int | Client
 
-type pipeline = Links | Scores
+type pipeline = Links | Scores | Stream
 
-let pipeline_name = function Links -> "links" | Scores -> "scores"
+let pipeline_name = function Links -> "links" | Scores -> "scores" | Stream -> "stream"
 
 type spec = {
   pipeline : pipeline;
   seed : int;
   shards : int;
-  h : int;  (** Memory-window width (links). *)
-  c_factor : float;  (** Obfuscation blow-up (links). *)
-  modulus_bits : int;  (** Share modulus S = 2^bits (both pipelines). *)
+  h : int;  (** Memory-window width (links, stream). *)
+  c_factor : float;  (** Obfuscation blow-up (links, stream). *)
+  modulus_bits : int;  (** Share modulus S = 2^bits (all pipelines). *)
   tau : int;  (** Propagation threshold (scores). *)
   key_bits : int;  (** Protocol 6 key size (scores). *)
+  pack_slots : int;  (** Protocol 6 plaintext packing slots (scores). *)
+  epoch_ticks : int;  (** Arrival ticks per release epoch (stream). *)
+  window : int;  (** Temporal window in record-time units, 0 = none (stream). *)
+  epochs : int;  (** Number of epochs to release (stream). *)
+  rate : float;  (** Mean arrivals per tick (stream). *)
+  burstiness : float;  (** Markov-modulated gap scaling in [0, 1) (stream). *)
+  jitter : int;  (** Bounded arrival reordering in ticks (stream). *)
 }
+
+let default_spec =
+  {
+    pipeline = Links;
+    seed = 0;
+    shards = 1;
+    h = 1;
+    c_factor = 1.;
+    modulus_bits = 40;
+    tau = 1;
+    key_bits = 16;
+    pack_slots = 1;
+    epoch_ticks = 0;
+    window = 0;
+    epochs = 0;
+    rate = 0.;
+    burstiness = 0.;
+    jitter = 0;
+  }
 
 type failure_kind = Rejected | Busy_queue | Peer_down | Round_timeout | Shard_failed | Other
 
@@ -47,6 +73,11 @@ let failure_kind_name = function
 type reply =
   | Strengths of ((int * int) * float) list
   | Scores of float array
+  | Stream_summary of {
+      digests : int array;
+      recomputed : int array;
+      strengths : ((int * int) * float) list;
+    }
   | Failed of { kind : failure_kind; detail : string }
 
 type t =
@@ -138,20 +169,28 @@ let get_string r =
   Bytes.to_string (get_bytes r n)
 
 let put_spec buf spec =
-  put_u8 buf (match spec.pipeline with Links -> 0 | Scores -> 1);
+  put_u8 buf (match spec.pipeline with Links -> 0 | Scores -> 1 | Stream -> 2);
   put_u63 buf spec.seed;
   put_u16 buf spec.shards;
   put_u16 buf spec.h;
   put_f64 buf spec.c_factor;
   put_u16 buf spec.modulus_bits;
   put_u16 buf spec.tau;
-  put_u16 buf spec.key_bits
+  put_u16 buf spec.key_bits;
+  put_u16 buf spec.pack_slots;
+  put_u32 buf spec.epoch_ticks;
+  put_u32 buf spec.window;
+  put_u16 buf spec.epochs;
+  put_f64 buf spec.rate;
+  put_f64 buf spec.burstiness;
+  put_u16 buf spec.jitter
 
 let get_spec r =
   let pipeline =
     match get_u8 r with
     | 0 -> Links
     | 1 -> Scores
+    | 2 -> Stream
     | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown pipeline %d" k)
   in
   let seed = get_u63 r in
@@ -161,7 +200,30 @@ let get_spec r =
   let modulus_bits = get_u16 r in
   let tau = get_u16 r in
   let key_bits = get_u16 r in
-  { pipeline; seed; shards; h; c_factor; modulus_bits; tau; key_bits }
+  let pack_slots = get_u16 r in
+  let epoch_ticks = get_u32 r in
+  let window = get_u32 r in
+  let epochs = get_u16 r in
+  let rate = get_f64 r in
+  let burstiness = get_f64 r in
+  let jitter = get_u16 r in
+  {
+    pipeline;
+    seed;
+    shards;
+    h;
+    c_factor;
+    modulus_bits;
+    tau;
+    key_bits;
+    pack_slots;
+    epoch_ticks;
+    window;
+    epochs;
+    rate;
+    burstiness;
+    jitter;
+  }
 
 let kind_code = function
   | Rejected -> 0
@@ -198,6 +260,20 @@ let put_reply buf = function
     put_u8 buf 2;
     put_u8 buf (kind_code kind);
     put_string buf detail
+  | Stream_summary { digests; recomputed; strengths } ->
+    put_u8 buf 3;
+    if Array.length digests <> Array.length recomputed then
+      invalid_arg "Serve_proto.encode: one recomputed count per epoch digest";
+    put_u16 buf (Array.length digests);
+    Array.iter (put_u63 buf) digests;
+    Array.iter (put_u32 buf) recomputed;
+    put_u32 buf (List.length strengths);
+    List.iter
+      (fun ((u, v), p) ->
+        put_u32 buf u;
+        put_u32 buf v;
+        put_f64 buf p)
+      strengths
 
 let get_reply r =
   match get_u8 r with
@@ -216,6 +292,19 @@ let get_reply r =
     let kind = kind_of_code (get_u8 r) in
     let detail = get_string r in
     Failed { kind; detail }
+  | 3 ->
+    let epochs = get_u16 r in
+    let digests = Array.init epochs (fun _ -> get_u63 r) in
+    let recomputed = Array.init epochs (fun _ -> get_u32 r) in
+    let n = get_u32 r in
+    let strengths =
+      List.init n (fun _ ->
+          let u = get_u32 r in
+          let v = get_u32 r in
+          let p = get_f64 r in
+          ((u, v), p))
+    in
+    Stream_summary { digests; recomputed; strengths }
   | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown reply kind %d" k)
 
 let encode t =

@@ -1,4 +1,4 @@
-(** The versioned [spe-serve/1] control protocol.
+(** The versioned [spe-serve/2] control protocol.
 
     Everything a daemon-mesh or client connection carries: the opening
     {!t.Hello} handshake, session-tagged inner endpoint frames
@@ -12,16 +12,19 @@
     frame can never be confused with an inner frame. *)
 
 val version : int
-(** 1 — carried in every {!t.Hello}; a daemon refuses mismatched peers. *)
+(** 2 — carried in every {!t.Hello}; a daemon refuses mismatched peers.
+    Bumped from 1 when the spec grew the packing and streaming fields:
+    the field list is fixed-layout, so old and new binaries must refuse
+    each other cleanly rather than misparse. *)
 
 val protocol : string
-(** ["spe-serve/1"]. *)
+(** ["spe-serve/2"]. *)
 
 type role =
   | Party of int  (** A daemon introducing itself: 0 = H, [k] = P[k]. *)
   | Client  (** A job-submitting client (CLI, tests, bench). *)
 
-type pipeline = Links | Scores
+type pipeline = Links | Scores | Stream
 
 val pipeline_name : pipeline -> string
 
@@ -30,16 +33,30 @@ type spec = {
   seed : int;  (** The job's PRNG seed — with the daemons' shared
                    workload this pins the whole plan. *)
   shards : int;
-  h : int;  (** Memory-window width (links). *)
-  c_factor : float;  (** Obfuscation blow-up (links); travels as IEEE bits. *)
+  h : int;  (** Memory-window width (links, stream). *)
+  c_factor : float;  (** Obfuscation blow-up (links, stream); travels as IEEE bits. *)
   modulus_bits : int;  (** Share modulus S = 2^bits. *)
   tau : int;  (** Propagation threshold (scores). *)
   key_bits : int;  (** Protocol 6 key size (scores). *)
+  pack_slots : int;  (** Protocol 6 plaintext packing slots (scores). *)
+  epoch_ticks : int;  (** Arrival ticks per release epoch (stream). *)
+  window : int;  (** Sliding window in record-time units, 0 = none (stream). *)
+  epochs : int;  (** Release epochs to run (stream). *)
+  rate : float;  (** Mean arrivals per tick (stream). *)
+  burstiness : float;  (** Markov gap modulation in [0, 1) (stream). *)
+  jitter : int;  (** Bounded arrival reordering in ticks (stream). *)
 }
 (** Everything a job needs beyond the daemons' preloaded workload.
     Every daemon rebuilds the identical plan from [(spec, workload)] —
     all joint randomness is drawn at plan-build time in a deterministic
-    order — and executes only its own party's seats. *)
+    order (for [Stream] jobs this includes replaying the whole seeded
+    event source) — and executes only its own party's seats. *)
+
+val default_spec : spec
+(** A valid-shape base record ([Links], seed 0, every optional knob at
+    its neutral value: [pack_slots = 1], stream fields zeroed) — spec
+    literals are built with record update on this, so adding a field
+    does not touch every call site. *)
 
 type failure_kind =
   | Rejected  (** Refused before running (shutdown drain, bad spec). *)
@@ -54,6 +71,11 @@ val failure_kind_name : failure_kind -> string
 type reply =
   | Strengths of ((int * int) * float) list  (** Links result, real arcs. *)
   | Scores of float array  (** Scores result, by user. *)
+  | Stream_summary of {
+      digests : int array;  (** Per-epoch release digests, epoch order. *)
+      recomputed : int array;  (** Counter groups re-shared per epoch. *)
+      strengths : ((int * int) * float) list;  (** Final-epoch arcs. *)
+    }  (** Stream result: the whole release sequence, compressed. *)
   | Failed of { kind : failure_kind; detail : string }
 
 type t =

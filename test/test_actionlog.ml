@@ -235,6 +235,105 @@ let test_reunify_validation () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Partition.reunify: mismatched universes")
     (fun () -> ignore (Partition.reunify [| a; b |]))
 
+(* --- Source --------------------------------------------------------------- *)
+
+module Source = Spe_actionlog.Source
+
+let test_source_replayable () =
+  (* Same seed, log and parameters -> the identical event sequence;
+     [reset] replays it too. *)
+  let log = cascade_log (st ()) in
+  let mk () =
+    Source.create (State.create ~seed:77 ()) log ~rate:0.4 ~burstiness:0.5 ~jitter:3 ()
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "two sources agree" true (Source.events a = Source.events b);
+  let first = Source.take_until a ~arrival:max_int in
+  Source.reset a;
+  let again = Source.take_until a ~arrival:max_int in
+  Alcotest.(check bool) "reset replays" true (first = again);
+  Alcotest.(check int) "drained" 0 (Source.remaining a)
+
+let test_source_conserves_records () =
+  let log = cascade_log (st ()) in
+  let src = Source.create (State.create ~seed:5 ()) log ~rate:1.5 ~jitter:2 () in
+  Alcotest.(check int) "length = log size" (Log.size log) (Source.length src);
+  let sort = List.sort compare in
+  Alcotest.(check bool) "every record delivered once" true
+    (sort (List.map snd (Source.events src)) = sort (Log.records log))
+
+let test_source_arrivals_monotone () =
+  let log = cascade_log (st ()) in
+  List.iter
+    (fun (burstiness, jitter) ->
+      let src =
+        Source.create (State.create ~seed:9 ()) log ~rate:0.8 ~burstiness ~jitter ()
+      in
+      let rec check_sorted = function
+        | (a1, _) :: ((a2, _) :: _ as rest) ->
+          Alcotest.(check bool) "arrival order" true (a1 <= a2);
+          check_sorted rest
+        | _ -> ()
+      in
+      check_sorted (Source.events src);
+      match (Source.next_arrival src, Source.last_arrival src) with
+      | Some first, Some last -> Alcotest.(check bool) "first <= last" true (first <= last)
+      | _ -> Alcotest.fail "non-empty source has arrivals")
+    [ (0., 0); (0.6, 0); (0.3, 5) ]
+
+let test_source_take_until_slices () =
+  let log = cascade_log (st ()) in
+  let src = Source.create (State.create ~seed:13 ()) log ~rate:0.3 ~burstiness:0.4 () in
+  let all = Source.events src in
+  let horizon =
+    match Source.last_arrival src with Some l -> l / 2 | None -> Alcotest.fail "empty"
+  in
+  let early = Source.take_until src ~arrival:horizon in
+  Alcotest.(check bool) "take_until = events prefix" true
+    (early = List.map snd (List.filter (fun (a, _) -> a <= horizon) all));
+  let late = Source.take_until src ~arrival:max_int in
+  Alcotest.(check int) "no record lost across the slice"
+    (Log.size log)
+    (List.length early + List.length late);
+  Alcotest.(check (list (pair int int))) "second take excludes the first" []
+    (List.filter_map
+       (fun (r : Log.record) ->
+         if List.memq r early then Some (r.Log.user, r.Log.action) else None)
+       late)
+
+let test_source_jitter_reorders_time_boundedly () =
+  (* Jitter produces out-of-order record times in arrival order, but a
+     record never arrives more than [jitter] ticks after the arrival its
+     time-order position would have had — the accumulator's lateness is
+     bounded.  Cheap proxy: with jitter 0 the delivered time sequence is
+     sorted; with jitter > 0 inversions exist for some seed, and every
+     inversion is between records whose arrivals differ by <= jitter. *)
+  let log = cascade_log (st ()) in
+  let times src = List.map (fun (r : Log.record) -> r.Log.time) (Source.take_until src ~arrival:max_int) in
+  let sorted l = List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length l - 1) l) (List.tl l) in
+  let plain = Source.create (State.create ~seed:21 ()) log ~rate:0.9 () in
+  Alcotest.(check bool) "jitter 0 delivers in time order" true (sorted (times plain));
+  let jittered =
+    List.exists
+      (fun seed ->
+        let src = Source.create (State.create ~seed ()) log ~rate:0.9 ~jitter:4 () in
+        not (sorted (times src)))
+      [ 22; 23; 24; 25 ]
+  in
+  Alcotest.(check bool) "jitter can reorder" true jittered
+
+let test_source_validation () =
+  let log = cascade_log (st ()) in
+  let bad name msg f =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  bad "rate" "Source.create: rate must be positive" (fun () ->
+      Source.create (st ()) log ~rate:0. ());
+  bad "burstiness" "Source.create: burstiness must lie in [0, 1)" (fun () ->
+      Source.create (st ()) log ~rate:1. ~burstiness:1. ());
+  bad "jitter" "Source.create: jitter must be >= 0" (fun () ->
+      Source.create (st ()) log ~rate:1. ~jitter:(-1) ())
+
 (* --- QCheck ---------------------------------------------------------------- *)
 
 let qcheck_tests =
@@ -302,6 +401,16 @@ let () =
           Alcotest.test_case "split traces" `Quick test_non_exclusive_can_split_trace;
           Alcotest.test_case "spec validation" `Quick test_class_spec_validation;
           Alcotest.test_case "reunify validation" `Quick test_reunify_validation;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "replayable" `Quick test_source_replayable;
+          Alcotest.test_case "conserves records" `Quick test_source_conserves_records;
+          Alcotest.test_case "arrivals monotone" `Quick test_source_arrivals_monotone;
+          Alcotest.test_case "take_until slices" `Quick test_source_take_until_slices;
+          Alcotest.test_case "jitter reorders boundedly" `Quick
+            test_source_jitter_reorders_time_boundedly;
+          Alcotest.test_case "validation" `Quick test_source_validation;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
     ]

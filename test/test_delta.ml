@@ -1,0 +1,256 @@
+(* Epoch-delta recomputation (Delta): the dirty-group path must be
+   invisible — bit-identical releases to a full per-epoch recompute on
+   every engine — while actually recomputing less. *)
+
+module State = Spe_rng.State
+module Generate = Spe_graph.Generate
+module Digraph = Spe_graph.Digraph
+module Cascade = Spe_actionlog.Cascade
+module Partition = Spe_actionlog.Partition
+module Source = Spe_actionlog.Source
+module Log = Spe_actionlog.Log
+module Stream = Spe_influence.Stream
+module Counters = Spe_influence.Counters
+module Protocol4 = Spe_core.Protocol4
+module Delta = Spe_core.Delta
+module Plan = Spe_core.Plan
+module Session = Spe_mpc.Session
+module Wire = Spe_mpc.Wire
+module Endpoint = Spe_net.Endpoint
+
+let streaming_workload ~seed ~n ~edges ~actions ~m =
+  let s = State.create ~seed () in
+  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
+  let planted = Cascade.uniform_probabilities ~p:0.3 g in
+  let log =
+    Cascade.generate s planted
+      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
+  in
+  (g, Partition.exclusive s log ~m)
+
+let union_sorted lists = List.sort_uniq compare (List.concat lists)
+
+let run_plan engine (plan : _ Plan.t) =
+  match engine with
+  | `Sim -> Session.run (Plan.to_session plan) ~wire:(Wire.create ())
+  | (`Memory | `Socket) as e ->
+    List.iter
+      (fun (stage : Plan.stage) ->
+        ignore
+          (match e with
+          | `Memory -> Endpoint.run_sessions_memory ~workers:2 stage.Plan.sessions
+          | `Socket -> Endpoint.run_sessions_socket ~workers:2 stage.Plan.sessions))
+      plan.Plan.stages;
+    plan.Plan.result ()
+
+(* Drive [epochs] epochs of the streaming pipeline: a shared replayable
+   source per provider, windowed accumulators over the published pair
+   order, dirty sets unioned across providers, one Delta plan per
+   epoch.  Returns the releases in epoch order, plus the final provider
+   inputs for the plaintext check. *)
+let run_epochs ~seed ~mode ~engine ~epochs ~epoch_ticks ~window (g, logs) config =
+  let m = Array.length logs in
+  let num_actions = Array.fold_left (fun acc l -> max acc (Log.num_actions l)) 0 logs in
+  let d =
+    Delta.create
+      (State.create ~seed:(seed + 1) ())
+      ~graph:g ~m ~num_actions ~group_seed:(seed + 2) config
+  in
+  let pairs = Delta.pairs d in
+  let sources =
+    Array.mapi
+      (fun k l ->
+        Source.create
+          (State.create ~seed:(seed + 10 + k) ())
+          l ~rate:0.5 ~burstiness:0.4 ~jitter:2 ())
+      logs
+  in
+  let streams =
+    Array.map
+      (fun _ ->
+        Stream.create ?window ~num_users:(Digraph.n g) ~num_actions
+          ~h:config.Protocol4.h ~pairs ())
+      logs
+  in
+  let last_inputs = ref [||] in
+  for e = 0 to epochs - 1 do
+    let horizon = (e + 1) * epoch_ticks in
+    Array.iteri
+      (fun k src ->
+        List.iter
+          (fun (r : Log.record) ->
+            let acc = streams.(k) in
+            Stream.advance acc ~now:(max (Stream.now acc) r.Log.time);
+            Stream.add acc r)
+          (Source.take_until src ~arrival:horizon))
+      sources;
+    let dirty_users =
+      union_sorted (Array.to_list (Array.map Stream.dirty_users streams))
+    in
+    let dirty_pairs =
+      union_sorted (Array.to_list (Array.map Stream.dirty_pairs streams))
+    in
+    let inputs =
+      Array.map
+        (fun acc ->
+          let c = Stream.snapshot acc in
+          { Protocol4.a = c.Counters.a; c = c.Counters.c })
+        streams
+    in
+    Array.iter Stream.clear_dirty streams;
+    last_inputs := inputs;
+    let plan =
+      Delta.epoch_plan d ~mode { Delta.epoch = e; dirty_users; dirty_pairs; inputs }
+    in
+    let release = run_plan engine plan in
+    Alcotest.(check int) "release epoch" e release.Delta.epoch
+  done;
+  (Delta.releases d, !last_inputs, pairs)
+
+let default_params = (`Seed 331, `Epochs 6, `Ticks 25)
+
+let releases_of ~seed ~mode ~engine ?(epochs = 6) ?(window = Some 6) () =
+  let workload = streaming_workload ~seed ~n:18 ~edges:50 ~actions:8 ~m:3 in
+  let config = Protocol4.default_config ~h:2 in
+  run_epochs ~seed ~mode ~engine ~epochs ~epoch_ticks:25 ~window workload config
+
+let check_bit_identical label (delta : Delta.release list) (full : Delta.release list) =
+  Alcotest.(check int) (label ^ ": epoch count") (List.length full) (List.length delta);
+  List.iter2
+    (fun (d : Delta.release) (f : Delta.release) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: epoch %d digest" label d.Delta.epoch)
+        f.Delta.digest d.Delta.digest;
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "%s: epoch %d estimates" label d.Delta.epoch)
+        f.Delta.estimates d.Delta.estimates;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: epoch %d strengths" label d.Delta.epoch)
+        true
+        (d.Delta.strengths = f.Delta.strengths))
+    delta full
+
+let test_delta_matches_full_sim () =
+  List.iter
+    (fun seed ->
+      let delta, _, _ = releases_of ~seed ~mode:Delta.Delta ~engine:`Sim () in
+      let full, _, _ = releases_of ~seed ~mode:Delta.Full ~engine:`Sim () in
+      check_bit_identical (Printf.sprintf "seed %d" seed) delta full;
+      (* The delta path must actually save work somewhere: with a short
+         window over a bursty stream, some epoch leaves most groups
+         clean. *)
+      let saved =
+        List.exists2
+          (fun (d : Delta.release) (f : Delta.release) ->
+            d.Delta.recomputed < f.Delta.recomputed)
+          delta full
+      in
+      Alcotest.(check bool) "delta recomputes strictly less somewhere" true saved)
+    [ 331; 332; 333 ]
+
+let test_delta_matches_full_qcheck () =
+  let prop seed =
+    let delta, _, _ = releases_of ~seed ~mode:Delta.Delta ~engine:`Sim ~epochs:4 () in
+    let full, _, _ = releases_of ~seed ~mode:Delta.Full ~engine:`Sim ~epochs:4 () in
+    List.length delta = List.length full
+    && List.for_all2
+         (fun (d : Delta.release) (f : Delta.release) ->
+           d.Delta.digest = f.Delta.digest && d.Delta.estimates = f.Delta.estimates)
+         delta full
+  in
+  let arb = QCheck.make ~print:string_of_int (QCheck.Gen.int_range 1 5000) in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:8 ~name:"delta digest = full digest per epoch" arb prop)
+
+let test_engines_bit_identical () =
+  let seed = 457 in
+  let sim, _, _ = releases_of ~seed ~mode:Delta.Delta ~engine:`Sim ~epochs:4 () in
+  List.iter
+    (fun (label, engine) ->
+      let rs, _, _ = releases_of ~seed ~mode:Delta.Delta ~engine ~epochs:4 () in
+      check_bit_identical label rs sim)
+    [ ("memory", `Memory); ("socket", `Socket) ]
+
+(* The masked quotients must sit within rounding of the plaintext
+   estimates computed from the same windowed inputs. *)
+let test_estimates_match_plaintext () =
+  let seed = 523 in
+  let releases, inputs, pairs = releases_of ~seed ~mode:Delta.Delta ~engine:`Sim () in
+  let last = List.nth releases (List.length releases - 1) in
+  Array.iteri
+    (fun k (i, _) ->
+      let den =
+        Array.fold_left (fun acc input -> acc + input.Protocol4.a.(i)) 0 inputs
+      in
+      let num =
+        Array.fold_left
+          (fun acc input ->
+            acc + Array.fold_left ( + ) 0 input.Protocol4.c.(k))
+          0 inputs
+      in
+      let expect = if den = 0 then 0. else float_of_int num /. float_of_int den in
+      let got = last.Delta.estimates.(k) in
+      (* Masked float shares carry ~1e-4 absolute noise at S = 2^40
+         (same envelope as the batch pipeline tests). *)
+      if Float.abs (got -. expect) > 1e-3 *. (1. +. Float.abs expect) then
+        Alcotest.failf "pair %d: estimate %.12g <> plaintext %.12g" k got expect)
+    pairs
+
+let test_empty_epochs_release () =
+  (* Run past the end of the stream: late epochs have no arrivals, so
+     Delta mode runs only the release stage, and the released bits
+     freeze. *)
+  let seed = 619 in
+  let releases, _, _ =
+    releases_of ~seed ~mode:Delta.Delta ~engine:`Sim ~epochs:10 ()
+  in
+  let full, _, _ = releases_of ~seed ~mode:Delta.Full ~engine:`Sim ~epochs:10 () in
+  check_bit_identical "empty epochs" releases full;
+  let last_two =
+    match List.rev releases with
+    | a :: b :: _ -> (a, b)
+    | _ -> Alcotest.fail "need at least two epochs"
+  in
+  let a, b = last_two in
+  Alcotest.(check int) "stream drained: digest frozen" b.Delta.digest a.Delta.digest
+
+let test_unwindowed_stream_delta () =
+  (* window = None: nothing expires, dirty sets still shrink epochs. *)
+  let seed = 733 in
+  let delta, _, _ = releases_of ~seed ~mode:Delta.Delta ~engine:`Sim ~window:None () in
+  let full, _, _ = releases_of ~seed ~mode:Delta.Full ~engine:`Sim ~window:None () in
+  check_bit_identical "unwindowed" delta full
+
+let test_epoch_plan_validates () =
+  let g = Generate.erdos_renyi_gnm (State.create ~seed:7 ()) ~n:6 ~m:10 in
+  let config = Protocol4.default_config ~h:1 in
+  let d =
+    Delta.create (State.create ~seed:8 ()) ~graph:g ~m:2 ~num_actions:4 ~group_seed:9
+      config
+  in
+  let input () =
+    { Protocol4.a = Array.make 6 0;
+      c = Array.make_matrix (Array.length (Delta.pairs d)) 1 0 }
+  in
+  Alcotest.check_raises "non-consecutive epoch"
+    (Invalid_argument "Delta.epoch_stages: epochs must be consecutive from 0") (fun () ->
+      ignore
+        (Delta.epoch_plan d ~mode:Delta.Delta
+           { Delta.epoch = 3; dirty_users = []; dirty_pairs = []; inputs = [| input (); input () |] }))
+
+let () =
+  ignore default_params;
+  Alcotest.run "spe_delta"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "delta = full (sim)" `Quick test_delta_matches_full_sim;
+          Alcotest.test_case "delta = full (qcheck)" `Quick test_delta_matches_full_qcheck;
+          Alcotest.test_case "engines bit-identical" `Quick test_engines_bit_identical;
+          Alcotest.test_case "estimates match plaintext" `Quick
+            test_estimates_match_plaintext;
+          Alcotest.test_case "empty epochs still release" `Quick test_empty_epochs_release;
+          Alcotest.test_case "unwindowed delta" `Quick test_unwindowed_stream_delta;
+          Alcotest.test_case "epoch validation" `Quick test_epoch_plan_validates;
+        ] );
+    ]

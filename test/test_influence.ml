@@ -207,7 +207,7 @@ let test_stream_matches_batch () =
     let log, pairs = random_workload_with_pairs s in
     let acc =
       Stream.create ~num_users:(Log.num_users log) ~num_actions:(Log.num_actions log) ~h:3
-        ~pairs
+        ~pairs ()
     in
     (* Ingest in a shuffled order to exercise out-of-order arrival. *)
     let recs = Array.of_list (Log.records log) in
@@ -221,7 +221,7 @@ let test_stream_matches_batch () =
 let test_stream_snapshot_isolated () =
   (* A snapshot must not alias the accumulator. *)
   let pairs = [| (0, 1) |] in
-  let acc = Stream.create ~num_users:2 ~num_actions:2 ~h:2 ~pairs in
+  let acc = Stream.create ~num_users:2 ~num_actions:2 ~h:2 ~pairs () in
   Stream.add acc { Log.user = 0; action = 0; time = 0 };
   let snap = Stream.snapshot acc in
   Stream.add acc { Log.user = 1; action = 0; time = 1 };
@@ -229,9 +229,9 @@ let test_stream_snapshot_isolated () =
   Alcotest.(check int) "accumulator advanced" 1 (Stream.snapshot acc).Counters.b.(0)
 
 let test_stream_rejects_duplicates () =
-  let acc = Stream.create ~num_users:2 ~num_actions:1 ~h:2 ~pairs:[| (0, 1) |] in
+  let acc = Stream.create ~num_users:2 ~num_actions:1 ~h:2 ~pairs:[| (0, 1) |] () in
   Stream.add acc { Log.user = 0; action = 0; time = 0 };
-  Alcotest.check_raises "duplicate" (Invalid_argument "Stream.add: duplicate (user, action) record")
+  Alcotest.check_raises "duplicate" (Stream.Duplicate_record { user = 0; action = 0 })
     (fun () -> Stream.add acc { Log.user = 0; action = 0; time = 5 })
 
 (* --- jaccard and partial credit ---------------------------------------------- *)
@@ -636,6 +636,47 @@ let qcheck_tests =
             Propagation.sphere_size pg ~src:v ~tau:2
             <= Propagation.sphere_size pg ~src:v ~tau:6)
           (List.init 15 (fun v -> v)));
+    (* The windowed-stream invariant behind the epoch-delta pipeline:
+       whatever bounded out-of-order arrival order a seeded source
+       produces, the accumulator's snapshot equals a from-scratch batch
+       compute over the records still in the window.  (Late arrivals —
+       delivered after their own expiry — are skipped by the
+       accumulator and excluded by the filter for the same reason:
+       their time is at most [now - w].) *)
+    Test.make ~name:"windowed stream = window-filtered batch" ~count:40 small_nat
+      (fun seed ->
+        let module Source = Spe_actionlog.Source in
+        let s = State.create ~seed:(succ seed) () in
+        let g = Generate.erdos_renyi_gnm s ~n:15 ~m:60 in
+        let planted = Cascade.uniform_probabilities ~p:0.5 g in
+        let log =
+          Cascade.generate s planted
+            { Cascade.num_actions = 10; seeds_per_action = 1; max_delay = 4 }
+        in
+        let pairs = Array.of_list (Digraph.edges g) in
+        let w = 1 + State.next_int s 8 in
+        let jitter = State.next_int s 4 in
+        let src =
+          Source.create
+            (State.create ~seed:(seed + 7) ())
+            log ~rate:0.7 ~burstiness:0.3 ~jitter ()
+        in
+        let acc =
+          Stream.create ~window:w ~num_users:(Log.num_users log)
+            ~num_actions:(Log.num_actions log) ~h:3 ~pairs ()
+        in
+        List.iter
+          (fun (r : Log.record) ->
+            Stream.advance acc ~now:(max (Stream.now acc) r.Log.time);
+            Stream.add acc r)
+          (Source.take_until src ~arrival:max_int);
+        let now = Stream.now acc in
+        let windowed =
+          Log.of_records ~num_users:(Log.num_users log)
+            ~num_actions:(Log.num_actions log)
+            (List.filter (fun (r : Log.record) -> r.Log.time > now - w) (Log.records log))
+        in
+        counters_equal (Counters.compute windowed ~h:3 ~pairs) (Stream.snapshot acc));
     Test.make ~name:"score denominator uses a_i" ~count:40 small_nat
       (fun seed ->
         let s = State.create ~seed () in

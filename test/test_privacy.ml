@@ -352,6 +352,56 @@ let test_perturbation_validation () =
       let _, log = perturbation_workload s in
       ignore (Perturbation.randomized_response s ~p_truth:1.5 log))
 
+(* --- epoch composition ---------------------------------------------------------- *)
+
+module Composition = Spe_privacy.Composition
+
+let test_composition_closed_form () =
+  let sched =
+    Composition.of_group_widths ~width:2 ~sourced:[| 3; 0; 1 |] ~versions:[| 2; 1; 0 |]
+  in
+  (* Group sizes 7, 1, 3 at width 2; executions = 7*2 + 1*1 + 3*0. *)
+  Alcotest.(check int) "executions" 15 (Composition.executions sched);
+  let b = Composition.closed_form ~modulus:1000 ~input_bound:10 sched in
+  Alcotest.(check int) "equivalent counters" 15 b.Composition.equivalent_counters;
+  let r = (10. /. 1000.) +. (2. *. 10. /. 990.) in
+  Alcotest.(check (float 1e-12)) "per counter" r b.Composition.per_counter;
+  Alcotest.(check (float 1e-12)) "union bound" (15. *. r) b.Composition.total;
+  let tight = Composition.closed_form ~modulus:11 ~input_bound:10 sched in
+  Alcotest.(check (float 0.)) "clamped at 1" 1. tight.Composition.total
+
+let test_composition_required_modulus () =
+  (* The epoch sequence needs exactly the modulus of one batch release
+     over the equivalent counter count. *)
+  let sched = Composition.schedule ~group_sizes:[| 4; 4 |] ~versions:[| 3; 2 |] in
+  Alcotest.(check int) "matches the batch closed form"
+    (Leakage.required_modulus ~input_bound:20 ~counters:20 ~epsilon:0.1)
+    (Composition.required_modulus ~input_bound:20 sched ~epsilon:0.1)
+
+let test_composition_monte_carlo () =
+  let s = st () in
+  let modulus = 400 and input_bound = 40 and x = 17 and versions = 4 in
+  let mc = Composition.monte_carlo s ~modulus ~input_bound ~x ~versions ~trials:1500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "composed %.4f near independent prediction %.4f"
+       mc.Composition.composed_rate mc.Composition.predicted)
+    true
+    (abs_float (mc.Composition.composed_rate -. mc.Composition.predicted) < 0.05);
+  let sched = Composition.schedule ~group_sizes:[| 1 |] ~versions:[| versions |] in
+  let b = Composition.closed_form ~modulus ~input_bound sched in
+  Alcotest.(check bool) "under the union bound" true
+    (mc.Composition.composed_rate <= b.Composition.total)
+
+let test_composition_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Composition.schedule: one version count per group") (fun () ->
+      ignore (Composition.schedule ~group_sizes:[| 1; 2 |] ~versions:[| 1 |]));
+  Alcotest.check_raises "S > A"
+    (Invalid_argument "Composition.closed_form: need S > A") (fun () ->
+      ignore
+        (Composition.closed_form ~modulus:10 ~input_bound:10
+           (Composition.schedule ~group_sizes:[| 1 |] ~versions:[| 1 |])))
+
 (* --- QCheck -------------------------------------------------------------------- *)
 
 let qcheck_tests =
@@ -423,6 +473,13 @@ let () =
           Alcotest.test_case "theoretical rates" `Quick test_leakage_theoretical;
           Alcotest.test_case "monte carlo vs theory" `Slow test_leakage_monte_carlo_matches_theory;
           Alcotest.test_case "required modulus" `Quick test_required_modulus;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "closed form" `Quick test_composition_closed_form;
+          Alcotest.test_case "required modulus" `Quick test_composition_required_modulus;
+          Alcotest.test_case "monte carlo independence" `Slow test_composition_monte_carlo;
+          Alcotest.test_case "validation" `Quick test_composition_validation;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |])) qcheck_tests);
     ]

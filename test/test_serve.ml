@@ -1,5 +1,5 @@
 (* Tests for the serve subsystem: the shared address parser (clean
-   errors, never a raw Unix_error), the spe-serve/1 frame codec
+   errors, never a raw Unix_error), the spe-serve/2 frame codec
    (round-trip + strict rejection, like the inner Frame tests), the
    scheduler's typed admission control, the metrics scrape endpoint,
    and the live-deployment integration paths — daemons in-process over
@@ -90,7 +90,7 @@ let test_addr_roster () =
       "H=127.0.0.1:9000,P1=nonsense";  (* bad address *)
     ]
 
-(* --- the spe-serve/1 codec -------------------------------------------------- *)
+(* --- the spe-serve/2 codec -------------------------------------------------- *)
 
 let sample_spec =
   {
@@ -102,6 +102,13 @@ let sample_spec =
     modulus_bits = 40;
     tau = 6;
     key_bits = 128;
+    pack_slots = 4;
+    epoch_ticks = 25;
+    window = 6;
+    epochs = 5;
+    rate = 0.5;
+    burstiness = 0.375;
+    jitter = 2;
   }
 
 let roundtrip frame = Proto.decode (Proto.encode frame)
@@ -109,15 +116,28 @@ let roundtrip frame = Proto.decode (Proto.encode frame)
 let test_proto_roundtrip () =
   let frames =
     [
-      Proto.Hello { role = Proto.Party 0; version = 1; workload = 0x123456789 };
-      Proto.Hello { role = Proto.Client; version = 1; workload = 0 };
+      Proto.Hello { role = Proto.Party 0; version = Proto.version; workload = 0x123456789 };
+      Proto.Hello { role = Proto.Client; version = Proto.version; workload = 0 };
       Proto.Session_frame { sid = 65537; body = Bytes.of_string "\x00\x01\xff" };
       Proto.Job_submit { job = 7; spec = sample_spec };
       Proto.Job_submit
         { job = 8; spec = { sample_spec with Proto.pipeline = Proto.Scores } };
+      Proto.Job_submit
+        { job = 11; spec = { sample_spec with Proto.pipeline = Proto.Stream } };
       Proto.Job_result
         { job = 7; reply = Proto.Strengths [ ((0, 1), 0.5); ((3, 2), 0.125) ] };
       Proto.Job_result { job = 9; reply = Proto.Scores [| 1.5; 0.0; nan; 3.25 |] };
+      Proto.Job_result
+        {
+          job = 12;
+          reply =
+            Proto.Stream_summary
+              {
+                digests = [| 0x1fff_ffff_ffff_ffff; 0; 42 |];
+                recomputed = [| 18; 0; 3 |];
+                strengths = [ ((1, 0), 0.25); ((4, 5), 0.75) ];
+              };
+        };
       Proto.Job_result
         {
           job = 10;
@@ -191,14 +211,13 @@ let links_workload =
 
 let links_spec ~pseed ~shards =
   {
+    Proto.default_spec with
     Proto.pipeline = Proto.Links;
     seed = pseed;
     shards;
     h = 2;
     c_factor = 2.;
     modulus_bits = 40;
-    tau = 1;
-    key_bits = 16;
   }
 
 let links_oracle ~pseed ~graph ~logs =
@@ -406,6 +425,91 @@ let test_daemon_scrape () =
          in
          find 0))
 
+(* Satellite: --pack-slots travels in the job spec now (PR 8's daemons
+   refused it), and a packed scores job over the mesh stays
+   bit-identical to the central oracle with the same packing. *)
+let test_daemon_scores_pack_slots () =
+  with_deployment (fun client _daemons _roster ~graph ~logs ->
+      let pseed = links_workload.Schedule.wseed + 3 in
+      let module Protocol6 = Spe_core.Protocol6 in
+      let config =
+        { Protocol6.default_config with Protocol6.key_bits = 128; pack_slots = 4 }
+      in
+      let r =
+        Driver.user_scores_exclusive (State.create ~seed:pseed ()) ~graph ~logs ~tau:2
+          ~modulus:(1 lsl 20) config
+      in
+      let expected = Proto.Scores r.Driver.scores in
+      let spec =
+        {
+          Proto.default_spec with
+          Proto.pipeline = Proto.Scores;
+          seed = pseed;
+          shards = 2;
+          modulus_bits = 20;
+          tau = 2;
+          key_bits = 128;
+          pack_slots = 4;
+        }
+      in
+      match Client.run_jobs client [ spec ] ~deadline:(Unix.gettimeofday () +. 120.) with
+      | [ Client.Result reply ] ->
+        checkb "packed scores job bit-identical to the central oracle" true
+          (reply = expected)
+      | _ -> Alcotest.fail "packed scores job did not complete")
+
+(* Tentpole: a stream job over the mesh.  Every daemon replays the
+   identical seeded ingestion and runs the concatenated epoch-delta
+   stages; the reply must be bit-identical to building and running the
+   same plan locally, and the per-epoch gauges must advance. *)
+let test_daemon_stream_job () =
+  with_deployment (fun client daemons _roster ~graph ~logs ->
+      let module Plan = Spe_core.Plan in
+      let pseed = links_workload.Schedule.wseed + 5 in
+      let epochs = 4 in
+      let spec =
+        {
+          Proto.default_spec with
+          Proto.pipeline = Proto.Stream;
+          seed = pseed;
+          h = 2;
+          c_factor = 2.;
+          modulus_bits = 40;
+          epoch_ticks = 25;
+          window = 6;
+          epochs;
+          rate = 0.5;
+          burstiness = 0.4;
+          jitter = 2;
+        }
+      in
+      (* The local oracle: the identical plan the daemons rebuild, run
+         on the in-process memory engine (delta releases are
+         engine-independent — pinned by the spe_delta suite). *)
+      let expected =
+        let planned = Job.build spec { Job.graph; logs } in
+        List.iter
+          (fun (stage : Plan.stage) ->
+            ignore (Spe_net.Endpoint.run_sessions_memory ~workers:2 stage.Plan.sessions))
+          (Job.stages planned);
+        Job.reply_of planned
+      in
+      (match expected with
+      | Proto.Stream_summary { digests; recomputed; strengths } ->
+        check Alcotest.int "oracle released every epoch" epochs (Array.length digests);
+        checkb "first epoch recomputed something" true (recomputed.(0) > 0);
+        checkb "final strengths non-empty" true (strengths <> [])
+      | _ -> Alcotest.fail "stream oracle reply shape");
+      (match Client.run_jobs client [ spec ] ~deadline:(Unix.gettimeofday () +. 120.) with
+      | [ Client.Result reply ] ->
+        checkb "stream job bit-identical to the local plan" true (reply = expected)
+      | _ -> Alcotest.fail "stream job did not complete");
+      (* Per-epoch gauges: every daemon walks every stage, so H saw all
+         the releases. *)
+      check Alcotest.int "H released every epoch" epochs (gauge daemons 0 "epochs_released");
+      check Alcotest.int "H tracked the last epoch" (epochs - 1) (gauge daemons 0 "last_epoch");
+      checkb "H ran epoch recompute sessions" true (gauge daemons 0 "epoch_sessions_run" > 0))
+
 (* Whole-party chaos: SIGKILL one provider daemon mid-burst; every
    client reply stays typed, survivors match the oracle, the host keeps
    serving, and every forked daemon is reaped. *)
@@ -439,6 +543,8 @@ let () =
           Alcotest.test_case "50-job burst bit-identical" `Slow test_daemon_burst_50;
           Alcotest.test_case "busy backpressure" `Slow test_daemon_busy_backpressure;
           Alcotest.test_case "metrics scrape" `Slow test_daemon_scrape;
+          Alcotest.test_case "packed scores job" `Slow test_daemon_scores_pack_slots;
+          Alcotest.test_case "stream job bit-identical" `Slow test_daemon_stream_job;
         ] );
       ( "chaos",
         [
