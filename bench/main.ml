@@ -732,6 +732,147 @@ let sharding_reports () =
         [ `Sim; `Memory; `Socket ])
     [ 1; 2; 4; 8 ]
 
+(* Rank trajectory: the second estimand family (Protocol_rank) on every
+   engine.  Each engine runs the same 2-shard plan from the same seed
+   and must publish exactly the plaintext oracle's fixed-point vector —
+   the assert below is the bit-identity acceptance check; the rows land
+   in BENCH_protocols.json beside the links/scores/stream families. *)
+let rank_reports () =
+  let module Session = Spe_mpc.Session in
+  let module Endpoint = Spe_net.Endpoint in
+  let module Net_wire = Spe_net.Net_wire in
+  let module Plan = Spe_core.Plan in
+  let module Metrics = Spe_obs.Metrics in
+  let module Oracle = Spe_rank.Oracle in
+  let module Protocol_rank = Spe_rank.Protocol_rank in
+  let s, g, log = workload ~seed:71 ~n:30 ~edges:90 ~actions:12 in
+  let logs = Partition.exclusive s log ~m:3 in
+  let oracle = { Oracle.default_config with Oracle.iterations = 10; fbits = 18 } in
+  let config = { Protocol_rank.oracle; modulus = 1 lsl 40 } in
+  let n = Digraph.n g in
+  let activity = Array.make n 0 in
+  Array.iter
+    (fun l ->
+      Array.iteri (fun i v -> activity.(i) <- activity.(i) + v) (Log.user_activity l))
+    logs;
+  let reference = Oracle.fixed oracle g ~activity in
+  let pool_config =
+    { Endpoint.default_config with Endpoint.round_timeout = 300.; linger = 310. }
+  in
+  let payload_ref = ref None in
+  let check_payload p =
+    match !payload_ref with
+    | None -> payload_ref := Some p
+    | Some q -> assert (p = q)
+  in
+  List.map
+    (fun engine ->
+      let plan =
+        Protocol_rank.plan (State.create ~seed:72 ()) ~graph:g ~logs ~shards:2 config
+      in
+      let t0 = Unix.gettimeofday () in
+      let report, result =
+        match engine with
+        | `Sim ->
+          let session = Plan.to_session plan in
+          let trace = Spe_obs.Trace.create () in
+          let w = Wire.create () in
+          let r = Session.run ~trace session ~wire:w in
+          let stats = Wire.stats w in
+          check_payload (stats.Wire.bits / 8);
+          ( Metrics.of_trace ~protocol:"rank" ~engine:"sim"
+              ~parties:(Array.length session.Session.parties) trace,
+            r )
+        | (`Memory | `Socket) as engine ->
+          let engine_name = match engine with `Memory -> "memory" | `Socket -> "socket" in
+          let reports = ref [] and payload = ref 0 in
+          List.iter
+            (fun (stage : Plan.stage) ->
+              let traces =
+                Array.map (fun _ -> Spe_obs.Trace.create ()) stage.Plan.sessions
+              in
+              let out =
+                match engine with
+                | `Memory ->
+                  Endpoint.run_sessions_memory ~config:pool_config ~workers:4 ~traces
+                    stage.Plan.sessions
+                | `Socket ->
+                  Endpoint.run_sessions_socket ~config:pool_config ~workers:4 ~traces
+                    stage.Plan.sessions
+              in
+              Array.iteri
+                (fun i ((), (res : Endpoint.result)) ->
+                  let totals =
+                    Net_wire.totals
+                      (Array.map
+                         (fun (o : Endpoint.outcome) -> o.Endpoint.sent)
+                         res.Endpoint.outcomes)
+                  in
+                  payload := !payload + totals.Net_wire.payload_bytes;
+                  reports :=
+                    Metrics.of_trace ~protocol:"rank" ~engine:engine_name
+                      ~parties:(Array.length stage.Plan.sessions.(i).Session.parties)
+                      traces.(i)
+                    :: !reports)
+                out)
+            plan.Plan.stages;
+          let r = plan.Plan.result () in
+          check_payload !payload;
+          (Metrics.merge (List.rev !reports), r)
+      in
+      assert (result.Protocol_rank.ranks_fx = reference);
+      { report with Metrics.wall_s = Unix.gettimeofday () -. t0 })
+    [ `Sim; `Memory; `Socket ]
+
+(* DP utility table: MAE of the seeded Laplace release against the
+   exact published values — the rank vector and the link strengths —
+   per epsilon.  Rides into BENCH_protocols.json as an extra top-level
+   member (spe-bench/1 readers ignore members they do not know).
+   epsilon = infinity is asserted exact here instead of tabulated:
+   infinity has no JSON literal. *)
+let dp_utility_extra () =
+  let module Json = Spe_obs.Obs_io.Json in
+  let module Dp = Spe_privacy.Dp_release in
+  let module Oracle = Spe_rank.Oracle in
+  let s, g, log = workload ~seed:81 ~n:40 ~edges:120 ~actions:14 in
+  let logs = Partition.exclusive s log ~m:3 in
+  let n = Digraph.n g in
+  let activity = Array.make n 0 in
+  Array.iter
+    (fun l ->
+      Array.iteri (fun i v -> activity.(i) <- activity.(i) + v) (Log.user_activity l))
+    logs;
+  let oracle = Oracle.default_config in
+  let ranks = Oracle.to_floats oracle (Oracle.fixed oracle g ~activity) in
+  let strengths =
+    (Driver.link_strengths_exclusive s ~graph:g ~logs (Protocol4.default_config ~h:2))
+      .Driver.strengths
+  in
+  assert (Dp.values { Dp.epsilon = infinity; sensitivity = 1.; seed = 4099 } ranks = ranks);
+  Printf.printf "\nDP utility (Laplace on the published values, seed 4099):\n";
+  let rows =
+    List.map
+      (fun epsilon ->
+        let params = { Dp.epsilon; sensitivity = 1.; seed = 4099 } in
+        let released = Dp.values params ranks in
+        (* Same params, same draws: the release must replay byte for byte. *)
+        assert (Dp.values params ranks = released);
+        let rank_mae = Dp.mean_abs_error ranks released in
+        let strength_mae =
+          Dp.mean_abs_error_strengths strengths (Dp.strengths params strengths)
+        in
+        Printf.printf "  epsilon %4.1f | rank MAE %.4f | strength MAE %.4f\n" epsilon
+          rank_mae strength_mae;
+        Json.Obj
+          [
+            ("epsilon", Json.Float epsilon);
+            ("rank_mae", Json.Float rank_mae);
+            ("strength_mae", Json.Float strength_mae);
+          ])
+      [ 0.1; 0.5; 1.0; 5.0 ]
+  in
+  ("dp_utility", Json.List rows)
+
 (* Serve ablation: the same 50-job links load submitted two ways — a
    fresh addressed socket group per job (every session pays the
    connection rendezvous again) vs one persistent spe-serve deployment
@@ -1057,7 +1198,8 @@ let bench_rows () =
   section "Bench trajectory - one spe-metrics/2 row per (pipeline, engine)";
   drift_smoke ();
   let reports =
-    pipeline_reports () @ sharding_reports () @ stream_reports () @ serve_reports ()
+    pipeline_reports () @ sharding_reports () @ rank_reports () @ stream_reports ()
+    @ serve_reports ()
   in
   Printf.printf "%-8s %-8s | %4s %6s %12s %12s | %s\n" "pipeline" "engine" "NR" "NM"
     "payload (B)" "on-wire (B)" "wall (s)";
@@ -1068,8 +1210,10 @@ let bench_rows () =
         (match r.transport_bytes with None -> "-" | Some b -> string_of_int b)
         r.wall_s)
     reports;
+  let extra = [ dp_utility_extra () ] in
   let oc = open_out bench_json_path in
-  output_string oc (Spe_obs.Obs_io.bench_to_string ~generated_by:"bench/main.ml" reports);
+  output_string oc
+    (Spe_obs.Obs_io.bench_to_string ~extra ~generated_by:"bench/main.ml" reports);
   close_out oc;
   Printf.printf "\nwrote %s (%d rows, schema %s)\n" bench_json_path (List.length reports)
     Spe_obs.Obs_io.bench_schema

@@ -21,6 +21,9 @@ module Driver = Spe_core.Driver
 module Posterior = Spe_privacy.Posterior
 module Gain = Spe_privacy.Gain
 module Leakage = Spe_privacy.Leakage
+module Dp_release = Spe_privacy.Dp_release
+module Rank_oracle = Spe_rank.Oracle
+module Protocol_rank = Spe_rank.Protocol_rank
 module Model = Spe_cost.Model
 module Serve_addr = Spe_serve.Addr
 module Serve_client = Spe_serve.Client
@@ -157,6 +160,102 @@ let run_connect ~addr_spec ~jobs spec ~print =
               ( false,
                 Printf.sprintf "%d of %d jobs did not complete: %s" (List.length busy + List.length failed)
                   jobs (String.concat "; " detail) ))))
+
+(* --- differential-privacy release flags (links, scores, rank) --------- *)
+
+(* A Laplace release of the *published* values (Spe_privacy.Dp_release),
+   orthogonal to the MPC that computed them.  It is applied client-side
+   at the very end — also under --connect, where the daemons reply with
+   the exact values and only this process draws the noise.  The sampler
+   seed derives from --seed, so releases are replayable and the MPC+DP
+   and plaintext+DP regimes coincide whenever the exact values do. *)
+let dp_epsilon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dp-epsilon" ] ~docv:"EPS"
+        ~doc:
+          "Also emit a differentially private release of the published values (Laplace \
+           mechanism at scale --dp-sensitivity / EPS) and report the exact-vs-DP \
+           utility gap as a mean absolute error.  'inf' degenerates to the exact \
+           release, byte for byte.")
+
+let dp_sensitivity_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "dp-sensitivity" ] ~docv:"S"
+        ~doc:
+          "L1 sensitivity of each released entry (default 1, the conservative bound \
+           for strengths, scores and normalised ranks).")
+
+let dp_public_degree_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dp-public-degree" ] ~docv:"D"
+        ~doc:
+          "Hub exemption: entries whose node(s) all have total degree at least D are \
+           released exactly; only the rest are noised.  Needs --graph.")
+
+(* Salted off --seed so the protocol draws and the release draws never
+   share a stream, yet one --seed replays the whole run. *)
+let dp_seed ~seed = seed lxor 0x2545f491
+
+let dp_check ~dp_epsilon ~dp_sensitivity ~dp_public_degree =
+  match dp_epsilon with
+  | None when dp_public_degree <> None || dp_sensitivity <> 1. ->
+    Some "--dp-sensitivity/--dp-public-degree need --dp-epsilon"
+  | Some e when Float.is_nan e || e <= 0. ->
+    Some "--dp-epsilon must be positive (or 'inf' for the exact release)"
+  | Some _ when Float.is_nan dp_sensitivity || dp_sensitivity <= 0. ->
+    Some "--dp-sensitivity must be positive"
+  | Some _ when (match dp_public_degree with Some d -> d < 0 | None -> false) ->
+    Some "--dp-public-degree must be >= 0"
+  | _ -> None
+
+let dp_params ~seed ~dp_sensitivity epsilon =
+  { Dp_release.epsilon; sensitivity = dp_sensitivity; seed = dp_seed ~seed }
+
+(* Arc predicate (strength lists) and node predicate (score / rank
+   vectors): hubs are public once every endpoint clears the degree
+   threshold.  [None] when no graph is at hand (the caller has already
+   rejected --dp-public-degree in that case). *)
+let dp_arc_public ~dp_public_degree graph =
+  match (dp_public_degree, graph) with
+  | Some d, Some g -> Some (Dp_release.hubs ~degree_threshold:d g)
+  | _ -> None
+
+let dp_node_public ~dp_public_degree graph =
+  match (dp_public_degree, graph) with
+  | Some d, Some g -> Some (fun i -> Dp_release.hubs ~degree_threshold:d g (i, i))
+  | _ -> None
+
+let dp_header ~what (params : Dp_release.params) count =
+  Printf.printf "dp-release: %s, epsilon %g, sensitivity %g, seed %d, %d value(s)%s\n"
+    what params.Dp_release.epsilon params.Dp_release.sensitivity params.Dp_release.seed
+    count
+    (if Dp_release.exact params then " - exact (epsilon = inf)" else "")
+
+let emit_dp_strengths ~params ~public strengths =
+  let released = Dp_release.strengths ?public params strengths in
+  dp_header ~what:"link strengths" params (List.length strengths);
+  Printf.printf "dp-utility: MAE(exact, dp) = %.6f\n"
+    (Dp_release.mean_abs_error_strengths strengths released)
+
+(* [plaintext], when given, is the non-MPC reference run through the
+   same seeded sampler — the third regime of the comparison; its MAE
+   against the MPC release is 0 exactly when the exact values agree. *)
+let emit_dp_vector ~params ~public ?plaintext ~what values =
+  let released = Dp_release.values ?public params values in
+  dp_header ~what params (Array.length values);
+  Printf.printf "dp-utility: MAE(exact, dp) = %.6f\n"
+    (Dp_release.mean_abs_error values released);
+  match plaintext with
+  | None -> ()
+  | Some reference ->
+    let ref_released = Dp_release.values ?public params reference in
+    Printf.printf "dp-utility: MAE(plaintext+dp, mpc+dp) = %.6f\n"
+      (Dp_release.mean_abs_error ref_released released)
 
 let wire_summary (w : Wire.stats) =
   Printf.printf "communication: %d rounds, %d messages, %.1f KiB\n" w.Wire.rounds
@@ -552,14 +651,19 @@ let links_cmd =
       sorted
   in
   let run seed graph_path log_paths h c_factor modulus_bits decay top spec_path obfuscation
-      transport shards workers show_transcript trace_file metrics out connect jobs =
+      transport shards workers show_transcript trace_file metrics out connect jobs
+      dp_epsilon dp_sensitivity dp_public_degree =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
       else if jobs < 1 then Some "--jobs must be at least 1"
+      else if h < 1 then Some "--window h must be at least 1"
+      else if c_factor < 1. then Some "--c-factor must be >= 1"
+      else if modulus_bits < 2 || modulus_bits > 61 then
+        Some "--modulus-bits must lie in [2, 61]"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
-      else None
+      else dp_check ~dp_epsilon ~dp_sensitivity ~dp_public_degree
     with
     | Some msg -> `Error (true, msg)
     | None ->
@@ -572,6 +676,8 @@ let links_cmd =
           ( true,
             "--transcript/--trace/--metrics are daemon-side with --connect; scrape the \
              daemon's --metrics-addr instead" )
+      else if dp_public_degree <> None && graph_path = None then
+        `Error (true, "--dp-public-degree needs --graph")
       else
         run_connect ~addr_spec ~jobs
           {
@@ -590,7 +696,15 @@ let links_cmd =
               | None -> ()
               | Some path ->
                 Spe_influence.Result_io.save_strengths strengths path;
-                Printf.printf "wrote %s\n" path)
+                Printf.printf "wrote %s\n" path);
+              (match dp_epsilon with
+              | None -> ()
+              | Some epsilon ->
+                emit_dp_strengths
+                  ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+                  ~public:
+                    (dp_arc_public ~dp_public_degree (Option.map Graph_io.load graph_path))
+                  strengths)
             | _ -> ())
     | None ->
     match (graph_path, log_paths) with
@@ -668,6 +782,13 @@ let links_cmd =
     | Some path ->
       Spe_influence.Result_io.save_strengths strengths path;
       Printf.printf "wrote %s\n" path);
+    (match dp_epsilon with
+    | None -> ()
+    | Some epsilon ->
+      emit_dp_strengths
+        ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+        ~public:(dp_arc_public ~dp_public_degree (Some graph))
+        strengths);
     wire_summary stats;
     transport_bytes_summary stats net;
     if show_transcript then begin
@@ -693,7 +814,7 @@ let links_cmd =
         (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ h_arg $ c_arg $ modulus_bits_arg
        $ decay $ top_arg $ spec_arg $ obfuscation_arg $ pipeline_transport_arg $ shards_arg
        $ workers_arg $ transcript_arg $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg
-       $ jobs_arg))
+       $ jobs_arg $ dp_epsilon_arg $ dp_sensitivity_arg $ dp_public_degree_arg))
   in
   Cmd.v
     (Cmd.info "links"
@@ -740,15 +861,20 @@ let scores_cmd =
       idx
   in
   let run seed graph_path log_paths tau key_bits pack_slots modulus_bits top transport
-      shards workers trace_file metrics out connect jobs =
+      shards workers trace_file metrics out connect jobs dp_epsilon dp_sensitivity
+      dp_public_degree =
     match
       if shards < 1 then Some "--shards must be at least 1"
       else if workers < 1 then Some "--workers must be at least 1"
       else if jobs < 1 then Some "--jobs must be at least 1"
       else if pack_slots < 1 then Some "--pack-slots must be at least 1"
+      else if tau < 1 then Some "--tau must be at least 1"
+      else if key_bits < 16 then Some "--key-bits must be at least 16"
+      else if modulus_bits < 2 || modulus_bits > 61 then
+        Some "--modulus-bits must lie in [2, 61]"
       else if connect = None && transport = `Central && shards > 1 then
         Some "--shards needs --transport sim, memory or socket"
-      else None
+      else dp_check ~dp_epsilon ~dp_sensitivity ~dp_public_degree
     with
     | Some msg -> `Error (true, msg)
     | None ->
@@ -759,6 +885,8 @@ let scores_cmd =
           ( true,
             "--trace/--metrics are daemon-side with --connect; scrape the daemon's \
              --metrics-addr instead" )
+      else if dp_public_degree <> None && graph_path = None then
+        `Error (true, "--dp-public-degree needs --graph")
       else
         run_connect ~addr_spec ~jobs
           {
@@ -778,7 +906,15 @@ let scores_cmd =
               | None -> ()
               | Some path ->
                 Spe_influence.Result_io.save_scores scores path;
-                Printf.printf "wrote %s\n" path)
+                Printf.printf "wrote %s\n" path);
+              (match dp_epsilon with
+              | None -> ()
+              | Some epsilon ->
+                emit_dp_vector
+                  ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+                  ~public:
+                    (dp_node_public ~dp_public_degree (Option.map Graph_io.load graph_path))
+                  ~what:"user scores" scores)
             | _ -> ())
     | None ->
     match (graph_path, log_paths) with
@@ -830,6 +966,13 @@ let scores_cmd =
     | Some path ->
       Spe_influence.Result_io.save_scores scores path;
       Printf.printf "wrote %s\n" path);
+    (match dp_epsilon with
+    | None -> ()
+    | Some epsilon ->
+      emit_dp_vector
+        ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+        ~public:(dp_node_public ~dp_public_degree (Some graph))
+        ~what:"user scores" scores);
     wire_summary stats;
     transport_bytes_summary stats net;
     (match sections with
@@ -845,13 +988,238 @@ let scores_cmd =
     Term.(
       ret (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ tau $ key_bits
          $ pack_slots $ modulus_bits_arg $ top_arg $ pipeline_transport_arg $ shards_arg
-         $ workers_arg $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg $ jobs_arg))
+         $ workers_arg $ trace_file_arg $ metrics_arg $ out_arg $ connect_arg $ jobs_arg
+         $ dp_epsilon_arg $ dp_sensitivity_arg $ dp_public_degree_arg))
   in
   Cmd.v
     (Cmd.info "scores"
        ~doc:
          "Securely compute user influence scores (Protocol 6 + Def. 3.3), on any \
           engine (--transport).")
+    term
+
+(* --- spe rank ------------------------------------------------------------- *)
+
+(* The second estimand family (ROADMAP item 5): activity-personalised
+   PageRank / degree centrality.  The graph is public to H; the per-user
+   activity that personalises the teleport vector stays split across the
+   providers and only its aggregate is reconstructed (Protocol 1/2
+   primitives), so the protocol releases exactly what the plaintext
+   fixed-point oracle computes — bit-identical on every engine. *)
+
+let rank_cmd =
+  let damping_arg =
+    Arg.(
+      value & opt float 0.85
+      & info [ "damping" ] ~docv:"D" ~doc:"PageRank damping factor, in [0, 1).")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "iterations" ] ~docv:"I" ~doc:"Power-iteration count (pagerank mode).")
+  in
+  let fbits_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "fbits" ] ~docv:"B"
+          ~doc:
+            "Fixed-point fractional bits, in [4, 30] and below --modulus-bits; the \
+             documented precision bound against the float recursion shrinks as 2^-B.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pagerank", `Pagerank); ("degree", `Degree) ]) `Pagerank
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Estimand: 'pagerank' (damped power iteration) or 'degree' (one blend).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the full rank vector to FILE.")
+  in
+  let print_ranks ~top ranks =
+    let n = Array.length ranks in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> Stdlib.compare ranks.(b) ranks.(a)) order;
+    Printf.printf "activity-personalised ranks (top %d of %d):\n" (min top n) n;
+    Array.iteri
+      (fun i u ->
+        if i < top then Printf.printf "  #%-3d user %-6d rank %.6f\n" (i + 1) u ranks.(u))
+      order
+  in
+  let run seed graph_path log_paths damping iterations fbits mode modulus_bits top
+      transport shards workers trace_file metrics out connect jobs dp_epsilon
+      dp_sensitivity dp_public_degree =
+    match
+      if shards < 1 then Some "--shards must be at least 1"
+      else if workers < 1 then Some "--workers must be at least 1"
+      else if jobs < 1 then Some "--jobs must be at least 1"
+      else if modulus_bits < 2 || modulus_bits > 61 then
+        Some "--modulus-bits must lie in [2, 61]"
+      else if iterations < 0 then Some "--iterations must be >= 0"
+      else if Float.is_nan damping || damping < 0. || damping >= 1. then
+        Some "--damping must lie in [0, 1)"
+      else if fbits < 4 || fbits > 30 then Some "--fbits must lie in [4, 30]"
+      else if fbits >= modulus_bits then Some "--fbits must lie below --modulus-bits"
+      else if connect = None && transport = `Central && shards > 1 then
+        Some "--shards needs --transport sim, memory or socket"
+      else dp_check ~dp_epsilon ~dp_sensitivity ~dp_public_degree
+    with
+    | Some msg -> `Error (true, msg)
+    | None ->
+    let oracle =
+      {
+        Rank_oracle.mode =
+          (match mode with `Pagerank -> Rank_oracle.Pagerank | `Degree -> Rank_oracle.Degree);
+        damping;
+        iterations;
+        fbits;
+      }
+    in
+    match connect with
+    | Some addr_spec ->
+      if trace_file <> None || metrics <> None then
+        `Error
+          ( true,
+            "--trace/--metrics are daemon-side with --connect; scrape the daemon's \
+             --metrics-addr instead" )
+      else if dp_public_degree <> None && graph_path = None then
+        `Error (true, "--dp-public-degree needs --graph")
+      else
+        run_connect ~addr_spec ~jobs
+          {
+            Serve_proto.default_spec with
+            Serve_proto.pipeline = Serve_proto.Rank;
+            seed;
+            shards;
+            modulus_bits;
+            damping;
+            iterations;
+            fbits;
+            rank_degree = (mode = `Degree);
+          }
+          ~print:(function
+            | Serve_proto.Rank_summary { ranks_fx; fbits } ->
+              let scale = float_of_int (1 lsl fbits) in
+              let ranks = Array.map (fun fx -> float_of_int fx /. scale) ranks_fx in
+              print_ranks ~top ranks;
+              (match out with
+              | None -> ()
+              | Some path ->
+                Spe_influence.Result_io.save_scores ranks path;
+                Printf.printf "wrote %s\n" path);
+              (match dp_epsilon with
+              | None -> ()
+              | Some epsilon ->
+                emit_dp_vector
+                  ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+                  ~public:
+                    (dp_node_public ~dp_public_degree (Option.map Graph_io.load graph_path))
+                  ~what:"rank vector" ranks)
+            | _ -> ())
+    | None ->
+    match (graph_path, log_paths) with
+    | None, _ -> `Error (true, "--graph is required when not using --connect")
+    | _, [] -> `Error (true, "--log is required when not using --connect")
+    | Some graph_path, log_paths ->
+    let graph = Graph_io.load graph_path in
+    let logs = Array.of_list (List.map Log_io.load log_paths) in
+    let n = Digraph.n graph in
+    let aggregate_activity () =
+      let a = Array.make n 0 in
+      Array.iter
+        (fun l ->
+          if Log.num_users l <> n then
+            invalid_arg "rank: log/graph user universe mismatch";
+          Array.iteri (fun i v -> a.(i) <- a.(i) + v) (Log.user_activity l))
+        logs;
+      a
+    in
+    let plaintext () =
+      Rank_oracle.to_floats oracle (Rank_oracle.fixed oracle graph ~activity:(aggregate_activity ()))
+    in
+    let emit_dp ?mpc_plaintext ranks =
+      match dp_epsilon with
+      | None -> ()
+      | Some epsilon ->
+        emit_dp_vector
+          ~params:(dp_params ~seed ~dp_sensitivity epsilon)
+          ~public:(dp_node_public ~dp_public_degree (Some graph))
+          ?plaintext:mpc_plaintext ~what:"rank vector" ranks
+    in
+    let config = { Protocol_rank.oracle; modulus = 1 lsl modulus_bits } in
+    let s = State.create ~seed () in
+    let trace = obs_trace trace_file metrics in
+    match transport with
+    | `Central -> (
+      (* The central engine is the plaintext fixed-point oracle itself:
+         same arithmetic, no protocol run and no wire. *)
+      match plaintext () with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | ranks ->
+        print_ranks ~top ranks;
+        (match out with
+        | None -> ()
+        | Some path ->
+          Spe_influence.Result_io.save_scores ranks path;
+          Printf.printf "wrote %s\n" path);
+        emit_dp ranks;
+        Printf.printf "engine central: plaintext fixed-point oracle, no protocol run\n";
+        `Ok ())
+    | (`Sim | `Memory | `Socket) as transport -> (
+      match Protocol_rank.plan s ~graph ~logs ~shards config with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | plan ->
+        let result, stats, net, parties, payload_bytes, sections =
+          match transport with
+          | `Sim ->
+            let session = Spe_core.Plan.to_session plan in
+            let r, w, net = run_pipeline_session ~trace `Sim session in
+            let stats = Wire.stats w in
+            ( r, stats, net, Array.length session.Spe_mpc.Session.parties,
+              stats.Wire.bits / 8, None )
+          | (`Memory | `Socket) as transport ->
+            let r, stats, _transcript, net, sections =
+              run_pipeline_plan ~trace ~workers transport plan
+            in
+            ( r, stats, net, Array.length logs + 1, stats.Wire.bits / 8, Some sections )
+        in
+        let ranks = result.Protocol_rank.ranks in
+        print_ranks ~top ranks;
+        (match out with
+        | None -> ()
+        | Some path ->
+          Spe_influence.Result_io.save_scores ranks path;
+          Printf.printf "wrote %s\n" path);
+        emit_dp ~mpc_plaintext:(plaintext ()) ranks;
+        wire_summary stats;
+        transport_bytes_summary stats net;
+        (match sections with
+        | None ->
+          emit_observability trace ~protocol:"rank" ~engine:(engine_name transport)
+            ~parties ~messages:stats.Wire.messages ~payload_bytes ~net trace_file metrics
+        | Some sections ->
+          emit_sharded_observability ~protocol:"rank" ~engine:(engine_name transport)
+            ~messages:stats.Wire.messages ~payload_bytes ~net sections trace_file metrics);
+        `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ graph_opt_arg $ logs_opt_arg $ damping_arg
+       $ iterations_arg $ fbits_arg $ mode_arg $ modulus_bits_arg $ top_arg
+       $ pipeline_transport_arg $ shards_arg $ workers_arg $ trace_file_arg
+       $ metrics_arg $ out_arg $ connect_arg $ jobs_arg $ dp_epsilon_arg
+       $ dp_sensitivity_arg $ dp_public_degree_arg))
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:
+         "Securely compute activity-personalised PageRank / degree centrality \
+          (Protocol_rank over the Protocol 1-3 primitives), bit-identical to the \
+          plaintext fixed-point oracle on every engine (--transport, --connect).")
     term
 
 (* --- spe stream ----------------------------------------------------------- *)
@@ -954,6 +1322,8 @@ let stream_cmd =
       else if jitter < 0 then Some "--jitter must be >= 0"
       else if h < 1 then Some "--h must be at least 1"
       else if c_factor < 1. then Some "--c-factor must be >= 1"
+      else if modulus_bits < 2 || modulus_bits > 61 then
+        Some "--modulus-bits must lie in [2, 61]"
       else if jobs < 1 then Some "--jobs must be at least 1"
       else None
     with
@@ -1662,10 +2032,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run one party as a long-lived daemon (spe-serve/2): connections to the peer \
+         "Run one party as a long-lived daemon (spe-serve/3): connections to the peer \
           daemons are established once and reused across every submitted pipeline job; \
           the host daemon owns admission control.  Submit work with spe \
-          links|scores|stream --connect.")
+          links|scores|rank|stream --connect.")
     term
 
 let scrape_cmd =
@@ -1927,6 +2297,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; links_cmd; scores_cmd; stream_cmd; campaign_cmd; serve_cmd;
+          [ generate_cmd; links_cmd; scores_cmd; rank_cmd; stream_cmd; campaign_cmd; serve_cmd;
             scrape_cmd; shutdown_cmd; chaos_cmd; privacy_cmd; costs_cmd; leakage_cmd;
             em_cmd; metrics_cmd; verify_cmd; shares_cmd ]))

@@ -559,14 +559,15 @@ let trace_to_text trace =
     (Trace.events trace);
   Buffer.contents buf
 
-let bench_to_string ~generated_by rows =
+let bench_to_string ?(extra = []) ~generated_by rows =
   Json.to_string
     (Json.Obj
-       [
-         ("schema", Json.String bench_schema);
-         ("generated_by", Json.String generated_by);
-         ("rows", Json.List (List.map report_to_json rows));
-       ])
+       ([
+          ("schema", Json.String bench_schema);
+          ("generated_by", Json.String generated_by);
+          ("rows", Json.List (List.map report_to_json rows));
+        ]
+       @ extra))
   ^ "\n"
 
 let bench_of_string s =

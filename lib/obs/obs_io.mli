@@ -80,9 +80,12 @@ val trace_to_text : Trace.t -> string
 (** A readable dump of every recorded event, one line each, in
     recording order — what [--trace FILE] writes. *)
 
-val bench_to_string : generated_by:string -> Metrics.report list -> string
+val bench_to_string :
+  ?extra:(string * Json.t) list -> generated_by:string -> Metrics.report list -> string
 (** A [spe-bench/1] document: [{schema; generated_by; rows}] where each
-    row is a [spe-metrics/1] report. *)
+    row is a [spe-metrics/1] report.  [extra] appends further top-level
+    members (e.g. the bench's DP-utility table); {!bench_of_string}
+    readers ignore members they do not know. *)
 
 val bench_of_string : string -> Metrics.report list
 (** Read a [spe-bench/1] document back.  Raises [Failure] on schema or

@@ -1,0 +1,73 @@
+module State = Spe_rng.State
+module Digraph = Spe_graph.Digraph
+
+type params = { epsilon : float; sensitivity : float; seed : int }
+
+let validate params =
+  if not (params.epsilon > 0.) then
+    invalid_arg "Dp_release: epsilon must be positive (or infinity)";
+  if not (params.sensitivity > 0.) then
+    invalid_arg "Dp_release: sensitivity must be positive"
+
+let exact params =
+  validate params;
+  params.epsilon = infinity
+
+(* One draw per entry in entry order, public or not — so the public
+   predicate perturbs nothing but the entries it names. *)
+let release params ~public ~entries ~value ~rebuild =
+  validate params;
+  if params.epsilon = infinity then Array.map (fun e -> rebuild e (value e)) entries
+  else begin
+    let st = State.create ~seed:params.seed () in
+    let scale = params.sensitivity /. params.epsilon in
+    Array.map
+      (fun e ->
+        let noise = Perturbation.laplace_noise st ~scale in
+        let v = value e in
+        rebuild e (if public e then v else v +. noise))
+      entries
+  end
+
+let values ?(public = fun _ -> false) params v =
+  release params
+    ~public:(fun i -> public i)
+    ~entries:(Array.init (Array.length v) Fun.id)
+    ~value:(fun i -> v.(i))
+    ~rebuild:(fun _ v -> v)
+
+let strengths ?(public = fun _ -> false) params rows =
+  release params
+    ~public:(fun (pair, _) -> public pair)
+    ~entries:(Array.of_list rows)
+    ~value:snd
+    ~rebuild:(fun (pair, _) v -> (pair, v))
+  |> Array.to_list
+
+let hubs ~degree_threshold graph (i, j) =
+  let total v = Digraph.in_degree graph v + Array.length (Digraph.out_neighbors graph v) in
+  total i >= degree_threshold && total j >= degree_threshold
+
+let mean_abs_error a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Dp_release.mean_abs_error: length mismatch";
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. abs_float (a.(i) -. b.(i))
+    done;
+    !acc /. float_of_int n
+  end
+
+let mean_abs_error_strengths xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Dp_release.mean_abs_error_strengths: length mismatch";
+  List.iter2
+    (fun (p, _) (q, _) ->
+      if p <> q then
+        invalid_arg "Dp_release.mean_abs_error_strengths: pair label mismatch")
+    xs ys;
+  mean_abs_error
+    (Array.of_list (List.map snd xs))
+    (Array.of_list (List.map snd ys))

@@ -1,0 +1,79 @@
+(** Differentially private {e output} release — the Laplace mechanism
+    applied to the quantities the pipelines publish (pair strengths,
+    user scores, fixed-point ranks), orthogonal to the MPC that
+    computed them.
+
+    Where {!Perturbation} noises the providers' {e inputs} (the
+    paradigm the paper contrasts against), this module noises the {e
+    published} values, so one run can compare three regimes on
+    utility: MPC-exact, MPC + DP release, and plaintext + DP release —
+    the last two are the {e same} mechanism over the same seeded
+    sampler, so their releases coincide whenever the exact values do.
+
+    {2 Determinism and replay}
+
+    A release is a pure function of [(params, values)]: the sampler is
+    seeded from [params.seed] alone and consumes {e exactly one}
+    Laplace draw per entry {e in entry order}, whether or not the
+    entry ends up perturbed — so marking an entry public changes that
+    entry only, never its neighbours' noise.  Re-running with the same
+    parameters replays the identical release byte for byte.
+
+    {2 Public entries and [epsilon = infinity]}
+
+    Following the public/private split of the graph-DP literature
+    (SNIPPETS.md exemplars), entries may be declared {e public} — e.g.
+    high-degree hub nodes whose behaviour is already published —
+    and are then released exactly; only private entries are noised.
+    [epsilon = infinity] degenerates to the exact release: no state is
+    created, no draws are consumed, and the output is a fresh copy of
+    the input, byte for byte. *)
+
+type params = {
+  epsilon : float;
+      (** Privacy budget; positive, or [infinity] for the exact
+          release. *)
+  sensitivity : float;
+      (** L1 sensitivity of each released entry; the Laplace scale is
+          [sensitivity / epsilon].  Strengths and normalised ranks lie
+          in [[0, 1]] so sensitivity 1 is the conservative default;
+          scores are change-one-record sensitive at 1 as well. *)
+  seed : int;  (** Sampler seed; equal seeds replay equal releases. *)
+}
+
+val validate : params -> unit
+(** Raises [Invalid_argument] on a non-positive or NaN [epsilon] or a
+    non-positive [sensitivity]. *)
+
+val exact : params -> bool
+(** Whether the release degenerates to the identity
+    ([epsilon = infinity]). *)
+
+val values : ?public:(int -> bool) -> params -> float array -> float array
+(** Release a plain vector: entry [i] is exact when [public i], noised
+    otherwise.  Default [public] is never. *)
+
+val strengths :
+  ?public:(int * int -> bool) ->
+  params ->
+  ((int * int) * float) list ->
+  ((int * int) * float) list
+(** Release a published strength list in list order (list order {e is}
+    draw order); the pair labels pass through untouched and [public]
+    sees them. *)
+
+val hubs : degree_threshold:int -> Spe_graph.Digraph.t -> int * int -> bool
+(** The exemplar public predicate: an arc is public iff {e both}
+    endpoints have total degree (in + out) at least the threshold —
+    hub-to-hub links carry no individual's secret.  Partially apply to
+    get a node predicate via [(fun i -> hubs ~degree_threshold g (i, i))]. *)
+
+val mean_abs_error : float array -> float array -> float
+(** MAE between two equal-length vectors (0 on empty input); the
+    utility figure the CLI and bench report for exact-vs-DP
+    comparisons.  Raises [Invalid_argument] on a length mismatch. *)
+
+val mean_abs_error_strengths :
+  ((int * int) * float) list -> ((int * int) * float) list -> float
+(** {!mean_abs_error} over the strength values, requiring the pair
+    labels to match positionally. *)

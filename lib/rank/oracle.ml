@@ -1,0 +1,134 @@
+(* The plaintext fixed-point rank oracle.  Everything here is exact
+   integer arithmetic on [scale = 2^fbits]-scaled vectors: the
+   distributed Protocol_rank host runs these very functions between its
+   re-sharing rounds, which is what makes "distributed == oracle" a
+   bit-identity statement rather than an approximation. *)
+
+module Digraph = Spe_graph.Digraph
+
+type mode = Pagerank | Degree
+
+type config = { mode : mode; damping : float; iterations : int; fbits : int }
+
+let default_config = { mode = Pagerank; damping = 0.85; iterations = 25; fbits = 20 }
+
+let validate config =
+  if config.fbits < 4 || config.fbits > 30 then
+    invalid_arg "Oracle: fbits must be in [4, 30]";
+  if (not (config.damping >= 0.)) || config.damping >= 1. then
+    invalid_arg "Oracle: damping must be in [0, 1)";
+  if config.iterations < 0 then invalid_arg "Oracle: iterations must be >= 0"
+
+let scale config = 1 lsl config.fbits
+
+(* floor(d * scale) < scale because d < 1. *)
+let damping_fx config = int_of_float (config.damping *. float_of_int (scale config))
+
+let transitions_count config =
+  match config.mode with Pagerank -> config.iterations | Degree -> 1
+
+let teleport config ~n ~activity =
+  let sc = scale config in
+  let total = Array.fold_left ( + ) 0 activity + n in
+  Array.init n (fun i ->
+      if activity.(i) < 0 then invalid_arg "Oracle.teleport: negative activity";
+      sc * (activity.(i) + 1) / total)
+
+(* r'_i = d_fx * w_i / scale + (scale - d_fx) * t_i / scale.  With
+   w_i, t_i <= scale both products stay under scale^2 <= 2^60. *)
+let blend config ~teleport w =
+  let sc = scale config in
+  let d = damping_fx config in
+  Array.init (Array.length w) (fun i ->
+      (d * w.(i) / sc) + ((sc - d) * teleport.(i) / sc))
+
+let walk graph r =
+  let n = Array.length r in
+  let w = Array.make n 0 in
+  let dangling = ref 0 in
+  for j = 0 to n - 1 do
+    let out = Digraph.out_neighbors graph j in
+    let deg = Array.length out in
+    if deg = 0 then dangling := !dangling + r.(j)
+    else begin
+      let c = r.(j) / deg in
+      Array.iter (fun i -> w.(i) <- w.(i) + c) out
+    end
+  done;
+  let dshare = !dangling / n in
+  for i = 0 to n - 1 do
+    w.(i) <- w.(i) + dshare
+  done;
+  w
+
+let step config graph ~teleport r = blend config ~teleport (walk graph r)
+
+let degree_profile config graph =
+  let sc = scale config in
+  let n = Digraph.n graph in
+  let edges = max 1 (Digraph.edge_count graph) in
+  Array.init n (fun i -> sc * Digraph.in_degree graph i / edges)
+
+let transitions config graph ~teleport =
+  match config.mode with
+  | Degree ->
+    let profile = degree_profile config graph in
+    [ (fun _r -> blend config ~teleport profile) ]
+  | Pagerank ->
+    List.init config.iterations (fun _ r -> step config graph ~teleport r)
+
+let fixed config graph ~activity =
+  validate config;
+  let n = Digraph.n graph in
+  if Array.length activity <> n then invalid_arg "Oracle.fixed: activity length";
+  if n = 0 then [||]
+  else
+    let t = teleport config ~n ~activity in
+    List.fold_left (fun r tr -> tr r) t (transitions config graph ~teleport:t)
+
+let to_floats config r =
+  let sc = float_of_int (scale config) in
+  Array.map (fun v -> float_of_int v /. sc) r
+
+let float_reference config graph ~activity =
+  validate config;
+  let n = Digraph.n graph in
+  if Array.length activity <> n then invalid_arg "Oracle.float_reference: activity length";
+  if n = 0 then [||]
+  else begin
+    let total = float_of_int (Array.fold_left ( + ) 0 activity + n) in
+    let t = Array.init n (fun i -> float_of_int (activity.(i) + 1) /. total) in
+    let d = config.damping in
+    let blend w = Array.init n (fun i -> (d *. w.(i)) +. ((1. -. d) *. t.(i))) in
+    match config.mode with
+    | Degree ->
+      let edges = float_of_int (max 1 (Digraph.edge_count graph)) in
+      blend (Array.init n (fun i -> float_of_int (Digraph.in_degree graph i) /. edges))
+    | Pagerank ->
+      let r = ref (Array.copy t) in
+      for _ = 1 to config.iterations do
+        let w = Array.make n 0. in
+        let dangling = ref 0. in
+        for j = 0 to n - 1 do
+          let out = Digraph.out_neighbors graph j in
+          let deg = Array.length out in
+          if deg = 0 then dangling := !dangling +. !r.(j)
+          else begin
+            let c = !r.(j) /. float_of_int deg in
+            Array.iter (fun i -> w.(i) <- w.(i) +. c) out
+          end
+        done;
+        let dshare = !dangling /. float_of_int n in
+        for i = 0 to n - 1 do
+          w.(i) <- w.(i) +. dshare
+        done;
+        r := blend w
+      done;
+      !r
+  end
+
+let precision_bound config graph =
+  let n = float_of_int (Digraph.n graph) in
+  let e = float_of_int (Digraph.edge_count graph) in
+  let rounds = float_of_int (transitions_count config + 1) in
+  rounds *. (e +. (4. *. n) +. 4.) /. float_of_int (scale config)

@@ -1,0 +1,102 @@
+(** The plaintext rank oracle: activity-personalised PageRank (and a
+    degree-centrality variant) over the shared social graph, computed in
+    {e fixed-point integer} arithmetic so the distributed protocol can
+    reproduce it bit for bit.
+
+    The estimand is the second family hosted on the session stack
+    (ROADMAP item 5; PAPERS.md: Çatak's MPC PageRank, Roohi et al.'s
+    centrality-without-connections): the graph is public to the
+    mediator H, but the per-user activity that personalises the
+    teleport vector is split across the providers' private action
+    logs.  The oracle takes the {e aggregate} activity vector — the
+    quantity the MPC pipeline reconstructs without revealing any
+    provider's share — and everything downstream of it is deterministic
+    integer arithmetic.
+
+    {2 Fixed-point semantics}
+
+    All vectors are scaled by [scale = 2^fbits] and every division
+    truncates.  With [t] the Laplace-smoothed activity teleport
+    [t_i = scale * (a_i + 1) / (total_a + n)] and [d_fx =
+    floor(damping * scale)], one PageRank iteration is
+
+    - walk: each node [j] with out-degree [deg > 0] contributes
+      [r_j / deg] (truncated) to each out-neighbour; dangling nodes
+      pool their mass and redistribute [dangling / n] to everyone;
+    - blend: [r'_i = d_fx * w_i / scale + (scale - d_fx) * t_i / scale].
+
+    Mass only shrinks under truncation, so [0 <= r_i <= scale] holds
+    inductively and every product is bounded by [scale^2 <= 2^60].
+
+    {2 Precision bound}
+
+    Against the exact float recursion ({!float_reference}) each
+    truncation loses less than [1/scale], the walk matrix is
+    column-substochastic, and one iteration introduces at most
+    [(E + 4n + 4) / scale] of L1 error (E truncated edge
+    contributions, dangling + blend + teleport truncations, and the
+    [d_fx] rounding applied to vectors of total mass <= 2); the
+    carried error is never amplified.  Hence, coordinate-wise,
+
+    [|fixed/scale - float_reference| <= (I + 1) * (E + 4n + 4) / scale]
+
+    with [I] the iteration count ([I = 1] for {!Degree}) — the bound
+    {!precision_bound} returns and the qcheck suite enforces. *)
+
+type mode =
+  | Pagerank  (** Power iteration on the damped, activity-personalised walk. *)
+  | Degree
+      (** One blend of normalised in-degree against the activity
+          teleport — centrality without iteration, same disclosure. *)
+
+type config = {
+  mode : mode;
+  damping : float;  (** [d] in [[0, 1)]. *)
+  iterations : int;  (** Power-iteration count (ignored by {!Degree}). *)
+  fbits : int;  (** Fractional bits; [scale = 2^fbits], in [[4, 30]]. *)
+}
+
+val default_config : config
+(** [Pagerank], damping 0.85, 25 iterations, 20 fractional bits. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] on a damping outside [[0, 1)], negative
+    iterations, or [fbits] outside [[4, 30]]. *)
+
+val scale : config -> int
+(** [2^fbits]. *)
+
+val transitions_count : config -> int
+(** How many host-side vector updates the mode performs:
+    [iterations] for {!Pagerank}, [1] for {!Degree}. *)
+
+val teleport : config -> n:int -> activity:int array -> int array
+(** The smoothed fixed-point teleport
+    [t_i = scale * (activity_i + 1) / (sum activity + n)].
+    Sums to at most [scale]. *)
+
+val transitions :
+  config ->
+  Spe_graph.Digraph.t ->
+  teleport:int array ->
+  (int array -> int array) list
+(** The per-iteration vector updates in application order
+    ({!transitions_count} of them) — exactly what the distributed
+    host applies between re-sharing rounds. *)
+
+val fixed : config -> Spe_graph.Digraph.t -> activity:int array -> int array
+(** The full oracle: teleport, then every transition, from the
+    aggregate activity vector.  Returns the fixed-point rank vector
+    (entries in [[0, scale]]).  Raises [Invalid_argument] on an
+    activity vector of the wrong length or negative entries. *)
+
+val to_floats : config -> int array -> float array
+(** Divide by [scale]. *)
+
+val float_reference : config -> Spe_graph.Digraph.t -> activity:int array -> float array
+(** The exact float twin of {!fixed}: same walk, same dangling
+    handling, no truncation.  Sums to 1 for {!Pagerank}. *)
+
+val precision_bound : config -> Spe_graph.Digraph.t -> float
+(** The documented coordinate-wise bound on
+    [|to_floats (fixed ...) - float_reference ...|] (see above). *)

@@ -131,6 +131,9 @@ type t = {
       (** Per-group recomputation sessions across all released epochs —
           the quantity the delta path keeps small. *)
   last_epoch : int Atomic.t;  (** Highest released epoch, -1 before any. *)
+  (* Rank-job gauges: completed rank jobs and the power iterations they ran. *)
+  rank_jobs_completed : int Atomic.t;
+  rank_iterations_run : int Atomic.t;
   (* Cumulative spe-metrics/2 state (when metrics_addr is set). *)
   reports_lock : Mutex.t;
   mutable reports : Metrics.report list;
@@ -177,6 +180,9 @@ let render_scrape t () =
       ("epochs_released", Atomic.get t.epochs_released);
       ("epoch_sessions_run", Atomic.get t.epoch_sessions_run);
       ("last_epoch", Atomic.get t.last_epoch);
+      (* Rank gauges: second-family job progress. *)
+      ("rank_jobs_completed", Atomic.get t.rank_jobs_completed);
+      ("rank_iterations_run", Atomic.get t.rank_iterations_run);
       (* Reactor gauges: the loop's live vital signs. *)
       ("reactor_iterations", Reactor.iterations t.reactor);
       ("reactor_timer_fires", Reactor.timer_fires t.reactor);
@@ -214,6 +220,7 @@ let pipeline_label = function
   | Serve_proto.Links -> "links"
   | Serve_proto.Scores -> "scores"
   | Serve_proto.Stream -> "stream"
+  | Serve_proto.Rank -> "rank"
 
 (* One seat of one session as an endpoint machine on the daemon's
    reactor.  [on_done] fires on the loop thread, exactly once. *)
@@ -316,7 +323,14 @@ let run_job_async t ~job ~spec planned ~on_done =
     on_done res
   in
   let rec stages = function
-    | [] -> conclude None
+    | [] ->
+      (if spec.Serve_proto.pipeline = Serve_proto.Rank then begin
+         Atomic.incr t.rank_jobs_completed;
+         ignore
+           (Atomic.fetch_and_add t.rank_iterations_run
+              (if spec.Serve_proto.rank_degree then 1 else spec.Serve_proto.iterations))
+       end);
+      conclude None
     | (plan_stage, seats) :: rest ->
       run_stage_async t ~protocol ~all_sids seats ~on_done:(function
         | None ->
@@ -778,6 +792,8 @@ let start config workload =
       epochs_released = Atomic.make 0;
       epoch_sessions_run = Atomic.make 0;
       last_epoch = Atomic.make (-1);
+      rank_jobs_completed = Atomic.make 0;
+      rank_iterations_run = Atomic.make 0;
       reports_lock = Mutex.create ();
       reports = [];
       reap_lock = Mutex.create ();
@@ -876,6 +892,8 @@ let gauges t =
     ("epochs_released", Atomic.get t.epochs_released);
     ("epoch_sessions_run", Atomic.get t.epoch_sessions_run);
     ("last_epoch", Atomic.get t.last_epoch);
+    ("rank_jobs_completed", Atomic.get t.rank_jobs_completed);
+    ("rank_iterations_run", Atomic.get t.rank_iterations_run);
     ("reactor_iterations", Reactor.iterations t.reactor);
     ("reactor_timer_fires", Reactor.timer_fires t.reactor);
     ("reactor_ready_depth", Reactor.ready_depth t.reactor);

@@ -56,6 +56,7 @@ type planned =
   | Links_plan of Spe_core.Protocol4.result Plan.t
   | Scores_plan of Spe_core.Driver_distributed.scores Plan.t
   | Stream_plan of { delta : Spe_core.Delta.t; stages : Plan.stage list }
+  | Rank_plan of { fbits : int; plan : Spe_rank.Protocol_rank.result Plan.t }
 
 let validate (spec : Serve_proto.spec) workload =
   let m = Array.length workload.logs in
@@ -85,6 +86,37 @@ let validate (spec : Serve_proto.spec) workload =
         Error "burstiness must be in [0, 1)"
       else if spec.Serve_proto.jitter < 0 then Error "jitter must be >= 0"
       else Ok ()
+    | Serve_proto.Rank -> (
+      match
+        Spe_rank.Oracle.validate
+          {
+            Spe_rank.Oracle.mode =
+              (if spec.Serve_proto.rank_degree then Spe_rank.Oracle.Degree
+               else Spe_rank.Oracle.Pagerank);
+            damping = spec.Serve_proto.damping;
+            iterations = spec.Serve_proto.iterations;
+            fbits = spec.Serve_proto.fbits;
+          }
+      with
+      | () ->
+        if spec.Serve_proto.fbits >= spec.Serve_proto.modulus_bits then
+          Error "fbits must lie below modulus-bits"
+        else Ok ()
+      | exception Invalid_argument msg -> Error msg)
+
+let rank_config (spec : Serve_proto.spec) =
+  {
+    Spe_rank.Protocol_rank.oracle =
+      {
+        Spe_rank.Oracle.mode =
+          (if spec.Serve_proto.rank_degree then Spe_rank.Oracle.Degree
+           else Spe_rank.Oracle.Pagerank);
+        damping = spec.Serve_proto.damping;
+        iterations = spec.Serve_proto.iterations;
+        fbits = spec.Serve_proto.fbits;
+      };
+    modulus = 1 lsl spec.Serve_proto.modulus_bits;
+  }
 
 let links_config (spec : Serve_proto.spec) =
   {
@@ -195,11 +227,20 @@ let build (spec : Serve_proto.spec) workload =
          ~modulus:(1 lsl spec.Serve_proto.modulus_bits)
          ~shards:spec.Serve_proto.shards config)
   | Serve_proto.Stream -> build_stream spec workload s
+  | Serve_proto.Rank ->
+    Rank_plan
+      {
+        fbits = spec.Serve_proto.fbits;
+        plan =
+          Spe_rank.Protocol_rank.plan s ~graph:workload.graph ~logs:workload.logs
+            ~shards:spec.Serve_proto.shards (rank_config spec);
+      }
 
 let stages = function
   | Links_plan plan -> plan.Plan.stages
   | Scores_plan plan -> plan.Plan.stages
   | Stream_plan { stages; _ } -> stages
+  | Rank_plan { plan; _ } -> plan.Plan.stages
 
 (* Only the host calls this, and only after every stage quiesced. *)
 let reply_of = function
@@ -219,6 +260,9 @@ let reply_of = function
           | [] -> []
           | last :: _ -> last.Delta.strengths);
       }
+  | Rank_plan { fbits; plan } ->
+    Serve_proto.Rank_summary
+      { ranks_fx = (plan.Plan.result ()).Spe_rank.Protocol_rank.ranks_fx; fbits }
 
 (* Daemon ids mirror the frame codec's party order. *)
 let daemon_of_party = function Wire.Host -> 0 | Wire.Provider k -> k + 1

@@ -25,6 +25,12 @@ type planned =
           [Spe_core.Delta] stages — epoch inputs are eager snapshots,
           so building ahead is sound.  The reply is read from the
           instance's accumulated releases. *)
+  | Rank_plan of {
+      fbits : int;
+      plan : Spe_rank.Protocol_rank.result Spe_core.Plan.t;
+    }  (** The rank pipeline, with its fixed-point precision carried
+          along so the {!Serve_proto.reply.Rank_summary} can tell
+          clients how to rescale. *)
 
 val validate : Serve_proto.spec -> workload -> (unit, string) result
 (** Cheap spec sanity before any plan is built; the error is the typed

@@ -14,14 +14,18 @@
 
 module Frame = Spe_net.Frame
 
-let version = 2
-let protocol = "spe-serve/2"
+let version = 3
+let protocol = "spe-serve/3"
 
 type role = Party of int | Client
 
-type pipeline = Links | Scores | Stream
+type pipeline = Links | Scores | Stream | Rank
 
-let pipeline_name = function Links -> "links" | Scores -> "scores" | Stream -> "stream"
+let pipeline_name = function
+  | Links -> "links"
+  | Scores -> "scores"
+  | Stream -> "stream"
+  | Rank -> "rank"
 
 type spec = {
   pipeline : pipeline;
@@ -39,6 +43,10 @@ type spec = {
   rate : float;  (** Mean arrivals per tick (stream). *)
   burstiness : float;  (** Markov-modulated gap scaling in [0, 1) (stream). *)
   jitter : int;  (** Bounded arrival reordering in ticks (stream). *)
+  damping : float;  (** Power-iteration damping in [0, 1) (rank). *)
+  iterations : int;  (** Power-iteration count (rank). *)
+  fbits : int;  (** Fixed-point fractional bits (rank). *)
+  rank_degree : bool;  (** Degree-centrality mode instead of PageRank (rank). *)
 }
 
 let default_spec =
@@ -58,6 +66,10 @@ let default_spec =
     rate = 0.;
     burstiness = 0.;
     jitter = 0;
+    damping = 0.85;
+    iterations = 25;
+    fbits = 20;
+    rank_degree = false;
   }
 
 type failure_kind = Rejected | Busy_queue | Peer_down | Round_timeout | Shard_failed | Other
@@ -78,6 +90,7 @@ type reply =
       recomputed : int array;
       strengths : ((int * int) * float) list;
     }
+  | Rank_summary of { ranks_fx : int array; fbits : int }
   | Failed of { kind : failure_kind; detail : string }
 
 type t =
@@ -169,7 +182,7 @@ let get_string r =
   Bytes.to_string (get_bytes r n)
 
 let put_spec buf spec =
-  put_u8 buf (match spec.pipeline with Links -> 0 | Scores -> 1 | Stream -> 2);
+  put_u8 buf (match spec.pipeline with Links -> 0 | Scores -> 1 | Stream -> 2 | Rank -> 3);
   put_u63 buf spec.seed;
   put_u16 buf spec.shards;
   put_u16 buf spec.h;
@@ -183,7 +196,11 @@ let put_spec buf spec =
   put_u16 buf spec.epochs;
   put_f64 buf spec.rate;
   put_f64 buf spec.burstiness;
-  put_u16 buf spec.jitter
+  put_u16 buf spec.jitter;
+  put_f64 buf spec.damping;
+  put_u16 buf spec.iterations;
+  put_u16 buf spec.fbits;
+  put_u8 buf (if spec.rank_degree then 1 else 0)
 
 let get_spec r =
   let pipeline =
@@ -191,6 +208,7 @@ let get_spec r =
     | 0 -> Links
     | 1 -> Scores
     | 2 -> Stream
+    | 3 -> Rank
     | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown pipeline %d" k)
   in
   let seed = get_u63 r in
@@ -207,6 +225,15 @@ let get_spec r =
   let rate = get_f64 r in
   let burstiness = get_f64 r in
   let jitter = get_u16 r in
+  let damping = get_f64 r in
+  let iterations = get_u16 r in
+  let fbits = get_u16 r in
+  let rank_degree =
+    match get_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: bad rank_degree %d" k)
+  in
   {
     pipeline;
     seed;
@@ -223,6 +250,10 @@ let get_spec r =
     rate;
     burstiness;
     jitter;
+    damping;
+    iterations;
+    fbits;
+    rank_degree;
   }
 
 let kind_code = function
@@ -274,6 +305,11 @@ let put_reply buf = function
         put_u32 buf v;
         put_f64 buf p)
       strengths
+  | Rank_summary { ranks_fx; fbits } ->
+    put_u8 buf 4;
+    put_u16 buf fbits;
+    put_u32 buf (Array.length ranks_fx);
+    Array.iter (put_u63 buf) ranks_fx
 
 let get_reply r =
   match get_u8 r with
@@ -305,6 +341,10 @@ let get_reply r =
           ((u, v), p))
     in
     Stream_summary { digests; recomputed; strengths }
+  | 4 ->
+    let fbits = get_u16 r in
+    let n = get_u32 r in
+    Rank_summary { ranks_fx = Array.init n (fun _ -> get_u63 r); fbits }
   | k -> invalid_arg (Printf.sprintf "Serve_proto.decode: unknown reply kind %d" k)
 
 let encode t =

@@ -1,4 +1,4 @@
-(** The versioned [spe-serve/2] control protocol.
+(** The versioned [spe-serve/3] control protocol.
 
     Everything a daemon-mesh or client connection carries: the opening
     {!t.Hello} handshake, session-tagged inner endpoint frames
@@ -12,19 +12,21 @@
     frame can never be confused with an inner frame. *)
 
 val version : int
-(** 2 — carried in every {!t.Hello}; a daemon refuses mismatched peers.
-    Bumped from 1 when the spec grew the packing and streaming fields:
-    the field list is fixed-layout, so old and new binaries must refuse
-    each other cleanly rather than misparse. *)
+(** 3 — carried in every {!t.Hello}; a daemon refuses mismatched peers.
+    Bumped from 1 when the spec grew the packing and streaming fields,
+    and from 2 when it grew the rank pipeline (its spec fields, the
+    [Rank] code and the [Rank_summary] reply): the field list is
+    fixed-layout, so old and new binaries must refuse each other
+    cleanly rather than misparse. *)
 
 val protocol : string
-(** ["spe-serve/2"]. *)
+(** ["spe-serve/3"]. *)
 
 type role =
   | Party of int  (** A daemon introducing itself: 0 = H, [k] = P[k]. *)
   | Client  (** A job-submitting client (CLI, tests, bench). *)
 
-type pipeline = Links | Scores | Stream
+type pipeline = Links | Scores | Stream | Rank
 
 val pipeline_name : pipeline -> string
 
@@ -45,6 +47,10 @@ type spec = {
   rate : float;  (** Mean arrivals per tick (stream). *)
   burstiness : float;  (** Markov gap modulation in [0, 1) (stream). *)
   jitter : int;  (** Bounded arrival reordering in ticks (stream). *)
+  damping : float;  (** Power-iteration damping in [[0, 1)] (rank). *)
+  iterations : int;  (** Power-iteration count (rank). *)
+  fbits : int;  (** Fixed-point fractional bits (rank). *)
+  rank_degree : bool;  (** Degree-centrality mode instead of PageRank (rank). *)
 }
 (** Everything a job needs beyond the daemons' preloaded workload.
     Every daemon rebuilds the identical plan from [(spec, workload)] —
@@ -76,6 +82,10 @@ type reply =
       recomputed : int array;  (** Counter groups re-shared per epoch. *)
       strengths : ((int * int) * float) list;  (** Final-epoch arcs. *)
     }  (** Stream result: the whole release sequence, compressed. *)
+  | Rank_summary of {
+      ranks_fx : int array;  (** The fixed-point rank vector, by user. *)
+      fbits : int;  (** Its fractional bits, so clients can rescale. *)
+    }  (** Rank result, bit-exact on the wire by construction. *)
   | Failed of { kind : failure_kind; detail : string }
 
 type t =

@@ -18,30 +18,11 @@ module Session = Spe_mpc.Session
 module Wire = Spe_mpc.Wire
 module Endpoint = Spe_net.Endpoint
 
-let streaming_workload ~seed ~n ~edges ~actions ~m =
-  let s = State.create ~seed () in
-  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
-  let planted = Cascade.uniform_probabilities ~p:0.3 g in
-  let log =
-    Cascade.generate s planted
-      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
-  in
-  (g, Partition.exclusive s log ~m)
+let streaming_workload = Util.workload
 
 let union_sorted lists = List.sort_uniq compare (List.concat lists)
 
-let run_plan engine (plan : _ Plan.t) =
-  match engine with
-  | `Sim -> Session.run (Plan.to_session plan) ~wire:(Wire.create ())
-  | (`Memory | `Socket) as e ->
-    List.iter
-      (fun (stage : Plan.stage) ->
-        ignore
-          (match e with
-          | `Memory -> Endpoint.run_sessions_memory ~workers:2 stage.Plan.sessions
-          | `Socket -> Endpoint.run_sessions_socket ~workers:2 stage.Plan.sessions))
-      plan.Plan.stages;
-    plan.Plan.result ()
+let run_plan engine (plan : _ Plan.t) = Util.run_plan ~workers:2 engine plan
 
 (* Drive [epochs] epochs of the streaming pipeline: a shared replayable
    source per provider, windowed accumulators over the published pair

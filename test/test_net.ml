@@ -508,15 +508,7 @@ let test_p3_cross_engine () =
 
 (* --- full pipelines across engines --------------------------------------------- *)
 
-let pipeline_workload ~seed ~n ~edges ~actions ~m =
-  let s = State.create ~seed () in
-  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
-  let planted = Cascade.uniform_probabilities ~p:0.3 g in
-  let log =
-    Cascade.generate s planted
-      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
-  in
-  (g, Partition.exclusive s log ~m)
+let pipeline_workload = Util.workload
 
 (* The distributed pipelines charge the same NR and NM as the central
    oracle, but the typed payload encodings pad each value to whole

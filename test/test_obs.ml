@@ -369,15 +369,7 @@ let test_p3_accounting () =
       ("socket", fun ~trace s -> Endpoint.run_session_socket ~trace s);
     ]
 
-let pipeline_workload ~seed ~n ~edges ~actions ~m =
-  let s = State.create ~seed () in
-  let g = Generate.erdos_renyi_gnm s ~n ~m:edges in
-  let planted = Cascade.uniform_probabilities ~p:0.3 g in
-  let log =
-    Cascade.generate s planted
-      { Cascade.num_actions = actions; seeds_per_action = 2; max_delay = 3 }
-  in
-  (g, Partition.exclusive s log ~m)
+let pipeline_workload = Util.workload
 
 (* Both full pipelines: trace accounting == Net_wire on memory and
    socket, == the simulated wire on sim, and the phase rows cover the

@@ -109,6 +109,10 @@ let sample_spec =
     rate = 0.5;
     burstiness = 0.375;
     jitter = 2;
+    damping = 0.875;
+    iterations = 12;
+    fbits = 18;
+    rank_degree = true;
   }
 
 let roundtrip frame = Proto.decode (Proto.encode frame)
@@ -124,6 +128,13 @@ let test_proto_roundtrip () =
         { job = 8; spec = { sample_spec with Proto.pipeline = Proto.Scores } };
       Proto.Job_submit
         { job = 11; spec = { sample_spec with Proto.pipeline = Proto.Stream } };
+      Proto.Job_submit
+        { job = 13; spec = { sample_spec with Proto.pipeline = Proto.Rank } };
+      Proto.Job_result
+        {
+          job = 13;
+          reply = Proto.Rank_summary { ranks_fx = [| 0; 123456; 1 lsl 20 |]; fbits = 20 };
+        };
       Proto.Job_result
         { job = 7; reply = Proto.Strengths [ ((0, 1), 0.5); ((3, 2), 0.125) ] };
       Proto.Job_result { job = 9; reply = Proto.Scores [| 1.5; 0.0; nan; 3.25 |] };
@@ -202,12 +213,72 @@ let test_scheduler_admission () =
   check Alcotest.int "rejected" 2 st.Scheduler.rejected;
   check Alcotest.int "completed" 1 st.Scheduler.completed
 
+(* --- job validation --------------------------------------------------------- *)
+
+(* The daemon-side twin of the CLI's typed usage errors (the --shards 0
+   family): every flag the CLI bounces — zero shards, negative epoch or
+   window, out-of-range modulus bits, bad rank parameters — must also
+   bounce off Job.validate, so a hand-rolled client cannot smuggle a
+   bad spec past the daemons. *)
+let test_job_validate () =
+  let graph, logs = Util.workload ~seed:31 ~n:10 ~edges:24 ~actions:5 ~m:2 in
+  let w = { Job.graph; logs } in
+  let ok name spec =
+    match Job.validate spec w with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail (Printf.sprintf "%s should validate: %s" name msg)
+  in
+  let bad name spec =
+    match Job.validate spec w with
+    | Ok () -> Alcotest.fail (Printf.sprintf "%s should be rejected" name)
+    | Error msg -> checkb (name ^ " has a detail") true (String.length msg > 0)
+  in
+  ok "default links" Proto.default_spec;
+  (match Job.validate Proto.default_spec { Job.graph; logs = [| logs.(0) |] } with
+  | Ok () -> Alcotest.fail "single provider should be rejected"
+  | Error _ -> ());
+  bad "shards 0" { Proto.default_spec with Proto.shards = 0 };
+  bad "shards -3" { Proto.default_spec with Proto.shards = -3 };
+  bad "modulus_bits 1" { Proto.default_spec with Proto.modulus_bits = 1 };
+  bad "modulus_bits 62" { Proto.default_spec with Proto.modulus_bits = 62 };
+  bad "links h 0" { Proto.default_spec with Proto.h = 0 };
+  bad "links c_factor 0.5" { Proto.default_spec with Proto.c_factor = 0.5 };
+  let scores = { Proto.default_spec with Proto.pipeline = Proto.Scores } in
+  ok "default scores" scores;
+  bad "scores tau 0" { scores with Proto.tau = 0 };
+  bad "scores key_bits 8" { scores with Proto.key_bits = 8 };
+  bad "scores pack_slots 0" { scores with Proto.pack_slots = 0 };
+  let stream =
+    {
+      Proto.default_spec with
+      Proto.pipeline = Proto.Stream;
+      epoch_ticks = 25;
+      epochs = 3;
+      rate = 0.6;
+    }
+  in
+  ok "valid stream" stream;
+  bad "stream epoch_ticks 0" { stream with Proto.epoch_ticks = 0 };
+  bad "stream epoch_ticks -1" { stream with Proto.epoch_ticks = -1 };
+  bad "stream window -1" { stream with Proto.window = -1 };
+  bad "stream epochs 0" { stream with Proto.epochs = 0 };
+  bad "stream rate 0" { stream with Proto.rate = 0. };
+  bad "stream burstiness 1" { stream with Proto.burstiness = 1. };
+  bad "stream jitter -2" { stream with Proto.jitter = -2 };
+  let rank = { Proto.default_spec with Proto.pipeline = Proto.Rank } in
+  ok "default rank" rank;
+  bad "rank damping 1" { rank with Proto.damping = 1. };
+  bad "rank damping -0.1" { rank with Proto.damping = -0.1 };
+  bad "rank iterations -1" { rank with Proto.iterations = -1 };
+  bad "rank fbits 3" { rank with Proto.fbits = 3 };
+  bad "rank fbits 31" { rank with Proto.fbits = 31 };
+  bad "rank fbits = modulus_bits" { rank with Proto.fbits = 20; modulus_bits = 20 }
+
 (* --- live deployments ------------------------------------------------------- *)
 
 (* A small links workload: 3 providers like the chaos campaigns, so the
-   mesh is a real 4-daemon clique. *)
-let links_workload =
-  { Schedule.wseed = 97; users = 18; edges = 50; actions = 8; providers = 3 }
+   mesh is a real 4-daemon clique (shared with test_rank via Util). *)
+let links_workload = Util.links_workload
 
 let links_spec ~pseed ~shards =
   {
@@ -228,38 +299,10 @@ let links_oracle ~pseed ~graph ~logs =
   r.Driver.strengths
 
 (* Start one in-process daemon per party over a temp unix-domain
-   roster, run [f client daemons roster], then shut everything down. *)
-let with_deployment ?(workload = links_workload) ?(max_sessions = 4) ?(max_queue = 64)
-    ?metrics_addr f =
-  let graph, logs = Harness.workload_inputs workload in
-  let m = Array.length logs in
-  let roster = Transport.Socket.temp_unix_addresses ~m:(m + 1) in
-  let daemons =
-    Array.init (m + 1) (fun party ->
-        Daemon.start
-          {
-            (Daemon.default_config ~party ~roster) with
-            Daemon.max_sessions;
-            max_queue;
-            metrics_addr = (if party = 0 then metrics_addr else None);
-            round_timeout = 60.;
-            linger = 61.;
-            dial_timeout = 15.;
-          }
-          { Job.graph; logs })
-  in
-  let client = Client.connect ~retry_for:10. roster.(0) in
-  Fun.protect
-    ~finally:(fun () ->
-      Client.close client;
-      ignore (Client.shutdown_roster ~timeout:15. roster);
-      Array.iter Daemon.wait daemons)
-    (fun () -> f client daemons roster ~graph ~logs)
-
-let gauge daemons party name =
-  match List.assoc_opt name (Daemon.gauges daemons.(party)) with
-  | Some v -> v
-  | None -> Alcotest.fail (Printf.sprintf "gauge %s missing" name)
+   roster, run [f client daemons roster], then shut everything down
+   (shared with test_rank via Util). *)
+let with_deployment = Util.with_deployment
+let gauge = Util.gauge
 
 (* Satellite: N >= 3 sequential sharded sessions over one connection
    set, bit-identical to the central Driver oracle, with exactly one
@@ -536,6 +579,8 @@ let () =
         ] );
       ( "scheduler",
         [ Alcotest.test_case "typed admission control" `Quick test_scheduler_admission ] );
+      ( "job",
+        [ Alcotest.test_case "spec validation rejects bad flags" `Quick test_job_validate ] );
       ( "deployment",
         [
           Alcotest.test_case "sequential jobs, one hello per peer" `Slow
